@@ -1,0 +1,380 @@
+// Benchmarks regenerating the paper's evaluation (one family per figure) and
+// the design-choice ablations called out in DESIGN.md.
+//
+// Figures 7/9 plot reasoning latency and Figures 8/10 answer accuracy over
+// window sizes 5k-40k for the systems R, PR_Dep, and PR_Ran_k (k=2..5). The
+// benchmark variants here sweep a representative subset of sizes so that
+// `go test -bench=.` completes in minutes; `cmd/benchfig` runs the full
+// sweep and emits the CSV series for each figure.
+//
+// Latency benchmarks report two extra metrics per op: "cp-ms" is the
+// critical-path (parallel) latency the paper plots, and accuracy benchmarks
+// report "accuracy" against the whole-window reasoner R.
+package streamrule
+
+import (
+	"fmt"
+	"testing"
+
+	"streamrule/internal/asp/ground"
+	"streamrule/internal/asp/parser"
+	"streamrule/internal/asp/solve"
+	"streamrule/internal/bench"
+	"streamrule/internal/core"
+	"streamrule/internal/reasoner"
+	"streamrule/internal/workload"
+)
+
+var benchSizes = []int{5000, 10000, 20000, 40000}
+
+func benchWindow(b *testing.B, seed int64, size int) []Triple {
+	b.Helper()
+	gen, err := workload.NewGenerator(seed, workload.PaperTraffic())
+	if err != nil {
+		b.Fatal(err)
+	}
+	return gen.Window(size)
+}
+
+func benchProgram(b *testing.B, src string) *Program {
+	b.Helper()
+	p, err := LoadProgram(src, bench.Inpre)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return p
+}
+
+// systems builds the benchmarked reasoners: R, PR_Dep, PR_Ran_k2..k5.
+func systems(b *testing.B, src string) map[string]Reasoner {
+	b.Helper()
+	p := benchProgram(b, src)
+	out := make(map[string]Reasoner)
+	eng, err := NewEngine(p, WithOutputPredicates(bench.Outputs...))
+	if err != nil {
+		b.Fatal(err)
+	}
+	out["R"] = eng
+	dep, err := NewParallelEngine(p, WithOutputPredicates(bench.Outputs...))
+	if err != nil {
+		b.Fatal(err)
+	}
+	out["PR_Dep"] = dep
+	for _, k := range []int{2, 3, 4, 5} {
+		ran, err := NewParallelEngine(p, WithOutputPredicates(bench.Outputs...),
+			WithRandomPartitioning(k, int64(k)))
+		if err != nil {
+			b.Fatal(err)
+		}
+		out[fmt.Sprintf("PR_Ran_k%d", k)] = ran
+	}
+	return out
+}
+
+var systemOrder = []string{"R", "PR_Dep", "PR_Ran_k2", "PR_Ran_k3", "PR_Ran_k4", "PR_Ran_k5"}
+
+// benchLatencyFigure runs a latency figure (7 or 9): every system at every
+// size, reporting the critical-path latency alongside the wall time.
+func benchLatencyFigure(b *testing.B, src string) {
+	sys := systems(b, src)
+	for _, name := range systemOrder {
+		for _, size := range benchSizes {
+			b.Run(fmt.Sprintf("%s/w%dk", name, size/1000), func(b *testing.B) {
+				window := benchWindow(b, int64(size), size)
+				b.ResetTimer()
+				var cpTotal float64
+				for i := 0; i < b.N; i++ {
+					out, err := sys[name].Reason(window)
+					if err != nil {
+						b.Fatal(err)
+					}
+					cpTotal += float64(out.Latency.CriticalPath.Microseconds()) / 1000
+				}
+				b.ReportMetric(cpTotal/float64(b.N), "cp-ms")
+			})
+		}
+	}
+}
+
+// benchAccuracyFigure runs an accuracy figure (8 or 10): every partitioned
+// system at every size, reporting accuracy against R on the same window.
+func benchAccuracyFigure(b *testing.B, src string) {
+	sys := systems(b, src)
+	for _, name := range systemOrder {
+		if name == "R" {
+			continue
+		}
+		for _, size := range benchSizes {
+			b.Run(fmt.Sprintf("%s/w%dk", name, size/1000), func(b *testing.B) {
+				window := benchWindow(b, int64(size), size)
+				ref, err := sys["R"].Reason(window)
+				if err != nil {
+					b.Fatal(err)
+				}
+				b.ResetTimer()
+				var accTotal float64
+				for i := 0; i < b.N; i++ {
+					out, err := sys[name].Reason(window)
+					if err != nil {
+						b.Fatal(err)
+					}
+					accTotal += Accuracy(out.Answers, ref.Answers)
+				}
+				b.ReportMetric(accTotal/float64(b.N), "accuracy")
+			})
+		}
+	}
+}
+
+// BenchmarkFig7 reproduces Figure 7: reasoning latency on program P.
+func BenchmarkFig7(b *testing.B) { benchLatencyFigure(b, bench.ProgramP) }
+
+// BenchmarkFig8 reproduces Figure 8: answer accuracy on program P.
+func BenchmarkFig8(b *testing.B) { benchAccuracyFigure(b, bench.ProgramP) }
+
+// BenchmarkFig9 reproduces Figure 9: reasoning latency on program P', whose
+// connected input dependency graph forces duplication of car_number.
+func BenchmarkFig9(b *testing.B) { benchLatencyFigure(b, bench.ProgramPPrime) }
+
+// BenchmarkFig10 reproduces Figure 10: answer accuracy on program P'.
+func BenchmarkFig10(b *testing.B) { benchAccuracyFigure(b, bench.ProgramPPrime) }
+
+// BenchmarkGroundIndex is the grounder ablation: per-argument indexes on
+// (the default) versus full-scan joins.
+func BenchmarkGroundIndex(b *testing.B) {
+	prog, err := parser.Parse(bench.ProgramP)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, variant := range []struct {
+		name string
+		opts ground.Options
+	}{
+		{"indexed", ground.Options{}},
+		{"noindex", ground.Options{NoIndex: true}},
+	} {
+		b.Run(variant.name, func(b *testing.B) {
+			window := benchWindow(b, 42, 10000)
+			cfg := reasoner.Config{Program: prog, Inpre: bench.Inpre, GroundOpts: variant.opts}
+			rr, err := reasoner.NewR(cfg)
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := rr.Process(window); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkSolverPaths contrasts the stratified fast path (the paper's
+// programs) with the DPLL search on a non-stratified choice program.
+func BenchmarkSolverPaths(b *testing.B) {
+	b.Run("stratified-fastpath", func(b *testing.B) {
+		prog, err := parser.Parse(bench.ProgramP)
+		if err != nil {
+			b.Fatal(err)
+		}
+		r, err := reasoner.NewR(reasoner.Config{Program: prog, Inpre: bench.Inpre})
+		if err != nil {
+			b.Fatal(err)
+		}
+		window := benchWindow(b, 7, 10000)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			out, err := r.Process(window)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if !out.SolveStats.FastPath {
+				b.Fatal("expected fast path")
+			}
+		}
+	})
+	b.Run("search-choices", func(b *testing.B) {
+		// 10 independent even loops: 1024 answer sets, enumerated.
+		src := ""
+		for i := 0; i < 10; i++ {
+			src += fmt.Sprintf("a%d :- not b%d.\nb%d :- not a%d.\n", i, i, i, i)
+		}
+		prog, err := parser.Parse(src)
+		if err != nil {
+			b.Fatal(err)
+		}
+		gp, err := ground.Ground(prog, nil, ground.Options{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			res, err := solve.Solve(gp, solve.Options{})
+			if err != nil {
+				b.Fatal(err)
+			}
+			if len(res.Models) != 1024 {
+				b.Fatalf("models = %d", len(res.Models))
+			}
+		}
+	})
+}
+
+// BenchmarkDuplication is the duplication ablation on P': the paper's
+// smaller-exnodes duplication versus a stripped plan with no duplication
+// (faster but lossy — the accuracy metric shows the loss).
+func BenchmarkDuplication(b *testing.B) {
+	prog, err := parser.Parse(bench.ProgramPPrime)
+	if err != nil {
+		b.Fatal(err)
+	}
+	a, err := core.Analyze(prog, bench.Inpre, 1.0)
+	if err != nil {
+		b.Fatal(err)
+	}
+	cfg := reasoner.Config{Program: prog, Inpre: bench.Inpre, OutputPreds: bench.Outputs}
+	ref, err := reasoner.NewR(cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, variant := range []struct {
+		name string
+		plan *core.Plan
+	}{
+		{"duplicate-smaller-exnodes", a.Plan},
+		{"no-duplication", core.StripDuplicates(a.Plan)},
+	} {
+		b.Run(variant.name, func(b *testing.B) {
+			pr, err := reasoner.NewPR(cfg, reasoner.NewPlanPartitioner(variant.plan))
+			if err != nil {
+				b.Fatal(err)
+			}
+			window := benchWindow(b, 3, 10000)
+			refOut, err := ref.Process(window)
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ResetTimer()
+			var cp, acc float64
+			for i := 0; i < b.N; i++ {
+				out, err := pr.Process(window)
+				if err != nil {
+					b.Fatal(err)
+				}
+				cp += float64(out.Latency.CriticalPath.Microseconds()) / 1000
+				acc += reasoner.Accuracy(out.Answers, refOut.Answers)
+			}
+			b.ReportMetric(cp/float64(b.N), "cp-ms")
+			b.ReportMetric(acc/float64(b.N), "accuracy")
+		})
+	}
+}
+
+// BenchmarkResolution sweeps the Louvain resolution used by the decomposing
+// process on P' (footnote 8 fixes 1.0; this shows the sensitivity).
+func BenchmarkResolution(b *testing.B) {
+	prog, err := parser.Parse(bench.ProgramPPrime)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, res := range []float64{0.5, 1.0, 2.0, 4.0} {
+		b.Run(fmt.Sprintf("res%.1f", res), func(b *testing.B) {
+			var parts float64
+			for i := 0; i < b.N; i++ {
+				a, err := core.Analyze(prog, bench.Inpre, res)
+				if err != nil {
+					b.Fatal(err)
+				}
+				parts += float64(a.Plan.NumPartitions())
+			}
+			b.ReportMetric(parts/float64(b.N), "partitions")
+		})
+	}
+}
+
+// BenchmarkPartitioners isolates the partitioning handler itself (Algorithm
+// 1 versus random chunking) on a 40k window.
+func BenchmarkPartitioners(b *testing.B) {
+	prog, err := parser.Parse(bench.ProgramP)
+	if err != nil {
+		b.Fatal(err)
+	}
+	a, err := core.Analyze(prog, bench.Inpre, 1.0)
+	if err != nil {
+		b.Fatal(err)
+	}
+	window := benchWindow(b, 1, 40000)
+	b.Run("plan", func(b *testing.B) {
+		p := reasoner.NewPlanPartitioner(a.Plan)
+		for i := 0; i < b.N; i++ {
+			p.Partition(window)
+		}
+	})
+	b.Run("random_k4", func(b *testing.B) {
+		p := reasoner.NewRandomPartitioner(4, 1)
+		for i := 0; i < b.N; i++ {
+			p.Partition(window)
+		}
+	})
+}
+
+// BenchmarkAtomLevel measures the future-work extension (§VI): atom-level
+// hash partitioning inside splittable communities. On program P the
+// predicate-level plan caps parallelism at 2 partitions; atom fan-out m
+// raises it to 2*m while keeping accuracy 1.0 (reported per op).
+func BenchmarkAtomLevel(b *testing.B) {
+	p := benchProgram(b, bench.ProgramP)
+	ref, err := NewEngine(p, WithOutputPredicates(bench.Outputs...))
+	if err != nil {
+		b.Fatal(err)
+	}
+	window := benchWindow(b, 19, 20000)
+	refOut, err := ref.Reason(window)
+	if err != nil {
+		b.Fatal(err)
+	}
+	variants := []struct {
+		name string
+		opts []Option
+	}{
+		{"PR_Dep", []Option{WithOutputPredicates(bench.Outputs...)}},
+		{"PR_Atom_m2", []Option{WithOutputPredicates(bench.Outputs...), WithAtomPartitioning(2)}},
+		{"PR_Atom_m4", []Option{WithOutputPredicates(bench.Outputs...), WithAtomPartitioning(4)}},
+		{"PR_Atom_m8", []Option{WithOutputPredicates(bench.Outputs...), WithAtomPartitioning(8)}},
+	}
+	for _, v := range variants {
+		b.Run(v.name, func(b *testing.B) {
+			eng, err := NewParallelEngine(p, v.opts...)
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ResetTimer()
+			var cp, acc float64
+			for i := 0; i < b.N; i++ {
+				out, err := eng.Reason(window)
+				if err != nil {
+					b.Fatal(err)
+				}
+				cp += float64(out.Latency.CriticalPath.Microseconds()) / 1000
+				acc += Accuracy(out.Answers, refOut.Answers)
+			}
+			b.ReportMetric(cp/float64(b.N), "cp-ms")
+			b.ReportMetric(acc/float64(b.N), "accuracy")
+		})
+	}
+}
+
+// BenchmarkAnalyze measures the design-time cost of the full input
+// dependency analysis (it runs once per program, not per window).
+func BenchmarkAnalyze(b *testing.B) {
+	prog, err := parser.Parse(bench.ProgramPPrime)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for i := 0; i < b.N; i++ {
+		if _, err := core.Analyze(prog, bench.Inpre, 1.0); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,148 @@
+// Command asp grounds and solves an ASP program — a small Clingo-style
+// front-end over the engine in internal/asp, useful for inspecting what the
+// reasoner does with a rule set.
+//
+// Usage:
+//
+//	asp program.lp                # solve, print all answer sets
+//	asp -models 1 program.lp      # stop after the first answer set
+//	asp -ground program.lp        # print the simplified ground program
+//	asp -facts facts.lp program.lp
+//	echo 'a :- not b. b :- not a.' | asp -
+//
+// #show directives in the program project the printed answer sets.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"streamrule/internal/asp/ast"
+	"streamrule/internal/asp/ground"
+	"streamrule/internal/asp/parser"
+	"streamrule/internal/asp/solve"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdin, os.Stdout, os.Stderr))
+}
+
+func run(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("asp", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	models := fs.Int("models", 0, "maximum number of answer sets to print (0 = all)")
+	groundOnly := fs.Bool("ground", false, "print the ground program instead of solving")
+	factsFile := fs.String("facts", "", "file of additional facts (one ground fact per line, ASP syntax)")
+	stats := fs.Bool("stats", false, "print grounding/solving statistics")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if fs.NArg() != 1 {
+		fmt.Fprintln(stderr, "usage: asp [flags] <program.lp | ->")
+		fs.Usage()
+		return 2
+	}
+	src, err := readInput(fs.Arg(0), stdin)
+	if err != nil {
+		return fail(stderr, err)
+	}
+	prog, err := parser.Parse(src)
+	if err != nil {
+		return fail(stderr, err)
+	}
+
+	var facts []ast.Atom
+	if *factsFile != "" {
+		data, err := os.ReadFile(*factsFile)
+		if err != nil {
+			return fail(stderr, err)
+		}
+		fprog, err := parser.Parse(string(data))
+		if err != nil {
+			return fail(stderr, fmt.Errorf("facts: %w", err))
+		}
+		for _, r := range fprog.Rules {
+			if !r.IsFact() || !r.Head[0].IsGround() {
+				return fail(stderr, fmt.Errorf("facts file must contain only ground facts, got %q", r))
+			}
+			facts = append(facts, r.Head[0])
+		}
+	}
+
+	gp, err := ground.Ground(prog, facts, ground.Options{})
+	if err != nil {
+		return fail(stderr, err)
+	}
+	if *stats {
+		fmt.Fprintf(stderr, "ground: atoms=%d rules=%d certain=%d iterations=%d\n",
+			gp.Stats.Atoms, gp.Stats.Rules, gp.Stats.CertainFacts, gp.Stats.Iterations)
+	}
+	if *groundOnly {
+		for _, a := range gp.Certain {
+			fmt.Fprintf(stdout, "%s.\n", a)
+		}
+		for _, r := range gp.Rules {
+			fmt.Fprintln(stdout, r)
+		}
+		if gp.Inconsistent {
+			fmt.Fprintln(stdout, "% inconsistent: a constraint is violated by certain atoms")
+		}
+		return 0
+	}
+
+	res, err := solve.Solve(gp, solve.Options{MaxModels: *models})
+	if err != nil {
+		return fail(stderr, err)
+	}
+	if *stats {
+		fmt.Fprintf(stderr, "solve: fastpath=%v choices=%d propagations=%d stability-checks=%d\n",
+			res.Stats.FastPath, res.Stats.Choices, res.Stats.Propagations, res.Stats.StabilityChecks)
+	}
+	if len(res.Models) == 0 {
+		fmt.Fprintln(stdout, "UNSATISFIABLE")
+		return 1
+	}
+	show := showFilter(prog)
+	for i, m := range res.Models {
+		fmt.Fprintf(stdout, "Answer %d: %s\n", i+1, show(m))
+	}
+	fmt.Fprintln(stdout, "SATISFIABLE")
+	return 0
+}
+
+// showFilter projects answer sets to the program's #show declarations
+// (identity when there are none).
+func showFilter(prog *ast.Program) func(*solve.AnswerSet) *solve.AnswerSet {
+	if len(prog.Shows) == 0 {
+		return func(m *solve.AnswerSet) *solve.AnswerSet { return m }
+	}
+	shown := make(map[string]bool, len(prog.Shows))
+	for _, s := range prog.Shows {
+		shown[fmt.Sprintf("%s/%d", s.Pred, s.Arity)] = true
+	}
+	return func(m *solve.AnswerSet) *solve.AnswerSet {
+		var kept []ast.Atom
+		for _, a := range m.Atoms() {
+			if shown[a.PredKey()] {
+				kept = append(kept, a)
+			}
+		}
+		return solve.NewAnswerSet(kept)
+	}
+}
+
+func readInput(name string, stdin io.Reader) (string, error) {
+	if name == "-" {
+		data, err := io.ReadAll(stdin)
+		return string(data), err
+	}
+	data, err := os.ReadFile(name)
+	return string(data), err
+}
+
+func fail(stderr io.Writer, err error) int {
+	fmt.Fprintln(stderr, "asp:", err)
+	return 1
+}

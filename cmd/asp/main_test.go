@@ -1,0 +1,119 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func runCLI(t *testing.T, stdin string, args ...string) (code int, stdout, stderr string) {
+	t.Helper()
+	var out, errb bytes.Buffer
+	code = run(args, strings.NewReader(stdin), &out, &errb)
+	return code, out.String(), errb.String()
+}
+
+func TestSolveFromStdin(t *testing.T) {
+	code, out, _ := runCLI(t, "a :- not b. b :- not a.", "-")
+	if code != 0 {
+		t.Fatalf("code = %d", code)
+	}
+	if !strings.Contains(out, "Answer 1: {a}") || !strings.Contains(out, "Answer 2: {b}") {
+		t.Errorf("out = %q", out)
+	}
+	if !strings.Contains(out, "SATISFIABLE") {
+		t.Errorf("out = %q", out)
+	}
+}
+
+func TestUnsatExitCode(t *testing.T) {
+	code, out, _ := runCLI(t, "p :- not p.", "-")
+	if code != 1 || !strings.Contains(out, "UNSATISFIABLE") {
+		t.Errorf("code = %d, out = %q", code, out)
+	}
+}
+
+func TestMaxModels(t *testing.T) {
+	code, out, _ := runCLI(t, "{a; b; c}.", "-models", "2", "-")
+	if code != 0 {
+		t.Fatalf("code = %d", code)
+	}
+	if strings.Count(out, "Answer") != 2 {
+		t.Errorf("out = %q", out)
+	}
+}
+
+func TestGroundOnly(t *testing.T) {
+	code, out, _ := runCLI(t, "p(1..3). q(X) :- p(X), not r(X).", "-ground", "-")
+	if code != 0 {
+		t.Fatalf("code = %d", code)
+	}
+	for _, want := range []string{"p(1).", "p(2).", "p(3).", "q(1).", "q(2).", "q(3)."} {
+		if !strings.Contains(out, want) {
+			t.Errorf("missing %q in %q", want, out)
+		}
+	}
+}
+
+func TestShowProjection(t *testing.T) {
+	code, out, _ := runCLI(t, `
+p(1). q(2).
+#show q/1.
+`, "-")
+	if code != 0 {
+		t.Fatalf("code = %d", code)
+	}
+	if !strings.Contains(out, "Answer 1: {q(2)}") {
+		t.Errorf("out = %q", out)
+	}
+}
+
+func TestFactsFile(t *testing.T) {
+	dir := t.TempDir()
+	progFile := filepath.Join(dir, "prog.lp")
+	factsFile := filepath.Join(dir, "facts.lp")
+	if err := os.WriteFile(progFile, []byte("q(X) :- p(X)."), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(factsFile, []byte("p(1). p(2)."), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	code, out, _ := runCLI(t, "", "-facts", factsFile, progFile)
+	if code != 0 {
+		t.Fatalf("code = %d", code)
+	}
+	if !strings.Contains(out, "q(1)") || !strings.Contains(out, "q(2)") {
+		t.Errorf("out = %q", out)
+	}
+}
+
+func TestStatsToStderr(t *testing.T) {
+	code, _, errOut := runCLI(t, "p(1).", "-stats", "-")
+	if code != 0 {
+		t.Fatalf("code = %d", code)
+	}
+	if !strings.Contains(errOut, "ground:") || !strings.Contains(errOut, "solve:") {
+		t.Errorf("stderr = %q", errOut)
+	}
+}
+
+func TestErrors(t *testing.T) {
+	if code, _, _ := runCLI(t, "", "-"); code == 0 {
+		// empty program: one empty answer set — actually fine.
+		t.Log("empty program accepted")
+	}
+	if code, _, errOut := runCLI(t, "p(X) :- .", "-"); code != 1 || errOut == "" {
+		t.Errorf("syntax error: code = %d, stderr = %q", code, errOut)
+	}
+	if code, _, _ := runCLI(t, "", "no-such-file.lp"); code != 1 {
+		t.Errorf("missing file: code = %d", code)
+	}
+	if code, _, _ := runCLI(t, ""); code != 2 {
+		t.Errorf("no args: code = %d", code)
+	}
+	if code, _, _ := runCLI(t, "", "-badflag", "-"); code != 2 {
+		t.Errorf("bad flag: code = %d", code)
+	}
+}

@@ -1,0 +1,109 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func runCLI(t *testing.T, args ...string) (code int, stdout, stderr string) {
+	t.Helper()
+	var out, errb bytes.Buffer
+	code = run(args, &out, &errb)
+	return code, out.String(), errb.String()
+}
+
+func TestSyntheticPipelinePR(t *testing.T) {
+	code, out, errOut := runCLI(t, "-paper", "P", "-window", "1000", "-windows", "2")
+	if code != 0 {
+		t.Fatalf("code = %d, stderr = %q", code, errOut)
+	}
+	if !strings.Contains(out, "partitions: 2") {
+		t.Errorf("plan missing: %q", out)
+	}
+	if strings.Count(out, "window ") != 2 {
+		t.Errorf("expected 2 windows: %q", out)
+	}
+	if !strings.Contains(out, "critical-path=") {
+		t.Errorf("latency breakdown missing: %q", out)
+	}
+}
+
+func TestModeR(t *testing.T) {
+	code, out, _ := runCLI(t, "-paper", "P", "-mode", "R", "-window", "800", "-windows", "1")
+	if code != 0 {
+		t.Fatalf("code = %d", code)
+	}
+	if strings.Contains(out, "partitioning plan") {
+		t.Error("mode R must not print a plan")
+	}
+}
+
+func TestAtomFanout(t *testing.T) {
+	code, out, _ := runCLI(t, "-paper", "P", "-atom", "3", "-window", "800", "-windows", "1")
+	if code != 0 {
+		t.Fatalf("code = %d", code)
+	}
+	if !strings.Contains(out, "partitions: 6") { // 2 communities x 3 buckets
+		t.Errorf("out = %q", out)
+	}
+}
+
+func TestStreamFromFile(t *testing.T) {
+	dir := t.TempDir()
+	progFile := filepath.Join(dir, "rules.lp")
+	streamFile := filepath.Join(dir, "stream.nt")
+	if err := os.WriteFile(progFile, []byte("hot(X) :- temp(X, V), V > 30."), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	stream := `
+room1 temp 35 .
+room2 temp 20 .
+room3 temp 40 .
+`
+	if err := os.WriteFile(streamFile, []byte(strings.TrimSpace(stream)), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	code, out, errOut := runCLI(t,
+		"-program", progFile, "-inpre", "temp",
+		"-stream", streamFile, "-window", "10", "-mode", "R", "-v")
+	if code != 0 {
+		t.Fatalf("code = %d, stderr = %q", code, errOut)
+	}
+	if !strings.Contains(out, "hot(room1)") || !strings.Contains(out, "hot(room3)") {
+		t.Errorf("out = %q", out)
+	}
+	if strings.Contains(out, "hot(room2)") {
+		t.Errorf("room2 is not hot: %q", out)
+	}
+}
+
+func TestVerboseVsSummary(t *testing.T) {
+	code, out, _ := runCLI(t, "-paper", "P", "-window", "500", "-windows", "1")
+	if code != 0 {
+		t.Fatalf("code = %d", code)
+	}
+	if !strings.Contains(out, "atoms") {
+		t.Errorf("summary missing: %q", out)
+	}
+}
+
+func TestUsageErrors(t *testing.T) {
+	if code, _, _ := runCLI(t); code != 2 {
+		t.Errorf("no args: code = %d", code)
+	}
+	if code, _, _ := runCLI(t, "-paper", "P", "-mode", "XX"); code != 1 {
+		t.Errorf("bad mode: code = %d", code)
+	}
+	if code, _, _ := runCLI(t, "-program", "missing.lp", "-inpre", "a"); code != 1 {
+		t.Errorf("missing program: code = %d", code)
+	}
+	dir := t.TempDir()
+	progFile := filepath.Join(dir, "p.lp")
+	os.WriteFile(progFile, []byte("p :- q(X)."), 0o644)
+	if code, _, _ := runCLI(t, "-program", progFile); code != 1 {
+		t.Errorf("missing inpre: code = %d", code)
+	}
+}

@@ -1,0 +1,98 @@
+// Traffic: the paper's city-monitoring scenario as a continuous pipeline.
+//
+// A synthetic sensor stream (the workload of §IV) is filtered, batched into
+// tuple-based windows, and reasoned over by three systems side by side:
+//
+//   - R        — the whole-window reasoner,
+//   - PR_Dep   — dependency-based partitioning (the paper's contribution),
+//   - PR_Ran_3 — random 3-way partitioning (the baseline of [12]).
+//
+// For every window the example prints the critical-path latency of each
+// system and the accuracy of the two partitioned systems against R,
+// demonstrating the paper's headline result live: PR_Dep roughly halves the
+// latency at accuracy 1.0, while random partitioning is fast but loses
+// answers.
+//
+// Run with: go run ./examples/traffic [-window 10000] [-windows 4] [-seed 1]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+
+	"streamrule"
+	"streamrule/internal/bench"
+	"streamrule/internal/workload"
+)
+
+func main() {
+	windowSize := flag.Int("window", 10000, "tuple-based window size")
+	numWindows := flag.Int("windows", 4, "number of windows to stream")
+	seed := flag.Int64("seed", 1, "workload seed")
+	flag.Parse()
+
+	prog, err := streamrule.LoadProgram(bench.ProgramP, bench.Inpre)
+	if err != nil {
+		log.Fatal(err)
+	}
+	outputs := streamrule.WithOutputPredicates("traffic_jam", "car_fire", "give_notification")
+
+	r, err := streamrule.NewEngine(prog, outputs)
+	if err != nil {
+		log.Fatal(err)
+	}
+	dep, err := streamrule.NewParallelEngine(prog, outputs)
+	if err != nil {
+		log.Fatal(err)
+	}
+	ran, err := streamrule.NewParallelEngine(prog, outputs, streamrule.WithRandomPartitioning(3, *seed))
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("dependency plan (input graph has %d components):\n%s\n", dep.Partitions(), dep.Plan())
+
+	gen, err := workload.NewGenerator(*seed, workload.PaperTraffic())
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("%-8s %12s %12s %12s %10s %10s\n",
+		"window", "R(ms)", "PR_Dep(ms)", "PR_Ran3(ms)", "acc(Dep)", "acc(Ran3)")
+	for w := 1; w <= *numWindows; w++ {
+		window := gen.Window(*windowSize)
+
+		ref, err := r.Reason(window)
+		if err != nil {
+			log.Fatal(err)
+		}
+		outDep, err := dep.Reason(window)
+		if err != nil {
+			log.Fatal(err)
+		}
+		outRan, err := ran.Reason(window)
+		if err != nil {
+			log.Fatal(err)
+		}
+
+		ms := func(o *streamrule.Output) float64 {
+			return float64(o.Latency.CriticalPath.Microseconds()) / 1000
+		}
+		fmt.Printf("%-8d %12.1f %12.1f %12.1f %10.3f %10.3f\n",
+			w, ms(ref), ms(outDep), ms(outRan),
+			streamrule.Accuracy(outDep.Answers, ref.Answers),
+			streamrule.Accuracy(outRan.Answers, ref.Answers))
+
+		// Show a few of the events R detected in this window.
+		shown := 0
+		for _, a := range ref.Answers[0].Atoms() {
+			if a.Pred == "give_notification" && shown < 3 {
+				fmt.Printf("         event: %s\n", a)
+				shown++
+			}
+		}
+	}
+	fmt.Println("\nPR_Dep keeps accuracy 1.0 at roughly half of R's latency;")
+	fmt.Println("random partitioning is faster still but misses events.")
+}

@@ -1,0 +1,935 @@
+// Package ast defines the abstract syntax of answer set programs: terms,
+// atoms, body literals, rules, and programs. The representation is shared by
+// the lexer/parser, the grounder, and the solver.
+//
+// A rule has the form
+//
+//	q1 | ... | qn :- p1, ..., pk, not pk+1, ..., not pm.
+//
+// where the head is a (possibly empty) disjunction of atoms and the body is a
+// conjunction of positive literals, default-negated literals, and built-in
+// comparison literals. A rule with an empty head is an integrity constraint;
+// a rule with an empty body is a fact.
+package ast
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// TermKind discriminates the variants of Term.
+type TermKind uint8
+
+// Term kinds.
+const (
+	// SymbolTerm is a constant symbol such as newcastle or high.
+	SymbolTerm TermKind = iota
+	// NumberTerm is an integer constant.
+	NumberTerm
+	// VariableTerm is a first-order variable (identifier starting with an
+	// upper-case letter or underscore).
+	VariableTerm
+	// ArithTerm is a binary arithmetic expression over two sub-terms. It is
+	// evaluated to a NumberTerm during grounding once both operands are bound.
+	ArithTerm
+)
+
+// ArithOp is the operator of an ArithTerm.
+type ArithOp uint8
+
+// Arithmetic operators.
+const (
+	OpAdd ArithOp = iota
+	OpSub
+	OpMul
+	OpDiv
+	OpMod
+)
+
+func (op ArithOp) String() string {
+	switch op {
+	case OpAdd:
+		return "+"
+	case OpSub:
+		return "-"
+	case OpMul:
+		return "*"
+	case OpDiv:
+		return "/"
+	case OpMod:
+		return "\\"
+	default:
+		return "?"
+	}
+}
+
+// Term is a first-order term. The zero value is the symbol term with an empty
+// name, which never occurs in parsed programs.
+type Term struct {
+	Kind TermKind
+	// Sym holds the symbol name for SymbolTerm and the variable name for
+	// VariableTerm.
+	Sym string
+	// Num holds the value of a NumberTerm.
+	Num int64
+	// L, R are the operands of an ArithTerm or the bounds of an
+	// IntervalTerm.
+	L, R *Term
+	// Op is the operator of an ArithTerm.
+	Op ArithOp
+	// FArgs are the arguments of a FuncTerm.
+	FArgs []Term
+}
+
+// Sym returns a symbol term with the given name.
+func Sym(name string) Term { return Term{Kind: SymbolTerm, Sym: name} }
+
+// Num returns a number term with the given value.
+func Num(v int64) Term { return Term{Kind: NumberTerm, Num: v} }
+
+// Var returns a variable term with the given name.
+func Var(name string) Term { return Term{Kind: VariableTerm, Sym: name} }
+
+// Arith returns the arithmetic term l op r.
+func Arith(op ArithOp, l, r Term) Term {
+	return Term{Kind: ArithTerm, Op: op, L: &l, R: &r}
+}
+
+// IsGround reports whether the term contains no variables. Interval terms
+// are not ground even with constant bounds: they denote a set of values and
+// must be expanded by the grounder before atoms are stored.
+func (t Term) IsGround() bool {
+	switch t.Kind {
+	case VariableTerm, IntervalTerm:
+		return false
+	case ArithTerm:
+		return t.L.IsGround() && t.R.IsGround()
+	case FuncTerm:
+		for _, a := range t.FArgs {
+			if !a.IsGround() {
+				return false
+			}
+		}
+		return true
+	default:
+		return true
+	}
+}
+
+// String renders the term in ASP surface syntax.
+func (t Term) String() string {
+	switch t.Kind {
+	case SymbolTerm:
+		return t.Sym
+	case NumberTerm:
+		return strconv.FormatInt(t.Num, 10)
+	case VariableTerm:
+		return t.Sym
+	case ArithTerm:
+		return fmt.Sprintf("(%s%s%s)", t.L, t.Op, t.R)
+	case StringTerm:
+		return formatStringTerm(t)
+	case FuncTerm:
+		return formatFuncTerm(t)
+	case IntervalTerm:
+		return fmt.Sprintf("%s..%s", t.L, t.R)
+	default:
+		return "?"
+	}
+}
+
+// Equal reports structural equality of two terms.
+func (t Term) Equal(u Term) bool {
+	if t.Kind != u.Kind {
+		return false
+	}
+	switch t.Kind {
+	case SymbolTerm, VariableTerm, StringTerm:
+		return t.Sym == u.Sym
+	case NumberTerm:
+		return t.Num == u.Num
+	case ArithTerm:
+		return t.Op == u.Op && t.L.Equal(*u.L) && t.R.Equal(*u.R)
+	case IntervalTerm:
+		return t.L.Equal(*u.L) && t.R.Equal(*u.R)
+	case FuncTerm:
+		if t.Sym != u.Sym || len(t.FArgs) != len(u.FArgs) {
+			return false
+		}
+		for i := range t.FArgs {
+			if !t.FArgs[i].Equal(u.FArgs[i]) {
+				return false
+			}
+		}
+		return true
+	default:
+		return false
+	}
+}
+
+// Compare orders ground terms the clingo way: numbers < symbols < strings <
+// function terms; numbers by value, symbols and strings lexicographically,
+// function terms by functor, then arity, then arguments. It is the ordering
+// used by built-in comparison literals and #min/#max. Comparing non-ground
+// terms is undefined but total (variables compare by name last).
+func (t Term) Compare(u Term) int {
+	rank := func(k TermKind) int {
+		switch k {
+		case NumberTerm:
+			return 0
+		case SymbolTerm:
+			return 1
+		case StringTerm:
+			return 2
+		case FuncTerm:
+			return 3
+		default:
+			return 4
+		}
+	}
+	if r1, r2 := rank(t.Kind), rank(u.Kind); r1 != r2 {
+		if r1 < r2 {
+			return -1
+		}
+		return 1
+	}
+	switch t.Kind {
+	case NumberTerm:
+		switch {
+		case t.Num < u.Num:
+			return -1
+		case t.Num > u.Num:
+			return 1
+		}
+		return 0
+	case FuncTerm:
+		if c := strings.Compare(t.Sym, u.Sym); c != 0 {
+			return c
+		}
+		if len(t.FArgs) != len(u.FArgs) {
+			if len(t.FArgs) < len(u.FArgs) {
+				return -1
+			}
+			return 1
+		}
+		for i := range t.FArgs {
+			if c := t.FArgs[i].Compare(u.FArgs[i]); c != 0 {
+				return c
+			}
+		}
+		return 0
+	default:
+		return strings.Compare(t.Sym, u.Sym)
+	}
+}
+
+// Eval reduces the term to a constant under the substitution. It fails if a
+// variable remains unbound or an arithmetic operand is not a number (or a
+// division by zero occurs).
+func (t Term) Eval(s Subst) (Term, error) {
+	switch t.Kind {
+	case SymbolTerm, NumberTerm, StringTerm:
+		return t, nil
+	case FuncTerm:
+		if !t.IsGround() {
+			return Term{}, fmt.Errorf("function term %s is not ground", t)
+		}
+		return t.Apply(s), nil
+	case VariableTerm:
+		if v, ok := s[t.Sym]; ok {
+			return v.Eval(s)
+		}
+		return Term{}, fmt.Errorf("unbound variable %s", t.Sym)
+	case ArithTerm:
+		l, err := t.L.Eval(s)
+		if err != nil {
+			return Term{}, err
+		}
+		r, err := t.R.Eval(s)
+		if err != nil {
+			return Term{}, err
+		}
+		if l.Kind != NumberTerm || r.Kind != NumberTerm {
+			return Term{}, fmt.Errorf("arithmetic on non-numeric terms %s %s %s", l, t.Op, r)
+		}
+		switch t.Op {
+		case OpAdd:
+			return Num(l.Num + r.Num), nil
+		case OpSub:
+			return Num(l.Num - r.Num), nil
+		case OpMul:
+			return Num(l.Num * r.Num), nil
+		case OpDiv:
+			if r.Num == 0 {
+				return Term{}, fmt.Errorf("division by zero")
+			}
+			return Num(l.Num / r.Num), nil
+		case OpMod:
+			if r.Num == 0 {
+				return Term{}, fmt.Errorf("modulo by zero")
+			}
+			return Num(l.Num % r.Num), nil
+		}
+	}
+	return Term{}, fmt.Errorf("cannot evaluate term %s", t)
+}
+
+// CollectVars appends the names of all variables in t to vars.
+func (t Term) CollectVars(vars map[string]bool) {
+	switch t.Kind {
+	case VariableTerm:
+		vars[t.Sym] = true
+	case ArithTerm, IntervalTerm:
+		t.L.CollectVars(vars)
+		t.R.CollectVars(vars)
+	case FuncTerm:
+		for _, a := range t.FArgs {
+			a.CollectVars(vars)
+		}
+	}
+}
+
+// Apply substitutes bound variables in the term; unbound variables are left
+// intact, and ground arithmetic sub-terms are folded to numbers.
+func (t Term) Apply(s Subst) Term {
+	switch t.Kind {
+	case VariableTerm:
+		if v, ok := s[t.Sym]; ok {
+			return v
+		}
+		return t
+	case ArithTerm:
+		l := t.L.Apply(s)
+		r := t.R.Apply(s)
+		folded := Term{Kind: ArithTerm, Op: t.Op, L: &l, R: &r}
+		if l.IsGround() && r.IsGround() {
+			if v, err := folded.Eval(nil); err == nil {
+				return v
+			}
+		}
+		return folded
+	case IntervalTerm:
+		l := t.L.Apply(s)
+		r := t.R.Apply(s)
+		return Term{Kind: IntervalTerm, L: &l, R: &r}
+	case FuncTerm:
+		args := make([]Term, len(t.FArgs))
+		for i, a := range t.FArgs {
+			args[i] = a.Apply(s)
+		}
+		return Term{Kind: FuncTerm, Sym: t.Sym, FArgs: args}
+	default:
+		return t
+	}
+}
+
+// Subst is a variable binding environment.
+type Subst map[string]Term
+
+// Clone returns an independent copy of the substitution.
+func (s Subst) Clone() Subst {
+	c := make(Subst, len(s))
+	for k, v := range s {
+		c[k] = v
+	}
+	return c
+}
+
+// Atom is a predicate applied to a list of terms.
+type Atom struct {
+	Pred string
+	Args []Term
+}
+
+// NewAtom builds an atom.
+func NewAtom(pred string, args ...Term) Atom { return Atom{Pred: pred, Args: args} }
+
+// Arity returns the number of arguments.
+func (a Atom) Arity() int { return len(a.Args) }
+
+// PredKey returns the "name/arity" key identifying the predicate.
+func (a Atom) PredKey() string { return a.Pred + "/" + strconv.Itoa(len(a.Args)) }
+
+// IsGround reports whether all arguments are ground.
+func (a Atom) IsGround() bool {
+	for _, t := range a.Args {
+		if !t.IsGround() {
+			return false
+		}
+	}
+	return true
+}
+
+// String renders the atom in ASP surface syntax.
+func (a Atom) String() string {
+	if len(a.Args) == 0 {
+		return a.Pred
+	}
+	var b strings.Builder
+	b.WriteString(a.Pred)
+	b.WriteByte('(')
+	for i, t := range a.Args {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(t.String())
+	}
+	b.WriteByte(')')
+	return b.String()
+}
+
+// Key returns a canonical string key for a ground atom, used for
+// deduplication and set membership. It coincides with String for ground atoms.
+func (a Atom) Key() string { return a.String() }
+
+// Equal reports structural equality.
+func (a Atom) Equal(b Atom) bool {
+	if a.Pred != b.Pred || len(a.Args) != len(b.Args) {
+		return false
+	}
+	for i := range a.Args {
+		if !a.Args[i].Equal(b.Args[i]) {
+			return false
+		}
+	}
+	return true
+}
+
+// Apply substitutes variables throughout the atom.
+func (a Atom) Apply(s Subst) Atom {
+	if len(a.Args) == 0 {
+		return a
+	}
+	args := make([]Term, len(a.Args))
+	for i, t := range a.Args {
+		args[i] = t.Apply(s)
+	}
+	return Atom{Pred: a.Pred, Args: args}
+}
+
+// CollectVars adds the atom's variables to vars.
+func (a Atom) CollectVars(vars map[string]bool) {
+	for _, t := range a.Args {
+		t.CollectVars(vars)
+	}
+}
+
+// CompOp is a built-in comparison operator.
+type CompOp uint8
+
+// Comparison operators.
+const (
+	CmpEq CompOp = iota
+	CmpNeq
+	CmpLt
+	CmpLeq
+	CmpGt
+	CmpGeq
+)
+
+func (op CompOp) String() string {
+	switch op {
+	case CmpEq:
+		return "="
+	case CmpNeq:
+		return "!="
+	case CmpLt:
+		return "<"
+	case CmpLeq:
+		return "<="
+	case CmpGt:
+		return ">"
+	case CmpGeq:
+		return ">="
+	default:
+		return "?"
+	}
+}
+
+// Holds evaluates the comparison over two ground terms.
+func (op CompOp) Holds(l, r Term) bool {
+	c := l.Compare(r)
+	switch op {
+	case CmpEq:
+		return c == 0
+	case CmpNeq:
+		return c != 0
+	case CmpLt:
+		return c < 0
+	case CmpLeq:
+		return c <= 0
+	case CmpGt:
+		return c > 0
+	case CmpGeq:
+		return c >= 0
+	default:
+		return false
+	}
+}
+
+// LiteralKind discriminates body literal variants.
+type LiteralKind uint8
+
+// Body literal kinds.
+const (
+	// AtomLiteral is a (possibly default-negated) predicate atom.
+	AtomLiteral LiteralKind = iota
+	// CompLiteral is a built-in comparison between two terms.
+	CompLiteral
+)
+
+// Literal is one conjunct of a rule body.
+type Literal struct {
+	Kind LiteralKind
+	// Neg marks default negation (not a) on an AtomLiteral.
+	Neg  bool
+	Atom Atom
+	// Op, Lhs, Rhs describe a CompLiteral.
+	Op       CompOp
+	Lhs, Rhs Term
+	// Agg describes an AggLiteral.
+	Agg *Aggregate
+}
+
+// Pos returns a positive atom literal.
+func Pos(a Atom) Literal { return Literal{Kind: AtomLiteral, Atom: a} }
+
+// Not returns a default-negated atom literal.
+func Not(a Atom) Literal { return Literal{Kind: AtomLiteral, Neg: true, Atom: a} }
+
+// Cmp returns a comparison literal.
+func Cmp(op CompOp, l, r Term) Literal {
+	return Literal{Kind: CompLiteral, Op: op, Lhs: l, Rhs: r}
+}
+
+// String renders the literal in ASP surface syntax.
+func (l Literal) String() string {
+	switch l.Kind {
+	case CompLiteral:
+		return fmt.Sprintf("%s%s%s", l.Lhs, l.Op, l.Rhs)
+	case AggLiteral:
+		return l.Agg.String()
+	default:
+		if l.Neg {
+			return "not " + l.Atom.String()
+		}
+		return l.Atom.String()
+	}
+}
+
+// Apply substitutes variables throughout the literal.
+func (l Literal) Apply(s Subst) Literal {
+	switch l.Kind {
+	case CompLiteral:
+		return Literal{Kind: CompLiteral, Op: l.Op, Lhs: l.Lhs.Apply(s), Rhs: l.Rhs.Apply(s)}
+	case AggLiteral:
+		agg := l.Agg.Apply(s)
+		return Literal{Kind: AggLiteral, Agg: &agg}
+	default:
+		return Literal{Kind: AtomLiteral, Neg: l.Neg, Atom: l.Atom.Apply(s)}
+	}
+}
+
+// CollectVars adds the literal's variables to vars.
+func (l Literal) CollectVars(vars map[string]bool) {
+	switch l.Kind {
+	case CompLiteral:
+		l.Lhs.CollectVars(vars)
+		l.Rhs.CollectVars(vars)
+	case AggLiteral:
+		l.Agg.CollectVars(vars)
+	default:
+		l.Atom.CollectVars(vars)
+	}
+}
+
+// IsGround reports whether the literal contains no variables.
+func (l Literal) IsGround() bool {
+	switch l.Kind {
+	case CompLiteral:
+		return l.Lhs.IsGround() && l.Rhs.IsGround()
+	case AggLiteral:
+		vars := make(map[string]bool)
+		l.Agg.CollectVars(vars)
+		return len(vars) == 0
+	default:
+		return l.Atom.IsGround()
+	}
+}
+
+// Rule is a disjunctive rule, a fact (empty body), an integrity constraint
+// (empty head), or — when Choice is set — a choice rule
+//
+//	lo { a1 ; ... ; an } hi :- body.
+//
+// whose head atoms may each independently be chosen true when the body
+// holds, subject to the cardinality bounds (UnboundedChoice disables a
+// bound).
+type Rule struct {
+	Head []Atom
+	Body []Literal
+	// Choice marks a choice rule; Lower/Upper are its cardinality bounds
+	// (use UnboundedChoice for an absent bound).
+	Choice       bool
+	Lower, Upper int
+}
+
+// ChoiceRule builds an unbounded choice rule { heads } :- body.
+func ChoiceRule(heads []Atom, body ...Literal) Rule {
+	return Rule{Head: heads, Body: body, Choice: true, Lower: UnboundedChoice, Upper: UnboundedChoice}
+}
+
+// Fact builds a rule with only a head atom.
+func Fact(a Atom) Rule { return Rule{Head: []Atom{a}} }
+
+// NewRule builds a rule from a single head atom and body literals.
+func NewRule(head Atom, body ...Literal) Rule {
+	return Rule{Head: []Atom{head}, Body: body}
+}
+
+// Constraint builds an integrity constraint from body literals.
+func Constraint(body ...Literal) Rule { return Rule{Body: body} }
+
+// IsFact reports whether the rule is a non-choice rule with an empty body
+// and a single head atom.
+func (r Rule) IsFact() bool { return len(r.Body) == 0 && len(r.Head) == 1 && !r.Choice }
+
+// IsConstraint reports whether the rule has an empty head (and is not a
+// choice rule).
+func (r Rule) IsConstraint() bool { return len(r.Head) == 0 && !r.Choice }
+
+// IsGround reports whether head and body contain no variables.
+func (r Rule) IsGround() bool {
+	for _, a := range r.Head {
+		if !a.IsGround() {
+			return false
+		}
+	}
+	for _, l := range r.Body {
+		if !l.IsGround() {
+			return false
+		}
+	}
+	return true
+}
+
+// String renders the rule in ASP surface syntax, terminated by a period.
+func (r Rule) String() string {
+	var b strings.Builder
+	if r.Choice {
+		if r.Lower != UnboundedChoice {
+			fmt.Fprintf(&b, "%d ", r.Lower)
+		}
+		b.WriteByte('{')
+		for i, a := range r.Head {
+			if i > 0 {
+				b.WriteString("; ")
+			}
+			b.WriteString(a.String())
+		}
+		b.WriteByte('}')
+		if r.Upper != UnboundedChoice {
+			fmt.Fprintf(&b, " %d", r.Upper)
+		}
+	} else {
+		for i, a := range r.Head {
+			if i > 0 {
+				b.WriteString(" | ")
+			}
+			b.WriteString(a.String())
+		}
+	}
+	if len(r.Body) > 0 {
+		if len(r.Head) > 0 || r.Choice {
+			b.WriteByte(' ')
+		}
+		b.WriteString(":- ")
+		for i, l := range r.Body {
+			if i > 0 {
+				b.WriteString(", ")
+			}
+			b.WriteString(l.String())
+		}
+	}
+	b.WriteByte('.')
+	return b.String()
+}
+
+// Apply substitutes variables throughout the rule.
+func (r Rule) Apply(s Subst) Rule {
+	out := Rule{Choice: r.Choice, Lower: r.Lower, Upper: r.Upper}
+	if len(r.Head) > 0 {
+		out.Head = make([]Atom, len(r.Head))
+		for i, a := range r.Head {
+			out.Head[i] = a.Apply(s)
+		}
+	}
+	if len(r.Body) > 0 {
+		out.Body = make([]Literal, len(r.Body))
+		for i, l := range r.Body {
+			out.Body[i] = l.Apply(s)
+		}
+	}
+	return out
+}
+
+// Vars returns the sorted names of all variables in the rule.
+func (r Rule) Vars() []string {
+	set := make(map[string]bool)
+	for _, a := range r.Head {
+		a.CollectVars(set)
+	}
+	for _, l := range r.Body {
+		l.CollectVars(set)
+	}
+	names := make([]string, 0, len(set))
+	for v := range set {
+		names = append(names, v)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// PositiveBody returns the positive atom literals of the body.
+func (r Rule) PositiveBody() []Literal {
+	var out []Literal
+	for _, l := range r.Body {
+		if l.Kind == AtomLiteral && !l.Neg {
+			out = append(out, l)
+		}
+	}
+	return out
+}
+
+// NegativeBody returns the default-negated atom literals of the body.
+func (r Rule) NegativeBody() []Literal {
+	var out []Literal
+	for _, l := range r.Body {
+		if l.Kind == AtomLiteral && l.Neg {
+			out = append(out, l)
+		}
+	}
+	return out
+}
+
+// SafetyError describes an unsafe rule: a variable that does not occur in any
+// positive body atom but appears in the head, a negated literal, or a
+// comparison.
+type SafetyError struct {
+	Rule Rule
+	Var  string
+}
+
+func (e *SafetyError) Error() string {
+	return fmt.Sprintf("unsafe rule %q: variable %s does not occur in any positive body atom", e.Rule, e.Var)
+}
+
+// CheckSafety verifies the ASP safety condition for the rule: every variable
+// must occur in a positive body atom, be bound by an equality comparison
+// V = expr (or expr = V) whose other side only uses safe variables, or be
+// bound by an assignment aggregate V = #agg{...} whose global variables are
+// safe. Variables local to an aggregate's elements are bound by the
+// element conditions and are exempt.
+func (r Rule) CheckSafety() error {
+	safe := make(map[string]bool)
+	for _, l := range r.Body {
+		if l.Kind == AtomLiteral && !l.Neg {
+			l.Atom.CollectVars(safe)
+		}
+	}
+	// Variables occurring outside aggregate elements; aggregate-local
+	// variables are bound by the element join, not by the rule.
+	outer := make(map[string]bool)
+	for _, a := range r.Head {
+		a.CollectVars(outer)
+	}
+	for _, l := range r.Body {
+		switch l.Kind {
+		case AggLiteral:
+			l.Agg.GuardRHS.CollectVars(outer)
+		default:
+			l.CollectVars(outer)
+		}
+	}
+
+	// Propagate binding equalities and assignment aggregates to a fixpoint.
+	for progress := true; progress; {
+		progress = false
+		allSafe := func(t Term) bool {
+			vars := make(map[string]bool)
+			t.CollectVars(vars)
+			for name := range vars {
+				if !safe[name] {
+					return false
+				}
+			}
+			return true
+		}
+		for _, l := range r.Body {
+			switch {
+			case l.Kind == CompLiteral && l.Op == CmpEq:
+				if l.Lhs.Kind == VariableTerm && !safe[l.Lhs.Sym] && allSafe(l.Rhs) {
+					safe[l.Lhs.Sym] = true
+					progress = true
+				}
+				if l.Rhs.Kind == VariableTerm && !safe[l.Rhs.Sym] && allSafe(l.Lhs) {
+					safe[l.Rhs.Sym] = true
+					progress = true
+				}
+			case l.Kind == AggLiteral && l.Agg.GuardOp == CmpEq && l.Agg.GuardRHS.Kind == VariableTerm:
+				v := l.Agg.GuardRHS.Sym
+				if safe[v] {
+					continue
+				}
+				globalsSafe := true
+				for _, g := range l.Agg.GlobalVars(outer) {
+					if !safe[g] {
+						globalsSafe = false
+						break
+					}
+				}
+				if globalsSafe {
+					safe[v] = true
+					progress = true
+				}
+			}
+		}
+	}
+
+	var unsafe []string
+	for v := range outer {
+		if !safe[v] {
+			unsafe = append(unsafe, v)
+		}
+	}
+	// Aggregate global variables must be safe too.
+	for _, l := range r.Body {
+		if l.Kind != AggLiteral {
+			continue
+		}
+		for _, g := range l.Agg.GlobalVars(outer) {
+			if !safe[g] {
+				unsafe = append(unsafe, g)
+			}
+		}
+	}
+	if len(unsafe) == 0 {
+		return nil
+	}
+	sort.Strings(unsafe)
+	return &SafetyError{Rule: r, Var: unsafe[0]}
+}
+
+// Program is an ordered collection of rules plus #show declarations.
+type Program struct {
+	Rules []Rule
+	// Shows lists the #show declarations; empty means show everything.
+	Shows []ShowDecl
+}
+
+// Add appends rules to the program.
+func (p *Program) Add(rules ...Rule) { p.Rules = append(p.Rules, rules...) }
+
+// String renders the program one rule per line, #show directives last.
+func (p *Program) String() string {
+	var b strings.Builder
+	for _, r := range p.Rules {
+		b.WriteString(r.String())
+		b.WriteByte('\n')
+	}
+	for _, s := range p.Shows {
+		b.WriteString(s.String())
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// CheckSafety verifies every rule of the program.
+func (p *Program) CheckSafety() error {
+	for _, r := range p.Rules {
+		if err := r.CheckSafety(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Predicates returns the sorted set of "name/arity" keys occurring anywhere
+// in the program (pre(P) in the paper).
+func (p *Program) Predicates() []string {
+	set := make(map[string]bool)
+	for _, r := range p.Rules {
+		for _, a := range r.Head {
+			set[a.PredKey()] = true
+		}
+		for _, l := range r.Body {
+			switch l.Kind {
+			case AtomLiteral:
+				set[l.Atom.PredKey()] = true
+			case AggLiteral:
+				for _, e := range l.Agg.Elems {
+					for _, c := range e.Cond {
+						if c.Kind == AtomLiteral {
+							set[c.Atom.PredKey()] = true
+						}
+					}
+				}
+			}
+		}
+	}
+	return sortedKeys(set)
+}
+
+// HeadPredicates returns the sorted set of predicate keys occurring in some
+// rule head (the IDB predicates of the program).
+func (p *Program) HeadPredicates() []string {
+	set := make(map[string]bool)
+	for _, r := range p.Rules {
+		for _, a := range r.Head {
+			set[a.PredKey()] = true
+		}
+	}
+	return sortedKeys(set)
+}
+
+// BodyOnlyPredicates returns the sorted set of predicate keys that occur only
+// in rule bodies (the EDB predicates of the program).
+func (p *Program) BodyOnlyPredicates() []string {
+	heads := make(map[string]bool)
+	for _, r := range p.Rules {
+		for _, a := range r.Head {
+			heads[a.PredKey()] = true
+		}
+	}
+	set := make(map[string]bool)
+	for _, r := range p.Rules {
+		for _, l := range r.Body {
+			if l.Kind == AtomLiteral && !heads[l.Atom.PredKey()] {
+				set[l.Atom.PredKey()] = true
+			}
+		}
+	}
+	return sortedKeys(set)
+}
+
+// Clone returns a deep-enough copy of the program: rule slices are copied so
+// the clone can be extended independently. Terms are immutable by convention
+// and shared.
+func (p *Program) Clone() *Program {
+	rules := make([]Rule, len(p.Rules))
+	copy(rules, p.Rules)
+	shows := make([]ShowDecl, len(p.Shows))
+	copy(shows, p.Shows)
+	return &Program{Rules: rules, Shows: shows}
+}
+
+func sortedKeys(set map[string]bool) []string {
+	out := make([]string, 0, len(set))
+	for k := range set {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}

@@ -1,0 +1,307 @@
+package ast
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestTermString(t *testing.T) {
+	cases := []struct {
+		term Term
+		want string
+	}{
+		{Sym("newcastle"), "newcastle"},
+		{Num(42), "42"},
+		{Num(-7), "-7"},
+		{Var("X"), "X"},
+		{Arith(OpAdd, Var("X"), Num(1)), "(X+1)"},
+		{Arith(OpMul, Num(2), Arith(OpSub, Var("Y"), Num(3))), "(2*(Y-3))"},
+	}
+	for _, c := range cases {
+		if got := c.term.String(); got != c.want {
+			t.Errorf("String(%#v) = %q, want %q", c.term, got, c.want)
+		}
+	}
+}
+
+func TestTermIsGround(t *testing.T) {
+	if !Sym("a").IsGround() || !Num(1).IsGround() {
+		t.Error("constants must be ground")
+	}
+	if Var("X").IsGround() {
+		t.Error("variables must not be ground")
+	}
+	if Arith(OpAdd, Var("X"), Num(1)).IsGround() {
+		t.Error("arith with variable must not be ground")
+	}
+	if !Arith(OpAdd, Num(2), Num(1)).IsGround() {
+		t.Error("arith over numbers must be ground")
+	}
+}
+
+func TestTermCompare(t *testing.T) {
+	cases := []struct {
+		a, b Term
+		want int
+	}{
+		{Num(1), Num(2), -1},
+		{Num(2), Num(2), 0},
+		{Num(3), Num(2), 1},
+		{Num(5), Sym("a"), -1}, // numbers order before symbols
+		{Sym("a"), Num(5), 1},
+		{Sym("a"), Sym("b"), -1},
+		{Sym("b"), Sym("b"), 0},
+	}
+	for _, c := range cases {
+		if got := c.a.Compare(c.b); got != c.want {
+			t.Errorf("Compare(%s, %s) = %d, want %d", c.a, c.b, got, c.want)
+		}
+	}
+}
+
+func TestTermEval(t *testing.T) {
+	s := Subst{"X": Num(10), "Y": Num(3)}
+	got, err := Arith(OpAdd, Var("X"), Arith(OpMul, Var("Y"), Num(2))).Eval(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Num != 16 {
+		t.Errorf("X + Y*2 = %d, want 16", got.Num)
+	}
+	if _, err := Var("Z").Eval(s); err == nil {
+		t.Error("evaluating unbound variable should fail")
+	}
+	if _, err := Arith(OpDiv, Num(1), Num(0)).Eval(nil); err == nil {
+		t.Error("division by zero should fail")
+	}
+	if _, err := Arith(OpMod, Num(1), Num(0)).Eval(nil); err == nil {
+		t.Error("modulo by zero should fail")
+	}
+	if _, err := Arith(OpAdd, Sym("a"), Num(1)).Eval(nil); err == nil {
+		t.Error("arithmetic on symbol should fail")
+	}
+}
+
+func TestTermApplyFoldsArith(t *testing.T) {
+	s := Subst{"X": Num(4)}
+	got := Arith(OpMul, Var("X"), Num(5)).Apply(s)
+	if got.Kind != NumberTerm || got.Num != 20 {
+		t.Errorf("Apply should fold ground arithmetic, got %s", got)
+	}
+	// Unbound variable stays.
+	got = Arith(OpMul, Var("Q"), Num(5)).Apply(s)
+	if got.Kind != ArithTerm {
+		t.Errorf("Apply must keep non-ground arithmetic, got %s", got)
+	}
+}
+
+func TestAtomBasics(t *testing.T) {
+	a := NewAtom("average_speed", Sym("newcastle"), Num(10))
+	if a.String() != "average_speed(newcastle,10)" {
+		t.Errorf("String = %q", a.String())
+	}
+	if a.PredKey() != "average_speed/2" {
+		t.Errorf("PredKey = %q", a.PredKey())
+	}
+	if !a.IsGround() {
+		t.Error("atom should be ground")
+	}
+	b := NewAtom("average_speed", Var("X"), Var("Y"))
+	if b.IsGround() {
+		t.Error("atom with vars should not be ground")
+	}
+	s := Subst{"X": Sym("newcastle"), "Y": Num(10)}
+	if got := b.Apply(s); !got.Equal(a) {
+		t.Errorf("Apply = %s, want %s", got, a)
+	}
+	z := NewAtom("p")
+	if z.String() != "p" || z.PredKey() != "p/0" {
+		t.Errorf("zero-arity atom: %q %q", z.String(), z.PredKey())
+	}
+}
+
+func TestCompOpHolds(t *testing.T) {
+	cases := []struct {
+		op   CompOp
+		l, r Term
+		want bool
+	}{
+		{CmpLt, Num(10), Num(20), true},
+		{CmpLt, Num(20), Num(20), false},
+		{CmpLeq, Num(20), Num(20), true},
+		{CmpGt, Num(55), Num(40), true},
+		{CmpGeq, Num(40), Num(40), true},
+		{CmpEq, Sym("a"), Sym("a"), true},
+		{CmpNeq, Sym("a"), Sym("b"), true},
+		{CmpEq, Num(1), Sym("a"), false},
+	}
+	for _, c := range cases {
+		if got := c.op.Holds(c.l, c.r); got != c.want {
+			t.Errorf("%s %s %s = %v, want %v", c.l, c.op, c.r, got, c.want)
+		}
+	}
+}
+
+func TestRuleString(t *testing.T) {
+	r := NewRule(
+		NewAtom("traffic_jam", Var("X")),
+		Pos(NewAtom("very_slow_speed", Var("X"))),
+		Pos(NewAtom("many_cars", Var("X"))),
+		Not(NewAtom("traffic_light", Var("X"))),
+	)
+	want := "traffic_jam(X) :- very_slow_speed(X), many_cars(X), not traffic_light(X)."
+	if got := r.String(); got != want {
+		t.Errorf("String = %q, want %q", got, want)
+	}
+	f := Fact(NewAtom("p", Num(1)))
+	if f.String() != "p(1)." || !f.IsFact() {
+		t.Errorf("fact: %q", f.String())
+	}
+	c := Constraint(Pos(NewAtom("p", Var("X"))), Not(NewAtom("q", Var("X"))))
+	if c.String() != ":- p(X), not q(X)." || !c.IsConstraint() {
+		t.Errorf("constraint: %q", c.String())
+	}
+	d := Rule{Head: []Atom{NewAtom("a"), NewAtom("b")}}
+	if d.String() != "a | b." {
+		t.Errorf("disjunction: %q", d.String())
+	}
+}
+
+func TestRuleVarsAndBodyPartition(t *testing.T) {
+	r := NewRule(
+		NewAtom("very_slow_speed", Var("X")),
+		Pos(NewAtom("average_speed", Var("X"), Var("Y"))),
+		Cmp(CmpLt, Var("Y"), Num(20)),
+		Not(NewAtom("blocked", Var("X"))),
+	)
+	vars := r.Vars()
+	if len(vars) != 2 || vars[0] != "X" || vars[1] != "Y" {
+		t.Errorf("Vars = %v", vars)
+	}
+	if got := len(r.PositiveBody()); got != 1 {
+		t.Errorf("PositiveBody len = %d", got)
+	}
+	if got := len(r.NegativeBody()); got != 1 {
+		t.Errorf("NegativeBody len = %d", got)
+	}
+}
+
+func TestCheckSafety(t *testing.T) {
+	safe := NewRule(
+		NewAtom("p", Var("X")),
+		Pos(NewAtom("q", Var("X"))),
+	)
+	if err := safe.CheckSafety(); err != nil {
+		t.Errorf("safe rule flagged: %v", err)
+	}
+	unsafeHead := NewRule(NewAtom("p", Var("X")))
+	if err := unsafeHead.CheckSafety(); err == nil {
+		t.Error("head variable without body should be unsafe")
+	}
+	unsafeNeg := NewRule(
+		NewAtom("p"),
+		Not(NewAtom("q", Var("X"))),
+	)
+	if err := unsafeNeg.CheckSafety(); err == nil {
+		t.Error("variable only in negative body should be unsafe")
+	}
+	unsafeCmp := NewRule(
+		NewAtom("p"),
+		Cmp(CmpLt, Var("Y"), Num(3)),
+	)
+	err := unsafeCmp.CheckSafety()
+	if err == nil {
+		t.Fatal("variable only in comparison should be unsafe")
+	}
+	var se *SafetyError
+	if !asSafetyError(err, &se) || se.Var != "Y" {
+		t.Errorf("expected SafetyError on Y, got %v", err)
+	}
+}
+
+func asSafetyError(err error, target **SafetyError) bool {
+	se, ok := err.(*SafetyError)
+	if ok {
+		*target = se
+	}
+	return ok
+}
+
+func TestProgramPredicateSets(t *testing.T) {
+	p := &Program{}
+	p.Add(
+		NewRule(NewAtom("very_slow_speed", Var("X")),
+			Pos(NewAtom("average_speed", Var("X"), Var("Y"))),
+			Cmp(CmpLt, Var("Y"), Num(20))),
+		NewRule(NewAtom("traffic_jam", Var("X")),
+			Pos(NewAtom("very_slow_speed", Var("X"))),
+			Not(NewAtom("traffic_light", Var("X")))),
+	)
+	preds := p.Predicates()
+	want := []string{"average_speed/2", "traffic_jam/1", "traffic_light/1", "very_slow_speed/1"}
+	if len(preds) != len(want) {
+		t.Fatalf("Predicates = %v, want %v", preds, want)
+	}
+	for i := range want {
+		if preds[i] != want[i] {
+			t.Fatalf("Predicates = %v, want %v", preds, want)
+		}
+	}
+	heads := p.HeadPredicates()
+	if len(heads) != 2 || heads[0] != "traffic_jam/1" || heads[1] != "very_slow_speed/1" {
+		t.Errorf("HeadPredicates = %v", heads)
+	}
+	edb := p.BodyOnlyPredicates()
+	if len(edb) != 2 || edb[0] != "average_speed/2" || edb[1] != "traffic_light/1" {
+		t.Errorf("BodyOnlyPredicates = %v", edb)
+	}
+}
+
+func TestProgramClone(t *testing.T) {
+	p := &Program{}
+	p.Add(Fact(NewAtom("a")))
+	q := p.Clone()
+	q.Add(Fact(NewAtom("b")))
+	if len(p.Rules) != 1 || len(q.Rules) != 2 {
+		t.Errorf("clone not independent: %d %d", len(p.Rules), len(q.Rules))
+	}
+}
+
+// Property: Apply with a complete numeric substitution always grounds an
+// atom, and the key of the result is stable under double application.
+func TestQuickApplyGrounds(t *testing.T) {
+	f := func(a, b int64, s1, s2 uint8) bool {
+		v1 := "V" + string(rune('A'+s1%26))
+		v2 := "V" + string(rune('A'+s2%26))
+		atom := NewAtom("p", Var(v1), Var(v2), Num(a))
+		sub := Subst{v1: Num(a), v2: Num(b)}
+		g := atom.Apply(sub)
+		if !g.IsGround() {
+			return false
+		}
+		return g.Apply(sub).Key() == g.Key()
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: Compare is antisymmetric and reflexive over ground terms.
+func TestQuickCompareAntisymmetric(t *testing.T) {
+	gen := func(n int64, sym uint8, useNum bool) Term {
+		if useNum {
+			return Num(n % 50)
+		}
+		return Sym(string(rune('a' + sym%6)))
+	}
+	f := func(n1, n2 int64, s1, s2 uint8, u1, u2 bool) bool {
+		a, b := gen(n1, s1, u1), gen(n2, s2, u2)
+		if a.Compare(a) != 0 || b.Compare(b) != 0 {
+			return false
+		}
+		return a.Compare(b) == -b.Compare(a)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

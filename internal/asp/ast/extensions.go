@@ -1,0 +1,215 @@
+package ast
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// This file holds the language extensions beyond plain disjunctive rules:
+// string and function terms, constant intervals, #show declarations, choice
+// rules, and aggregate literals. The paper's programs do not need them, but
+// a credible ASP substrate does.
+
+// Additional term kinds (continuing the TermKind enumeration in ast.go).
+const (
+	// StringTerm is a quoted string constant, ordered after symbols.
+	StringTerm TermKind = iota + 10
+	// FuncTerm is an uninterpreted function term f(t1,...,tn), ordered
+	// after strings; Sym is the functor, FArgs the arguments.
+	FuncTerm
+	// IntervalTerm is a constant integer interval lo..hi expanded by the
+	// grounder; L and R hold the bounds.
+	IntervalTerm
+)
+
+// Str returns a string term.
+func Str(v string) Term { return Term{Kind: StringTerm, Sym: v} }
+
+// Func returns a function term f(args...).
+func Func(name string, args ...Term) Term {
+	return Term{Kind: FuncTerm, Sym: name, FArgs: args}
+}
+
+// Interval returns the interval term lo..hi.
+func Interval(lo, hi Term) Term {
+	return Term{Kind: IntervalTerm, L: &lo, R: &hi}
+}
+
+// ShowDecl is a "#show name/arity." declaration.
+type ShowDecl struct {
+	Pred  string
+	Arity int
+}
+
+func (s ShowDecl) String() string {
+	return fmt.Sprintf("#show %s/%d.", s.Pred, s.Arity)
+}
+
+// AggFunc is an aggregate function.
+type AggFunc uint8
+
+// Aggregate functions.
+const (
+	AggCount AggFunc = iota
+	AggSum
+	AggMin
+	AggMax
+)
+
+func (f AggFunc) String() string {
+	switch f {
+	case AggCount:
+		return "#count"
+	case AggSum:
+		return "#sum"
+	case AggMin:
+		return "#min"
+	case AggMax:
+		return "#max"
+	default:
+		return "#?"
+	}
+}
+
+// AggElem is one element of an aggregate: a tuple of terms qualified by a
+// conjunction of (atom or comparison) literals.
+type AggElem struct {
+	Terms []Term
+	Cond  []Literal
+}
+
+func (e AggElem) String() string {
+	var b strings.Builder
+	for i, t := range e.Terms {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(t.String())
+	}
+	if len(e.Cond) > 0 {
+		b.WriteString(" : ")
+		for i, l := range e.Cond {
+			if i > 0 {
+				b.WriteString(", ")
+			}
+			b.WriteString(l.String())
+		}
+	}
+	return b.String()
+}
+
+// Aggregate is an aggregate literal such as
+//
+//	N = #count{ C : car_location(C, X) }
+//	#sum{ W, T : task(T), weight(T, W) } > 10
+//
+// The guard comparison is normalized so the aggregate value is on the left
+// of GuardOp ("3 < #count{...}" parses as "#count{...} > 3"); a CmpEq guard
+// against a plain variable acts as an assignment that binds the variable
+// during grounding.
+type Aggregate struct {
+	Func     AggFunc
+	Elems    []AggElem
+	GuardOp  CompOp
+	GuardRHS Term
+}
+
+func (a Aggregate) String() string {
+	var b strings.Builder
+	b.WriteString(a.Func.String())
+	b.WriteByte('{')
+	for i, e := range a.Elems {
+		if i > 0 {
+			b.WriteString("; ")
+		}
+		b.WriteString(e.String())
+	}
+	b.WriteByte('}')
+	b.WriteString(a.GuardOp.String())
+	b.WriteString(a.GuardRHS.String())
+	return b.String()
+}
+
+// GlobalVars returns the sorted variables of the aggregate that also occur
+// in the given outer variable set — the variables that must be bound before
+// the aggregate can be evaluated. Variables local to the aggregate's
+// elements are enumerated by the grounder instead.
+func (a Aggregate) GlobalVars(outer map[string]bool) []string {
+	inner := make(map[string]bool)
+	for _, e := range a.Elems {
+		for _, t := range e.Terms {
+			t.CollectVars(inner)
+		}
+		for _, l := range e.Cond {
+			l.CollectVars(inner)
+		}
+	}
+	var out []string
+	for v := range inner {
+		if outer[v] {
+			out = append(out, v)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// CollectLocalVars adds all variables appearing anywhere in the aggregate.
+func (a Aggregate) CollectVars(vars map[string]bool) {
+	for _, e := range a.Elems {
+		for _, t := range e.Terms {
+			t.CollectVars(vars)
+		}
+		for _, l := range e.Cond {
+			l.CollectVars(vars)
+		}
+	}
+	a.GuardRHS.CollectVars(vars)
+}
+
+// Apply substitutes bound variables throughout the aggregate.
+func (a Aggregate) Apply(s Subst) Aggregate {
+	out := Aggregate{Func: a.Func, GuardOp: a.GuardOp, GuardRHS: a.GuardRHS.Apply(s)}
+	out.Elems = make([]AggElem, len(a.Elems))
+	for i, e := range a.Elems {
+		ne := AggElem{Terms: make([]Term, len(e.Terms)), Cond: make([]Literal, len(e.Cond))}
+		for j, t := range e.Terms {
+			ne.Terms[j] = t.Apply(s)
+		}
+		for j, l := range e.Cond {
+			ne.Cond[j] = l.Apply(s)
+		}
+		out.Elems[i] = ne
+	}
+	return out
+}
+
+const (
+	// AggLiteral marks a body literal carrying an aggregate (continuing the
+	// LiteralKind enumeration in ast.go).
+	AggLiteral LiteralKind = iota + 10
+)
+
+// AggLit wraps an aggregate into a body literal.
+func AggLit(a Aggregate) Literal { return Literal{Kind: AggLiteral, Agg: &a} }
+
+// UnboundedChoice marks a missing choice bound.
+const UnboundedChoice = -1
+
+func formatFuncTerm(t Term) string {
+	var b strings.Builder
+	b.WriteString(t.Sym)
+	b.WriteByte('(')
+	for i, a := range t.FArgs {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(a.String())
+	}
+	b.WriteByte(')')
+	return b.String()
+}
+
+func formatStringTerm(t Term) string { return strconv.Quote(t.Sym) }

@@ -1,0 +1,163 @@
+package ast
+
+import (
+	"testing"
+)
+
+func TestNewTermKinds(t *testing.T) {
+	s := Str("hello world")
+	if s.Kind != StringTerm || s.String() != `"hello world"` {
+		t.Errorf("string term = %v %q", s.Kind, s.String())
+	}
+	f := Func("f", Var("X"), Num(1))
+	if f.Kind != FuncTerm || f.String() != "f(X,1)" {
+		t.Errorf("func term = %q", f.String())
+	}
+	if f.IsGround() {
+		t.Error("f(X,1) is not ground")
+	}
+	g := Func("f", Sym("a"), Num(1))
+	if !g.IsGround() {
+		t.Error("f(a,1) is ground")
+	}
+	iv := Interval(Num(1), Num(3))
+	if iv.Kind != IntervalTerm || iv.String() != "1..3" {
+		t.Errorf("interval = %q", iv.String())
+	}
+	if iv.IsGround() {
+		t.Error("intervals are never ground (they denote sets)")
+	}
+}
+
+func TestFuncTermEqualityAndCompare(t *testing.T) {
+	a := Func("f", Sym("a"), Num(1))
+	b := Func("f", Sym("a"), Num(1))
+	c := Func("f", Sym("a"), Num(2))
+	d := Func("g", Sym("a"), Num(1))
+	if !a.Equal(b) || a.Equal(c) || a.Equal(d) {
+		t.Error("function term equality wrong")
+	}
+	// Ordering: numbers < symbols < strings < functions.
+	if Num(99).Compare(a) >= 0 || Sym("zzz").Compare(a) >= 0 || Str("zzz").Compare(a) >= 0 {
+		t.Error("functions must order last")
+	}
+	if a.Compare(c) >= 0 {
+		t.Error("f(a,1) < f(a,2)")
+	}
+	if a.Compare(d) >= 0 {
+		t.Error("f(...) < g(...)")
+	}
+	short := Func("f", Sym("a"))
+	if short.Compare(a) >= 0 {
+		t.Error("smaller arity orders first")
+	}
+}
+
+func TestFuncTermApplyAndVars(t *testing.T) {
+	f := Func("f", Var("X"), Func("g", Var("Y")))
+	vars := map[string]bool{}
+	f.CollectVars(vars)
+	if !vars["X"] || !vars["Y"] || len(vars) != 2 {
+		t.Errorf("vars = %v", vars)
+	}
+	applied := f.Apply(Subst{"X": Num(1), "Y": Sym("a")})
+	if applied.String() != "f(1,g(a))" {
+		t.Errorf("applied = %q", applied.String())
+	}
+	if !applied.IsGround() {
+		t.Error("fully substituted func term must be ground")
+	}
+}
+
+func TestStringCompareAndHolds(t *testing.T) {
+	if Str("a").Compare(Str("b")) >= 0 || Str("b").Compare(Str("b")) != 0 {
+		t.Error("string ordering wrong")
+	}
+	if Sym("zzz").Compare(Str("aaa")) >= 0 {
+		t.Error("symbols order before strings")
+	}
+	if !CmpNeq.Holds(Str("x"), Sym("x")) {
+		t.Error(`"x" and x are distinct terms`)
+	}
+}
+
+func TestChoiceRuleString(t *testing.T) {
+	r := ChoiceRule([]Atom{NewAtom("a"), NewAtom("b")}, Pos(NewAtom("c")))
+	if got := r.String(); got != "{a; b} :- c." {
+		t.Errorf("String = %q", got)
+	}
+	r.Lower, r.Upper = 1, 2
+	if got := r.String(); got != "1 {a; b} 2 :- c." {
+		t.Errorf("String = %q", got)
+	}
+	if r.IsFact() || r.IsConstraint() {
+		t.Error("choice rules are neither facts nor constraints")
+	}
+	applied := r.Apply(Subst{})
+	if !applied.Choice || applied.Lower != 1 || applied.Upper != 2 {
+		t.Errorf("Apply lost choice metadata: %+v", applied)
+	}
+}
+
+func TestShowDeclString(t *testing.T) {
+	s := ShowDecl{Pred: "give_notification", Arity: 1}
+	if s.String() != "#show give_notification/1." {
+		t.Errorf("String = %q", s.String())
+	}
+	p := &Program{Shows: []ShowDecl{s}}
+	p.Add(Fact(NewAtom("x")))
+	if p.String() != "x.\n#show give_notification/1.\n" {
+		t.Errorf("program = %q", p.String())
+	}
+	clone := p.Clone()
+	clone.Shows = append(clone.Shows, ShowDecl{Pred: "y", Arity: 0})
+	if len(p.Shows) != 1 {
+		t.Error("Clone must copy Shows")
+	}
+}
+
+func TestAggregateHelpers(t *testing.T) {
+	agg := Aggregate{
+		Func: AggCount,
+		Elems: []AggElem{{
+			Terms: []Term{Var("C")},
+			Cond:  []Literal{Pos(NewAtom("car_location", Var("C"), Var("X")))},
+		}},
+		GuardOp:  CmpGt,
+		GuardRHS: Num(3),
+	}
+	if agg.String() != "#count{C : car_location(C,X)}>3" {
+		t.Errorf("String = %q", agg.String())
+	}
+	outer := map[string]bool{"X": true, "Z": true}
+	globals := agg.GlobalVars(outer)
+	if len(globals) != 1 || globals[0] != "X" {
+		t.Errorf("globals = %v", globals)
+	}
+	vars := map[string]bool{}
+	agg.CollectVars(vars)
+	if !vars["C"] || !vars["X"] {
+		t.Errorf("vars = %v", vars)
+	}
+	applied := agg.Apply(Subst{"X": Sym("city1")})
+	if applied.String() != "#count{C : car_location(C,city1)}>3" {
+		t.Errorf("applied = %q", applied.String())
+	}
+	lit := AggLit(agg)
+	if lit.Kind != AggLiteral || lit.IsGround() {
+		t.Errorf("literal = %+v", lit)
+	}
+	groundAgg := agg.Apply(Subst{"X": Sym("c"), "C": Sym("q")})
+	if !AggLit(groundAgg).IsGround() {
+		t.Error("fully substituted aggregate literal must be ground")
+	}
+}
+
+func TestAggFuncStrings(t *testing.T) {
+	want := map[AggFunc]string{AggCount: "#count", AggSum: "#sum", AggMin: "#min", AggMax: "#max"}
+	for f, s := range want {
+		if f.String() != s {
+			t.Errorf("%v = %q, want %q", f, f.String(), s)
+		}
+	}
+}

@@ -1,0 +1,306 @@
+package ground
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"streamrule/internal/asp/ast"
+)
+
+// Aggregate evaluation. The grounder supports STRATIFIED aggregates: every
+// predicate inside an aggregate's element conditions must be fully evaluated
+// (a strictly earlier component) and deterministic (no possible-but-uncertain
+// atoms) when the aggregate is instantiated. This covers the standard stream
+// patterns (counting readings per entity, summing weights) and matches what
+// bottom-up grounders evaluate natively; aggregates through negation cycles
+// or disjunction are rejected with ErrUnstratifiedAggregate.
+
+// ErrUnstratifiedAggregate reports an aggregate over a predicate whose
+// extension is not fully decided at instantiation time.
+type ErrUnstratifiedAggregate struct {
+	Pred string
+	Rule ast.Rule
+}
+
+func (e *ErrUnstratifiedAggregate) Error() string {
+	return fmt.Sprintf("aggregate in rule %q ranges over %s, which is not fully evaluated before the rule's component (unstratified aggregate)", e.Rule, e.Pred)
+}
+
+// aggDeterministic verifies that pred's extension is decided: its component
+// is strictly earlier than the current one (or it has no rules at all) and
+// no uncertain atoms exist.
+func (g *grounder) aggDeterministic(pred string) bool {
+	if ci, declared := g.compOf[pred]; declared && ci >= g.curComp {
+		return false
+	}
+	if st := g.stores[pred]; st != nil && st.uncertain > 0 {
+		return false
+	}
+	return true
+}
+
+// evalAggregate computes the aggregate under the substitution (all global
+// variables bound). It returns:
+//   - bind != nil: the guard is an assignment to an unbound variable; bind
+//     holds the computed value to be bound by the caller.
+//   - holds: whether the (non-assignment) guard is satisfied.
+func (g *grounder) evalAggregate(r ast.Rule, agg *ast.Aggregate, subst ast.Subst) (holds bool, bindVar string, bindVal ast.Term, err error) {
+	applied := agg.Apply(subst)
+
+	// Collect the distinct element tuples.
+	tuples := make(map[string][]ast.Term)
+	for _, elem := range applied.Elems {
+		if err := g.enumElem(r, elem, ast.Subst{}, 0, func(s ast.Subst) error {
+			vals := make([]ast.Term, len(elem.Terms))
+			for i, t := range elem.Terms {
+				v, err := t.Eval(s)
+				if err != nil {
+					return fmt.Errorf("aggregate tuple in rule %q: %w", r, err)
+				}
+				vals[i] = v
+			}
+			var sb strings.Builder
+			for i, v := range vals {
+				if i > 0 {
+					sb.WriteByte('\x00')
+				}
+				sb.WriteString(v.String())
+			}
+			tuples[sb.String()] = vals
+			return nil
+		}); err != nil {
+			return false, "", ast.Term{}, err
+		}
+	}
+
+	// Apply the aggregate function.
+	var value ast.Term
+	switch applied.Func {
+	case ast.AggCount:
+		value = ast.Num(int64(len(tuples)))
+	case ast.AggSum:
+		var sum int64
+		for _, vals := range tuples {
+			if len(vals) == 0 || vals[0].Kind != ast.NumberTerm {
+				return false, "", ast.Term{}, fmt.Errorf("#sum in rule %q over non-numeric tuple", r)
+			}
+			sum += vals[0].Num
+		}
+		value = ast.Num(sum)
+	case ast.AggMin, ast.AggMax:
+		if len(tuples) == 0 {
+			return false, "", ast.Term{}, nil // empty set: #min/#max guard fails
+		}
+		keys := make([]string, 0, len(tuples))
+		for k := range tuples {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		value = tuples[keys[0]][0]
+		for _, k := range keys[1:] {
+			v := tuples[k][0]
+			if applied.Func == ast.AggMin && v.Compare(value) < 0 {
+				value = v
+			}
+			if applied.Func == ast.AggMax && v.Compare(value) > 0 {
+				value = v
+			}
+		}
+	}
+
+	// Guard: assignment or comparison.
+	guard := applied.GuardRHS
+	if applied.GuardOp == ast.CmpEq && guard.Kind == ast.VariableTerm {
+		return true, guard.Sym, value, nil
+	}
+	gv, err := guard.Eval(nil)
+	if err != nil {
+		return false, "", ast.Term{}, fmt.Errorf("aggregate guard in rule %q: %w", r, err)
+	}
+	return applied.GuardOp.Holds(value, gv), "", ast.Term{}, nil
+}
+
+// enumElem joins the element's condition literals over certain atoms,
+// calling yield with each satisfying extension of the substitution.
+func (g *grounder) enumElem(r ast.Rule, elem ast.AggElem, subst ast.Subst, i int, yield func(ast.Subst) error) error {
+	// Defer comparisons until their variables are bound; iterate atoms in
+	// order (element conditions are small).
+	if i == len(elem.Cond) {
+		return yield(subst)
+	}
+	l := elem.Cond[i].Apply(subst)
+	switch l.Kind {
+	case ast.CompLiteral:
+		if !l.Lhs.IsGround() || !l.Rhs.IsGround() {
+			// Rotate the deferred comparison to the end.
+			if allComparisons(elem.Cond[i:]) {
+				return fmt.Errorf("aggregate condition in rule %q has an unbound comparison", r)
+			}
+			rest := append(append([]ast.Literal{}, elem.Cond[i+1:]...), elem.Cond[i])
+			return g.enumElem(r, ast.AggElem{Terms: elem.Terms, Cond: rest}, subst, 0, func(s ast.Subst) error {
+				return yield(s)
+			})
+		}
+		lv, err := l.Lhs.Eval(nil)
+		if err != nil {
+			return err
+		}
+		rv, err := l.Rhs.Eval(nil)
+		if err != nil {
+			return err
+		}
+		if !l.Op.Holds(lv, rv) {
+			return nil
+		}
+		return g.enumElem(r, elem, subst, i+1, yield)
+	case ast.AtomLiteral:
+		pred := l.Atom.PredKey()
+		if !g.aggDeterministic(pred) {
+			return &ErrUnstratifiedAggregate{Pred: l.Atom.Pred, Rule: r}
+		}
+		st := g.stores[pred]
+		if l.Neg {
+			if !l.Atom.IsGround() {
+				return fmt.Errorf("aggregate condition in rule %q: negated literal %s has unbound variables", r, l)
+			}
+			if _, ok := st.lookup(l.Atom); ok {
+				return nil
+			}
+			return g.enumElem(r, elem, subst, i+1, yield)
+		}
+		if st == nil {
+			return nil
+		}
+		pattern := make([]ast.Term, len(l.Atom.Args))
+		copy(pattern, l.Atom.Args)
+		for _, pos := range st.candidates(pattern) {
+			atom := st.atoms[pos]
+			s2 := subst.Clone()
+			if unifySimple(pattern, atom.Args, s2) {
+				if err := g.enumElem(r, elem, s2, i+1, yield); err != nil {
+					return err
+				}
+			}
+		}
+		return nil
+	default:
+		return fmt.Errorf("unsupported literal %s inside aggregate", l)
+	}
+}
+
+func allComparisons(lits []ast.Literal) bool {
+	for _, l := range lits {
+		if l.Kind != ast.CompLiteral {
+			return false
+		}
+	}
+	return true
+}
+
+// unifySimple matches pattern terms against ground terms, binding variables
+// into subst (which the caller owns).
+func unifySimple(pattern, grnd []ast.Term, subst ast.Subst) bool {
+	for i, p := range pattern {
+		p = p.Apply(subst)
+		switch {
+		case p.Kind == ast.VariableTerm:
+			subst[p.Sym] = grnd[i]
+		case p.IsGround():
+			pv, err := p.Eval(nil)
+			if err != nil || !pv.Equal(grnd[i]) {
+				return false
+			}
+		default:
+			return false
+		}
+	}
+	return true
+}
+
+// expandIntervalAtoms expands every constant interval occurring in the atoms
+// into the cartesian product of its values. It is applied to ground heads
+// and to facts; a non-numeric or non-ground interval is an error.
+func expandIntervalAtoms(atoms []ast.Atom) ([][]ast.Atom, error) {
+	// Find the first interval occurrence.
+	for ai, a := range atoms {
+		for ti, t := range a.Args {
+			if t.Kind != ast.IntervalTerm {
+				continue
+			}
+			lo, err := t.L.Eval(nil)
+			if err != nil {
+				return nil, fmt.Errorf("interval lower bound %s: %w", t.L, err)
+			}
+			hi, err := t.R.Eval(nil)
+			if err != nil {
+				return nil, fmt.Errorf("interval upper bound %s: %w", t.R, err)
+			}
+			if lo.Kind != ast.NumberTerm || hi.Kind != ast.NumberTerm {
+				return nil, fmt.Errorf("interval %s has non-numeric bounds", t)
+			}
+			var out [][]ast.Atom
+			for v := lo.Num; v <= hi.Num; v++ {
+				clone := make([]ast.Atom, len(atoms))
+				copy(clone, atoms)
+				args := make([]ast.Term, len(a.Args))
+				copy(args, a.Args)
+				args[ti] = ast.Num(v)
+				clone[ai] = ast.Atom{Pred: a.Pred, Args: args}
+				expanded, err := expandIntervalAtoms(clone)
+				if err != nil {
+					return nil, err
+				}
+				out = append(out, expanded...)
+			}
+			return out, nil
+		}
+	}
+	return [][]ast.Atom{atoms}, nil
+}
+
+// isGroundOrInterval reports whether every argument of the atom is ground or
+// a constant interval (expandable fact head).
+func isGroundOrInterval(a ast.Atom) bool {
+	for _, t := range a.Args {
+		if t.Kind == ast.IntervalTerm {
+			if !t.L.IsGround() || !t.R.IsGround() {
+				return false
+			}
+			continue
+		}
+		if !t.IsGround() {
+			return false
+		}
+	}
+	return true
+}
+
+// hasInterval reports whether any term of the literal contains an interval.
+func hasInterval(l ast.Literal) bool {
+	var found bool
+	var walk func(t ast.Term)
+	walk = func(t ast.Term) {
+		switch t.Kind {
+		case ast.IntervalTerm:
+			found = true
+		case ast.ArithTerm:
+			walk(*t.L)
+			walk(*t.R)
+		case ast.FuncTerm:
+			for _, a := range t.FArgs {
+				walk(a)
+			}
+		}
+	}
+	switch l.Kind {
+	case ast.AtomLiteral:
+		for _, t := range l.Atom.Args {
+			walk(t)
+		}
+	case ast.CompLiteral:
+		walk(l.Lhs)
+		walk(l.Rhs)
+	}
+	return found
+}

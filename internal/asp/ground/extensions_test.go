@@ -1,0 +1,301 @@
+package ground
+
+import (
+	"strings"
+	"testing"
+
+	"streamrule/internal/asp/ast"
+)
+
+func TestIntervalFacts(t *testing.T) {
+	gp, err := Ground(mustParse(t, `
+num(1..5).
+even(X) :- num(X), X \ 2 = 0.
+`), nil, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i <= 5; i++ {
+		if !hasCertain(gp, "num("+string(rune('0'+i))+")") {
+			t.Errorf("num(%d) missing", i)
+		}
+	}
+	if !hasCertain(gp, "even(2)") || !hasCertain(gp, "even(4)") || hasCertain(gp, "even(3)") {
+		t.Errorf("evens wrong: %v", certainKeys(gp))
+	}
+}
+
+func TestIntervalInRuleHead(t *testing.T) {
+	gp, err := Ground(mustParse(t, `
+base(10).
+slot(1..3) :- base(X), X > 5.
+`), nil, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"slot(1)", "slot(2)", "slot(3)"} {
+		if !hasCertain(gp, want) {
+			t.Errorf("%s missing: %v", want, certainKeys(gp))
+		}
+	}
+}
+
+func TestIntervalWithVariableBound(t *testing.T) {
+	gp, err := Ground(mustParse(t, `
+n(3).
+slot(1..X) :- n(X).
+`), nil, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"slot(1)", "slot(2)", "slot(3)"} {
+		if !hasCertain(gp, want) {
+			t.Errorf("%s missing: %v", want, certainKeys(gp))
+		}
+	}
+}
+
+func TestIntervalInBodyRejected(t *testing.T) {
+	_, err := Ground(mustParse(t, `
+p :- q(1..3).
+q(2).
+`), nil, Options{})
+	if err == nil || !strings.Contains(err.Error(), "intervals") {
+		t.Errorf("expected interval error, got %v", err)
+	}
+}
+
+func TestCrossProductIntervals(t *testing.T) {
+	gp, err := Ground(mustParse(t, "cell(1..3, 1..2)."), nil, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	count := 0
+	for _, a := range gp.Certain {
+		if a.Pred == "cell" {
+			count++
+		}
+	}
+	if count != 6 {
+		t.Errorf("cells = %d, want 6", count)
+	}
+}
+
+func TestFunctionTermsGroundAndJoin(t *testing.T) {
+	gp, err := Ground(mustParse(t, `
+edge(pair(a, b)).
+edge(pair(b, c)).
+rev(pair(Y, X)) :- edge(pair(X, Y)).
+both(P) :- edge(P), rev(P).
+`), nil, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !hasCertain(gp, "rev(pair(b,a))") {
+		t.Errorf("rev missing: %v", certainKeys(gp))
+	}
+	if hasCertain(gp, "both(pair(a,b))") {
+		t.Error("both should not hold (rev(pair(a,b)) underivable)")
+	}
+}
+
+func TestChoiceRuleGrounding(t *testing.T) {
+	gp, err := Ground(mustParse(t, `
+item(a). item(b).
+{ pick(X) } :- item(X).
+`), nil, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// pick atoms must be possible but not certain.
+	for _, a := range gp.Certain {
+		if a.Pred == "pick" {
+			t.Errorf("choice head %s must not be certain", a)
+		}
+	}
+	choice := 0
+	for _, r := range gp.Rules {
+		if r.Choice {
+			choice++
+			if len(r.Body) != 0 {
+				t.Errorf("body should be simplified away (item is certain): %v", r)
+			}
+		}
+	}
+	if choice != 2 {
+		t.Errorf("choice rules = %d, want 2", choice)
+	}
+}
+
+func TestChoiceBoundsSurviveGrounding(t *testing.T) {
+	gp, err := Ground(mustParse(t, "1 { a ; b ; c } 2."), nil, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(gp.Rules) != 1 || !gp.Rules[0].Choice {
+		t.Fatalf("rules = %v", gp.Rules)
+	}
+	if gp.Rules[0].Lower != 1 || gp.Rules[0].Upper != 2 {
+		t.Errorf("bounds = %d..%d", gp.Rules[0].Lower, gp.Rules[0].Upper)
+	}
+}
+
+func TestChoiceHeadInterval(t *testing.T) {
+	gp, err := Ground(mustParse(t, "{ slot(1..3) } 1."), nil, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(gp.Rules) != 1 {
+		t.Fatalf("rules = %v", gp.Rules)
+	}
+	if len(gp.Rules[0].Head) != 3 {
+		t.Errorf("choice heads = %v (interval should pool)", gp.Rules[0].Head)
+	}
+}
+
+func TestAggregateCount(t *testing.T) {
+	gp, err := Ground(mustParse(t, `
+car_location(c1, city1). car_location(c2, city1). car_location(c3, city1).
+car_location(c4, city2).
+city(city1). city(city2).
+busy(X) :- city(X), #count{ C : car_location(C, X) } > 2.
+n(X, N) :- city(X), N = #count{ C : car_location(C, X) }.
+`), nil, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !hasCertain(gp, "busy(city1)") || hasCertain(gp, "busy(city2)") {
+		t.Errorf("busy wrong: %v", certainKeys(gp))
+	}
+	if !hasCertain(gp, "n(city1,3)") || !hasCertain(gp, "n(city2,1)") {
+		t.Errorf("counts wrong: %v", certainKeys(gp))
+	}
+}
+
+func TestAggregateSumMinMax(t *testing.T) {
+	gp, err := Ground(mustParse(t, `
+weight(t1, 3). weight(t2, 5). weight(t3, 3).
+total(S) :- S = #sum{ W, T : weight(T, W) }.
+lightest(M) :- M = #min{ W : weight(T, W) }.
+heaviest(M) :- M = #max{ W : weight(T, W) }.
+`), nil, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Sum is over the SET of tuples (W,T): 3+5+3 = 11.
+	if !hasCertain(gp, "total(11)") {
+		t.Errorf("total wrong: %v", certainKeys(gp))
+	}
+	if !hasCertain(gp, "lightest(3)") || !hasCertain(gp, "heaviest(5)") {
+		t.Errorf("min/max wrong: %v", certainKeys(gp))
+	}
+}
+
+func TestAggregateSetSemantics(t *testing.T) {
+	// Identical tuples collapse: sum over {W : ...} with duplicate weights
+	// counts each distinct W once.
+	gp, err := Ground(mustParse(t, `
+weight(t1, 3). weight(t2, 3).
+distinct_sum(S) :- S = #sum{ W : weight(T, W) }.
+`), nil, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !hasCertain(gp, "distinct_sum(3)") {
+		t.Errorf("set semantics violated: %v", certainKeys(gp))
+	}
+}
+
+func TestAggregateEmptySet(t *testing.T) {
+	gp, err := Ground(mustParse(t, `
+nothing :- #count{ X : missing(X) } = 0.
+no_min :- #min{ X : missing(X) } < 100.
+p :- nothing.
+q(X) :- r(X), missing(X).
+r(1).
+`), nil, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !hasCertain(gp, "nothing") || !hasCertain(gp, "p") {
+		t.Errorf("#count over empty set should be 0: %v", certainKeys(gp))
+	}
+	if hasCertain(gp, "no_min") {
+		t.Error("#min over the empty set must fail the guard")
+	}
+}
+
+func TestAggregateNegatedCondition(t *testing.T) {
+	gp, err := Ground(mustParse(t, `
+node(1..3).
+marked(2).
+unmarked(N) :- N = #count{ X : node(X), not marked(X) }.
+`), nil, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !hasCertain(gp, "unmarked(2)") {
+		t.Errorf("got %v", certainKeys(gp))
+	}
+}
+
+func TestAggregateComparisonCondition(t *testing.T) {
+	gp, err := Ground(mustParse(t, `
+speed(a, 10). speed(b, 30). speed(c, 50).
+slow(N) :- N = #count{ X : speed(X, V), V < 40 }.
+`), nil, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !hasCertain(gp, "slow(2)") {
+		t.Errorf("got %v", certainKeys(gp))
+	}
+}
+
+func TestUnstratifiedAggregateRejected(t *testing.T) {
+	_, err := Ground(mustParse(t, `
+a :- not b.
+b :- not a.
+n(N) :- N = #count{ X : sel(X) }.
+sel(1) :- a.
+`), nil, Options{})
+	if err == nil {
+		t.Fatal("aggregate over a non-deterministic predicate must be rejected")
+	}
+	if _, ok := err.(*ErrUnstratifiedAggregate); !ok {
+		t.Errorf("expected ErrUnstratifiedAggregate, got %T: %v", err, err)
+	}
+}
+
+func TestAggregateGlobalVariableGrouping(t *testing.T) {
+	// The canonical stream-reasoning use: counting readings per entity,
+	// with the entity variable global to the rule.
+	gp, err := Ground(mustParse(t, `
+reading(s1, 1). reading(s1, 2). reading(s2, 7).
+sensor(s1). sensor(s2).
+active(S) :- sensor(S), #count{ V : reading(S, V) } >= 2.
+`), nil, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !hasCertain(gp, "active(s1)") || hasCertain(gp, "active(s2)") {
+		t.Errorf("grouping wrong: %v", certainKeys(gp))
+	}
+}
+
+func TestStringsInFactsAndRules(t *testing.T) {
+	prog := &ast.Program{}
+	prog.Add(ast.Fact(ast.NewAtom("label", ast.Sym("n1"), ast.Str("hello"))))
+	prog.Add(ast.NewRule(
+		ast.NewAtom("named", ast.Var("X")),
+		ast.Pos(ast.NewAtom("label", ast.Var("X"), ast.Var("L"))),
+		ast.Cmp(ast.CmpNeq, ast.Var("L"), ast.Str("")),
+	))
+	gp, err := Ground(prog, nil, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !hasCertain(gp, "named(n1)") {
+		t.Errorf("got %v", certainKeys(gp))
+	}
+}

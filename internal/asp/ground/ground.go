@@ -1,0 +1,433 @@
+// Package ground implements the instantiation (grounding) phase of ASP
+// computation: it turns a program with variables plus a set of input facts
+// into an equivalent variable-free program.
+//
+// The grounder follows the classic bottom-up architecture of DLV/Clingo
+// instantiators ([6], [18] in the paper): the predicate dependency graph is
+// decomposed into strongly connected components, components are instantiated
+// in topological order, and recursive components are evaluated with
+// semi-naive iteration. Ground rules are simplified on the fly against the
+// sets of certainly-true and possibly-true atoms, so stratified programs
+// ground directly to their (unique) answer set.
+package ground
+
+import (
+	"fmt"
+	"sort"
+
+	"streamrule/internal/asp/ast"
+	"streamrule/internal/graph"
+)
+
+// Options configures the grounder.
+type Options struct {
+	// NoIndex disables the per-argument-position atom indexes and forces
+	// full scans when matching body literals. Used by the index ablation
+	// benchmark; keep the default (false) otherwise.
+	NoIndex bool
+	// MaxAtoms aborts grounding when the number of distinct ground atoms
+	// exceeds the limit (0 means no limit). A guard against non-terminating
+	// arithmetic recursion.
+	MaxAtoms int
+}
+
+// Stats reports work done by a grounding run.
+type Stats struct {
+	// Atoms is the number of distinct ground atoms derived (certain or
+	// possible), including the input facts.
+	Atoms int
+	// Rules is the number of simplified ground rules emitted.
+	Rules int
+	// CertainFacts is the number of atoms proven unconditionally true.
+	CertainFacts int
+	// Iterations is the total number of semi-naive passes over recursive
+	// components.
+	Iterations int
+}
+
+// Program is the result of grounding: a variable-free program partially
+// evaluated against the input facts.
+type Program struct {
+	// Certain lists atoms that hold in every answer set; for stratified
+	// programs this is the full answer set.
+	Certain []ast.Atom
+	// Rules lists the remaining ground rules (bodies reference only atoms
+	// whose truth is undecided, heads may be disjunctive, empty heads are
+	// integrity constraints).
+	Rules []ast.Rule
+	// Inconsistent is set when an integrity constraint was violated by
+	// certain atoms alone; such a program has no answer sets.
+	Inconsistent bool
+	// Stats describes the grounding run.
+	Stats Stats
+}
+
+// ErrAtomLimit is returned when Options.MaxAtoms is exceeded.
+type ErrAtomLimit struct{ Limit int }
+
+func (e *ErrAtomLimit) Error() string {
+	return fmt.Sprintf("grounding exceeded the configured limit of %d atoms", e.Limit)
+}
+
+// predStore holds the ground atoms of one predicate together with optional
+// per-argument-position indexes.
+type predStore struct {
+	arity   int
+	atoms   []ast.Atom
+	keyIdx  map[string]int
+	certain []bool
+	index   []map[string][]int // index[pos][termKey] -> atom positions
+	// uncertain counts atoms currently stored as possible-but-not-certain;
+	// aggregates require it to be zero for their condition predicates.
+	uncertain int
+}
+
+func newPredStore(arity int, indexed bool) *predStore {
+	st := &predStore{arity: arity, keyIdx: make(map[string]int)}
+	if indexed && arity > 0 {
+		st.index = make([]map[string][]int, arity)
+		for i := range st.index {
+			st.index[i] = make(map[string][]int)
+		}
+	}
+	return st
+}
+
+// add inserts the ground atom, returning its position, whether it is new,
+// and whether an existing atom's certainty was upgraded.
+func (st *predStore) add(a ast.Atom, certain bool) (pos int, isNew, upgraded bool) {
+	key := a.Key()
+	if i, ok := st.keyIdx[key]; ok {
+		if certain && !st.certain[i] {
+			st.certain[i] = true
+			st.uncertain--
+			return i, false, true
+		}
+		return i, false, false
+	}
+	i := len(st.atoms)
+	st.atoms = append(st.atoms, a)
+	st.certain = append(st.certain, certain)
+	if !certain {
+		st.uncertain++
+	}
+	st.keyIdx[key] = i
+	for p := range st.index {
+		k := a.Args[p].String()
+		st.index[p][k] = append(st.index[p][k], i)
+	}
+	return i, true, false
+}
+
+func (st *predStore) lookup(a ast.Atom) (pos int, ok bool) {
+	if st == nil {
+		return 0, false
+	}
+	pos, ok = st.keyIdx[a.Key()]
+	return pos, ok
+}
+
+// candidates returns the positions of atoms that could match the pattern
+// (args already substituted). With indexes enabled it uses the smallest
+// bucket over the pattern's ground argument positions.
+func (st *predStore) candidates(pattern []ast.Term) []int {
+	if st == nil {
+		return nil
+	}
+	if st.index != nil {
+		best := -1
+		var bucket []int
+		for p, t := range pattern {
+			if !t.IsGround() {
+				continue
+			}
+			b := st.index[p][t.String()]
+			if best == -1 || len(b) < best {
+				best = len(b)
+				bucket = b
+			}
+			if best == 0 {
+				return nil
+			}
+		}
+		if best >= 0 {
+			return bucket
+		}
+	}
+	all := make([]int, len(st.atoms))
+	for i := range all {
+		all[i] = i
+	}
+	return all
+}
+
+type grounder struct {
+	opts      Options
+	stores    map[string]*predStore
+	compOf    map[string]int // predicate key -> component index
+	seenRules map[string]bool
+	out       *Program
+	curComp   int
+	totalAtom int
+	// delta for the semi-naive pass currently running: predicate key ->
+	// set of atom positions considered "new". Nil means no restriction.
+	delta map[string]map[int]bool
+	// deltaOcc is the body position whose literal ranges over delta; -1
+	// disables the restriction.
+	deltaOcc int
+	// onNewAtom is notified whenever a new ground atom enters a store.
+	onNewAtom func(predKey string, pos int)
+}
+
+// Ground instantiates the program against the input facts.
+func Ground(p *ast.Program, facts []ast.Atom, opts Options) (*Program, error) {
+	if err := p.CheckSafety(); err != nil {
+		return nil, err
+	}
+	g := &grounder{
+		opts:      opts,
+		stores:    make(map[string]*predStore),
+		compOf:    make(map[string]int),
+		seenRules: make(map[string]bool),
+		out:       &Program{},
+		deltaOcc:  -1,
+	}
+
+	for _, f := range facts {
+		if !f.IsGround() {
+			return nil, fmt.Errorf("input fact %s is not ground", f)
+		}
+		_, isNew, _ := g.store(f.PredKey(), f.Arity()).add(f, true)
+		if isNew {
+			g.totalAtom++
+		}
+	}
+
+	// Ground facts appearing as rules in the program text; intervals in
+	// fact arguments (num(1..100).) expand here. Intervals anywhere else in
+	// a body are unsupported.
+	rest := make([]ast.Rule, 0, len(p.Rules))
+	for _, r := range p.Rules {
+		for _, l := range r.Body {
+			if l.Kind != ast.AggLiteral && hasInterval(l) {
+				return nil, fmt.Errorf("rule %q: intervals are only supported in facts and rule heads", r)
+			}
+		}
+		if r.IsFact() && isGroundOrInterval(r.Head[0]) {
+			heads, err := expandIntervalAtoms([]ast.Atom{r.Head[0].Apply(nil)})
+			if err != nil {
+				return nil, fmt.Errorf("fact %q: %w", r, err)
+			}
+			for _, hs := range heads {
+				a := hs[0]
+				_, isNew, _ := g.store(a.PredKey(), a.Arity()).add(a, true)
+				if isNew {
+					g.totalAtom++
+					if opts.MaxAtoms > 0 && g.totalAtom > opts.MaxAtoms {
+						return nil, &ErrAtomLimit{Limit: opts.MaxAtoms}
+					}
+				}
+			}
+			continue
+		}
+		rest = append(rest, r)
+	}
+
+	// Predicate dependency graph: body -> head, plus mutual edges between
+	// the head predicates of a disjunctive rule so they land in one SCC.
+	dep := graph.NewDirected()
+	var constraints []ast.Rule
+	for _, r := range rest {
+		for _, h := range r.Head {
+			dep.AddNode(h.PredKey())
+		}
+		var bodyPreds []string
+		for _, l := range r.Body {
+			switch l.Kind {
+			case ast.AtomLiteral:
+				bodyPreds = append(bodyPreds, l.Atom.PredKey())
+			case ast.AggLiteral:
+				for _, e := range l.Agg.Elems {
+					for _, c := range e.Cond {
+						if c.Kind == ast.AtomLiteral {
+							bodyPreds = append(bodyPreds, c.Atom.PredKey())
+						}
+					}
+				}
+			}
+		}
+		for _, bp := range bodyPreds {
+			dep.AddNode(bp)
+			for _, h := range r.Head {
+				dep.AddEdge(bp, h.PredKey())
+			}
+		}
+		for i := 0; i < len(r.Head); i++ {
+			for j := i + 1; j < len(r.Head); j++ {
+				dep.AddEdge(r.Head[i].PredKey(), r.Head[j].PredKey())
+				dep.AddEdge(r.Head[j].PredKey(), r.Head[i].PredKey())
+			}
+		}
+		if r.IsConstraint() {
+			constraints = append(constraints, r)
+		}
+	}
+	comps := dep.TopoComponents()
+	for i, comp := range comps {
+		for _, pred := range comp {
+			g.compOf[pred] = i
+		}
+	}
+
+	// Assign non-constraint rules to the component of their head predicate.
+	rulesOf := make(map[int][]ast.Rule)
+	for _, r := range rest {
+		if r.IsConstraint() {
+			continue
+		}
+		ci := g.compOf[r.Head[0].PredKey()]
+		rulesOf[ci] = append(rulesOf[ci], r)
+	}
+
+	for ci, comp := range comps {
+		g.curComp = ci
+		if err := g.evalComponent(comp, rulesOf[ci]); err != nil {
+			return nil, err
+		}
+	}
+
+	// Constraints are evaluated last against the full stores.
+	g.curComp = len(comps)
+	for _, r := range constraints {
+		if err := g.joinRule(r, func(s ast.Subst) error {
+			return g.emit(r, s)
+		}); err != nil {
+			return nil, err
+		}
+	}
+
+	g.finish()
+	return g.out, nil
+}
+
+func (g *grounder) store(predKey string, arity int) *predStore {
+	st, ok := g.stores[predKey]
+	if !ok {
+		st = newPredStore(arity, !g.opts.NoIndex)
+		g.stores[predKey] = st
+	}
+	return st
+}
+
+// recursive reports whether the rule has a positive body literal whose
+// predicate belongs to the component being evaluated.
+func (g *grounder) recursive(r ast.Rule, comp map[string]bool) []int {
+	var occ []int
+	for i, l := range r.Body {
+		if l.Kind == ast.AtomLiteral && !l.Neg && comp[l.Atom.PredKey()] {
+			occ = append(occ, i)
+		}
+	}
+	return occ
+}
+
+// evalComponent instantiates the rules of one SCC with semi-naive iteration.
+func (g *grounder) evalComponent(comp []string, rules []ast.Rule) error {
+	if len(rules) == 0 {
+		return nil
+	}
+	inComp := make(map[string]bool, len(comp))
+	for _, p := range comp {
+		inComp[p] = true
+	}
+
+	// newAtoms collects atoms derived during the current pass, keyed by
+	// predicate; they seed the next pass's delta.
+	newAtoms := make(map[string]map[int]bool)
+	record := func(pred string, pos int) {
+		set := newAtoms[pred]
+		if set == nil {
+			set = make(map[int]bool)
+			newAtoms[pred] = set
+		}
+		set[pos] = true
+	}
+	g.onNewAtom = record
+
+	// First pass: every rule against the full stores.
+	g.out.Stats.Iterations++
+	for _, r := range rules {
+		if err := g.joinRule(r, func(s ast.Subst) error {
+			return g.emit(r, s)
+		}); err != nil {
+			return err
+		}
+	}
+
+	// Semi-naive iteration for recursive rules.
+	type recRule struct {
+		rule ast.Rule
+		occ  []int
+	}
+	var recRules []recRule
+	for _, r := range rules {
+		if occ := g.recursive(r, inComp); len(occ) > 0 {
+			recRules = append(recRules, recRule{r, occ})
+		}
+	}
+	for len(recRules) > 0 && len(newAtoms) > 0 {
+		delta := newAtoms
+		newAtoms = make(map[string]map[int]bool)
+		g.onNewAtom = record
+		g.out.Stats.Iterations++
+		progressed := false
+		for _, rr := range recRules {
+			for _, occ := range rr.occ {
+				pred := rr.rule.Body[occ].Atom.PredKey()
+				if len(delta[pred]) == 0 {
+					continue
+				}
+				g.delta = map[string]map[int]bool{pred: delta[pred]}
+				g.deltaOcc = occ
+				err := g.joinRule(rr.rule, func(s ast.Subst) error {
+					return g.emit(rr.rule, s)
+				})
+				g.delta = nil
+				g.deltaOcc = -1
+				if err != nil {
+					return err
+				}
+			}
+		}
+		for _, set := range newAtoms {
+			if len(set) > 0 {
+				progressed = true
+			}
+		}
+		if !progressed {
+			break
+		}
+	}
+	g.onNewAtom = nil
+	return nil
+}
+
+func (g *grounder) finish() {
+	for _, st := range g.stores {
+		for i, a := range st.atoms {
+			if st.certain[i] {
+				g.out.Certain = append(g.out.Certain, a)
+			}
+		}
+	}
+	sort.Slice(g.out.Certain, func(i, j int) bool {
+		return g.out.Certain[i].Key() < g.out.Certain[j].Key()
+	})
+	atoms := 0
+	for _, st := range g.stores {
+		atoms += len(st.atoms)
+	}
+	g.out.Stats.Atoms = atoms
+	g.out.Stats.Rules = len(g.out.Rules)
+	g.out.Stats.CertainFacts = len(g.out.Certain)
+}

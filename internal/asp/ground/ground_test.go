@@ -1,0 +1,515 @@
+package ground
+
+import (
+	"math/rand"
+	"sort"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"streamrule/internal/asp/ast"
+	"streamrule/internal/asp/parser"
+)
+
+const programP = `
+very_slow_speed(X) :- average_speed(X,Y), Y < 20.
+many_cars(X) :- car_number(X,Y), Y > 40.
+traffic_jam(X) :- very_slow_speed(X), many_cars(X), not traffic_light(X).
+car_fire(X) :- car_in_smoke(C, high), car_speed(C, 0), car_location(C, X).
+give_notification(X) :- traffic_jam(X).
+give_notification(X) :- car_fire(X).
+`
+
+func mustParse(t *testing.T, src string) *ast.Program {
+	t.Helper()
+	p, err := parser.Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func mustAtoms(t *testing.T, srcs ...string) []ast.Atom {
+	t.Helper()
+	out := make([]ast.Atom, len(srcs))
+	for i, s := range srcs {
+		a, err := parser.ParseAtom(s)
+		if err != nil {
+			t.Fatal(err)
+		}
+		out[i] = a
+	}
+	return out
+}
+
+func certainKeys(gp *Program) []string {
+	out := make([]string, len(gp.Certain))
+	for i, a := range gp.Certain {
+		out[i] = a.Key()
+	}
+	return out
+}
+
+func hasCertain(gp *Program, key string) bool {
+	for _, a := range gp.Certain {
+		if a.Key() == key {
+			return true
+		}
+	}
+	return false
+}
+
+// TestPaperWindow replays the motivating example of §II-A: the full window W
+// must derive car_fire(dangan) and give_notification(dangan), and must NOT
+// derive traffic_jam(newcastle) because traffic_light(newcastle) is present.
+func TestPaperWindow(t *testing.T) {
+	prog := mustParse(t, programP)
+	w := mustAtoms(t,
+		"average_speed(newcastle, 10)",
+		"car_number(newcastle, 55)",
+		"traffic_light(newcastle)",
+		"car_in_smoke(car1, high)",
+		"car_speed(car1, 0)",
+		"car_location(car1, dangan)",
+	)
+	gp, err := Ground(prog, w, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{
+		"car_fire(dangan)", "give_notification(dangan)",
+		"very_slow_speed(newcastle)", "many_cars(newcastle)",
+	} {
+		if !hasCertain(gp, want) {
+			t.Errorf("missing certain atom %s; have %v", want, certainKeys(gp))
+		}
+	}
+	if hasCertain(gp, "traffic_jam(newcastle)") {
+		t.Error("traffic_jam(newcastle) must not be derived when the light is on")
+	}
+	if hasCertain(gp, "give_notification(newcastle)") {
+		t.Error("give_notification(newcastle) must not be derived")
+	}
+	// The program is stratified against this window, so no residual rules.
+	if len(gp.Rules) != 0 {
+		t.Errorf("expected no residual rules, got %v", gp.Rules)
+	}
+}
+
+// TestPaperWindowNoLight flips the example: without the traffic light fact
+// the jam must be detected.
+func TestPaperWindowNoLight(t *testing.T) {
+	prog := mustParse(t, programP)
+	w := mustAtoms(t,
+		"average_speed(newcastle, 10)",
+		"car_number(newcastle, 55)",
+	)
+	gp, err := Ground(prog, w, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"traffic_jam(newcastle)", "give_notification(newcastle)"} {
+		if !hasCertain(gp, want) {
+			t.Errorf("missing %s; have %v", want, certainKeys(gp))
+		}
+	}
+}
+
+func TestComparisonsGateDerivation(t *testing.T) {
+	prog := mustParse(t, programP)
+	w := mustAtoms(t,
+		"average_speed(a, 20)", // not < 20
+		"average_speed(b, 19)", // < 20
+		"car_number(a, 40)",    // not > 40
+		"car_number(b, 41)",    // > 40
+	)
+	gp, err := Ground(prog, w, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hasCertain(gp, "very_slow_speed(a)") || !hasCertain(gp, "very_slow_speed(b)") {
+		t.Errorf("comparison gating wrong: %v", certainKeys(gp))
+	}
+	if hasCertain(gp, "many_cars(a)") || !hasCertain(gp, "many_cars(b)") {
+		t.Errorf("comparison gating wrong: %v", certainKeys(gp))
+	}
+	if !hasCertain(gp, "traffic_jam(b)") {
+		t.Errorf("traffic_jam(b) missing: %v", certainKeys(gp))
+	}
+}
+
+func TestRecursiveTransitiveClosure(t *testing.T) {
+	prog := mustParse(t, `
+reach(X,Y) :- edge(X,Y).
+reach(X,Z) :- reach(X,Y), edge(Y,Z).
+`)
+	var facts []ast.Atom
+	// Chain 1 -> 2 -> ... -> 20.
+	for i := 1; i < 20; i++ {
+		facts = append(facts, ast.NewAtom("edge", ast.Num(int64(i)), ast.Num(int64(i+1))))
+	}
+	gp, err := Ground(prog, facts, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Expect 19+18+...+1 = 190 reach atoms, all certain.
+	reach := 0
+	for _, a := range gp.Certain {
+		if a.Pred == "reach" {
+			reach++
+		}
+	}
+	if reach != 190 {
+		t.Errorf("reach atoms = %d, want 190", reach)
+	}
+	if !hasCertain(gp, "reach(1,20)") {
+		t.Error("reach(1,20) missing")
+	}
+	if gp.Stats.Iterations < 2 {
+		t.Errorf("expected semi-naive iterations, got %d", gp.Stats.Iterations)
+	}
+}
+
+func TestNonStratifiedKeepsRules(t *testing.T) {
+	prog := mustParse(t, `
+p :- not q.
+q :- not p.
+`)
+	gp, err := Ground(prog, nil, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(gp.Certain) != 0 {
+		t.Errorf("no atom should be certain: %v", certainKeys(gp))
+	}
+	if len(gp.Rules) != 2 {
+		t.Errorf("expected 2 residual rules, got %v", gp.Rules)
+	}
+}
+
+func TestNegationOnUnderivableAtomIsDropped(t *testing.T) {
+	prog := mustParse(t, `
+p :- not q.
+`)
+	gp, err := Ground(prog, nil, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !hasCertain(gp, "p") {
+		t.Errorf("p should be certain (q can never hold): %v", certainKeys(gp))
+	}
+	if len(gp.Rules) != 0 {
+		t.Errorf("expected no residual rules, got %v", gp.Rules)
+	}
+}
+
+func TestNegationOnCertainAtomKillsRule(t *testing.T) {
+	prog := mustParse(t, `
+q.
+p :- not q.
+`)
+	gp, err := Ground(prog, nil, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hasCertain(gp, "p") {
+		t.Error("p must not be derived")
+	}
+	if len(gp.Rules) != 0 {
+		t.Errorf("rule should have been killed, got %v", gp.Rules)
+	}
+}
+
+func TestConstraintViolation(t *testing.T) {
+	prog := mustParse(t, `
+p.
+:- p.
+`)
+	gp, err := Ground(prog, nil, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !gp.Inconsistent {
+		t.Error("program should be inconsistent")
+	}
+}
+
+func TestConstraintResidual(t *testing.T) {
+	prog := mustParse(t, `
+a :- not b.
+b :- not a.
+:- a.
+`)
+	gp, err := Ground(prog, nil, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gp.Inconsistent {
+		t.Error("not decidable at grounding time")
+	}
+	found := false
+	for _, r := range gp.Rules {
+		if r.IsConstraint() {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("expected residual constraint, got %v", gp.Rules)
+	}
+}
+
+func TestDisjunctiveHeads(t *testing.T) {
+	prog := mustParse(t, `
+a | b.
+c :- a.
+`)
+	gp, err := Ground(prog, nil, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(gp.Certain) != 0 {
+		t.Errorf("nothing certain for a disjunctive program: %v", certainKeys(gp))
+	}
+	joined := ""
+	for _, r := range gp.Rules {
+		joined += r.String() + "\n"
+	}
+	if !strings.Contains(joined, "a | b.") || !strings.Contains(joined, "c :- a.") {
+		t.Errorf("rules = %q", joined)
+	}
+}
+
+func TestBindingEquality(t *testing.T) {
+	prog := mustParse(t, `
+succ(X, Y) :- num(X), Y = X + 1.
+`)
+	gp, err := Ground(prog, mustAtoms(t, "num(1)", "num(5)"), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !hasCertain(gp, "succ(1,2)") || !hasCertain(gp, "succ(5,6)") {
+		t.Errorf("binding equality failed: %v", certainKeys(gp))
+	}
+}
+
+func TestArithmeticInHead(t *testing.T) {
+	prog := mustParse(t, `
+double(X, X * 2) :- num(X).
+`)
+	gp, err := Ground(prog, mustAtoms(t, "num(3)"), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !hasCertain(gp, "double(3,6)") {
+		t.Errorf("head arithmetic not folded: %v", certainKeys(gp))
+	}
+}
+
+func TestFactsInProgramText(t *testing.T) {
+	prog := mustParse(t, `
+edge(1, 2).
+edge(2, 3).
+reach(X,Y) :- edge(X,Y).
+reach(X,Z) :- reach(X,Y), edge(Y,Z).
+`)
+	gp, err := Ground(prog, nil, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !hasCertain(gp, "reach(1,3)") {
+		t.Errorf("got %v", certainKeys(gp))
+	}
+}
+
+func TestMaxAtomsLimit(t *testing.T) {
+	prog := mustParse(t, `
+n(X + 1) :- n(X).
+n(0).
+`)
+	_, err := Ground(prog, nil, Options{MaxAtoms: 100})
+	if err == nil {
+		t.Fatal("expected atom limit error")
+	}
+	if _, ok := err.(*ErrAtomLimit); !ok {
+		t.Errorf("expected *ErrAtomLimit, got %T: %v", err, err)
+	}
+}
+
+func TestNonGroundFactRejected(t *testing.T) {
+	prog := mustParse(t, "p :- q(a).")
+	_, err := Ground(prog, []ast.Atom{ast.NewAtom("q", ast.Var("X"))}, Options{})
+	if err == nil {
+		t.Error("non-ground input fact must be rejected")
+	}
+}
+
+func TestIndexAndNoIndexAgree(t *testing.T) {
+	prog := mustParse(t, programP)
+	rng := rand.New(rand.NewSource(7))
+	var facts []ast.Atom
+	for i := 0; i < 300; i++ {
+		switch rng.Intn(6) {
+		case 0:
+			facts = append(facts, ast.NewAtom("average_speed", ast.Num(int64(rng.Intn(30))), ast.Num(int64(rng.Intn(60)))))
+		case 1:
+			facts = append(facts, ast.NewAtom("car_number", ast.Num(int64(rng.Intn(30))), ast.Num(int64(rng.Intn(80)))))
+		case 2:
+			facts = append(facts, ast.NewAtom("traffic_light", ast.Num(int64(rng.Intn(30)))))
+		case 3:
+			facts = append(facts, ast.NewAtom("car_in_smoke", ast.Num(int64(rng.Intn(50))), ast.Sym("high")))
+		case 4:
+			facts = append(facts, ast.NewAtom("car_speed", ast.Num(int64(rng.Intn(50))), ast.Num(int64(rng.Intn(2)))))
+		default:
+			facts = append(facts, ast.NewAtom("car_location", ast.Num(int64(rng.Intn(50))), ast.Num(int64(rng.Intn(30)))))
+		}
+	}
+	a, err := Ground(prog, facts, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Ground(prog, facts, Options{NoIndex: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ka, kb := certainKeys(a), certainKeys(b)
+	if len(ka) != len(kb) {
+		t.Fatalf("indexed %d certain vs unindexed %d", len(ka), len(kb))
+	}
+	for i := range ka {
+		if ka[i] != kb[i] {
+			t.Fatalf("mismatch at %d: %s vs %s", i, ka[i], kb[i])
+		}
+	}
+}
+
+// naiveDatalog computes the least model of a negation-free,
+// comparison-free program by brute-force iteration, used as an oracle.
+func naiveDatalog(p *ast.Program, facts []ast.Atom) map[string]bool {
+	model := make(map[string]bool)
+	var atoms []ast.Atom
+	for _, f := range facts {
+		if !model[f.Key()] {
+			model[f.Key()] = true
+			atoms = append(atoms, f)
+		}
+	}
+	for changed := true; changed; {
+		changed = false
+		for _, r := range p.Rules {
+			var match func(s ast.Subst, i int)
+			match = func(s ast.Subst, i int) {
+				if i == len(r.Body) {
+					h := r.Head[0].Apply(s)
+					if !model[h.Key()] {
+						model[h.Key()] = true
+						atoms = append(atoms, h)
+						changed = true
+					}
+					return
+				}
+				pat := r.Body[i].Atom.Apply(s)
+				for _, a := range atoms {
+					if a.Pred != pat.Pred || len(a.Args) != len(pat.Args) {
+						continue
+					}
+					s2 := s.Clone()
+					ok := true
+					for j, pt := range pat.Args {
+						pt = pt.Apply(s2)
+						if pt.Kind == ast.VariableTerm {
+							s2[pt.Sym] = a.Args[j]
+						} else if !pt.Equal(a.Args[j]) {
+							ok = false
+							break
+						}
+					}
+					if ok {
+						match(s2, i+1)
+					}
+				}
+			}
+			match(ast.Subst{}, 0)
+		}
+	}
+	return model
+}
+
+// Property: on random negation-free Datalog programs the grounder's certain
+// set equals the naive least model.
+func TestQuickGrounderMatchesNaiveDatalog(t *testing.T) {
+	preds := []string{"p", "q", "r"}
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		prog := &ast.Program{}
+		nRules := 1 + rng.Intn(4)
+		for i := 0; i < nRules; i++ {
+			head := ast.NewAtom(preds[rng.Intn(len(preds))], ast.Var("X"), ast.Var("Y"))
+			nBody := 1 + rng.Intn(2)
+			var body []ast.Literal
+			vars := []string{"X", "Y", "Z"}
+			for j := 0; j < nBody; j++ {
+				v1 := vars[rng.Intn(len(vars))]
+				v2 := vars[rng.Intn(len(vars))]
+				body = append(body, ast.Pos(ast.NewAtom(preds[rng.Intn(len(preds))], ast.Var(v1), ast.Var(v2))))
+			}
+			// Ensure safety: force the head vars into the first body atom.
+			body[0] = ast.Pos(ast.NewAtom(body[0].Atom.Pred, ast.Var("X"), ast.Var("Y")))
+			prog.Add(ast.Rule{Head: []ast.Atom{head}, Body: body})
+		}
+		var facts []ast.Atom
+		nFacts := 1 + rng.Intn(6)
+		for i := 0; i < nFacts; i++ {
+			facts = append(facts, ast.NewAtom(preds[rng.Intn(len(preds))],
+				ast.Num(int64(rng.Intn(3))), ast.Num(int64(rng.Intn(3)))))
+		}
+		gp, err := Ground(prog, facts, Options{MaxAtoms: 10000})
+		if err != nil {
+			return false
+		}
+		want := naiveDatalog(prog, facts)
+		got := make(map[string]bool)
+		for _, a := range gp.Certain {
+			got[a.Key()] = true
+		}
+		if len(got) != len(want) {
+			return false
+		}
+		for k := range want {
+			if !got[k] {
+				return false
+			}
+		}
+		return len(gp.Rules) == 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestStatsPopulated(t *testing.T) {
+	prog := mustParse(t, programP)
+	w := mustAtoms(t, "average_speed(newcastle, 10)", "car_number(newcastle, 55)")
+	gp, err := Ground(prog, w, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gp.Stats.Atoms == 0 || gp.Stats.CertainFacts == 0 || gp.Stats.Iterations == 0 {
+		t.Errorf("stats not populated: %+v", gp.Stats)
+	}
+}
+
+func TestCertainOutputSorted(t *testing.T) {
+	prog := mustParse(t, programP)
+	w := mustAtoms(t,
+		"average_speed(z, 10)", "car_number(z, 55)",
+		"average_speed(a, 10)", "car_number(a, 55)",
+	)
+	gp, err := Ground(prog, w, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	keys := certainKeys(gp)
+	if !sort.StringsAreSorted(keys) {
+		t.Errorf("certain atoms not sorted: %v", keys)
+	}
+}

@@ -1,0 +1,394 @@
+package ground
+
+import (
+	"fmt"
+	"math"
+
+	"streamrule/internal/asp/ast"
+)
+
+// joinRule enumerates all substitutions that satisfy the positive body
+// literals and comparisons of r against the current stores, calling emitFn
+// for each complete match. Negative literals are left to emit-time
+// simplification. When g.deltaOcc >= 0, the positive literal at that body
+// position only ranges over the atoms recorded in g.delta (semi-naive pass).
+func (g *grounder) joinRule(r ast.Rule, emitFn func(ast.Subst) error) error {
+	type entry struct {
+		lit  ast.Literal
+		idx  int
+		done bool
+	}
+	var entries []*entry
+	for i, l := range r.Body {
+		switch {
+		case l.Kind == ast.CompLiteral:
+			entries = append(entries, &entry{lit: l, idx: i})
+		case l.Kind == ast.AtomLiteral && !l.Neg:
+			entries = append(entries, &entry{lit: l, idx: i})
+		case l.Kind == ast.AggLiteral:
+			entries = append(entries, &entry{lit: l, idx: i})
+		}
+	}
+	// Variables occurring outside aggregate elements: an aggregate is ready
+	// once all of its global variables (those shared with the rest of the
+	// rule) are bound.
+	outer := make(map[string]bool)
+	for _, a := range r.Head {
+		a.CollectVars(outer)
+	}
+	for _, l := range r.Body {
+		switch l.Kind {
+		case ast.AggLiteral:
+			l.Agg.GuardRHS.CollectVars(outer)
+		default:
+			l.CollectVars(outer)
+		}
+	}
+	subst := ast.Subst{}
+
+	// bind records a variable binding and returns an undo function.
+	bind := func(v string, t ast.Term) func() {
+		subst[v] = t
+		return func() { delete(subst, v) }
+	}
+
+	var rec func() error
+	rec = func() error {
+		// Evaluate every decidable comparison; CmpEq may bind a variable.
+		var undos []func()
+		defer func() {
+			for i := len(undos) - 1; i >= 0; i-- {
+				undos[i]()
+			}
+		}()
+		for progress := true; progress; {
+			progress = false
+			for _, e := range entries {
+				if e.done {
+					continue
+				}
+				if e.lit.Kind == ast.AggLiteral {
+					ready := true
+					for _, v := range e.lit.Agg.GlobalVars(outer) {
+						if _, ok := subst[v]; !ok {
+							ready = false
+							break
+						}
+					}
+					if !ready {
+						continue
+					}
+					holds, bindVar, bindVal, err := g.evalAggregate(r, e.lit.Agg, subst)
+					if err != nil {
+						return err
+					}
+					if bindVar != "" {
+						undos = append(undos, bind(bindVar, bindVal))
+					} else if !holds {
+						return nil // pruned
+					}
+					e.done = true
+					undos = append(undos, func() { e.done = false })
+					progress = true
+					continue
+				}
+				if e.lit.Kind != ast.CompLiteral {
+					continue
+				}
+				l := e.lit.Apply(subst)
+				switch {
+				case l.Lhs.IsGround() && l.Rhs.IsGround():
+					lv, err := l.Lhs.Eval(nil)
+					if err != nil {
+						return err
+					}
+					rv, err := l.Rhs.Eval(nil)
+					if err != nil {
+						return err
+					}
+					if !l.Op.Holds(lv, rv) {
+						return nil // pruned
+					}
+					e.done = true
+					undos = append(undos, func() { e.done = false })
+					progress = true
+				case l.Op == ast.CmpEq && l.Lhs.Kind == ast.VariableTerm && l.Rhs.IsGround():
+					rv, err := l.Rhs.Eval(nil)
+					if err != nil {
+						return err
+					}
+					undos = append(undos, bind(l.Lhs.Sym, rv))
+					e.done = true
+					undos = append(undos, func() { e.done = false })
+					progress = true
+				case l.Op == ast.CmpEq && l.Rhs.Kind == ast.VariableTerm && l.Lhs.IsGround():
+					lv, err := l.Lhs.Eval(nil)
+					if err != nil {
+						return err
+					}
+					undos = append(undos, bind(l.Rhs.Sym, lv))
+					e.done = true
+					undos = append(undos, func() { e.done = false })
+					progress = true
+				}
+			}
+		}
+
+		// Choose the next positive literal: among ready entries (no argument
+		// is an unresolved arithmetic term), prefer the one with the most
+		// ground arguments, then the smaller relation.
+		var best *entry
+		var bestPattern []ast.Term
+		bestScore := math.MinInt
+		pending := 0
+		for _, e := range entries {
+			if e.done {
+				continue
+			}
+			if e.lit.Kind != ast.AtomLiteral {
+				pending++
+				continue
+			}
+			pending++
+			pattern := make([]ast.Term, len(e.lit.Atom.Args))
+			ready := true
+			ground := 0
+			for i, t := range e.lit.Atom.Args {
+				pattern[i] = t.Apply(subst)
+				switch {
+				case pattern[i].IsGround():
+					ground++
+				case pattern[i].Kind == ast.ArithTerm:
+					ready = false
+				}
+			}
+			if !ready {
+				continue
+			}
+			st := g.stores[e.lit.Atom.PredKey()]
+			size := 0
+			if st != nil {
+				size = len(st.atoms)
+			}
+			score := ground*1_000_000 - size
+			if score > bestScore {
+				bestScore = score
+				best = e
+				bestPattern = pattern
+			}
+		}
+		if pending == 0 {
+			return emitFn(subst)
+		}
+		if best == nil {
+			// Only blocked entries remain: comparisons or arithmetic
+			// patterns over unbound variables. Safety should prevent this.
+			return fmt.Errorf("cannot instantiate rule %q: unresolved variables", r)
+		}
+
+		predKey := best.lit.Atom.PredKey()
+		st := g.stores[predKey]
+		var cands []int
+		if best.idx == g.deltaOcc {
+			for pos := range g.delta[predKey] {
+				cands = append(cands, pos)
+			}
+		} else {
+			cands = st.candidates(bestPattern)
+		}
+		best.done = true
+		defer func() { best.done = false }()
+		for _, pos := range cands {
+			atom := st.atoms[pos]
+			local, ok := unifyArgs(bestPattern, atom.Args, subst, bind)
+			if ok {
+				if err := rec(); err != nil {
+					for i := len(local) - 1; i >= 0; i-- {
+						local[i]()
+					}
+					return err
+				}
+			}
+			for i := len(local) - 1; i >= 0; i-- {
+				local[i]()
+			}
+		}
+		return nil
+	}
+	return rec()
+}
+
+// unifyArgs matches a substituted pattern against a ground argument list,
+// binding pattern variables through bind. It returns the undo functions for
+// the bindings made and whether the match succeeded (on failure the bindings
+// already made are returned for the caller to undo).
+func unifyArgs(pattern, ground []ast.Term, subst ast.Subst, bind func(string, ast.Term) func()) ([]func(), bool) {
+	var undos []func()
+	for i, p := range pattern {
+		local, ok := unifyTerm(p, ground[i], subst, bind)
+		undos = append(undos, local...)
+		if !ok {
+			return undos, false
+		}
+	}
+	return undos, true
+}
+
+// unifyTerm matches one pattern term against one ground term, descending
+// into function terms structurally. Non-ground arithmetic patterns cannot be
+// inverted and fail the match.
+func unifyTerm(p, gt ast.Term, subst ast.Subst, bind func(string, ast.Term) func()) ([]func(), bool) {
+	switch {
+	case p.Kind == ast.VariableTerm:
+		if b, ok := subst[p.Sym]; ok {
+			if !b.Equal(gt) {
+				return nil, false
+			}
+			return nil, true
+		}
+		return []func(){bind(p.Sym, gt)}, true
+	case p.Kind == ast.FuncTerm:
+		if gt.Kind != ast.FuncTerm || gt.Sym != p.Sym || len(gt.FArgs) != len(p.FArgs) {
+			return nil, false
+		}
+		var undos []func()
+		for i := range p.FArgs {
+			local, ok := unifyTerm(p.FArgs[i].Apply(subst), gt.FArgs[i], subst, bind)
+			undos = append(undos, local...)
+			if !ok {
+				return undos, false
+			}
+		}
+		return undos, true
+	case p.IsGround():
+		pv, err := p.Eval(nil)
+		if err != nil || !pv.Equal(gt) {
+			return nil, false
+		}
+		return nil, true
+	default:
+		return nil, false
+	}
+}
+
+// addDerived inserts a derived ground atom into the store, enforcing the
+// atom limit and notifying the semi-naive delta recorder for new atoms.
+func (g *grounder) addDerived(a ast.Atom, certain bool) error {
+	st := g.store(a.PredKey(), a.Arity())
+	pos, isNew, _ := st.add(a, certain)
+	if isNew {
+		g.totalAtom++
+		if g.opts.MaxAtoms > 0 && g.totalAtom > g.opts.MaxAtoms {
+			return &ErrAtomLimit{Limit: g.opts.MaxAtoms}
+		}
+		if g.onNewAtom != nil {
+			g.onNewAtom(a.PredKey(), pos)
+		}
+	}
+	return nil
+}
+
+// emit builds the simplified ground instance of r under the substitution and
+// either records a certain fact, an inconsistency, or a residual ground rule.
+func (g *grounder) emit(r ast.Rule, s ast.Subst) error {
+	gr := r.Apply(s)
+	var body []ast.Literal
+	for _, l := range gr.Body {
+		switch l.Kind {
+		case ast.AggLiteral:
+			// Aggregates were fully evaluated (and pruned on) during the
+			// join; nothing remains to check.
+			continue
+		case ast.CompLiteral:
+			lv, err := l.Lhs.Eval(nil)
+			if err != nil {
+				return err
+			}
+			rv, err := l.Rhs.Eval(nil)
+			if err != nil {
+				return err
+			}
+			if !l.Op.Holds(lv, rv) {
+				return nil
+			}
+		case ast.AtomLiteral:
+			st := g.stores[l.Atom.PredKey()]
+			pos, known := st.lookup(l.Atom)
+			if !l.Neg {
+				// Matched positive literal: always present in the store.
+				if known && st.certain[pos] {
+					continue // certainly true: drop
+				}
+				body = append(body, l)
+				continue
+			}
+			// Default-negated literal.
+			if known && st.certain[pos] {
+				return nil // certainly true atom: rule can never fire
+			}
+			fullyEvaluated := g.compOf[l.Atom.PredKey()] < g.curComp
+			if _, declared := g.compOf[l.Atom.PredKey()]; !declared {
+				fullyEvaluated = true // predicate never occurs in a rule
+			}
+			if fullyEvaluated && !known {
+				continue // atom can never be derived: not l holds, drop
+			}
+			body = append(body, l)
+		}
+	}
+
+	// Expand constant intervals in the head into a conjunction of rules
+	// (p(1..3) :- B derives p(1), p(2), p(3); for choice rules the expanded
+	// atoms all join one choice head).
+	headSets, err := expandIntervalAtoms(gr.Head)
+	if err != nil {
+		return fmt.Errorf("rule %q: %w", r, err)
+	}
+	if gr.Choice && len(headSets) > 1 {
+		// A choice head with intervals pools into a single ground rule.
+		merged := make([]ast.Atom, 0, len(headSets))
+		seen := make(map[string]bool)
+		for _, hs := range headSets {
+			for _, a := range hs {
+				if !seen[a.Key()] {
+					seen[a.Key()] = true
+					merged = append(merged, a)
+				}
+			}
+		}
+		headSets = [][]ast.Atom{merged}
+	}
+
+	for _, heads := range headSets {
+		if err := g.emitGround(heads, body, gr); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// emitGround records one simplified ground rule (or fact, or inconsistency).
+func (g *grounder) emitGround(heads []ast.Atom, body []ast.Literal, gr ast.Rule) error {
+	switch {
+	case gr.Choice:
+		// Choice heads are never certain, even with an empty body.
+	case len(heads) == 0 && len(body) == 0:
+		g.out.Inconsistent = true
+		return nil
+	case len(heads) == 1 && len(body) == 0:
+		return g.addDerived(heads[0], true)
+	}
+	simplified := ast.Rule{Head: heads, Body: body, Choice: gr.Choice, Lower: gr.Lower, Upper: gr.Upper}
+	key := simplified.String()
+	if g.seenRules[key] {
+		return nil
+	}
+	g.seenRules[key] = true
+	g.out.Rules = append(g.out.Rules, simplified)
+	for _, h := range heads {
+		if err := g.addDerived(h, false); err != nil {
+			return err
+		}
+	}
+	return nil
+}

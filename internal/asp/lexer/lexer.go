@@ -1,0 +1,318 @@
+// Package lexer tokenizes answer set programs in ASP surface syntax.
+//
+// The token inventory covers the language used throughout this repository:
+// identifiers (lower-case initial), variables (upper-case initial or '_'),
+// integers, the rule operator ':-', disjunction '|' (and ';' as a synonym in
+// heads), comparison operators, arithmetic operators, parentheses, commas,
+// periods, and the keyword 'not'. Comments run from '%' to end of line.
+package lexer
+
+import (
+	"fmt"
+	"strconv"
+	"unicode"
+)
+
+// Kind identifies a token class.
+type Kind uint8
+
+// Token kinds.
+const (
+	EOF Kind = iota
+	Ident
+	Variable
+	Number
+	Not    // keyword not
+	If     // :-
+	Period // .
+	Comma  // ,
+	Pipe   // | or ;
+	LParen // (
+	RParen // )
+	Eq     // = or ==
+	Neq    // != or <>
+	Lt     // <
+	Leq    // <=
+	Gt     // >
+	Geq    // >=
+	Plus   // +
+	Minus  // -
+	Star   // *
+	Slash  // /
+	Mod    // backslash
+	Str    // "quoted string"
+	Dots   // ..
+	LBrace // {
+	RBrace // }
+	Colon  // :
+	Hash   // #show, #count, #sum, #min, #max (Text holds the word)
+)
+
+var kindNames = map[Kind]string{
+	EOF: "EOF", Ident: "identifier", Variable: "variable", Number: "number",
+	Not: "'not'", If: "':-'", Period: "'.'", Comma: "','", Pipe: "'|'",
+	LParen: "'('", RParen: "')'", Eq: "'='", Neq: "'!='", Lt: "'<'",
+	Leq: "'<='", Gt: "'>'", Geq: "'>='", Plus: "'+'", Minus: "'-'",
+	Star: "'*'", Slash: "'/'", Mod: "'\\'", Str: "string",
+	Dots: "'..'", LBrace: "'{'", RBrace: "'}'", Colon: "':'",
+	Hash: "directive",
+}
+
+// String returns a human-readable name of the kind.
+func (k Kind) String() string {
+	if s, ok := kindNames[k]; ok {
+		return s
+	}
+	return fmt.Sprintf("Kind(%d)", int(k))
+}
+
+// Token is a lexeme with position information (1-based line and column).
+type Token struct {
+	Kind Kind
+	Text string
+	Num  int64
+	Line int
+	Col  int
+}
+
+func (t Token) String() string {
+	switch t.Kind {
+	case Ident, Variable:
+		return t.Text
+	case Number:
+		return strconv.FormatInt(t.Num, 10)
+	default:
+		return t.Kind.String()
+	}
+}
+
+// Error is a lexical error with position.
+type Error struct {
+	Line, Col int
+	Msg       string
+}
+
+func (e *Error) Error() string {
+	return fmt.Sprintf("%d:%d: %s", e.Line, e.Col, e.Msg)
+}
+
+// Lexer scans an input string into tokens.
+type Lexer struct {
+	src  []rune
+	pos  int
+	line int
+	col  int
+}
+
+// New returns a lexer over src.
+func New(src string) *Lexer {
+	return &Lexer{src: []rune(src), line: 1, col: 1}
+}
+
+// Tokenize scans the entire input and returns all tokens, excluding EOF.
+func Tokenize(src string) ([]Token, error) {
+	lx := New(src)
+	var out []Token
+	for {
+		t, err := lx.Next()
+		if err != nil {
+			return nil, err
+		}
+		if t.Kind == EOF {
+			return out, nil
+		}
+		out = append(out, t)
+	}
+}
+
+func (l *Lexer) peek() rune {
+	if l.pos >= len(l.src) {
+		return 0
+	}
+	return l.src[l.pos]
+}
+
+func (l *Lexer) peek2() rune {
+	if l.pos+1 >= len(l.src) {
+		return 0
+	}
+	return l.src[l.pos+1]
+}
+
+func (l *Lexer) advance() rune {
+	r := l.src[l.pos]
+	l.pos++
+	if r == '\n' {
+		l.line++
+		l.col = 1
+	} else {
+		l.col++
+	}
+	return r
+}
+
+func (l *Lexer) skipSpaceAndComments() {
+	for l.pos < len(l.src) {
+		r := l.peek()
+		switch {
+		case unicode.IsSpace(r):
+			l.advance()
+		case r == '%':
+			for l.pos < len(l.src) && l.peek() != '\n' {
+				l.advance()
+			}
+		default:
+			return
+		}
+	}
+}
+
+func isIdentStart(r rune) bool { return unicode.IsLower(r) }
+func isVarStart(r rune) bool   { return unicode.IsUpper(r) || r == '_' }
+func isIdentPart(r rune) bool {
+	return unicode.IsLetter(r) || unicode.IsDigit(r) || r == '_'
+}
+
+// Next returns the next token, or an EOF token at end of input.
+func (l *Lexer) Next() (Token, error) {
+	l.skipSpaceAndComments()
+	line, col := l.line, l.col
+	if l.pos >= len(l.src) {
+		return Token{Kind: EOF, Line: line, Col: col}, nil
+	}
+	r := l.peek()
+	switch {
+	case isIdentStart(r) || isVarStart(r):
+		start := l.pos
+		for l.pos < len(l.src) && isIdentPart(l.peek()) {
+			l.advance()
+		}
+		text := string(l.src[start:l.pos])
+		if text == "not" {
+			return Token{Kind: Not, Text: text, Line: line, Col: col}, nil
+		}
+		kind := Ident
+		if isVarStart(r) {
+			kind = Variable
+		}
+		return Token{Kind: kind, Text: text, Line: line, Col: col}, nil
+	case unicode.IsDigit(r):
+		start := l.pos
+		for l.pos < len(l.src) && unicode.IsDigit(l.peek()) {
+			l.advance()
+		}
+		text := string(l.src[start:l.pos])
+		n, err := strconv.ParseInt(text, 10, 64)
+		if err != nil {
+			return Token{}, &Error{line, col, "integer literal out of range: " + text}
+		}
+		return Token{Kind: Number, Num: n, Line: line, Col: col}, nil
+	}
+	mk := func(k Kind, n int) (Token, error) {
+		text := string(l.src[l.pos : l.pos+n])
+		for i := 0; i < n; i++ {
+			l.advance()
+		}
+		return Token{Kind: k, Text: text, Line: line, Col: col}, nil
+	}
+	switch r {
+	case '"':
+		l.advance()
+		var sb []rune
+		for {
+			if l.pos >= len(l.src) {
+				return Token{}, &Error{line, col, "unterminated string"}
+			}
+			c := l.advance()
+			if c == '"' {
+				return Token{Kind: Str, Text: string(sb), Line: line, Col: col}, nil
+			}
+			if c == '\\' {
+				if l.pos >= len(l.src) {
+					return Token{}, &Error{line, col, "unterminated string escape"}
+				}
+				e := l.advance()
+				switch e {
+				case 'n':
+					sb = append(sb, '\n')
+				case 't':
+					sb = append(sb, '\t')
+				case '"', '\\':
+					sb = append(sb, e)
+				default:
+					return Token{}, &Error{line, col, fmt.Sprintf("unknown string escape %q", e)}
+				}
+				continue
+			}
+			sb = append(sb, c)
+		}
+	case '#':
+		l.advance()
+		start := l.pos
+		for l.pos < len(l.src) && isIdentPart(l.peek()) {
+			l.advance()
+		}
+		word := string(l.src[start:l.pos])
+		switch word {
+		case "show", "count", "sum", "min", "max":
+			return Token{Kind: Hash, Text: "#" + word, Line: line, Col: col}, nil
+		}
+		return Token{}, &Error{line, col, fmt.Sprintf("unknown directive #%s", word)}
+	case ':':
+		if l.peek2() == '-' {
+			return mk(If, 2)
+		}
+		return mk(Colon, 1)
+	case '{':
+		return mk(LBrace, 1)
+	case '}':
+		return mk(RBrace, 1)
+	case '.':
+		if l.peek2() == '.' {
+			return mk(Dots, 2)
+		}
+		return mk(Period, 1)
+	case ',':
+		return mk(Comma, 1)
+	case '|', ';':
+		return mk(Pipe, 1)
+	case '(':
+		return mk(LParen, 1)
+	case ')':
+		return mk(RParen, 1)
+	case '=':
+		if l.peek2() == '=' {
+			return mk(Eq, 2)
+		}
+		return mk(Eq, 1)
+	case '!':
+		if l.peek2() == '=' {
+			return mk(Neq, 2)
+		}
+		return Token{}, &Error{line, col, "expected '!='"}
+	case '<':
+		switch l.peek2() {
+		case '=':
+			return mk(Leq, 2)
+		case '>':
+			return mk(Neq, 2)
+		}
+		return mk(Lt, 1)
+	case '>':
+		if l.peek2() == '=' {
+			return mk(Geq, 2)
+		}
+		return mk(Gt, 1)
+	case '+':
+		return mk(Plus, 1)
+	case '-':
+		return mk(Minus, 1)
+	case '*':
+		return mk(Star, 1)
+	case '/':
+		return mk(Slash, 1)
+	case '\\':
+		return mk(Mod, 1)
+	}
+	return Token{}, &Error{line, col, fmt.Sprintf("unexpected character %q", r)}
+}

@@ -1,0 +1,147 @@
+package lexer
+
+import "testing"
+
+func kinds(t *testing.T, src string) []Kind {
+	t.Helper()
+	toks, err := Tokenize(src)
+	if err != nil {
+		t.Fatalf("Tokenize(%q): %v", src, err)
+	}
+	out := make([]Kind, len(toks))
+	for i, tok := range toks {
+		out[i] = tok.Kind
+	}
+	return out
+}
+
+func TestTokenizeRule(t *testing.T) {
+	src := "traffic_jam(X) :- very_slow_speed(X), many_cars(X), not traffic_light(X)."
+	got := kinds(t, src)
+	want := []Kind{
+		Ident, LParen, Variable, RParen, If,
+		Ident, LParen, Variable, RParen, Comma,
+		Ident, LParen, Variable, RParen, Comma,
+		Not, Ident, LParen, Variable, RParen, Period,
+	}
+	if len(got) != len(want) {
+		t.Fatalf("got %d tokens, want %d: %v", len(got), len(want), got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("token %d = %s, want %s", i, got[i], want[i])
+		}
+	}
+}
+
+func TestTokenizeComparisons(t *testing.T) {
+	src := "Y < 20 , Y <= 2, Y > 40, Y >= 4, X = Y, X == Y, X != Y, X <> Y"
+	got := kinds(t, src)
+	want := []Kind{
+		Variable, Lt, Number, Comma,
+		Variable, Leq, Number, Comma,
+		Variable, Gt, Number, Comma,
+		Variable, Geq, Number, Comma,
+		Variable, Eq, Variable, Comma,
+		Variable, Eq, Variable, Comma,
+		Variable, Neq, Variable, Comma,
+		Variable, Neq, Variable,
+	}
+	if len(got) != len(want) {
+		t.Fatalf("got %v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("token %d = %s, want %s", i, got[i], want[i])
+		}
+	}
+}
+
+func TestTokenizeArithAndDisjunction(t *testing.T) {
+	got := kinds(t, "a | b ; c :- X + 1 * 2 - 3 / 4 \\ 5.")
+	want := []Kind{
+		Ident, Pipe, Ident, Pipe, Ident, If,
+		Variable, Plus, Number, Star, Number, Minus, Number, Slash, Number, Mod, Number, Period,
+	}
+	if len(got) != len(want) {
+		t.Fatalf("got %v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("token %d = %s, want %s", i, got[i], want[i])
+		}
+	}
+}
+
+func TestCommentsAndWhitespace(t *testing.T) {
+	src := "% a comment line\n  p(a). % trailing\n% final"
+	toks, err := Tokenize(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(toks) != 5 {
+		t.Fatalf("got %d tokens: %v", len(toks), toks)
+	}
+	if toks[0].Line != 2 {
+		t.Errorf("first token line = %d, want 2", toks[0].Line)
+	}
+}
+
+func TestVariablesAndIdentifiers(t *testing.T) {
+	toks, err := Tokenize("Foo _bar baz notation")
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantKinds := []Kind{Variable, Variable, Ident, Ident}
+	wantText := []string{"Foo", "_bar", "baz", "notation"}
+	for i := range wantKinds {
+		if toks[i].Kind != wantKinds[i] || toks[i].Text != wantText[i] {
+			t.Errorf("token %d = %v %q", i, toks[i].Kind, toks[i].Text)
+		}
+	}
+}
+
+func TestNotIsKeywordOnly(t *testing.T) {
+	toks, err := Tokenize("not not_a_keyword")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if toks[0].Kind != Not || toks[1].Kind != Ident {
+		t.Errorf("got %v %v", toks[0].Kind, toks[1].Kind)
+	}
+}
+
+func TestNumbers(t *testing.T) {
+	toks, err := Tokenize("0 42 1000000")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []int64{0, 42, 1000000}
+	for i, w := range want {
+		if toks[i].Kind != Number || toks[i].Num != w {
+			t.Errorf("token %d = %v", i, toks[i])
+		}
+	}
+}
+
+func TestLexErrors(t *testing.T) {
+	for _, src := range []string{"p :@ q", "p ! q", "p #nope q", `p "unterminated`, `"bad \q escape"`, "99999999999999999999999"} {
+		if _, err := Tokenize(src); err == nil {
+			t.Errorf("Tokenize(%q) should fail", src)
+		}
+	}
+}
+
+func TestPositions(t *testing.T) {
+	toks, err := Tokenize("p(a).\nq(b).")
+	if err != nil {
+		t.Fatal(err)
+	}
+	last := toks[len(toks)-1]
+	if last.Line != 2 {
+		t.Errorf("last token line = %d, want 2", last.Line)
+	}
+	if toks[0].Line != 1 || toks[0].Col != 1 {
+		t.Errorf("first token at %d:%d, want 1:1", toks[0].Line, toks[0].Col)
+	}
+}

@@ -1,0 +1,199 @@
+package parser
+
+import (
+	"fmt"
+
+	"streamrule/internal/asp/ast"
+	"streamrule/internal/asp/lexer"
+)
+
+// This file parses the language extensions: #show declarations, choice
+// rules with cardinality bounds, aggregates, strings, intervals, and
+// function terms (the latter three hook into expr/factor in parser.go).
+
+// showDecl parses "#show name/arity." with the '#show' token consumed.
+func (p *parser) showDecl() (ast.ShowDecl, error) {
+	id, err := p.expect(lexer.Ident)
+	if err != nil {
+		return ast.ShowDecl{}, err
+	}
+	if _, err := p.expect(lexer.Slash); err != nil {
+		return ast.ShowDecl{}, err
+	}
+	n, err := p.expect(lexer.Number)
+	if err != nil {
+		return ast.ShowDecl{}, err
+	}
+	if n.Num < 0 {
+		return ast.ShowDecl{}, &Error{n.Line, n.Col, "negative arity"}
+	}
+	if _, err := p.expect(lexer.Period); err != nil {
+		return ast.ShowDecl{}, err
+	}
+	return ast.ShowDecl{Pred: id.Text, Arity: int(n.Num)}, nil
+}
+
+// choiceHead parses "lo { a ; b ; ... } hi" with the optional lower bound
+// already consumed and passed in (UnboundedChoice when absent). The '{'
+// token is the current token.
+func (p *parser) choiceHead(lower int) (ast.Rule, error) {
+	r := ast.Rule{Choice: true, Lower: lower, Upper: ast.UnboundedChoice}
+	if _, err := p.expect(lexer.LBrace); err != nil {
+		return r, err
+	}
+	if p.peek().Kind != lexer.RBrace {
+		for {
+			a, err := p.atom()
+			if err != nil {
+				return r, err
+			}
+			r.Head = append(r.Head, a)
+			if !p.accept(lexer.Pipe) && !p.accept(lexer.Comma) {
+				break
+			}
+		}
+	}
+	if _, err := p.expect(lexer.RBrace); err != nil {
+		return r, err
+	}
+	if p.peek().Kind == lexer.Number {
+		n := p.next()
+		r.Upper = int(n.Num)
+	}
+	if r.Lower != ast.UnboundedChoice && r.Upper != ast.UnboundedChoice && r.Lower > r.Upper {
+		t := p.peek()
+		return r, &Error{t.Line, t.Col, fmt.Sprintf("choice bounds %d > %d", r.Lower, r.Upper)}
+	}
+	return r, nil
+}
+
+var aggFuncs = map[string]ast.AggFunc{
+	"#count": ast.AggCount,
+	"#sum":   ast.AggSum,
+	"#min":   ast.AggMin,
+	"#max":   ast.AggMax,
+}
+
+// aggregateSet parses "#func { elem ; elem ; ... }" with the Hash token as
+// the current token; the guard is attached by the caller.
+func (p *parser) aggregateSet() (ast.Aggregate, error) {
+	h := p.next()
+	fn, ok := aggFuncs[h.Text]
+	if !ok {
+		return ast.Aggregate{}, &Error{h.Line, h.Col, fmt.Sprintf("%s is not an aggregate function", h.Text)}
+	}
+	agg := ast.Aggregate{Func: fn}
+	if _, err := p.expect(lexer.LBrace); err != nil {
+		return agg, err
+	}
+	if p.peek().Kind != lexer.RBrace {
+		for {
+			elem, err := p.aggElem()
+			if err != nil {
+				return agg, err
+			}
+			agg.Elems = append(agg.Elems, elem)
+			if !p.accept(lexer.Pipe) { // ';' separates elements
+				break
+			}
+		}
+	}
+	if _, err := p.expect(lexer.RBrace); err != nil {
+		return agg, err
+	}
+	return agg, nil
+}
+
+// aggElem parses "t1, ..., tn [: lit, ..., litm]".
+func (p *parser) aggElem() (ast.AggElem, error) {
+	var elem ast.AggElem
+	for {
+		t, err := p.expr()
+		if err != nil {
+			return elem, err
+		}
+		elem.Terms = append(elem.Terms, t)
+		if !p.accept(lexer.Comma) {
+			break
+		}
+	}
+	if p.accept(lexer.Colon) {
+		for {
+			l, err := p.condLiteral()
+			if err != nil {
+				return elem, err
+			}
+			elem.Cond = append(elem.Cond, l)
+			if !p.accept(lexer.Comma) {
+				break
+			}
+		}
+	}
+	return elem, nil
+}
+
+// condLiteral parses a literal inside an aggregate condition: an atom, a
+// negated atom, or a comparison — but not a nested aggregate.
+func (p *parser) condLiteral() (ast.Literal, error) {
+	if p.peek().Kind == lexer.Hash {
+		t := p.peek()
+		return ast.Literal{}, &Error{t.Line, t.Col, "nested aggregates are not supported"}
+	}
+	return p.literal()
+}
+
+// aggregateLiteral parses a full aggregate literal in one of the forms
+//
+//	#func{...} op term
+//	term op #func{...}
+//
+// The caller dispatches: leftGuard is the already-parsed guard term for the
+// second form (nil pointer semantics via ok flag).
+func (p *parser) aggregateLiteralRight() (ast.Literal, error) {
+	agg, err := p.aggregateSet()
+	if err != nil {
+		return ast.Literal{}, err
+	}
+	t := p.peek()
+	op, ok := cmpOps[t.Kind]
+	if !ok {
+		return ast.Literal{}, &Error{t.Line, t.Col, "aggregate needs a comparison guard"}
+	}
+	p.next()
+	rhs, err := p.expr()
+	if err != nil {
+		return ast.Literal{}, err
+	}
+	agg.GuardOp = op
+	agg.GuardRHS = rhs
+	return ast.AggLit(agg), nil
+}
+
+// aggregateLiteralLeft builds "guard op #func{...}", normalizing the guard
+// operator so that the aggregate value is on the left of GuardOp
+// (e.g. "3 < #count{...}" becomes "#count{...} > 3").
+func (p *parser) aggregateLiteralLeft(guard ast.Term, op ast.CompOp) (ast.Literal, error) {
+	agg, err := p.aggregateSet()
+	if err != nil {
+		return ast.Literal{}, err
+	}
+	agg.GuardOp = flipCmp(op)
+	agg.GuardRHS = guard
+	return ast.AggLit(agg), nil
+}
+
+// flipCmp mirrors a comparison operator across its operands.
+func flipCmp(op ast.CompOp) ast.CompOp {
+	switch op {
+	case ast.CmpLt:
+		return ast.CmpGt
+	case ast.CmpLeq:
+		return ast.CmpGeq
+	case ast.CmpGt:
+		return ast.CmpLt
+	case ast.CmpGeq:
+		return ast.CmpLeq
+	default:
+		return op
+	}
+}

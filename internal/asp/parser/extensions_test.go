@@ -1,0 +1,273 @@
+package parser
+
+import (
+	"strings"
+	"testing"
+
+	"streamrule/internal/asp/ast"
+)
+
+func TestParseStrings(t *testing.T) {
+	r, err := ParseRule(`label(n1, "hello world").`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	arg := r.Head[0].Args[1]
+	if arg.Kind != ast.StringTerm || arg.Sym != "hello world" {
+		t.Errorf("arg = %#v", arg)
+	}
+	r2, err := ParseRule(`esc("a\"b\\c\nd").`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := r2.Head[0].Args[0].Sym; got != "a\"b\\c\nd" {
+		t.Errorf("escapes = %q", got)
+	}
+	// Round trip through String().
+	again, err := ParseRule(r2.String())
+	if err != nil {
+		t.Fatalf("round trip: %v (src %q)", err, r2.String())
+	}
+	if !again.Head[0].Equal(r2.Head[0]) {
+		t.Error("string round trip mismatch")
+	}
+}
+
+func TestParseFunctionTerms(t *testing.T) {
+	r, err := ParseRule("p(f(X, g(1)), a) :- q(f(X, g(1))).")
+	if err != nil {
+		t.Fatal(err)
+	}
+	arg := r.Head[0].Args[0]
+	if arg.Kind != ast.FuncTerm || arg.Sym != "f" || len(arg.FArgs) != 2 {
+		t.Fatalf("arg = %s", arg)
+	}
+	if arg.FArgs[1].Kind != ast.FuncTerm || arg.FArgs[1].Sym != "g" {
+		t.Errorf("nested = %s", arg.FArgs[1])
+	}
+	if r.String() != "p(f(X,g(1)),a) :- q(f(X,g(1)))." {
+		t.Errorf("String = %q", r.String())
+	}
+}
+
+func TestParseIntervals(t *testing.T) {
+	r, err := ParseRule("num(1..10).")
+	if err != nil {
+		t.Fatal(err)
+	}
+	arg := r.Head[0].Args[0]
+	if arg.Kind != ast.IntervalTerm {
+		t.Fatalf("arg = %#v", arg)
+	}
+	if arg.L.Num != 1 || arg.R.Num != 10 {
+		t.Errorf("bounds = %s..%s", arg.L, arg.R)
+	}
+	if r.String() != "num(1..10)." {
+		t.Errorf("String = %q", r.String())
+	}
+	// Arithmetic bounds.
+	r2, err := ParseRule("num(1..2+3).")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r2.Head[0].Args[0].R.Kind != ast.ArithTerm {
+		t.Errorf("hi bound = %s", r2.Head[0].Args[0].R)
+	}
+}
+
+func TestParseShow(t *testing.T) {
+	prog, err := Parse(`
+p(X) :- q(X).
+#show p/1.
+#show give_notification/1.
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(prog.Shows) != 2 {
+		t.Fatalf("shows = %v", prog.Shows)
+	}
+	if prog.Shows[0].Pred != "p" || prog.Shows[0].Arity != 1 {
+		t.Errorf("show 0 = %v", prog.Shows[0])
+	}
+	if !strings.Contains(prog.String(), "#show p/1.") {
+		t.Errorf("program string: %q", prog.String())
+	}
+	for _, bad := range []string{"#show.", "#show p.", "#show p/x.", "#show p/1"} {
+		if _, err := ParseUnchecked(bad); err == nil {
+			t.Errorf("ParseUnchecked(%q) should fail", bad)
+		}
+	}
+}
+
+func TestParseChoiceRules(t *testing.T) {
+	r, err := ParseRule("{ a ; b ; c } :- d.")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !r.Choice || len(r.Head) != 3 {
+		t.Fatalf("rule = %+v", r)
+	}
+	if r.Lower != ast.UnboundedChoice || r.Upper != ast.UnboundedChoice {
+		t.Errorf("bounds = %d..%d", r.Lower, r.Upper)
+	}
+
+	r2, err := ParseRule("1 { p(X) ; q(X) } 2 :- r(X).")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r2.Lower != 1 || r2.Upper != 2 {
+		t.Errorf("bounds = %d..%d", r2.Lower, r2.Upper)
+	}
+	if got := r2.String(); got != "1 {p(X); q(X)} 2 :- r(X)." {
+		t.Errorf("String = %q", got)
+	}
+	// Round trip.
+	again, err := ParseRule(r2.String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if again.Lower != 1 || again.Upper != 2 || !again.Choice {
+		t.Errorf("round trip = %+v", again)
+	}
+
+	// Bare choice fact.
+	r3, err := ParseRule("{ a }.")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !r3.Choice || len(r3.Body) != 0 {
+		t.Errorf("rule = %+v", r3)
+	}
+
+	if _, err := ParseUnchecked("2 { a } 1."); err == nil {
+		t.Error("inverted bounds must be rejected")
+	}
+	if _, err := ParseUnchecked("{ a ."); err == nil {
+		t.Error("unclosed brace must be rejected")
+	}
+}
+
+func TestParseAggregates(t *testing.T) {
+	r, err := ParseRule("busy(X) :- city(X), #count{ C : car_location(C, X) } > 3.")
+	if err != nil {
+		t.Fatal(err)
+	}
+	l := r.Body[1]
+	if l.Kind != ast.AggLiteral {
+		t.Fatalf("literal = %v", l)
+	}
+	agg := l.Agg
+	if agg.Func != ast.AggCount || agg.GuardOp != ast.CmpGt || agg.GuardRHS.Num != 3 {
+		t.Errorf("agg = %+v", agg)
+	}
+	if len(agg.Elems) != 1 || len(agg.Elems[0].Terms) != 1 || len(agg.Elems[0].Cond) != 1 {
+		t.Errorf("elems = %+v", agg.Elems)
+	}
+
+	// Assignment form and left guard form.
+	r2, err := ParseRule("n(X, N) :- city(X), N = #count{ C : car_location(C, X) }.")
+	if err != nil {
+		t.Fatal(err)
+	}
+	agg2 := r2.Body[1].Agg
+	if agg2.GuardOp != ast.CmpEq || agg2.GuardRHS.Kind != ast.VariableTerm || agg2.GuardRHS.Sym != "N" {
+		t.Errorf("assignment agg = %+v", agg2)
+	}
+
+	r3, err := ParseRule("hot(X) :- city(X), 3 < #count{ C : car_location(C, X) }.")
+	if err != nil {
+		t.Fatal(err)
+	}
+	agg3 := r3.Body[1].Agg
+	// "3 < agg" normalizes to "agg > 3".
+	if agg3.GuardOp != ast.CmpGt || agg3.GuardRHS.Num != 3 {
+		t.Errorf("left guard agg = %+v", agg3)
+	}
+
+	// Multiple elements and a multi-term tuple.
+	r4, err := ParseRule("total(S) :- S = #sum{ W, T : task(T), weight(T, W) ; B : bonus(B) }.")
+	if err != nil {
+		t.Fatal(err)
+	}
+	agg4 := r4.Body[0].Agg
+	if len(agg4.Elems) != 2 || len(agg4.Elems[0].Terms) != 2 {
+		t.Errorf("elems = %+v", agg4.Elems)
+	}
+
+	// Round trip.
+	for _, rr := range []ast.Rule{r, r2, r3, r4} {
+		again, err := ParseRule(rr.String())
+		if err != nil {
+			t.Fatalf("round trip of %q: %v", rr.String(), err)
+		}
+		if again.String() != rr.String() {
+			t.Errorf("round trip %q != %q", again.String(), rr.String())
+		}
+	}
+}
+
+func TestParseAggregateErrors(t *testing.T) {
+	bad := []string{
+		"p :- #count{ X : q(X) }.",             // missing guard
+		"p :- #count{ X : #sum{Y:r(Y)}>1 }.",   // nested aggregate
+		"p :- #avg{ X : q(X) } > 1.",           // unknown function
+		"p :- #count{ X : q(X) > 2.",           // unclosed brace
+		"p(N) :- N = #count{ C : q(C) }, N>1.", // fine, control case
+	}
+	for i, src := range bad {
+		_, err := ParseUnchecked(src)
+		if i == len(bad)-1 {
+			if err != nil {
+				t.Errorf("control case failed: %v", err)
+			}
+			continue
+		}
+		if err == nil {
+			t.Errorf("ParseUnchecked(%q) should fail", src)
+		}
+	}
+}
+
+func TestAggregateSafety(t *testing.T) {
+	// Local variables (C) are exempt; the global X must be bound by a
+	// positive atom; the assignment binds N.
+	if _, err := Parse("n(X, N) :- city(X), N = #count{ C : car_location(C, X) }."); err != nil {
+		t.Errorf("safe aggregate rejected: %v", err)
+	}
+	// Global X unbound -> unsafe.
+	if _, err := Parse("n(N) :- N = #count{ C : car_location(C, X) }, p(X)."); err != nil {
+		t.Errorf("X is bound by p(X): %v", err)
+	}
+	if _, err := Parse("bad(X) :- #count{ C : car_location(C, X) } > 1."); err == nil {
+		t.Error("global X without a binder must be unsafe")
+	}
+	// Guard variable used without assignment -> unsafe.
+	if _, err := Parse("bad(N) :- #count{ C : q(C) } > N."); err == nil {
+		t.Error("N in a non-assignment guard must be unsafe")
+	}
+}
+
+func TestAnonymousVariablesAreDistinct(t *testing.T) {
+	r, err := ParseRule("pair :- link(_, _).")
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := r.Body[0].Atom
+	if a.Args[0].Sym == a.Args[1].Sym {
+		t.Errorf("anonymous variables must be distinct, got %s and %s", a.Args[0], a.Args[1])
+	}
+	// zone(Z) :- request(_, Z) is safe and must parse.
+	if _, err := Parse("zone(Z) :- request(_, Z)."); err != nil {
+		t.Errorf("anonymous variable in positive body: %v", err)
+	}
+}
+
+func TestChoiceSafety(t *testing.T) {
+	if _, err := Parse("{ p(X) } :- q(X)."); err != nil {
+		t.Errorf("safe choice rejected: %v", err)
+	}
+	if _, err := Parse("{ p(X) }."); err == nil {
+		t.Error("unbound choice head variable must be unsafe")
+	}
+}

@@ -1,0 +1,424 @@
+// Package parser builds ast.Program values from ASP surface syntax.
+//
+// Grammar (EBNF, ignoring whitespace and '%' comments):
+//
+//	program   = { rule } .
+//	rule      = [ head ] [ ":-" body ] "." .
+//	head      = atom { ("|" | ";") atom } .
+//	body      = literal { "," literal } .
+//	literal   = "not" atom | atom | comparison .
+//	comparison= expr cmpop expr .
+//	cmpop     = "=" | "==" | "!=" | "<>" | "<" | "<=" | ">" | ">=" .
+//	atom      = ident [ "(" expr { "," expr } ")" ] .
+//	expr      = term { ("+"|"-") term } .
+//	term      = factor { ("*"|"/"|"\") factor } .
+//	factor    = ident | variable | number | "-" factor | "(" expr ")" .
+//
+// A leading identifier followed by a comparison operator is parsed as a
+// comparison over a symbol term, matching standard ASP behaviour.
+package parser
+
+import (
+	"fmt"
+
+	"streamrule/internal/asp/ast"
+	"streamrule/internal/asp/lexer"
+)
+
+// Error is a syntax error with position information.
+type Error struct {
+	Line, Col int
+	Msg       string
+}
+
+func (e *Error) Error() string { return fmt.Sprintf("%d:%d: %s", e.Line, e.Col, e.Msg) }
+
+type parser struct {
+	toks []lexer.Token
+	pos  int
+	// anon numbers anonymous variables: each '_' occurrence becomes a fresh
+	// variable so that p(_, _) does not accidentally join its arguments.
+	anon int
+}
+
+// variable builds the term for a Variable token, renaming '_'.
+func (p *parser) variable(text string) ast.Term {
+	if text == "_" {
+		p.anon++
+		return ast.Var(fmt.Sprintf("_Anon%d", p.anon))
+	}
+	return ast.Var(text)
+}
+
+// Parse parses a complete program and verifies rule safety.
+func Parse(src string) (*ast.Program, error) {
+	prog, err := ParseUnchecked(src)
+	if err != nil {
+		return nil, err
+	}
+	if err := prog.CheckSafety(); err != nil {
+		return nil, err
+	}
+	return prog, nil
+}
+
+// ParseUnchecked parses a complete program without the safety check. It is
+// used by tests that deliberately construct unsafe rules.
+func ParseUnchecked(src string) (*ast.Program, error) {
+	toks, err := lexer.Tokenize(src)
+	if err != nil {
+		return nil, err
+	}
+	p := &parser{toks: toks}
+	prog := &ast.Program{}
+	for !p.atEOF() {
+		if t := p.peek(); t.Kind == lexer.Hash && t.Text == "#show" {
+			p.next()
+			decl, err := p.showDecl()
+			if err != nil {
+				return nil, err
+			}
+			prog.Shows = append(prog.Shows, decl)
+			continue
+		}
+		r, err := p.rule()
+		if err != nil {
+			return nil, err
+		}
+		prog.Add(r)
+	}
+	return prog, nil
+}
+
+// ParseRule parses a single rule (terminated by '.').
+func ParseRule(src string) (ast.Rule, error) {
+	prog, err := ParseUnchecked(src)
+	if err != nil {
+		return ast.Rule{}, err
+	}
+	if len(prog.Rules) != 1 {
+		return ast.Rule{}, fmt.Errorf("expected exactly one rule, got %d", len(prog.Rules))
+	}
+	return prog.Rules[0], nil
+}
+
+// ParseAtom parses a single ground or non-ground atom (no trailing period).
+func ParseAtom(src string) (ast.Atom, error) {
+	toks, err := lexer.Tokenize(src)
+	if err != nil {
+		return ast.Atom{}, err
+	}
+	p := &parser{toks: toks}
+	a, err := p.atom()
+	if err != nil {
+		return ast.Atom{}, err
+	}
+	if !p.atEOF() {
+		t := p.peek()
+		return ast.Atom{}, &Error{t.Line, t.Col, "trailing input after atom"}
+	}
+	return a, nil
+}
+
+func (p *parser) atEOF() bool { return p.pos >= len(p.toks) }
+
+func (p *parser) peek() lexer.Token {
+	if p.atEOF() {
+		if len(p.toks) == 0 {
+			return lexer.Token{Kind: lexer.EOF, Line: 1, Col: 1}
+		}
+		last := p.toks[len(p.toks)-1]
+		return lexer.Token{Kind: lexer.EOF, Line: last.Line, Col: last.Col + len(last.Text)}
+	}
+	return p.toks[p.pos]
+}
+
+func (p *parser) next() lexer.Token {
+	t := p.peek()
+	if !p.atEOF() {
+		p.pos++
+	}
+	return t
+}
+
+func (p *parser) expect(k lexer.Kind) (lexer.Token, error) {
+	t := p.peek()
+	if t.Kind != k {
+		return t, &Error{t.Line, t.Col, fmt.Sprintf("expected %s, found %s", k, t)}
+	}
+	return p.next(), nil
+}
+
+func (p *parser) accept(k lexer.Kind) bool {
+	if p.peek().Kind == k {
+		p.next()
+		return true
+	}
+	return false
+}
+
+func (p *parser) rule() (ast.Rule, error) {
+	var r ast.Rule
+	switch {
+	case p.peek().Kind == lexer.LBrace:
+		var err error
+		r, err = p.choiceHead(ast.UnboundedChoice)
+		if err != nil {
+			return r, err
+		}
+	case p.peek().Kind == lexer.Number && p.pos+1 < len(p.toks) && p.toks[p.pos+1].Kind == lexer.LBrace:
+		lo := p.next()
+		var err error
+		r, err = p.choiceHead(int(lo.Num))
+		if err != nil {
+			return r, err
+		}
+	case p.peek().Kind != lexer.If:
+		// Parse head disjunction.
+		for {
+			a, err := p.atom()
+			if err != nil {
+				return r, err
+			}
+			r.Head = append(r.Head, a)
+			if !p.accept(lexer.Pipe) {
+				break
+			}
+		}
+	}
+	if p.accept(lexer.If) {
+		for {
+			l, err := p.literal()
+			if err != nil {
+				return r, err
+			}
+			r.Body = append(r.Body, l)
+			if !p.accept(lexer.Comma) {
+				break
+			}
+		}
+	}
+	if _, err := p.expect(lexer.Period); err != nil {
+		return r, err
+	}
+	return r, nil
+}
+
+var cmpOps = map[lexer.Kind]ast.CompOp{
+	lexer.Eq: ast.CmpEq, lexer.Neq: ast.CmpNeq,
+	lexer.Lt: ast.CmpLt, lexer.Leq: ast.CmpLeq,
+	lexer.Gt: ast.CmpGt, lexer.Geq: ast.CmpGeq,
+}
+
+func (p *parser) literal() (ast.Literal, error) {
+	if p.accept(lexer.Not) {
+		a, err := p.atom()
+		if err != nil {
+			return ast.Literal{}, err
+		}
+		return ast.Not(a), nil
+	}
+	if p.peek().Kind == lexer.Hash {
+		return p.aggregateLiteralRight()
+	}
+	// Could be an atom or a comparison. An atom starts with an identifier;
+	// if what follows the full atom-shaped prefix is a comparison operator,
+	// re-parse as an expression comparison (e.g. "f(X) ..." is always an
+	// atom, but "X < 3" and "cost = 4" are comparisons).
+	start := p.pos
+	if p.peek().Kind == lexer.Ident {
+		a, err := p.atom()
+		if err != nil {
+			return ast.Literal{}, err
+		}
+		if op, ok := cmpOps[p.peek().Kind]; ok && len(a.Args) == 0 {
+			// "ident cmp expr": treat the identifier as a symbol term.
+			p.next()
+			if p.peek().Kind == lexer.Hash {
+				return p.aggregateLiteralLeft(ast.Sym(a.Pred), op)
+			}
+			rhs, err := p.expr()
+			if err != nil {
+				return ast.Literal{}, err
+			}
+			return ast.Cmp(op, ast.Sym(a.Pred), rhs), nil
+		}
+		if _, ok := cmpOps[p.peek().Kind]; ok && len(a.Args) > 0 {
+			t := p.peek()
+			return ast.Literal{}, &Error{t.Line, t.Col, "comparison operand must be a term, not an atom"}
+		}
+		return ast.Pos(a), nil
+	}
+	// Expression comparison starting with a variable, number, '-' or '('.
+	p.pos = start
+	lhs, err := p.expr()
+	if err != nil {
+		return ast.Literal{}, err
+	}
+	t := p.peek()
+	op, ok := cmpOps[t.Kind]
+	if !ok {
+		return ast.Literal{}, &Error{t.Line, t.Col, fmt.Sprintf("expected comparison operator, found %s", t)}
+	}
+	p.next()
+	if p.peek().Kind == lexer.Hash {
+		return p.aggregateLiteralLeft(lhs, op)
+	}
+	rhs, err := p.expr()
+	if err != nil {
+		return ast.Literal{}, err
+	}
+	return ast.Cmp(op, lhs, rhs), nil
+}
+
+func (p *parser) atom() (ast.Atom, error) {
+	id, err := p.expect(lexer.Ident)
+	if err != nil {
+		return ast.Atom{}, err
+	}
+	a := ast.Atom{Pred: id.Text}
+	if p.accept(lexer.LParen) {
+		for {
+			arg, err := p.expr()
+			if err != nil {
+				return ast.Atom{}, err
+			}
+			a.Args = append(a.Args, arg)
+			if !p.accept(lexer.Comma) {
+				break
+			}
+		}
+		if _, err := p.expect(lexer.RParen); err != nil {
+			return ast.Atom{}, err
+		}
+	}
+	return a, nil
+}
+
+func (p *parser) expr() (ast.Term, error) {
+	t, err := p.sumExpr()
+	if err != nil {
+		return ast.Term{}, err
+	}
+	// Intervals bind loosest: "lo .. hi".
+	if p.accept(lexer.Dots) {
+		hi, err := p.sumExpr()
+		if err != nil {
+			return ast.Term{}, err
+		}
+		return ast.Interval(t, hi), nil
+	}
+	return t, nil
+}
+
+func (p *parser) sumExpr() (ast.Term, error) {
+	t, err := p.termExpr()
+	if err != nil {
+		return ast.Term{}, err
+	}
+	for {
+		switch p.peek().Kind {
+		case lexer.Plus:
+			p.next()
+			rhs, err := p.termExpr()
+			if err != nil {
+				return ast.Term{}, err
+			}
+			t = ast.Arith(ast.OpAdd, t, rhs)
+		case lexer.Minus:
+			p.next()
+			rhs, err := p.termExpr()
+			if err != nil {
+				return ast.Term{}, err
+			}
+			t = ast.Arith(ast.OpSub, t, rhs)
+		default:
+			return t, nil
+		}
+	}
+}
+
+func (p *parser) termExpr() (ast.Term, error) {
+	t, err := p.factor()
+	if err != nil {
+		return ast.Term{}, err
+	}
+	for {
+		var op ast.ArithOp
+		switch p.peek().Kind {
+		case lexer.Star:
+			op = ast.OpMul
+		case lexer.Slash:
+			op = ast.OpDiv
+		case lexer.Mod:
+			op = ast.OpMod
+		default:
+			return t, nil
+		}
+		p.next()
+		rhs, err := p.factor()
+		if err != nil {
+			return ast.Term{}, err
+		}
+		t = ast.Arith(op, t, rhs)
+	}
+}
+
+func (p *parser) factor() (ast.Term, error) {
+	t := p.peek()
+	switch t.Kind {
+	case lexer.Ident:
+		p.next()
+		// A '(' directly after the identifier makes it a function term.
+		if p.peek().Kind == lexer.LParen {
+			p.next()
+			var args []ast.Term
+			for {
+				arg, err := p.expr()
+				if err != nil {
+					return ast.Term{}, err
+				}
+				args = append(args, arg)
+				if !p.accept(lexer.Comma) {
+					break
+				}
+			}
+			if _, err := p.expect(lexer.RParen); err != nil {
+				return ast.Term{}, err
+			}
+			return ast.Func(t.Text, args...), nil
+		}
+		return ast.Sym(t.Text), nil
+	case lexer.Str:
+		p.next()
+		return ast.Str(t.Text), nil
+	case lexer.Variable:
+		p.next()
+		return p.variable(t.Text), nil
+	case lexer.Number:
+		p.next()
+		return ast.Num(t.Num), nil
+	case lexer.Minus:
+		p.next()
+		inner, err := p.factor()
+		if err != nil {
+			return ast.Term{}, err
+		}
+		if inner.Kind == ast.NumberTerm {
+			return ast.Num(-inner.Num), nil
+		}
+		return ast.Arith(ast.OpSub, ast.Num(0), inner), nil
+	case lexer.LParen:
+		p.next()
+		inner, err := p.expr()
+		if err != nil {
+			return ast.Term{}, err
+		}
+		if _, err := p.expect(lexer.RParen); err != nil {
+			return ast.Term{}, err
+		}
+		return inner, nil
+	default:
+		return ast.Term{}, &Error{t.Line, t.Col, fmt.Sprintf("expected term, found %s", t)}
+	}
+}

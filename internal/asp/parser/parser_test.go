@@ -1,0 +1,208 @@
+package parser
+
+import (
+	"strings"
+	"testing"
+
+	"streamrule/internal/asp/ast"
+)
+
+// programP is program P from the paper (Listing 1).
+const programP = `
+very_slow_speed(X) :- average_speed(X,Y), Y < 20.
+many_cars(X) :- car_number(X,Y), Y > 40.
+traffic_jam(X) :- very_slow_speed(X), many_cars(X), not traffic_light(X).
+car_fire(X) :- car_in_smoke(C, high), car_speed(C, 0), car_location(C, X).
+give_notification(X) :- traffic_jam(X).
+give_notification(X) :- car_fire(X).
+`
+
+func TestParseProgramP(t *testing.T) {
+	prog, err := Parse(programP)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(prog.Rules) != 6 {
+		t.Fatalf("got %d rules, want 6", len(prog.Rules))
+	}
+	r3 := prog.Rules[2]
+	if r3.Head[0].Pred != "traffic_jam" {
+		t.Errorf("rule 3 head = %s", r3.Head[0])
+	}
+	if len(r3.NegativeBody()) != 1 || r3.NegativeBody()[0].Atom.Pred != "traffic_light" {
+		t.Errorf("rule 3 negative body = %v", r3.NegativeBody())
+	}
+	r1 := prog.Rules[0]
+	if len(r1.Body) != 2 || r1.Body[1].Kind != ast.CompLiteral || r1.Body[1].Op != ast.CmpLt {
+		t.Errorf("rule 1 body = %v", r1.Body)
+	}
+	// Round trip: parse(print(p)) == print(p).
+	again, err := Parse(prog.String())
+	if err != nil {
+		t.Fatalf("round trip: %v", err)
+	}
+	if again.String() != prog.String() {
+		t.Errorf("round trip mismatch:\n%s\nvs\n%s", prog, again)
+	}
+}
+
+func TestParseFactsAndConstraints(t *testing.T) {
+	prog, err := Parse(`
+p(1). p(a). p(foo, 2).
+:- p(1), not q.
+q.
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(prog.Rules) != 5 {
+		t.Fatalf("got %d rules", len(prog.Rules))
+	}
+	if !prog.Rules[0].IsFact() || !prog.Rules[3].IsConstraint() {
+		t.Error("fact/constraint misparsed")
+	}
+	if prog.Rules[1].Head[0].Args[0].Kind != ast.SymbolTerm {
+		t.Error("p(a) argument should be a symbol")
+	}
+}
+
+func TestParseDisjunction(t *testing.T) {
+	for _, src := range []string{"a | b | c.", "a ; b ; c."} {
+		prog, err := Parse(src)
+		if err != nil {
+			t.Fatalf("Parse(%q): %v", src, err)
+		}
+		if len(prog.Rules[0].Head) != 3 {
+			t.Errorf("head len = %d", len(prog.Rules[0].Head))
+		}
+	}
+}
+
+func TestParseNegativeNumberAndArith(t *testing.T) {
+	r, err := ParseRule("p(X) :- q(X, Y), X = Y + 1 * 2.")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cmp := r.Body[1]
+	if cmp.Kind != ast.CompLiteral || cmp.Op != ast.CmpEq {
+		t.Fatalf("expected comparison, got %v", cmp)
+	}
+	if cmp.Rhs.Kind != ast.ArithTerm || cmp.Rhs.Op != ast.OpAdd {
+		t.Fatalf("rhs = %s", cmp.Rhs)
+	}
+	r2, err := ParseRule("p(-3).")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r2.Head[0].Args[0].Num != -3 {
+		t.Errorf("arg = %v", r2.Head[0].Args[0])
+	}
+}
+
+func TestParseSymbolComparison(t *testing.T) {
+	r, err := ParseRule("p :- q(X), X != high.")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cmp := r.Body[1]
+	if cmp.Kind != ast.CompLiteral || cmp.Rhs.Kind != ast.SymbolTerm || cmp.Rhs.Sym != "high" {
+		t.Errorf("comparison = %v", cmp)
+	}
+	// Leading symbol on the LHS.
+	r2, err := ParseRule("p :- q(X), high = X.")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r2.Body[1].Lhs.Sym != "high" {
+		t.Errorf("lhs = %v", r2.Body[1].Lhs)
+	}
+}
+
+func TestParseParenthesizedExpr(t *testing.T) {
+	r, err := ParseRule("p(X) :- q(X,Y), X = (Y + 1) * 2.")
+	if err != nil {
+		t.Fatal(err)
+	}
+	rhs := r.Body[1].Rhs
+	if rhs.Kind != ast.ArithTerm || rhs.Op != ast.OpMul {
+		t.Errorf("rhs = %s", rhs)
+	}
+}
+
+func TestSafetyRejection(t *testing.T) {
+	bad := []string{
+		"p(X).",
+		"p(X) :- not q(X).",
+		"p :- X < 3.",
+		"p(X) :- q(Y).",
+	}
+	for _, src := range bad {
+		if _, err := Parse(src); err == nil {
+			t.Errorf("Parse(%q) should fail the safety check", src)
+		}
+		if _, err := ParseUnchecked(src); err != nil {
+			t.Errorf("ParseUnchecked(%q) should succeed: %v", src, err)
+		}
+	}
+}
+
+func TestParseAtom(t *testing.T) {
+	a, err := ParseAtom("car_in_smoke(car1, high)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Pred != "car_in_smoke" || len(a.Args) != 2 {
+		t.Errorf("atom = %s", a)
+	}
+	if _, err := ParseAtom("p(1) extra"); err == nil {
+		t.Error("trailing input should fail")
+	}
+	if _, err := ParseAtom("P(1)"); err == nil {
+		t.Error("upper-case predicate should fail")
+	}
+}
+
+func TestSyntaxErrors(t *testing.T) {
+	bad := []string{
+		"p(",
+		"p :-",
+		"p :- q",          // missing period
+		"p :- , q.",       // empty literal
+		":- .",            // empty constraint body
+		"p(X) :- q(X) r.", // missing comma
+		"p :- q(X) < 3.",  // atom as comparison operand
+		"| a.",
+	}
+	for _, src := range bad {
+		if _, err := ParseUnchecked(src); err == nil {
+			t.Errorf("ParseUnchecked(%q) should fail", src)
+		}
+	}
+}
+
+func TestErrorsCarryPosition(t *testing.T) {
+	_, err := ParseUnchecked("p(a).\nq(b) :- .")
+	if err == nil {
+		t.Fatal("expected error")
+	}
+	perr, ok := err.(*Error)
+	if !ok {
+		t.Fatalf("expected *Error, got %T: %v", err, err)
+	}
+	if perr.Line != 2 {
+		t.Errorf("error line = %d, want 2", perr.Line)
+	}
+	if !strings.Contains(perr.Error(), "2:") {
+		t.Errorf("error string %q should contain position", perr.Error())
+	}
+}
+
+func TestParseEmptyProgram(t *testing.T) {
+	prog, err := Parse("  % only comments\n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(prog.Rules) != 0 {
+		t.Errorf("got %d rules", len(prog.Rules))
+	}
+}

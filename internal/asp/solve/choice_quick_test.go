@@ -1,0 +1,246 @@
+package solve
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"streamrule/internal/asp/ast"
+	"streamrule/internal/asp/ground"
+)
+
+// bruteForceChoice enumerates answer sets of a ground program that may
+// contain choice rules, directly from the definition: M is an answer set iff
+// (a) M satisfies every cardinality bound whose body M satisfies, and (b) M
+// is a minimal model of the reduct, where a choice rule contributes a :- B+
+// for every head atom a in M (unless a negative body atom is in M).
+func bruteForceChoice(gp *ground.Program) [][]string {
+	type prule struct {
+		head, pos, neg []int
+		choice         bool
+		lo, hi         int
+	}
+	var atoms []string
+	id := map[string]int{}
+	intern := func(k string) int {
+		if i, ok := id[k]; ok {
+			return i
+		}
+		id[k] = len(atoms)
+		atoms = append(atoms, k)
+		return id[k]
+	}
+	var rules []prule
+	for _, r := range gp.Rules {
+		pr := prule{choice: r.Choice, lo: r.Lower, hi: r.Upper}
+		for _, h := range r.Head {
+			pr.head = append(pr.head, intern(h.Key()))
+		}
+		for _, l := range r.Body {
+			if l.Kind != ast.AtomLiteral {
+				continue
+			}
+			if l.Neg {
+				pr.neg = append(pr.neg, intern(l.Atom.Key()))
+			} else {
+				pr.pos = append(pr.pos, intern(l.Atom.Key()))
+			}
+		}
+		rules = append(rules, pr)
+	}
+	n := len(atoms)
+
+	bodySat := func(r prule, world uint64) bool {
+		for _, a := range r.pos {
+			if world&(1<<a) == 0 {
+				return false
+			}
+		}
+		for _, a := range r.neg {
+			if world&(1<<a) != 0 {
+				return false
+			}
+		}
+		return true
+	}
+	boundsOK := func(world uint64) bool {
+		for _, r := range rules {
+			if !r.choice || !bodySat(r, world) {
+				continue
+			}
+			in := 0
+			for _, h := range r.head {
+				if world&(1<<h) != 0 {
+					in++
+				}
+			}
+			if r.lo >= 0 && in < r.lo {
+				return false
+			}
+			if r.hi >= 0 && in > r.hi {
+				return false
+			}
+		}
+		return true
+	}
+	isModelOfReduct := func(m, world uint64) bool {
+		for _, r := range rules {
+			blocked := false
+			for _, a := range r.neg {
+				if world&(1<<a) != 0 {
+					blocked = true
+					break
+				}
+			}
+			if blocked {
+				continue
+			}
+			posSat := true
+			for _, a := range r.pos {
+				if m&(1<<a) == 0 {
+					posSat = false
+					break
+				}
+			}
+			if !posSat {
+				continue
+			}
+			if r.choice {
+				// For every head in the WORLD, the reduct contains a :- B+.
+				for _, h := range r.head {
+					if world&(1<<h) != 0 && m&(1<<h) == 0 {
+						return false
+					}
+				}
+				continue
+			}
+			headSat := false
+			for _, h := range r.head {
+				if m&(1<<h) != 0 {
+					headSat = true
+					break
+				}
+			}
+			if !headSat {
+				return false
+			}
+		}
+		return true
+	}
+
+	var out [][]string
+	for m := uint64(0); m < 1<<n; m++ {
+		if !boundsOK(m) || !isModelOfReduct(m, m) {
+			continue
+		}
+		minimal := true
+		if m > 0 {
+			for sub := (m - 1) & m; ; sub = (sub - 1) & m {
+				if isModelOfReduct(sub, m) {
+					minimal = false
+					break
+				}
+				if sub == 0 {
+					break
+				}
+			}
+		}
+		if minimal {
+			var keys []string
+			for a := 0; a < n; a++ {
+				if m&(1<<a) != 0 {
+					keys = append(keys, atoms[a])
+				}
+			}
+			sort.Strings(keys)
+			out = append(out, keys)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		a, b := out[i], out[j]
+		for k := 0; k < len(a) && k < len(b); k++ {
+			if a[k] != b[k] {
+				return a[k] < b[k]
+			}
+		}
+		return len(a) < len(b)
+	})
+	return out
+}
+
+// Property: the solver agrees with brute force on random propositional
+// programs mixing normal, disjunctive, and bounded choice rules.
+func TestQuickChoiceMatchesBruteForce(t *testing.T) {
+	names := []string{"a", "b", "c", "d"}
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		gp := &ground.Program{}
+		nRules := 1 + rng.Intn(4)
+		for i := 0; i < nRules; i++ {
+			var r ast.Rule
+			kind := rng.Intn(3) // 0 normal, 1 disjunctive/constraint, 2 choice
+			switch kind {
+			case 2:
+				r.Choice = true
+				nHead := 1 + rng.Intn(2)
+				for j := 0; j < nHead; j++ {
+					r.Head = append(r.Head, ast.NewAtom(names[rng.Intn(len(names))]))
+				}
+				r.Lower, r.Upper = ast.UnboundedChoice, ast.UnboundedChoice
+				if rng.Intn(2) == 0 {
+					r.Lower = rng.Intn(2)
+				}
+				if rng.Intn(2) == 0 {
+					r.Upper = r.Lower
+					if r.Upper < 0 {
+						r.Upper = rng.Intn(2)
+					}
+					r.Upper += rng.Intn(2)
+				}
+			default:
+				nHead := kind // 0 -> constraint possible below, 1 -> up to 2
+				nHead = rng.Intn(2 + kind)
+				for j := 0; j < nHead; j++ {
+					r.Head = append(r.Head, ast.NewAtom(names[rng.Intn(len(names))]))
+				}
+			}
+			nBody := rng.Intn(3)
+			if len(r.Head) == 0 && nBody == 0 {
+				nBody = 1
+			}
+			for j := 0; j < nBody; j++ {
+				a := ast.NewAtom(names[rng.Intn(len(names))])
+				if rng.Intn(2) == 0 {
+					r.Body = append(r.Body, ast.Pos(a))
+				} else {
+					r.Body = append(r.Body, ast.Not(a))
+				}
+			}
+			gp.Rules = append(gp.Rules, r)
+		}
+		res, err := Solve(gp, Options{})
+		if err != nil {
+			return false
+		}
+		got := modelKeys(res)
+		want := bruteForceChoice(gp)
+		if len(got) != len(want) {
+			return false
+		}
+		for i := range want {
+			if len(got[i]) != len(want[i]) {
+				return false
+			}
+			for j := range want[i] {
+				if got[i][j] != want[i][j] {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 400}); err != nil {
+		t.Error(err)
+	}
+}

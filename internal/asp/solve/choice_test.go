@@ -1,0 +1,170 @@
+package solve
+
+import (
+	"testing"
+)
+
+func TestChoiceFreeGeneratesAllSubsets(t *testing.T) {
+	gp := groundSrc(t, `{ a ; b }.`)
+	res, err := Solve(gp, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Unbounded choice over two atoms: {}, {a}, {b}, {a,b}.
+	if len(res.Models) != 4 {
+		t.Fatalf("models = %v", modelKeys(res))
+	}
+}
+
+func TestChoiceExactlyOne(t *testing.T) {
+	gp := groundSrc(t, `1 { a ; b ; c } 1.`)
+	res, err := Solve(gp, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantModels(t, res, [][]string{{"a"}, {"b"}, {"c"}})
+}
+
+func TestChoiceBounds(t *testing.T) {
+	gp := groundSrc(t, `2 { a ; b ; c } 2.`)
+	res, err := Solve(gp, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Models) != 3 {
+		t.Fatalf("models = %v", modelKeys(res))
+	}
+	for _, m := range res.Models {
+		if m.Len() != 2 {
+			t.Errorf("model %v has %d atoms, want 2", m, m.Len())
+		}
+	}
+}
+
+func TestChoiceLowerBoundOnly(t *testing.T) {
+	gp := groundSrc(t, `2 { a ; b ; c }.`)
+	res, err := Solve(gp, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Subsets of size >= 2: 3 pairs + 1 triple.
+	if len(res.Models) != 4 {
+		t.Fatalf("models = %v", modelKeys(res))
+	}
+}
+
+func TestChoiceWithBodyAndConstraint(t *testing.T) {
+	gp := groundSrc(t, `
+item(x). item(y).
+{ pick(X) } :- item(X).
+:- pick(x), pick(y).
+picked :- pick(x).
+picked :- pick(y).
+`)
+	res, err := Solve(gp, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// {}, {pick(x)}, {pick(y)} — never both.
+	if len(res.Models) != 3 {
+		t.Fatalf("models = %v", modelKeys(res))
+	}
+	for _, m := range res.Models {
+		if m.Contains("pick(x)") && m.Contains("pick(y)") {
+			t.Errorf("constraint violated: %v", m)
+		}
+		if (m.Contains("pick(x)") || m.Contains("pick(y)")) != m.Contains("picked") {
+			t.Errorf("picked wrong in %v", m)
+		}
+	}
+}
+
+func TestChoiceStability(t *testing.T) {
+	// A choice atom must not support itself through a positive loop:
+	// { a } :- b.  b :- a.  Without a both are false; choosing a needs b,
+	// which needs a — but a is self-supported by the choice when b holds.
+	// Stable models: {} and {a, b}.
+	gp := groundSrc(t, `
+{ a } :- b.
+b :- a.
+a :- not c.
+c :- not a.
+`)
+	res, err := Solve(gp, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// a :- not c chooses between a-worlds and c-worlds:
+	//   a true (c false): b from a; choice {a}:-b satisfied (a in it). -> {a,b}
+	//   c true (a false): b false. -> {c}
+	wantModels(t, res, [][]string{{"a", "b"}, {"c"}})
+}
+
+func TestChoiceGraphColoring(t *testing.T) {
+	// Classic encoding: exactly one color per node, adjacent nodes differ.
+	gp := groundSrc(t, `
+node(1..3).
+edge(1,2). edge(2,3).
+1 { color(N, red) ; color(N, green) } 1 :- node(N).
+:- edge(A, B), color(A, C), color(B, C).
+`)
+	res, err := Solve(gp, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Path of 3 nodes, 2 colors: color(2) determines 1 and 3 -> 2 solutions.
+	if len(res.Models) != 2 {
+		t.Fatalf("models = %v", modelKeys(res))
+	}
+	for _, m := range res.Models {
+		colors := 0
+		for _, a := range m.Atoms() {
+			if a.Pred == "color" {
+				colors++
+			}
+		}
+		if colors != 3 {
+			t.Errorf("model %v assigns %d colors", m, colors)
+		}
+	}
+}
+
+func TestChoiceUnsatBounds(t *testing.T) {
+	gp := groundSrc(t, `3 { a ; b } .`)
+	res, err := Solve(gp, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Models) != 0 {
+		t.Errorf("lower bound 3 over 2 atoms must be unsatisfiable: %v", modelKeys(res))
+	}
+}
+
+func TestChoiceInteractsWithAggregateGrounding(t *testing.T) {
+	// Aggregate counts a deterministic lower stratum; the choice above it
+	// stays free.
+	gp := groundSrc(t, `
+obs(1..4).
+n(N) :- N = #count{ X : obs(X) }.
+{ alarm } :- n(N), N >= 4.
+`)
+	res, err := Solve(gp, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Models) != 2 {
+		t.Fatalf("models = %v", modelKeys(res))
+	}
+	withAlarm := 0
+	for _, m := range res.Models {
+		if m.Contains("alarm") {
+			withAlarm++
+		}
+		if !m.Contains("n(4)") {
+			t.Errorf("model %v missing count", m)
+		}
+	}
+	if withAlarm != 1 {
+		t.Errorf("alarm chosen in %d models, want 1", withAlarm)
+	}
+}

@@ -1,0 +1,149 @@
+package solve
+
+// A table-driven corpus of small programs with their exact answer sets,
+// exercising the full parser -> grounder -> solver path across the language:
+// negation, recursion, constraints, disjunction, choice, aggregates,
+// intervals, arithmetic, strings, and function terms.
+
+import (
+	"sort"
+	"strings"
+	"testing"
+)
+
+func TestCorpus(t *testing.T) {
+	cases := []struct {
+		name string
+		src  string
+		want []string // each entry "a b c" = one answer set's sorted atoms
+	}{
+		{
+			name: "facts only",
+			src:  "p(1). p(2). q(a).",
+			want: []string{"p(1) p(2) q(a)"},
+		},
+		{
+			name: "stratified negation",
+			src:  "p(1..3). q(2). r(X) :- p(X), not q(X).",
+			want: []string{"p(1) p(2) p(3) q(2) r(1) r(3)"},
+		},
+		{
+			name: "transitive closure with cycle",
+			src: `edge(a,b). edge(b,c). edge(c,a).
+reach(X,Y) :- edge(X,Y).
+reach(X,Z) :- reach(X,Y), edge(Y,Z).`,
+			want: []string{"edge(a,b) edge(b,c) edge(c,a) reach(a,a) reach(a,b) reach(a,c) reach(b,a) reach(b,b) reach(b,c) reach(c,a) reach(c,b) reach(c,c)"},
+		},
+		{
+			name: "even loop with constraint",
+			src:  "a :- not b. b :- not a. :- b.",
+			want: []string{"a"},
+		},
+		{
+			name: "disjunction minimality",
+			src:  "a | b | c.",
+			want: []string{"a", "b", "c"},
+		},
+		{
+			name: "disjunction with constraint",
+			src:  "a | b. :- a.",
+			want: []string{"b"},
+		},
+		{
+			name: "choice with implication",
+			src:  "{ a }. b :- a. :- b, not a.",
+			want: []string{"", "a b"},
+		},
+		{
+			name: "arithmetic chain",
+			src:  "n(1). n(X + 1) :- n(X), X < 4. sq(X, X * X) :- n(X).",
+			want: []string{"n(1) n(2) n(3) n(4) sq(1,1) sq(2,4) sq(3,9) sq(4,16)"},
+		},
+		{
+			name: "aggregate count guard",
+			src: `v(1..5).
+big :- #count{ X : v(X) } >= 5.
+small :- #count{ X : v(X) } < 5.`,
+			want: []string{"big v(1) v(2) v(3) v(4) v(5)"},
+		},
+		{
+			name: "aggregate sum assignment",
+			src:  "w(a, 2). w(b, 3). t(S) :- S = #sum{ V, K : w(K, V) }.",
+			want: []string{"t(5) w(a,2) w(b,3)"},
+		},
+		{
+			name: "function terms",
+			src:  "p(f(1)). p(f(2)). q(X) :- p(f(X)), X > 1.",
+			want: []string{"p(f(1)) p(f(2)) q(2)"},
+		},
+		{
+			name: "strings",
+			src:  `tag(a, "x y"). tagged(N) :- tag(N, S), S != "".`,
+			want: []string{`tag(a,"x y") tagged(a)`},
+		},
+		{
+			name: "negative numbers",
+			src:  "t(-3). t(4). pos(X) :- t(X), X > 0.",
+			want: []string{"pos(4) t(-3) t(4)"},
+		},
+		{
+			name: "symbol comparison",
+			src:  "s(apple). s(pear). first(X) :- s(X), X < pear.",
+			want: []string{"first(apple) s(apple) s(pear)"},
+		},
+		{
+			name: "choice bounded by body",
+			src:  "go. 1 { x ; y } 1 :- go.",
+			want: []string{"go x", "go y"},
+		},
+		{
+			name: "unsatisfiable",
+			src:  "a :- not a.",
+			want: nil,
+		},
+		{
+			name: "empty program",
+			src:  "",
+			want: []string{""},
+		},
+		{
+			name: "modulo and division",
+			src:  "n(1..6). third(X) :- n(X), X \\ 3 = 0. half(X, X / 2) :- n(X).",
+			want: []string{"half(1,0) half(2,1) half(3,1) half(4,2) half(5,2) half(6,3) n(1) n(2) n(3) n(4) n(5) n(6) third(3) third(6)"},
+		},
+		{
+			name: "interval in head driven by body",
+			src:  "k(2). span(1..X) :- k(X).",
+			want: []string{"k(2) span(1) span(2)"},
+		},
+		{
+			name: "double negation stratified",
+			src:  "p. q :- not r. r :- not p.",
+			want: []string{"p q"},
+		},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			gp := groundSrc(t, c.src)
+			res, err := Solve(gp, Options{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			var got []string
+			for _, m := range res.Models {
+				got = append(got, strings.Join(m.Keys(), " "))
+			}
+			sort.Strings(got)
+			want := append([]string(nil), c.want...)
+			sort.Strings(want)
+			if len(got) != len(want) {
+				t.Fatalf("got %d answer sets %q, want %d %q", len(got), got, len(want), want)
+			}
+			for i := range want {
+				if got[i] != want[i] {
+					t.Errorf("answer set %d = %q, want %q", i, got[i], want[i])
+				}
+			}
+		})
+	}
+}

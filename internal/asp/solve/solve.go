@@ -1,0 +1,686 @@
+// Package solve computes the stable models (answer sets) of ground programs
+// produced by the grounder.
+//
+// Because the grounder fully evaluates stratified programs, the common case
+// is a ground program with no residual rules, whose unique answer set is the
+// set of certain atoms (fast path). Residual rules — produced by negation
+// cycles or disjunctive heads — are handled by a DPLL-style search:
+// propagation interleaves forward rule firing, contraposition, and
+// support-based falsification; every total assignment is verified stable by
+// the reduct test (least-model comparison for normal programs, a minimal
+// model search for disjunctive ones).
+package solve
+
+import (
+	"sort"
+	"strings"
+
+	"streamrule/internal/asp/ast"
+	"streamrule/internal/asp/ground"
+)
+
+// Options configures the solver.
+type Options struct {
+	// MaxModels limits the number of answer sets returned (0 = all).
+	MaxModels int
+}
+
+// Stats reports work done by a solving run.
+type Stats struct {
+	// FastPath is true when the ground program had no residual rules and
+	// the answer set was read off the certain atoms directly.
+	FastPath bool
+	// Choices counts branching decisions.
+	Choices int
+	// Propagations counts atom assignments made by propagation.
+	Propagations int
+	// StabilityChecks counts candidate models submitted to the reduct test.
+	StabilityChecks int
+}
+
+// Result is the outcome of a solving run.
+type Result struct {
+	Models []*AnswerSet
+	Stats  Stats
+}
+
+// AnswerSet is a set of ground atoms, ordered by atom key.
+type AnswerSet struct {
+	atoms []ast.Atom
+	keys  map[string]bool
+}
+
+// NewAnswerSet builds an answer set from atoms (deduplicated, sorted).
+func NewAnswerSet(atoms []ast.Atom) *AnswerSet {
+	s := &AnswerSet{keys: make(map[string]bool, len(atoms))}
+	for _, a := range atoms {
+		k := a.Key()
+		if !s.keys[k] {
+			s.keys[k] = true
+			s.atoms = append(s.atoms, a)
+		}
+	}
+	sort.Slice(s.atoms, func(i, j int) bool { return s.atoms[i].Key() < s.atoms[j].Key() })
+	return s
+}
+
+// Atoms returns the atoms in key order. The slice must not be modified.
+func (s *AnswerSet) Atoms() []ast.Atom { return s.atoms }
+
+// Len returns the number of atoms.
+func (s *AnswerSet) Len() int { return len(s.atoms) }
+
+// Contains reports membership by atom key.
+func (s *AnswerSet) Contains(key string) bool { return s.keys[key] }
+
+// Keys returns the sorted atom keys.
+func (s *AnswerSet) Keys() []string {
+	out := make([]string, len(s.atoms))
+	for i, a := range s.atoms {
+		out[i] = a.Key()
+	}
+	return out
+}
+
+// Equal reports whether two answer sets contain the same atoms.
+func (s *AnswerSet) Equal(o *AnswerSet) bool {
+	if s.Len() != o.Len() {
+		return false
+	}
+	for k := range s.keys {
+		if !o.keys[k] {
+			return false
+		}
+	}
+	return true
+}
+
+// Union returns a new answer set with the atoms of both sets.
+func (s *AnswerSet) Union(o *AnswerSet) *AnswerSet {
+	merged := make([]ast.Atom, 0, s.Len()+o.Len())
+	merged = append(merged, s.atoms...)
+	merged = append(merged, o.atoms...)
+	return NewAnswerSet(merged)
+}
+
+// IntersectCount returns the number of atoms shared with o.
+func (s *AnswerSet) IntersectCount(o *AnswerSet) int {
+	small, big := s, o
+	if big.Len() < small.Len() {
+		small, big = big, small
+	}
+	n := 0
+	for k := range small.keys {
+		if big.keys[k] {
+			n++
+		}
+	}
+	return n
+}
+
+// String renders the answer set as {a1, a2, ...}.
+func (s *AnswerSet) String() string {
+	var b strings.Builder
+	b.WriteByte('{')
+	for i, a := range s.atoms {
+		if i > 0 {
+			b.WriteString(", ")
+		}
+		b.WriteString(a.Key())
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+// truth values of the search assignment.
+const (
+	undef int8 = 0
+	tru   int8 = 1
+	fls   int8 = -1
+)
+
+// irule is a ground rule over integer atom ids.
+type irule struct {
+	head []int
+	pos  []int
+	neg  []int
+	// choice marks a choice rule with cardinality bounds lo..hi
+	// (ast.UnboundedChoice disables a bound).
+	choice bool
+	lo, hi int
+}
+
+type solver struct {
+	opts  Options
+	atoms []ast.Atom
+	rules []irule
+	// occurrence lists: rule indices per atom id
+	occHead [][]int
+	occPos  [][]int
+	occNeg  [][]int
+
+	assign []int8
+	trail  []int
+
+	certain []ast.Atom
+	out     *Result
+}
+
+// Solve computes the answer sets of the ground program.
+func Solve(gp *ground.Program, opts Options) (*Result, error) {
+	res := &Result{}
+	if gp.Inconsistent {
+		return res, nil
+	}
+	if len(gp.Rules) == 0 {
+		res.Models = []*AnswerSet{NewAnswerSet(gp.Certain)}
+		res.Stats.FastPath = true
+		return res, nil
+	}
+
+	s := &solver{opts: opts, certain: gp.Certain, out: res}
+	id := make(map[string]int)
+	intern := func(a ast.Atom) int {
+		k := a.Key()
+		if i, ok := id[k]; ok {
+			return i
+		}
+		i := len(s.atoms)
+		id[k] = i
+		s.atoms = append(s.atoms, a)
+		return i
+	}
+	for _, r := range gp.Rules {
+		ir := irule{choice: r.Choice, lo: r.Lower, hi: r.Upper}
+		for _, h := range r.Head {
+			ir.head = append(ir.head, intern(h))
+		}
+		for _, l := range r.Body {
+			if l.Kind != ast.AtomLiteral {
+				continue // comparisons were evaluated by the grounder
+			}
+			i := intern(l.Atom)
+			if l.Neg {
+				ir.neg = append(ir.neg, i)
+			} else {
+				ir.pos = append(ir.pos, i)
+			}
+		}
+		s.rules = append(s.rules, ir)
+	}
+	n := len(s.atoms)
+	s.occHead = make([][]int, n)
+	s.occPos = make([][]int, n)
+	s.occNeg = make([][]int, n)
+	for ri, r := range s.rules {
+		for _, a := range r.head {
+			s.occHead[a] = append(s.occHead[a], ri)
+		}
+		for _, a := range r.pos {
+			s.occPos[a] = append(s.occPos[a], ri)
+		}
+		for _, a := range r.neg {
+			s.occNeg[a] = append(s.occNeg[a], ri)
+		}
+	}
+	s.assign = make([]int8, n)
+	s.search()
+	return res, nil
+}
+
+// set assigns a truth value, returns false on conflict with an existing
+// assignment.
+func (s *solver) set(atom int, v int8) bool {
+	cur := s.assign[atom]
+	if cur != undef {
+		return cur == v
+	}
+	s.assign[atom] = v
+	s.trail = append(s.trail, atom)
+	return true
+}
+
+// undoTo unwinds the trail to the given mark.
+func (s *solver) undoTo(mark int) {
+	for len(s.trail) > mark {
+		a := s.trail[len(s.trail)-1]
+		s.trail = s.trail[:len(s.trail)-1]
+		s.assign[a] = undef
+	}
+}
+
+// litTrue / litFalse report the state of body literals.
+func (s *solver) posState(a int) int8 { return s.assign[a] }
+func (s *solver) negState(a int) int8 {
+	switch s.assign[a] {
+	case tru:
+		return fls
+	case fls:
+		return tru
+	default:
+		return undef
+	}
+}
+
+// ruleState summarizes a rule body: satisfied (all literals true),
+// falsified (some literal false), or the single undecided literal.
+type ruleState struct {
+	bodySat    bool
+	bodyFalse  bool
+	undecided  int // count of undecided body literals
+	lastPos    int // atom id of an undecided positive literal (if any)
+	lastNeg    int // atom id of an undecided negative literal (if any)
+	lastIsPos  bool
+	headTrue   int // count of true head atoms
+	headFalse  int // count of false head atoms
+	headUndef  int
+	lastHeadUn int // atom id of an undecided head atom (if any)
+}
+
+func (s *solver) state(r irule) ruleState {
+	st := ruleState{bodySat: true}
+	for _, a := range r.pos {
+		switch s.posState(a) {
+		case fls:
+			st.bodyFalse = true
+			st.bodySat = false
+		case undef:
+			st.bodySat = false
+			st.undecided++
+			st.lastPos = a
+			st.lastIsPos = true
+		}
+	}
+	for _, a := range r.neg {
+		switch s.negState(a) {
+		case fls:
+			st.bodyFalse = true
+			st.bodySat = false
+		case undef:
+			st.bodySat = false
+			st.undecided++
+			st.lastNeg = a
+			st.lastIsPos = false
+		}
+	}
+	for _, h := range r.head {
+		switch s.assign[h] {
+		case tru:
+			st.headTrue++
+		case fls:
+			st.headFalse++
+		default:
+			st.headUndef++
+			st.lastHeadUn = h
+		}
+	}
+	return st
+}
+
+// propagate applies the propagation rules to a fixpoint. It returns false on
+// conflict.
+func (s *solver) propagate() bool {
+	for changed := true; changed; {
+		changed = false
+		for _, r := range s.rules {
+			st := s.state(r)
+			if r.choice {
+				// Choice rules never force heads on their own; the
+				// cardinality bounds conflict — or pin the undecided heads —
+				// once the body holds.
+				if st.bodySat {
+					if r.hi >= 0 && st.headTrue > r.hi {
+						return false
+					}
+					if r.lo > 0 && st.headTrue+st.headUndef < r.lo {
+						return false
+					}
+					if r.hi >= 0 && st.headTrue == r.hi && st.headUndef > 0 {
+						// Upper bound reached: remaining heads are false.
+						for _, h := range r.head {
+							if s.assign[h] == undef {
+								if !s.set(h, fls) {
+									return false
+								}
+								s.out.Stats.Propagations++
+								changed = true
+							}
+						}
+					} else if r.lo > 0 && st.headTrue+st.headUndef == r.lo && st.headUndef > 0 {
+						// Lower bound tight: remaining heads are true.
+						for _, h := range r.head {
+							if s.assign[h] == undef {
+								if !s.set(h, tru) {
+									return false
+								}
+								s.out.Stats.Propagations++
+								changed = true
+							}
+						}
+					}
+				}
+				continue
+			}
+			switch {
+			case st.bodySat && st.headTrue == 0:
+				// Body holds: some head atom must hold.
+				if st.headUndef == 0 {
+					return false // constraint violated or all heads false
+				}
+				if st.headUndef == 1 {
+					if !s.set(st.lastHeadUn, tru) {
+						return false
+					}
+					s.out.Stats.Propagations++
+					changed = true
+				}
+			case st.headTrue == 0 && st.headUndef == 0 && !st.bodyFalse && st.undecided == 1:
+				// All heads false and the body is one literal away from
+				// firing: falsify that literal (contraposition).
+				var ok bool
+				if st.lastIsPos {
+					ok = s.set(st.lastPos, fls)
+				} else {
+					// Falsifying the literal "not a" means making a true.
+					ok = s.set(st.lastNeg, tru)
+				}
+				if !ok {
+					return false
+				}
+				s.out.Stats.Propagations++
+				changed = true
+			}
+		}
+		// Support propagation: an undecided or true atom with no rule able
+		// to support it must be false (true -> conflict).
+		for a := range s.atoms {
+			if s.assign[a] == fls {
+				continue
+			}
+			supported := false
+			for _, ri := range s.occHead[a] {
+				r := s.rules[ri]
+				st := s.state(r)
+				if st.bodyFalse {
+					continue
+				}
+				if r.choice {
+					// A choice rule supports any of its heads.
+					supported = true
+					break
+				}
+				// A disjunctive rule supports a only if no other head atom
+				// is true.
+				otherTrue := false
+				for _, h := range r.head {
+					if h != a && s.assign[h] == tru {
+						otherTrue = true
+						break
+					}
+				}
+				if !otherTrue {
+					supported = true
+					break
+				}
+			}
+			if !supported {
+				if s.assign[a] == tru {
+					return false
+				}
+				if !s.set(a, fls) {
+					return false
+				}
+				s.out.Stats.Propagations++
+				changed = true
+			}
+		}
+	}
+	return true
+}
+
+func (s *solver) search() {
+	if !s.propagate() {
+		return
+	}
+	// Find an unassigned atom to branch on.
+	branch := -1
+	for a := range s.assign {
+		if s.assign[a] == undef {
+			branch = a
+			break
+		}
+	}
+	if branch == -1 {
+		s.out.Stats.StabilityChecks++
+		if s.stable() {
+			s.emitModel()
+		}
+		return
+	}
+	s.out.Stats.Choices++
+	for _, v := range []int8{tru, fls} {
+		if s.opts.MaxModels > 0 && len(s.out.Models) >= s.opts.MaxModels {
+			return
+		}
+		mark := len(s.trail)
+		if s.set(branch, v) {
+			s.search()
+		}
+		s.undoTo(mark)
+	}
+}
+
+func (s *solver) emitModel() {
+	atoms := make([]ast.Atom, 0, len(s.certain)+len(s.trail))
+	atoms = append(atoms, s.certain...)
+	for a := range s.atoms {
+		if s.assign[a] == tru {
+			atoms = append(atoms, s.atoms[a])
+		}
+	}
+	s.out.Models = append(s.out.Models, NewAnswerSet(atoms))
+}
+
+// stable verifies the candidate total assignment against the reduct: the
+// true atoms must form a minimal model of the reduct of the residual rules.
+func (s *solver) stable() bool {
+	// Collect the candidate model over residual atoms.
+	model := make([]bool, len(s.atoms))
+	size := 0
+	for a := range s.atoms {
+		if s.assign[a] == tru {
+			model[a] = true
+			size++
+		}
+	}
+	// Build the reduct: drop rules with a true negative atom; drop negative
+	// literals otherwise. A choice rule {H} :- B contributes, for every head
+	// atom in the candidate, the definite rule a :- B+ (the "not not a" part
+	// of its definition is satisfied when a is in the candidate); its
+	// cardinality bounds are checked directly against the candidate.
+	type prule struct {
+		head []int
+		pos  []int
+	}
+	var reduct []prule
+	disjunctive := false
+	for _, r := range s.rules {
+		blocked := false
+		for _, a := range r.neg {
+			if model[a] {
+				blocked = true
+				break
+			}
+		}
+		if blocked {
+			continue
+		}
+		if r.choice {
+			bodySat := true
+			for _, a := range r.pos {
+				if !model[a] {
+					bodySat = false
+					break
+				}
+			}
+			if bodySat {
+				inM := 0
+				for _, h := range r.head {
+					if model[h] {
+						inM++
+					}
+				}
+				if r.lo >= 0 && inM < r.lo {
+					return false
+				}
+				if r.hi >= 0 && inM > r.hi {
+					return false
+				}
+			}
+			for _, h := range r.head {
+				if model[h] {
+					reduct = append(reduct, prule{head: []int{h}, pos: r.pos})
+				}
+			}
+			continue
+		}
+		reduct = append(reduct, prule{head: r.head, pos: r.pos})
+		if len(r.head) > 1 {
+			disjunctive = true
+		}
+	}
+
+	// Every candidate must at least be a model of the reduct.
+	for _, r := range reduct {
+		bodySat := true
+		for _, a := range r.pos {
+			if !model[a] {
+				bodySat = false
+				break
+			}
+		}
+		if !bodySat {
+			continue
+		}
+		headSat := false
+		for _, h := range r.head {
+			if model[h] {
+				headSat = true
+				break
+			}
+		}
+		if !headSat {
+			return false
+		}
+	}
+
+	if !disjunctive {
+		// Normal program: compare against the least model of the reduct.
+		least := make([]bool, len(s.atoms))
+		for changed := true; changed; {
+			changed = false
+			for _, r := range reduct {
+				if len(r.head) != 1 || least[r.head[0]] {
+					continue
+				}
+				fire := true
+				for _, a := range r.pos {
+					if !least[a] {
+						fire = false
+						break
+					}
+				}
+				if fire {
+					least[r.head[0]] = true
+					changed = true
+				}
+			}
+		}
+		for a := range model {
+			if model[a] != least[a] {
+				return false
+			}
+		}
+		return true
+	}
+
+	// Disjunctive program: search for a model of the reduct that is a
+	// proper subset of the candidate. If none exists the candidate is a
+	// minimal model of the reduct, hence an answer set.
+	var inM []int
+	for a := range model {
+		if model[a] {
+			inM = append(inM, a)
+		}
+	}
+	val := make(map[int]int8, len(inM))
+	var smaller func(i int) bool
+	consistent := func() (ok, complete, proper bool) {
+		complete, proper = true, false
+		for _, a := range inM {
+			switch val[a] {
+			case undef:
+				complete = false
+			case fls:
+				proper = true
+			}
+		}
+		for _, r := range reduct {
+			bodyTrue, bodyUndecided := true, false
+			for _, a := range r.pos {
+				if !model[a] {
+					bodyTrue = false
+					break // atom outside M is false in any submodel
+				}
+				switch val[a] {
+				case fls:
+					bodyTrue = false
+				case undef:
+					bodyUndecided = true
+				}
+				if !bodyTrue {
+					break
+				}
+			}
+			if !bodyTrue {
+				continue
+			}
+			headOK, headUndecided := false, false
+			for _, h := range r.head {
+				if !model[h] {
+					continue
+				}
+				switch val[h] {
+				case tru:
+					headOK = true
+				case undef:
+					headUndecided = true
+				}
+			}
+			if !headOK && !bodyUndecided && !headUndecided {
+				return false, complete, proper
+			}
+		}
+		return true, complete, proper
+	}
+	smaller = func(i int) bool {
+		ok, complete, proper := consistent()
+		if !ok {
+			return false
+		}
+		if i == len(inM) {
+			return complete && proper
+		}
+		a := inM[i]
+		for _, v := range []int8{fls, tru} {
+			val[a] = v
+			if smaller(i + 1) {
+				val[a] = undef
+				return true
+			}
+		}
+		val[a] = undef
+		return false
+	}
+	return !smaller(0)
+}

@@ -1,0 +1,479 @@
+package solve
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"streamrule/internal/asp/ast"
+	"streamrule/internal/asp/ground"
+	"streamrule/internal/asp/parser"
+)
+
+func groundSrc(t *testing.T, src string) *ground.Program {
+	t.Helper()
+	prog, err := parser.Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gp, err := ground.Ground(prog, nil, ground.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return gp
+}
+
+func modelKeys(res *Result) [][]string {
+	out := make([][]string, len(res.Models))
+	for i, m := range res.Models {
+		out[i] = m.Keys()
+	}
+	sort.Slice(out, func(i, j int) bool {
+		a, b := out[i], out[j]
+		for k := 0; k < len(a) && k < len(b); k++ {
+			if a[k] != b[k] {
+				return a[k] < b[k]
+			}
+		}
+		return len(a) < len(b)
+	})
+	return out
+}
+
+func wantModels(t *testing.T, res *Result, want [][]string) {
+	t.Helper()
+	got := modelKeys(res)
+	if len(got) != len(want) {
+		t.Fatalf("got %d models %v, want %d %v", len(got), got, len(want), want)
+	}
+	for i := range want {
+		if len(got[i]) != len(want[i]) {
+			t.Fatalf("model %d = %v, want %v", i, got[i], want[i])
+		}
+		for j := range want[i] {
+			if got[i][j] != want[i][j] {
+				t.Fatalf("model %d = %v, want %v", i, got[i], want[i])
+			}
+		}
+	}
+}
+
+func TestFastPathStratified(t *testing.T) {
+	gp := groundSrc(t, `
+p(1). p(2).
+q(X) :- p(X), not r(X).
+`)
+	res, err := Solve(gp, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Stats.FastPath {
+		t.Error("stratified program should take the fast path")
+	}
+	wantModels(t, res, [][]string{{"p(1)", "p(2)", "q(1)", "q(2)"}})
+}
+
+func TestEvenLoopTwoModels(t *testing.T) {
+	gp := groundSrc(t, `
+a :- not b.
+b :- not a.
+`)
+	res, err := Solve(gp, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantModels(t, res, [][]string{{"a"}, {"b"}})
+	if res.Stats.FastPath {
+		t.Error("non-stratified program must not take the fast path")
+	}
+}
+
+func TestOddLoopNoModels(t *testing.T) {
+	gp := groundSrc(t, `p :- not p.`)
+	res, err := Solve(gp, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Models) != 0 {
+		t.Errorf("odd loop has no answer sets, got %v", modelKeys(res))
+	}
+}
+
+func TestConstraintFiltersModels(t *testing.T) {
+	gp := groundSrc(t, `
+a :- not b.
+b :- not a.
+:- a.
+`)
+	res, err := Solve(gp, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantModels(t, res, [][]string{{"b"}})
+}
+
+func TestInconsistentGroundProgram(t *testing.T) {
+	gp := groundSrc(t, `
+p.
+:- p.
+`)
+	res, err := Solve(gp, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Models) != 0 {
+		t.Errorf("expected no models, got %v", modelKeys(res))
+	}
+}
+
+func TestDisjunctionMinimality(t *testing.T) {
+	gp := groundSrc(t, `a | b.`)
+	res, err := Solve(gp, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantModels(t, res, [][]string{{"a"}, {"b"}})
+}
+
+func TestDisjunctionWithCycle(t *testing.T) {
+	// The classic example where {a,b} is the single (minimal) answer set.
+	gp := groundSrc(t, `
+a | b.
+a :- b.
+b :- a.
+`)
+	res, err := Solve(gp, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantModels(t, res, [][]string{{"a", "b"}})
+}
+
+func TestDisjunctionNoAnswerSet(t *testing.T) {
+	// Constraints force both a and b, but {a,b} is not a minimal model of
+	// the reduct {a | b.} — no answer set.
+	gp := groundSrc(t, `
+a | b.
+:- not a.
+:- not b.
+`)
+	res, err := Solve(gp, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Models) != 0 {
+		t.Errorf("expected no models, got %v", modelKeys(res))
+	}
+}
+
+func TestSupportedness(t *testing.T) {
+	// c has no rule: it must be false; positive loop p :- q, q :- p is
+	// unfounded and both must be false.
+	gp := groundSrc(t, `
+p :- q.
+q :- p.
+a :- not b.
+b :- not a.
+`)
+	res, err := Solve(gp, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantModels(t, res, [][]string{{"a"}, {"b"}})
+}
+
+func TestChoiceViaEvenLoops(t *testing.T) {
+	// Two independent choices -> 4 models.
+	gp := groundSrc(t, `
+a :- not na.
+na :- not a.
+b :- not nb.
+nb :- not b.
+`)
+	res, err := Solve(gp, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Models) != 4 {
+		t.Errorf("expected 4 models, got %v", modelKeys(res))
+	}
+}
+
+func TestMaxModels(t *testing.T) {
+	gp := groundSrc(t, `
+a :- not na.
+na :- not a.
+b :- not nb.
+nb :- not b.
+`)
+	res, err := Solve(gp, Options{MaxModels: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Models) != 2 {
+		t.Errorf("expected 2 models, got %d", len(res.Models))
+	}
+}
+
+func TestCertainAtomsIncludedInModels(t *testing.T) {
+	gp := groundSrc(t, `
+f(1).
+a :- not b.
+b :- not a.
+`)
+	res, err := Solve(gp, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, m := range res.Models {
+		if !m.Contains("f(1)") {
+			t.Errorf("model %v missing certain atom", m)
+		}
+	}
+}
+
+func TestAnswerSetOps(t *testing.T) {
+	a1, _ := parser.ParseAtom("p(1)")
+	a2, _ := parser.ParseAtom("p(2)")
+	a3, _ := parser.ParseAtom("q(1)")
+	s1 := NewAnswerSet([]ast.Atom{a1, a2, a1}) // dedup
+	s2 := NewAnswerSet([]ast.Atom{a2, a3})
+	if s1.Len() != 2 {
+		t.Errorf("dedup failed: %v", s1)
+	}
+	u := s1.Union(s2)
+	if u.Len() != 3 || !u.Contains("q(1)") {
+		t.Errorf("union = %v", u)
+	}
+	if got := s1.IntersectCount(s2); got != 1 {
+		t.Errorf("intersect = %d", got)
+	}
+	if !s1.Equal(NewAnswerSet([]ast.Atom{a2, a1})) {
+		t.Error("Equal should be order-insensitive")
+	}
+	if s1.Equal(s2) {
+		t.Error("distinct sets reported equal")
+	}
+	if s1.String() != "{p(1), p(2)}" {
+		t.Errorf("String = %q", s1.String())
+	}
+	keys := u.Keys()
+	if !sort.StringsAreSorted(keys) {
+		t.Errorf("keys not sorted: %v", keys)
+	}
+}
+
+// bruteForce enumerates answer sets of a residual ground program by
+// definition: M is an answer set iff M is a minimal model of the reduct.
+func bruteForce(gp *ground.Program) [][]string {
+	type prule struct {
+		head, pos, neg []int
+	}
+	var atoms []string
+	id := map[string]int{}
+	intern := func(k string) int {
+		if i, ok := id[k]; ok {
+			return i
+		}
+		id[k] = len(atoms)
+		atoms = append(atoms, k)
+		return id[k]
+	}
+	var rules []prule
+	for _, r := range gp.Rules {
+		var pr prule
+		for _, h := range r.Head {
+			pr.head = append(pr.head, intern(h.Key()))
+		}
+		for _, l := range r.Body {
+			if l.Kind != ast.AtomLiteral {
+				continue
+			}
+			if l.Neg {
+				pr.neg = append(pr.neg, intern(l.Atom.Key()))
+			} else {
+				pr.pos = append(pr.pos, intern(l.Atom.Key()))
+			}
+		}
+		rules = append(rules, pr)
+	}
+	n := len(atoms)
+	isModelOfReduct := func(m, world uint64) bool {
+		// world defines the reduct; m is the candidate model.
+		for _, r := range rules {
+			blocked := false
+			for _, a := range r.neg {
+				if world&(1<<a) != 0 {
+					blocked = true
+					break
+				}
+			}
+			if blocked {
+				continue
+			}
+			bodySat := true
+			for _, a := range r.pos {
+				if m&(1<<a) == 0 {
+					bodySat = false
+					break
+				}
+			}
+			if !bodySat {
+				continue
+			}
+			headSat := false
+			for _, h := range r.head {
+				if m&(1<<h) != 0 {
+					headSat = true
+					break
+				}
+			}
+			if !headSat {
+				return false
+			}
+		}
+		return true
+	}
+	var out [][]string
+	for m := uint64(0); m < 1<<n; m++ {
+		if !isModelOfReduct(m, m) {
+			continue
+		}
+		minimal := true
+		for sub := (m - 1) & m; ; sub = (sub - 1) & m {
+			if isModelOfReduct(sub, m) {
+				minimal = false
+				break
+			}
+			if sub == 0 {
+				break
+			}
+		}
+		if m == 0 {
+			minimal = true // no proper subsets
+		}
+		if minimal {
+			var keys []string
+			for a := 0; a < n; a++ {
+				if m&(1<<a) != 0 {
+					keys = append(keys, atoms[a])
+				}
+			}
+			sort.Strings(keys)
+			out = append(out, keys)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		a, b := out[i], out[j]
+		for k := 0; k < len(a) && k < len(b); k++ {
+			if a[k] != b[k] {
+				return a[k] < b[k]
+			}
+		}
+		return len(a) < len(b)
+	})
+	return out
+}
+
+// Property: the solver agrees with brute-force enumeration on random small
+// propositional programs with negation and disjunction.
+func TestQuickSolverMatchesBruteForce(t *testing.T) {
+	names := []string{"a", "b", "c", "d", "e"}
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		gp := &ground.Program{}
+		nRules := 1 + rng.Intn(5)
+		for i := 0; i < nRules; i++ {
+			var r ast.Rule
+			nHead := rng.Intn(3) // 0 = constraint
+			for j := 0; j < nHead; j++ {
+				r.Head = append(r.Head, ast.NewAtom(names[rng.Intn(len(names))]))
+			}
+			nBody := rng.Intn(3)
+			if nHead == 0 && nBody == 0 {
+				nBody = 1
+			}
+			for j := 0; j < nBody; j++ {
+				a := ast.NewAtom(names[rng.Intn(len(names))])
+				if rng.Intn(2) == 0 {
+					r.Body = append(r.Body, ast.Pos(a))
+				} else {
+					r.Body = append(r.Body, ast.Not(a))
+				}
+			}
+			gp.Rules = append(gp.Rules, r)
+		}
+		res, err := Solve(gp, Options{})
+		if err != nil {
+			return false
+		}
+		got := modelKeys(res)
+		want := bruteForce(gp)
+		if len(got) != len(want) {
+			return false
+		}
+		for i := range want {
+			if len(got[i]) != len(want[i]) {
+				return false
+			}
+			for j := range want[i] {
+				if got[i][j] != want[i][j] {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 400}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestEndToEndProgramP(t *testing.T) {
+	prog, err := parser.Parse(`
+very_slow_speed(X) :- average_speed(X,Y), Y < 20.
+many_cars(X) :- car_number(X,Y), Y > 40.
+traffic_jam(X) :- very_slow_speed(X), many_cars(X), not traffic_light(X).
+car_fire(X) :- car_in_smoke(C, high), car_speed(C, 0), car_location(C, X).
+give_notification(X) :- traffic_jam(X).
+give_notification(X) :- car_fire(X).
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	atoms := []string{
+		"average_speed(newcastle, 10)",
+		"car_number(newcastle, 55)",
+		"traffic_light(newcastle)",
+		"car_in_smoke(car1, high)",
+		"car_speed(car1, 0)",
+		"car_location(car1, dangan)",
+	}
+	var facts []ast.Atom
+	for _, s := range atoms {
+		a, err := parser.ParseAtom(s)
+		if err != nil {
+			t.Fatal(err)
+		}
+		facts = append(facts, a)
+	}
+	gp, err := ground.Ground(prog, facts, ground.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Solve(gp, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Models) != 1 {
+		t.Fatalf("expected 1 model, got %d", len(res.Models))
+	}
+	m := res.Models[0]
+	if !m.Contains("car_fire(dangan)") || !m.Contains("give_notification(dangan)") {
+		t.Errorf("model = %v", m)
+	}
+	if m.Contains("traffic_jam(newcastle)") {
+		t.Error("spurious traffic jam")
+	}
+}

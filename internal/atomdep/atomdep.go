@@ -1,0 +1,392 @@
+// Package atomdep implements the extension the paper sketches as future
+// work (§VI): input dependency analysis at the ATOM level.
+//
+// The predicate-level input dependency graph can only produce as many
+// partitions as it has components — program P yields two, capping the
+// parallelism at 2. But inside a component, ground atoms interact only
+// through shared entities: traffic_jam(X) joins very_slow_speed(X),
+// many_cars(X), and not traffic_light(X) on the same city X, so atoms about
+// different cities never co-fire a rule. When such a join key exists, each
+// predicate-level partition can safely be hash-split into m sub-partitions
+// by key value, multiplying the parallelism while preserving exactness.
+//
+// KeyAnalysis finds, per input-graph component, an argument position for
+// every predicate in the component's derivation ancestry such that
+//
+//   - every rule with two or more (possibly negated) body atoms from the
+//     ancestry has one variable occupying the key position of every such
+//     body atom, and
+//   - whenever a derived head atom feeds later joins of the same component,
+//     the key variable survives into the head at its key position.
+//
+// If the constraints are unsatisfiable for a component (as they are for the
+// merged component of program P', where the join car_fire(X), many_cars(X)
+// switches keys from the car C to the city X), the component is marked
+// non-splittable and callers fall back to predicate-level partitioning for
+// it — the analysis degrades gracefully, never unsoundly.
+package atomdep
+
+import (
+	"fmt"
+	"hash/fnv"
+	"sort"
+
+	"streamrule/internal/asp/ast"
+	"streamrule/internal/core"
+)
+
+// ComponentKeys is the result of the analysis for one predicate-level
+// community: Splittable reports whether hash-splitting is sound, and Key
+// maps every predicate of the community's derivation ancestry to the
+// argument position holding the join key.
+type ComponentKeys struct {
+	Community  int
+	Splittable bool
+	// Key maps predicate name -> key argument position (valid only when
+	// Splittable).
+	Key map[string]int
+	// Reason explains why the component is not splittable.
+	Reason string
+}
+
+// Analysis holds the per-community key assignments for a program and plan.
+type Analysis struct {
+	Components []ComponentKeys
+}
+
+// KeysFor returns the key table of a community, or nil when the community
+// is not atom-splittable.
+func (a *Analysis) KeysFor(community int) map[string]int {
+	for _, c := range a.Components {
+		if c.Community == community {
+			if c.Splittable {
+				return c.Key
+			}
+			return nil
+		}
+	}
+	return nil
+}
+
+// Analyze runs the atom-level key analysis for every community of the plan.
+func Analyze(p *ast.Program, plan *core.Plan) *Analysis {
+	out := &Analysis{}
+	for ci := range plan.Communities {
+		out.Components = append(out.Components, analyzeComponent(p, plan, ci))
+	}
+	return out
+}
+
+// ancestry computes the set of predicates whose derivations depend on the
+// community's input predicates: the inputs plus every head reachable from
+// them through rule bodies.
+func ancestry(p *ast.Program, inputs map[string]bool) map[string]bool {
+	anc := make(map[string]bool, len(inputs))
+	for pred := range inputs {
+		anc[pred] = true
+	}
+	for changed := true; changed; {
+		changed = false
+		for _, r := range p.Rules {
+			touches := false
+			for _, l := range r.Body {
+				if l.Kind == ast.AtomLiteral && anc[l.Atom.Pred] {
+					touches = true
+					break
+				}
+			}
+			if !touches {
+				continue
+			}
+			for _, h := range r.Head {
+				if !anc[h.Pred] {
+					anc[h.Pred] = true
+					changed = true
+				}
+			}
+		}
+	}
+	return anc
+}
+
+// varAt returns the variable name at argument position pos of the atom, or
+// "" when the position is out of range or not a variable.
+func varAt(a ast.Atom, pos int) string {
+	if pos < 0 || pos >= len(a.Args) {
+		return ""
+	}
+	if a.Args[pos].Kind == ast.VariableTerm {
+		return a.Args[pos].Sym
+	}
+	return ""
+}
+
+// positionsOf returns the argument positions of the variable in the atom.
+func positionsOf(a ast.Atom, v string) []int {
+	var out []int
+	for i, t := range a.Args {
+		if t.Kind == ast.VariableTerm && t.Sym == v {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+func analyzeComponent(p *ast.Program, plan *core.Plan, ci int) ComponentKeys {
+	res := ComponentKeys{Community: ci, Key: make(map[string]int)}
+	inputs := make(map[string]bool)
+	for _, pred := range plan.Communities[ci] {
+		inputs[pred] = true
+	}
+	anc := ancestry(p, inputs)
+
+	fail := func(format string, args ...any) ComponentKeys {
+		res.Splittable = false
+		res.Key = nil
+		res.Reason = fmt.Sprintf(format, args...)
+		return res
+	}
+
+	// Iterate to a fixpoint: multi-atom bodies pin a shared variable; the
+	// key position then propagates between heads and bodies.
+	assign := func(pred string, pos int) bool {
+		if cur, ok := res.Key[pred]; ok {
+			return cur == pos
+		}
+		res.Key[pred] = pos
+		return true
+	}
+
+	// Aggregates range over the full extension of their condition
+	// predicates; a hash split would change every count/sum. Splitting a
+	// component whose ancestry feeds an aggregate is only sound when the
+	// aggregate's group-by key matches the split key, which this analysis
+	// does not prove — stay conservative.
+	for _, r := range p.Rules {
+		for _, l := range r.Body {
+			if l.Kind != ast.AggLiteral {
+				continue
+			}
+			for _, e := range l.Agg.Elems {
+				for _, c := range e.Cond {
+					if c.Kind == ast.AtomLiteral && anc[c.Atom.Pred] {
+						return fail("rule %q aggregates over %s; atom-level splitting could change the aggregate", r, c.Atom.Pred)
+					}
+				}
+			}
+		}
+	}
+
+	for pass := 0; pass < len(p.Rules)+2; pass++ {
+		changed := false
+		for _, r := range p.Rules {
+			// Body atoms belonging to this component's ancestry.
+			var bodyAtoms []ast.Atom
+			for _, l := range r.Body {
+				if l.Kind == ast.AtomLiteral && anc[l.Atom.Pred] {
+					bodyAtoms = append(bodyAtoms, l.Atom)
+				}
+			}
+			if len(bodyAtoms) == 0 {
+				continue
+			}
+
+			// Candidate key variables for this rule: variables occurring in
+			// every ancestry body atom, compatible with assigned positions.
+			candidates := sharedVars(bodyAtoms)
+			if len(bodyAtoms) >= 2 && len(candidates) == 0 {
+				return fail("rule %q has no variable shared by all body atoms of community %d", r, ci)
+			}
+			candidates = filterCompatible(candidates, bodyAtoms, res.Key)
+			if len(bodyAtoms) >= 2 && len(candidates) == 0 {
+				return fail("rule %q cannot agree on a key position for community %d", r, ci)
+			}
+			if len(bodyAtoms) == 1 && len(candidates) == 0 {
+				// Single-atom bodies do not constrain co-location; they
+				// only propagate assigned keys (handled below).
+				candidates = nil
+			}
+
+			// Prefer a candidate that also appears in every head (so the
+			// key survives derivation); deterministic order.
+			sort.Strings(candidates)
+			pick := ""
+			for _, v := range candidates {
+				if inAllHeads(r.Head, v) {
+					pick = v
+					break
+				}
+			}
+			if pick == "" && len(candidates) > 0 {
+				pick = candidates[0]
+			}
+
+			if len(bodyAtoms) >= 2 {
+				// Commit the pick for all body atoms.
+				for _, a := range bodyAtoms {
+					pos := positionsOf(a, pick)[0]
+					if !assign(a.Pred, pos) {
+						return fail("predicate %s needs two key positions (%d and %d)", a.Pred, res.Key[a.Pred], pos)
+					}
+				}
+				// Heads: the key must survive if the head feeds later joins.
+				for _, h := range r.Head {
+					hp := positionsOf(h, pick)
+					if len(hp) == 0 {
+						if feedsJoin(p, h.Pred, anc) {
+							return fail("key %s lost deriving %s, which feeds later joins", pick, h.Pred)
+						}
+						continue
+					}
+					if !assign(h.Pred, hp[0]) {
+						return fail("predicate %s needs two key positions", h.Pred)
+					}
+				}
+				changed = true
+				continue
+			}
+
+			// Single ancestry body atom: propagate an assigned head key back
+			// to the body (or vice versa) through their shared variable.
+			a := bodyAtoms[0]
+			for _, h := range r.Head {
+				if pos, ok := res.Key[h.Pred]; ok {
+					v := varAt(h, pos)
+					if v == "" {
+						continue
+					}
+					bp := positionsOf(a, v)
+					if len(bp) == 0 {
+						if feedsJoin(p, h.Pred, anc) {
+							return fail("key of %s does not reach body atom %s", h.Pred, a)
+						}
+						continue
+					}
+					if !assign(a.Pred, bp[0]) {
+						return fail("predicate %s needs two key positions", a.Pred)
+					}
+					changed = true
+				}
+				if pos, ok := res.Key[a.Pred]; ok {
+					v := varAt(a, pos)
+					if v == "" {
+						continue
+					}
+					hp := positionsOf(h, v)
+					if len(hp) > 0 {
+						if !assign(h.Pred, hp[0]) {
+							return fail("predicate %s needs two key positions", h.Pred)
+						}
+						changed = true
+					}
+				}
+			}
+		}
+		if !changed {
+			break
+		}
+	}
+
+	// Every input predicate must have ended up with a key position;
+	// otherwise its atoms cannot be routed.
+	for pred := range inputs {
+		if _, ok := res.Key[pred]; !ok {
+			// A predicate no join ever constrains (isolated input): key by
+			// its first argument, any split is sound.
+			res.Key[pred] = 0
+		}
+	}
+	res.Splittable = true
+	return res
+}
+
+// sharedVars returns the variables occurring in every atom.
+func sharedVars(atoms []ast.Atom) []string {
+	counts := make(map[string]int)
+	for _, a := range atoms {
+		seen := make(map[string]bool)
+		a.CollectVars(seen)
+		for v := range seen {
+			counts[v]++
+		}
+	}
+	var out []string
+	for v, c := range counts {
+		if c == len(atoms) {
+			out = append(out, v)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// filterCompatible keeps candidate variables whose positions agree with the
+// already-assigned key positions of the body predicates.
+func filterCompatible(cands []string, atoms []ast.Atom, key map[string]int) []string {
+	var out []string
+	for _, v := range cands {
+		ok := true
+		for _, a := range atoms {
+			pos, assigned := key[a.Pred]
+			if !assigned {
+				continue
+			}
+			if varAt(a, pos) != v {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			out = append(out, v)
+		}
+	}
+	return out
+}
+
+// inAllHeads reports whether the variable occurs in every head atom.
+func inAllHeads(heads []ast.Atom, v string) bool {
+	for _, h := range heads {
+		if len(positionsOf(h, v)) == 0 {
+			return false
+		}
+	}
+	return len(heads) > 0
+}
+
+// feedsJoin reports whether pred occurs in a body with at least one other
+// ancestry atom somewhere in the program (i.e. whether losing its key
+// matters).
+func feedsJoin(p *ast.Program, pred string, anc map[string]bool) bool {
+	for _, r := range p.Rules {
+		n, has := 0, false
+		for _, l := range r.Body {
+			if l.Kind != ast.AtomLiteral || !anc[l.Atom.Pred] {
+				continue
+			}
+			n++
+			if l.Atom.Pred == pred {
+				has = true
+			}
+		}
+		if has && n >= 2 {
+			return true
+		}
+	}
+	return false
+}
+
+// Bucket hashes a ground key term into one of m buckets: FNV-1a over the
+// term's textual form, followed by an avalanche finalizer so that the low
+// bits are unbiased even for very short keys. Stable across runs.
+func Bucket(key string, m int) int {
+	h := fnv.New32a()
+	h.Write([]byte(key))
+	x := h.Sum32()
+	// fmix32 finalizer (MurmurHash3): spreads entropy into the low bits.
+	x ^= x >> 16
+	x *= 0x85ebca6b
+	x ^= x >> 13
+	x *= 0xc2b2ae35
+	x ^= x >> 16
+	return int(x % uint32(m))
+}

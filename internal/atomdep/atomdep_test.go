@@ -1,0 +1,284 @@
+package atomdep
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"streamrule/internal/asp/ast"
+	"streamrule/internal/asp/parser"
+	"streamrule/internal/core"
+)
+
+const programP = `
+very_slow_speed(X) :- average_speed(X,Y), Y < 20.
+many_cars(X) :- car_number(X,Y), Y > 40.
+traffic_jam(X) :- very_slow_speed(X), many_cars(X), not traffic_light(X).
+car_fire(X) :- car_in_smoke(C, high), car_speed(C, 0), car_location(C, X).
+give_notification(X) :- traffic_jam(X).
+give_notification(X) :- car_fire(X).
+`
+
+const programPPrime = programP + `
+traffic_jam(X) :- car_fire(X), many_cars(X).
+`
+
+var inpreP = []string{
+	"average_speed", "car_number", "traffic_light",
+	"car_in_smoke", "car_speed", "car_location",
+}
+
+func analyze(t *testing.T, src string) (*ast.Program, *core.Plan, *Analysis) {
+	t.Helper()
+	prog, err := parser.Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := core.Analyze(prog, inpreP, 1.0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return prog, a.Plan, Analyze(prog, a.Plan)
+}
+
+// communityOf finds the plan community containing the predicate.
+func communityOf(plan *core.Plan, pred string) int {
+	return plan.Assign[pred][0]
+}
+
+func TestProgramPBothComponentsSplittable(t *testing.T) {
+	_, plan, an := analyze(t, programP)
+	if len(an.Components) != 2 {
+		t.Fatalf("components = %d", len(an.Components))
+	}
+	traffic := communityOf(plan, "average_speed")
+	cars := communityOf(plan, "car_in_smoke")
+
+	tk := an.KeysFor(traffic)
+	if tk == nil {
+		t.Fatal("traffic component must be splittable")
+	}
+	// All traffic predicates keyed by the city (argument 0).
+	for _, pred := range []string{"average_speed", "car_number", "traffic_light",
+		"very_slow_speed", "many_cars", "traffic_jam"} {
+		if tk[pred] != 0 {
+			t.Errorf("key(%s) = %d, want 0", pred, tk[pred])
+		}
+	}
+
+	ck := an.KeysFor(cars)
+	if ck == nil {
+		t.Fatal("car component must be splittable")
+	}
+	// Car predicates keyed by the car (argument 0); car_fire loses the key
+	// but feeds no join in P, so that is allowed.
+	for _, pred := range []string{"car_in_smoke", "car_speed", "car_location"} {
+		if ck[pred] != 0 {
+			t.Errorf("key(%s) = %d, want 0", pred, ck[pred])
+		}
+	}
+}
+
+func TestProgramPPrimeCarComponentNotSplittable(t *testing.T) {
+	_, plan, an := analyze(t, programPPrime)
+	cars := communityOf(plan, "car_in_smoke")
+	if an.KeysFor(cars) != nil {
+		t.Error("P': the car component must NOT be splittable (car_fire feeds the r7 join but loses the car key)")
+	}
+	var comp ComponentKeys
+	for _, c := range an.Components {
+		if c.Community == cars {
+			comp = c
+		}
+	}
+	if comp.Splittable || comp.Reason == "" {
+		t.Errorf("expected a reason, got %+v", comp)
+	}
+	// The traffic community stays splittable: r7 touches it only through
+	// many_cars, a single ancestry atom.
+	traffic := communityOf(plan, "average_speed")
+	if an.KeysFor(traffic) == nil {
+		t.Error("P': the traffic component must remain splittable")
+	}
+}
+
+func TestSelfJoinNotSplittable(t *testing.T) {
+	prog, err := parser.Parse(`
+reach(X,Y) :- edge(X,Y).
+reach(X,Z) :- reach(X,Y), edge(Y,Z).
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := core.Analyze(prog, []string{"edge"}, 1.0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	an := Analyze(prog, a.Plan)
+	for _, c := range an.Components {
+		if c.Splittable {
+			t.Errorf("transitive closure must not be atom-splittable: %+v", c)
+		}
+	}
+}
+
+func TestIsolatedInputGetsDefaultKey(t *testing.T) {
+	prog, err := parser.Parse(`
+out(X) :- sensor(X, V), V > 10.
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := core.Analyze(prog, []string{"sensor"}, 1.0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	an := Analyze(prog, a.Plan)
+	keys := an.KeysFor(0)
+	if keys == nil {
+		t.Fatal("single-predicate component must be splittable")
+	}
+	if keys["sensor"] != 0 {
+		t.Errorf("key(sensor) = %d", keys["sensor"])
+	}
+}
+
+func TestKeyOnSecondArgument(t *testing.T) {
+	// The join variable sits at position 1 of q.
+	prog, err := parser.Parse(`
+joined(K) :- p(K, V), q(V2, K), V < V2.
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := core.Analyze(prog, []string{"p", "q"}, 1.0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	an := Analyze(prog, a.Plan)
+	keys := an.KeysFor(0)
+	if keys == nil {
+		t.Fatal("component must be splittable")
+	}
+	if keys["p"] != 0 || keys["q"] != 1 {
+		t.Errorf("keys = %v, want p:0 q:1", keys)
+	}
+}
+
+func TestNoSharedVariableFails(t *testing.T) {
+	prog, err := parser.Parse(`
+pair :- p(X), q(Y), X < Y.
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := core.Analyze(prog, []string{"p", "q"}, 1.0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	an := Analyze(prog, a.Plan)
+	if an.KeysFor(0) != nil {
+		t.Error("cross product of p and q must not be splittable")
+	}
+}
+
+func TestAggregateBlocksAtomSplit(t *testing.T) {
+	prog, err := parser.Parse(`
+zone(Z) :- request(_, Z).
+overload(Z) :- zone(Z), #count{ R : request(R, Z) } >= 3.
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := core.Analyze(prog, []string{"request"}, 1.0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	an := Analyze(prog, a.Plan)
+	for _, c := range an.Components {
+		if c.Splittable {
+			t.Errorf("component with an aggregate over its ancestry must not be splittable: %+v", c)
+		}
+	}
+}
+
+func TestBucketDeterministicAndBounded(t *testing.T) {
+	if Bucket("city1", 4) != Bucket("city1", 4) {
+		t.Error("bucket must be deterministic")
+	}
+	seen := make(map[int]bool)
+	for i := 0; i < 1000; i++ {
+		b := Bucket(string(rune('a'+i%26))+string(rune('0'+i%10)), 4)
+		if b < 0 || b >= 4 {
+			t.Fatalf("bucket %d out of range", b)
+		}
+		seen[b] = true
+	}
+	if len(seen) != 4 {
+		t.Errorf("only %d buckets used", len(seen))
+	}
+}
+
+// Property: Bucket is always within range for any key and m >= 1.
+func TestQuickBucketRange(t *testing.T) {
+	f := func(key string, m uint8) bool {
+		mm := int(m%16) + 1
+		b := Bucket(key, mm)
+		return b >= 0 && b < mm
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: on random single-key programs (every rule joins on variable K at
+// position 0 everywhere), the analysis always finds key position 0.
+func TestQuickSingleKeyProgramsSplittable(t *testing.T) {
+	preds := []string{"p", "q", "r", "s"}
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		prog := &ast.Program{}
+		derived := []string{"d0", "d1"}
+		for i := 0; i < 1+rng.Intn(4); i++ {
+			head := ast.NewAtom(derived[rng.Intn(len(derived))], ast.Var("K"))
+			n := 1 + rng.Intn(3)
+			var body []ast.Literal
+			for j := 0; j < n; j++ {
+				body = append(body, ast.Pos(ast.NewAtom(preds[rng.Intn(len(preds))], ast.Var("K"), ast.Var("V"+string(rune('0'+j))))))
+			}
+			prog.Add(ast.Rule{Head: []ast.Atom{head}, Body: body})
+		}
+		used := map[string]bool{}
+		for _, r := range prog.Rules {
+			for _, l := range r.Body {
+				used[l.Atom.Pred] = true
+			}
+		}
+		var inpre []string
+		for _, p := range preds {
+			if used[p] {
+				inpre = append(inpre, p)
+			}
+		}
+		a, err := core.Analyze(prog, inpre, 1.0)
+		if err != nil {
+			return false
+		}
+		an := Analyze(prog, a.Plan)
+		for ci := range a.Plan.Communities {
+			keys := an.KeysFor(ci)
+			if keys == nil {
+				return false
+			}
+			for _, p := range a.Plan.Communities[ci] {
+				if keys[p] != 0 {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,176 @@
+package bench
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"streamrule/internal/asp/parser"
+	"streamrule/internal/atomdep"
+	"streamrule/internal/core"
+	"streamrule/internal/dfp"
+	"streamrule/internal/reasoner"
+	"streamrule/internal/workload"
+)
+
+// Throughput is the derived experiment behind the paper's motivation (§I):
+// "the reasoning component needs to return results faster than when new
+// input arrives in order to maintain the stability of the whole system."
+// For a tuple window of n items arriving at rate r items/second, the window
+// fills every n/r seconds; the pipeline is stable iff the reasoner finishes
+// a window within that budget. The maximum sustainable rate is therefore
+//
+//	r_max(n) = n / latency(n)
+//
+// and partitioned reasoning raises it exactly as much as it lowers latency.
+
+// ThroughputPoint is the sustainable rate of one system at one window size.
+type ThroughputPoint struct {
+	System     string
+	WindowSize int
+	// Latency is the critical-path latency per window.
+	Latency time.Duration
+	// MaxRate is the maximum sustainable arrival rate in items/second.
+	MaxRate float64
+}
+
+// ThroughputResult is a full throughput sweep.
+type ThroughputResult struct {
+	Systems []string
+	Points  []ThroughputPoint
+}
+
+// ThroughputConfig parameterizes the sweep.
+type ThroughputConfig struct {
+	ProgramSrc  string
+	Inpre       []string
+	Outputs     []string
+	Sizes       []int
+	Seed        int64
+	Repetitions int
+	// AtomFanout adds a PR_Atom_m<F> system using atom-level partitioning
+	// (0 disables).
+	AtomFanout int
+}
+
+// RunThroughput measures the sustainable rate of R, PR_Dep, and (optionally)
+// the atom-level partitioner over the window sizes.
+func RunThroughput(cfg ThroughputConfig) (*ThroughputResult, error) {
+	if len(cfg.Inpre) == 0 {
+		cfg.Inpre = Inpre
+	}
+	if len(cfg.Outputs) == 0 {
+		cfg.Outputs = Outputs
+	}
+	if len(cfg.Sizes) == 0 {
+		cfg.Sizes = []int{5000, 10000, 20000, 40000}
+	}
+	if cfg.Repetitions <= 0 {
+		cfg.Repetitions = 3
+	}
+	prog, err := parser.Parse(cfg.ProgramSrc)
+	if err != nil {
+		return nil, err
+	}
+	rcfg := reasoner.Config{Program: prog, Inpre: cfg.Inpre, OutputPreds: cfg.Outputs}
+
+	r, err := reasoner.NewR(rcfg)
+	if err != nil {
+		return nil, err
+	}
+	analysis, err := core.Analyze(prog, cfg.Inpre, 1.0)
+	if err != nil {
+		return nil, err
+	}
+	prDep, err := reasoner.NewPR(rcfg, reasoner.NewPlanPartitioner(analysis.Plan))
+	if err != nil {
+		return nil, err
+	}
+	var prAtom *reasoner.PR
+	res := &ThroughputResult{Systems: []string{"R", "PR_Dep"}}
+	if cfg.AtomFanout > 0 {
+		keys := atomdep.Analyze(prog, analysis.Plan)
+		arities, err := dfp.InferArities(prog, cfg.Inpre)
+		if err != nil {
+			return nil, err
+		}
+		part, err := reasoner.NewAtomPartitioner(analysis.Plan, keys, arities, cfg.AtomFanout)
+		if err != nil {
+			return nil, err
+		}
+		prAtom, err = reasoner.NewPR(rcfg, part)
+		if err != nil {
+			return nil, err
+		}
+		res.Systems = append(res.Systems, fmt.Sprintf("PR_Atom_m%d", cfg.AtomFanout))
+	}
+
+	for _, size := range cfg.Sizes {
+		lat := map[string]time.Duration{}
+		for rep := 0; rep < cfg.Repetitions; rep++ {
+			gen, err := workload.NewGenerator(cfg.Seed+int64(size)*17+int64(rep), workload.PaperTraffic())
+			if err != nil {
+				return nil, err
+			}
+			window := gen.Window(size)
+			outR, err := r.Process(window)
+			if err != nil {
+				return nil, err
+			}
+			lat["R"] += outR.Latency.CriticalPath
+			outDep, err := prDep.Process(window)
+			if err != nil {
+				return nil, err
+			}
+			lat["PR_Dep"] += outDep.Latency.CriticalPath
+			if prAtom != nil {
+				outAtom, err := prAtom.Process(window)
+				if err != nil {
+					return nil, err
+				}
+				lat[res.Systems[2]] += outAtom.Latency.CriticalPath
+			}
+		}
+		for _, sys := range res.Systems {
+			avg := lat[sys] / time.Duration(cfg.Repetitions)
+			res.Points = append(res.Points, ThroughputPoint{
+				System:     sys,
+				WindowSize: size,
+				Latency:    avg,
+				MaxRate:    float64(size) / avg.Seconds(),
+			})
+		}
+	}
+	return res, nil
+}
+
+// CSV renders the sustainable rates (items/second) as a window x system
+// table.
+func (r *ThroughputResult) CSV() string {
+	var b strings.Builder
+	b.WriteString("window_size")
+	for _, sys := range r.Systems {
+		fmt.Fprintf(&b, ",%s", sys)
+	}
+	b.WriteByte('\n')
+	sizes := []int{}
+	seen := map[int]bool{}
+	for _, p := range r.Points {
+		if !seen[p.WindowSize] {
+			seen[p.WindowSize] = true
+			sizes = append(sizes, p.WindowSize)
+		}
+	}
+	for _, size := range sizes {
+		fmt.Fprintf(&b, "%d", size)
+		for _, sys := range r.Systems {
+			for _, p := range r.Points {
+				if p.System == sys && p.WindowSize == size {
+					fmt.Fprintf(&b, ",%.0f", p.MaxRate)
+				}
+			}
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}

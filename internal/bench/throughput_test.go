@@ -1,0 +1,73 @@
+package bench
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestThroughputShape(t *testing.T) {
+	res, err := RunThroughput(ThroughputConfig{
+		ProgramSrc:  ProgramP,
+		Sizes:       []int{1000, 2000},
+		Seed:        5,
+		Repetitions: 2,
+		AtomFanout:  4,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Systems) != 3 {
+		t.Fatalf("systems = %v", res.Systems)
+	}
+	find := func(sys string, size int) ThroughputPoint {
+		for _, p := range res.Points {
+			if p.System == sys && p.WindowSize == size {
+				return p
+			}
+		}
+		t.Fatalf("missing point %s/%d", sys, size)
+		return ThroughputPoint{}
+	}
+	for _, size := range []int{1000, 2000} {
+		r := find("R", size)
+		dep := find("PR_Dep", size)
+		atom := find("PR_Atom_m4", size)
+		if r.MaxRate <= 0 || dep.MaxRate <= 0 || atom.MaxRate <= 0 {
+			t.Errorf("non-positive rates at %d", size)
+		}
+		// Partitioning must raise the sustainable rate.
+		if dep.MaxRate <= r.MaxRate {
+			t.Errorf("PR_Dep rate %.0f should beat R %.0f at %d", dep.MaxRate, r.MaxRate, size)
+		}
+		if atom.MaxRate <= dep.MaxRate*0.8 {
+			t.Errorf("PR_Atom rate %.0f should be at least comparable to PR_Dep %.0f", atom.MaxRate, dep.MaxRate)
+		}
+	}
+	csv := res.CSV()
+	if !strings.HasPrefix(csv, "window_size,R,PR_Dep,PR_Atom_m4\n") {
+		t.Errorf("csv = %q", csv)
+	}
+	if lines := strings.Count(csv, "\n"); lines != 3 {
+		t.Errorf("csv lines = %d", lines)
+	}
+}
+
+func TestThroughputDefaults(t *testing.T) {
+	res, err := RunThroughput(ThroughputConfig{
+		ProgramSrc:  ProgramP,
+		Sizes:       []int{500},
+		Repetitions: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Systems) != 2 {
+		t.Errorf("systems = %v (no atom system without fanout)", res.Systems)
+	}
+}
+
+func TestThroughputBadProgram(t *testing.T) {
+	if _, err := RunThroughput(ThroughputConfig{ProgramSrc: "p(X) :-"}); err == nil {
+		t.Error("parse error must propagate")
+	}
+}

@@ -1,0 +1,305 @@
+// Package community implements the Louvain method for community detection
+// (Blondel, Guillaume, Lambiotte, Lefebvre 2008) with the resolution
+// parameter of Lambiotte, Delvenne, Barahona 2008 — the algorithm the paper
+// uses (with resolution = 1.0, footnote 8) to decompose a connected input
+// dependency graph into communities.
+//
+// The implementation is deterministic: nodes are visited in sorted order, so
+// the same graph always yields the same communities.
+package community
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Graph is a weighted undirected graph with optional self-loops.
+type Graph struct {
+	names []string
+	index map[string]int
+	adj   []map[int]float64 // adj[i][j] = edge weight, i != j
+	self  []float64         // self-loop weight per node
+	total float64           // sum of all edge weights (each edge once)
+}
+
+// NewGraph returns an empty graph.
+func NewGraph() *Graph {
+	return &Graph{index: make(map[string]int)}
+}
+
+// AddNode inserts a node (no-op if present) and returns its id.
+func (g *Graph) AddNode(name string) int {
+	if i, ok := g.index[name]; ok {
+		return i
+	}
+	i := len(g.names)
+	g.index[name] = i
+	g.names = append(g.names, name)
+	g.adj = append(g.adj, make(map[int]float64))
+	g.self = append(g.self, 0)
+	return i
+}
+
+// AddEdge adds w to the weight of the undirected edge {a,b}; a == b adds a
+// self-loop.
+func (g *Graph) AddEdge(a, b string, w float64) {
+	ia, ib := g.AddNode(a), g.AddNode(b)
+	if ia == ib {
+		g.self[ia] += w
+		g.total += w
+		return
+	}
+	g.adj[ia][ib] += w
+	g.adj[ib][ia] += w
+	g.total += w
+}
+
+// NumNodes returns the node count.
+func (g *Graph) NumNodes() int { return len(g.names) }
+
+// TotalWeight returns the sum of all edge weights.
+func (g *Graph) TotalWeight() float64 { return g.total }
+
+// degree is the weighted degree of node i: neighbors plus twice the
+// self-loop, the standard convention for modularity.
+func (g *Graph) degree(i int) float64 {
+	d := 2 * g.self[i]
+	for _, w := range g.adj[i] {
+		d += w
+	}
+	return d
+}
+
+// Result is a community assignment.
+type Result struct {
+	// Communities maps node name -> community id in [0, NumCommunities).
+	// Ids are assigned in order of each community's smallest member name.
+	Communities map[string]int
+	// Modularity is the modularity Q of the assignment at the given
+	// resolution.
+	Modularity float64
+}
+
+// NumCommunities returns the number of distinct communities.
+func (r *Result) NumCommunities() int {
+	seen := make(map[int]bool)
+	for _, c := range r.Communities {
+		seen[c] = true
+	}
+	return len(seen)
+}
+
+// Members returns the sorted member names of each community, indexed by
+// community id.
+func (r *Result) Members() [][]string {
+	out := make([][]string, r.NumCommunities())
+	for n, c := range r.Communities {
+		out[c] = append(out[c], n)
+	}
+	for _, m := range out {
+		sort.Strings(m)
+	}
+	return out
+}
+
+// Louvain detects communities at the given resolution (1.0 is the classic
+// modularity; higher values produce more, smaller communities).
+func Louvain(g *Graph, resolution float64) (*Result, error) {
+	if resolution <= 0 {
+		return nil, fmt.Errorf("resolution must be positive, got %v", resolution)
+	}
+	n := g.NumNodes()
+	if n == 0 {
+		return &Result{Communities: map[string]int{}}, nil
+	}
+	if g.total == 0 {
+		// No edges: every node is its own community.
+		res := &Result{Communities: make(map[string]int, n)}
+		names := append([]string(nil), g.names...)
+		sort.Strings(names)
+		for i, name := range names {
+			res.Communities[name] = i
+		}
+		return res, nil
+	}
+
+	// level state: current aggregated graph and, for each original node,
+	// its node id in the aggregated graph.
+	cur := g
+	assign := make([]int, n) // original node -> aggregated node id
+	for i := range assign {
+		assign[i] = i
+	}
+
+	for {
+		comm, moved := localMove(cur, resolution)
+		if !moved && cur != g {
+			break
+		}
+		// Re-map original nodes through this level's communities.
+		for i := range assign {
+			assign[i] = comm[assign[i]]
+		}
+		if !moved {
+			break
+		}
+		next := aggregate(cur, comm)
+		if next.NumNodes() == cur.NumNodes() {
+			break
+		}
+		cur = next
+	}
+
+	// Renumber communities by smallest member name.
+	groups := make(map[int][]string)
+	for i, name := range g.names {
+		groups[assign[i]] = append(groups[assign[i]], name)
+	}
+	type grp struct {
+		min     string
+		members []string
+	}
+	var ordered []grp
+	for _, members := range groups {
+		sort.Strings(members)
+		ordered = append(ordered, grp{min: members[0], members: members})
+	}
+	sort.Slice(ordered, func(i, j int) bool { return ordered[i].min < ordered[j].min })
+	res := &Result{Communities: make(map[string]int, n)}
+	for id, gr := range ordered {
+		for _, m := range gr.members {
+			res.Communities[m] = id
+		}
+	}
+	res.Modularity = Modularity(g, res.Communities, resolution)
+	return res, nil
+}
+
+// localMove runs phase one of Louvain on the graph: nodes greedily move to
+// the neighboring community with the highest modularity gain until no move
+// improves. It returns the community id per node and whether any node moved.
+func localMove(g *Graph, resolution float64) (comm []int, moved bool) {
+	n := g.NumNodes()
+	comm = make([]int, n)
+	sigmaTot := make([]float64, n)
+	deg := make([]float64, n)
+	for i := 0; i < n; i++ {
+		comm[i] = i
+		deg[i] = g.degree(i)
+		sigmaTot[i] = deg[i]
+	}
+	m2 := 2 * g.total
+
+	order := make([]int, n)
+	for i := range order {
+		order[i] = i
+	}
+	sort.Slice(order, func(a, b int) bool { return g.names[order[a]] < g.names[order[b]] })
+
+	for pass := 0; pass < 1000; pass++ {
+		passMoved := false
+		for _, i := range order {
+			cur := comm[i]
+			// Weights from i into each neighboring community.
+			wTo := make(map[int]float64)
+			for j, w := range g.adj[i] {
+				wTo[comm[j]] += w
+			}
+			// Remove i from its community.
+			sigmaTot[cur] -= deg[i]
+			// Gain of joining community c: wTo[c] - γ·Σtot_c·k_i/(2m).
+			best := cur
+			bestGain := wTo[cur] - resolution*sigmaTot[cur]*deg[i]/m2
+			// Deterministic tie-breaking: consider communities in sorted id
+			// order, require a strict improvement to move.
+			cands := make([]int, 0, len(wTo))
+			for c := range wTo {
+				cands = append(cands, c)
+			}
+			sort.Ints(cands)
+			for _, c := range cands {
+				if c == cur {
+					continue
+				}
+				gain := wTo[c] - resolution*sigmaTot[c]*deg[i]/m2
+				if gain > bestGain+1e-12 {
+					bestGain = gain
+					best = c
+				}
+			}
+			comm[i] = best
+			sigmaTot[best] += deg[i]
+			if best != cur {
+				passMoved = true
+				moved = true
+			}
+		}
+		if !passMoved {
+			break
+		}
+	}
+	// Compact community ids.
+	remap := make(map[int]int)
+	for _, i := range order {
+		if _, ok := remap[comm[i]]; !ok {
+			remap[comm[i]] = len(remap)
+		}
+	}
+	for i := range comm {
+		comm[i] = remap[comm[i]]
+	}
+	return comm, moved
+}
+
+// aggregate builds the level-two graph: one node per community, edge weights
+// summed, intra-community weight folded into self-loops.
+func aggregate(g *Graph, comm []int) *Graph {
+	next := NewGraph()
+	nc := 0
+	for _, c := range comm {
+		if c+1 > nc {
+			nc = c + 1
+		}
+	}
+	name := func(c int) string { return fmt.Sprintf("c%06d", c) }
+	for c := 0; c < nc; c++ {
+		next.AddNode(name(c))
+	}
+	for i := 0; i < g.NumNodes(); i++ {
+		if g.self[i] > 0 {
+			next.AddEdge(name(comm[i]), name(comm[i]), g.self[i])
+		}
+		for j, w := range g.adj[i] {
+			if i < j {
+				next.AddEdge(name(comm[i]), name(comm[j]), w)
+			}
+		}
+	}
+	return next
+}
+
+// Modularity computes Q = Σ_c [ Σin_c/(2m) − γ(Σtot_c/(2m))² ] for a given
+// assignment of node names to communities.
+func Modularity(g *Graph, communities map[string]int, resolution float64) float64 {
+	if g.total == 0 {
+		return 0
+	}
+	m2 := 2 * g.total
+	in := make(map[int]float64)  // 2 * intra-community weight
+	tot := make(map[int]float64) // Σ degrees
+	for i, name := range g.names {
+		c := communities[name]
+		tot[c] += g.degree(i)
+		in[c] += 2 * g.self[i]
+		for j, w := range g.adj[i] {
+			if communities[g.names[j]] == c {
+				in[c] += w // each intra edge visited from both ends
+			}
+		}
+	}
+	q := 0.0
+	for c := range tot {
+		q += in[c]/m2 - resolution*(tot[c]/m2)*(tot[c]/m2)
+	}
+	return q
+}

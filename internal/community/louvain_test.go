@@ -1,0 +1,247 @@
+package community
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// paperGraph builds the input dependency graph of program P' (Figure 4):
+// two triangles bridged by three edges incident to car_number, plus the
+// self-loop on traffic_light.
+func paperGraph() *Graph {
+	g := NewGraph()
+	tri := func(a, b, c string) {
+		g.AddEdge(a, b, 1)
+		g.AddEdge(b, c, 1)
+		g.AddEdge(a, c, 1)
+	}
+	tri("average_speed", "car_number", "traffic_light")
+	tri("car_in_smoke", "car_speed", "car_location")
+	g.AddEdge("traffic_light", "traffic_light", 1)
+	for _, n := range []string{"car_in_smoke", "car_speed", "car_location"} {
+		g.AddEdge("car_number", n, 1)
+	}
+	return g
+}
+
+func TestLouvainPaperGraph(t *testing.T) {
+	res, err := Louvain(paperGraph(), 1.0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.NumCommunities() != 2 {
+		t.Fatalf("expected 2 communities, got %d: %v", res.NumCommunities(), res.Members())
+	}
+	c := res.Communities
+	// The two driving cliques must stay together.
+	if c["average_speed"] != c["traffic_light"] {
+		t.Errorf("average_speed and traffic_light split: %v", res.Members())
+	}
+	if c["car_in_smoke"] != c["car_speed"] || c["car_speed"] != c["car_location"] {
+		t.Errorf("car_* clique split: %v", res.Members())
+	}
+	if c["average_speed"] == c["car_in_smoke"] {
+		t.Errorf("the two cliques must be distinct communities: %v", res.Members())
+	}
+	if res.Modularity <= 0 {
+		t.Errorf("modularity = %v, want > 0", res.Modularity)
+	}
+}
+
+func TestLouvainDeterministic(t *testing.T) {
+	a, err := Louvain(paperGraph(), 1.0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Louvain(paperGraph(), 1.0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for n, c := range a.Communities {
+		if b.Communities[n] != c {
+			t.Fatalf("non-deterministic assignment for %s", n)
+		}
+	}
+}
+
+func TestLouvainTwoCliquesWithBridge(t *testing.T) {
+	g := NewGraph()
+	clique := func(prefix string, n int) {
+		for i := 0; i < n; i++ {
+			for j := i + 1; j < n; j++ {
+				g.AddEdge(fmt.Sprintf("%s%d", prefix, i), fmt.Sprintf("%s%d", prefix, j), 1)
+			}
+		}
+	}
+	clique("a", 5)
+	clique("b", 5)
+	g.AddEdge("a0", "b0", 1)
+	res, err := Louvain(g, 1.0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.NumCommunities() != 2 {
+		t.Fatalf("expected 2 communities, got %v", res.Members())
+	}
+	for i := 1; i < 5; i++ {
+		if res.Communities[fmt.Sprintf("a%d", i)] != res.Communities["a0"] {
+			t.Errorf("a-clique split")
+		}
+		if res.Communities[fmt.Sprintf("b%d", i)] != res.Communities["b0"] {
+			t.Errorf("b-clique split")
+		}
+	}
+}
+
+func TestLouvainHighResolutionSplits(t *testing.T) {
+	// At very high resolution each node prefers isolation.
+	g := NewGraph()
+	g.AddEdge("a", "b", 1)
+	g.AddEdge("c", "d", 1)
+	low, err := Louvain(g, 1.0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	high, err := Louvain(g, 100.0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if low.NumCommunities() > high.NumCommunities() {
+		t.Errorf("higher resolution should not merge communities: %d vs %d",
+			low.NumCommunities(), high.NumCommunities())
+	}
+}
+
+func TestLouvainEdgeCases(t *testing.T) {
+	empty := NewGraph()
+	res, err := Louvain(empty, 1.0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Communities) != 0 {
+		t.Error("empty graph should yield no communities")
+	}
+
+	single := NewGraph()
+	single.AddNode("only")
+	res, err = Louvain(single, 1.0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Communities["only"] != 0 || res.NumCommunities() != 1 {
+		t.Errorf("single node: %v", res.Communities)
+	}
+
+	noEdges := NewGraph()
+	noEdges.AddNode("x")
+	noEdges.AddNode("y")
+	res, err = Louvain(noEdges, 1.0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.NumCommunities() != 2 {
+		t.Errorf("isolated nodes must be separate communities: %v", res.Communities)
+	}
+
+	if _, err := Louvain(paperGraph(), 0); err == nil {
+		t.Error("resolution 0 must be rejected")
+	}
+	if _, err := Louvain(paperGraph(), -1); err == nil {
+		t.Error("negative resolution must be rejected")
+	}
+}
+
+func TestModularityKnownValue(t *testing.T) {
+	// Two disconnected edges, each its own community:
+	// m = 2, per community: in = 2*1, tot = 2 -> Q = 2*(2/4 - (2/4)^2) = 0.5.
+	g := NewGraph()
+	g.AddEdge("a", "b", 1)
+	g.AddEdge("c", "d", 1)
+	comm := map[string]int{"a": 0, "b": 0, "c": 1, "d": 1}
+	q := Modularity(g, comm, 1.0)
+	if q < 0.499 || q > 0.501 {
+		t.Errorf("Q = %v, want 0.5", q)
+	}
+	// Everything in one community: Q = 2/4... in=2*2=4? in/2m=1, tot=4 ->
+	// 4/4 - (4/4)^2 = 0 for one community... compute: in = 4, m2 = 4,
+	// tot = 4 -> Q = 1 - 1 = 0.
+	one := map[string]int{"a": 0, "b": 0, "c": 0, "d": 0}
+	if q := Modularity(g, one, 1.0); q > 1e-9 || q < -1e-9 {
+		t.Errorf("single community Q = %v, want 0", q)
+	}
+}
+
+// Property: Louvain's assignment always has modularity >= the trivial
+// one-community assignment and the all-singletons assignment.
+func TestQuickLouvainBeatsTrivial(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		g := NewGraph()
+		n := 3 + rng.Intn(10)
+		for i := 0; i < n; i++ {
+			g.AddNode(fmt.Sprintf("n%02d", i))
+		}
+		for e := 0; e < 2*n; e++ {
+			a := fmt.Sprintf("n%02d", rng.Intn(n))
+			b := fmt.Sprintf("n%02d", rng.Intn(n))
+			g.AddEdge(a, b, 1)
+		}
+		res, err := Louvain(g, 1.0)
+		if err != nil {
+			return false
+		}
+		all := make(map[string]int)
+		single := make(map[string]int)
+		for i := 0; i < n; i++ {
+			all[fmt.Sprintf("n%02d", i)] = 0
+			single[fmt.Sprintf("n%02d", i)] = i
+		}
+		eps := 1e-9
+		return res.Modularity >= Modularity(g, all, 1.0)-eps &&
+			res.Modularity >= Modularity(g, single, 1.0)-eps
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: community ids form a contiguous range starting at 0 and cover
+// every node.
+func TestQuickLouvainValidPartition(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		g := NewGraph()
+		n := 1 + rng.Intn(12)
+		for i := 0; i < n; i++ {
+			g.AddNode(fmt.Sprintf("n%02d", i))
+		}
+		for e := 0; e < n+rng.Intn(2*n+1); e++ {
+			g.AddEdge(fmt.Sprintf("n%02d", rng.Intn(n)), fmt.Sprintf("n%02d", rng.Intn(n)), 1)
+		}
+		res, err := Louvain(g, 1.0)
+		if err != nil {
+			return false
+		}
+		if len(res.Communities) != n {
+			return false
+		}
+		seen := make(map[int]bool)
+		for _, c := range res.Communities {
+			if c < 0 {
+				return false
+			}
+			seen[c] = true
+		}
+		for i := 0; i < len(seen); i++ {
+			if !seen[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,380 @@
+// Package core implements the paper's primary contribution: input dependency
+// analysis for a logic program (§II).
+//
+// Given a program P and its input predicates inpre(P), the package builds
+//
+//  1. the extended dependency graph G_P (Definition 1): undirected edges E1
+//     between predicates co-occurring in a rule body (with a self-loop for
+//     predicates occurring under default negation), and directed edges E2
+//     from body predicates to head predicates;
+//  2. the input dependency graph (Definition 2): an undirected graph over
+//     inpre(P) connecting input predicates that can contribute to firing a
+//     rule together, obtained by bridging every E1 edge with E2 reachability;
+//  3. the partitioning plan (§II-B): the connected components of the input
+//     dependency graph, or — when the graph is connected — Louvain
+//     communities with the smaller exnodes side duplicated into both
+//     communities.
+//
+// Predicates are identified by name, as in the paper's figures.
+package core
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"streamrule/internal/asp/ast"
+	"streamrule/internal/community"
+	"streamrule/internal/graph"
+)
+
+// ExtendedGraph is the extended dependency graph G_P of Definition 1.
+type ExtendedGraph struct {
+	// E1 holds the undirected body co-occurrence edges, including the
+	// self-loops contributed by negated body literals.
+	E1 *graph.Undirected
+	// E2 holds the directed body-to-head edges.
+	E2 *graph.Directed
+	// Preds is the sorted set of predicate names in the program.
+	Preds []string
+}
+
+// BuildExtended constructs the extended dependency graph of the program.
+func BuildExtended(p *ast.Program) *ExtendedGraph {
+	eg := &ExtendedGraph{E1: graph.NewUndirected(), E2: graph.NewDirected()}
+	predSet := make(map[string]bool)
+	add := func(name string) {
+		predSet[name] = true
+		eg.E1.AddNode(name)
+		eg.E2.AddNode(name)
+	}
+	for _, r := range p.Rules {
+		var bodyPreds []string
+		for _, l := range r.Body {
+			switch l.Kind {
+			case ast.AtomLiteral:
+				add(l.Atom.Pred)
+				bodyPreds = append(bodyPreds, l.Atom.Pred)
+				if l.Neg {
+					eg.E1.AddEdge(l.Atom.Pred, l.Atom.Pred)
+				}
+			case ast.AggLiteral:
+				// Atoms inside an aggregate's element conditions are body
+				// occurrences for dependency purposes: the aggregate value
+				// depends on the whole extension of each condition
+				// predicate, so they also get a self-loop (splitting their
+				// atoms would change the aggregate).
+				for _, e := range l.Agg.Elems {
+					for _, c := range e.Cond {
+						if c.Kind != ast.AtomLiteral {
+							continue
+						}
+						add(c.Atom.Pred)
+						bodyPreds = append(bodyPreds, c.Atom.Pred)
+						eg.E1.AddEdge(c.Atom.Pred, c.Atom.Pred)
+					}
+				}
+			}
+		}
+		// E1: every pair of distinct body literal occurrences.
+		for i := 0; i < len(bodyPreds); i++ {
+			for j := i + 1; j < len(bodyPreds); j++ {
+				eg.E1.AddEdge(bodyPreds[i], bodyPreds[j])
+			}
+		}
+		// E2: body -> head.
+		for _, h := range r.Head {
+			add(h.Pred)
+			for _, b := range bodyPreds {
+				eg.E2.AddEdge(b, h.Pred)
+			}
+		}
+	}
+	for name := range predSet {
+		eg.Preds = append(eg.Preds, name)
+	}
+	sort.Strings(eg.Preds)
+	return eg
+}
+
+// InputGraph is the input dependency graph of Definition 2, an undirected
+// graph (with self-loops) over the input predicates.
+type InputGraph struct {
+	G *graph.Undirected
+	// Inpre is the sorted set of input predicate names.
+	Inpre []string
+}
+
+// BuildInput derives the input dependency graph of the extended graph with
+// respect to the given input predicates.
+//
+// For every E1 edge (a,b), every input predicate with a directed E2 path to
+// a is connected to every input predicate with a directed path to b
+// (reachability includes the empty path). This realizes conditions (i) and
+// (ii) of Definition 2 and generalizes condition (iii): a self-loop (u,u) in
+// E1 induces a self-loop on every input predicate reaching u, which covers
+// the paper's direct-father case and its transitive closure.
+func BuildInput(eg *ExtendedGraph, inpre []string) *InputGraph {
+	ig := &InputGraph{G: graph.NewUndirected()}
+	ig.Inpre = append(ig.Inpre, inpre...)
+	sort.Strings(ig.Inpre)
+
+	inputSet := make(map[string]bool, len(inpre))
+	for _, p := range ig.Inpre {
+		inputSet[p] = true
+		ig.G.AddNode(p)
+	}
+
+	// reachedBy[x] = input predicates with a directed E2 path to x.
+	reachedBy := make(map[string][]string)
+	for _, p := range ig.Inpre {
+		if !eg.E2.HasNode(p) {
+			// Input predicate unused by the program: isolated node.
+			continue
+		}
+		for x := range eg.E2.Reachable(p) {
+			reachedBy[x] = append(reachedBy[x], p)
+		}
+	}
+
+	for _, e := range eg.E1.Edges() {
+		for _, p := range reachedBy[e[0]] {
+			for _, q := range reachedBy[e[1]] {
+				ig.G.AddEdge(p, q)
+			}
+		}
+	}
+	return ig
+}
+
+// DependOn reports whether two input predicates depend on each other
+// (Definition 3): there is an edge between them in the input dependency
+// graph.
+func (ig *InputGraph) DependOn(p, q string) bool { return ig.G.HasEdge(p, q) }
+
+// Plan is the partitioning plan produced by the decomposing process: the
+// mapping from input predicates to the communities whose partitions must
+// receive their ground atoms.
+type Plan struct {
+	// Communities lists the sorted member predicates of each community,
+	// including duplicated predicates (which appear in several communities).
+	Communities [][]string
+	// Assign maps each input predicate to the sorted ids of the communities
+	// it belongs to.
+	Assign map[string][]int
+	// Duplicated lists the predicates assigned to more than one community.
+	Duplicated []string
+	// Connected records whether the input dependency graph was connected
+	// (and community detection plus duplication was therefore required).
+	Connected bool
+	// Resolution is the Louvain resolution used (meaningful when Connected).
+	Resolution float64
+	// Modularity of the Louvain split (0 when the graph was disconnected).
+	Modularity float64
+}
+
+// NumPartitions returns the number of communities in the plan.
+func (pl *Plan) NumPartitions() int { return len(pl.Communities) }
+
+// CommunitiesOf returns the community ids for a predicate, or nil when the
+// predicate is not covered by the plan (Algorithm 1 line 5).
+func (pl *Plan) CommunitiesOf(pred string) []int { return pl.Assign[pred] }
+
+// String renders the plan for logs and the depgraph CLI.
+func (pl *Plan) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "partitions: %d, connected input graph: %v\n", pl.NumPartitions(), pl.Connected)
+	for i, c := range pl.Communities {
+		fmt.Fprintf(&b, "  C%d: %s\n", i, strings.Join(c, ", "))
+	}
+	if len(pl.Duplicated) > 0 {
+		fmt.Fprintf(&b, "  duplicated: %s\n", strings.Join(pl.Duplicated, ", "))
+	}
+	return b.String()
+}
+
+// Decompose runs the decomposing process of §II-B on an input dependency
+// graph: connected components when the graph is disconnected, otherwise
+// Louvain communities (at the given resolution) with the smaller exnodes
+// side of every community pair duplicated into both.
+func Decompose(ig *InputGraph, resolution float64) (*Plan, error) {
+	comps := ig.G.ConnectedComponents()
+	plan := &Plan{Assign: make(map[string][]int), Resolution: resolution}
+	if len(comps) != 1 {
+		plan.Communities = comps
+		for i, c := range comps {
+			for _, p := range c {
+				plan.Assign[p] = []int{i}
+			}
+		}
+		return plan, nil
+	}
+
+	plan.Connected = true
+	cg := community.NewGraph()
+	for _, n := range ig.G.Nodes() {
+		cg.AddNode(n)
+	}
+	for _, e := range ig.G.Edges() {
+		cg.AddEdge(e[0], e[1], 1)
+	}
+	res, err := community.Louvain(cg, resolution)
+	if err != nil {
+		return nil, err
+	}
+	plan.Modularity = res.Modularity
+	members := res.Members()
+
+	// memberSet[i] holds the final (possibly duplicated) membership.
+	memberSet := make([]map[string]bool, len(members))
+	for i, ms := range members {
+		memberSet[i] = make(map[string]bool, len(ms))
+		for _, m := range ms {
+			memberSet[i][m] = true
+		}
+	}
+
+	// Pairwise duplication (steps 2-3): for communities with cross edges,
+	// copy the smaller exnodes side into the other community. exnodes are
+	// computed on the original Louvain membership so that duplication of
+	// one pair does not cascade into another.
+	for i := 0; i < len(members); i++ {
+		for j := i + 1; j < len(members); j++ {
+			exI := exnodes(ig.G, members[i], members[j])
+			exJ := exnodes(ig.G, members[j], members[i])
+			if len(exI) == 0 && len(exJ) == 0 {
+				continue // no cross edges
+			}
+			// Duplicate the smaller side; ties prefer the side from the
+			// lower-numbered community for determinism.
+			if len(exI) <= len(exJ) {
+				for _, p := range exI {
+					memberSet[j][p] = true
+				}
+			} else {
+				for _, p := range exJ {
+					memberSet[i][p] = true
+				}
+			}
+		}
+	}
+
+	plan.Communities = make([][]string, len(memberSet))
+	counts := make(map[string]int)
+	for i, set := range memberSet {
+		for p := range set {
+			plan.Communities[i] = append(plan.Communities[i], p)
+			plan.Assign[p] = append(plan.Assign[p], i)
+			counts[p]++
+		}
+		sort.Strings(plan.Communities[i])
+	}
+	for _, ids := range plan.Assign {
+		sort.Ints(ids)
+	}
+	for p, n := range counts {
+		if n > 1 {
+			plan.Duplicated = append(plan.Duplicated, p)
+		}
+	}
+	sort.Strings(plan.Duplicated)
+	return plan, nil
+}
+
+// StripDuplicates returns a copy of the plan in which every duplicated
+// predicate is kept only in its lowest-numbered community. It is the
+// "no-duplication" ablation: the plan still partitions the window, but the
+// cross-community dependencies the duplication protected are broken, so
+// answers may be lost.
+func StripDuplicates(pl *Plan) *Plan {
+	out := &Plan{
+		Assign:     make(map[string][]int, len(pl.Assign)),
+		Connected:  pl.Connected,
+		Resolution: pl.Resolution,
+		Modularity: pl.Modularity,
+	}
+	out.Communities = make([][]string, len(pl.Communities))
+	for p, ids := range pl.Assign {
+		keep := ids[0]
+		out.Assign[p] = []int{keep}
+		out.Communities[keep] = append(out.Communities[keep], p)
+	}
+	for i := range out.Communities {
+		sort.Strings(out.Communities[i])
+	}
+	return out
+}
+
+// exnodes returns the sorted members of community a that have an edge into
+// community b (§II-B step 2).
+func exnodes(g *graph.Undirected, a, b []string) []string {
+	inB := make(map[string]bool, len(b))
+	for _, n := range b {
+		inB[n] = true
+	}
+	var out []string
+	for _, n := range a {
+		for _, m := range g.Neighbors(n) {
+			if inB[m] {
+				out = append(out, n)
+				break
+			}
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Analysis bundles the design-time artifacts: the two graphs and the plan.
+type Analysis struct {
+	Extended *ExtendedGraph
+	Input    *InputGraph
+	Plan     *Plan
+}
+
+// Analyze runs the full design-time pipeline of the extended StreamRule
+// framework (Figure 6, upper half): extended graph, input dependency graph,
+// decomposing process.
+func Analyze(p *ast.Program, inpre []string, resolution float64) (*Analysis, error) {
+	eg := BuildExtended(p)
+	ig := BuildInput(eg, inpre)
+	plan, err := Decompose(ig, resolution)
+	if err != nil {
+		return nil, err
+	}
+	return &Analysis{Extended: eg, Input: ig, Plan: plan}, nil
+}
+
+// DOT renders the extended dependency graph in Graphviz format (directed E2
+// edges as arrows, undirected E1 edges as dashed lines).
+func (eg *ExtendedGraph) DOT() string {
+	var b strings.Builder
+	b.WriteString("digraph extended {\n")
+	for _, n := range eg.Preds {
+		fmt.Fprintf(&b, "  %q;\n", n)
+	}
+	for _, e := range eg.E1.Edges() {
+		fmt.Fprintf(&b, "  %q -> %q [dir=none, style=dashed];\n", e[0], e[1])
+	}
+	for _, from := range eg.E2.Nodes() {
+		for _, to := range eg.E2.Succ(from) {
+			fmt.Fprintf(&b, "  %q -> %q;\n", from, to)
+		}
+	}
+	b.WriteString("}\n")
+	return b.String()
+}
+
+// DOT renders the input dependency graph in Graphviz format.
+func (ig *InputGraph) DOT() string {
+	var b strings.Builder
+	b.WriteString("graph input {\n")
+	for _, n := range ig.G.Nodes() {
+		fmt.Fprintf(&b, "  %q;\n", n)
+	}
+	for _, e := range ig.G.Edges() {
+		fmt.Fprintf(&b, "  %q -- %q;\n", e[0], e[1])
+	}
+	b.WriteString("}\n")
+	return b.String()
+}

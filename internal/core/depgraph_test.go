@@ -1,0 +1,538 @@
+package core
+
+import (
+	"math/rand"
+	"sort"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"streamrule/internal/asp/ast"
+	"streamrule/internal/asp/parser"
+)
+
+// programP is Listing 1 of the paper; programPPrime adds rule r7 (§II-B).
+const programP = `
+very_slow_speed(X) :- average_speed(X,Y), Y < 20.
+many_cars(X) :- car_number(X,Y), Y > 40.
+traffic_jam(X) :- very_slow_speed(X), many_cars(X), not traffic_light(X).
+car_fire(X) :- car_in_smoke(C, high), car_speed(C, 0), car_location(C, X).
+give_notification(X) :- traffic_jam(X).
+give_notification(X) :- car_fire(X).
+`
+
+const programPPrime = programP + `
+traffic_jam(X) :- car_fire(X), many_cars(X).
+`
+
+// inpreP is inpre(P) = inpre(P') from the paper.
+var inpreP = []string{
+	"average_speed", "car_number", "traffic_light",
+	"car_in_smoke", "car_speed", "car_location",
+}
+
+func mustProgram(t *testing.T, src string) *ast.Program {
+	t.Helper()
+	p, err := parser.Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+// TestFigure2 checks the structure of the extended dependency graph of P.
+func TestFigure2(t *testing.T) {
+	eg := BuildExtended(mustProgram(t, programP))
+
+	wantPreds := []string{
+		"average_speed", "car_fire", "car_in_smoke", "car_location",
+		"car_number", "car_speed", "give_notification", "many_cars",
+		"traffic_jam", "traffic_light", "very_slow_speed",
+	}
+	if strings.Join(eg.Preds, " ") != strings.Join(wantPreds, " ") {
+		t.Errorf("Preds = %v", eg.Preds)
+	}
+
+	// E2 directed edges (body -> head).
+	e2 := [][2]string{
+		{"average_speed", "very_slow_speed"},
+		{"car_number", "many_cars"},
+		{"very_slow_speed", "traffic_jam"},
+		{"many_cars", "traffic_jam"},
+		{"traffic_light", "traffic_jam"},
+		{"car_in_smoke", "car_fire"},
+		{"car_speed", "car_fire"},
+		{"car_location", "car_fire"},
+		{"traffic_jam", "give_notification"},
+		{"car_fire", "give_notification"},
+	}
+	for _, e := range e2 {
+		if !eg.E2.HasEdge(e[0], e[1]) {
+			t.Errorf("missing E2 edge %s -> %s", e[0], e[1])
+		}
+	}
+	if got := eg.E2.NumEdges(); got != len(e2) {
+		t.Errorf("E2 has %d edges, want %d", got, len(e2))
+	}
+
+	// E1 undirected edges: r3 body pairs + r4 body pairs + traffic_light
+	// self-loop (negated in r3).
+	e1 := [][2]string{
+		{"many_cars", "very_slow_speed"},
+		{"traffic_light", "very_slow_speed"},
+		{"many_cars", "traffic_light"},
+		{"car_in_smoke", "car_speed"},
+		{"car_in_smoke", "car_location"},
+		{"car_location", "car_speed"},
+		{"traffic_light", "traffic_light"},
+	}
+	for _, e := range e1 {
+		if !eg.E1.HasEdge(e[0], e[1]) {
+			t.Errorf("missing E1 edge (%s, %s)", e[0], e[1])
+		}
+	}
+	if got := eg.E1.NumEdges(); got != len(e1) {
+		t.Errorf("E1 has %d edges, want %d: %v", got, len(e1), eg.E1.Edges())
+	}
+	if !eg.E1.SelfLoop("traffic_light") {
+		t.Error("traffic_light must have an E1 self-loop (negated body literal)")
+	}
+}
+
+// TestFigure3 checks the input dependency graph of P: two components
+// (traffic vs car-fire) and the self-loop on traffic_light.
+func TestFigure3(t *testing.T) {
+	eg := BuildExtended(mustProgram(t, programP))
+	ig := BuildInput(eg, inpreP)
+
+	want := [][2]string{
+		{"average_speed", "car_number"},
+		{"average_speed", "traffic_light"},
+		{"car_number", "traffic_light"},
+		{"traffic_light", "traffic_light"},
+		{"car_in_smoke", "car_speed"},
+		{"car_in_smoke", "car_location"},
+		{"car_location", "car_speed"},
+	}
+	for _, e := range want {
+		if !ig.G.HasEdge(e[0], e[1]) {
+			t.Errorf("missing input edge (%s, %s)", e[0], e[1])
+		}
+	}
+	if got := ig.G.NumEdges(); got != len(want) {
+		t.Errorf("input graph has %d edges, want %d: %v", got, len(want), ig.G.Edges())
+	}
+
+	comps := ig.G.ConnectedComponents()
+	if len(comps) != 2 {
+		t.Fatalf("expected 2 components, got %v", comps)
+	}
+	if strings.Join(comps[0], " ") != "average_speed car_number traffic_light" {
+		t.Errorf("component 0 = %v", comps[0])
+	}
+	if strings.Join(comps[1], " ") != "car_in_smoke car_location car_speed" {
+		t.Errorf("component 1 = %v", comps[1])
+	}
+
+	if !ig.DependOn("average_speed", "car_number") {
+		t.Error("average_speed and car_number must depend on each other (Def. 3)")
+	}
+	if ig.DependOn("average_speed", "car_speed") {
+		t.Error("average_speed and car_speed must be independent")
+	}
+}
+
+// TestFigure4 checks that r7 connects the two components of the input graph
+// through car_number.
+func TestFigure4(t *testing.T) {
+	eg := BuildExtended(mustProgram(t, programPPrime))
+	ig := BuildInput(eg, inpreP)
+
+	if !ig.G.IsConnected() {
+		t.Fatal("input dependency graph of P' must be connected")
+	}
+	for _, n := range []string{"car_in_smoke", "car_speed", "car_location"} {
+		if !ig.G.HasEdge("car_number", n) {
+			t.Errorf("missing bridging edge (car_number, %s)", n)
+		}
+	}
+	// The bridge comes only from car_number: average_speed and
+	// traffic_light stay unconnected to the fire clique.
+	for _, a := range []string{"average_speed", "traffic_light"} {
+		for _, b := range []string{"car_in_smoke", "car_speed", "car_location"} {
+			if ig.G.HasEdge(a, b) {
+				t.Errorf("unexpected edge (%s, %s)", a, b)
+			}
+		}
+	}
+}
+
+// TestFigure5 checks the decomposing process on P': two communities with
+// car_number duplicated into both.
+func TestFigure5(t *testing.T) {
+	a, err := Analyze(mustProgram(t, programPPrime), inpreP, 1.0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	plan := a.Plan
+	if !plan.Connected {
+		t.Error("plan should record that the input graph was connected")
+	}
+	if plan.NumPartitions() != 2 {
+		t.Fatalf("expected 2 partitions, got %v", plan.Communities)
+	}
+	if len(plan.Duplicated) != 1 || plan.Duplicated[0] != "car_number" {
+		t.Fatalf("duplicated = %v, want [car_number]", plan.Duplicated)
+	}
+	if got := plan.CommunitiesOf("car_number"); len(got) != 2 {
+		t.Errorf("car_number communities = %v, want both", got)
+	}
+	// Every other predicate belongs to exactly one community, and the two
+	// cliques are separated.
+	for _, p := range inpreP {
+		if p == "car_number" {
+			continue
+		}
+		if got := plan.CommunitiesOf(p); len(got) != 1 {
+			t.Errorf("%s communities = %v, want one", p, got)
+		}
+	}
+	cid := func(p string) int { return plan.CommunitiesOf(p)[0] }
+	if cid("average_speed") != cid("traffic_light") {
+		t.Error("traffic clique split")
+	}
+	if cid("car_in_smoke") != cid("car_speed") || cid("car_speed") != cid("car_location") {
+		t.Error("fire clique split")
+	}
+	if cid("average_speed") == cid("car_in_smoke") {
+		t.Error("cliques must be in different partitions")
+	}
+}
+
+// TestPlanDisconnected checks the plan for P (no duplication needed).
+func TestPlanDisconnected(t *testing.T) {
+	a, err := Analyze(mustProgram(t, programP), inpreP, 1.0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	plan := a.Plan
+	if plan.Connected {
+		t.Error("input graph of P is disconnected")
+	}
+	if plan.NumPartitions() != 2 {
+		t.Fatalf("partitions = %v", plan.Communities)
+	}
+	if len(plan.Duplicated) != 0 {
+		t.Errorf("no duplication expected, got %v", plan.Duplicated)
+	}
+}
+
+func TestUnusedInputPredicateIsolated(t *testing.T) {
+	eg := BuildExtended(mustProgram(t, programP))
+	ig := BuildInput(eg, append([]string{"unused_sensor"}, inpreP...))
+	if !ig.G.HasNode("unused_sensor") {
+		t.Fatal("unused input predicate must appear as a node")
+	}
+	if len(ig.G.Neighbors("unused_sensor")) != 0 {
+		t.Error("unused input predicate must be isolated")
+	}
+	plan, err := Decompose(ig, 1.0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plan.NumPartitions() != 3 {
+		t.Errorf("expected 3 partitions (2 cliques + isolated), got %v", plan.Communities)
+	}
+}
+
+func TestInputPredicateCanBeIDB(t *testing.T) {
+	// The paper allows input predicates to be IDB: feed very_slow_speed
+	// directly as an input. It reaches traffic_jam, so it depends on
+	// car_number and traffic_light.
+	eg := BuildExtended(mustProgram(t, programP))
+	ig := BuildInput(eg, []string{"very_slow_speed", "car_number", "traffic_light"})
+	if !ig.DependOn("very_slow_speed", "car_number") {
+		t.Error("IDB input must depend on car_number")
+	}
+	if !ig.DependOn("very_slow_speed", "traffic_light") {
+		t.Error("IDB input must depend on traffic_light")
+	}
+}
+
+func TestConditionII_MultiHop(t *testing.T) {
+	// a -> ... chain of derived predicates whose tips co-occur in one body:
+	// d1 :- a(X).   d2 :- d1.   e1 :- b(X).   joint :- d2, e1.
+	prog := mustProgram(t, `
+d1 :- a(X).
+d2 :- d1.
+e1 :- b(X).
+joint :- d2, e1.
+`)
+	eg := BuildExtended(prog)
+	ig := BuildInput(eg, []string{"a", "b"})
+	if !ig.DependOn("a", "b") {
+		t.Error("condition (ii): a and b must depend on each other via d2/e1 co-occurrence")
+	}
+}
+
+func TestConditionIII_InheritedSelfLoop(t *testing.T) {
+	// u is negated in some body, so (u,u) in E1; input p derives u, hence p
+	// must get a self-loop (condition (iii)).
+	prog := mustProgram(t, `
+u :- p(X).
+q :- r(X), not u.
+`)
+	eg := BuildExtended(prog)
+	ig := BuildInput(eg, []string{"p", "r"})
+	if !ig.G.SelfLoop("p") {
+		t.Error("p must inherit u's self-loop")
+	}
+	// And p depends on r via the (r,u) body pair.
+	if !ig.DependOn("p", "r") {
+		t.Error("p and r must depend on each other")
+	}
+}
+
+func TestDecomposeSingleCommunityGraph(t *testing.T) {
+	// A triangle is one Louvain community: the plan degenerates to a single
+	// partition, which is still a valid (if unhelpful) plan.
+	prog := mustProgram(t, `
+x :- a(X), b(X), c(X).
+`)
+	a, err := Analyze(prog, []string{"a", "b", "c"}, 1.0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Plan.NumPartitions() != 1 {
+		t.Errorf("partitions = %v", a.Plan.Communities)
+	}
+	if len(a.Plan.Duplicated) != 0 {
+		t.Errorf("duplicated = %v", a.Plan.Duplicated)
+	}
+}
+
+func TestAggregatesContributeDependencies(t *testing.T) {
+	// The aggregate correlates request atoms (through the count) with the
+	// blocked predicate in the same rule body: both must land in one
+	// partition, and request must carry a self-loop (splitting its atoms
+	// changes every count).
+	prog := mustProgram(t, `
+zone(Z) :- request(_, Z).
+overload(Z) :- zone(Z), not blocked(Z), #count{ R : request(R, Z) } >= 3.
+`)
+	eg := BuildExtended(prog)
+	if !eg.E1.SelfLoop("request") {
+		t.Error("aggregate condition predicate must get a self-loop")
+	}
+	ig := BuildInput(eg, []string{"request", "blocked"})
+	if !ig.DependOn("request", "blocked") {
+		t.Error("request and blocked co-fire the overload rule: they must depend on each other")
+	}
+	if !ig.G.SelfLoop("request") {
+		t.Error("request atoms depend on each other through the count")
+	}
+	plan, err := Decompose(ig, 1.0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cr := plan.CommunitiesOf("request")
+	cb := plan.CommunitiesOf("blocked")
+	shared := false
+	for _, a := range cr {
+		for _, b := range cb {
+			if a == b {
+				shared = true
+			}
+		}
+	}
+	if !shared {
+		t.Errorf("request %v and blocked %v must share a partition", cr, cb)
+	}
+}
+
+func TestStripDuplicates(t *testing.T) {
+	a, err := Analyze(mustProgram(t, programPPrime), inpreP, 1.0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	stripped := StripDuplicates(a.Plan)
+	if len(stripped.Duplicated) != 0 {
+		t.Errorf("duplicated = %v", stripped.Duplicated)
+	}
+	if got := stripped.CommunitiesOf("car_number"); len(got) != 1 {
+		t.Errorf("car_number communities = %v, want one", got)
+	}
+	// Every input predicate is still covered exactly once.
+	for _, p := range inpreP {
+		if got := stripped.CommunitiesOf(p); len(got) != 1 {
+			t.Errorf("%s communities = %v", p, got)
+		}
+	}
+	if stripped.NumPartitions() != a.Plan.NumPartitions() {
+		t.Errorf("partitions changed: %d vs %d", stripped.NumPartitions(), a.Plan.NumPartitions())
+	}
+	// The original plan is untouched.
+	if len(a.Plan.Duplicated) != 1 {
+		t.Error("StripDuplicates must not mutate its input")
+	}
+}
+
+func TestDecomposeRejectsBadResolution(t *testing.T) {
+	prog := mustProgram(t, `x :- a(X), b(X).`)
+	eg := BuildExtended(prog)
+	ig := BuildInput(eg, []string{"a", "b"})
+	if _, err := Decompose(ig, -1); err == nil {
+		t.Error("negative resolution must be rejected")
+	}
+}
+
+func TestDOTOutputs(t *testing.T) {
+	a, err := Analyze(mustProgram(t, programP), inpreP, 1.0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dot := a.Extended.DOT()
+	if !strings.Contains(dot, `"average_speed" -> "very_slow_speed";`) {
+		t.Errorf("extended DOT missing E2 edge:\n%s", dot)
+	}
+	if !strings.Contains(dot, "style=dashed") {
+		t.Error("extended DOT missing E1 styling")
+	}
+	idot := a.Input.DOT()
+	if !strings.Contains(idot, `"average_speed" -- "car_number";`) {
+		t.Errorf("input DOT missing edge:\n%s", idot)
+	}
+	if !strings.Contains(a.Plan.String(), "partitions: 2") {
+		t.Errorf("plan string: %s", a.Plan)
+	}
+}
+
+// randProgram builds a random program over nIn input predicates and nDer
+// derived predicates, for the property tests.
+func randProgram(rng *rand.Rand, nIn, nDer int) (*ast.Program, []string) {
+	var inpre []string
+	for i := 0; i < nIn; i++ {
+		inpre = append(inpre, string(rune('a'+i)))
+	}
+	var derived []string
+	for i := 0; i < nDer; i++ {
+		derived = append(derived, "d"+string(rune('0'+i)))
+	}
+	all := append(append([]string{}, inpre...), derived...)
+	prog := &ast.Program{}
+	nRules := 1 + rng.Intn(6)
+	for r := 0; r < nRules; r++ {
+		head := ast.NewAtom(derived[rng.Intn(nDer)])
+		nBody := 1 + rng.Intn(3)
+		var body []ast.Literal
+		for b := 0; b < nBody; b++ {
+			pred := all[rng.Intn(len(all))]
+			a := ast.NewAtom(pred)
+			if rng.Intn(5) == 0 {
+				body = append(body, ast.Not(a))
+			} else {
+				body = append(body, ast.Pos(a))
+			}
+		}
+		prog.Add(ast.Rule{Head: []ast.Atom{head}, Body: body})
+	}
+	return prog, inpre
+}
+
+// Property: the input dependency graph's nodes are exactly inpre, and every
+// plan covers every input predicate that has atoms to route.
+func TestQuickPlanCoversInputs(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		prog, inpre := randProgram(rng, 2+rng.Intn(4), 2+rng.Intn(3))
+		a, err := Analyze(prog, inpre, 1.0)
+		if err != nil {
+			return false
+		}
+		nodes := a.Input.G.Nodes()
+		want := append([]string{}, inpre...)
+		sort.Strings(want)
+		if strings.Join(nodes, " ") != strings.Join(want, " ") {
+			return false
+		}
+		for _, p := range inpre {
+			ids := a.Plan.CommunitiesOf(p)
+			if len(ids) == 0 {
+				return false
+			}
+			for _, id := range ids {
+				if id < 0 || id >= a.Plan.NumPartitions() {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: two input predicates co-occurring in the same rule body always
+// depend on each other (condition (i)).
+func TestQuickConditionI(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		prog, inpre := randProgram(rng, 2+rng.Intn(4), 2+rng.Intn(3))
+		eg := BuildExtended(prog)
+		ig := BuildInput(eg, inpre)
+		inSet := make(map[string]bool)
+		for _, p := range inpre {
+			inSet[p] = true
+		}
+		for _, r := range prog.Rules {
+			var preds []string
+			for _, l := range r.Body {
+				if l.Kind == ast.AtomLiteral && inSet[l.Atom.Pred] {
+					preds = append(preds, l.Atom.Pred)
+				}
+			}
+			for i := 0; i < len(preds); i++ {
+				for j := i + 1; j < len(preds); j++ {
+					if preds[i] != preds[j] && !ig.DependOn(preds[i], preds[j]) {
+						return false
+					}
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: dependent predicates are always in a shared partition... more
+// precisely, two input predicates connected by an edge in the input graph
+// share at least one community OR the edge crosses communities only when one
+// endpoint was eligible for duplication. For disconnected graphs (pure
+// component plans) connected predicates always share a community.
+func TestQuickDisconnectedPlanKeepsEdgesTogether(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		prog, inpre := randProgram(rng, 2+rng.Intn(4), 2+rng.Intn(3))
+		a, err := Analyze(prog, inpre, 1.0)
+		if err != nil {
+			return false
+		}
+		if a.Plan.Connected {
+			return true // duplication case: edges may legitimately cross
+		}
+		for _, e := range a.Input.G.Edges() {
+			ci := a.Plan.CommunitiesOf(e[0])
+			cj := a.Plan.CommunitiesOf(e[1])
+			if len(ci) != 1 || len(cj) != 1 || ci[0] != cj[0] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,120 @@
+// Package dfp is the data format processor of the StreamRule architecture
+// (Figure 1): it translates between the RDF triples flowing through the
+// stream layer and the ASP facts the reasoner consumes. The paper stresses
+// that this conversion time is part of the reasoner's latency, so the
+// conversion functions are deliberately the only place where triples become
+// atoms and back.
+package dfp
+
+import (
+	"fmt"
+	"strconv"
+
+	"streamrule/internal/asp/ast"
+	"streamrule/internal/rdf"
+)
+
+// Arities maps an input predicate name to its arity (1 or 2). A triple
+// <s, p, o> becomes p(s, o) for arity 2 and p(s) for arity 1.
+type Arities map[string]int
+
+// InferArities extracts the arity of each input predicate from the program's
+// rule bodies. It returns an error if an input predicate is used with two
+// different arities or does not occur in the program.
+func InferArities(p *ast.Program, inpre []string) (Arities, error) {
+	want := make(map[string]bool, len(inpre))
+	for _, name := range inpre {
+		want[name] = true
+	}
+	out := make(Arities, len(inpre))
+	record := func(a ast.Atom) error {
+		if !want[a.Pred] {
+			return nil
+		}
+		if prev, ok := out[a.Pred]; ok && prev != a.Arity() {
+			return fmt.Errorf("input predicate %s used with arities %d and %d", a.Pred, prev, a.Arity())
+		}
+		out[a.Pred] = a.Arity()
+		return nil
+	}
+	for _, r := range p.Rules {
+		for _, h := range r.Head {
+			if err := record(h); err != nil {
+				return nil, err
+			}
+		}
+		for _, l := range r.Body {
+			if l.Kind != ast.AtomLiteral {
+				continue
+			}
+			if err := record(l.Atom); err != nil {
+				return nil, err
+			}
+		}
+	}
+	for name := range want {
+		if _, ok := out[name]; !ok {
+			return nil, fmt.Errorf("input predicate %s does not occur in the program", name)
+		}
+	}
+	return out, nil
+}
+
+// term converts an RDF node to an ASP term: decimal integers become number
+// terms, everything else a symbol.
+func term(s string) ast.Term {
+	if n, err := strconv.ParseInt(s, 10, 64); err == nil {
+		return ast.Num(n)
+	}
+	return ast.Sym(s)
+}
+
+// ToFacts converts a window of triples to ground ASP facts. Triples whose
+// predicate is not in the arity map are skipped and counted (they belong to
+// no input predicate of the program); the reasoner reports the count.
+func ToFacts(window []rdf.Triple, ar Arities) (facts []ast.Atom, skipped int) {
+	facts = make([]ast.Atom, 0, len(window))
+	for _, t := range window {
+		arity, ok := ar[t.P]
+		if !ok {
+			skipped++
+			continue
+		}
+		switch arity {
+		case 1:
+			facts = append(facts, ast.NewAtom(t.P, term(t.S)))
+		case 2:
+			facts = append(facts, ast.NewAtom(t.P, term(t.S), term(t.O)))
+		default:
+			skipped++
+		}
+	}
+	return facts, skipped
+}
+
+// FromAtoms converts derived atoms back into triples for the output stream:
+// p(s, o) becomes <s, p, o>; p(s) becomes <s, p, true>; atoms of other
+// arities are rendered with the remaining arguments joined into the object.
+func FromAtoms(atoms []ast.Atom) []rdf.Triple {
+	out := make([]rdf.Triple, 0, len(atoms))
+	for _, a := range atoms {
+		switch a.Arity() {
+		case 0:
+			out = append(out, rdf.Triple{S: a.Pred, P: a.Pred, O: "true"})
+		case 1:
+			out = append(out, rdf.Triple{S: a.Args[0].String(), P: a.Pred, O: "true"})
+		case 2:
+			out = append(out, rdf.Triple{S: a.Args[0].String(), P: a.Pred, O: a.Args[1].String()})
+		default:
+			obj := ""
+			for i, t := range a.Args[1:] {
+				if i > 0 {
+					obj += ","
+				}
+				obj += t.String()
+			}
+			out = append(out, rdf.Triple{S: a.Args[0].String(), P: a.Pred, O: obj})
+		}
+	}
+	return out
+}

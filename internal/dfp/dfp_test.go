@@ -1,0 +1,144 @@
+package dfp
+
+import (
+	"testing"
+
+	"streamrule/internal/asp/ast"
+	"streamrule/internal/asp/parser"
+	"streamrule/internal/rdf"
+)
+
+const programP = `
+very_slow_speed(X) :- average_speed(X,Y), Y < 20.
+many_cars(X) :- car_number(X,Y), Y > 40.
+traffic_jam(X) :- very_slow_speed(X), many_cars(X), not traffic_light(X).
+car_fire(X) :- car_in_smoke(C, high), car_speed(C, 0), car_location(C, X).
+give_notification(X) :- traffic_jam(X).
+give_notification(X) :- car_fire(X).
+`
+
+var inpreP = []string{
+	"average_speed", "car_number", "traffic_light",
+	"car_in_smoke", "car_speed", "car_location",
+}
+
+func TestInferArities(t *testing.T) {
+	prog, err := parser.Parse(programP)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ar, err := InferArities(prog, inpreP)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := Arities{
+		"average_speed": 2, "car_number": 2, "traffic_light": 1,
+		"car_in_smoke": 2, "car_speed": 2, "car_location": 2,
+	}
+	for k, v := range want {
+		if ar[k] != v {
+			t.Errorf("arity(%s) = %d, want %d", k, ar[k], v)
+		}
+	}
+}
+
+func TestInferAritiesErrors(t *testing.T) {
+	prog, err := parser.Parse("p :- q(X, Y).\nr :- q(X).")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := InferArities(prog, []string{"q"}); err == nil {
+		t.Error("conflicting arity must be rejected")
+	}
+	if _, err := InferArities(prog, []string{"missing"}); err == nil {
+		t.Error("unknown input predicate must be rejected")
+	}
+}
+
+func TestToFacts(t *testing.T) {
+	ar := Arities{"average_speed": 2, "traffic_light": 1}
+	window := []rdf.Triple{
+		{S: "city1", P: "average_speed", O: "10"},
+		{S: "city1", P: "traffic_light", O: "true"},
+		{S: "x", P: "unknown_pred", O: "y"},
+		{S: "car1", P: "car_in_smoke", O: "high"},
+	}
+	facts, skipped := ToFacts(window, ar)
+	if skipped != 2 {
+		t.Errorf("skipped = %d, want 2", skipped)
+	}
+	if len(facts) != 2 {
+		t.Fatalf("facts = %v", facts)
+	}
+	if facts[0].Key() != "average_speed(city1,10)" {
+		t.Errorf("fact 0 = %s", facts[0])
+	}
+	if facts[0].Args[1].Kind != ast.NumberTerm {
+		t.Error("numeric object must become a number term")
+	}
+	if facts[1].Key() != "traffic_light(city1)" {
+		t.Errorf("fact 1 = %s", facts[1])
+	}
+}
+
+func TestToFactsNumericSubject(t *testing.T) {
+	ar := Arities{"p": 2}
+	facts, _ := ToFacts([]rdf.Triple{{S: "42", P: "p", O: "high"}}, ar)
+	if facts[0].Args[0].Kind != ast.NumberTerm || facts[0].Args[0].Num != 42 {
+		t.Errorf("subject term = %v", facts[0].Args[0])
+	}
+	if facts[0].Args[1].Kind != ast.SymbolTerm {
+		t.Errorf("object term = %v", facts[0].Args[1])
+	}
+}
+
+func TestFromAtoms(t *testing.T) {
+	atoms := []ast.Atom{
+		ast.NewAtom("give_notification", ast.Sym("dangan")),
+		ast.NewAtom("car_fire", ast.Sym("dangan")),
+		ast.NewAtom("link", ast.Sym("a"), ast.Sym("b")),
+		ast.NewAtom("flag"),
+		ast.NewAtom("wide", ast.Sym("s"), ast.Num(1), ast.Num(2)),
+	}
+	triples := FromAtoms(atoms)
+	want := []rdf.Triple{
+		{S: "dangan", P: "give_notification", O: "true"},
+		{S: "dangan", P: "car_fire", O: "true"},
+		{S: "a", P: "link", O: "b"},
+		{S: "flag", P: "flag", O: "true"},
+		{S: "s", P: "wide", O: "1,2"},
+	}
+	if len(triples) != len(want) {
+		t.Fatalf("got %v", triples)
+	}
+	for i := range want {
+		if triples[i] != want[i] {
+			t.Errorf("triple %d = %v, want %v", i, triples[i], want[i])
+		}
+	}
+}
+
+func TestRoundTripWindow(t *testing.T) {
+	prog, err := parser.Parse(programP)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ar, err := InferArities(prog, inpreP)
+	if err != nil {
+		t.Fatal(err)
+	}
+	window := []rdf.Triple{
+		{S: "city1", P: "average_speed", O: "10"},
+		{S: "car1", P: "car_location", O: "dangan"},
+	}
+	facts, skipped := ToFacts(window, ar)
+	if skipped != 0 {
+		t.Fatalf("skipped = %d", skipped)
+	}
+	back := FromAtoms(facts)
+	for i := range window {
+		if back[i] != window[i] {
+			t.Errorf("round trip %d: %v vs %v", i, back[i], window[i])
+		}
+	}
+}

@@ -1,0 +1,347 @@
+// Package graph provides the small set of graph algorithms the reproduction
+// needs: directed graphs with Tarjan strongly-connected components and
+// condensation topological order (used by the grounder), and undirected
+// graphs with connected components and self-loops (used by the input
+// dependency analysis). Nodes are strings; edge sets are deduplicated.
+package graph
+
+import "sort"
+
+// Directed is a directed graph over string nodes. The zero value is not
+// ready to use; call NewDirected.
+type Directed struct {
+	nodes map[string]bool
+	succ  map[string]map[string]bool
+	pred  map[string]map[string]bool
+}
+
+// NewDirected returns an empty directed graph.
+func NewDirected() *Directed {
+	return &Directed{
+		nodes: make(map[string]bool),
+		succ:  make(map[string]map[string]bool),
+		pred:  make(map[string]map[string]bool),
+	}
+}
+
+// AddNode inserts a node (no-op if present).
+func (g *Directed) AddNode(n string) { g.nodes[n] = true }
+
+// AddEdge inserts the edge from -> to, adding both endpoints.
+func (g *Directed) AddEdge(from, to string) {
+	g.AddNode(from)
+	g.AddNode(to)
+	if g.succ[from] == nil {
+		g.succ[from] = make(map[string]bool)
+	}
+	g.succ[from][to] = true
+	if g.pred[to] == nil {
+		g.pred[to] = make(map[string]bool)
+	}
+	g.pred[to][from] = true
+}
+
+// HasNode reports node membership.
+func (g *Directed) HasNode(n string) bool { return g.nodes[n] }
+
+// HasEdge reports edge membership.
+func (g *Directed) HasEdge(from, to string) bool { return g.succ[from][to] }
+
+// Nodes returns the sorted node list.
+func (g *Directed) Nodes() []string { return sortedSet(g.nodes) }
+
+// Succ returns the sorted successors of n.
+func (g *Directed) Succ(n string) []string { return sortedSet(g.succ[n]) }
+
+// Pred returns the sorted predecessors of n.
+func (g *Directed) Pred(n string) []string { return sortedSet(g.pred[n]) }
+
+// NumEdges returns the number of directed edges.
+func (g *Directed) NumEdges() int {
+	n := 0
+	for _, s := range g.succ {
+		n += len(s)
+	}
+	return n
+}
+
+// Reachable returns the set of nodes reachable from start by directed edges,
+// including start itself (if it is a node of the graph).
+func (g *Directed) Reachable(start string) map[string]bool {
+	out := make(map[string]bool)
+	if !g.nodes[start] {
+		return out
+	}
+	stack := []string{start}
+	out[start] = true
+	for len(stack) > 0 {
+		n := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for m := range g.succ[n] {
+			if !out[m] {
+				out[m] = true
+				stack = append(stack, m)
+			}
+		}
+	}
+	return out
+}
+
+// SCCs computes the strongly connected components of the graph using
+// Tarjan's algorithm. Components are returned in reverse topological order
+// of the condensation: every edge between distinct components goes from a
+// later component to an earlier one. Node order inside each component is
+// sorted; the traversal itself is order-independent.
+func (g *Directed) SCCs() [][]string {
+	index := make(map[string]int)
+	low := make(map[string]int)
+	onStack := make(map[string]bool)
+	var stack []string
+	var comps [][]string
+	next := 0
+
+	type frame struct {
+		node  string
+		succs []string
+		i     int
+	}
+
+	var visit func(root string)
+	visit = func(root string) {
+		frames := []frame{{node: root, succs: g.Succ(root)}}
+		index[root] = next
+		low[root] = next
+		next++
+		stack = append(stack, root)
+		onStack[root] = true
+		for len(frames) > 0 {
+			f := &frames[len(frames)-1]
+			if f.i < len(f.succs) {
+				w := f.succs[f.i]
+				f.i++
+				if _, seen := index[w]; !seen {
+					index[w] = next
+					low[w] = next
+					next++
+					stack = append(stack, w)
+					onStack[w] = true
+					frames = append(frames, frame{node: w, succs: g.Succ(w)})
+				} else if onStack[w] {
+					if index[w] < low[f.node] {
+						low[f.node] = index[w]
+					}
+				}
+				continue
+			}
+			// Pop the frame.
+			v := f.node
+			frames = frames[:len(frames)-1]
+			if len(frames) > 0 {
+				parent := &frames[len(frames)-1]
+				if low[v] < low[parent.node] {
+					low[parent.node] = low[v]
+				}
+			}
+			if low[v] == index[v] {
+				var comp []string
+				for {
+					w := stack[len(stack)-1]
+					stack = stack[:len(stack)-1]
+					onStack[w] = false
+					comp = append(comp, w)
+					if w == v {
+						break
+					}
+				}
+				sort.Strings(comp)
+				comps = append(comps, comp)
+			}
+		}
+	}
+
+	for _, n := range g.Nodes() {
+		if _, seen := index[n]; !seen {
+			visit(n)
+		}
+	}
+	return comps
+}
+
+// TopoComponents returns the SCCs in topological order of the condensation:
+// every edge between distinct components goes from an earlier component to a
+// later one. With edges read as "source must be evaluated before target"
+// (body predicate -> head predicate), this is the bottom-up evaluation order
+// a grounder wants.
+func (g *Directed) TopoComponents() [][]string {
+	comps := g.SCCs()
+	for i, j := 0, len(comps)-1; i < j; i, j = i+1, j-1 {
+		comps[i], comps[j] = comps[j], comps[i]
+	}
+	return comps
+}
+
+// Undirected is an undirected graph over string nodes; self-loops are
+// allowed and reported by SelfLoop.
+type Undirected struct {
+	nodes map[string]bool
+	adj   map[string]map[string]bool
+	loops map[string]bool
+}
+
+// NewUndirected returns an empty undirected graph.
+func NewUndirected() *Undirected {
+	return &Undirected{
+		nodes: make(map[string]bool),
+		adj:   make(map[string]map[string]bool),
+		loops: make(map[string]bool),
+	}
+}
+
+// AddNode inserts a node (no-op if present).
+func (g *Undirected) AddNode(n string) { g.nodes[n] = true }
+
+// AddEdge inserts the undirected edge {a,b}; a == b records a self-loop.
+func (g *Undirected) AddEdge(a, b string) {
+	g.AddNode(a)
+	g.AddNode(b)
+	if a == b {
+		g.loops[a] = true
+		return
+	}
+	if g.adj[a] == nil {
+		g.adj[a] = make(map[string]bool)
+	}
+	g.adj[a][b] = true
+	if g.adj[b] == nil {
+		g.adj[b] = make(map[string]bool)
+	}
+	g.adj[b][a] = true
+}
+
+// HasNode reports node membership.
+func (g *Undirected) HasNode(n string) bool { return g.nodes[n] }
+
+// HasEdge reports whether {a,b} is an edge (or a recorded self-loop when
+// a == b).
+func (g *Undirected) HasEdge(a, b string) bool {
+	if a == b {
+		return g.loops[a]
+	}
+	return g.adj[a][b]
+}
+
+// SelfLoop reports whether n has a self-loop.
+func (g *Undirected) SelfLoop(n string) bool { return g.loops[n] }
+
+// Nodes returns the sorted node list.
+func (g *Undirected) Nodes() []string { return sortedSet(g.nodes) }
+
+// Neighbors returns the sorted neighbors of n (excluding n itself).
+func (g *Undirected) Neighbors(n string) []string { return sortedSet(g.adj[n]) }
+
+// Degree returns the number of distinct neighbors of n (self-loops add one).
+func (g *Undirected) Degree(n string) int {
+	d := len(g.adj[n])
+	if g.loops[n] {
+		d++
+	}
+	return d
+}
+
+// NumEdges returns the number of undirected edges, counting self-loops.
+func (g *Undirected) NumEdges() int {
+	n := 0
+	for _, s := range g.adj {
+		n += len(s)
+	}
+	return n/2 + len(g.loops)
+}
+
+// Edges returns all undirected edges as sorted [2]string pairs with
+// pair[0] <= pair[1]; self-loops appear as {n,n}.
+func (g *Undirected) Edges() [][2]string {
+	var out [][2]string
+	for a, s := range g.adj {
+		for b := range s {
+			if a <= b {
+				out = append(out, [2]string{a, b})
+			}
+		}
+	}
+	for n := range g.loops {
+		out = append(out, [2]string{n, n})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i][0] != out[j][0] {
+			return out[i][0] < out[j][0]
+		}
+		return out[i][1] < out[j][1]
+	})
+	return out
+}
+
+// ConnectedComponents returns the connected components, each sorted, ordered
+// by their smallest node.
+func (g *Undirected) ConnectedComponents() [][]string {
+	seen := make(map[string]bool)
+	var comps [][]string
+	for _, start := range g.Nodes() {
+		if seen[start] {
+			continue
+		}
+		var comp []string
+		stack := []string{start}
+		seen[start] = true
+		for len(stack) > 0 {
+			n := stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
+			comp = append(comp, n)
+			for m := range g.adj[n] {
+				if !seen[m] {
+					seen[m] = true
+					stack = append(stack, m)
+				}
+			}
+		}
+		sort.Strings(comp)
+		comps = append(comps, comp)
+	}
+	sort.Slice(comps, func(i, j int) bool { return comps[i][0] < comps[j][0] })
+	return comps
+}
+
+// IsConnected reports whether the graph has at most one connected component.
+func (g *Undirected) IsConnected() bool {
+	return len(g.ConnectedComponents()) <= 1
+}
+
+// Subgraph returns the induced subgraph on the given node set, preserving
+// self-loops.
+func (g *Undirected) Subgraph(nodes map[string]bool) *Undirected {
+	sub := NewUndirected()
+	for n := range nodes {
+		if g.nodes[n] {
+			sub.AddNode(n)
+			if g.loops[n] {
+				sub.AddEdge(n, n)
+			}
+		}
+	}
+	for a := range nodes {
+		for b := range g.adj[a] {
+			if nodes[b] && a < b {
+				sub.AddEdge(a, b)
+			}
+		}
+	}
+	return sub
+}
+
+func sortedSet(set map[string]bool) []string {
+	out := make([]string, 0, len(set))
+	for k := range set {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}

@@ -1,0 +1,337 @@
+package graph
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestDirectedBasics(t *testing.T) {
+	g := NewDirected()
+	g.AddEdge("a", "b")
+	g.AddEdge("b", "c")
+	g.AddNode("d")
+	if !g.HasEdge("a", "b") || g.HasEdge("b", "a") {
+		t.Error("edge direction wrong")
+	}
+	if !g.HasNode("d") || g.HasNode("e") {
+		t.Error("node membership wrong")
+	}
+	if got := g.Succ("a"); len(got) != 1 || got[0] != "b" {
+		t.Errorf("Succ(a) = %v", got)
+	}
+	if got := g.Pred("c"); len(got) != 1 || got[0] != "b" {
+		t.Errorf("Pred(c) = %v", got)
+	}
+	if g.NumEdges() != 2 {
+		t.Errorf("NumEdges = %d", g.NumEdges())
+	}
+	// Duplicate edges are deduplicated.
+	g.AddEdge("a", "b")
+	if g.NumEdges() != 2 {
+		t.Errorf("NumEdges after dup = %d", g.NumEdges())
+	}
+}
+
+func TestReachable(t *testing.T) {
+	g := NewDirected()
+	g.AddEdge("a", "b")
+	g.AddEdge("b", "c")
+	g.AddEdge("c", "a") // cycle
+	g.AddEdge("x", "y")
+	r := g.Reachable("a")
+	for _, n := range []string{"a", "b", "c"} {
+		if !r[n] {
+			t.Errorf("%s should be reachable from a", n)
+		}
+	}
+	if r["x"] || r["y"] {
+		t.Error("x,y should not be reachable from a")
+	}
+	if len(g.Reachable("zzz")) != 0 {
+		t.Error("reachable from non-node should be empty")
+	}
+}
+
+func TestSCCsSimple(t *testing.T) {
+	g := NewDirected()
+	// Two cycles joined by a bridge: {a,b} -> {c,d}, plus isolated e.
+	g.AddEdge("a", "b")
+	g.AddEdge("b", "a")
+	g.AddEdge("b", "c")
+	g.AddEdge("c", "d")
+	g.AddEdge("d", "c")
+	g.AddNode("e")
+	comps := g.SCCs()
+	if len(comps) != 3 {
+		t.Fatalf("got %d components: %v", len(comps), comps)
+	}
+	pos := make(map[string]int)
+	for i, c := range comps {
+		for _, n := range c {
+			pos[n] = i
+		}
+	}
+	if pos["a"] != pos["b"] || pos["c"] != pos["d"] || pos["a"] == pos["c"] {
+		t.Errorf("component assignment wrong: %v", comps)
+	}
+	// Dependencies first: {c,d} (the sink of the condensation edge b->c)
+	// must appear before {a,b}.
+	if pos["c"] > pos["a"] {
+		t.Errorf("expected {c,d} before {a,b}: %v", comps)
+	}
+}
+
+func TestSCCsSelfLoopAndChain(t *testing.T) {
+	g := NewDirected()
+	g.AddEdge("a", "a")
+	g.AddEdge("a", "b")
+	g.AddEdge("b", "c")
+	comps := g.SCCs()
+	if len(comps) != 3 {
+		t.Fatalf("got %v", comps)
+	}
+	// Chain order: c, then b, then a.
+	if comps[0][0] != "c" || comps[1][0] != "b" || comps[2][0] != "a" {
+		t.Errorf("order = %v", comps)
+	}
+}
+
+// naiveSCC computes SCCs by pairwise mutual reachability.
+func naiveSCC(g *Directed) map[string]string {
+	reach := make(map[string]map[string]bool)
+	for _, n := range g.Nodes() {
+		reach[n] = g.Reachable(n)
+	}
+	rep := make(map[string]string)
+	for _, n := range g.Nodes() {
+		best := n
+		for _, m := range g.Nodes() {
+			if reach[n][m] && reach[m][n] && m < best {
+				best = m
+			}
+		}
+		rep[n] = best
+	}
+	return rep
+}
+
+func TestQuickSCCAgainstNaive(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		g := NewDirected()
+		n := 2 + rng.Intn(9)
+		names := make([]string, n)
+		for i := range names {
+			names[i] = string(rune('a' + i))
+			g.AddNode(names[i])
+		}
+		edges := rng.Intn(3 * n)
+		for i := 0; i < edges; i++ {
+			g.AddEdge(names[rng.Intn(n)], names[rng.Intn(n)])
+		}
+		want := naiveSCC(g)
+		got := make(map[string]string)
+		for _, comp := range g.SCCs() {
+			for _, m := range comp {
+				got[m] = comp[0]
+			}
+		}
+		for _, node := range g.Nodes() {
+			if got[node] != want[node] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: SCC output order is a valid reverse-topological order of the
+// condensation (every inter-component edge points to an earlier component).
+func TestQuickSCCTopoOrder(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		g := NewDirected()
+		n := 2 + rng.Intn(10)
+		for i := 0; i < 2*n; i++ {
+			a := string(rune('a' + rng.Intn(n)))
+			b := string(rune('a' + rng.Intn(n)))
+			g.AddEdge(a, b)
+		}
+		pos := make(map[string]int)
+		for i, comp := range g.SCCs() {
+			for _, m := range comp {
+				pos[m] = i
+			}
+		}
+		for _, a := range g.Nodes() {
+			for _, b := range g.Succ(a) {
+				if pos[a] < pos[b] {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestUndirectedBasics(t *testing.T) {
+	g := NewUndirected()
+	g.AddEdge("a", "b")
+	g.AddEdge("b", "c")
+	g.AddEdge("t", "t") // self-loop
+	g.AddNode("z")
+	if !g.HasEdge("a", "b") || !g.HasEdge("b", "a") {
+		t.Error("undirected edge must be symmetric")
+	}
+	if !g.SelfLoop("t") || g.SelfLoop("a") {
+		t.Error("self-loop bookkeeping wrong")
+	}
+	if !g.HasEdge("t", "t") {
+		t.Error("HasEdge must see self-loops")
+	}
+	if g.NumEdges() != 3 {
+		t.Errorf("NumEdges = %d, want 3", g.NumEdges())
+	}
+	if d := g.Degree("b"); d != 2 {
+		t.Errorf("Degree(b) = %d", d)
+	}
+	if d := g.Degree("t"); d != 1 {
+		t.Errorf("Degree(t) = %d", d)
+	}
+	edges := g.Edges()
+	want := [][2]string{{"a", "b"}, {"b", "c"}, {"t", "t"}}
+	if len(edges) != len(want) {
+		t.Fatalf("Edges = %v", edges)
+	}
+	for i := range want {
+		if edges[i] != want[i] {
+			t.Fatalf("Edges = %v, want %v", edges, want)
+		}
+	}
+}
+
+func TestConnectedComponents(t *testing.T) {
+	g := NewUndirected()
+	g.AddEdge("average_speed", "car_number")
+	g.AddEdge("average_speed", "traffic_light")
+	g.AddEdge("car_number", "traffic_light")
+	g.AddEdge("car_in_smoke", "car_speed")
+	g.AddEdge("car_in_smoke", "car_location")
+	g.AddEdge("car_speed", "car_location")
+	comps := g.ConnectedComponents()
+	if len(comps) != 2 {
+		t.Fatalf("got %d components", len(comps))
+	}
+	if g.IsConnected() {
+		t.Error("graph should not be connected")
+	}
+	g.AddEdge("car_number", "car_in_smoke")
+	if !g.IsConnected() {
+		t.Error("graph should now be connected")
+	}
+}
+
+func TestSubgraph(t *testing.T) {
+	g := NewUndirected()
+	g.AddEdge("a", "b")
+	g.AddEdge("b", "c")
+	g.AddEdge("a", "a")
+	sub := g.Subgraph(map[string]bool{"a": true, "b": true})
+	if !sub.HasEdge("a", "b") || sub.HasNode("c") {
+		t.Error("subgraph wrong")
+	}
+	if !sub.SelfLoop("a") {
+		t.Error("subgraph must preserve self-loops")
+	}
+	if sub.NumEdges() != 2 {
+		t.Errorf("NumEdges = %d", sub.NumEdges())
+	}
+}
+
+// Property: components partition the node set.
+func TestQuickComponentsPartition(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		g := NewUndirected()
+		n := 1 + rng.Intn(12)
+		for i := 0; i < n; i++ {
+			g.AddNode(string(rune('a' + i)))
+		}
+		for i := 0; i < 2*n; i++ {
+			g.AddEdge(string(rune('a'+rng.Intn(n))), string(rune('a'+rng.Intn(n))))
+		}
+		var all []string
+		for _, c := range g.ConnectedComponents() {
+			all = append(all, c...)
+		}
+		sort.Strings(all)
+		nodes := g.Nodes()
+		if len(all) != len(nodes) {
+			return false
+		}
+		for i := range nodes {
+			if all[i] != nodes[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: two nodes are in the same component iff connected by some path;
+// verify against a union-find oracle.
+func TestQuickComponentsAgainstUnionFind(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		g := NewUndirected()
+		n := 2 + rng.Intn(10)
+		parent := make(map[string]string)
+		var find func(string) string
+		find = func(x string) string {
+			if parent[x] == x {
+				return x
+			}
+			parent[x] = find(parent[x])
+			return parent[x]
+		}
+		for i := 0; i < n; i++ {
+			name := string(rune('a' + i))
+			g.AddNode(name)
+			parent[name] = name
+		}
+		for i := 0; i < 2*n; i++ {
+			a := string(rune('a' + rng.Intn(n)))
+			b := string(rune('a' + rng.Intn(n)))
+			g.AddEdge(a, b)
+			parent[find(a)] = find(b)
+		}
+		comp := make(map[string]int)
+		for i, c := range g.ConnectedComponents() {
+			for _, m := range c {
+				comp[m] = i
+			}
+		}
+		for _, a := range g.Nodes() {
+			for _, b := range g.Nodes() {
+				if (find(a) == find(b)) != (comp[a] == comp[b]) {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,72 @@
+// Package rdf provides the minimal RDF triple model the StreamRule pipeline
+// consumes. The paper's experimental data is synthetic triples <s, p, o>
+// whose predicate p ranges over the input predicates of the logic program;
+// no IRIs or literals-with-datatypes are needed, so subjects, predicates,
+// and objects are plain strings and a line-oriented text codec stands in for
+// N-Triples.
+package rdf
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strings"
+)
+
+// Triple is an RDF statement <subject, predicate, object>.
+type Triple struct {
+	S, P, O string
+}
+
+// String renders the triple in the line format "s p o .".
+func (t Triple) String() string {
+	return fmt.Sprintf("%s %s %s .", t.S, t.P, t.O)
+}
+
+// ParseLine parses a single "s p o ." (or "s p o") line.
+func ParseLine(line string) (Triple, error) {
+	fields := strings.Fields(strings.TrimSpace(line))
+	if len(fields) == 4 && fields[3] == "." {
+		fields = fields[:3]
+	}
+	if len(fields) != 3 {
+		return Triple{}, fmt.Errorf("malformed triple line %q", line)
+	}
+	return Triple{S: fields[0], P: fields[1], O: fields[2]}, nil
+}
+
+// Read parses the line-oriented triple stream from r; empty lines and lines
+// starting with '#' are skipped.
+func Read(r io.Reader) ([]Triple, error) {
+	var out []Triple
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 16*1024*1024)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		t, err := ParseLine(line)
+		if err != nil {
+			return nil, fmt.Errorf("line %d: %w", lineNo, err)
+		}
+		out = append(out, t)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// Write serializes triples one per line.
+func Write(w io.Writer, triples []Triple) error {
+	bw := bufio.NewWriter(w)
+	for _, t := range triples {
+		if _, err := fmt.Fprintln(bw, t.String()); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}

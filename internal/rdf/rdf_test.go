@@ -1,0 +1,110 @@
+package rdf
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestParseLine(t *testing.T) {
+	cases := []struct {
+		in   string
+		want Triple
+	}{
+		{"city1 average_speed 10 .", Triple{"city1", "average_speed", "10"}},
+		{"city1 average_speed 10", Triple{"city1", "average_speed", "10"}},
+		{"  a  b  c  .  ", Triple{"a", "b", "c"}},
+	}
+	for _, c := range cases {
+		got, err := ParseLine(c.in)
+		if err != nil {
+			t.Errorf("ParseLine(%q): %v", c.in, err)
+			continue
+		}
+		if got != c.want {
+			t.Errorf("ParseLine(%q) = %v, want %v", c.in, got, c.want)
+		}
+	}
+}
+
+func TestParseLineErrors(t *testing.T) {
+	for _, in := range []string{"", "a", "a b", "a b c d", "a b c d ."} {
+		if _, err := ParseLine(in); err == nil {
+			t.Errorf("ParseLine(%q) should fail", in)
+		}
+	}
+}
+
+func TestReadSkipsCommentsAndBlanks(t *testing.T) {
+	src := `
+# header comment
+car1 car_speed 0 .
+
+car1 car_location dangan .
+`
+	got, err := Read(strings.NewReader(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 2 || got[0].P != "car_speed" || got[1].O != "dangan" {
+		t.Errorf("got %v", got)
+	}
+}
+
+func TestReadError(t *testing.T) {
+	_, err := Read(strings.NewReader("ok ok ok .\nbad line"))
+	if err == nil || !strings.Contains(err.Error(), "line 2") {
+		t.Errorf("expected line-2 error, got %v", err)
+	}
+}
+
+func TestWriteReadRoundTrip(t *testing.T) {
+	in := []Triple{
+		{"city1", "average_speed", "10"},
+		{"car1", "car_in_smoke", "high"},
+	}
+	var buf bytes.Buffer
+	if err := Write(&buf, in); err != nil {
+		t.Fatal(err)
+	}
+	out, err := Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != len(in) {
+		t.Fatalf("got %v", out)
+	}
+	for i := range in {
+		if out[i] != in[i] {
+			t.Errorf("triple %d = %v, want %v", i, out[i], in[i])
+		}
+	}
+}
+
+// Property: String/ParseLine round-trips for whitespace-free components.
+func TestQuickRoundTrip(t *testing.T) {
+	clean := func(s string) string {
+		if s == "" {
+			return "x"
+		}
+		out := ""
+		for _, r := range s {
+			if r > ' ' && r < 127 && r != '#' {
+				out += string(r)
+			}
+		}
+		if out == "" {
+			return "x"
+		}
+		return out
+	}
+	f := func(s, p, o string) bool {
+		in := Triple{clean(s), clean(p), clean(o)}
+		got, err := ParseLine(in.String())
+		return err == nil && got == in
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,53 @@
+package reasoner
+
+import "streamrule/internal/asp/solve"
+
+// AccuracyOf computes the accuracy of a single answer against a reference
+// answer list, per §III of the paper:
+//
+//	acc(ansᵢ) = max_j |ansᵢ ∩ ansⱼ| / |ansⱼ|
+//
+// An empty reference answer is vacuously recovered (ratio 1).
+func AccuracyOf(ans *solve.AnswerSet, ref []*solve.AnswerSet) float64 {
+	best := 0.0
+	for _, r := range ref {
+		var ratio float64
+		if r.Len() == 0 {
+			ratio = 1
+		} else {
+			ratio = float64(ans.IntersectCount(r)) / float64(r.Len())
+		}
+		if ratio > best {
+			best = ratio
+		}
+	}
+	return best
+}
+
+// Accuracy aggregates AccuracyOf over all answers produced by the parallel
+// reasoner: the mean accuracy across ansᵢ ∈ got. Edge cases: if both sides
+// are empty the answer is perfectly recovered (1); if got is empty but the
+// reference is not, nothing was recovered (0); if the reference is empty but
+// got produced answers, every answer is vacuously accurate (1).
+func Accuracy(got, ref []*solve.AnswerSet) float64 {
+	if len(got) == 0 {
+		if len(ref) == 0 {
+			return 1
+		}
+		// The reference could still consist solely of empty answers.
+		for _, r := range ref {
+			if r.Len() > 0 {
+				return 0
+			}
+		}
+		return 1
+	}
+	if len(ref) == 0 {
+		return 1
+	}
+	sum := 0.0
+	for _, g := range got {
+		sum += AccuracyOf(g, ref)
+	}
+	return sum / float64(len(got))
+}

@@ -1,0 +1,219 @@
+package reasoner
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"streamrule/internal/asp/parser"
+	"streamrule/internal/atomdep"
+	"streamrule/internal/core"
+	"streamrule/internal/dfp"
+	"streamrule/internal/workload"
+)
+
+func atomPartitionerFor(t *testing.T, src string, m int) (*AtomPartitioner, Config) {
+	t.Helper()
+	prog, err := parser.Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := core.Analyze(prog, inpreP, 1.0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	keys := atomdep.Analyze(prog, a.Plan)
+	arities, err := dfp.InferArities(prog, inpreP)
+	if err != nil {
+		t.Fatal(err)
+	}
+	part, err := NewAtomPartitioner(a.Plan, keys, arities, m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return part, Config{Program: prog, Inpre: inpreP}
+}
+
+func TestAtomPartitionerFanout(t *testing.T) {
+	part, _ := atomPartitionerFor(t, programP, 4)
+	// Both components of P are splittable: 2 communities x 4 buckets.
+	if part.NumPartitions() != 8 {
+		t.Errorf("partitions = %d, want 8", part.NumPartitions())
+	}
+	if part.SplittableCommunities() != 2 {
+		t.Errorf("splittable = %d, want 2", part.SplittableCommunities())
+	}
+
+	partPrime, _ := atomPartitionerFor(t, programPPrime, 4)
+	// P': the traffic community splits, the car community does not.
+	if partPrime.SplittableCommunities() != 1 {
+		t.Errorf("P' splittable = %d, want 1", partPrime.SplittableCommunities())
+	}
+	if partPrime.NumPartitions() != 5 { // 4 + 1
+		t.Errorf("P' partitions = %d, want 5", partPrime.NumPartitions())
+	}
+}
+
+func TestAtomPartitionerRejectsBadFanout(t *testing.T) {
+	prog, err := parser.Parse(programP)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := core.Analyze(prog, inpreP, 1.0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	keys := atomdep.Analyze(prog, a.Plan)
+	if _, err := NewAtomPartitioner(a.Plan, keys, dfp.Arities{}, 0); err == nil {
+		t.Error("fan-out 0 must be rejected")
+	}
+}
+
+func TestAtomPartitionerKeepsKeysTogether(t *testing.T) {
+	part, _ := atomPartitionerFor(t, programP, 4)
+	gen, err := workload.NewGenerator(5, workload.PaperTraffic())
+	if err != nil {
+		t.Fatal(err)
+	}
+	window := gen.Window(3000)
+	parts, skipped := part.Partition(window)
+	if skipped != 0 {
+		t.Errorf("skipped = %d", skipped)
+	}
+	total := 0
+	for _, p := range parts {
+		total += len(p)
+	}
+	if total != len(window) {
+		t.Errorf("routed %d of %d items", total, len(window))
+	}
+	// Invariant: all traffic facts about one city land in one partition,
+	// and so do all car facts about one car.
+	where := make(map[string]int) // "kind/key" -> partition
+	for i, p := range parts {
+		for _, tr := range p {
+			var key string
+			switch tr.P {
+			case "average_speed", "car_number", "traffic_light":
+				key = "city/" + tr.S
+			case "car_in_smoke", "car_speed", "car_location":
+				key = "car/" + tr.S
+			}
+			if prev, ok := where[key]; ok && prev != i {
+				t.Fatalf("key %s split across partitions %d and %d", key, prev, i)
+			}
+			where[key] = i
+		}
+	}
+}
+
+func TestAtomLevelPRExactOnP(t *testing.T) {
+	part, cfg := atomPartitionerFor(t, programP, 4)
+	r, err := NewR(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pr, err := NewPR(cfg, part)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gen, err := workload.NewGenerator(17, workload.PaperTraffic())
+	if err != nil {
+		t.Fatal(err)
+	}
+	window := gen.Window(4000)
+	ref, err := r.Process(window)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := pr.Process(window)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Answers) != 1 || !got.Answers[0].Equal(ref.Answers[0]) {
+		t.Errorf("atom-level partitioning must be exact on P: acc=%v",
+			Accuracy(got.Answers, ref.Answers))
+	}
+}
+
+func TestAtomLevelPRExactOnPPrime(t *testing.T) {
+	// P' is only partially splittable; the partitioner must still be exact
+	// because the unsplittable car community stays whole.
+	part, cfg := atomPartitionerFor(t, programPPrime, 3)
+	r, err := NewR(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pr, err := NewPR(cfg, part)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gen, err := workload.NewGenerator(23, workload.PaperTraffic())
+	if err != nil {
+		t.Fatal(err)
+	}
+	window := gen.Window(4000)
+	ref, err := r.Process(window)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := pr.Process(window)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if acc := Accuracy(got.Answers, ref.Answers); acc < 0.9999 {
+		t.Errorf("accuracy = %v, want 1.0", acc)
+	}
+}
+
+// Property: atom-level partitioning of P is exact for arbitrary windows and
+// fan-outs — the correctness claim of the future-work extension.
+func TestQuickAtomLevelLossless(t *testing.T) {
+	prog, err := parser.Parse(programP)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := core.Analyze(prog, inpreP, 1.0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	keys := atomdep.Analyze(prog, a.Plan)
+	arities, err := dfp.InferArities(prog, inpreP)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := Config{Program: prog, Inpre: inpreP}
+	r, err := NewR(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := func(seed int64, fanout uint8) bool {
+		m := int(fanout%6) + 2
+		part, err := NewAtomPartitioner(a.Plan, keys, arities, m)
+		if err != nil {
+			return false
+		}
+		pr, err := NewPR(cfg, part)
+		if err != nil {
+			return false
+		}
+		rng := rand.New(rand.NewSource(seed))
+		gen, err := workload.NewGenerator(rng.Int63(), workload.PaperTraffic())
+		if err != nil {
+			return false
+		}
+		window := gen.Window(300 + rng.Intn(700))
+		ref, err := r.Process(window)
+		if err != nil {
+			return false
+		}
+		got, err := pr.Process(window)
+		if err != nil {
+			return false
+		}
+		return len(got.Answers) == 1 && got.Answers[0].Equal(ref.Answers[0])
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,104 @@
+package reasoner
+
+import (
+	"math/rand"
+	"sync"
+
+	"streamrule/internal/core"
+	"streamrule/internal/rdf"
+)
+
+// Partitioner splits an input window into sub-windows. Implementations
+// report the number of partitions up front so PR can size its reasoner pool.
+type Partitioner interface {
+	// Partition splits the window; the second result counts items dropped
+	// because no partition accepts them.
+	Partition(window []rdf.Triple) (parts [][]rdf.Triple, skipped int)
+	// NumPartitions returns the (fixed) number of partitions produced.
+	NumPartitions() int
+}
+
+// PlanPartitioner routes items by the partitioning plan produced at design
+// time — Algorithm 1 of the paper: items are grouped by predicate, each
+// group is added to every partition of the predicate's communities
+// (duplicated predicates land in several partitions). Items of predicates
+// outside the plan are dropped and counted.
+type PlanPartitioner struct {
+	plan *core.Plan
+}
+
+// NewPlanPartitioner wraps a partitioning plan.
+func NewPlanPartitioner(plan *core.Plan) *PlanPartitioner {
+	return &PlanPartitioner{plan: plan}
+}
+
+// NumPartitions implements Partitioner.
+func (p *PlanPartitioner) NumPartitions() int { return p.plan.NumPartitions() }
+
+// Partition implements Partitioner (Algorithm 1).
+func (p *PlanPartitioner) Partition(window []rdf.Triple) ([][]rdf.Triple, int) {
+	parts := make([][]rdf.Triple, p.plan.NumPartitions())
+	// group(W): classify items by predicate (line 3).
+	groups := make(map[string][]rdf.Triple)
+	for _, t := range window {
+		groups[t.P] = append(groups[t.P], t)
+	}
+	skipped := 0
+	for pred, items := range groups {
+		// findCommunities(ρ, g.predicate) (line 5).
+		cs := p.plan.CommunitiesOf(pred)
+		if len(cs) == 0 {
+			skipped += len(items)
+			continue
+		}
+		for _, c := range cs {
+			parts[c] = append(parts[c], items...)
+		}
+	}
+	return parts, skipped
+}
+
+// RandomPartitioner splits the window into K random partitions — the
+// PR_Ran_k baseline of the paper's evaluation ([12]'s chunking, which
+// assumes window items are independent). A fixed seed makes runs
+// reproducible; Partition is safe for concurrent use.
+type RandomPartitioner struct {
+	K    int
+	mu   sync.Mutex
+	rng  *rand.Rand
+	seed int64
+}
+
+// NewRandomPartitioner builds a k-way random partitioner.
+func NewRandomPartitioner(k int, seed int64) *RandomPartitioner {
+	return &RandomPartitioner{K: k, rng: rand.New(rand.NewSource(seed)), seed: seed}
+}
+
+// NumPartitions implements Partitioner.
+func (p *RandomPartitioner) NumPartitions() int { return p.K }
+
+// Partition implements Partitioner: each item goes to one partition chosen
+// uniformly at random.
+func (p *RandomPartitioner) Partition(window []rdf.Triple) ([][]rdf.Triple, int) {
+	parts := make([][]rdf.Triple, p.K)
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	for _, t := range window {
+		k := p.rng.Intn(p.K)
+		parts[k] = append(parts[k], t)
+	}
+	return parts, 0
+}
+
+// WholeWindowPartitioner passes the window through unchanged (one
+// partition). Composing it with PR yields exactly the baseline R plus the
+// partition/combine bookkeeping; useful in ablations.
+type WholeWindowPartitioner struct{}
+
+// NumPartitions implements Partitioner.
+func (WholeWindowPartitioner) NumPartitions() int { return 1 }
+
+// Partition implements Partitioner.
+func (WholeWindowPartitioner) Partition(window []rdf.Triple) ([][]rdf.Triple, int) {
+	return [][]rdf.Triple{window}, 0
+}

@@ -1,0 +1,360 @@
+// Package reasoner implements the reasoning layer of the extended StreamRule
+// framework (Figure 6): the baseline reasoner R (data format processor +
+// grounder + solver over the whole window), the parallel reasoner PR
+// (partitioning handler, k reasoner copies, combining handler), and the
+// accuracy metric of §III.
+package reasoner
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"time"
+
+	"streamrule/internal/asp/ast"
+	"streamrule/internal/asp/ground"
+	"streamrule/internal/asp/solve"
+	"streamrule/internal/dfp"
+	"streamrule/internal/rdf"
+)
+
+// Config configures a reasoner over a fixed logic program.
+type Config struct {
+	// Program is the logic program P (shared read-only by all copies).
+	Program *ast.Program
+	// Inpre lists the input predicate names (inpre(P)).
+	Inpre []string
+	// Arities overrides arity inference for the input predicates.
+	Arities dfp.Arities
+	// GroundOpts is passed to the grounder.
+	GroundOpts ground.Options
+	// SolveOpts is passed to the solver.
+	SolveOpts solve.Options
+	// IncludeInputFacts keeps input atoms in the returned answer sets.
+	// StreamRule streams only the inferred knowledge downstream, and the
+	// accuracy comparison is meaningful only on derived atoms, so the
+	// default (false) filters atoms of input predicates out.
+	IncludeInputFacts bool
+	// OutputPreds restricts answers to the given predicates (the events the
+	// continuous query asks for, e.g. traffic_jam / car_fire /
+	// give_notification in the paper's scenario). Empty means all derived
+	// predicates. Takes precedence over IncludeInputFacts.
+	OutputPreds []string
+}
+
+// Latency breaks the processing time of one window into the phases the
+// paper discusses. For PR, Convert/Ground/Solve are the maxima across the
+// parallel reasoners (the critical path), and Partition/Combine are the
+// extra phases of the partitioned pipeline.
+type Latency struct {
+	Convert   time.Duration
+	Ground    time.Duration
+	Solve     time.Duration
+	Partition time.Duration
+	Combine   time.Duration
+	// Total is the wall-clock time of the whole Process call.
+	Total time.Duration
+	// CriticalPath is the latency of the partitioned pipeline when every
+	// partition runs on its own core: Partition + maxᵢ(reasonerᵢ total) +
+	// Combine. On a host with at least as many idle cores as partitions it
+	// coincides with Total; on a smaller host (such as a single-core
+	// container, where goroutines interleave) it is the faithful stand-in
+	// for the parallel latency the paper measures on its 8-core machine.
+	// For the unpartitioned reasoner R it equals Total.
+	CriticalPath time.Duration
+}
+
+// Output is the result of processing one window.
+type Output struct {
+	// Answers holds the answer sets (derived atoms only, unless
+	// IncludeInputFacts is set).
+	Answers []*solve.AnswerSet
+	// Latency is the phase breakdown.
+	Latency Latency
+	// Skipped counts window items that belong to no input predicate.
+	Skipped int
+	// PartitionSizes lists the sub-window sizes (PR only).
+	PartitionSizes []int
+	// RoutedItems counts items routed into partitions including duplicated
+	// copies (PR only); RoutedItems - len(window) duplicated copies were
+	// created.
+	RoutedItems int
+	// GroundStats/SolveStats aggregate engine statistics (summed over
+	// partitions for PR).
+	GroundStats ground.Stats
+	SolveStats  solve.Stats
+}
+
+// DuplicationShare returns the fraction of routed items that were duplicated
+// copies — the paper reports ~25% for program P' (§IV).
+func (o *Output) DuplicationShare(windowSize int) float64 {
+	if o.RoutedItems == 0 {
+		return 0
+	}
+	return float64(o.RoutedItems-windowSize+o.Skipped) / float64(o.RoutedItems)
+}
+
+// R is the baseline reasoner: it processes the entire input window with one
+// grounder+solver invocation (the reasoner R of the paper).
+type R struct {
+	cfg     Config
+	arities dfp.Arities
+	inpre   map[string]bool
+	outputs map[string]bool
+}
+
+// NewR builds a reasoner for the program, inferring input arities when not
+// provided.
+func NewR(cfg Config) (*R, error) {
+	if cfg.Program == nil {
+		return nil, fmt.Errorf("reasoner: nil program")
+	}
+	if len(cfg.Inpre) == 0 {
+		return nil, fmt.Errorf("reasoner: empty inpre")
+	}
+	ar := cfg.Arities
+	if ar == nil {
+		var err error
+		ar, err = dfp.InferArities(cfg.Program, cfg.Inpre)
+		if err != nil {
+			return nil, err
+		}
+	}
+	inpre := make(map[string]bool, len(cfg.Inpre))
+	for _, p := range cfg.Inpre {
+		inpre[p] = true
+	}
+	var outputs map[string]bool
+	if len(cfg.OutputPreds) > 0 {
+		outputs = make(map[string]bool, len(cfg.OutputPreds))
+		for _, p := range cfg.OutputPreds {
+			outputs[p] = true
+		}
+	}
+	return &R{cfg: cfg, arities: ar, inpre: inpre, outputs: outputs}, nil
+}
+
+// Process runs the reasoner on one window.
+func (r *R) Process(window []rdf.Triple) (*Output, error) {
+	start := time.Now()
+	out := &Output{}
+
+	t0 := time.Now()
+	facts, skipped := dfp.ToFacts(window, r.arities)
+	out.Skipped = skipped
+	out.Latency.Convert = time.Since(t0)
+
+	t0 = time.Now()
+	gp, err := ground.Ground(r.cfg.Program, facts, r.cfg.GroundOpts)
+	if err != nil {
+		return nil, fmt.Errorf("grounding: %w", err)
+	}
+	out.Latency.Ground = time.Since(t0)
+	out.GroundStats = gp.Stats
+
+	t0 = time.Now()
+	res, err := solve.Solve(gp, r.cfg.SolveOpts)
+	if err != nil {
+		return nil, fmt.Errorf("solving: %w", err)
+	}
+	out.Latency.Solve = time.Since(t0)
+	out.SolveStats = res.Stats
+
+	out.Answers = make([]*solve.AnswerSet, len(res.Models))
+	for i, m := range res.Models {
+		out.Answers[i] = r.filter(m)
+	}
+	out.Latency.Total = time.Since(start)
+	out.Latency.CriticalPath = out.Latency.Total
+	return out, nil
+}
+
+// filter projects an answer set to the configured output predicates, or to
+// all derived (non-input) atoms by default.
+func (r *R) filter(m *solve.AnswerSet) *solve.AnswerSet {
+	if r.outputs != nil {
+		kept := make([]ast.Atom, 0, m.Len())
+		for _, a := range m.Atoms() {
+			if r.outputs[a.Pred] {
+				kept = append(kept, a)
+			}
+		}
+		return solve.NewAnswerSet(kept)
+	}
+	if r.cfg.IncludeInputFacts {
+		return m
+	}
+	derived := make([]ast.Atom, 0, m.Len())
+	for _, a := range m.Atoms() {
+		if !r.inpre[a.Pred] {
+			derived = append(derived, a)
+		}
+	}
+	return solve.NewAnswerSet(derived)
+}
+
+// PR is the parallel reasoner of the extended StreamRule framework: a
+// partitioning handler, k copies of the reasoner, and a combining handler.
+type PR struct {
+	part      Partitioner
+	reasoners []*R
+	// MaxCombinations caps the cross-product of per-partition answer sets
+	// combined by the combining handler (0 means DefaultMaxCombinations).
+	MaxCombinations int
+	// Sequential runs the partition reasoners one after another instead of
+	// in parallel goroutines. NewPR enables it automatically when the host
+	// has fewer available cores than partitions: interleaved goroutines on
+	// an oversubscribed host would inflate every per-partition measurement,
+	// whereas sequential execution yields honest isolated timings from
+	// which Latency.CriticalPath reconstructs the k-core parallel latency.
+	Sequential bool
+}
+
+// DefaultMaxCombinations bounds the answer-set cross product.
+const DefaultMaxCombinations = 64
+
+// NumPartitions returns the number of reasoner copies (= partitions).
+func (pr *PR) NumPartitions() int { return len(pr.reasoners) }
+
+// NewPR builds a parallel reasoner with one reasoner copy per partition.
+func NewPR(cfg Config, part Partitioner) (*PR, error) {
+	if part == nil {
+		return nil, fmt.Errorf("reasoner: nil partitioner")
+	}
+	n := part.NumPartitions()
+	if n < 1 {
+		return nil, fmt.Errorf("reasoner: partitioner yields %d partitions", n)
+	}
+	pr := &PR{part: part, Sequential: runtime.GOMAXPROCS(0) < n}
+	for i := 0; i < n; i++ {
+		r, err := NewR(cfg)
+		if err != nil {
+			return nil, err
+		}
+		pr.reasoners = append(pr.reasoners, r)
+	}
+	return pr, nil
+}
+
+// Process partitions the window, reasons over the partitions in parallel,
+// and combines the per-partition answer sets.
+func (pr *PR) Process(window []rdf.Triple) (*Output, error) {
+	start := time.Now()
+	out := &Output{}
+
+	t0 := time.Now()
+	parts, skipped := pr.part.Partition(window)
+	out.Skipped = skipped
+	out.Latency.Partition = time.Since(t0)
+	for _, p := range parts {
+		out.PartitionSizes = append(out.PartitionSizes, len(p))
+		out.RoutedItems += len(p)
+	}
+
+	results := make([]*Output, len(parts))
+	errs := make([]error, len(parts))
+	if pr.Sequential {
+		for i := range parts {
+			results[i], errs[i] = pr.reasoners[i].Process(parts[i])
+		}
+	} else {
+		var wg sync.WaitGroup
+		for i := range parts {
+			wg.Add(1)
+			go func(i int) {
+				defer wg.Done()
+				results[i], errs[i] = pr.reasoners[i].Process(parts[i])
+			}(i)
+		}
+		wg.Wait()
+	}
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	var maxTotal time.Duration
+	for _, res := range results {
+		if res.Latency.Total > maxTotal {
+			maxTotal = res.Latency.Total
+		}
+		if res.Latency.Convert > out.Latency.Convert {
+			out.Latency.Convert = res.Latency.Convert
+		}
+		if res.Latency.Ground > out.Latency.Ground {
+			out.Latency.Ground = res.Latency.Ground
+		}
+		if res.Latency.Solve > out.Latency.Solve {
+			out.Latency.Solve = res.Latency.Solve
+		}
+		out.GroundStats.Atoms += res.GroundStats.Atoms
+		out.GroundStats.Rules += res.GroundStats.Rules
+		out.GroundStats.CertainFacts += res.GroundStats.CertainFacts
+		out.GroundStats.Iterations += res.GroundStats.Iterations
+		out.SolveStats.Choices += res.SolveStats.Choices
+		out.SolveStats.Propagations += res.SolveStats.Propagations
+		out.SolveStats.StabilityChecks += res.SolveStats.StabilityChecks
+	}
+
+	t0 = time.Now()
+	max := pr.MaxCombinations
+	if max <= 0 {
+		max = DefaultMaxCombinations
+	}
+	perPartition := make([][]*solve.AnswerSet, len(results))
+	for i, res := range results {
+		perPartition[i] = res.Answers
+	}
+	out.Answers = Combine(perPartition, max)
+	out.Latency.Combine = time.Since(t0)
+
+	out.Latency.Total = time.Since(start)
+	out.Latency.CriticalPath = out.Latency.Partition + maxTotal + out.Latency.Combine
+	return out, nil
+}
+
+// Combine implements the combining handler (§III):
+//
+//	AnsP(W) = { ⋃ᵢ ansᵢ : ansᵢ ∈ AnsP(Wᵢ) }
+//
+// the cross product of per-partition answer sets, each combination unioned.
+// If any partition has no answer set the combined result is empty, per the
+// formula. The number of combinations is capped at max; duplicates are
+// removed.
+func Combine(perPartition [][]*solve.AnswerSet, max int) []*solve.AnswerSet {
+	for _, answers := range perPartition {
+		if len(answers) == 0 {
+			return nil
+		}
+	}
+	if len(perPartition) == 0 {
+		return nil
+	}
+	combos := []*solve.AnswerSet{solve.NewAnswerSet(nil)}
+	for _, answers := range perPartition {
+		var next []*solve.AnswerSet
+		for _, c := range combos {
+			for _, a := range answers {
+				next = append(next, c.Union(a))
+				if len(next) >= max {
+					break
+				}
+			}
+			if len(next) >= max {
+				break
+			}
+		}
+		combos = next
+	}
+	// Deduplicate by key signature.
+	seen := make(map[string]bool, len(combos))
+	out := combos[:0]
+	for _, c := range combos {
+		sig := c.String()
+		if !seen[sig] {
+			seen[sig] = true
+			out = append(out, c)
+		}
+	}
+	return out
+}

@@ -1,0 +1,547 @@
+package reasoner
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"streamrule/internal/asp/ast"
+	"streamrule/internal/asp/parser"
+	"streamrule/internal/asp/solve"
+	"streamrule/internal/core"
+	"streamrule/internal/rdf"
+	"streamrule/internal/workload"
+)
+
+const programP = `
+very_slow_speed(X) :- average_speed(X,Y), Y < 20.
+many_cars(X) :- car_number(X,Y), Y > 40.
+traffic_jam(X) :- very_slow_speed(X), many_cars(X), not traffic_light(X).
+car_fire(X) :- car_in_smoke(C, high), car_speed(C, 0), car_location(C, X).
+give_notification(X) :- traffic_jam(X).
+give_notification(X) :- car_fire(X).
+`
+
+const programPPrime = programP + `
+traffic_jam(X) :- car_fire(X), many_cars(X).
+`
+
+var inpreP = []string{
+	"average_speed", "car_number", "traffic_light",
+	"car_in_smoke", "car_speed", "car_location",
+}
+
+// paperWindow is the motivating window W of §II-A.
+var paperWindow = []rdf.Triple{
+	{S: "newcastle", P: "average_speed", O: "10"},
+	{S: "newcastle", P: "car_number", O: "55"},
+	{S: "newcastle", P: "traffic_light", O: "true"},
+	{S: "car1", P: "car_in_smoke", O: "high"},
+	{S: "car1", P: "car_speed", O: "0"},
+	{S: "car1", P: "car_location", O: "dangan"},
+}
+
+func configFor(t *testing.T, src string) Config {
+	t.Helper()
+	prog, err := parser.Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return Config{Program: prog, Inpre: inpreP}
+}
+
+func planFor(t *testing.T, src string) *core.Plan {
+	t.Helper()
+	prog, err := parser.Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := core.Analyze(prog, inpreP, 1.0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return a.Plan
+}
+
+func TestROnPaperWindow(t *testing.T) {
+	r, err := NewR(configFor(t, programP))
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := r.Process(paperWindow)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out.Answers) != 1 {
+		t.Fatalf("answers = %d, want 1", len(out.Answers))
+	}
+	ans := out.Answers[0]
+	if !ans.Contains("car_fire(dangan)") || !ans.Contains("give_notification(dangan)") {
+		t.Errorf("answer = %v", ans)
+	}
+	if ans.Contains("traffic_jam(newcastle)") {
+		t.Error("spurious traffic jam in full-window reasoning")
+	}
+	// Input facts are filtered from answers by default.
+	if ans.Contains("average_speed(newcastle,10)") {
+		t.Error("input fact leaked into the answer")
+	}
+	if out.Latency.Total <= 0 {
+		t.Error("latency not measured")
+	}
+}
+
+func TestIncludeInputFacts(t *testing.T) {
+	cfg := configFor(t, programP)
+	cfg.IncludeInputFacts = true
+	r, err := NewR(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := r.Process(paperWindow)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !out.Answers[0].Contains("average_speed(newcastle,10)") {
+		t.Error("input fact missing despite IncludeInputFacts")
+	}
+}
+
+// TestMotivatingExample reproduces §II-A exactly: random partitioning that
+// separates traffic_light from the speed/count readings derives the wrong
+// traffic_jam event; dependency-based partitioning does not.
+func TestMotivatingExample(t *testing.T) {
+	cfg := configFor(t, programP)
+
+	// The adversarial split from the paper: W1 gets the readings, W2 the
+	// light (plus the car facts split across both).
+	w1 := []rdf.Triple{paperWindow[0], paperWindow[1], paperWindow[3]}
+	w2 := []rdf.Triple{paperWindow[2], paperWindow[4], paperWindow[5]}
+
+	r, err := NewR(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out1, err := r.Process(w1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !out1.Answers[0].Contains("traffic_jam(newcastle)") {
+		t.Error("the adversarial split should derive the spurious jam")
+	}
+	out2, err := r.Process(w2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	combined := Combine([][]*solve.AnswerSet{out1.Answers, out2.Answers}, 16)
+	if !combined[0].Contains("give_notification(newcastle)") {
+		t.Error("wrong notification should appear under random partitioning")
+	}
+
+	// Dependency-based partitioning keeps the newcastle facts together.
+	pr, err := NewPR(cfg, NewPlanPartitioner(planFor(t, programP)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := pr.Process(paperWindow)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out.Answers) != 1 {
+		t.Fatalf("answers = %d", len(out.Answers))
+	}
+	if out.Answers[0].Contains("traffic_jam(newcastle)") {
+		t.Error("dependency partitioning must not derive the spurious jam")
+	}
+	if !out.Answers[0].Contains("car_fire(dangan)") {
+		t.Errorf("missing car fire: %v", out.Answers[0])
+	}
+}
+
+func TestPRDepMatchesROnPaperPrograms(t *testing.T) {
+	for _, src := range []string{programP, programPPrime} {
+		cfg := configFor(t, src)
+		r, err := NewR(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		pr, err := NewPR(cfg, NewPlanPartitioner(planFor(t, src)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		gen, err := workload.NewGenerator(11, workload.PaperTraffic())
+		if err != nil {
+			t.Fatal(err)
+		}
+		window := gen.Window(3000)
+		ref, err := r.Process(window)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := pr.Process(window)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if acc := Accuracy(got.Answers, ref.Answers); acc < 0.9999 {
+			t.Errorf("PR_Dep accuracy = %v, want 1.0", acc)
+		}
+		if len(ref.Answers) != 1 || len(got.Answers) != 1 {
+			t.Fatalf("expected single answers, got %d vs %d", len(ref.Answers), len(got.Answers))
+		}
+		if !got.Answers[0].Equal(ref.Answers[0]) {
+			t.Errorf("PR_Dep answer differs from R")
+		}
+	}
+}
+
+// outputPreds are the event predicates the paper's scenario reports.
+var outputPreds = []string{"traffic_jam", "car_fire", "give_notification"}
+
+func TestPRRandomLosesAccuracy(t *testing.T) {
+	cfg := configFor(t, programP)
+	cfg.OutputPreds = outputPreds
+	r, err := NewR(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gen, err := workload.NewGenerator(13, workload.PaperTraffic())
+	if err != nil {
+		t.Fatal(err)
+	}
+	window := gen.Window(6000)
+	ref, err := r.Process(window)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ref.Answers[0].Len() == 0 {
+		t.Fatal("workload produced no derivations; tune the generator")
+	}
+	pr, err := NewPR(cfg, NewRandomPartitioner(4, 99))
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := pr.Process(window)
+	if err != nil {
+		t.Fatal(err)
+	}
+	acc := Accuracy(got.Answers, ref.Answers)
+	if acc >= 0.95 {
+		t.Errorf("random partitioning accuracy = %v, expected a clear loss", acc)
+	}
+	if acc <= 0 {
+		t.Errorf("accuracy = %v, expected partial recovery", acc)
+	}
+}
+
+func TestPlanPartitionerAlgorithm1(t *testing.T) {
+	plan := planFor(t, programP)
+	p := NewPlanPartitioner(plan)
+	if p.NumPartitions() != 2 {
+		t.Fatalf("partitions = %d", p.NumPartitions())
+	}
+	window := append([]rdf.Triple{{S: "x", P: "alien", O: "y"}}, paperWindow...)
+	parts, skipped := p.Partition(window)
+	if skipped != 1 {
+		t.Errorf("skipped = %d, want 1 (alien predicate)", skipped)
+	}
+	total := 0
+	for _, part := range parts {
+		total += len(part)
+		// Every partition must be dependency-closed: traffic preds and car
+		// preds never mix for program P.
+		hasTraffic, hasCar := false, false
+		for _, tr := range part {
+			switch tr.P {
+			case "average_speed", "car_number", "traffic_light":
+				hasTraffic = true
+			default:
+				hasCar = true
+			}
+		}
+		if hasTraffic && hasCar {
+			t.Errorf("partition mixes components: %v", part)
+		}
+	}
+	if total != len(paperWindow) {
+		t.Errorf("items routed = %d, want %d", total, len(paperWindow))
+	}
+}
+
+func TestPlanPartitionerDuplicates(t *testing.T) {
+	plan := planFor(t, programPPrime)
+	p := NewPlanPartitioner(plan)
+	window := paperWindow
+	parts, _ := p.Partition(window)
+	// car_number items must appear in both partitions.
+	count := 0
+	for _, part := range parts {
+		for _, tr := range part {
+			if tr.P == "car_number" {
+				count++
+			}
+		}
+	}
+	if count != 2 {
+		t.Errorf("car_number copies = %d, want 2 (duplicated)", count)
+	}
+}
+
+func TestRandomPartitionerCoversWindow(t *testing.T) {
+	p := NewRandomPartitioner(3, 5)
+	gen, _ := workload.NewGenerator(1, workload.PaperTraffic())
+	window := gen.Window(1000)
+	parts, skipped := p.Partition(window)
+	if skipped != 0 {
+		t.Errorf("skipped = %d", skipped)
+	}
+	if len(parts) != 3 {
+		t.Fatalf("parts = %d", len(parts))
+	}
+	total := 0
+	for _, part := range parts {
+		total += len(part)
+		if len(part) == 0 {
+			t.Error("empty random partition on a 1000-item window is essentially impossible")
+		}
+	}
+	if total != 1000 {
+		t.Errorf("total = %d", total)
+	}
+}
+
+func TestWholeWindowPartitioner(t *testing.T) {
+	p := WholeWindowPartitioner{}
+	parts, skipped := p.Partition(paperWindow)
+	if skipped != 0 || len(parts) != 1 || len(parts[0]) != len(paperWindow) {
+		t.Errorf("parts = %v, skipped = %d", parts, skipped)
+	}
+}
+
+func TestCombineCrossProduct(t *testing.T) {
+	mk := func(names ...string) *solve.AnswerSet {
+		var atoms []ast.Atom
+		for _, n := range names {
+			atoms = append(atoms, ast.NewAtom(n))
+		}
+		return solve.NewAnswerSet(atoms)
+	}
+	got := Combine([][]*solve.AnswerSet{
+		{mk("a1"), mk("a2")},
+		{mk("b1"), mk("b2")},
+	}, 64)
+	if len(got) != 4 {
+		t.Fatalf("combinations = %d, want 4", len(got))
+	}
+	// Empty partition answers collapse the whole combination.
+	if got := Combine([][]*solve.AnswerSet{{mk("a")}, nil}, 64); got != nil {
+		t.Errorf("expected nil, got %v", got)
+	}
+	// Cap respected.
+	capped := Combine([][]*solve.AnswerSet{
+		{mk("a1"), mk("a2"), mk("a3")},
+		{mk("b1"), mk("b2"), mk("b3")},
+	}, 4)
+	if len(capped) > 4 {
+		t.Errorf("cap violated: %d", len(capped))
+	}
+	// Duplicates removed.
+	dup := Combine([][]*solve.AnswerSet{{mk("x"), mk("x")}}, 64)
+	if len(dup) != 1 {
+		t.Errorf("dedup failed: %d", len(dup))
+	}
+}
+
+func TestAccuracyMetric(t *testing.T) {
+	mk := func(names ...string) *solve.AnswerSet {
+		var atoms []ast.Atom
+		for _, n := range names {
+			atoms = append(atoms, ast.NewAtom(n))
+		}
+		return solve.NewAnswerSet(atoms)
+	}
+	ref := []*solve.AnswerSet{mk("a", "b", "c", "d")}
+	if acc := Accuracy([]*solve.AnswerSet{mk("a", "b")}, ref); acc != 0.5 {
+		t.Errorf("accuracy = %v, want 0.5", acc)
+	}
+	// Extra atoms do not penalize (the paper's metric measures recall).
+	if acc := Accuracy([]*solve.AnswerSet{mk("a", "b", "c", "d", "extra")}, ref); acc != 1 {
+		t.Errorf("accuracy = %v, want 1", acc)
+	}
+	// Max over reference answers.
+	refs := []*solve.AnswerSet{mk("a", "b"), mk("x", "y", "z", "w")}
+	if acc := Accuracy([]*solve.AnswerSet{mk("a", "b")}, refs); acc != 1 {
+		t.Errorf("accuracy = %v, want 1 (best reference)", acc)
+	}
+	// Mean over produced answers.
+	got := []*solve.AnswerSet{mk("a", "b"), mk()}
+	if acc := Accuracy(got, ref); acc != 0.25 {
+		t.Errorf("accuracy = %v, want 0.25", acc)
+	}
+	// Edge cases.
+	if Accuracy(nil, nil) != 1 {
+		t.Error("empty/empty should be 1")
+	}
+	if Accuracy(nil, ref) != 0 {
+		t.Error("nothing recovered should be 0")
+	}
+	if Accuracy(got, nil) != 1 {
+		t.Error("empty reference should be 1")
+	}
+	if Accuracy(nil, []*solve.AnswerSet{mk()}) != 1 {
+		t.Error("reference with only empty answers should be 1")
+	}
+}
+
+func TestDuplicationShare(t *testing.T) {
+	cfg := configFor(t, programPPrime)
+	pr, err := NewPR(cfg, NewPlanPartitioner(planFor(t, programPPrime)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	gen, err := workload.NewGenerator(21, workload.PaperTraffic())
+	if err != nil {
+		t.Fatal(err)
+	}
+	window := gen.Window(6000)
+	out, err := pr.Process(window)
+	if err != nil {
+		t.Fatal(err)
+	}
+	share := out.DuplicationShare(len(window))
+	// car_number is 1 of 6 uniform predicates: duplicated copies are
+	// ~1/7 ≈ 14% of routed items; the paper reports 25% for its own mix.
+	if share < 0.08 || share > 0.25 {
+		t.Errorf("duplication share = %v, expected around 1/7", share)
+	}
+}
+
+func TestNewRValidation(t *testing.T) {
+	if _, err := NewR(Config{}); err == nil {
+		t.Error("nil program must be rejected")
+	}
+	prog, _ := parser.Parse("p :- q(X).")
+	if _, err := NewR(Config{Program: prog}); err == nil {
+		t.Error("empty inpre must be rejected")
+	}
+	if _, err := NewR(Config{Program: prog, Inpre: []string{"nope"}}); err == nil {
+		t.Error("unknown input predicate must be rejected")
+	}
+	r, err := NewR(Config{Program: prog, Inpre: []string{"q"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r == nil {
+		t.Fatal("reasoner not built")
+	}
+	if _, err := NewPR(Config{Program: prog, Inpre: []string{"q"}}, nil); err == nil {
+		t.Error("nil partitioner must be rejected")
+	}
+}
+
+// TestAggregateProgramThroughPR checks that a program whose rules correlate
+// inputs through an aggregate stays exact under dependency partitioning:
+// the extended graph gives aggregate condition predicates a self-loop and
+// body edges, so request and blocked share a partition and counts are never
+// split.
+func TestAggregateProgramThroughPR(t *testing.T) {
+	prog, err := parser.Parse(`
+zone(Z) :- request(_, Z).
+overload(Z) :- zone(Z), not blocked(Z), #count{ R : request(R, Z) } >= 4.
+other(S) :- status(S, up).
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	inpre := []string{"request", "blocked", "status"}
+	a, err := core.Analyze(prog, inpre, 1.0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := Config{Program: prog, Inpre: inpre}
+	r, err := NewR(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pr, err := NewPR(cfg, NewPlanPartitioner(a.Plan))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pr.NumPartitions() != 2 {
+		t.Fatalf("partitions = %d, want 2 ({request, blocked} and {status})", pr.NumPartitions())
+	}
+	specs := []workload.TripleSpec{
+		{Pred: "request", S: workload.Entity("req", 1), O: workload.Entity("zone", 40), Weight: 10},
+		{Pred: "blocked", S: workload.Entity("zone", 40), Weight: 1},
+		{Pred: "status", S: workload.Entity("svc", 10), O: workload.Choice("up", "down"), Weight: 4},
+	}
+	gen, err := workload.NewGenerator(31, specs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	window := gen.Window(2000)
+	ref, err := r.Process(window)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := pr.Process(window)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hasOverload := false
+	for _, atom := range ref.Answers[0].Atoms() {
+		if atom.Pred == "overload" {
+			hasOverload = true
+		}
+	}
+	if !hasOverload {
+		t.Fatal("workload produced no overload events; tune the generator")
+	}
+	if !got.Answers[0].Equal(ref.Answers[0]) {
+		t.Errorf("aggregate program must stay exact under PR_Dep: accuracy %v",
+			Accuracy(got.Answers, ref.Answers))
+	}
+}
+
+// Property: for stratified programs, partition answers under the dependency
+// plan always combine to exactly the whole-window answer (the correctness
+// claim the paper's future work wants to prove).
+func TestQuickPlanPartitionLossless(t *testing.T) {
+	prog, err := parser.Parse(programP)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := core.Analyze(prog, inpreP, 1.0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := Config{Program: prog, Inpre: inpreP}
+	r, err := NewR(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pr, err := NewPR(cfg, NewPlanPartitioner(a.Plan))
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		gen, err := workload.NewGenerator(rng.Int63(), workload.PaperTraffic())
+		if err != nil {
+			return false
+		}
+		window := gen.Window(200 + rng.Intn(800))
+		ref, err := r.Process(window)
+		if err != nil {
+			return false
+		}
+		got, err := pr.Process(window)
+		if err != nil {
+			return false
+		}
+		return len(got.Answers) == 1 && len(ref.Answers) == 1 &&
+			got.Answers[0].Equal(ref.Answers[0])
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,100 @@
+package stream
+
+import (
+	"time"
+
+	"streamrule/internal/rdf"
+)
+
+// SlidingCountWindow emits a window of the last Size items every Step items
+// (Step <= Size; Step == Size degenerates to CountWindow). It is the
+// count-based sliding window of CQL-style stream processors; StreamRule's
+// evaluation uses tumbling windows, but the reasoner is windowing-agnostic.
+type SlidingCountWindow struct {
+	Size int
+	Step int
+	buf  []rdf.Triple
+	seen int
+}
+
+// Add implements Windower.
+func (w *SlidingCountWindow) Add(it Item) []rdf.Triple {
+	step := w.Step
+	if step <= 0 || step > w.Size {
+		step = w.Size
+	}
+	w.buf = append(w.buf, it.Triple)
+	if len(w.buf) > w.Size {
+		w.buf = w.buf[len(w.buf)-w.Size:]
+	}
+	w.seen++
+	if w.seen >= w.Size && (w.seen-w.Size)%step == 0 {
+		out := make([]rdf.Triple, len(w.buf))
+		copy(out, w.buf)
+		return out
+	}
+	return nil
+}
+
+// Flush implements Windower: the remaining partial content (only when no
+// full window was ever emitted over it).
+func (w *SlidingCountWindow) Flush() []rdf.Triple {
+	if w.seen >= w.Size {
+		w.buf = nil
+		return nil
+	}
+	out := w.buf
+	w.buf = nil
+	return out
+}
+
+// SlidingTimeWindow emits, on every arriving item, nothing — and on items
+// that cross a Step boundary, the content of the last Span of stream time.
+type SlidingTimeWindow struct {
+	Span time.Duration
+	Step time.Duration
+	buf  []Item
+	next time.Time
+}
+
+// Add implements Windower.
+func (w *SlidingTimeWindow) Add(it Item) []rdf.Triple {
+	step := w.Step
+	if step <= 0 || step > w.Span {
+		step = w.Span
+	}
+	if w.next.IsZero() {
+		w.next = it.At.Add(w.Span)
+	}
+	w.buf = append(w.buf, it)
+	// Evict items older than Span relative to the newest.
+	cutoff := it.At.Add(-w.Span)
+	start := 0
+	for start < len(w.buf) && !w.buf[start].At.After(cutoff) {
+		start++
+	}
+	w.buf = w.buf[start:]
+	if it.At.Before(w.next) {
+		return nil
+	}
+	w.next = w.next.Add(step)
+	out := make([]rdf.Triple, len(w.buf))
+	for i, b := range w.buf {
+		out[i] = b.Triple
+	}
+	return out
+}
+
+// Flush implements Windower.
+func (w *SlidingTimeWindow) Flush() []rdf.Triple {
+	if len(w.buf) == 0 {
+		return nil
+	}
+	out := make([]rdf.Triple, len(w.buf))
+	for i, b := range w.buf {
+		out[i] = b.Triple
+	}
+	w.buf = nil
+	w.next = time.Time{}
+	return out
+}

@@ -1,0 +1,131 @@
+package stream
+
+import (
+	"fmt"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"streamrule/internal/rdf"
+)
+
+func feedCount(w Windower, n int) [][]rdf.Triple {
+	var wins [][]rdf.Triple
+	base := time.Now()
+	for i := 0; i < n; i++ {
+		it := Item{Triple: rdf.Triple{S: fmt.Sprintf("s%d", i), P: "p", O: "o"},
+			At: base.Add(time.Duration(i) * time.Millisecond)}
+		if win := w.Add(it); win != nil {
+			wins = append(wins, win)
+		}
+	}
+	return wins
+}
+
+func TestSlidingCountWindowOverlap(t *testing.T) {
+	w := &SlidingCountWindow{Size: 4, Step: 2}
+	wins := feedCount(w, 10)
+	// Full windows at items 4, 6, 8, 10.
+	if len(wins) != 4 {
+		t.Fatalf("windows = %d", len(wins))
+	}
+	for _, win := range wins {
+		if len(win) != 4 {
+			t.Errorf("window size = %d", len(win))
+		}
+	}
+	// Consecutive windows overlap by Size-Step items.
+	if wins[0][2] != wins[1][0] || wins[0][3] != wins[1][1] {
+		t.Errorf("windows do not overlap: %v then %v", wins[0], wins[1])
+	}
+	if w.Flush() != nil {
+		t.Error("flush after full windows must be empty")
+	}
+}
+
+func TestSlidingCountDegeneratesToTumbling(t *testing.T) {
+	slide := &SlidingCountWindow{Size: 3, Step: 3}
+	tumble := &CountWindow{Size: 3}
+	ws := feedCount(slide, 9)
+	wt := feedCount(tumble, 9)
+	if len(ws) != len(wt) {
+		t.Fatalf("%d vs %d windows", len(ws), len(wt))
+	}
+	for i := range ws {
+		if len(ws[i]) != len(wt[i]) {
+			t.Fatalf("window %d sizes differ", i)
+		}
+		for j := range ws[i] {
+			if ws[i][j] != wt[i][j] {
+				t.Errorf("window %d item %d: %v vs %v", i, j, ws[i][j], wt[i][j])
+			}
+		}
+	}
+}
+
+func TestSlidingCountPartialFlush(t *testing.T) {
+	w := &SlidingCountWindow{Size: 10, Step: 5}
+	wins := feedCount(w, 4)
+	if len(wins) != 0 {
+		t.Fatalf("no full window expected")
+	}
+	if rest := w.Flush(); len(rest) != 4 {
+		t.Errorf("flush = %d items", len(rest))
+	}
+}
+
+func TestSlidingTimeWindow(t *testing.T) {
+	w := &SlidingTimeWindow{Span: 10 * time.Millisecond, Step: 5 * time.Millisecond}
+	base := time.Now()
+	var wins [][]rdf.Triple
+	for i := 0; i < 30; i++ {
+		it := Item{Triple: rdf.Triple{S: fmt.Sprintf("s%d", i), P: "p", O: "o"},
+			At: base.Add(time.Duration(i) * time.Millisecond)}
+		if win := w.Add(it); win != nil {
+			wins = append(wins, win)
+		}
+	}
+	if len(wins) < 3 {
+		t.Fatalf("windows = %d", len(wins))
+	}
+	// Every emitted window covers at most Span of stream time: <= 11 items
+	// at 1 item/ms (cutoff is exclusive at the old end).
+	for _, win := range wins {
+		if len(win) > 11 {
+			t.Errorf("window too wide: %d items", len(win))
+		}
+	}
+}
+
+// Property: sliding count windows always contain the most recent Size items
+// in arrival order.
+func TestQuickSlidingCountRecency(t *testing.T) {
+	f := func(seed int64, szRaw, stepRaw uint8) bool {
+		size := int(szRaw%8) + 2
+		step := int(stepRaw%uint8(size)) + 1
+		w := &SlidingCountWindow{Size: size, Step: step}
+		base := time.Unix(0, 0)
+		count := 0
+		ok := true
+		for i := 0; i < 40; i++ {
+			it := Item{Triple: rdf.Triple{S: fmt.Sprintf("s%d", i), P: "p", O: "o"},
+				At: base.Add(time.Duration(i))}
+			count++
+			if win := w.Add(it); win != nil {
+				if len(win) != size {
+					return false
+				}
+				for j, tr := range win {
+					want := fmt.Sprintf("s%d", count-size+j)
+					if tr.S != want {
+						ok = false
+					}
+				}
+			}
+		}
+		return ok
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}

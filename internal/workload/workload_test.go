@@ -1,0 +1,175 @@
+package workload
+
+import (
+	"math/rand"
+	"strconv"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestGeneratorDeterministic(t *testing.T) {
+	g1, err := NewGenerator(42, PaperTraffic())
+	if err != nil {
+		t.Fatal(err)
+	}
+	g2, err := NewGenerator(42, PaperTraffic())
+	if err != nil {
+		t.Fatal(err)
+	}
+	w1 := g1.Window(500)
+	w2 := g2.Window(500)
+	for i := range w1 {
+		if w1[i] != w2[i] {
+			t.Fatalf("windows diverge at %d: %v vs %v", i, w1[i], w2[i])
+		}
+	}
+	g3, err := NewGenerator(43, PaperTraffic())
+	if err != nil {
+		t.Fatal(err)
+	}
+	w3 := g3.Window(500)
+	same := true
+	for i := range w1 {
+		if w1[i] != w3[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Error("different seeds produced identical windows")
+	}
+}
+
+func TestPaperTrafficShape(t *testing.T) {
+	g, err := NewGenerator(7, PaperTraffic())
+	if err != nil {
+		t.Fatal(err)
+	}
+	const n = 6000
+	w := g.Window(n)
+	if len(w) != n {
+		t.Fatalf("window size = %d", len(w))
+	}
+	counts := make(map[string]int)
+	for _, tr := range w {
+		counts[tr.P]++
+		switch tr.P {
+		case "average_speed":
+			v, err := strconv.Atoi(tr.O)
+			if err != nil || v < 0 || v >= 60 {
+				t.Fatalf("bad speed %q", tr.O)
+			}
+			if !strings.HasPrefix(tr.S, "city") {
+				t.Fatalf("bad subject %q", tr.S)
+			}
+		case "car_in_smoke":
+			if tr.O != "high" && tr.O != "low" && tr.O != "none" {
+				t.Fatalf("bad smoke level %q", tr.O)
+			}
+		case "traffic_light":
+			if tr.O != "true" {
+				t.Fatalf("unary predicate object = %q", tr.O)
+			}
+		case "car_location":
+			if !strings.HasPrefix(tr.S, "car") || !strings.HasPrefix(tr.O, "city") {
+				t.Fatalf("bad location triple %v", tr)
+			}
+		}
+	}
+	// Uniform over 6 predicates: each ~1000 of 6000; allow wide slack.
+	for _, p := range []string{"average_speed", "car_number", "traffic_light",
+		"car_in_smoke", "car_speed", "car_location"} {
+		if counts[p] < 700 || counts[p] > 1300 {
+			t.Errorf("count(%s) = %d, expected ~1000", p, counts[p])
+		}
+	}
+}
+
+func TestEntityPoolScalesWithWindow(t *testing.T) {
+	gen := Entity("city", 100)
+	rng := rand.New(rand.NewSource(1))
+	seen := make(map[string]bool)
+	for i := 0; i < 1000; i++ {
+		seen[gen(rng, 5000)] = true
+	}
+	// Pool size is 5000/100 = 50.
+	if len(seen) > 50 {
+		t.Errorf("pool produced %d distinct entities, want <= 50", len(seen))
+	}
+	if len(seen) < 40 {
+		t.Errorf("pool produced only %d distinct entities", len(seen))
+	}
+	// The paper workload pool: divisor 6 gives one entity per ~6 triples.
+	sparse := Entity("city", EntityDivisor)
+	seen = make(map[string]bool)
+	for i := 0; i < 1000; i++ {
+		seen[sparse(rng, 6000)] = true
+	}
+	if len(seen) < 500 {
+		t.Errorf("sparse pool produced only %d distinct entities", len(seen))
+	}
+	// Tiny windows still have a pool of one.
+	if got := gen(rng, 1); got != "city0" {
+		t.Errorf("tiny window entity = %q", got)
+	}
+}
+
+func TestWeights(t *testing.T) {
+	specs := []TripleSpec{
+		{Pred: "rare", S: NumRange(0, 10), Weight: 1},
+		{Pred: "common", S: NumRange(0, 10), Weight: 9},
+	}
+	g, err := NewGenerator(3, specs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	counts := map[string]int{}
+	for _, tr := range g.Window(5000) {
+		counts[tr.P]++
+	}
+	if counts["common"] < 4*counts["rare"] {
+		t.Errorf("weights ignored: %v", counts)
+	}
+}
+
+func TestNewGeneratorErrors(t *testing.T) {
+	if _, err := NewGenerator(1, nil); err == nil {
+		t.Error("empty specs must be rejected")
+	}
+	if _, err := NewGenerator(1, []TripleSpec{{Pred: "", S: NumRange(0, 1)}}); err == nil {
+		t.Error("missing predicate must be rejected")
+	}
+	if _, err := NewGenerator(1, []TripleSpec{{Pred: "p"}}); err == nil {
+		t.Error("missing subject generator must be rejected")
+	}
+}
+
+// Property: every generated window has exactly n triples with predicates
+// from the spec set.
+func TestQuickWindowWellFormed(t *testing.T) {
+	f := func(seed int64, sz uint16) bool {
+		n := int(sz%2000) + 1
+		g, err := NewGenerator(seed, PaperTraffic())
+		if err != nil {
+			return false
+		}
+		valid := map[string]bool{
+			"average_speed": true, "car_number": true, "traffic_light": true,
+			"car_in_smoke": true, "car_speed": true, "car_location": true,
+		}
+		w := g.Window(n)
+		if len(w) != n {
+			return false
+		}
+		for _, tr := range w {
+			if !valid[tr.P] || tr.S == "" || tr.O == "" {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,75 @@
+package streamrule
+
+import (
+	"context"
+	"fmt"
+	"time"
+
+	"streamrule/internal/stream"
+)
+
+// Reasoner is the common surface of Engine and ParallelEngine.
+type Reasoner interface {
+	Reason(window []Triple) (*Output, error)
+}
+
+// Filter selects (and may rewrite) the triples forwarded to the reasoning
+// layer — the stand-in for the stream query processor of StreamRule.
+type Filter = stream.Filter
+
+// PredicateFilter keeps only triples whose predicate is one of preds.
+func PredicateFilter(preds ...string) Filter { return stream.PredicateFilter(preds) }
+
+// Pipeline wires a triple source through a filter and a window operator into
+// a reasoner, delivering one Output per completed window — the run-time half
+// of the extended StreamRule architecture (Figure 6).
+type Pipeline struct {
+	// Source provides the triples. Required.
+	Source []Triple
+	// Rate paces the source in triples/second (0 = as fast as possible).
+	Rate int
+	// Filter is optional; nil forwards everything.
+	Filter Filter
+	// WindowSize is the tuple-based window size (required, > 0).
+	WindowSize int
+	// WindowStep, when set to less than WindowSize, makes the count window
+	// sliding: a window of the last WindowSize items every WindowStep items.
+	WindowStep int
+	// WindowSpan, when set, switches to time-based windows of this span and
+	// ignores WindowSize.
+	WindowSpan time.Duration
+	// WindowSlide, when set to less than WindowSpan, makes the time window
+	// sliding with this step.
+	WindowSlide time.Duration
+	// Reasoner processes each window. Required.
+	Reasoner Reasoner
+}
+
+// Run executes the pipeline until the source is exhausted or the context is
+// cancelled, calling handle with each window's triples and reasoning output.
+func (p *Pipeline) Run(ctx context.Context, handle func(window []Triple, out *Output) error) error {
+	if p.Reasoner == nil {
+		return fmt.Errorf("streamrule: pipeline needs a Reasoner")
+	}
+	var w stream.Windower
+	switch {
+	case p.WindowSpan > 0 && p.WindowSlide > 0 && p.WindowSlide < p.WindowSpan:
+		w = &stream.SlidingTimeWindow{Span: p.WindowSpan, Step: p.WindowSlide}
+	case p.WindowSpan > 0:
+		w = &stream.TimeWindow{Span: p.WindowSpan}
+	case p.WindowSize > 0 && p.WindowStep > 0 && p.WindowStep < p.WindowSize:
+		w = &stream.SlidingCountWindow{Size: p.WindowSize, Step: p.WindowStep}
+	case p.WindowSize > 0:
+		w = &stream.CountWindow{Size: p.WindowSize}
+	default:
+		return fmt.Errorf("streamrule: pipeline needs WindowSize or WindowSpan")
+	}
+	src := &stream.SliceSource{Triples: p.Source, Rate: p.Rate}
+	return stream.Windows(ctx, src, p.Filter, w, func(win []Triple) error {
+		out, err := p.Reasoner.Reason(win)
+		if err != nil {
+			return err
+		}
+		return handle(win, out)
+	})
+}

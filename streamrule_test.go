@@ -1,0 +1,315 @@
+package streamrule
+
+import (
+	"context"
+	"testing"
+
+	"streamrule/internal/workload"
+)
+
+// ProgramP and ProgramPPrime mirror the paper's Listing 1 and §II-B.
+const testProgramP = `
+very_slow_speed(X) :- average_speed(X,Y), Y < 20.
+many_cars(X) :- car_number(X,Y), Y > 40.
+traffic_jam(X) :- very_slow_speed(X), many_cars(X), not traffic_light(X).
+car_fire(X) :- car_in_smoke(C, high), car_speed(C, 0), car_location(C, X).
+give_notification(X) :- traffic_jam(X).
+give_notification(X) :- car_fire(X).
+`
+
+const testProgramPPrime = testProgramP + `
+traffic_jam(X) :- car_fire(X), many_cars(X).
+`
+
+var testInpre = []string{
+	"average_speed", "car_number", "traffic_light",
+	"car_in_smoke", "car_speed", "car_location",
+}
+
+var paperWindow = []Triple{
+	{S: "newcastle", P: "average_speed", O: "10"},
+	{S: "newcastle", P: "car_number", O: "55"},
+	{S: "newcastle", P: "traffic_light", O: "true"},
+	{S: "car1", P: "car_in_smoke", O: "high"},
+	{S: "car1", P: "car_speed", O: "0"},
+	{S: "car1", P: "car_location", O: "dangan"},
+}
+
+func TestLoadProgramErrors(t *testing.T) {
+	if _, err := LoadProgram("p(X) :-", testInpre); err == nil {
+		t.Error("syntax error must be reported")
+	}
+	if _, err := LoadProgram("p(X) :- q(X).", nil); err == nil {
+		t.Error("missing inpre must be reported")
+	}
+	p, err := LoadProgram(testProgramP, testInpre)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Source() != testProgramP {
+		t.Error("source not preserved")
+	}
+}
+
+func TestEngineQuickstart(t *testing.T) {
+	p, err := LoadProgram(testProgramP, testInpre)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng, err := NewEngine(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := eng.Reason(paperWindow)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out.Answers) != 1 || !out.Answers[0].Contains("car_fire(dangan)") {
+		t.Errorf("answers = %v", out.Answers)
+	}
+}
+
+func TestParallelEnginePlan(t *testing.T) {
+	p, err := LoadProgram(testProgramPPrime, testInpre)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng, err := NewParallelEngine(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if eng.Partitions() != 2 {
+		t.Errorf("partitions = %d", eng.Partitions())
+	}
+	plan := eng.Plan()
+	if plan == nil || len(plan.Duplicated) != 1 || plan.Duplicated[0] != "car_number" {
+		t.Errorf("plan = %v", plan)
+	}
+	out, err := eng.Reason(paperWindow)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !out.Answers[0].Contains("give_notification(dangan)") {
+		t.Errorf("answer = %v", out.Answers[0])
+	}
+	if out.Answers[0].Contains("traffic_jam(newcastle)") {
+		t.Error("spurious jam")
+	}
+}
+
+func TestParallelEngineAgreesWithEngine(t *testing.T) {
+	p, err := LoadProgram(testProgramP, testInpre)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref, err := NewEngine(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	par, err := NewParallelEngine(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gen, err := workload.NewGenerator(3, workload.PaperTraffic())
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := gen.Window(2000)
+	a, err := ref.Reason(w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := par.Reason(w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if acc := Accuracy(b.Answers, a.Answers); acc != 1 {
+		t.Errorf("accuracy = %v", acc)
+	}
+	if !b.Answers[0].Equal(a.Answers[0]) {
+		t.Error("answers differ")
+	}
+}
+
+func TestRandomPartitioningOption(t *testing.T) {
+	p, err := LoadProgram(testProgramP, testInpre)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng, err := NewParallelEngine(p, WithRandomPartitioning(4, 7),
+		WithOutputPredicates("traffic_jam", "car_fire", "give_notification"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if eng.Plan() != nil {
+		t.Error("random partitioning must not carry a plan")
+	}
+	if eng.Partitions() != 4 {
+		t.Errorf("partitions = %d", eng.Partitions())
+	}
+	gen, err := workload.NewGenerator(5, workload.PaperTraffic())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := eng.Reason(gen.Window(1000)); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestOutputPredicatesOption(t *testing.T) {
+	p, err := LoadProgram(testProgramP, testInpre)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng, err := NewEngine(p, WithOutputPredicates("give_notification"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := eng.Reason(paperWindow)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ans := out.Answers[0]
+	if !ans.Contains("give_notification(dangan)") || ans.Contains("car_fire(dangan)") {
+		t.Errorf("answer = %v", ans)
+	}
+}
+
+func TestPipelineEndToEnd(t *testing.T) {
+	p, err := LoadProgram(testProgramP, testInpre)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng, err := NewParallelEngine(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gen, err := workload.NewGenerator(9, workload.PaperTraffic())
+	if err != nil {
+		t.Fatal(err)
+	}
+	source := gen.Window(2500)
+	// Mix in noise triples the filter must drop.
+	source = append(source, Triple{S: "x", P: "noise", O: "y"})
+
+	pl := &Pipeline{
+		Source:     source,
+		Filter:     PredicateFilter(testInpre...),
+		WindowSize: 1000,
+		Reasoner:   eng,
+	}
+	windows := 0
+	err = pl.Run(context.Background(), func(win []Triple, out *Output) error {
+		windows++
+		if len(win) > 1000 {
+			t.Errorf("window size = %d", len(win))
+		}
+		if out.Latency.Total <= 0 {
+			t.Error("missing latency")
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 2500 filtered items -> 2 full windows + 1 partial.
+	if windows != 3 {
+		t.Errorf("windows = %d, want 3", windows)
+	}
+}
+
+func TestPipelineValidation(t *testing.T) {
+	if err := (&Pipeline{}).Run(context.Background(), nil); err == nil {
+		t.Error("missing reasoner must be rejected")
+	}
+	p, _ := LoadProgram(testProgramP, testInpre)
+	eng, _ := NewEngine(p)
+	if err := (&Pipeline{Reasoner: eng}).Run(context.Background(), nil); err == nil {
+		t.Error("missing window config must be rejected")
+	}
+}
+
+func TestPipelineSlidingWindows(t *testing.T) {
+	p, err := LoadProgram(testProgramP, testInpre)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng, err := NewEngine(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gen, err := workload.NewGenerator(2, workload.PaperTraffic())
+	if err != nil {
+		t.Fatal(err)
+	}
+	pl := &Pipeline{
+		Source:     gen.Window(1500),
+		WindowSize: 1000,
+		WindowStep: 250,
+		Reasoner:   eng,
+	}
+	windows := 0
+	err = pl.Run(context.Background(), func(win []Triple, out *Output) error {
+		windows++
+		if len(win) != 1000 {
+			t.Errorf("sliding window size = %d", len(win))
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Full windows at items 1000, 1250, 1500.
+	if windows != 3 {
+		t.Errorf("windows = %d, want 3", windows)
+	}
+}
+
+func TestProgramWithShowAndAggregates(t *testing.T) {
+	// End-to-end: aggregates in the program, #show projecting outputs.
+	src := `
+zone(Z) :- request(_, Z).
+busy(Z) :- zone(Z), #count{ R : request(R, Z) } >= 2.
+#show busy/1.
+`
+	p, err := LoadProgram(src, []string{"request"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng, err := NewEngine(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := eng.Reason([]Triple{
+		{S: "r1", P: "request", O: "z1"},
+		{S: "r2", P: "request", O: "z1"},
+		{S: "r3", P: "request", O: "z2"},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ans := out.Answers[0]
+	if !ans.Contains("busy(z1)") || ans.Contains("busy(z2)") {
+		t.Errorf("answer = %v", ans)
+	}
+	if ans.Contains("zone(z1)") {
+		t.Error("#show must hide zone/1")
+	}
+}
+
+func TestAnalyzeFacade(t *testing.T) {
+	p, err := LoadProgram(testProgramPPrime, testInpre)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := p.Analyze(1.0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !a.Input.G.IsConnected() {
+		t.Error("P' input graph must be connected")
+	}
+	if a.Plan.NumPartitions() != 2 {
+		t.Errorf("plan = %v", a.Plan)
+	}
+}
