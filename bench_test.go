@@ -80,6 +80,7 @@ func benchLatencyFigure(b *testing.B, src string) {
 	for _, name := range systemOrder {
 		for _, size := range benchSizes {
 			b.Run(fmt.Sprintf("%s/w%dk", name, size/1000), func(b *testing.B) {
+				b.ReportAllocs()
 				window := benchWindow(b, int64(size), size)
 				b.ResetTimer()
 				var cpTotal float64
@@ -106,6 +107,7 @@ func benchAccuracyFigure(b *testing.B, src string) {
 		}
 		for _, size := range benchSizes {
 			b.Run(fmt.Sprintf("%s/w%dk", name, size/1000), func(b *testing.B) {
+				b.ReportAllocs()
 				window := benchWindow(b, int64(size), size)
 				ref, err := sys["R"].Reason(window)
 				if err != nil {
@@ -154,6 +156,7 @@ func BenchmarkGroundIndex(b *testing.B) {
 		{"noindex", ground.Options{NoIndex: true}},
 	} {
 		b.Run(variant.name, func(b *testing.B) {
+			b.ReportAllocs()
 			window := benchWindow(b, 42, 10000)
 			cfg := reasoner.Config{Program: prog, Inpre: bench.Inpre, GroundOpts: variant.opts}
 			rr, err := reasoner.NewR(cfg)
@@ -174,6 +177,7 @@ func BenchmarkGroundIndex(b *testing.B) {
 // programs) with the DPLL search on a non-stratified choice program.
 func BenchmarkSolverPaths(b *testing.B) {
 	b.Run("stratified-fastpath", func(b *testing.B) {
+		b.ReportAllocs()
 		prog, err := parser.Parse(bench.ProgramP)
 		if err != nil {
 			b.Fatal(err)
@@ -195,6 +199,7 @@ func BenchmarkSolverPaths(b *testing.B) {
 		}
 	})
 	b.Run("search-choices", func(b *testing.B) {
+		b.ReportAllocs()
 		// 10 independent even loops: 1024 answer sets, enumerated.
 		src := ""
 		for i := 0; i < 10; i++ {
@@ -246,6 +251,7 @@ func BenchmarkDuplication(b *testing.B) {
 		{"no-duplication", core.StripDuplicates(a.Plan)},
 	} {
 		b.Run(variant.name, func(b *testing.B) {
+			b.ReportAllocs()
 			pr, err := reasoner.NewPR(cfg, reasoner.NewPlanPartitioner(variant.plan))
 			if err != nil {
 				b.Fatal(err)
@@ -280,6 +286,7 @@ func BenchmarkResolution(b *testing.B) {
 	}
 	for _, res := range []float64{0.5, 1.0, 2.0, 4.0} {
 		b.Run(fmt.Sprintf("res%.1f", res), func(b *testing.B) {
+			b.ReportAllocs()
 			var parts float64
 			for i := 0; i < b.N; i++ {
 				a, err := core.Analyze(prog, bench.Inpre, res)
@@ -306,12 +313,14 @@ func BenchmarkPartitioners(b *testing.B) {
 	}
 	window := benchWindow(b, 1, 40000)
 	b.Run("plan", func(b *testing.B) {
+		b.ReportAllocs()
 		p := reasoner.NewPlanPartitioner(a.Plan)
 		for i := 0; i < b.N; i++ {
 			p.Partition(window)
 		}
 	})
 	b.Run("random_k4", func(b *testing.B) {
+		b.ReportAllocs()
 		p := reasoner.NewRandomPartitioner(4, 1)
 		for i := 0; i < b.N; i++ {
 			p.Partition(window)
@@ -345,6 +354,7 @@ func BenchmarkAtomLevel(b *testing.B) {
 	}
 	for _, v := range variants {
 		b.Run(v.name, func(b *testing.B) {
+			b.ReportAllocs()
 			eng, err := NewParallelEngine(p, v.opts...)
 			if err != nil {
 				b.Fatal(err)
@@ -368,6 +378,7 @@ func BenchmarkAtomLevel(b *testing.B) {
 // BenchmarkAnalyze measures the design-time cost of the full input
 // dependency analysis (it runs once per program, not per window).
 func BenchmarkAnalyze(b *testing.B) {
+	b.ReportAllocs()
 	prog, err := parser.Parse(bench.ProgramPPrime)
 	if err != nil {
 		b.Fatal(err)

@@ -1,0 +1,3 @@
+module streamrule
+
+go 1.24

@@ -121,22 +121,49 @@ func (t Term) IsGround() bool {
 // String renders the term in ASP surface syntax.
 func (t Term) String() string {
 	switch t.Kind {
-	case SymbolTerm:
+	case SymbolTerm, VariableTerm:
+		// The common constant/variable case needs no allocation at all.
 		return t.Sym
 	case NumberTerm:
 		return strconv.FormatInt(t.Num, 10)
-	case VariableTerm:
-		return t.Sym
-	case ArithTerm:
-		return fmt.Sprintf("(%s%s%s)", t.L, t.Op, t.R)
-	case StringTerm:
-		return formatStringTerm(t)
-	case FuncTerm:
-		return formatFuncTerm(t)
-	case IntervalTerm:
-		return fmt.Sprintf("%s..%s", t.L, t.R)
 	default:
-		return "?"
+		return string(t.AppendString(nil))
+	}
+}
+
+// AppendString appends the term's ASP surface syntax to dst and returns the
+// extended slice, rendering without intermediate allocations. It is the
+// builder behind String and the interning layer's key cache.
+func (t Term) AppendString(dst []byte) []byte {
+	switch t.Kind {
+	case SymbolTerm, VariableTerm:
+		return append(dst, t.Sym...)
+	case NumberTerm:
+		return strconv.AppendInt(dst, t.Num, 10)
+	case ArithTerm:
+		dst = append(dst, '(')
+		dst = t.L.AppendString(dst)
+		dst = append(dst, t.Op.String()...)
+		dst = t.R.AppendString(dst)
+		return append(dst, ')')
+	case StringTerm:
+		return strconv.AppendQuote(dst, t.Sym)
+	case FuncTerm:
+		dst = append(dst, t.Sym...)
+		dst = append(dst, '(')
+		for i, a := range t.FArgs {
+			if i > 0 {
+				dst = append(dst, ',')
+			}
+			dst = a.AppendString(dst)
+		}
+		return append(dst, ')')
+	case IntervalTerm:
+		dst = t.L.AppendString(dst)
+		dst = append(dst, ".."...)
+		return t.R.AppendString(dst)
+	default:
+		return append(dst, '?')
 	}
 }
 
@@ -367,17 +394,24 @@ func (a Atom) String() string {
 	if len(a.Args) == 0 {
 		return a.Pred
 	}
-	var b strings.Builder
-	b.WriteString(a.Pred)
-	b.WriteByte('(')
+	return string(a.AppendString(nil))
+}
+
+// AppendString appends the atom's ASP surface syntax to dst and returns the
+// extended slice.
+func (a Atom) AppendString(dst []byte) []byte {
+	dst = append(dst, a.Pred...)
+	if len(a.Args) == 0 {
+		return dst
+	}
+	dst = append(dst, '(')
 	for i, t := range a.Args {
 		if i > 0 {
-			b.WriteByte(',')
+			dst = append(dst, ',')
 		}
-		b.WriteString(t.String())
+		dst = t.AppendString(dst)
 	}
-	b.WriteByte(')')
-	return b.String()
+	return append(dst, ')')
 }
 
 // Key returns a canonical string key for a ground atom, used for

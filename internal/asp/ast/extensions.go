@@ -3,7 +3,6 @@ package ast
 import (
 	"fmt"
 	"sort"
-	"strconv"
 	"strings"
 )
 
@@ -197,19 +196,3 @@ func AggLit(a Aggregate) Literal { return Literal{Kind: AggLiteral, Agg: &a} }
 
 // UnboundedChoice marks a missing choice bound.
 const UnboundedChoice = -1
-
-func formatFuncTerm(t Term) string {
-	var b strings.Builder
-	b.WriteString(t.Sym)
-	b.WriteByte('(')
-	for i, a := range t.FArgs {
-		if i > 0 {
-			b.WriteByte(',')
-		}
-		b.WriteString(a.String())
-	}
-	b.WriteByte(')')
-	return b.String()
-}
-
-func formatStringTerm(t Term) string { return strconv.Quote(t.Sym) }

@@ -6,6 +6,7 @@ import (
 	"strings"
 
 	"streamrule/internal/asp/ast"
+	"streamrule/internal/asp/intern"
 )
 
 // Aggregate evaluation. The grounder supports STRATIFIED aggregates: every
@@ -30,11 +31,11 @@ func (e *ErrUnstratifiedAggregate) Error() string {
 // aggDeterministic verifies that pred's extension is decided: its component
 // is strictly earlier than the current one (or it has no rules at all) and
 // no uncertain atoms exist.
-func (g *grounder) aggDeterministic(pred string) bool {
+func (g *grounder) aggDeterministic(pred intern.PredID) bool {
 	if ci, declared := g.compOf[pred]; declared && ci >= g.curComp {
 		return false
 	}
-	if st := g.stores[pred]; st != nil && st.uncertain > 0 {
+	if st := g.storeAt(pred); st != nil && st.uncertain > 0 {
 		return false
 	}
 	return true
@@ -155,17 +156,19 @@ func (g *grounder) enumElem(r ast.Rule, elem ast.AggElem, subst ast.Subst, i int
 		}
 		return g.enumElem(r, elem, subst, i+1, yield)
 	case ast.AtomLiteral:
-		pred := l.Atom.PredKey()
+		pred := g.pid(l.Atom)
 		if !g.aggDeterministic(pred) {
 			return &ErrUnstratifiedAggregate{Pred: l.Atom.Pred, Rule: r}
 		}
-		st := g.stores[pred]
+		st := g.storeAt(pred)
 		if l.Neg {
 			if !l.Atom.IsGround() {
 				return fmt.Errorf("aggregate condition in rule %q: negated literal %s has unbound variables", r, l)
 			}
-			if _, ok := st.lookup(l.Atom); ok {
-				return nil
+			if id, ok := g.tab.LookupAtom(l.Atom); ok {
+				if _, present := st.lookup(id); present {
+					return nil
+				}
 			}
 			return g.enumElem(r, elem, subst, i+1, yield)
 		}
@@ -174,7 +177,7 @@ func (g *grounder) enumElem(r ast.Rule, elem ast.AggElem, subst ast.Subst, i int
 		}
 		pattern := make([]ast.Term, len(l.Atom.Args))
 		copy(pattern, l.Atom.Args)
-		for _, pos := range st.candidates(pattern) {
+		for _, pos := range st.candidates(g.tab, pattern) {
 			atom := st.atoms[pos]
 			s2 := subst.Clone()
 			if unifySimple(pattern, atom.Args, s2) {

@@ -9,13 +9,22 @@
 // semi-naive iteration. Ground rules are simplified on the fly against the
 // sets of certainly-true and possibly-true atoms, so stratified programs
 // ground directly to their (unique) answer set.
+//
+// Like those instantiators, the grounder runs on interned atom IDs
+// (internal/asp/intern): atom stores, per-argument-position indexes, the
+// semi-naive delta, and the seen-rule set are all keyed by dense integers,
+// and the emitted ground program carries its rules in ID form for the
+// solver. An Instantiator is built once per program (dependency analysis,
+// component order) and reused across windows, keeping its interned symbols
+// and store capacity warm — sliding windows overlap heavily, so the steady
+// state re-derives mostly known atoms.
 package ground
 
 import (
 	"fmt"
-	"sort"
 
 	"streamrule/internal/asp/ast"
+	"streamrule/internal/asp/intern"
 	"streamrule/internal/graph"
 )
 
@@ -29,6 +38,9 @@ type Options struct {
 	// exceeds the limit (0 means no limit). A guard against non-terminating
 	// arithmetic recursion.
 	MaxAtoms int
+	// Intern is the interning table shared with the rest of the engine. Nil
+	// selects the process-wide default table.
+	Intern *intern.Table
 }
 
 // Stats reports work done by a grounding run.
@@ -45,16 +57,35 @@ type Stats struct {
 	Iterations int
 }
 
+// IRule is a ground rule over interned atom IDs: the disjunctive head, the
+// positive body, and the negative body. It mirrors the ast.Rule at the same
+// index of Program.Rules.
+type IRule struct {
+	Head []intern.AtomID
+	Pos  []intern.AtomID
+	Neg  []intern.AtomID
+	// Choice marks a choice rule with cardinality bounds Lower..Upper
+	// (ast.UnboundedChoice disables a bound).
+	Choice       bool
+	Lower, Upper int
+}
+
 // Program is the result of grounding: a variable-free program partially
 // evaluated against the input facts.
 type Program struct {
 	// Certain lists atoms that hold in every answer set; for stratified
-	// programs this is the full answer set.
+	// programs this is the full answer set. Sorted by atom key.
 	Certain []ast.Atom
+	// CertainIDs holds the interned IDs of Certain, aligned by index.
+	CertainIDs []intern.AtomID
 	// Rules lists the remaining ground rules (bodies reference only atoms
 	// whose truth is undecided, heads may be disjunctive, empty heads are
 	// integrity constraints).
 	Rules []ast.Rule
+	// RuleIDs holds the ID form of Rules, aligned by index.
+	RuleIDs []IRule
+	// Table is the interning table the IDs refer to.
+	Table *intern.Table
 	// Inconsistent is set when an integrity constraint was violated by
 	// certain atoms alone; such a program has no answer sets.
 	Inconsistent bool
@@ -70,34 +101,50 @@ func (e *ErrAtomLimit) Error() string {
 }
 
 // predStore holds the ground atoms of one predicate together with optional
-// per-argument-position indexes.
+// per-argument-position indexes. Atoms are identified by interned IDs; the
+// materialized forms are kept alongside for variable unification during
+// joins.
 type predStore struct {
-	arity   int
-	atoms   []ast.Atom
-	keyIdx  map[string]int
+	arity int
+	ids   []intern.AtomID
+	atoms []ast.Atom
+	pos   map[intern.AtomID]int32
+	// certain marks atoms proven unconditionally true.
 	certain []bool
-	index   []map[string][]int // index[pos][termKey] -> atom positions
+	index   []map[intern.Code][]int32 // index[pos][argCode] -> atom positions
 	// uncertain counts atoms currently stored as possible-but-not-certain;
 	// aggregates require it to be zero for their condition predicates.
 	uncertain int
 }
 
 func newPredStore(arity int, indexed bool) *predStore {
-	st := &predStore{arity: arity, keyIdx: make(map[string]int)}
+	st := &predStore{arity: arity, pos: make(map[intern.AtomID]int32)}
 	if indexed && arity > 0 {
-		st.index = make([]map[string][]int, arity)
+		st.index = make([]map[intern.Code][]int32, arity)
 		for i := range st.index {
-			st.index[i] = make(map[string][]int)
+			st.index[i] = make(map[intern.Code][]int32)
 		}
 	}
 	return st
 }
 
+// reset clears the store contents while keeping allocated capacity for the
+// next window.
+func (st *predStore) reset() {
+	st.ids = st.ids[:0]
+	st.atoms = st.atoms[:0]
+	st.certain = st.certain[:0]
+	st.uncertain = 0
+	clear(st.pos)
+	for _, m := range st.index {
+		clear(m)
+	}
+}
+
 // add inserts the ground atom, returning its position, whether it is new,
 // and whether an existing atom's certainty was upgraded.
-func (st *predStore) add(a ast.Atom, certain bool) (pos int, isNew, upgraded bool) {
-	key := a.Key()
-	if i, ok := st.keyIdx[key]; ok {
+func (st *predStore) add(id intern.AtomID, a ast.Atom, codes []intern.Code, certain bool) (pos int32, isNew, upgraded bool) {
+	if i, ok := st.pos[id]; ok {
 		if certain && !st.certain[i] {
 			st.certain[i] = true
 			st.uncertain--
@@ -105,43 +152,48 @@ func (st *predStore) add(a ast.Atom, certain bool) (pos int, isNew, upgraded boo
 		}
 		return i, false, false
 	}
-	i := len(st.atoms)
+	i := int32(len(st.atoms))
+	st.ids = append(st.ids, id)
 	st.atoms = append(st.atoms, a)
 	st.certain = append(st.certain, certain)
 	if !certain {
 		st.uncertain++
 	}
-	st.keyIdx[key] = i
+	st.pos[id] = i
 	for p := range st.index {
-		k := a.Args[p].String()
-		st.index[p][k] = append(st.index[p][k], i)
+		st.index[p][codes[p]] = append(st.index[p][codes[p]], i)
 	}
 	return i, true, false
 }
 
-func (st *predStore) lookup(a ast.Atom) (pos int, ok bool) {
+// lookup finds the store position of an interned atom.
+func (st *predStore) lookup(id intern.AtomID) (pos int32, ok bool) {
 	if st == nil {
 		return 0, false
 	}
-	pos, ok = st.keyIdx[a.Key()]
+	pos, ok = st.pos[id]
 	return pos, ok
 }
 
 // candidates returns the positions of atoms that could match the pattern
 // (args already substituted). With indexes enabled it uses the smallest
 // bucket over the pattern's ground argument positions.
-func (st *predStore) candidates(pattern []ast.Term) []int {
+func (st *predStore) candidates(tab *intern.Table, pattern []ast.Term) []int32 {
 	if st == nil {
 		return nil
 	}
 	if st.index != nil {
 		best := -1
-		var bucket []int
+		var bucket []int32
 		for p, t := range pattern {
 			if !t.IsGround() {
 				continue
 			}
-			b := st.index[p][t.String()]
+			code, ok := tab.LookupCode(t)
+			if !ok {
+				return nil // the constant was never interned: no atom matches
+			}
+			b := st.index[p][code]
 			if best == -1 || len(b) < best {
 				best = len(b)
 				bucket = b
@@ -154,58 +206,75 @@ func (st *predStore) candidates(pattern []ast.Term) []int {
 			return bucket
 		}
 	}
-	all := make([]int, len(st.atoms))
+	all := make([]int32, len(st.atoms))
 	for i := range all {
-		all[i] = i
+		all[i] = int32(i)
 	}
 	return all
 }
 
-type grounder struct {
-	opts      Options
-	stores    map[string]*predStore
-	compOf    map[string]int // predicate key -> component index
-	seenRules map[string]bool
-	out       *Program
-	curComp   int
-	totalAtom int
-	// delta for the semi-naive pass currently running: predicate key ->
-	// set of atom positions considered "new". Nil means no restriction.
-	delta map[string]map[int]bool
-	// deltaOcc is the body position whose literal ranges over delta; -1
-	// disables the restriction.
-	deltaOcc int
-	// onNewAtom is notified whenever a new ground atom enters a store.
-	onNewAtom func(predKey string, pos int)
+// recRule is a rule with recursive positive body occurrences (body positions
+// whose predicate belongs to the rule's own component).
+type recRule struct {
+	rule ast.Rule
+	occ  []int
 }
 
-// Ground instantiates the program against the input facts.
-func Ground(p *ast.Program, facts []ast.Atom, opts Options) (*Program, error) {
+// compPlan is the precompiled evaluation plan of one strongly connected
+// component: its rules and the recursive ones among them.
+type compPlan struct {
+	rules []ast.Rule
+	rec   []recRule
+}
+
+// Instantiator is a reusable grounder for a fixed program: the dependency
+// analysis, component order, and program-text facts are computed once at
+// construction, and the atom stores are reused (reset, not reallocated)
+// across windows. An Instantiator is not safe for concurrent use; the
+// parallel reasoner gives each partition its own copy, all sharing one
+// interning table.
+type Instantiator struct {
+	opts Options
+	tab  *intern.Table
+
+	plans       []compPlan
+	constraints []ast.Rule
+	compOf      map[intern.PredID]int
+	// progFacts are the ground facts appearing in the program text
+	// (intervals pre-expanded), re-seeded into every window.
+	progFacts []intern.AtomID
+
+	// Scratch reused across windows.
+	stores   []*predStore // indexed by PredID
+	seen     map[string]bool
+	sigBuf   []byte
+	keybuf   []string
+	totalCap int
+}
+
+// NewInstantiator analyzes the program (safety, dependency components,
+// program-text facts) and returns a grounder reusable across windows.
+func NewInstantiator(p *ast.Program, opts Options) (*Instantiator, error) {
 	if err := p.CheckSafety(); err != nil {
 		return nil, err
 	}
-	g := &grounder{
-		opts:      opts,
-		stores:    make(map[string]*predStore),
-		compOf:    make(map[string]int),
-		seenRules: make(map[string]bool),
-		out:       &Program{},
-		deltaOcc:  -1,
+	tab := opts.Intern
+	if tab == nil {
+		tab = intern.Default()
 	}
-
-	for _, f := range facts {
-		if !f.IsGround() {
-			return nil, fmt.Errorf("input fact %s is not ground", f)
-		}
-		_, isNew, _ := g.store(f.PredKey(), f.Arity()).add(f, true)
-		if isNew {
-			g.totalAtom++
-		}
+	inst := &Instantiator{
+		opts:   opts,
+		tab:    tab,
+		compOf: make(map[intern.PredID]int),
+		seen:   make(map[string]bool),
 	}
 
 	// Ground facts appearing as rules in the program text; intervals in
 	// fact arguments (num(1..100).) expand here. Intervals anywhere else in
-	// a body are unsupported.
+	// a body are unsupported. Duplicate facts (repeated statements,
+	// overlapping intervals) collapse, so the atom limit counts distinct
+	// atoms exactly as the per-window stores do.
+	factSeen := make(map[intern.AtomID]bool)
 	rest := make([]ast.Rule, 0, len(p.Rules))
 	for _, r := range p.Rules {
 		for _, l := range r.Body {
@@ -219,13 +288,14 @@ func Ground(p *ast.Program, facts []ast.Atom, opts Options) (*Program, error) {
 				return nil, fmt.Errorf("fact %q: %w", r, err)
 			}
 			for _, hs := range heads {
-				a := hs[0]
-				_, isNew, _ := g.store(a.PredKey(), a.Arity()).add(a, true)
-				if isNew {
-					g.totalAtom++
-					if opts.MaxAtoms > 0 && g.totalAtom > opts.MaxAtoms {
-						return nil, &ErrAtomLimit{Limit: opts.MaxAtoms}
-					}
+				id := tab.InternAtom(hs[0])
+				if factSeen[id] {
+					continue
+				}
+				factSeen[id] = true
+				inst.progFacts = append(inst.progFacts, id)
+				if opts.MaxAtoms > 0 && len(inst.progFacts) > opts.MaxAtoms {
+					return nil, &ErrAtomLimit{Limit: opts.MaxAtoms}
 				}
 			}
 			continue
@@ -236,21 +306,29 @@ func Ground(p *ast.Program, facts []ast.Atom, opts Options) (*Program, error) {
 	// Predicate dependency graph: body -> head, plus mutual edges between
 	// the head predicates of a disjunctive rule so they land in one SCC.
 	dep := graph.NewDirected()
-	var constraints []ast.Rule
+	pid := func(a ast.Atom) intern.PredID { return tab.Pred(a.Pred, len(a.Args)) }
+	pidOf := make(map[string]intern.PredID)
+	node := func(a ast.Atom) string {
+		k := a.PredKey()
+		if _, ok := pidOf[k]; !ok {
+			pidOf[k] = pid(a)
+		}
+		return k
+	}
 	for _, r := range rest {
 		for _, h := range r.Head {
-			dep.AddNode(h.PredKey())
+			dep.AddNode(node(h))
 		}
 		var bodyPreds []string
 		for _, l := range r.Body {
 			switch l.Kind {
 			case ast.AtomLiteral:
-				bodyPreds = append(bodyPreds, l.Atom.PredKey())
+				bodyPreds = append(bodyPreds, node(l.Atom))
 			case ast.AggLiteral:
 				for _, e := range l.Agg.Elems {
 					for _, c := range e.Cond {
 						if c.Kind == ast.AtomLiteral {
-							bodyPreds = append(bodyPreds, c.Atom.PredKey())
+							bodyPreds = append(bodyPreds, node(c.Atom))
 						}
 					}
 				}
@@ -259,46 +337,111 @@ func Ground(p *ast.Program, facts []ast.Atom, opts Options) (*Program, error) {
 		for _, bp := range bodyPreds {
 			dep.AddNode(bp)
 			for _, h := range r.Head {
-				dep.AddEdge(bp, h.PredKey())
+				dep.AddEdge(bp, node(h))
 			}
 		}
 		for i := 0; i < len(r.Head); i++ {
 			for j := i + 1; j < len(r.Head); j++ {
-				dep.AddEdge(r.Head[i].PredKey(), r.Head[j].PredKey())
-				dep.AddEdge(r.Head[j].PredKey(), r.Head[i].PredKey())
+				dep.AddEdge(node(r.Head[i]), node(r.Head[j]))
+				dep.AddEdge(node(r.Head[j]), node(r.Head[i]))
 			}
 		}
 		if r.IsConstraint() {
-			constraints = append(constraints, r)
+			inst.constraints = append(inst.constraints, r)
 		}
 	}
 	comps := dep.TopoComponents()
 	for i, comp := range comps {
 		for _, pred := range comp {
-			g.compOf[pred] = i
+			inst.compOf[pidOf[pred]] = i
 		}
 	}
 
-	// Assign non-constraint rules to the component of their head predicate.
-	rulesOf := make(map[int][]ast.Rule)
+	// Assign non-constraint rules to the component of their head predicate,
+	// and precompute the recursive occurrences for semi-naive iteration.
+	inst.plans = make([]compPlan, len(comps))
 	for _, r := range rest {
 		if r.IsConstraint() {
 			continue
 		}
-		ci := g.compOf[r.Head[0].PredKey()]
-		rulesOf[ci] = append(rulesOf[ci], r)
+		ci := inst.compOf[pid(r.Head[0])]
+		inst.plans[ci].rules = append(inst.plans[ci].rules, r)
+	}
+	for ci, comp := range comps {
+		inComp := make(map[intern.PredID]bool, len(comp))
+		for _, pk := range comp {
+			inComp[pidOf[pk]] = true
+		}
+		for _, r := range inst.plans[ci].rules {
+			var occ []int
+			for i, l := range r.Body {
+				if l.Kind == ast.AtomLiteral && !l.Neg && inComp[pid(l.Atom)] {
+					occ = append(occ, i)
+				}
+			}
+			if len(occ) > 0 {
+				inst.plans[ci].rec = append(inst.plans[ci].rec, recRule{r, occ})
+			}
+		}
+	}
+	return inst, nil
+}
+
+// Table returns the interning table the instantiator grounds into.
+func (inst *Instantiator) Table() *intern.Table { return inst.tab }
+
+// InternFacts interns a slice of input facts, validating that they are
+// ground. The result can be passed to Ground.
+func (inst *Instantiator) InternFacts(facts []ast.Atom) ([]intern.AtomID, error) {
+	ids := make([]intern.AtomID, len(facts))
+	for i, f := range facts {
+		if !f.IsGround() {
+			return nil, fmt.Errorf("input fact %s is not ground", f)
+		}
+		ids[i] = inst.tab.InternAtom(f)
+	}
+	return ids, nil
+}
+
+// Ground instantiates the program against one window of input facts (given
+// as interned atom IDs), reusing the instantiator's scratch stores.
+func (inst *Instantiator) Ground(factIDs []intern.AtomID) (*Program, error) {
+	for _, st := range inst.stores {
+		if st != nil {
+			st.reset()
+		}
+	}
+	clear(inst.seen)
+	g := &grounder{
+		Instantiator: inst,
+		out:          &Program{Table: inst.tab},
+		deltaOcc:     -1,
 	}
 
-	for ci, comp := range comps {
+	for _, seed := range [2][]intern.AtomID{factIDs, inst.progFacts} {
+		for _, id := range seed {
+			a := inst.tab.Atom(id)
+			st := g.store(inst.tab.AtomPred(id), len(a.Args))
+			_, isNew, _ := st.add(id, a, inst.tab.ArgCodes(id), true)
+			if isNew {
+				g.totalAtom++
+				if inst.opts.MaxAtoms > 0 && g.totalAtom > inst.opts.MaxAtoms {
+					return nil, &ErrAtomLimit{Limit: inst.opts.MaxAtoms}
+				}
+			}
+		}
+	}
+
+	for ci := range inst.plans {
 		g.curComp = ci
-		if err := g.evalComponent(comp, rulesOf[ci]); err != nil {
+		if err := g.evalComponent(&inst.plans[ci]); err != nil {
 			return nil, err
 		}
 	}
 
 	// Constraints are evaluated last against the full stores.
-	g.curComp = len(comps)
-	for _, r := range constraints {
+	g.curComp = len(inst.plans)
+	for _, r := range inst.constraints {
 		if err := g.joinRule(r, func(s ast.Subst) error {
 			return g.emit(r, s)
 		}); err != nil {
@@ -310,44 +453,75 @@ func Ground(p *ast.Program, facts []ast.Atom, opts Options) (*Program, error) {
 	return g.out, nil
 }
 
-func (g *grounder) store(predKey string, arity int) *predStore {
-	st, ok := g.stores[predKey]
-	if !ok {
+// Ground instantiates the program against the input facts with a one-shot
+// instantiator. Long-lived reasoners should build an Instantiator once and
+// reuse it per window.
+func Ground(p *ast.Program, facts []ast.Atom, opts Options) (*Program, error) {
+	inst, err := NewInstantiator(p, opts)
+	if err != nil {
+		return nil, err
+	}
+	ids, err := inst.InternFacts(facts)
+	if err != nil {
+		return nil, err
+	}
+	return inst.Ground(ids)
+}
+
+// grounder is the per-window evaluation state layered over the reusable
+// Instantiator.
+type grounder struct {
+	*Instantiator
+	out       *Program
+	curComp   int
+	totalAtom int
+	// delta for the semi-naive pass currently running: predicate ->
+	// set of atom positions considered "new". Nil means no restriction.
+	delta map[intern.PredID]map[int32]bool
+	// deltaOcc is the body position whose literal ranges over delta; -1
+	// disables the restriction.
+	deltaOcc int
+	// onNewAtom is notified whenever a new ground atom enters a store.
+	onNewAtom func(pred intern.PredID, pos int32)
+}
+
+// pid returns the interned predicate of an atom.
+func (g *grounder) pid(a ast.Atom) intern.PredID { return g.tab.Pred(a.Pred, len(a.Args)) }
+
+// storeAt returns the store of a predicate, or nil if none exists yet.
+func (g *grounder) storeAt(p intern.PredID) *predStore {
+	if int(p) >= len(g.stores) {
+		return nil
+	}
+	return g.stores[p]
+}
+
+// store returns the store of a predicate, creating it if needed.
+func (g *grounder) store(p intern.PredID, arity int) *predStore {
+	for int(p) >= len(g.stores) {
+		g.stores = append(g.stores, nil)
+	}
+	st := g.stores[p]
+	if st == nil {
 		st = newPredStore(arity, !g.opts.NoIndex)
-		g.stores[predKey] = st
+		g.stores[p] = st
 	}
 	return st
 }
 
-// recursive reports whether the rule has a positive body literal whose
-// predicate belongs to the component being evaluated.
-func (g *grounder) recursive(r ast.Rule, comp map[string]bool) []int {
-	var occ []int
-	for i, l := range r.Body {
-		if l.Kind == ast.AtomLiteral && !l.Neg && comp[l.Atom.PredKey()] {
-			occ = append(occ, i)
-		}
-	}
-	return occ
-}
-
 // evalComponent instantiates the rules of one SCC with semi-naive iteration.
-func (g *grounder) evalComponent(comp []string, rules []ast.Rule) error {
-	if len(rules) == 0 {
+func (g *grounder) evalComponent(plan *compPlan) error {
+	if len(plan.rules) == 0 {
 		return nil
-	}
-	inComp := make(map[string]bool, len(comp))
-	for _, p := range comp {
-		inComp[p] = true
 	}
 
 	// newAtoms collects atoms derived during the current pass, keyed by
 	// predicate; they seed the next pass's delta.
-	newAtoms := make(map[string]map[int]bool)
-	record := func(pred string, pos int) {
+	newAtoms := make(map[intern.PredID]map[int32]bool)
+	record := func(pred intern.PredID, pos int32) {
 		set := newAtoms[pred]
 		if set == nil {
-			set = make(map[int]bool)
+			set = make(map[int32]bool)
 			newAtoms[pred] = set
 		}
 		set[pos] = true
@@ -356,7 +530,7 @@ func (g *grounder) evalComponent(comp []string, rules []ast.Rule) error {
 
 	// First pass: every rule against the full stores.
 	g.out.Stats.Iterations++
-	for _, r := range rules {
+	for _, r := range plan.rules {
 		if err := g.joinRule(r, func(s ast.Subst) error {
 			return g.emit(r, s)
 		}); err != nil {
@@ -365,29 +539,19 @@ func (g *grounder) evalComponent(comp []string, rules []ast.Rule) error {
 	}
 
 	// Semi-naive iteration for recursive rules.
-	type recRule struct {
-		rule ast.Rule
-		occ  []int
-	}
-	var recRules []recRule
-	for _, r := range rules {
-		if occ := g.recursive(r, inComp); len(occ) > 0 {
-			recRules = append(recRules, recRule{r, occ})
-		}
-	}
-	for len(recRules) > 0 && len(newAtoms) > 0 {
+	for len(plan.rec) > 0 && len(newAtoms) > 0 {
 		delta := newAtoms
-		newAtoms = make(map[string]map[int]bool)
+		newAtoms = make(map[intern.PredID]map[int32]bool)
 		g.onNewAtom = record
 		g.out.Stats.Iterations++
 		progressed := false
-		for _, rr := range recRules {
+		for _, rr := range plan.rec {
 			for _, occ := range rr.occ {
-				pred := rr.rule.Body[occ].Atom.PredKey()
+				pred := g.pid(rr.rule.Body[occ].Atom)
 				if len(delta[pred]) == 0 {
 					continue
 				}
-				g.delta = map[string]map[int]bool{pred: delta[pred]}
+				g.delta = map[intern.PredID]map[int32]bool{pred: delta[pred]}
 				g.deltaOcc = occ
 				err := g.joinRule(rr.rule, func(s ast.Subst) error {
 					return g.emit(rr.rule, s)
@@ -414,18 +578,34 @@ func (g *grounder) evalComponent(comp []string, rules []ast.Rule) error {
 
 func (g *grounder) finish() {
 	for _, st := range g.stores {
-		for i, a := range st.atoms {
+		if st == nil {
+			continue
+		}
+		for i := range st.atoms {
 			if st.certain[i] {
-				g.out.Certain = append(g.out.Certain, a)
+				g.out.Certain = append(g.out.Certain, st.atoms[i])
+				g.out.CertainIDs = append(g.out.CertainIDs, st.ids[i])
 			}
 		}
 	}
-	sort.Slice(g.out.Certain, func(i, j int) bool {
-		return g.out.Certain[i].Key() < g.out.Certain[j].Key()
+	// Sort by atom key, comparing cached key strings (rendered once per
+	// distinct atom across the lifetime of the table).
+	keys := g.keybuf[:0]
+	for _, id := range g.out.CertainIDs {
+		keys = append(keys, g.tab.KeyOf(id))
+	}
+	g.keybuf = keys[:0]
+	certain, certainIDs := g.out.Certain, g.out.CertainIDs
+	intern.SortByKey(keys, func(i, j int) {
+		certain[i], certain[j] = certain[j], certain[i]
+		certainIDs[i], certainIDs[j] = certainIDs[j], certainIDs[i]
+		keys[i], keys[j] = keys[j], keys[i]
 	})
 	atoms := 0
 	for _, st := range g.stores {
-		atoms += len(st.atoms)
+		if st != nil {
+			atoms += len(st.atoms)
+		}
 	}
 	g.out.Stats.Atoms = atoms
 	g.out.Stats.Rules = len(g.out.Rules)

@@ -1,6 +1,7 @@
 package ground
 
 import (
+	"errors"
 	"math/rand"
 	"sort"
 	"strings"
@@ -511,5 +512,19 @@ func TestCertainOutputSorted(t *testing.T) {
 	keys := certainKeys(gp)
 	if !sort.StringsAreSorted(keys) {
 		t.Errorf("certain atoms not sorted: %v", keys)
+	}
+}
+
+func TestMaxAtomsCountsDistinctProgramFacts(t *testing.T) {
+	// 150 distinct atoms stated via overlapping intervals (201 statements):
+	// the limit must count distinct atoms, not duplicated fact statements.
+	prog := mustParse(t, "p(1..100). p(50..150).")
+	if _, err := Ground(prog, nil, Options{MaxAtoms: 150}); err != nil {
+		t.Fatalf("150 distinct atoms within limit 150: %v", err)
+	}
+	_, err := Ground(prog, nil, Options{MaxAtoms: 149})
+	var lim *ErrAtomLimit
+	if !errors.As(err, &lim) {
+		t.Fatalf("limit 149 must trip ErrAtomLimit, got %v", err)
 	}
 }

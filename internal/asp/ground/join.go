@@ -1,10 +1,12 @@
 package ground
 
 import (
+	"encoding/binary"
 	"fmt"
 	"math"
 
 	"streamrule/internal/asp/ast"
+	"streamrule/internal/asp/intern"
 )
 
 // joinRule enumerates all substitutions that satisfy the positive body
@@ -16,6 +18,7 @@ func (g *grounder) joinRule(r ast.Rule, emitFn func(ast.Subst) error) error {
 	type entry struct {
 		lit  ast.Literal
 		idx  int
+		pred intern.PredID // predicate of an AtomLiteral
 		done bool
 	}
 	var entries []*entry
@@ -24,7 +27,7 @@ func (g *grounder) joinRule(r ast.Rule, emitFn func(ast.Subst) error) error {
 		case l.Kind == ast.CompLiteral:
 			entries = append(entries, &entry{lit: l, idx: i})
 		case l.Kind == ast.AtomLiteral && !l.Neg:
-			entries = append(entries, &entry{lit: l, idx: i})
+			entries = append(entries, &entry{lit: l, idx: i, pred: g.pid(l.Atom)})
 		case l.Kind == ast.AggLiteral:
 			entries = append(entries, &entry{lit: l, idx: i})
 		}
@@ -165,9 +168,8 @@ func (g *grounder) joinRule(r ast.Rule, emitFn func(ast.Subst) error) error {
 			if !ready {
 				continue
 			}
-			st := g.stores[e.lit.Atom.PredKey()]
 			size := 0
-			if st != nil {
+			if st := g.storeAt(e.pred); st != nil {
 				size = len(st.atoms)
 			}
 			score := ground*1_000_000 - size
@@ -186,15 +188,14 @@ func (g *grounder) joinRule(r ast.Rule, emitFn func(ast.Subst) error) error {
 			return fmt.Errorf("cannot instantiate rule %q: unresolved variables", r)
 		}
 
-		predKey := best.lit.Atom.PredKey()
-		st := g.stores[predKey]
-		var cands []int
+		st := g.storeAt(best.pred)
+		var cands []int32
 		if best.idx == g.deltaOcc {
-			for pos := range g.delta[predKey] {
+			for pos := range g.delta[best.pred] {
 				cands = append(cands, pos)
 			}
 		} else {
-			cands = st.candidates(bestPattern)
+			cands = st.candidates(g.tab, bestPattern)
 		}
 		best.done = true
 		defer func() { best.done = false }()
@@ -271,21 +272,24 @@ func unifyTerm(p, gt ast.Term, subst ast.Subst, bind func(string, ast.Term) func
 	}
 }
 
-// addDerived inserts a derived ground atom into the store, enforcing the
-// atom limit and notifying the semi-naive delta recorder for new atoms.
-func (g *grounder) addDerived(a ast.Atom, certain bool) error {
-	st := g.store(a.PredKey(), a.Arity())
-	pos, isNew, _ := st.add(a, certain)
+// addDerived interns a derived ground atom and inserts it into its store,
+// enforcing the atom limit and notifying the semi-naive delta recorder for
+// new atoms. It returns the atom's interned ID.
+func (g *grounder) addDerived(a ast.Atom, certain bool) (intern.AtomID, error) {
+	id := g.tab.InternAtom(a)
+	p := g.tab.AtomPred(id)
+	st := g.store(p, len(a.Args))
+	pos, isNew, _ := st.add(id, a, g.tab.ArgCodes(id), certain)
 	if isNew {
 		g.totalAtom++
 		if g.opts.MaxAtoms > 0 && g.totalAtom > g.opts.MaxAtoms {
-			return &ErrAtomLimit{Limit: g.opts.MaxAtoms}
+			return id, &ErrAtomLimit{Limit: g.opts.MaxAtoms}
 		}
 		if g.onNewAtom != nil {
-			g.onNewAtom(a.PredKey(), pos)
+			g.onNewAtom(p, pos)
 		}
 	}
-	return nil
+	return id, nil
 }
 
 // emit builds the simplified ground instance of r under the substitution and
@@ -293,6 +297,7 @@ func (g *grounder) addDerived(a ast.Atom, certain bool) error {
 func (g *grounder) emit(r ast.Rule, s ast.Subst) error {
 	gr := r.Apply(s)
 	var body []ast.Literal
+	var posIDs, negIDs []intern.AtomID
 	for _, l := range gr.Body {
 		switch l.Kind {
 		case ast.AggLiteral:
@@ -312,28 +317,30 @@ func (g *grounder) emit(r ast.Rule, s ast.Subst) error {
 				return nil
 			}
 		case ast.AtomLiteral:
-			st := g.stores[l.Atom.PredKey()]
-			pos, known := st.lookup(l.Atom)
+			id := g.tab.InternAtom(l.Atom)
+			p := g.tab.AtomPred(id)
+			st := g.storeAt(p)
+			pos, known := st.lookup(id)
 			if !l.Neg {
 				// Matched positive literal: always present in the store.
 				if known && st.certain[pos] {
 					continue // certainly true: drop
 				}
 				body = append(body, l)
+				posIDs = append(posIDs, id)
 				continue
 			}
 			// Default-negated literal.
 			if known && st.certain[pos] {
 				return nil // certainly true atom: rule can never fire
 			}
-			fullyEvaluated := g.compOf[l.Atom.PredKey()] < g.curComp
-			if _, declared := g.compOf[l.Atom.PredKey()]; !declared {
-				fullyEvaluated = true // predicate never occurs in a rule
-			}
+			ci, declared := g.compOf[p]
+			fullyEvaluated := !declared || ci < g.curComp
 			if fullyEvaluated && !known {
 				continue // atom can never be derived: not l holds, drop
 			}
 			body = append(body, l)
+			negIDs = append(negIDs, id)
 		}
 	}
 
@@ -347,11 +354,11 @@ func (g *grounder) emit(r ast.Rule, s ast.Subst) error {
 	if gr.Choice && len(headSets) > 1 {
 		// A choice head with intervals pools into a single ground rule.
 		merged := make([]ast.Atom, 0, len(headSets))
-		seen := make(map[string]bool)
+		seen := make(map[intern.AtomID]bool)
 		for _, hs := range headSets {
 			for _, a := range hs {
-				if !seen[a.Key()] {
-					seen[a.Key()] = true
+				if id := g.tab.InternAtom(a); !seen[id] {
+					seen[id] = true
 					merged = append(merged, a)
 				}
 			}
@@ -360,7 +367,7 @@ func (g *grounder) emit(r ast.Rule, s ast.Subst) error {
 	}
 
 	for _, heads := range headSets {
-		if err := g.emitGround(heads, body, gr); err != nil {
+		if err := g.emitGround(heads, body, posIDs, negIDs, gr); err != nil {
 			return err
 		}
 	}
@@ -368,7 +375,7 @@ func (g *grounder) emit(r ast.Rule, s ast.Subst) error {
 }
 
 // emitGround records one simplified ground rule (or fact, or inconsistency).
-func (g *grounder) emitGround(heads []ast.Atom, body []ast.Literal, gr ast.Rule) error {
+func (g *grounder) emitGround(heads []ast.Atom, body []ast.Literal, posIDs, negIDs []intern.AtomID, gr ast.Rule) error {
 	switch {
 	case gr.Choice:
 		// Choice heads are never certain, even with an empty body.
@@ -376,19 +383,53 @@ func (g *grounder) emitGround(heads []ast.Atom, body []ast.Literal, gr ast.Rule)
 		g.out.Inconsistent = true
 		return nil
 	case len(heads) == 1 && len(body) == 0:
-		return g.addDerived(heads[0], true)
+		_, err := g.addDerived(heads[0], true)
+		return err
 	}
-	simplified := ast.Rule{Head: heads, Body: body, Choice: gr.Choice, Lower: gr.Lower, Upper: gr.Upper}
-	key := simplified.String()
-	if g.seenRules[key] {
+
+	ir := IRule{Pos: posIDs, Neg: negIDs, Choice: gr.Choice, Lower: gr.Lower, Upper: gr.Upper}
+	for _, h := range heads {
+		ir.Head = append(ir.Head, g.tab.InternAtom(h))
+	}
+	if g.seenRule(ir) {
 		return nil
 	}
-	g.seenRules[key] = true
-	g.out.Rules = append(g.out.Rules, simplified)
+	g.out.Rules = append(g.out.Rules, ast.Rule{Head: heads, Body: body, Choice: gr.Choice, Lower: gr.Lower, Upper: gr.Upper})
+	g.out.RuleIDs = append(g.out.RuleIDs, ir)
 	for _, h := range heads {
-		if err := g.addDerived(h, false); err != nil {
+		if _, err := g.addDerived(h, false); err != nil {
 			return err
 		}
 	}
 	return nil
+}
+
+// seenRule dedups ground rules by a compact binary signature over interned
+// IDs — the ID-age replacement for keying on Rule.String().
+func (g *grounder) seenRule(ir IRule) bool {
+	buf := g.sigBuf[:0]
+	if ir.Choice {
+		buf = append(buf, 1)
+		buf = binary.AppendVarint(buf, int64(ir.Lower))
+		buf = binary.AppendVarint(buf, int64(ir.Upper))
+	} else {
+		buf = append(buf, 0)
+	}
+	for _, id := range ir.Head {
+		buf = binary.AppendUvarint(buf, uint64(id))
+	}
+	buf = append(buf, 0xFF)
+	for _, id := range ir.Pos {
+		buf = binary.AppendUvarint(buf, uint64(id))
+	}
+	buf = append(buf, 0xFF)
+	for _, id := range ir.Neg {
+		buf = binary.AppendUvarint(buf, uint64(id))
+	}
+	g.sigBuf = buf
+	if g.seen[string(buf)] {
+		return true
+	}
+	g.seen[string(buf)] = true
+	return false
 }

@@ -1,0 +1,226 @@
+package intern
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"streamrule/internal/asp/ast"
+)
+
+func TestSymRoundTrip(t *testing.T) {
+	tab := NewTable()
+	a := tab.Sym("alpha")
+	b := tab.Sym("beta")
+	if a == b {
+		t.Fatal("distinct symbols share an ID")
+	}
+	if tab.Sym("alpha") != a {
+		t.Error("re-interning changed the ID")
+	}
+	if tab.SymName(a) != "alpha" || tab.SymName(b) != "beta" {
+		t.Error("SymName mismatch")
+	}
+	if _, ok := tab.LookupSym("gamma"); ok {
+		t.Error("LookupSym must not intern")
+	}
+}
+
+func TestPredInterning(t *testing.T) {
+	tab := NewTable()
+	p1 := tab.Pred("p", 1)
+	p2 := tab.Pred("p", 2)
+	if p1 == p2 {
+		t.Fatal("same name, different arity must get distinct PredIDs")
+	}
+	if tab.PredName(p1) != "p" || tab.PredArity(p2) != 2 {
+		t.Error("pred metadata mismatch")
+	}
+	if tab.PredNameSym(p1) != tab.PredNameSym(p2) {
+		t.Error("both arities share the name symbol")
+	}
+	if tab.NumPreds() != 2 {
+		t.Errorf("NumPreds = %d", tab.NumPreds())
+	}
+}
+
+func TestCodeRoundTrip(t *testing.T) {
+	tab := NewTable()
+	terms := []ast.Term{
+		ast.Num(0),
+		ast.Num(42),
+		ast.Num(-7),
+		ast.Num(1<<61 - 1),
+		ast.Num(-(1 << 61)),
+		ast.Sym("newcastle"),
+		ast.Str("hello world"),
+		ast.Func("f", ast.Num(1), ast.Sym("a")),
+	}
+	for _, term := range terms {
+		c, ok := tab.CodeOf(term)
+		if !ok {
+			t.Fatalf("CodeOf(%s) failed", term)
+		}
+		got := tab.TermOf(c)
+		if !got.Equal(term) {
+			t.Errorf("round trip %s -> %s", term, got)
+		}
+		c2, ok := tab.LookupCode(term)
+		if !ok || c2 != c {
+			t.Errorf("LookupCode(%s) = %v, %v; want %v", term, c2, ok, c)
+		}
+	}
+}
+
+func TestCodeOutOfRangeNumber(t *testing.T) {
+	tab := NewTable()
+	big := ast.Num(1 << 62)
+	c, ok := tab.CodeOf(big)
+	if !ok {
+		t.Fatal("out-of-range number must intern through the side table")
+	}
+	if got := tab.TermOf(c); !got.Equal(big) {
+		t.Errorf("round trip = %s", got)
+	}
+}
+
+func TestCodeNonGround(t *testing.T) {
+	tab := NewTable()
+	if _, ok := tab.CodeOf(ast.Var("X")); ok {
+		t.Error("variables have no code")
+	}
+	if _, ok := tab.LookupCode(ast.Func("f", ast.Var("X"))); ok {
+		t.Error("non-ground function terms have no code")
+	}
+}
+
+func TestSymbolsAndStringsDistinct(t *testing.T) {
+	tab := NewTable()
+	cs, _ := tab.CodeOf(ast.Sym("x"))
+	cq, _ := tab.CodeOf(ast.Str("x"))
+	if cs == cq {
+		t.Error(`symbol x and string "x" must have distinct codes`)
+	}
+}
+
+func TestInternAtom(t *testing.T) {
+	tab := NewTable()
+	atoms := []ast.Atom{
+		ast.NewAtom("zero"),
+		ast.NewAtom("speed", ast.Sym("car1"), ast.Num(80)),
+		ast.NewAtom("loc", ast.Sym("car1")),
+		ast.NewAtom("wide", ast.Num(1), ast.Num(2), ast.Num(3), ast.Num(4)),
+	}
+	ids := make([]AtomID, len(atoms))
+	for i, a := range atoms {
+		ids[i] = tab.InternAtom(a)
+		if int(ids[i]) != i {
+			t.Errorf("IDs must be dense: atom %d got %d", i, ids[i])
+		}
+	}
+	for i, a := range atoms {
+		if got := tab.InternAtom(a); got != ids[i] {
+			t.Errorf("re-interning %s changed the ID: %d != %d", a, got, ids[i])
+		}
+		id, ok := tab.LookupAtom(a)
+		if !ok || id != ids[i] {
+			t.Errorf("LookupAtom(%s) = %d, %v", a, id, ok)
+		}
+		mat := tab.Atom(ids[i])
+		if !mat.Equal(a) {
+			t.Errorf("materialized %s != %s", mat, a)
+		}
+		if tab.KeyOf(ids[i]) != a.Key() {
+			t.Errorf("KeyOf = %q, want %q", tab.KeyOf(ids[i]), a.Key())
+		}
+		if tab.PredName(tab.AtomPred(ids[i])) != a.Pred {
+			t.Errorf("AtomPred name mismatch for %s", a)
+		}
+		if len(tab.ArgCodes(ids[i])) != len(a.Args) {
+			t.Errorf("ArgCodes arity mismatch for %s", a)
+		}
+	}
+	if tab.NumAtoms() != len(atoms) {
+		t.Errorf("NumAtoms = %d", tab.NumAtoms())
+	}
+	if _, ok := tab.LookupAtom(ast.NewAtom("speed", ast.Sym("car2"), ast.Num(80))); ok {
+		t.Error("LookupAtom must not find un-interned atoms")
+	}
+}
+
+func TestInternAtomByCodes(t *testing.T) {
+	tab := NewTable()
+	p := tab.Pred("speed", 2)
+	c0, _ := tab.CodeOf(ast.Sym("car1"))
+	c1, _ := CodeNum(55)
+	id := tab.InternAtom2(p, c0, c1)
+	want := ast.NewAtom("speed", ast.Sym("car1"), ast.Num(55))
+	if !tab.Atom(id).Equal(want) {
+		t.Errorf("materialized = %s, want %s", tab.Atom(id), want)
+	}
+	// The same atom interned from its ast form must map to the same ID.
+	if got := tab.InternAtom(want); got != id {
+		t.Errorf("InternAtom = %d, want %d", got, id)
+	}
+	u := tab.InternAtom1(tab.Pred("u", 1), c0)
+	if !tab.Atom(u).Equal(ast.NewAtom("u", ast.Sym("car1"))) {
+		t.Errorf("unary materialization = %s", tab.Atom(u))
+	}
+	z := tab.InternAtom0(tab.Pred("z", 0))
+	if !tab.Atom(z).Equal(ast.NewAtom("z")) {
+		t.Errorf("zero-ary materialization = %s", tab.Atom(z))
+	}
+}
+
+func TestArithFoldsToNumber(t *testing.T) {
+	tab := NewTable()
+	c1, ok := tab.CodeOf(ast.Arith(ast.OpAdd, ast.Num(1), ast.Num(2)))
+	if !ok {
+		t.Fatal("ground arithmetic must encode")
+	}
+	c2, _ := CodeNum(3)
+	if c1 != c2 {
+		t.Error("(1+2) and 3 must share a code")
+	}
+}
+
+func TestConcurrentIntern(t *testing.T) {
+	tab := NewTable()
+	const goroutines = 8
+	const atoms = 500
+	var wg sync.WaitGroup
+	idsOf := make([][]AtomID, goroutines)
+	for gi := 0; gi < goroutines; gi++ {
+		wg.Add(1)
+		go func(gi int) {
+			defer wg.Done()
+			ids := make([]AtomID, atoms)
+			for i := 0; i < atoms; i++ {
+				ids[i] = tab.InternAtom(ast.NewAtom("p", ast.Sym(fmt.Sprintf("c%d", i)), ast.Num(int64(i))))
+			}
+			idsOf[gi] = ids
+		}(gi)
+	}
+	wg.Wait()
+	for gi := 1; gi < goroutines; gi++ {
+		for i := range idsOf[gi] {
+			if idsOf[gi][i] != idsOf[0][i] {
+				t.Fatalf("goroutine %d atom %d: ID %d != %d", gi, i, idsOf[gi][i], idsOf[0][i])
+			}
+		}
+	}
+	if tab.NumAtoms() != atoms {
+		t.Errorf("NumAtoms = %d, want %d", tab.NumAtoms(), atoms)
+	}
+}
+
+func BenchmarkInternHit(b *testing.B) {
+	b.ReportAllocs()
+	tab := NewTable()
+	a := ast.NewAtom("speed", ast.Sym("car1"), ast.Num(80))
+	tab.InternAtom(a)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tab.InternAtom(a)
+	}
+}

@@ -9,14 +9,21 @@
 // support-based falsification; every total assignment is verified stable by
 // the reduct test (least-model comparison for normal programs, a minimal
 // model search for disjunctive ones).
+//
+// The solver runs entirely on interned atom IDs: the ground program's ID
+// rules are mapped onto a dense local index space for the search, and answer
+// sets are sorted ID sets that materialize textual atoms lazily, only when
+// an API consumer asks for them.
 package solve
 
 import (
-	"sort"
+	"slices"
 	"strings"
+	"sync"
 
 	"streamrule/internal/asp/ast"
 	"streamrule/internal/asp/ground"
+	"streamrule/internal/asp/intern"
 )
 
 // Options configures the solver.
@@ -44,51 +51,100 @@ type Result struct {
 	Stats  Stats
 }
 
-// AnswerSet is a set of ground atoms, ordered by atom key.
+// AnswerSet is a set of ground atoms, held as a sorted slice of interned
+// atom IDs. Set operations (Union, Equal, IntersectCount) run on the IDs;
+// the textual atoms and keys are materialized lazily at the API boundary
+// and cached. An AnswerSet is immutable and safe for concurrent use.
 type AnswerSet struct {
-	atoms []ast.Atom
-	keys  map[string]bool
+	tab *intern.Table
+	ids []intern.AtomID // sorted ascending, deduplicated
+
+	mat     sync.Once
+	atoms   []ast.Atom // sorted by key
+	keys    []string   // aligned with atoms
+	keysOne sync.Once
+	keySet  map[string]bool
 }
 
-// NewAnswerSet builds an answer set from atoms (deduplicated, sorted).
+// NewAnswerSet builds an answer set from atoms (deduplicated). The atoms are
+// interned into the process-wide default table.
 func NewAnswerSet(atoms []ast.Atom) *AnswerSet {
-	s := &AnswerSet{keys: make(map[string]bool, len(atoms))}
-	for _, a := range atoms {
-		k := a.Key()
-		if !s.keys[k] {
-			s.keys[k] = true
-			s.atoms = append(s.atoms, a)
-		}
+	tab := intern.Default()
+	ids := make([]intern.AtomID, len(atoms))
+	for i, a := range atoms {
+		ids[i] = tab.InternAtom(a)
 	}
-	sort.Slice(s.atoms, func(i, j int) bool { return s.atoms[i].Key() < s.atoms[j].Key() })
-	return s
+	return FromIDs(tab, ids)
+}
+
+// FromIDs builds an answer set from interned atom IDs. It takes ownership of
+// the slice (sorting and deduplicating it in place).
+func FromIDs(tab *intern.Table, ids []intern.AtomID) *AnswerSet {
+	slices.Sort(ids)
+	ids = slices.Compact(ids)
+	return &AnswerSet{tab: tab, ids: ids}
+}
+
+// IDs returns the sorted interned atom IDs. The slice must not be modified.
+func (s *AnswerSet) IDs() []intern.AtomID { return s.ids }
+
+// Table returns the interning table the IDs refer to.
+func (s *AnswerSet) Table() *intern.Table { return s.tab }
+
+// materialize renders the atoms and keys, sorted by key, once.
+func (s *AnswerSet) materialize() {
+	s.mat.Do(func() {
+		atoms := make([]ast.Atom, len(s.ids))
+		keys := make([]string, len(s.ids))
+		for i, id := range s.ids {
+			atoms[i] = s.tab.Atom(id)
+			keys[i] = s.tab.KeyOf(id)
+		}
+		intern.SortByKey(keys, func(i, j int) {
+			atoms[i], atoms[j] = atoms[j], atoms[i]
+			keys[i], keys[j] = keys[j], keys[i]
+		})
+		s.atoms, s.keys = atoms, keys
+	})
 }
 
 // Atoms returns the atoms in key order. The slice must not be modified.
-func (s *AnswerSet) Atoms() []ast.Atom { return s.atoms }
+func (s *AnswerSet) Atoms() []ast.Atom {
+	s.materialize()
+	return s.atoms
+}
 
 // Len returns the number of atoms.
-func (s *AnswerSet) Len() int { return len(s.atoms) }
+func (s *AnswerSet) Len() int { return len(s.ids) }
 
 // Contains reports membership by atom key.
-func (s *AnswerSet) Contains(key string) bool { return s.keys[key] }
+func (s *AnswerSet) Contains(key string) bool {
+	s.keysOne.Do(func() {
+		s.materialize()
+		s.keySet = make(map[string]bool, len(s.keys))
+		for _, k := range s.keys {
+			s.keySet[k] = true
+		}
+	})
+	return s.keySet[key]
+}
 
 // Keys returns the sorted atom keys.
 func (s *AnswerSet) Keys() []string {
-	out := make([]string, len(s.atoms))
-	for i, a := range s.atoms {
-		out[i] = a.Key()
-	}
-	return out
+	s.materialize()
+	return s.keys
 }
 
 // Equal reports whether two answer sets contain the same atoms.
 func (s *AnswerSet) Equal(o *AnswerSet) bool {
+	if s.tab == o.tab {
+		return slices.Equal(s.ids, o.ids)
+	}
 	if s.Len() != o.Len() {
 		return false
 	}
-	for k := range s.keys {
-		if !o.keys[k] {
+	for _, k := range s.Keys() {
+		if !o.Contains(k) {
 			return false
 		}
 	}
@@ -97,22 +153,56 @@ func (s *AnswerSet) Equal(o *AnswerSet) bool {
 
 // Union returns a new answer set with the atoms of both sets.
 func (s *AnswerSet) Union(o *AnswerSet) *AnswerSet {
-	merged := make([]ast.Atom, 0, s.Len()+o.Len())
-	merged = append(merged, s.atoms...)
-	merged = append(merged, o.atoms...)
-	return NewAnswerSet(merged)
+	if s.tab != o.tab {
+		merged := make([]ast.Atom, 0, s.Len()+o.Len())
+		merged = append(merged, s.Atoms()...)
+		merged = append(merged, o.Atoms()...)
+		return NewAnswerSet(merged)
+	}
+	merged := make([]intern.AtomID, 0, s.Len()+o.Len())
+	i, j := 0, 0
+	for i < len(s.ids) && j < len(o.ids) {
+		switch {
+		case s.ids[i] < o.ids[j]:
+			merged = append(merged, s.ids[i])
+			i++
+		case s.ids[i] > o.ids[j]:
+			merged = append(merged, o.ids[j])
+			j++
+		default:
+			merged = append(merged, s.ids[i])
+			i++
+			j++
+		}
+	}
+	merged = append(merged, s.ids[i:]...)
+	merged = append(merged, o.ids[j:]...)
+	return &AnswerSet{tab: s.tab, ids: merged}
 }
 
 // IntersectCount returns the number of atoms shared with o.
 func (s *AnswerSet) IntersectCount(o *AnswerSet) int {
-	small, big := s, o
-	if big.Len() < small.Len() {
-		small, big = big, small
+	if s.tab != o.tab {
+		n := 0
+		for _, k := range s.Keys() {
+			if o.Contains(k) {
+				n++
+			}
+		}
+		return n
 	}
 	n := 0
-	for k := range small.keys {
-		if big.keys[k] {
+	i, j := 0, 0
+	for i < len(s.ids) && j < len(o.ids) {
+		switch {
+		case s.ids[i] < o.ids[j]:
+			i++
+		case s.ids[i] > o.ids[j]:
+			j++
+		default:
 			n++
+			i++
+			j++
 		}
 	}
 	return n
@@ -122,11 +212,11 @@ func (s *AnswerSet) IntersectCount(o *AnswerSet) int {
 func (s *AnswerSet) String() string {
 	var b strings.Builder
 	b.WriteByte('{')
-	for i, a := range s.atoms {
+	for i, k := range s.Keys() {
 		if i > 0 {
 			b.WriteString(", ")
 		}
-		b.WriteString(a.Key())
+		b.WriteString(k)
 	}
 	b.WriteByte('}')
 	return b.String()
@@ -139,7 +229,7 @@ const (
 	fls   int8 = -1
 )
 
-// irule is a ground rule over integer atom ids.
+// irule is a ground rule over dense local atom indices.
 type irule struct {
 	head []int
 	pos  []int
@@ -151,10 +241,11 @@ type irule struct {
 }
 
 type solver struct {
-	opts  Options
-	atoms []ast.Atom
+	opts Options
+	// ids maps dense local indices back to interned atom IDs.
+	ids   []intern.AtomID
 	rules []irule
-	// occurrence lists: rule indices per atom id
+	// occurrence lists: rule indices per local atom index
 	occHead [][]int
 	occPos  [][]int
 	occNeg  [][]int
@@ -162,7 +253,8 @@ type solver struct {
 	assign []int8
 	trail  []int
 
-	certain []ast.Atom
+	tab     *intern.Table
+	certain []intern.AtomID
 	out     *Result
 }
 
@@ -172,43 +264,40 @@ func Solve(gp *ground.Program, opts Options) (*Result, error) {
 	if gp.Inconsistent {
 		return res, nil
 	}
-	if len(gp.Rules) == 0 {
-		res.Models = []*AnswerSet{NewAnswerSet(gp.Certain)}
+	tab, certainIDs, ruleIDs := idForm(gp)
+	if len(ruleIDs) == 0 {
+		ids := make([]intern.AtomID, len(certainIDs))
+		copy(ids, certainIDs)
+		res.Models = []*AnswerSet{FromIDs(tab, ids)}
 		res.Stats.FastPath = true
 		return res, nil
 	}
 
-	s := &solver{opts: opts, certain: gp.Certain, out: res}
-	id := make(map[string]int)
-	intern := func(a ast.Atom) int {
-		k := a.Key()
-		if i, ok := id[k]; ok {
+	s := &solver{opts: opts, tab: tab, certain: certainIDs, out: res}
+	local := make(map[intern.AtomID]int)
+	idx := func(id intern.AtomID) int {
+		if i, ok := local[id]; ok {
 			return i
 		}
-		i := len(s.atoms)
-		id[k] = i
-		s.atoms = append(s.atoms, a)
+		i := len(s.ids)
+		local[id] = i
+		s.ids = append(s.ids, id)
 		return i
 	}
-	for _, r := range gp.Rules {
+	for _, r := range ruleIDs {
 		ir := irule{choice: r.Choice, lo: r.Lower, hi: r.Upper}
 		for _, h := range r.Head {
-			ir.head = append(ir.head, intern(h))
+			ir.head = append(ir.head, idx(h))
 		}
-		for _, l := range r.Body {
-			if l.Kind != ast.AtomLiteral {
-				continue // comparisons were evaluated by the grounder
-			}
-			i := intern(l.Atom)
-			if l.Neg {
-				ir.neg = append(ir.neg, i)
-			} else {
-				ir.pos = append(ir.pos, i)
-			}
+		for _, a := range r.Pos {
+			ir.pos = append(ir.pos, idx(a))
+		}
+		for _, a := range r.Neg {
+			ir.neg = append(ir.neg, idx(a))
 		}
 		s.rules = append(s.rules, ir)
 	}
-	n := len(s.atoms)
+	n := len(s.ids)
 	s.occHead = make([][]int, n)
 	s.occPos = make([][]int, n)
 	s.occNeg = make([][]int, n)
@@ -226,6 +315,39 @@ func Solve(gp *ground.Program, opts Options) (*Result, error) {
 	s.assign = make([]int8, n)
 	s.search()
 	return res, nil
+}
+
+// idForm returns the ground program's interned form, interning it on the fly
+// for programs built without a table (hand-constructed in tests).
+func idForm(gp *ground.Program) (*intern.Table, []intern.AtomID, []ground.IRule) {
+	if gp.Table != nil && len(gp.RuleIDs) == len(gp.Rules) && len(gp.CertainIDs) == len(gp.Certain) {
+		return gp.Table, gp.CertainIDs, gp.RuleIDs
+	}
+	tab := intern.Default()
+	certain := make([]intern.AtomID, len(gp.Certain))
+	for i, a := range gp.Certain {
+		certain[i] = tab.InternAtom(a)
+	}
+	rules := make([]ground.IRule, len(gp.Rules))
+	for i, r := range gp.Rules {
+		ir := ground.IRule{Choice: r.Choice, Lower: r.Lower, Upper: r.Upper}
+		for _, h := range r.Head {
+			ir.Head = append(ir.Head, tab.InternAtom(h))
+		}
+		for _, l := range r.Body {
+			if l.Kind != ast.AtomLiteral {
+				continue // comparisons were evaluated by the grounder
+			}
+			id := tab.InternAtom(l.Atom)
+			if l.Neg {
+				ir.Neg = append(ir.Neg, id)
+			} else {
+				ir.Pos = append(ir.Pos, id)
+			}
+		}
+		rules[i] = ir
+	}
+	return tab, certain, rules
 }
 
 // set assigns a truth value, returns false on conflict with an existing
@@ -268,13 +390,13 @@ type ruleState struct {
 	bodySat    bool
 	bodyFalse  bool
 	undecided  int // count of undecided body literals
-	lastPos    int // atom id of an undecided positive literal (if any)
-	lastNeg    int // atom id of an undecided negative literal (if any)
+	lastPos    int // local index of an undecided positive literal (if any)
+	lastNeg    int // local index of an undecided negative literal (if any)
 	lastIsPos  bool
 	headTrue   int // count of true head atoms
 	headFalse  int // count of false head atoms
 	headUndef  int
-	lastHeadUn int // atom id of an undecided head atom (if any)
+	lastHeadUn int // local index of an undecided head atom (if any)
 }
 
 func (s *solver) state(r irule) ruleState {
@@ -393,7 +515,7 @@ func (s *solver) propagate() bool {
 		}
 		// Support propagation: an undecided or true atom with no rule able
 		// to support it must be false (true -> conflict).
-		for a := range s.atoms {
+		for a := range s.ids {
 			if s.assign[a] == fls {
 				continue
 			}
@@ -471,26 +593,24 @@ func (s *solver) search() {
 }
 
 func (s *solver) emitModel() {
-	atoms := make([]ast.Atom, 0, len(s.certain)+len(s.trail))
-	atoms = append(atoms, s.certain...)
-	for a := range s.atoms {
+	ids := make([]intern.AtomID, 0, len(s.certain)+len(s.trail))
+	ids = append(ids, s.certain...)
+	for a := range s.ids {
 		if s.assign[a] == tru {
-			atoms = append(atoms, s.atoms[a])
+			ids = append(ids, s.ids[a])
 		}
 	}
-	s.out.Models = append(s.out.Models, NewAnswerSet(atoms))
+	s.out.Models = append(s.out.Models, FromIDs(s.tab, ids))
 }
 
 // stable verifies the candidate total assignment against the reduct: the
 // true atoms must form a minimal model of the reduct of the residual rules.
 func (s *solver) stable() bool {
 	// Collect the candidate model over residual atoms.
-	model := make([]bool, len(s.atoms))
-	size := 0
-	for a := range s.atoms {
+	model := make([]bool, len(s.ids))
+	for a := range s.ids {
 		if s.assign[a] == tru {
 			model[a] = true
-			size++
 		}
 	}
 	// Build the reduct: drop rules with a true negative atom; drop negative
@@ -576,7 +696,7 @@ func (s *solver) stable() bool {
 
 	if !disjunctive {
 		// Normal program: compare against the least model of the reduct.
-		least := make([]bool, len(s.atoms))
+		least := make([]bool, len(s.ids))
 		for changed := true; changed; {
 			changed = false
 			for _, r := range reduct {

@@ -1,0 +1,82 @@
+package bench
+
+import (
+	"fmt"
+	"testing"
+
+	"streamrule/internal/asp/parser"
+	"streamrule/internal/core"
+	"streamrule/internal/rdf"
+	"streamrule/internal/reasoner"
+	"streamrule/internal/workload"
+)
+
+// windowProcessor is the shared surface of reasoner.R and reasoner.PR.
+type windowProcessor interface {
+	Process(window []rdf.Triple) (*reasoner.Output, error)
+}
+
+// BenchmarkWindowAllocs tracks the allocation footprint of the full
+// Convert -> Ground -> Solve window path, the metric the interned-atom-ID
+// refactor targets: with stores, indexes, and answer sets keyed by dense IDs
+// (and the interning table warm from prior windows), the steady-state window
+// should allocate an order of magnitude less than the string-keyed engine
+// did. Run with -benchmem, or rely on the ReportAllocs here, and compare
+// allocs/op across revisions.
+func BenchmarkWindowAllocs(b *testing.B) {
+	prog, err := parser.Parse(ProgramP)
+	if err != nil {
+		b.Fatal(err)
+	}
+	cfg := reasoner.Config{Program: prog, Inpre: Inpre, OutputPreds: Outputs}
+
+	newR := func(b *testing.B) windowProcessor {
+		r, err := reasoner.NewR(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		return r
+	}
+	newDep := func(b *testing.B) windowProcessor {
+		a, err := core.Analyze(prog, Inpre, 1.0)
+		if err != nil {
+			b.Fatal(err)
+		}
+		pr, err := reasoner.NewPR(cfg, reasoner.NewPlanPartitioner(a.Plan))
+		if err != nil {
+			b.Fatal(err)
+		}
+		return pr
+	}
+
+	for _, v := range []struct {
+		name  string
+		build func(b *testing.B) windowProcessor
+	}{
+		{"R", newR},
+		{"PR_Dep", newDep},
+	} {
+		for _, size := range []int{1000, 5000} {
+			b.Run(fmt.Sprintf("%s/w%d", v.name, size), func(b *testing.B) {
+				b.ReportAllocs()
+				gen, err := workload.NewGenerator(int64(size), workload.PaperTraffic())
+				if err != nil {
+					b.Fatal(err)
+				}
+				window := gen.Window(size)
+				sys := v.build(b)
+				// Warm the interning table and scratch stores: steady-state
+				// windows, not the first ever seen, are the hot path.
+				if _, err := sys.Process(window); err != nil {
+					b.Fatal(err)
+				}
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					if _, err := sys.Process(window); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+		}
+	}
+}

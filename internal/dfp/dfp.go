@@ -11,6 +11,7 @@ import (
 	"strconv"
 
 	"streamrule/internal/asp/ast"
+	"streamrule/internal/asp/intern"
 	"streamrule/internal/rdf"
 )
 
@@ -90,6 +91,77 @@ func ToFacts(window []rdf.Triple, ar Arities) (facts []ast.Atom, skipped int) {
 		}
 	}
 	return facts, skipped
+}
+
+// nodeCode encodes an RDF node as a term code with exactly the semantics of
+// term: decimal integers (including '+'-signed and out-of-inline-range ones)
+// become number terms, everything else an interned symbol.
+func nodeCode(tab *intern.Table, s string) intern.Code {
+	if len(s) > 0 && (s[0] == '-' || s[0] == '+' || (s[0] >= '0' && s[0] <= '9')) {
+		if n, err := strconv.ParseInt(s, 10, 64); err == nil {
+			if c, ok := intern.CodeNum(n); ok {
+				return c
+			}
+			// Outside the inline range: intern the number term itself so the
+			// atom coincides with the one ToFacts would produce.
+			c, _ := tab.CodeOf(ast.Num(n))
+			return c
+		}
+	}
+	return intern.CodeSym(tab.Sym(s))
+}
+
+// InternFacts converts a window of triples straight to interned ground-atom
+// IDs, appending to dst (pass nil, or a reused buffer, to avoid the
+// allocation). Triples whose predicate is not in the arity map are skipped
+// and counted, exactly as in ToFacts. In the steady state of a sliding
+// window — where most triples repeat atoms already interned — this performs
+// no allocation at all.
+func InternFacts(tab *intern.Table, window []rdf.Triple, ar Arities, dst []intern.AtomID) (ids []intern.AtomID, skipped int) {
+	ids = dst
+	// The arity map is tiny; cache the interned predicates per call so each
+	// triple costs map probes on ints, not strings.
+	type predEntry struct {
+		pid   intern.PredID
+		arity int
+	}
+	var cache [8]struct {
+		name string
+		predEntry
+	}
+	n := 0
+	lookup := func(name string) (predEntry, bool) {
+		for i := 0; i < n; i++ {
+			if cache[i].name == name {
+				return cache[i].predEntry, true
+			}
+		}
+		arity, ok := ar[name]
+		if !ok || (arity != 1 && arity != 2) {
+			return predEntry{}, false
+		}
+		e := predEntry{pid: tab.Pred(name, arity), arity: arity}
+		if n < len(cache) {
+			cache[n].name = name
+			cache[n].predEntry = e
+			n++
+		}
+		return e, true
+	}
+	for _, t := range window {
+		e, ok := lookup(t.P)
+		if !ok {
+			skipped++
+			continue
+		}
+		switch e.arity {
+		case 1:
+			ids = append(ids, tab.InternAtom1(e.pid, nodeCode(tab, t.S)))
+		case 2:
+			ids = append(ids, tab.InternAtom2(e.pid, nodeCode(tab, t.S), nodeCode(tab, t.O)))
+		}
+	}
+	return ids, skipped
 }
 
 // FromAtoms converts derived atoms back into triples for the output stream:

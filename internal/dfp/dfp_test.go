@@ -4,6 +4,7 @@ import (
 	"testing"
 
 	"streamrule/internal/asp/ast"
+	"streamrule/internal/asp/intern"
 	"streamrule/internal/asp/parser"
 	"streamrule/internal/rdf"
 )
@@ -140,5 +141,39 @@ func TestRoundTripWindow(t *testing.T) {
 		if back[i] != window[i] {
 			t.Errorf("round trip %d: %v vs %v", i, back[i], window[i])
 		}
+	}
+}
+
+func TestInternFactsMatchesToFacts(t *testing.T) {
+	tab := intern.NewTable()
+	ar := Arities{"p": 2, "q": 1}
+	window := []rdf.Triple{
+		{S: "a", P: "p", O: "5"},
+		{S: "a", P: "p", O: "+5"},                   // '+'-signed decimal is numeric
+		{S: "b", P: "p", O: "4611686018427387905"},  // 2^62+1: outside the inline code range
+		{S: "c", P: "p", O: "-9223372036854775808"}, // int64 min
+		{S: "007", P: "q", O: ""},                   // leading zeros normalize
+		{S: "12x", P: "q", O: ""},                   // not a number: symbol
+		{S: "x", P: "unknown", O: "y"},              // skipped
+	}
+	ids, skipped := InternFacts(tab, window, ar, nil)
+	atoms, skippedRef := ToFacts(window, ar)
+	if skipped != skippedRef {
+		t.Fatalf("skipped = %d, want %d", skipped, skippedRef)
+	}
+	if len(ids) != len(atoms) {
+		t.Fatalf("ids = %d, atoms = %d", len(ids), len(atoms))
+	}
+	for i, a := range atoms {
+		// Interning the ToFacts atom must land on the ID InternFacts chose:
+		// the two conversion paths agree on every encoding edge case.
+		if want := tab.InternAtom(a); ids[i] != want {
+			t.Errorf("triple %d: InternFacts id %d materializes %s, ToFacts atom %s interns to %d",
+				i, ids[i], tab.Atom(ids[i]), a, want)
+		}
+	}
+	// "+5" and "5" must coincide, as they do under ToFacts.
+	if ids[0] != ids[1] {
+		t.Errorf("p(a,5) and p(a,+5) interned to %d and %d", ids[0], ids[1])
 	}
 }

@@ -1,0 +1,119 @@
+package reasoner
+
+import (
+	"testing"
+
+	"streamrule/internal/asp/ast"
+	"streamrule/internal/asp/solve"
+	"streamrule/internal/rdf"
+)
+
+func mkAns(names ...string) *solve.AnswerSet {
+	var atoms []ast.Atom
+	for _, n := range names {
+		atoms = append(atoms, ast.NewAtom(n))
+	}
+	return solve.NewAnswerSet(atoms)
+}
+
+func TestCombineEmptyPartitionList(t *testing.T) {
+	if got := Combine(nil, 64); got != nil {
+		t.Errorf("Combine(nil) = %v, want nil", got)
+	}
+	if got := Combine([][]*solve.AnswerSet{}, 64); got != nil {
+		t.Errorf("Combine(empty) = %v, want nil", got)
+	}
+}
+
+func TestCombineCapHit(t *testing.T) {
+	// 3 x 3 distinct singleton answers: 9 combinations, capped at 4. The
+	// sets are pairwise distinct, so the cap must bite exactly.
+	got := Combine([][]*solve.AnswerSet{
+		{mkAns("a1"), mkAns("a2"), mkAns("a3")},
+		{mkAns("b1"), mkAns("b2"), mkAns("b3")},
+	}, 4)
+	if len(got) != 4 {
+		t.Fatalf("capped combinations = %d, want exactly 4", len(got))
+	}
+	seen := map[string]bool{}
+	for _, c := range got {
+		if c.Len() != 2 {
+			t.Errorf("combination %v should union one answer per partition", c)
+		}
+		if sig := c.String(); seen[sig] {
+			t.Errorf("duplicate combination %s", sig)
+		} else {
+			seen[sig] = true
+		}
+	}
+	// A cap of 1 keeps only the first combination.
+	if got := Combine([][]*solve.AnswerSet{{mkAns("a")}, {mkAns("b"), mkAns("c")}}, 1); len(got) != 1 {
+		t.Errorf("cap 1 yielded %d combinations", len(got))
+	}
+}
+
+func TestCombineDuplicatesAcrossPartitions(t *testing.T) {
+	// Identical answer sets in different partitions: all unions coincide.
+	got := Combine([][]*solve.AnswerSet{{mkAns("x")}, {mkAns("x")}}, 64)
+	if len(got) != 1 {
+		t.Fatalf("combinations = %d, want 1", len(got))
+	}
+	if got[0].Len() != 1 || !got[0].Contains("x") {
+		t.Errorf("combined = %v, want {x}", got[0])
+	}
+
+	// Overlapping answers across partitions: {a,a}={a}, {a,b}, {b,a}={a,b},
+	// {b,b}={b} — union symmetry collapses the cross product from 4 to 3.
+	got = Combine([][]*solve.AnswerSet{
+		{mkAns("a"), mkAns("b")},
+		{mkAns("a"), mkAns("b")},
+	}, 64)
+	if len(got) != 3 {
+		t.Fatalf("combinations = %d, want 3 after union dedup", len(got))
+	}
+}
+
+func TestDuplicationShareFormula(t *testing.T) {
+	// 100-item window, 10 items skipped (no input predicate), the remaining
+	// 90 routed with 30 duplicated copies: share = 30/120.
+	out := &Output{RoutedItems: 120, Skipped: 10}
+	if got, want := out.DuplicationShare(100), 0.25; got != want {
+		t.Errorf("share = %v, want %v", got, want)
+	}
+	// No duplication: routed = window - skipped.
+	out = &Output{RoutedItems: 90, Skipped: 10}
+	if got := out.DuplicationShare(100); got != 0 {
+		t.Errorf("share = %v, want 0", got)
+	}
+	// Nothing routed at all (every item skipped): no division by zero.
+	out = &Output{RoutedItems: 0, Skipped: 100}
+	if got := out.DuplicationShare(100); got != 0 {
+		t.Errorf("share = %v, want 0", got)
+	}
+}
+
+func TestDuplicationShareWithSkippedItems(t *testing.T) {
+	// End-to-end: a window containing triples of an unknown predicate. The
+	// skipped items must not count as duplicated copies, so a plan without
+	// duplication reports share 0 even with skips present.
+	cfg := configFor(t, programP)
+	pr, err := NewPR(cfg, NewPlanPartitioner(planFor(t, programP)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	window := append([]rdf.Triple(nil), paperWindow...)
+	window = append(window,
+		rdf.Triple{S: "x1", P: "unrelated_pred", O: "y1"},
+		rdf.Triple{S: "x2", P: "unrelated_pred", O: "y2"},
+	)
+	out, err := pr.Process(window)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Skipped != 2 {
+		t.Fatalf("skipped = %d, want 2", out.Skipped)
+	}
+	if share := out.DuplicationShare(len(window)); share != 0 {
+		t.Errorf("program P has a disconnected input graph: share = %v, want 0", share)
+	}
+}

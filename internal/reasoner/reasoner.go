@@ -6,6 +6,7 @@
 package reasoner
 
 import (
+	"encoding/binary"
 	"fmt"
 	"runtime"
 	"sync"
@@ -13,6 +14,7 @@ import (
 
 	"streamrule/internal/asp/ast"
 	"streamrule/internal/asp/ground"
+	"streamrule/internal/asp/intern"
 	"streamrule/internal/asp/solve"
 	"streamrule/internal/dfp"
 	"streamrule/internal/rdf"
@@ -96,11 +98,21 @@ func (o *Output) DuplicationShare(windowSize int) float64 {
 
 // R is the baseline reasoner: it processes the entire input window with one
 // grounder+solver invocation (the reasoner R of the paper).
+//
+// An R owns a reusable grounding instantiator and fact buffer: per-window
+// scratch tables are reset, not reallocated, since sliding windows overlap
+// heavily. A single R must therefore not process windows concurrently; the
+// parallel reasoner PR gives every partition its own copy (all sharing one
+// interning table, which is concurrency-safe).
 type R struct {
 	cfg     Config
 	arities dfp.Arities
-	inpre   map[string]bool
-	outputs map[string]bool
+	inpre   map[intern.SymID]bool
+	outputs map[intern.SymID]bool
+
+	tab     *intern.Table
+	inst    *ground.Instantiator
+	factbuf []intern.AtomID // reusable fact-ID buffer
 }
 
 // NewR builds a reasoner for the program, inferring input arities when not
@@ -120,18 +132,23 @@ func NewR(cfg Config) (*R, error) {
 			return nil, err
 		}
 	}
-	inpre := make(map[string]bool, len(cfg.Inpre))
-	for _, p := range cfg.Inpre {
-		inpre[p] = true
+	inst, err := ground.NewInstantiator(cfg.Program, cfg.GroundOpts)
+	if err != nil {
+		return nil, fmt.Errorf("grounding: %w", err)
 	}
-	var outputs map[string]bool
+	tab := inst.Table()
+	inpre := make(map[intern.SymID]bool, len(cfg.Inpre))
+	for _, p := range cfg.Inpre {
+		inpre[tab.Sym(p)] = true
+	}
+	var outputs map[intern.SymID]bool
 	if len(cfg.OutputPreds) > 0 {
-		outputs = make(map[string]bool, len(cfg.OutputPreds))
+		outputs = make(map[intern.SymID]bool, len(cfg.OutputPreds))
 		for _, p := range cfg.OutputPreds {
-			outputs[p] = true
+			outputs[tab.Sym(p)] = true
 		}
 	}
-	return &R{cfg: cfg, arities: ar, inpre: inpre, outputs: outputs}, nil
+	return &R{cfg: cfg, arities: ar, inpre: inpre, outputs: outputs, tab: tab, inst: inst}, nil
 }
 
 // Process runs the reasoner on one window.
@@ -140,12 +157,13 @@ func (r *R) Process(window []rdf.Triple) (*Output, error) {
 	out := &Output{}
 
 	t0 := time.Now()
-	facts, skipped := dfp.ToFacts(window, r.arities)
+	factIDs, skipped := dfp.InternFacts(r.tab, window, r.arities, r.factbuf[:0])
+	r.factbuf = factIDs
 	out.Skipped = skipped
 	out.Latency.Convert = time.Since(t0)
 
 	t0 = time.Now()
-	gp, err := ground.Ground(r.cfg.Program, facts, r.cfg.GroundOpts)
+	gp, err := r.inst.Ground(factIDs)
 	if err != nil {
 		return nil, fmt.Errorf("grounding: %w", err)
 	}
@@ -170,27 +188,27 @@ func (r *R) Process(window []rdf.Triple) (*Output, error) {
 }
 
 // filter projects an answer set to the configured output predicates, or to
-// all derived (non-input) atoms by default.
+// all derived (non-input) atoms by default. The projection runs on interned
+// IDs; no atom is materialized.
 func (r *R) filter(m *solve.AnswerSet) *solve.AnswerSet {
-	if r.outputs != nil {
-		kept := make([]ast.Atom, 0, m.Len())
-		for _, a := range m.Atoms() {
-			if r.outputs[a.Pred] {
-				kept = append(kept, a)
-			}
+	keep := func(id intern.AtomID) bool {
+		sym := r.tab.PredNameSym(r.tab.AtomPred(id))
+		if r.outputs != nil {
+			return r.outputs[sym]
 		}
-		return solve.NewAnswerSet(kept)
+		return !r.inpre[sym]
 	}
-	if r.cfg.IncludeInputFacts {
+	if r.outputs == nil && r.cfg.IncludeInputFacts {
 		return m
 	}
-	derived := make([]ast.Atom, 0, m.Len())
-	for _, a := range m.Atoms() {
-		if !r.inpre[a.Pred] {
-			derived = append(derived, a)
+	ids := m.IDs()
+	kept := make([]intern.AtomID, 0, len(ids))
+	for _, id := range ids {
+		if keep(id) {
+			kept = append(kept, id)
 		}
 	}
-	return solve.NewAnswerSet(derived)
+	return solve.FromIDs(r.tab, kept)
 }
 
 // PR is the parallel reasoner of the extended StreamRule framework: a
@@ -346,13 +364,24 @@ func Combine(perPartition [][]*solve.AnswerSet, max int) []*solve.AnswerSet {
 		}
 		combos = next
 	}
-	// Deduplicate by key signature.
-	seen := make(map[string]bool, len(combos))
+	// Deduplicate by a compact binary signature over the sorted interned
+	// IDs — no atom is rendered to text. The table pointer is part of the
+	// key so IDs from different interning tables are never conflated.
+	type sigKey struct {
+		tab *intern.Table
+		sig string
+	}
+	seen := make(map[sigKey]bool, len(combos))
 	out := combos[:0]
+	var buf []byte
 	for _, c := range combos {
-		sig := c.String()
-		if !seen[sig] {
-			seen[sig] = true
+		buf = buf[:0]
+		for _, id := range c.IDs() {
+			buf = binary.AppendUvarint(buf, uint64(id))
+		}
+		k := sigKey{tab: c.Table(), sig: string(buf)}
+		if !seen[k] {
+			seen[k] = true
 			out = append(out, c)
 		}
 	}
