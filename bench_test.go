@@ -141,6 +141,91 @@ func BenchmarkFig9(b *testing.B) { benchLatencyFigure(b, bench.ProgramPPrime) }
 // BenchmarkFig10 reproduces Figure 10: answer accuracy on program P'.
 func BenchmarkFig10(b *testing.B) { benchAccuracyFigure(b, bench.ProgramPPrime) }
 
+// BenchmarkFig7Sliding measures the latency lever this repository adds on
+// top of the paper: with sliding windows at Step = Size/5, consecutive
+// windows share 80% of their items, and the incremental grounding path
+// maintains the previous window's grounding under the delta instead of
+// re-grounding from scratch. The "scratch" variant is the paper's R
+// (re-ground every window); "incremental" is R fed the windower's deltas.
+// Both process the identical window sequence; compare cp-ms.
+func BenchmarkFig7Sliding(b *testing.B) {
+	prog, err := parser.Parse(bench.ProgramP)
+	if err != nil {
+		b.Fatal(err)
+	}
+	cfg := reasoner.Config{Program: prog, Inpre: bench.Inpre, OutputPreds: bench.Outputs}
+	for _, size := range []int{5000, 10000} {
+		step := size / 5
+		gen, err := workload.NewGenerator(int64(size), workload.PaperTraffic())
+		if err != nil {
+			b.Fatal(err)
+		}
+		// Precompute ~40 sliding emissions over one long stream.
+		stream := gen.Window(size + step*40)
+		type emission struct {
+			window, added, retracted []Triple
+			incremental              bool
+		}
+		var emissions []emission
+		for at := 0; at+size <= len(stream); at += step {
+			e := emission{window: stream[at : at+size]}
+			if at > 0 {
+				e.incremental = true
+				e.added = stream[at+size-step : at+size]
+				e.retracted = stream[at-step : at]
+			}
+			emissions = append(emissions, e)
+		}
+		for _, variant := range []string{"scratch", "incremental"} {
+			b.Run(fmt.Sprintf("R/%s/w%dk", variant, size/1000), func(b *testing.B) {
+				b.ReportAllocs()
+				r, err := reasoner.NewR(cfg)
+				if err != nil {
+					b.Fatal(err)
+				}
+				process := func(e emission) (*reasoner.Output, error) {
+					if variant == "scratch" {
+						return r.Process(e.window)
+					}
+					var d *reasoner.Delta
+					if e.incremental {
+						d = &reasoner.Delta{Added: e.added, Retracted: e.retracted}
+					}
+					return r.ProcessDelta(e.window, d)
+				}
+				// Warm both variants to the steady state (first windows
+				// seed interning tables and, for incremental, supports).
+				for _, e := range emissions[:3] {
+					if _, err := process(e); err != nil {
+						b.Fatal(err)
+					}
+				}
+				b.ResetTimer()
+				var cpTotal float64
+				incWindows := 0
+				for i := 0; i < b.N; i++ {
+					e := emissions[3+i%(len(emissions)-3)]
+					if i%(len(emissions)-3) == 0 && i > 0 {
+						// The cycle wrapped: the stored delta does not
+						// relate this window to the previous one.
+						e.incremental = false
+					}
+					out, err := process(e)
+					if err != nil {
+						b.Fatal(err)
+					}
+					cpTotal += float64(out.Latency.CriticalPath.Microseconds()) / 1000
+					if out.Incremental {
+						incWindows++
+					}
+				}
+				b.ReportMetric(cpTotal/float64(b.N), "cp-ms")
+				b.ReportMetric(float64(incWindows)/float64(b.N), "inc-share")
+			})
+		}
+	}
+}
+
 // BenchmarkGroundIndex is the grounder ablation: per-argument indexes on
 // (the default) versus full-scan joins.
 func BenchmarkGroundIndex(b *testing.B) {

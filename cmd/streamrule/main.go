@@ -42,6 +42,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 	mode := fs.String("mode", "PR", "reasoner: R (whole window) or PR (dependency-partitioned)")
 	atom := fs.Int("atom", 0, "with -mode PR: atom-level fan-out per splittable community (0 = predicate level)")
 	window := fs.Int("window", 5000, "tuple-based window size")
+	step := fs.Int("step", 0, "sliding step (< window makes the count window sliding; the engine then grounds incrementally)")
 	windows := fs.Int("windows", 4, "number of synthetic windows to stream (with the generator)")
 	seed := fs.Int64("seed", 1, "synthetic workload seed")
 	rate := fs.Int("rate", 0, "stream rate in triples/second (0 = unpaced)")
@@ -130,13 +131,18 @@ func run(args []string, stdout, stderr io.Writer) int {
 		Rate:       *rate,
 		Filter:     streamrule.PredicateFilter(preds...),
 		WindowSize: *window,
+		WindowStep: *step,
 		Reasoner:   eng,
 	}
 	n := 0
 	err = pl.Run(context.Background(), func(win []streamrule.Triple, out *streamrule.Output) error {
 		n++
-		fmt.Fprintf(stdout, "window %d: %d items -> %d answer(s), latency total=%v critical-path=%v (convert=%v ground=%v solve=%v partition=%v combine=%v)\n",
-			n, len(win), len(out.Answers), out.Latency.Total, out.Latency.CriticalPath,
+		ground := "scratch"
+		if out.Incremental {
+			ground = "incremental"
+		}
+		fmt.Fprintf(stdout, "window %d: %d items -> %d answer(s), %s grounding, latency total=%v critical-path=%v (convert=%v ground=%v solve=%v partition=%v combine=%v)\n",
+			n, len(win), len(out.Answers), ground, out.Latency.Total, out.Latency.CriticalPath,
 			out.Latency.Convert, out.Latency.Ground, out.Latency.Solve,
 			out.Latency.Partition, out.Latency.Combine)
 		for i, ans := range out.Answers {

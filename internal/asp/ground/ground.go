@@ -100,6 +100,40 @@ func (e *ErrAtomLimit) Error() string {
 	return fmt.Sprintf("grounding exceeded the configured limit of %d atoms", e.Limit)
 }
 
+// bucketArena pools the []int32 index buckets freed when a store's maps are
+// cleared (per-window resets, tombstone compaction), so the steady state of a
+// long-lived instantiator re-seeds its indexes without reallocating buckets.
+type bucketArena struct {
+	free [][]int32
+}
+
+// put returns a bucket to the pool. Tiny buckets are not worth tracking.
+func (a *bucketArena) put(b []int32) {
+	if a == nil || cap(b) < 4 {
+		return
+	}
+	a.free = append(a.free, b[:0])
+}
+
+// get returns an empty bucket with whatever capacity the pool has spare.
+func (a *bucketArena) get() []int32 {
+	if a == nil || len(a.free) == 0 {
+		return nil
+	}
+	b := a.free[len(a.free)-1]
+	a.free = a.free[:len(a.free)-1]
+	return b
+}
+
+// Per-update transition marks of incremental maintenance. An atom touched
+// during an update records its pre-update liveness on first touch, so the net
+// transition (fresh, dead, or no change) can be read off at any later point
+// of the same update.
+const (
+	markTouched uint8 = 1 << iota
+	markPreLive
+)
+
 // predStore holds the ground atoms of one predicate together with optional
 // per-argument-position indexes. Atoms are identified by interned IDs; the
 // materialized forms are kept alongside for variable unification during
@@ -109,16 +143,31 @@ type predStore struct {
 	ids   []intern.AtomID
 	atoms []ast.Atom
 	pos   map[intern.AtomID]int32
-	// certain marks atoms proven unconditionally true.
+	// certain marks atoms proven unconditionally true. In incremental mode
+	// it doubles as the liveness flag: stored atoms that are no longer
+	// derivable keep their position as dead tombstones (certain == false)
+	// until compaction.
 	certain []bool
 	index   []map[intern.Code][]int32 // index[pos][argCode] -> atom positions
 	// uncertain counts atoms currently stored as possible-but-not-certain;
 	// aggregates require it to be zero for their condition predicates.
 	uncertain int
+
+	arena *bucketArena // shared index-bucket pool (nil disables pooling)
+
+	// Incremental-maintenance state, allocated only when the owning
+	// instantiator runs in incremental mode; the slices stay aligned with
+	// atoms. An atom is live iff support > 0 or edbRef > 0.
+	inc     bool
+	support []int32 // number of rule derivations currently deriving the atom
+	edbRef  []int32 // external references (window facts, program facts)
+	marks   []uint8 // per-update transition marks
+	touched []int32 // positions marked during the current update
+	liveCnt int     // number of live atoms
 }
 
-func newPredStore(arity int, indexed bool) *predStore {
-	st := &predStore{arity: arity, pos: make(map[intern.AtomID]int32)}
+func newPredStore(arity int, indexed bool, arena *bucketArena) *predStore {
+	st := &predStore{arity: arity, pos: make(map[intern.AtomID]int32), arena: arena}
 	if indexed && arity > 0 {
 		st.index = make([]map[intern.Code][]int32, arity)
 		for i := range st.index {
@@ -129,7 +178,7 @@ func newPredStore(arity int, indexed bool) *predStore {
 }
 
 // reset clears the store contents while keeping allocated capacity for the
-// next window.
+// next window. Freed index buckets are returned to the arena.
 func (st *predStore) reset() {
 	st.ids = st.ids[:0]
 	st.atoms = st.atoms[:0]
@@ -137,8 +186,16 @@ func (st *predStore) reset() {
 	st.uncertain = 0
 	clear(st.pos)
 	for _, m := range st.index {
-		clear(m)
+		for k, b := range m {
+			st.arena.put(b)
+			delete(m, k)
+		}
 	}
+	st.support = st.support[:0]
+	st.edbRef = st.edbRef[:0]
+	st.marks = st.marks[:0]
+	st.touched = st.touched[:0]
+	st.liveCnt = 0
 }
 
 // add inserts the ground atom, returning its position, whether it is new,
@@ -147,7 +204,9 @@ func (st *predStore) add(id intern.AtomID, a ast.Atom, codes []intern.Code, cert
 	if i, ok := st.pos[id]; ok {
 		if certain && !st.certain[i] {
 			st.certain[i] = true
-			st.uncertain--
+			if !st.inc {
+				st.uncertain--
+			}
 			return i, false, true
 		}
 		return i, false, false
@@ -156,14 +215,128 @@ func (st *predStore) add(id intern.AtomID, a ast.Atom, codes []intern.Code, cert
 	st.ids = append(st.ids, id)
 	st.atoms = append(st.atoms, a)
 	st.certain = append(st.certain, certain)
-	if !certain {
+	if !certain && !st.inc {
 		st.uncertain++
 	}
 	st.pos[id] = i
 	for p := range st.index {
-		st.index[p][codes[p]] = append(st.index[p][codes[p]], i)
+		b, ok := st.index[p][codes[p]]
+		if !ok {
+			b = st.arena.get()
+		}
+		st.index[p][codes[p]] = append(b, i)
+	}
+	if st.inc {
+		st.support = append(st.support, 0)
+		st.edbRef = append(st.edbRef, 0)
+		st.marks = append(st.marks, 0)
 	}
 	return i, true, false
+}
+
+// touchIfFirst records the atom's pre-update liveness on its first touch of
+// the current update.
+func (st *predStore) touchIfFirst(pos int32) {
+	if st.marks[pos]&markTouched != 0 {
+		return
+	}
+	m := markTouched
+	if st.certain[pos] {
+		m |= markPreLive
+	}
+	st.marks[pos] = m
+	st.touched = append(st.touched, pos)
+}
+
+// preLive reports whether the atom was live at the start of the current
+// update (the OLD view of incremental delta joins).
+func (st *predStore) preLive(pos int32) bool {
+	if st.marks[pos]&markTouched != 0 {
+		return st.marks[pos]&markPreLive != 0
+	}
+	return st.certain[pos]
+}
+
+// netDelta appends the store positions of atoms whose liveness changed over
+// the current update to fresh (dead -> live) and dead (live -> dead).
+func (st *predStore) netDelta(fresh, dead []int32) (f, d []int32) {
+	for _, pos := range st.touched {
+		pre := st.marks[pos]&markPreLive != 0
+		if pre == st.certain[pos] {
+			continue
+		}
+		if st.certain[pos] {
+			fresh = append(fresh, pos)
+		} else {
+			dead = append(dead, pos)
+		}
+	}
+	return fresh, dead
+}
+
+// hasNetDelta reports whether any atom's liveness changed this update.
+func (st *predStore) hasNetDelta() bool {
+	for _, pos := range st.touched {
+		if (st.marks[pos]&markPreLive != 0) != st.certain[pos] {
+			return true
+		}
+	}
+	return false
+}
+
+// clearMarks resets the per-update transition marks.
+func (st *predStore) clearMarks() {
+	for _, pos := range st.touched {
+		st.marks[pos] = 0
+	}
+	st.touched = st.touched[:0]
+}
+
+// compact drops dead tombstones once they outnumber the live atoms,
+// rebuilding the position map and indexes. Positions are only stable within
+// one update, so compaction runs between updates (after marks are cleared).
+func (st *predStore) compact(tab *intern.Table) {
+	dead := len(st.atoms) - st.liveCnt
+	if dead <= 64 || dead <= st.liveCnt {
+		return
+	}
+	w := int32(0)
+	clear(st.pos)
+	for _, m := range st.index {
+		for k, b := range m {
+			st.arena.put(b)
+			delete(m, k)
+		}
+	}
+	for r := range st.atoms {
+		if !st.certain[r] {
+			continue
+		}
+		st.ids[w] = st.ids[r]
+		st.atoms[w] = st.atoms[r]
+		st.certain[w] = true
+		st.support[w] = st.support[r]
+		st.edbRef[w] = st.edbRef[r]
+		st.marks[w] = 0
+		st.pos[st.ids[w]] = w
+		if st.index != nil {
+			codes := tab.ArgCodes(st.ids[w])
+			for p := range st.index {
+				b, ok := st.index[p][codes[p]]
+				if !ok {
+					b = st.arena.get()
+				}
+				st.index[p][codes[p]] = append(b, w)
+			}
+		}
+		w++
+	}
+	st.ids = st.ids[:w]
+	st.atoms = st.atoms[:w]
+	st.certain = st.certain[:w]
+	st.support = st.support[:w]
+	st.edbRef = st.edbRef[:w]
+	st.marks = st.marks[:w]
 }
 
 // lookup finds the store position of an interned atom.
@@ -220,11 +393,23 @@ type recRule struct {
 	occ  []int
 }
 
+// predArity pairs a predicate with its arity (for store creation).
+type predArity struct {
+	pid   intern.PredID
+	arity int
+}
+
 // compPlan is the precompiled evaluation plan of one strongly connected
-// component: its rules and the recursive ones among them.
+// component: its rules and the recursive ones among them. For incremental
+// maintenance it also records the distinct head and body predicates.
 type compPlan struct {
 	rules []ast.Rule
 	rec   []recRule
+	// headPreds / bodyPreds are filled only for incremental-eligible
+	// programs: the distinct predicates of the component's rule heads, and
+	// of all (positive and negative) body literals.
+	headPreds []predArity
+	bodyPreds []intern.PredID
 }
 
 // Instantiator is a reusable grounder for a fixed program: the dependency
@@ -250,6 +435,14 @@ type Instantiator struct {
 	sigBuf   []byte
 	keybuf   []string
 	totalCap int
+	arena    bucketArena
+
+	// Incremental maintenance (see incremental.go). incEligible is decided
+	// statically at construction; inc holds the live support-counting state
+	// once GroundIncremental has seeded it.
+	incEligible    bool
+	constraintDeps [][]intern.PredID
+	inc            *incState
 }
 
 // NewInstantiator analyzes the program (safety, dependency components,
@@ -384,7 +577,75 @@ func NewInstantiator(p *ast.Program, opts Options) (*Instantiator, error) {
 			}
 		}
 	}
+	inst.analyzeIncremental(rest)
 	return inst, nil
+}
+
+// analyzeIncremental decides static eligibility for incremental maintenance
+// and precomputes the per-component predicate metadata the Update path needs.
+// Eligible programs ground to a fully evaluated (rule-free) program on every
+// input: stratified negation, no choice rules, no disjunctive heads, no
+// aggregates. Anything else falls back to from-scratch grounding.
+func (inst *Instantiator) analyzeIncremental(rules []ast.Rule) {
+	pid := func(a ast.Atom) intern.PredID { return inst.tab.Pred(a.Pred, len(a.Args)) }
+	for _, r := range rules {
+		if r.Choice || len(r.Head) > 1 {
+			return
+		}
+		for _, l := range r.Body {
+			if l.Kind == ast.AggLiteral {
+				return
+			}
+			if l.Kind == ast.AtomLiteral && l.Neg && len(r.Head) == 1 {
+				// Stratification: a negated predicate must live in a
+				// strictly lower component than the rule head.
+				nc, declared := inst.compOf[pid(l.Atom)]
+				if declared && nc >= inst.compOf[pid(r.Head[0])] {
+					return
+				}
+			}
+		}
+	}
+	// Per-component head/body predicate sets.
+	for ci := range inst.plans {
+		plan := &inst.plans[ci]
+		seenHead := make(map[intern.PredID]bool)
+		seenBody := make(map[intern.PredID]bool)
+		for _, r := range plan.rules {
+			for _, h := range r.Head {
+				p := pid(h)
+				if !seenHead[p] {
+					seenHead[p] = true
+					plan.headPreds = append(plan.headPreds, predArity{p, len(h.Args)})
+				}
+			}
+			for _, l := range r.Body {
+				if l.Kind != ast.AtomLiteral {
+					continue
+				}
+				p := pid(l.Atom)
+				if !seenBody[p] {
+					seenBody[p] = true
+					plan.bodyPreds = append(plan.bodyPreds, p)
+				}
+			}
+		}
+	}
+	inst.constraintDeps = make([][]intern.PredID, len(inst.constraints))
+	for k, r := range inst.constraints {
+		seenBody := make(map[intern.PredID]bool)
+		for _, l := range r.Body {
+			if l.Kind != ast.AtomLiteral {
+				continue
+			}
+			p := pid(l.Atom)
+			if !seenBody[p] {
+				seenBody[p] = true
+				inst.constraintDeps[k] = append(inst.constraintDeps[k], p)
+			}
+		}
+	}
+	inst.incEligible = true
 }
 
 // Table returns the interning table the instantiator grounds into.
@@ -404,10 +665,22 @@ func (inst *Instantiator) InternFacts(facts []ast.Atom) ([]intern.AtomID, error)
 }
 
 // Ground instantiates the program against one window of input facts (given
-// as interned atom IDs), reusing the instantiator's scratch stores.
+// as interned atom IDs), reusing the instantiator's scratch stores. A plain
+// Ground invalidates any incremental state a prior GroundIncremental seeded.
 func (inst *Instantiator) Ground(factIDs []intern.AtomID) (*Program, error) {
+	if inst.inc != nil {
+		inst.inc.ready = false
+	}
+	return inst.ground(factIDs, false)
+}
+
+// ground is the shared from-scratch grounding core. With counting set it
+// additionally seeds the support counts, EDB references, and constraint
+// violation tallies that Update maintains incrementally.
+func (inst *Instantiator) ground(factIDs []intern.AtomID, counting bool) (*Program, error) {
 	for _, st := range inst.stores {
 		if st != nil {
+			st.inc = counting
 			st.reset()
 		}
 	}
@@ -416,12 +689,28 @@ func (inst *Instantiator) Ground(factIDs []intern.AtomID) (*Program, error) {
 		Instantiator: inst,
 		out:          &Program{Table: inst.tab},
 		deltaOcc:     -1,
+		counting:     counting,
 	}
 
-	for _, seed := range [2][]intern.AtomID{factIDs, inst.progFacts} {
+	for si, seed := range [2][]intern.AtomID{factIDs, inst.progFacts} {
+		isWindow := si == 0
 		for _, id := range seed {
 			a := inst.tab.Atom(id)
 			st := g.store(inst.tab.AtomPred(id), len(a.Args))
+			if counting {
+				// One EDB reference per distinct window fact (the caller
+				// reports 0<->1 multiset transitions to Update), plus one
+				// per program fact (deduplicated at construction).
+				if isWindow {
+					if pos, ok := st.pos[id]; ok && st.edbRef[pos] > 0 {
+						continue
+					}
+				}
+				if err := g.incApply(id, a, 0, 1); err != nil {
+					return nil, err
+				}
+				continue
+			}
 			_, isNew, _ := st.add(id, a, inst.tab.ArgCodes(id), true)
 			if isNew {
 				g.totalAtom++
@@ -441,7 +730,8 @@ func (inst *Instantiator) Ground(factIDs []intern.AtomID) (*Program, error) {
 
 	// Constraints are evaluated last against the full stores.
 	g.curComp = len(inst.plans)
-	for _, r := range inst.constraints {
+	for k, r := range inst.constraints {
+		g.constraintIdx = k
 		if err := g.joinRule(r, func(s ast.Subst) error {
 			return g.emit(r, s)
 		}); err != nil {
@@ -450,6 +740,15 @@ func (inst *Instantiator) Ground(factIDs []intern.AtomID) (*Program, error) {
 	}
 
 	g.finish()
+	if counting {
+		if len(g.out.Rules) > 0 {
+			// The eligibility analysis promised a fully evaluated program;
+			// a residual rule means the support counts are meaningless.
+			return nil, errIncResidual
+		}
+		inst.inc.liveAtoms = g.totalAtom
+		inst.inc.ready = true
+	}
 	return g.out, nil
 }
 
@@ -472,8 +771,11 @@ func Ground(p *ast.Program, facts []ast.Atom, opts Options) (*Program, error) {
 // Instantiator.
 type grounder struct {
 	*Instantiator
-	out       *Program
-	curComp   int
+	out     *Program
+	curComp int
+	// totalAtom counts distinct ground atoms this run; in counting mode it
+	// tracks the number of LIVE atoms (tombstones excluded) and persists
+	// across updates via incState.liveAtoms.
 	totalAtom int
 	// delta for the semi-naive pass currently running: predicate ->
 	// set of atom positions considered "new". Nil means no restriction.
@@ -483,6 +785,18 @@ type grounder struct {
 	deltaOcc int
 	// onNewAtom is notified whenever a new ground atom enters a store.
 	onNewAtom func(pred intern.PredID, pos int32)
+
+	// Incremental mode (see incremental.go). counting enables support
+	// bookkeeping: every derivation adjusts the head atom's support count
+	// instead of being deduplicated, joins skip dead tombstones, and
+	// negative literals are decided against liveness. inUpdate additionally
+	// records per-update transition marks. constraintIdx is the index of
+	// the constraint currently being evaluated. incCtx, when non-nil, turns
+	// joinRule into an incremental delta join (see incremental.go).
+	counting      bool
+	inUpdate      bool
+	constraintIdx int
+	incCtx        *incJoinCtx
 }
 
 // pid returns the interned predicate of an atom.
@@ -503,7 +817,8 @@ func (g *grounder) store(p intern.PredID, arity int) *predStore {
 	}
 	st := g.stores[p]
 	if st == nil {
-		st = newPredStore(arity, !g.opts.NoIndex)
+		st = newPredStore(arity, !g.opts.NoIndex, &g.arena)
+		st.inc = g.counting
 		g.stores[p] = st
 	}
 	return st
@@ -577,6 +892,12 @@ func (g *grounder) evalComponent(plan *compPlan) error {
 }
 
 func (g *grounder) finish() {
+	if g.counting && g.inc != nil {
+		// Incremental programs are rebuilt every window; reuse the scratch
+		// (the Program is documented valid until the next call).
+		g.out.Certain = g.inc.certScratch[:0]
+		g.out.CertainIDs = g.inc.idScratch[:0]
+	}
 	for _, st := range g.stores {
 		if st == nil {
 			continue
@@ -587,6 +908,10 @@ func (g *grounder) finish() {
 				g.out.CertainIDs = append(g.out.CertainIDs, st.ids[i])
 			}
 		}
+	}
+	if g.counting && g.inc != nil {
+		g.inc.certScratch = g.out.Certain[:0]
+		g.inc.idScratch = g.out.CertainIDs[:0]
 	}
 	// Sort by atom key, comparing cached key strings (rendered once per
 	// distinct atom across the lifetime of the table).
@@ -603,7 +928,12 @@ func (g *grounder) finish() {
 	})
 	atoms := 0
 	for _, st := range g.stores {
-		if st != nil {
+		if st == nil {
+			continue
+		}
+		if st.inc {
+			atoms += st.liveCnt
+		} else {
 			atoms += len(st.atoms)
 		}
 	}

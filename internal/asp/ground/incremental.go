@@ -1,0 +1,529 @@
+// Incremental grounding for overlapping windows.
+//
+// Consecutive sliding windows share most of their items, so re-grounding
+// every window from scratch re-derives mostly known atoms — the bottleneck
+// the paper attributes to ASP stream reasoners. This file maintains the
+// grounding of the previous window under a fact delta instead:
+//
+//   - GroundIncremental grounds a window from scratch while seeding, per
+//     stored atom, a support count (how many rule derivations currently
+//     derive it) and an EDB reference count (window facts, program facts).
+//     An atom is live iff either count is positive.
+//   - Update applies an (added, retracted) fact delta. Non-recursive
+//     components are maintained exactly by signed semi-naive delta joins:
+//     for each body occurrence of a changed predicate, the rule is joined
+//     with that occurrence bound to the changed atoms, occurrences left of
+//     it against the NEW state and occurrences right of it against the OLD
+//     state, and every complete substitution adjusts the head atom's
+//     support by +1/-1 (inverted for negative occurrences). Support
+//     counting is too coarse for recursive components (cyclic derivations),
+//     so components with positive recursion are re-derived from scratch at
+//     stratum level and diffed. Constraints keep a violation tally per
+//     constraint; the program is inconsistent while any tally is positive.
+//
+// Retracted atoms stay in their stores as dead tombstones until compaction,
+// because delta joins against the OLD state must still reach them. Per-update
+// transition marks record each touched atom's pre-update liveness, so the net
+// delta of a predicate (consumed by higher strata, which run strictly later
+// in topological order) can be read off the marks at any point.
+//
+// Eligibility is static (analyzeIncremental): stratified negation, no choice
+// rules, no disjunctive heads, no aggregates — exactly the programs that
+// ground to a fully evaluated (rule-free) program on every input, so the set
+// of live atoms is the unique answer set. Everything else, and any dynamic
+// invariant violation (atom limit, accounting errors), falls back to
+// from-scratch grounding at the caller.
+package ground
+
+import (
+	"errors"
+
+	"streamrule/internal/asp/ast"
+	"streamrule/internal/asp/intern"
+)
+
+// ErrNotIncremental is returned by Update when the instantiator has no live
+// incremental state (never seeded, invalidated by a plain Ground, or the
+// program is statically ineligible). The caller should fall back to
+// GroundIncremental or Ground.
+var ErrNotIncremental = errors.New("ground: no live incremental state")
+
+// errIncResidual reports that an allegedly eligible program produced residual
+// ground rules, so support counts do not capture its semantics.
+var errIncResidual = errors.New("ground: incremental grounding produced residual rules")
+
+// errIncInternal reports a support/reference accounting violation (a
+// retraction of an unknown atom, a count below zero). The incremental state
+// is invalid; the caller must re-seed.
+var errIncInternal = errors.New("ground: incremental support accounting violated")
+
+// incState is the cross-window incremental bookkeeping of an Instantiator.
+type incState struct {
+	// ready is true while the store contents, support counts, and violation
+	// tallies describe the last window exactly; any error flips it off.
+	ready bool
+	// violations[k] counts the derivations currently violating constraint k.
+	violations []int
+	// liveAtoms counts live atoms across all stores (the MaxAtoms measure).
+	liveAtoms int
+	// deltaCache memoizes the net per-predicate delta of the current
+	// update. Safe because consumers run strictly after producers in
+	// topological order, so a predicate's net delta is final when first
+	// consumed.
+	deltaCache map[intern.PredID]predDelta
+	// Scratch reused across updates; the returned Program aliases it and is
+	// valid until the next call on the instantiator.
+	certScratch []ast.Atom
+	idScratch   []intern.AtomID
+
+	// The live atom set sorted by atom key, maintained across updates by
+	// merging each update's net delta — re-sorting the full set every
+	// window would dominate small-delta updates. sortedKeys is aligned
+	// with sortedIDs/sortedAtoms; merge* are the ping-pong buffers.
+	sortedIDs   []intern.AtomID
+	sortedAtoms []ast.Atom
+	sortedKeys  []string
+	mergeIDs    []intern.AtomID
+	mergeAtoms  []ast.Atom
+	mergeKeys   []string
+	deadSet     map[intern.AtomID]bool
+	freshIDs    []intern.AtomID
+	freshKeys   []string
+}
+
+// predDelta is the net liveness delta of one predicate over one update, as
+// store positions (stable within the update; compaction runs after).
+type predDelta struct {
+	fresh, dead []int32
+}
+
+// incJoinCtx turns joinRule into a signed delta join: the body literal at
+// deltaIdx (positive or negative) ranges over exactly the changed atoms
+// (deltaPos, positions in its predicate's store), body positions left of
+// deltaIdx see the NEW store state, and positions right of it see the OLD
+// (pre-update) state.
+type incJoinCtx struct {
+	deltaIdx int
+	deltaPos []int32
+}
+
+// SupportsIncremental reports whether the program is statically eligible for
+// incremental maintenance via GroundIncremental/Update.
+func (inst *Instantiator) SupportsIncremental() bool { return inst.incEligible }
+
+// IncrementalReady reports whether Update can be applied right now.
+func (inst *Instantiator) IncrementalReady() bool {
+	return inst.inc != nil && inst.inc.ready
+}
+
+// GroundIncremental grounds one window from scratch like Ground, but seeds
+// the support-counting state that enables Update on subsequent windows. The
+// returned Program (like Update's) is valid until the next call on this
+// instantiator.
+func (inst *Instantiator) GroundIncremental(factIDs []intern.AtomID) (*Program, error) {
+	if !inst.incEligible {
+		return nil, ErrNotIncremental
+	}
+	if inst.inc == nil {
+		inst.inc = &incState{deltaCache: make(map[intern.PredID]predDelta)}
+	}
+	inst.inc.ready = false
+	if cap(inst.inc.violations) < len(inst.constraints) {
+		inst.inc.violations = make([]int, len(inst.constraints))
+	}
+	inst.inc.violations = inst.inc.violations[:len(inst.constraints)]
+	clear(inst.inc.violations)
+	gp, err := inst.ground(factIDs, true)
+	if err != nil {
+		return nil, err
+	}
+	inst.inc.captureSorted(inst.tab, gp)
+	return gp, nil
+}
+
+// captureSorted snapshots the (key-sorted) certain atoms of a fresh seeding
+// into the incrementally maintained sorted set.
+func (s *incState) captureSorted(tab *intern.Table, gp *Program) {
+	s.sortedIDs = append(s.sortedIDs[:0], gp.CertainIDs...)
+	s.sortedAtoms = append(s.sortedAtoms[:0], gp.Certain...)
+	s.sortedKeys = s.sortedKeys[:0]
+	for _, id := range s.sortedIDs {
+		s.sortedKeys = append(s.sortedKeys, tab.KeyOf(id))
+	}
+}
+
+// Update applies a fact delta to the grounding of the previous window:
+// retracted lists facts that left the window (their EDB reference drops to
+// zero), added lists facts that entered it. Both must be 0<->1 transitions of
+// the window's fact multiset — the caller keeps the multiset reference
+// counts. On any error the incremental state is invalid and the caller must
+// re-seed with GroundIncremental.
+func (inst *Instantiator) Update(added, retracted []intern.AtomID) (*Program, error) {
+	if inst.inc == nil || !inst.inc.ready {
+		return nil, ErrNotIncremental
+	}
+	inst.inc.ready = false
+	clear(inst.inc.deltaCache)
+	g := &grounder{
+		Instantiator: inst,
+		out:          &Program{Table: inst.tab},
+		deltaOcc:     -1,
+		counting:     true,
+		inUpdate:     true,
+		totalAtom:    inst.inc.liveAtoms,
+	}
+
+	// Phase 1: EDB transitions. Retractions first, so an atom that moves in
+	// the same update nets out without a transient death.
+	for _, id := range retracted {
+		if err := g.edbDelta(id, -1); err != nil {
+			return nil, err
+		}
+	}
+	for _, id := range added {
+		if err := g.edbDelta(id, +1); err != nil {
+			return nil, err
+		}
+	}
+
+	// Phase 2: components in topological order. A component whose body
+	// predicates saw no net change is skipped outright — the steady-state
+	// win for small deltas.
+	for ci := range inst.plans {
+		plan := &inst.plans[ci]
+		if len(plan.rules) == 0 {
+			continue
+		}
+		g.curComp = ci
+		if !g.depsChanged(plan.bodyPreds) {
+			continue
+		}
+		g.out.Stats.Iterations++
+		var err error
+		if len(plan.rec) > 0 {
+			err = g.rebuildComp(plan)
+		} else {
+			err = g.deltaComp(plan)
+		}
+		if err != nil {
+			return nil, err
+		}
+	}
+
+	// Phase 3: constraints, via signed violation tallies.
+	g.curComp = len(inst.plans)
+	for k, r := range inst.constraints {
+		if !g.depsChanged(inst.constraintDeps[k]) {
+			continue
+		}
+		g.constraintIdx = k
+		if err := g.deltaRule(r, func(s ast.Subst, sign int32) error {
+			inst.inc.violations[k] += int(sign)
+			return nil
+		}); err != nil {
+			return nil, err
+		}
+	}
+	for _, v := range inst.inc.violations {
+		if v < 0 {
+			return nil, errIncInternal
+		}
+		if v > 0 {
+			g.out.Inconsistent = true
+		}
+	}
+
+	// Phase 4: output by merging the net delta into the maintained sorted
+	// atom set, then mark clearing and tombstone compaction.
+	if err := g.finishMerge(); err != nil {
+		return nil, err
+	}
+	for _, st := range inst.stores {
+		if st != nil && len(st.touched) > 0 {
+			st.clearMarks()
+			st.compact(inst.tab)
+		}
+	}
+	inst.inc.liveAtoms = g.totalAtom
+	inst.inc.ready = true
+	return g.out, nil
+}
+
+// finishMerge builds the update's output Program: the previous window's
+// key-sorted certain atoms minus the net-dead atoms plus the net-fresh ones
+// (sorted by key and merged in — O(live + delta log delta) instead of a full
+// re-sort).
+func (g *grounder) finishMerge() error {
+	s := g.inc
+	fresh := s.freshIDs[:0]
+	keys := s.freshKeys[:0]
+	if s.deadSet == nil {
+		s.deadSet = make(map[intern.AtomID]bool)
+	}
+	clear(s.deadSet)
+	var freshPos, deadPos []int32
+	for _, st := range g.stores {
+		if st == nil || len(st.touched) == 0 {
+			continue
+		}
+		freshPos, deadPos = st.netDelta(freshPos[:0], deadPos[:0])
+		for _, pos := range freshPos {
+			fresh = append(fresh, st.ids[pos])
+			keys = append(keys, g.tab.KeyOf(st.ids[pos]))
+		}
+		for _, pos := range deadPos {
+			s.deadSet[st.ids[pos]] = true
+		}
+	}
+	intern.SortByKey(keys, func(i, j int) {
+		fresh[i], fresh[j] = fresh[j], fresh[i]
+		keys[i], keys[j] = keys[j], keys[i]
+	})
+	s.freshIDs, s.freshKeys = fresh, keys
+
+	outIDs := s.mergeIDs[:0]
+	outAtoms := s.mergeAtoms[:0]
+	outKeys := s.mergeKeys[:0]
+	fi := 0
+	for i, id := range s.sortedIDs {
+		if s.deadSet[id] {
+			continue
+		}
+		for fi < len(fresh) && keys[fi] <= s.sortedKeys[i] {
+			outIDs = append(outIDs, fresh[fi])
+			outAtoms = append(outAtoms, g.tab.Atom(fresh[fi]))
+			outKeys = append(outKeys, keys[fi])
+			fi++
+		}
+		outIDs = append(outIDs, id)
+		outAtoms = append(outAtoms, s.sortedAtoms[i])
+		outKeys = append(outKeys, s.sortedKeys[i])
+	}
+	for ; fi < len(fresh); fi++ {
+		outIDs = append(outIDs, fresh[fi])
+		outAtoms = append(outAtoms, g.tab.Atom(fresh[fi]))
+		outKeys = append(outKeys, keys[fi])
+	}
+	// Ping-pong: the merged arrays become the maintained set; the previous
+	// ones become the next merge buffers.
+	s.mergeIDs, s.sortedIDs = s.sortedIDs, outIDs
+	s.mergeAtoms, s.sortedAtoms = s.sortedAtoms, outAtoms
+	s.mergeKeys, s.sortedKeys = s.sortedKeys, outKeys
+	if len(outIDs) != g.totalAtom {
+		// The sorted set and the live-atom count drifted apart: the
+		// incremental state cannot be trusted.
+		return errIncInternal
+	}
+	g.out.Certain = outAtoms
+	g.out.CertainIDs = outIDs
+	g.out.Stats.Atoms = g.totalAtom
+	g.out.Stats.Rules = 0
+	g.out.Stats.CertainFacts = len(outIDs)
+	return nil
+}
+
+// edbDelta applies one external fact transition.
+func (g *grounder) edbDelta(id intern.AtomID, sign int32) error {
+	return g.incApply(id, g.tab.Atom(id), 0, sign)
+}
+
+// incDerive interns a derived atom and applies one signed derivation to it.
+func (g *grounder) incDerive(a ast.Atom, sign int32) (intern.AtomID, error) {
+	id := g.tab.InternAtom(a)
+	return id, g.incApply(id, a, sign, 0)
+}
+
+// incApply adjusts an atom's support count (dSup) and EDB reference count
+// (dEdb), maintaining liveness, transition marks, the live-atom limit, and
+// the semi-naive delta notification.
+func (g *grounder) incApply(id intern.AtomID, a ast.Atom, dSup, dEdb int32) error {
+	p := g.tab.AtomPred(id)
+	st := g.store(p, len(a.Args))
+	pos, known := st.pos[id]
+	if !known {
+		if dSup < 0 || dEdb < 0 {
+			return errIncInternal
+		}
+		pos, _, _ = st.add(id, a, g.tab.ArgCodes(id), false)
+	}
+	if g.inUpdate {
+		st.touchIfFirst(pos)
+	}
+	st.support[pos] += dSup
+	st.edbRef[pos] += dEdb
+	if st.support[pos] < 0 || st.edbRef[pos] < 0 {
+		return errIncInternal
+	}
+	live := st.support[pos] > 0 || st.edbRef[pos] > 0
+	switch {
+	case live && !st.certain[pos]:
+		st.certain[pos] = true
+		st.liveCnt++
+		g.totalAtom++
+		if g.opts.MaxAtoms > 0 && g.totalAtom > g.opts.MaxAtoms {
+			return &ErrAtomLimit{Limit: g.opts.MaxAtoms}
+		}
+		if g.onNewAtom != nil {
+			g.onNewAtom(p, pos)
+		}
+	case !live && st.certain[pos]:
+		st.certain[pos] = false
+		st.liveCnt--
+		g.totalAtom--
+	}
+	return nil
+}
+
+// netDeltaOf returns (memoized) the net liveness delta of a predicate. Only
+// call for predicates whose producers have already run this update.
+func (g *grounder) netDeltaOf(p intern.PredID) predDelta {
+	if d, ok := g.inc.deltaCache[p]; ok {
+		return d
+	}
+	var d predDelta
+	if st := g.storeAt(p); st != nil {
+		d.fresh, d.dead = st.netDelta(nil, nil)
+	}
+	g.inc.deltaCache[p] = d
+	return d
+}
+
+// depsChanged reports whether any of the predicates saw a net liveness
+// change this update. It does not populate the delta cache: for recursive
+// components the head predicates are among the dependencies and their delta
+// is not final until the rebuild ran.
+func (g *grounder) depsChanged(preds []intern.PredID) bool {
+	for _, p := range preds {
+		if st := g.storeAt(p); st != nil && st.hasNetDelta() {
+			return true
+		}
+	}
+	return false
+}
+
+// deltaComp maintains one non-recursive component exactly: every rule is
+// delta-joined against the net change of each changed body predicate, and
+// every derivation found adjusts its head atom's support.
+func (g *grounder) deltaComp(plan *compPlan) error {
+	for _, r := range plan.rules {
+		rule := r
+		headInterval := false
+		for _, t := range rule.Head[0].Args {
+			if t.Kind == ast.IntervalTerm {
+				headInterval = true
+			}
+		}
+		if err := g.deltaRule(rule, func(s ast.Subst, sign int32) error {
+			h := rule.Head[0].Apply(s)
+			if !headInterval {
+				_, err := g.incDerive(h, sign)
+				return err
+			}
+			headSets, err := expandIntervalAtoms([]ast.Atom{h})
+			if err != nil {
+				return err
+			}
+			for _, hs := range headSets {
+				if _, err := g.incDerive(hs[0], sign); err != nil {
+					return err
+				}
+			}
+			return nil
+		}); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// deltaRule runs the signed delta joins of one rule: for every body
+// occurrence of a changed predicate, once against the freshly live atoms and
+// once against the freshly dead ones. A positive occurrence contributes
+// +1/-1 derivations for fresh/dead atoms; a negative occurrence inverts the
+// signs (a newly present atom kills derivations that relied on its absence).
+func (g *grounder) deltaRule(r ast.Rule, emit func(ast.Subst, int32) error) error {
+	for j, l := range r.Body {
+		if l.Kind != ast.AtomLiteral {
+			continue
+		}
+		d := g.netDeltaOf(g.pid(l.Atom))
+		if len(d.fresh)+len(d.dead) == 0 {
+			continue
+		}
+		freshSign, deadSign := int32(1), int32(-1)
+		if l.Neg {
+			freshSign, deadSign = -1, 1
+		}
+		if err := g.deltaOccJoin(r, j, d.fresh, freshSign, emit); err != nil {
+			return err
+		}
+		if err := g.deltaOccJoin(r, j, d.dead, deadSign, emit); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// deltaOccJoin joins the rule once with body position j ranging over the
+// changed atoms.
+func (g *grounder) deltaOccJoin(r ast.Rule, j int, pos []int32, sign int32, emit func(ast.Subst, int32) error) error {
+	if len(pos) == 0 {
+		return nil
+	}
+	g.incCtx = &incJoinCtx{deltaIdx: j, deltaPos: pos}
+	err := g.joinRule(r, func(s ast.Subst) error { return emit(s, sign) })
+	g.incCtx = nil
+	return err
+}
+
+// rebuildComp re-derives a recursive component from scratch at stratum
+// level: all currently live derived atoms of its head predicates are
+// tombstoned (keeping EDB-referenced ones alive), then the component is
+// re-evaluated bottom-up against the NEW state of the lower strata. The
+// transition marks capture the old/new diff for downstream consumers.
+func (g *grounder) rebuildComp(plan *compPlan) error {
+	for _, hp := range plan.headPreds {
+		st := g.store(hp.pid, hp.arity)
+		for i := range st.atoms {
+			pos := int32(i)
+			if !st.certain[pos] {
+				st.support[pos] = 0 // stale tombstone
+				continue
+			}
+			st.touchIfFirst(pos)
+			st.support[pos] = 0
+			if st.edbRef[pos] == 0 {
+				st.certain[pos] = false
+				st.liveCnt--
+				g.totalAtom--
+			}
+		}
+	}
+	return g.evalComponent(plan)
+}
+
+// inViewAt reports whether a stored atom is visible to the body literal at
+// bodyIdx of the current (possibly delta) join. Outside a delta join, the
+// counting engine sees exactly the live atoms; inside one, positions left of
+// the delta occurrence see the NEW state and positions right of it the OLD.
+func (g *grounder) inViewAt(st *predStore, pos int32, bodyIdx int) bool {
+	if g.incCtx == nil || bodyIdx < g.incCtx.deltaIdx {
+		return st.certain[pos]
+	}
+	return st.preLive(pos)
+}
+
+// negHoldsInView reports whether the (ground) atom of a negative literal is
+// present in the view of the given body position.
+func (g *grounder) negHoldsInView(a ast.Atom, bodyIdx int) bool {
+	id, ok := g.tab.LookupAtom(a)
+	if !ok {
+		return false
+	}
+	st := g.storeAt(g.tab.AtomPred(id))
+	pos, known := st.lookup(id)
+	if !known {
+		return false
+	}
+	return g.inViewAt(st, pos, bodyIdx)
+}

@@ -1,0 +1,305 @@
+package ground
+
+import (
+	"fmt"
+	"math/rand"
+	"slices"
+	"testing"
+
+	"streamrule/internal/asp/ast"
+	"streamrule/internal/asp/intern"
+	"streamrule/internal/asp/parser"
+)
+
+// factGen produces random input facts for a program's input predicates.
+type factGen func(r *rand.Rand) ast.Atom
+
+// incrementalHarness drives an incremental instantiator through a random
+// add/retract sequence and checks every step against a from-scratch oracle
+// sharing the same interning table.
+func incrementalHarness(t *testing.T, src string, gen factGen, steps, churn int, seed int64) {
+	t.Helper()
+	prog, err := parser.Parse(src)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	tab := intern.NewTable()
+	opts := Options{Intern: tab}
+	inc, err := NewInstantiator(prog, opts)
+	if err != nil {
+		t.Fatalf("instantiator: %v", err)
+	}
+	if !inc.SupportsIncremental() {
+		t.Fatalf("program unexpectedly ineligible for incremental grounding:\n%s", src)
+	}
+	oracle, err := NewInstantiator(prog, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	rnd := rand.New(rand.NewSource(seed))
+	var facts []intern.AtomID // current window, as a multiset
+	ref := map[intern.AtomID]int{}
+
+	check := func(step int, got *Program) {
+		t.Helper()
+		want, err := oracle.Ground(facts)
+		if err != nil {
+			t.Fatalf("step %d: oracle: %v", step, err)
+		}
+		if got.Inconsistent != want.Inconsistent {
+			t.Fatalf("step %d: Inconsistent = %v, oracle %v", step, got.Inconsistent, want.Inconsistent)
+		}
+		if got.Inconsistent {
+			return
+		}
+		g := slices.Clone(got.CertainIDs)
+		w := slices.Clone(want.CertainIDs)
+		slices.Sort(g)
+		slices.Sort(w)
+		if !slices.Equal(g, w) {
+			t.Fatalf("step %d: certain atoms diverge:\nincremental: %v\noracle:      %v",
+				step, renderIDs(tab, g), renderIDs(tab, w))
+		}
+		if len(got.Rules) != 0 {
+			t.Fatalf("step %d: incremental program has %d residual rules", step, len(got.Rules))
+		}
+	}
+
+	// Seed window.
+	for i := 0; i < churn*2; i++ {
+		id := tab.InternAtom(gen(rnd))
+		facts = append(facts, id)
+		ref[id]++
+	}
+	gp, err := inc.GroundIncremental(facts)
+	if err != nil {
+		t.Fatalf("seed: %v", err)
+	}
+	check(0, gp)
+
+	for step := 1; step <= steps; step++ {
+		var added, retracted []intern.AtomID
+		nRem := rnd.Intn(churn + 1)
+		for i := 0; i < nRem && len(facts) > 0; i++ {
+			k := rnd.Intn(len(facts))
+			id := facts[k]
+			facts[k] = facts[len(facts)-1]
+			facts = facts[:len(facts)-1]
+			ref[id]--
+			if ref[id] == 0 {
+				retracted = append(retracted, id)
+			}
+		}
+		nAdd := rnd.Intn(churn + 1)
+		for i := 0; i < nAdd; i++ {
+			id := tab.InternAtom(gen(rnd))
+			facts = append(facts, id)
+			ref[id]++
+			if ref[id] == 1 {
+				added = append(added, id)
+			}
+		}
+		gp, err := inc.Update(added, retracted)
+		if err != nil {
+			t.Fatalf("step %d: update: %v", step, err)
+		}
+		check(step, gp)
+	}
+}
+
+func renderIDs(tab *intern.Table, ids []intern.AtomID) []string {
+	out := make([]string, len(ids))
+	for i, id := range ids {
+		out[i] = tab.KeyOf(id)
+	}
+	return out
+}
+
+// genFromPool draws facts from a fixed pool of shapes.
+func genFromPool(shapes []func(r *rand.Rand) ast.Atom) factGen {
+	return func(r *rand.Rand) ast.Atom {
+		return shapes[r.Intn(len(shapes))](r)
+	}
+}
+
+func sym(prefix string, r *rand.Rand, n int) ast.Term {
+	return ast.Sym(fmt.Sprintf("%s%d", prefix, r.Intn(n)))
+}
+
+func TestIncrementalLayeredNegation(t *testing.T) {
+	src := `
+slow(X) :- speed(X, Y), Y < 20.
+busy(X) :- cars(X, Y), Y > 40.
+jam(X) :- slow(X), busy(X), not light(X).
+notify(X) :- jam(X).
+notify(X) :- fire(X).
+`
+	gen := genFromPool([]func(r *rand.Rand) ast.Atom{
+		func(r *rand.Rand) ast.Atom { return ast.NewAtom("speed", sym("l", r, 6), ast.Num(int64(r.Intn(60)))) },
+		func(r *rand.Rand) ast.Atom { return ast.NewAtom("cars", sym("l", r, 6), ast.Num(int64(r.Intn(80)))) },
+		func(r *rand.Rand) ast.Atom { return ast.NewAtom("light", sym("l", r, 6)) },
+		func(r *rand.Rand) ast.Atom { return ast.NewAtom("fire", sym("l", r, 6)) },
+	})
+	incrementalHarness(t, src, gen, 60, 8, 1)
+}
+
+func TestIncrementalRecursiveReachability(t *testing.T) {
+	src := `
+path(X, Y) :- edge(X, Y).
+path(X, Z) :- edge(X, Y), path(Y, Z).
+cut(X) :- blocked(X), not path(X, X).
+`
+	gen := genFromPool([]func(r *rand.Rand) ast.Atom{
+		func(r *rand.Rand) ast.Atom { return ast.NewAtom("edge", sym("n", r, 5), sym("n", r, 5)) },
+		func(r *rand.Rand) ast.Atom { return ast.NewAtom("blocked", sym("n", r, 5)) },
+	})
+	incrementalHarness(t, src, gen, 50, 5, 2)
+}
+
+func TestIncrementalConstraints(t *testing.T) {
+	src := `
+hot(X) :- temp(X, Y), Y > 30.
+:- hot(X), critical(X).
+`
+	gen := genFromPool([]func(r *rand.Rand) ast.Atom{
+		func(r *rand.Rand) ast.Atom { return ast.NewAtom("temp", sym("z", r, 4), ast.Num(int64(r.Intn(40)))) },
+		func(r *rand.Rand) ast.Atom { return ast.NewAtom("critical", sym("z", r, 4)) },
+	})
+	incrementalHarness(t, src, gen, 60, 4, 3)
+}
+
+func TestIncrementalProgramFactsAndIntervals(t *testing.T) {
+	src := `
+zone(1..3).
+level(X, Y) :- reading(X, Y), zone(X).
+alert(X) :- level(X, Y), Y > 5, not muted(X).
+`
+	gen := genFromPool([]func(r *rand.Rand) ast.Atom{
+		func(r *rand.Rand) ast.Atom {
+			return ast.NewAtom("reading", ast.Num(int64(r.Intn(5))), ast.Num(int64(r.Intn(10))))
+		},
+		func(r *rand.Rand) ast.Atom { return ast.NewAtom("muted", ast.Num(int64(r.Intn(5)))) },
+	})
+	incrementalHarness(t, src, gen, 50, 5, 4)
+}
+
+// Derived predicates that are also input predicates exercise the combined
+// EDB+IDB liveness accounting.
+func TestIncrementalInputAlsoDerived(t *testing.T) {
+	src := `
+warm(X) :- temp(X, Y), Y > 10.
+warm(X) :- neighbor(X, Z), warm(Z).
+report(X) :- warm(X).
+`
+	// warm/1 facts can arrive directly from the stream too.
+	gen := genFromPool([]func(r *rand.Rand) ast.Atom{
+		func(r *rand.Rand) ast.Atom { return ast.NewAtom("temp", sym("r", r, 4), ast.Num(int64(r.Intn(20)))) },
+		func(r *rand.Rand) ast.Atom { return ast.NewAtom("neighbor", sym("r", r, 4), sym("r", r, 4)) },
+		func(r *rand.Rand) ast.Atom { return ast.NewAtom("warm", sym("r", r, 4)) },
+	})
+	incrementalHarness(t, src, gen, 50, 5, 5)
+}
+
+func TestIncrementalEligibility(t *testing.T) {
+	cases := []struct {
+		name     string
+		src      string
+		eligible bool
+	}{
+		{"stratified", "a(X) :- b(X), not c(X).", true},
+		{"constraint", "a(X) :- b(X).\n:- a(X), c(X).", true},
+		{"recursive", "t(X,Y) :- e(X,Y).\nt(X,Z) :- e(X,Y), t(Y,Z).", true},
+		{"choice", "{ a(X) } :- b(X).", false},
+		{"disjunction", "a(X) ; c(X) :- b(X).", false},
+		{"unstratified", "a(X) :- b(X), not c(X).\nc(X) :- b(X), not a(X).", false},
+		{"aggregate", "n(C) :- C = #count { X : b(X) }, d.", false},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			prog, err := parser.Parse(tc.src)
+			if err != nil {
+				t.Fatalf("parse: %v", err)
+			}
+			inst, err := NewInstantiator(prog, Options{Intern: intern.NewTable()})
+			if err != nil {
+				t.Fatalf("instantiator: %v", err)
+			}
+			if got := inst.SupportsIncremental(); got != tc.eligible {
+				t.Errorf("SupportsIncremental = %v, want %v", got, tc.eligible)
+			}
+		})
+	}
+}
+
+// Update must refuse to run without live state, and a plain Ground must
+// invalidate previously seeded state.
+func TestIncrementalStateLifecycle(t *testing.T) {
+	prog, err := parser.Parse("a(X) :- b(X).")
+	if err != nil {
+		t.Fatal(err)
+	}
+	tab := intern.NewTable()
+	inst, err := NewInstantiator(prog, Options{Intern: tab})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := inst.Update(nil, nil); err == nil {
+		t.Fatal("Update without seeding must fail")
+	}
+	id := tab.InternAtom(ast.NewAtom("b", ast.Sym("x")))
+	if _, err := inst.GroundIncremental([]intern.AtomID{id}); err != nil {
+		t.Fatal(err)
+	}
+	if !inst.IncrementalReady() {
+		t.Fatal("expected ready state after GroundIncremental")
+	}
+	if _, err := inst.Ground([]intern.AtomID{id}); err != nil {
+		t.Fatal(err)
+	}
+	if inst.IncrementalReady() {
+		t.Fatal("plain Ground must invalidate incremental state")
+	}
+	if _, err := inst.Update(nil, nil); err == nil {
+		t.Fatal("Update after plain Ground must fail")
+	}
+}
+
+// The atom limit must abort an update and leave the state marked invalid.
+func TestIncrementalAtomLimit(t *testing.T) {
+	prog, err := parser.Parse("a(X) :- b(X).")
+	if err != nil {
+		t.Fatal(err)
+	}
+	tab := intern.NewTable()
+	inst, err := NewInstantiator(prog, Options{Intern: tab, MaxAtoms: 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mk := func(i int) intern.AtomID {
+		return tab.InternAtom(ast.NewAtom("b", ast.Num(int64(i))))
+	}
+	if _, err := inst.GroundIncremental([]intern.AtomID{mk(0), mk(1)}); err != nil {
+		t.Fatal(err)
+	}
+	// Each added fact derives one atom: 3 more facts blow the limit of 6.
+	_, err = inst.Update([]intern.AtomID{mk(2), mk(3), mk(4)}, nil)
+	if err == nil {
+		t.Fatal("expected atom-limit error")
+	}
+	var lim *ErrAtomLimit
+	if !asErrAtomLimit(err, &lim) {
+		t.Fatalf("error = %v, want ErrAtomLimit", err)
+	}
+	if inst.IncrementalReady() {
+		t.Fatal("state must be invalid after a failed update")
+	}
+}
+
+func asErrAtomLimit(err error, out **ErrAtomLimit) bool {
+	e, ok := err.(*ErrAtomLimit)
+	if ok {
+		*out = e
+	}
+	return ok
+}

@@ -20,6 +20,9 @@ func (g *grounder) joinRule(r ast.Rule, emitFn func(ast.Subst) error) error {
 		idx  int
 		pred intern.PredID // predicate of an AtomLiteral
 		done bool
+		// pattern is the reusable substituted-argument buffer; only valid
+		// while the entry is the current join candidate (done == true).
+		pattern []ast.Term
 	}
 	var entries []*entry
 	for i, l := range r.Body {
@@ -27,6 +30,11 @@ func (g *grounder) joinRule(r ast.Rule, emitFn func(ast.Subst) error) error {
 		case l.Kind == ast.CompLiteral:
 			entries = append(entries, &entry{lit: l, idx: i})
 		case l.Kind == ast.AtomLiteral && !l.Neg:
+			entries = append(entries, &entry{lit: l, idx: i, pred: g.pid(l.Atom)})
+		case l.Kind == ast.AtomLiteral && l.Neg && g.incCtx != nil:
+			// Incremental delta joins resolve negative literals during the
+			// join (against the body-position-dependent view) instead of at
+			// emit time; the delta occurrence may itself be negative.
 			entries = append(entries, &entry{lit: l, idx: i, pred: g.pid(l.Atom)})
 		case l.Kind == ast.AggLiteral:
 			entries = append(entries, &entry{lit: l, idx: i})
@@ -48,8 +56,12 @@ func (g *grounder) joinRule(r ast.Rule, emitFn func(ast.Subst) error) error {
 		}
 	}
 	subst := ast.Subst{}
+	// bindStack records variable bindings made by candidate unification;
+	// each recursion level pops back to its mark (closure-free undo).
+	var bindStack []string
 
-	// bind records a variable binding and returns an undo function.
+	// bind records a variable binding and returns an undo function (used by
+	// the low-frequency comparison/aggregate bindings).
 	bind := func(v string, t ast.Term) func() {
 		subst[v] = t
 		return func() { delete(subst, v) }
@@ -89,6 +101,24 @@ func (g *grounder) joinRule(r ast.Rule, emitFn func(ast.Subst) error) error {
 						undos = append(undos, bind(bindVar, bindVal))
 					} else if !holds {
 						return nil // pruned
+					}
+					e.done = true
+					undos = append(undos, func() { e.done = false })
+					progress = true
+					continue
+				}
+				if e.lit.Kind == ast.AtomLiteral && e.lit.Neg {
+					// Incremental join: a negative non-delta literal is
+					// decided once all of its variables are bound.
+					if g.incCtx == nil || e.idx == g.incCtx.deltaIdx {
+						continue
+					}
+					a := e.lit.Atom.Apply(subst)
+					if !a.IsGround() {
+						continue
+					}
+					if g.negHoldsInView(a, e.idx) {
+						return nil // atom present in this view: pruned
 					}
 					e.done = true
 					undos = append(undos, func() { e.done = false })
@@ -139,7 +169,9 @@ func (g *grounder) joinRule(r ast.Rule, emitFn func(ast.Subst) error) error {
 
 		// Choose the next positive literal: among ready entries (no argument
 		// is an unresolved arithmetic term), prefer the one with the most
-		// ground arguments, then the smaller relation.
+		// ground arguments, then the smaller relation. In an incremental
+		// delta join the delta occurrence (which may be a negative literal)
+		// joins against its single delta atom and binds first when ready.
 		var best *entry
 		var bestPattern []ast.Term
 		bestScore := math.MinInt
@@ -152,8 +184,16 @@ func (g *grounder) joinRule(r ast.Rule, emitFn func(ast.Subst) error) error {
 				pending++
 				continue
 			}
+			isDelta := g.incCtx != nil && e.idx == g.incCtx.deltaIdx
+			if e.lit.Neg && !isDelta {
+				pending++
+				continue
+			}
 			pending++
-			pattern := make([]ast.Term, len(e.lit.Atom.Args))
+			if cap(e.pattern) < len(e.lit.Atom.Args) {
+				e.pattern = make([]ast.Term, len(e.lit.Atom.Args))
+			}
+			pattern := e.pattern[:len(e.lit.Atom.Args)]
 			ready := true
 			ground := 0
 			for i, t := range e.lit.Atom.Args {
@@ -168,11 +208,12 @@ func (g *grounder) joinRule(r ast.Rule, emitFn func(ast.Subst) error) error {
 			if !ready {
 				continue
 			}
-			size := 0
-			if st := g.storeAt(e.pred); st != nil {
-				size = len(st.atoms)
+			score := ground * 1_000_000
+			if isDelta {
+				score -= len(g.incCtx.deltaPos)
+			} else if st := g.storeAt(e.pred); st != nil {
+				score -= len(st.atoms)
 			}
-			score := ground*1_000_000 - size
 			if score > bestScore {
 				bestScore = score
 				best = e
@@ -188,30 +229,41 @@ func (g *grounder) joinRule(r ast.Rule, emitFn func(ast.Subst) error) error {
 			return fmt.Errorf("cannot instantiate rule %q: unresolved variables", r)
 		}
 
+		best.done = true
+		defer func() { best.done = false }()
 		st := g.storeAt(best.pred)
 		var cands []int32
-		if best.idx == g.deltaOcc {
+		isDeltaEntry := false
+		switch {
+		case g.incCtx != nil && best.idx == g.incCtx.deltaIdx:
+			// Signed delta join: this occurrence ranges over exactly the
+			// changed atoms (live or tombstoned), no view filtering.
+			cands = g.incCtx.deltaPos
+			isDeltaEntry = true
+		case best.idx == g.deltaOcc:
 			for pos := range g.delta[best.pred] {
 				cands = append(cands, pos)
 			}
-		} else {
+		default:
 			cands = st.candidates(g.tab, bestPattern)
 		}
-		best.done = true
-		defer func() { best.done = false }()
 		for _, pos := range cands {
-			atom := st.atoms[pos]
-			local, ok := unifyArgs(bestPattern, atom.Args, subst, bind)
-			if ok {
-				if err := rec(); err != nil {
-					for i := len(local) - 1; i >= 0; i-- {
-						local[i]()
-					}
-					return err
-				}
+			if !isDeltaEntry && g.counting && !g.inViewAt(st, pos, best.idx) {
+				continue
 			}
-			for i := len(local) - 1; i >= 0; i-- {
-				local[i]()
+			atom := st.atoms[pos]
+			mark := len(bindStack)
+			ok := unifyArgs(bestPattern, atom.Args, subst, &bindStack)
+			var err error
+			if ok {
+				err = rec()
+			}
+			for len(bindStack) > mark {
+				delete(subst, bindStack[len(bindStack)-1])
+				bindStack = bindStack[:len(bindStack)-1]
+			}
+			if err != nil {
+				return err
 			}
 		}
 		return nil
@@ -220,55 +272,46 @@ func (g *grounder) joinRule(r ast.Rule, emitFn func(ast.Subst) error) error {
 }
 
 // unifyArgs matches a substituted pattern against a ground argument list,
-// binding pattern variables through bind. It returns the undo functions for
-// the bindings made and whether the match succeeded (on failure the bindings
-// already made are returned for the caller to undo).
-func unifyArgs(pattern, ground []ast.Term, subst ast.Subst, bind func(string, ast.Term) func()) ([]func(), bool) {
-	var undos []func()
+// binding pattern variables in subst and appending their names to *bound
+// (the caller pops back to its mark to undo). Closure-free: this is the
+// hottest path of every join.
+func unifyArgs(pattern, ground []ast.Term, subst ast.Subst, bound *[]string) bool {
 	for i, p := range pattern {
-		local, ok := unifyTerm(p, ground[i], subst, bind)
-		undos = append(undos, local...)
-		if !ok {
-			return undos, false
+		if !unifyTerm(p, ground[i], subst, bound) {
+			return false
 		}
 	}
-	return undos, true
+	return true
 }
 
 // unifyTerm matches one pattern term against one ground term, descending
 // into function terms structurally. Non-ground arithmetic patterns cannot be
-// inverted and fail the match.
-func unifyTerm(p, gt ast.Term, subst ast.Subst, bind func(string, ast.Term) func()) ([]func(), bool) {
+// inverted and fail the match. Partial bindings of a failed match stay in
+// subst and *bound; the caller rewinds to its mark.
+func unifyTerm(p, gt ast.Term, subst ast.Subst, bound *[]string) bool {
 	switch {
 	case p.Kind == ast.VariableTerm:
 		if b, ok := subst[p.Sym]; ok {
-			if !b.Equal(gt) {
-				return nil, false
-			}
-			return nil, true
+			return b.Equal(gt)
 		}
-		return []func(){bind(p.Sym, gt)}, true
+		subst[p.Sym] = gt
+		*bound = append(*bound, p.Sym)
+		return true
 	case p.Kind == ast.FuncTerm:
 		if gt.Kind != ast.FuncTerm || gt.Sym != p.Sym || len(gt.FArgs) != len(p.FArgs) {
-			return nil, false
+			return false
 		}
-		var undos []func()
 		for i := range p.FArgs {
-			local, ok := unifyTerm(p.FArgs[i].Apply(subst), gt.FArgs[i], subst, bind)
-			undos = append(undos, local...)
-			if !ok {
-				return undos, false
+			if !unifyTerm(p.FArgs[i].Apply(subst), gt.FArgs[i], subst, bound) {
+				return false
 			}
 		}
-		return undos, true
+		return true
 	case p.IsGround():
 		pv, err := p.Eval(nil)
-		if err != nil || !pv.Equal(gt) {
-			return nil, false
-		}
-		return nil, true
+		return err == nil && pv.Equal(gt)
 	default:
-		return nil, false
+		return false
 	}
 }
 
@@ -276,6 +319,14 @@ func unifyTerm(p, gt ast.Term, subst ast.Subst, bind func(string, ast.Term) func
 // enforcing the atom limit and notifying the semi-naive delta recorder for
 // new atoms. It returns the atom's interned ID.
 func (g *grounder) addDerived(a ast.Atom, certain bool) (intern.AtomID, error) {
+	if g.counting {
+		if !certain {
+			// The eligibility analysis guarantees fully evaluated output;
+			// an uncertain derivation means a residual rule slipped through.
+			return 0, errIncResidual
+		}
+		return g.incDerive(a, 1)
+	}
 	id := g.tab.InternAtom(a)
 	p := g.tab.AtomPred(id)
 	st := g.store(p, len(a.Args))
@@ -321,6 +372,9 @@ func (g *grounder) emit(r ast.Rule, s ast.Subst) error {
 			p := g.tab.AtomPred(id)
 			st := g.storeAt(p)
 			pos, known := st.lookup(id)
+			if known && g.counting && !st.certain[pos] {
+				known = false // dead tombstone: not derivable
+			}
 			if !l.Neg {
 				// Matched positive literal: always present in the store.
 				if known && st.certain[pos] {
@@ -381,6 +435,9 @@ func (g *grounder) emitGround(heads []ast.Atom, body []ast.Literal, posIDs, negI
 		// Choice heads are never certain, even with an empty body.
 	case len(heads) == 0 && len(body) == 0:
 		g.out.Inconsistent = true
+		if g.counting {
+			g.inc.violations[g.constraintIdx]++
+		}
 		return nil
 	case len(heads) == 1 && len(body) == 0:
 		_, err := g.addDerived(heads[0], true)

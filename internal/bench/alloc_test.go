@@ -16,6 +16,56 @@ type windowProcessor interface {
 	Process(window []rdf.Triple) (*reasoner.Output, error)
 }
 
+// TestIncrementalSteadyStateAllocs is the allocation budget of the
+// incremental window path: with the fact delta empty (a fully overlapping
+// window), processing must not allocate proportionally to the window — the
+// pooled index buckets, reused stores, and reused certain-atom scratch keep
+// the per-window allocation count small and independent of window size.
+func TestIncrementalSteadyStateAllocs(t *testing.T) {
+	prog, err := parser.Parse(ProgramP)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := reasoner.Config{Program: prog, Inpre: Inpre, OutputPreds: Outputs}
+	budgets := []struct {
+		size   int
+		budget float64
+	}{
+		{500, 64},
+		{4000, 64}, // same budget: allocation must not scale with the window
+	}
+	for _, tc := range budgets {
+		r, err := reasoner.NewR(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		gen, err := workload.NewGenerator(int64(tc.size), workload.PaperTraffic())
+		if err != nil {
+			t.Fatal(err)
+		}
+		window := gen.Window(tc.size)
+		// Warm: seed the incremental state, then reach the steady state.
+		for i := 0; i < 3; i++ {
+			out, err := r.ProcessAuto(window)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if i > 0 && !out.Incremental {
+				t.Fatalf("w%d: warmup window %d not incremental", tc.size, i)
+			}
+		}
+		allocs := testing.AllocsPerRun(20, func() {
+			if _, err := r.ProcessAuto(window); err != nil {
+				t.Fatal(err)
+			}
+		})
+		if allocs > tc.budget {
+			t.Errorf("w%d: steady-state incremental window allocates %.0f objects, budget %.0f",
+				tc.size, allocs, tc.budget)
+		}
+	}
+}
+
 // BenchmarkWindowAllocs tracks the allocation footprint of the full
 // Convert -> Ground -> Solve window path, the metric the interned-atom-ID
 // refactor targets: with stores, indexes, and answer sets keyed by dense IDs

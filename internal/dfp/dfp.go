@@ -164,6 +164,19 @@ func InternFacts(tab *intern.Table, window []rdf.Triple, ar Arities, dst []inter
 	return ids, skipped
 }
 
+// InternDelta interns a window delta (the triples that entered and left a
+// sliding window between consecutive emissions) straight to interned atom
+// IDs, appending to the dst buffers. skippedDelta is the net change to the
+// window's skipped-item count: triples of unknown predicates that entered,
+// minus those that left. In the steady state of an overlapping window this
+// touches only the delta — O(step), not O(window size).
+func InternDelta(tab *intern.Table, added, retracted []rdf.Triple, ar Arities, addDst, retDst []intern.AtomID) (addIDs, retIDs []intern.AtomID, skippedDelta int) {
+	var sa, sr int
+	addIDs, sa = InternFacts(tab, added, ar, addDst)
+	retIDs, sr = InternFacts(tab, retracted, ar, retDst)
+	return addIDs, retIDs, sa - sr
+}
+
 // FromAtoms converts derived atoms back into triples for the output stream:
 // p(s, o) becomes <s, p, o>; p(s) becomes <s, p, true>; atoms of other
 // arities are rendered with the remaining arguments joined into the object.

@@ -1,0 +1,183 @@
+// Package progen generates random-but-safe logic programs and matching
+// triple streams. It backs the differential test harnesses that compare
+// incremental window processing against from-scratch oracles, and is meant
+// to be reused by future property tests: generated programs are always safe
+// (every head/negated/compared variable is bound by a positive body
+// literal), cover stratified negation, comparisons, positive recursion, and
+// constraints, and can optionally include constructs that are ineligible for
+// incremental grounding (choice rules, unstratified negation) to exercise
+// fallback paths.
+package progen
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+
+	"streamrule/internal/rdf"
+)
+
+// Config bounds the shape of generated programs.
+type Config struct {
+	// UnaryInputs / BinaryInputs are the input predicate counts (at least 1
+	// each is forced). Binary inputs alternate symbolic and numeric objects.
+	UnaryInputs  int
+	BinaryInputs int
+	// Derived is the number of derived predicates (default 4).
+	Derived int
+	// Consts is the size of the constant universe (default 6).
+	Consts int
+	// NumRange bounds numeric objects (default 20).
+	NumRange int
+	// Recursion adds a transitive-closure component over a binary input.
+	Recursion bool
+	// Constraints adds integrity constraints over derived predicates.
+	Constraints bool
+	// Ineligible adds a construct (choice rule or unstratified loop) that
+	// forces from-scratch grounding, exercising fallback paths.
+	Ineligible bool
+}
+
+func (c *Config) fill() {
+	if c.UnaryInputs < 1 {
+		c.UnaryInputs = 1
+	}
+	if c.BinaryInputs < 1 {
+		c.BinaryInputs = 1
+	}
+	if c.Derived <= 0 {
+		c.Derived = 4
+	}
+	if c.Consts <= 0 {
+		c.Consts = 6
+	}
+	if c.NumRange <= 0 {
+		c.NumRange = 20
+	}
+}
+
+// Program is a generated logic program with its input signature.
+type Program struct {
+	Src   string
+	Inpre []string
+	// Arities maps each input predicate to 1 or 2.
+	Arities map[string]int
+	// numeric records binary input predicates whose objects are numbers.
+	numeric map[string]bool
+}
+
+// New generates a random program. The same (rand state, config) pair always
+// yields the same program.
+func New(r *rand.Rand, cfg Config) Program {
+	cfg.fill()
+	p := Program{Arities: map[string]int{}, numeric: map[string]bool{}}
+	var uin, bin []string
+	for i := 0; i < cfg.UnaryInputs; i++ {
+		name := fmt.Sprintf("iu%d", i)
+		uin = append(uin, name)
+		p.Inpre = append(p.Inpre, name)
+		p.Arities[name] = 1
+	}
+	for i := 0; i < cfg.BinaryInputs; i++ {
+		name := fmt.Sprintf("ib%d", i)
+		bin = append(bin, name)
+		p.Inpre = append(p.Inpre, name)
+		p.Arities[name] = 2
+		if i%2 == 0 {
+			p.numeric[name] = true
+		}
+	}
+
+	var b strings.Builder
+	// Derived predicates are generated in layers: the body of a rule for
+	// d<i> draws positively on inputs and lower layers, and negatively on
+	// strictly lower layers only, so the program is stratified by
+	// construction.
+	var derived []string
+	for i := 0; i < cfg.Derived; i++ {
+		name := fmt.Sprintf("d%d", i)
+		nRules := 1 + r.Intn(2)
+		for k := 0; k < nRules; k++ {
+			var body []string
+			// One binder: a literal that binds X.
+			switch {
+			case len(derived) > 0 && r.Intn(3) == 0:
+				body = append(body, derived[r.Intn(len(derived))]+"(X)")
+			case r.Intn(2) == 0:
+				body = append(body, uin[r.Intn(len(uin))]+"(X)")
+			default:
+				ib := bin[r.Intn(len(bin))]
+				body = append(body, ib+"(X, Y)")
+				if p.numeric[ib] && r.Intn(2) == 0 {
+					op := []string{"<", ">", "<=", ">="}[r.Intn(4)]
+					body = append(body, fmt.Sprintf("Y %s %d", op, r.Intn(cfg.NumRange)))
+				}
+			}
+			// Optional extra positive literal over X.
+			if r.Intn(2) == 0 {
+				if len(derived) > 0 && r.Intn(2) == 0 {
+					body = append(body, derived[r.Intn(len(derived))]+"(X)")
+				} else {
+					body = append(body, uin[r.Intn(len(uin))]+"(X)")
+				}
+			}
+			// Optional stratified negation on a strictly lower layer.
+			if r.Intn(2) == 0 {
+				if len(derived) > 0 && r.Intn(2) == 0 {
+					body = append(body, "not "+derived[r.Intn(len(derived))]+"(X)")
+				} else {
+					body = append(body, "not "+uin[r.Intn(len(uin))]+"(X)")
+				}
+			}
+			fmt.Fprintf(&b, "%s(X) :- %s.\n", name, strings.Join(body, ", "))
+		}
+		derived = append(derived, name)
+	}
+
+	if cfg.Recursion {
+		e := bin[r.Intn(len(bin))]
+		fmt.Fprintf(&b, "reach(X, Y) :- %s(X, Y).\n", e)
+		fmt.Fprintf(&b, "reach(X, Z) :- %s(X, Y), reach(Y, Z).\n", e)
+		fmt.Fprintf(&b, "looped(X) :- reach(X, X).\n")
+		if len(derived) > 0 {
+			fmt.Fprintf(&b, "quiet(X) :- %s(X), not looped(X).\n", derived[r.Intn(len(derived))])
+		}
+	}
+	if cfg.Constraints && len(derived) >= 2 {
+		a := derived[r.Intn(len(derived))]
+		c := derived[r.Intn(len(derived))]
+		fmt.Fprintf(&b, ":- %s(X), %s(X), %s(X).\n", a, c, uin[r.Intn(len(uin))])
+	}
+	if cfg.Ineligible {
+		if r.Intn(2) == 0 {
+			fmt.Fprintf(&b, "{ pick(X) } :- %s(X).\n", uin[0])
+		} else {
+			fmt.Fprintf(&b, "flip(X) :- %s(X), not flop(X).\n", uin[0])
+			fmt.Fprintf(&b, "flop(X) :- %s(X), not flip(X).\n", uin[0])
+		}
+	}
+	p.Src = b.String()
+	return p
+}
+
+// Stream generates n random triples over the program's input predicates,
+// with enough repetition (small constant universe) that sliding windows
+// retract and re-add the same facts.
+func (p Program) Stream(r *rand.Rand, cfg Config, n int) []rdf.Triple {
+	cfg.fill()
+	out := make([]rdf.Triple, 0, n)
+	for i := 0; i < n; i++ {
+		pred := p.Inpre[r.Intn(len(p.Inpre))]
+		s := fmt.Sprintf("c%d", r.Intn(cfg.Consts))
+		o := "true"
+		if p.Arities[pred] == 2 {
+			if p.numeric[pred] {
+				o = fmt.Sprintf("%d", r.Intn(cfg.NumRange))
+			} else {
+				o = fmt.Sprintf("c%d", r.Intn(cfg.Consts))
+			}
+		}
+		out = append(out, rdf.Triple{S: s, P: pred, O: o})
+	}
+	return out
+}

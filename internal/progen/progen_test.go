@@ -1,0 +1,64 @@
+package progen
+
+import (
+	"math/rand"
+	"testing"
+
+	"streamrule/internal/asp/ground"
+	"streamrule/internal/asp/intern"
+	"streamrule/internal/asp/parser"
+)
+
+// Every generated program must parse, be safe, and respect the requested
+// eligibility for incremental grounding.
+func TestGeneratedProgramsParseAndClassify(t *testing.T) {
+	cfgs := []struct {
+		name     string
+		cfg      Config
+		eligible bool
+	}{
+		{"default", Config{}, true},
+		{"recursive", Config{Recursion: true}, true},
+		{"constraints", Config{Derived: 4, Constraints: true}, true},
+		{"ineligible", Config{Ineligible: true}, false},
+	}
+	for _, tc := range cfgs {
+		for seed := int64(0); seed < 20; seed++ {
+			rnd := rand.New(rand.NewSource(seed))
+			p := New(rnd, tc.cfg)
+			prog, err := parser.Parse(p.Src)
+			if err != nil {
+				t.Fatalf("%s seed %d: parse: %v\n%s", tc.name, seed, err, p.Src)
+			}
+			inst, err := ground.NewInstantiator(prog, ground.Options{Intern: intern.NewTable()})
+			if err != nil {
+				t.Fatalf("%s seed %d: instantiator: %v\n%s", tc.name, seed, err, p.Src)
+			}
+			if got := inst.SupportsIncremental(); got != tc.eligible {
+				t.Errorf("%s seed %d: SupportsIncremental = %v, want %v\n%s", tc.name, seed, got, tc.eligible, p.Src)
+			}
+		}
+	}
+}
+
+func TestStreamCoversInputs(t *testing.T) {
+	rnd := rand.New(rand.NewSource(1))
+	cfg := Config{UnaryInputs: 2, BinaryInputs: 2}
+	p := New(rnd, cfg)
+	triples := p.Stream(rnd, cfg, 500)
+	if len(triples) != 500 {
+		t.Fatalf("stream length = %d", len(triples))
+	}
+	seen := map[string]bool{}
+	for _, tr := range triples {
+		if p.Arities[tr.P] == 0 {
+			t.Fatalf("triple predicate %q is not an input predicate", tr.P)
+		}
+		seen[tr.P] = true
+	}
+	for _, pred := range p.Inpre {
+		if !seen[pred] {
+			t.Errorf("input predicate %s never appears in a 500-item stream", pred)
+		}
+	}
+}

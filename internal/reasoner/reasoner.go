@@ -7,6 +7,7 @@ package reasoner
 
 import (
 	"encoding/binary"
+	"errors"
 	"fmt"
 	"runtime"
 	"sync"
@@ -85,6 +86,18 @@ type Output struct {
 	// partitions for PR).
 	GroundStats ground.Stats
 	SolveStats  solve.Stats
+	// Incremental reports that the window was grounded by delta maintenance
+	// of the previous window's grounding rather than from scratch (for PR:
+	// that every partition was).
+	Incremental bool
+}
+
+// Delta is the change of a window relative to the previously processed one:
+// the triples that entered and the triples that left (as multisets). It
+// mirrors the stream layer's WindowDelta without importing it.
+type Delta struct {
+	Added     []rdf.Triple
+	Retracted []rdf.Triple
 }
 
 // DuplicationShare returns the fraction of routed items that were duplicated
@@ -113,6 +126,20 @@ type R struct {
 	tab     *intern.Table
 	inst    *ground.Instantiator
 	factbuf []intern.AtomID // reusable fact-ID buffer
+
+	// Incremental state (ProcessDelta / ProcessAuto). factRef holds the
+	// multiset reference counts of the current window's facts; the
+	// grounder's Update receives only the 0<->1 transitions.
+	factRef    map[intern.AtomID]int32
+	refScratch map[intern.AtomID]int32
+	factTot    int  // non-skipped facts in the current window
+	skipped    int  // skipped items in the current window
+	incLive    bool // factRef and grounder state describe the last window
+	incOff     bool // incremental disabled after an internal fallback
+	addBuf     []intern.AtomID
+	retBuf     []intern.AtomID
+	addSet     []intern.AtomID
+	retSet     []intern.AtomID
 }
 
 // NewR builds a reasoner for the program, inferring input arities when not
@@ -151,9 +178,64 @@ func NewR(cfg Config) (*R, error) {
 	return &R{cfg: cfg, arities: ar, inpre: inpre, outputs: outputs, tab: tab, inst: inst}, nil
 }
 
-// Process runs the reasoner on one window.
+// SupportsIncremental reports whether the program is statically eligible for
+// incremental window maintenance (ProcessDelta/ProcessAuto engage their
+// delta paths only then).
+func (r *R) SupportsIncremental() bool { return r.inst.SupportsIncremental() }
+
+// Process runs the reasoner on one window, grounding from scratch. It
+// invalidates any incremental state, so it doubles as the independent oracle
+// for the incremental paths below.
 func (r *R) Process(window []rdf.Triple) (*Output, error) {
-	start := time.Now()
+	r.incLive = false
+	return r.processFull(window)
+}
+
+// ProcessDelta processes one window given the delta the windower reported
+// relative to the previous emission (nil when the windower could not relate
+// the windows — first emission, tumbling window). When the program supports
+// incremental grounding, consecutive calls maintain the previous window's
+// grounding under the delta instead of re-grounding from scratch; otherwise,
+// and whenever a dynamic invariant fails (atom limit, inconsistent delta,
+// delta nearly as large as the window), it falls back automatically.
+func (r *R) ProcessDelta(window []rdf.Triple, d *Delta) (*Output, error) {
+	if r.incOff || !r.inst.SupportsIncremental() {
+		r.incLive = false
+		return r.processFull(window)
+	}
+	if d == nil || !r.incLive || !r.inst.IncrementalReady() {
+		if d == nil && !r.incLive {
+			// No delta and no state to maintain: nothing to seed for.
+			return r.processFull(window)
+		}
+		return r.processSeed(window)
+	}
+	return r.processDelta(window, d)
+}
+
+// ProcessAuto is the self-diffing incremental path: it interns the full
+// window and derives the delta from the previous window's fact multiset.
+// PR uses it per partition, where stream-level deltas cannot be routed
+// soundly (partitioners may duplicate or reshuffle items).
+func (r *R) ProcessAuto(window []rdf.Triple) (*Output, error) {
+	if r.incOff || !r.inst.SupportsIncremental() {
+		r.incLive = false
+		return r.processFull(window)
+	}
+	if !r.incLive || !r.inst.IncrementalReady() {
+		return r.processSeed(window)
+	}
+	return r.processDiff(window)
+}
+
+// processFull is the from-scratch path (the reasoner R of the paper).
+func (r *R) processFull(window []rdf.Triple) (*Output, error) {
+	return r.processFullAt(window, time.Now())
+}
+
+// processFullAt is processFull with an explicit start time, so windows that
+// fall back mid-processing keep the time already spent in their latency.
+func (r *R) processFullAt(window []rdf.Triple, start time.Time) (*Output, error) {
 	out := &Output{}
 
 	t0 := time.Now()
@@ -168,9 +250,162 @@ func (r *R) Process(window []rdf.Triple) (*Output, error) {
 		return nil, fmt.Errorf("grounding: %w", err)
 	}
 	out.Latency.Ground = time.Since(t0)
-	out.GroundStats = gp.Stats
+	return r.solveAndFilter(out, gp, start)
+}
+
+// processSeed grounds the window from scratch while seeding the support
+// counts that enable delta maintenance on the next window.
+func (r *R) processSeed(window []rdf.Triple) (*Output, error) {
+	return r.processSeedAt(window, time.Now())
+}
+
+func (r *R) processSeedAt(window []rdf.Triple, start time.Time) (*Output, error) {
+	out := &Output{}
+	r.incLive = false
+
+	t0 := time.Now()
+	factIDs, skipped := dfp.InternFacts(r.tab, window, r.arities, r.factbuf[:0])
+	r.factbuf = factIDs
+	if r.factRef == nil {
+		r.factRef = make(map[intern.AtomID]int32, len(factIDs))
+	}
+	clear(r.factRef)
+	for _, id := range factIDs {
+		r.factRef[id]++
+	}
+	r.factTot = len(factIDs)
+	r.skipped = skipped
+	out.Skipped = skipped
+	out.Latency.Convert = time.Since(t0)
 
 	t0 = time.Now()
+	gp, err := r.inst.GroundIncremental(factIDs)
+	if err != nil {
+		var lim *ground.ErrAtomLimit
+		if errors.As(err, &lim) {
+			// A from-scratch grounding of this window fails the same way.
+			return nil, fmt.Errorf("grounding: %w", err)
+		}
+		// The incremental engine cannot handle this program after all;
+		// disable it and fall back for good.
+		r.incOff = true
+		return r.processFullAt(window, start)
+	}
+	out.Latency.Ground = time.Since(t0)
+	r.incLive = true
+	return r.solveAndFilter(out, gp, start)
+}
+
+// processDelta applies a windower-reported delta to the maintained grounding.
+func (r *R) processDelta(window []rdf.Triple, d *Delta) (*Output, error) {
+	start := time.Now()
+	out := &Output{}
+
+	t0 := time.Now()
+	addIDs, retIDs, skippedDelta := dfp.InternDelta(r.tab, d.Added, d.Retracted, r.arities, r.addBuf[:0], r.retBuf[:0])
+	r.addBuf, r.retBuf = addIDs, retIDs
+	addSet, retSet := r.addSet[:0], r.retSet[:0]
+	for _, id := range retIDs {
+		c := r.factRef[id]
+		if c <= 0 {
+			// The delta retracts a fact the window never held: the windower
+			// and our bookkeeping disagree. Re-seed from the full window.
+			return r.processSeedAt(window, start)
+		}
+		if c == 1 {
+			delete(r.factRef, id)
+			retSet = append(retSet, id)
+		} else {
+			r.factRef[id] = c - 1
+		}
+	}
+	for _, id := range addIDs {
+		c := r.factRef[id]
+		r.factRef[id] = c + 1
+		if c == 0 {
+			addSet = append(addSet, id)
+		}
+	}
+	r.addSet, r.retSet = addSet, retSet
+	r.factTot += len(addIDs) - len(retIDs)
+	r.skipped += skippedDelta
+	if r.factTot+r.skipped != len(window) || r.factTot < 0 || r.skipped < 0 {
+		return r.processSeedAt(window, start) // mis-advertised delta
+	}
+	out.Skipped = r.skipped
+	out.Latency.Convert = time.Since(t0)
+	return r.applyUpdate(out, window, addSet, retSet, start)
+}
+
+// processDiff derives the delta itself by diffing the window's interned fact
+// multiset against the previous window's.
+func (r *R) processDiff(window []rdf.Triple) (*Output, error) {
+	start := time.Now()
+	out := &Output{}
+
+	t0 := time.Now()
+	factIDs, skipped := dfp.InternFacts(r.tab, window, r.arities, r.factbuf[:0])
+	r.factbuf = factIDs
+	next := r.refScratch
+	if next == nil {
+		next = make(map[intern.AtomID]int32, len(factIDs))
+	}
+	clear(next)
+	for _, id := range factIDs {
+		next[id]++
+	}
+	addSet, retSet := r.addSet[:0], r.retSet[:0]
+	for id := range next {
+		if r.factRef[id] == 0 {
+			addSet = append(addSet, id)
+		}
+	}
+	for id := range r.factRef {
+		if next[id] == 0 {
+			retSet = append(retSet, id)
+		}
+	}
+	r.addSet, r.retSet = addSet, retSet
+	r.factRef, r.refScratch = next, r.factRef
+	r.factTot = len(factIDs)
+	r.skipped = skipped
+	out.Skipped = skipped
+	out.Latency.Convert = time.Since(t0)
+	return r.applyUpdate(out, window, addSet, retSet, start)
+}
+
+// applyUpdate runs the grounder's Update with the fact-level delta, falling
+// back to a full re-seed when the delta is too large to pay off or the
+// update fails.
+func (r *R) applyUpdate(out *Output, window []rdf.Triple, addSet, retSet []intern.AtomID, start time.Time) (*Output, error) {
+	if 2*(len(addSet)+len(retSet)) >= r.factTot {
+		// Non-overlapping or nearly disjoint windows: delta joins would
+		// do more work than grounding from scratch.
+		return r.processSeedAt(window, start)
+	}
+	t0 := time.Now()
+	gp, err := r.inst.Update(addSet, retSet)
+	if err != nil {
+		var lim *ground.ErrAtomLimit
+		if !errors.As(err, &lim) && !errors.Is(err, ground.ErrNotIncremental) {
+			// Accounting violation: distrust the incremental engine for
+			// this reasoner from now on — no point seeding state that can
+			// never be consumed.
+			r.incOff = true
+			r.incLive = false
+			return r.processFullAt(window, start)
+		}
+		return r.processSeedAt(window, start)
+	}
+	out.Latency.Ground = time.Since(t0)
+	out.Incremental = true
+	return r.solveAndFilter(out, gp, start)
+}
+
+// solveAndFilter is the shared tail of every processing path.
+func (r *R) solveAndFilter(out *Output, gp *ground.Program, start time.Time) (*Output, error) {
+	out.GroundStats = gp.Stats
+	t0 := time.Now()
 	res, err := solve.Solve(gp, r.cfg.SolveOpts)
 	if err != nil {
 		return nil, fmt.Errorf("solving: %w", err)
@@ -255,8 +490,26 @@ func NewPR(cfg Config, part Partitioner) (*PR, error) {
 }
 
 // Process partitions the window, reasons over the partitions in parallel,
-// and combines the per-partition answer sets.
+// and combines the per-partition answer sets. Each partition is grounded
+// from scratch.
 func (pr *PR) Process(window []rdf.Triple) (*Output, error) {
+	return pr.process(window, (*R).Process)
+}
+
+// ProcessDelta is the incremental Process for overlapping windows: each
+// partition reasoner maintains its grounding across windows, deriving its
+// own partition-level delta by diffing fact multisets (partition routing may
+// duplicate or reshuffle items, so the stream-level delta cannot be routed
+// directly). A nil delta (first emission, tumbling window) degrades to the
+// from-scratch Process.
+func (pr *PR) ProcessDelta(window []rdf.Triple, d *Delta) (*Output, error) {
+	if d == nil {
+		return pr.Process(window)
+	}
+	return pr.process(window, (*R).ProcessAuto)
+}
+
+func (pr *PR) process(window []rdf.Triple, processPart func(*R, []rdf.Triple) (*Output, error)) (*Output, error) {
 	start := time.Now()
 	out := &Output{}
 
@@ -273,7 +526,7 @@ func (pr *PR) Process(window []rdf.Triple) (*Output, error) {
 	errs := make([]error, len(parts))
 	if pr.Sequential {
 		for i := range parts {
-			results[i], errs[i] = pr.reasoners[i].Process(parts[i])
+			results[i], errs[i] = processPart(pr.reasoners[i], parts[i])
 		}
 	} else {
 		var wg sync.WaitGroup
@@ -281,7 +534,7 @@ func (pr *PR) Process(window []rdf.Triple) (*Output, error) {
 			wg.Add(1)
 			go func(i int) {
 				defer wg.Done()
-				results[i], errs[i] = pr.reasoners[i].Process(parts[i])
+				results[i], errs[i] = processPart(pr.reasoners[i], parts[i])
 			}(i)
 		}
 		wg.Wait()
@@ -291,8 +544,12 @@ func (pr *PR) Process(window []rdf.Triple) (*Output, error) {
 			return nil, err
 		}
 	}
+	out.Incremental = len(results) > 0
 	var maxTotal time.Duration
 	for _, res := range results {
+		if !res.Incremental {
+			out.Incremental = false
+		}
 		if res.Latency.Total > maxTotal {
 			maxTotal = res.Latency.Total
 		}

@@ -8,57 +8,124 @@ import (
 
 // SlidingCountWindow emits a window of the last Size items every Step items
 // (Step <= Size; Step == Size degenerates to CountWindow). It is the
-// count-based sliding window of CQL-style stream processors; StreamRule's
-// evaluation uses tumbling windows, but the reasoner is windowing-agnostic.
+// count-based sliding window of CQL-style stream processors.
+//
+// SlidingCountWindow implements DeltaWindower: from the second emission on,
+// each window reports the Step items that entered and the Step items that
+// left relative to the previous emission, enabling incremental re-grounding
+// downstream (with Step < Size, consecutive windows share Size-Step items).
 type SlidingCountWindow struct {
 	Size int
 	Step int
 	buf  []rdf.Triple
 	seen int
+	// prev is the previously emitted window (the emitted copy, so deltas
+	// can alias it); sinceEmit counts items arrived after that emission.
+	prev      []rdf.Triple
+	sinceEmit int
+}
+
+// step returns the effective step (Step clamped into 1..Size).
+func (w *SlidingCountWindow) step() int {
+	if w.Step <= 0 || w.Step > w.Size {
+		return w.Size
+	}
+	return w.Step
 }
 
 // Add implements Windower.
 func (w *SlidingCountWindow) Add(it Item) []rdf.Triple {
-	step := w.Step
-	if step <= 0 || step > w.Size {
-		step = w.Size
+	if wd := w.AddDelta(it); wd != nil {
+		return wd.Window
 	}
+	return nil
+}
+
+// AddDelta implements DeltaWindower. The Added/Retracted slices alias the
+// emitted window copies and must not be modified.
+func (w *SlidingCountWindow) AddDelta(it Item) *WindowDelta {
+	step := w.step()
 	w.buf = append(w.buf, it.Triple)
 	if len(w.buf) > w.Size {
 		w.buf = w.buf[len(w.buf)-w.Size:]
 	}
 	w.seen++
-	if w.seen >= w.Size && (w.seen-w.Size)%step == 0 {
-		out := make([]rdf.Triple, len(w.buf))
-		copy(out, w.buf)
-		return out
-	}
-	return nil
-}
-
-// Flush implements Windower: the remaining partial content (only when no
-// full window was ever emitted over it).
-func (w *SlidingCountWindow) Flush() []rdf.Triple {
-	if w.seen >= w.Size {
-		w.buf = nil
+	w.sinceEmit++
+	if w.seen < w.Size || (w.seen-w.Size)%step != 0 {
 		return nil
 	}
-	out := w.buf
+	out := make([]rdf.Triple, len(w.buf))
+	copy(out, w.buf)
+	wd := &WindowDelta{Window: out}
+	if w.prev != nil {
+		// The previous emission covered items (seen-step-Size, seen-step];
+		// this one covers (seen-Size, seen]. The delta is exact: step items
+		// in, the step oldest items of the previous window out.
+		wd.Incremental = true
+		wd.Added = out[len(out)-step:]
+		wd.Retracted = w.prev[:step]
+	} else {
+		wd.Added = out
+	}
+	w.prev = out
+	w.sinceEmit = 0
+	return wd
+}
+
+// Flush implements Windower: it returns the items that arrived after the
+// last emitted window (the tail no emission ever covered), or the whole
+// partial buffer when no full window was ever emitted, and resets the
+// window state. Flushing never re-delivers items already covered by an
+// emitted window.
+func (w *SlidingCountWindow) Flush() []rdf.Triple {
+	var out []rdf.Triple
+	switch {
+	case w.seen == 0:
+		out = nil
+	case w.prev == nil:
+		out = w.buf
+	case w.sinceEmit > 0:
+		// The tail items all sit at the end of buf: sinceEmit < Step <= Size.
+		tail := w.buf[len(w.buf)-w.sinceEmit:]
+		out = make([]rdf.Triple, len(tail))
+		copy(out, tail)
+	}
 	w.buf = nil
+	w.prev = nil
+	w.seen = 0
+	w.sinceEmit = 0
 	return out
 }
 
 // SlidingTimeWindow emits, on every arriving item, nothing — and on items
 // that cross a Step boundary, the content of the last Span of stream time.
+//
+// SlidingTimeWindow implements DeltaWindower: consecutive emissions report
+// the items that entered and left the span, computed from arrival indexes
+// (items that both arrived and expired between two emissions appear in
+// neither delta nor window, keeping the delta exact).
 type SlidingTimeWindow struct {
 	Span time.Duration
 	Step time.Duration
 	buf  []Item
 	next time.Time
+	// arrived counts all items ever offered; prevStart is the arrival index
+	// of prev[0].
+	arrived   int
+	prev      []rdf.Triple
+	prevStart int
 }
 
 // Add implements Windower.
 func (w *SlidingTimeWindow) Add(it Item) []rdf.Triple {
+	if wd := w.AddDelta(it); wd != nil {
+		return wd.Window
+	}
+	return nil
+}
+
+// AddDelta implements DeltaWindower.
+func (w *SlidingTimeWindow) AddDelta(it Item) *WindowDelta {
 	step := w.Step
 	if step <= 0 || step > w.Span {
 		step = w.Span
@@ -67,6 +134,7 @@ func (w *SlidingTimeWindow) Add(it Item) []rdf.Triple {
 		w.next = it.At.Add(w.Span)
 	}
 	w.buf = append(w.buf, it)
+	w.arrived++
 	// Evict items older than Span relative to the newest.
 	cutoff := it.At.Add(-w.Span)
 	start := 0
@@ -82,19 +150,58 @@ func (w *SlidingTimeWindow) Add(it Item) []rdf.Triple {
 	for i, b := range w.buf {
 		out[i] = b.Triple
 	}
-	return out
+	curStart := w.arrived - len(w.buf)
+	wd := &WindowDelta{Window: out}
+	if w.prev != nil {
+		prevEnd := w.prevStart + len(w.prev) // exclusive arrival index
+		wd.Incremental = true
+		if n := curStart - w.prevStart; n < len(w.prev) {
+			wd.Retracted = w.prev[:n]
+		} else {
+			wd.Retracted = w.prev
+		}
+		// prevEnd < arrived always (the triggering item arrived after the
+		// previous emission), so some suffix of out is new.
+		if from := prevEnd - curStart; from > 0 {
+			wd.Added = out[from:]
+		} else {
+			wd.Added = out
+		}
+	} else {
+		wd.Added = out
+	}
+	w.prev = out
+	w.prevStart = curStart
+	return wd
 }
 
-// Flush implements Windower.
+// Flush implements Windower: like SlidingCountWindow, it returns only the
+// items no emission ever covered — the buffered items that arrived after the
+// last emitted window, or the whole buffer when nothing was emitted — and
+// resets the window state.
 func (w *SlidingTimeWindow) Flush() []rdf.Triple {
-	if len(w.buf) == 0 {
-		return nil
+	buf := w.buf
+	if w.prev != nil {
+		prevEnd := w.prevStart + len(w.prev)
+		if covered := prevEnd - (w.arrived - len(w.buf)); covered > 0 {
+			if covered >= len(buf) {
+				buf = nil
+			} else {
+				buf = buf[covered:]
+			}
+		}
 	}
-	out := make([]rdf.Triple, len(w.buf))
-	for i, b := range w.buf {
-		out[i] = b.Triple
+	var out []rdf.Triple
+	if len(buf) > 0 {
+		out = make([]rdf.Triple, len(buf))
+		for i, b := range buf {
+			out[i] = b.Triple
+		}
 	}
 	w.buf = nil
 	w.next = time.Time{}
+	w.arrived = 0
+	w.prev = nil
+	w.prevStart = 0
 	return out
 }

@@ -97,6 +97,172 @@ func TestSlidingTimeWindow(t *testing.T) {
 	}
 }
 
+// applyDelta replays a WindowDelta onto a multiset of triples and reports
+// whether the result matches the emitted window.
+func applyDelta(t *testing.T, cur map[rdf.Triple]int, wd WindowDelta) {
+	t.Helper()
+	for _, tr := range wd.Retracted {
+		cur[tr]--
+		if cur[tr] < 0 {
+			t.Fatalf("retracted triple %v not present", tr)
+		}
+		if cur[tr] == 0 {
+			delete(cur, tr)
+		}
+	}
+	for _, tr := range wd.Added {
+		cur[tr]++
+	}
+	want := map[rdf.Triple]int{}
+	for _, tr := range wd.Window {
+		want[tr]++
+	}
+	if len(cur) != len(want) {
+		t.Fatalf("delta-maintained window has %d distinct triples, emitted %d", len(cur), len(want))
+	}
+	for tr, n := range want {
+		if cur[tr] != n {
+			t.Fatalf("triple %v: delta count %d, window count %d", tr, cur[tr], n)
+		}
+	}
+}
+
+// Property: replaying the reported deltas reconstructs every emitted window
+// exactly, for all Step/Size combinations.
+func TestSlidingCountWindowDeltas(t *testing.T) {
+	for size := 1; size <= 6; size++ {
+		for step := 1; step <= size; step++ {
+			w := &SlidingCountWindow{Size: size, Step: step}
+			cur := map[rdf.Triple]int{}
+			base := time.Unix(0, 0)
+			emitted := 0
+			for i := 0; i < 40; i++ {
+				// Repeating subjects exercise multiset deltas.
+				it := Item{Triple: rdf.Triple{S: fmt.Sprintf("s%d", i%7), P: "p", O: "o"},
+					At: base.Add(time.Duration(i))}
+				wd := w.AddDelta(it)
+				if wd == nil {
+					continue
+				}
+				emitted++
+				if emitted == 1 {
+					if wd.Incremental {
+						t.Fatal("first emission must not be incremental")
+					}
+				} else {
+					if !wd.Incremental {
+						t.Fatalf("size=%d step=%d: emission %d not incremental", size, step, emitted)
+					}
+					if len(wd.Added) != step || len(wd.Retracted) != step {
+						t.Fatalf("size=%d step=%d: |added|=%d |retracted|=%d, want %d",
+							size, step, len(wd.Added), len(wd.Retracted), step)
+					}
+				}
+				applyDelta(t, cur, *wd)
+			}
+			if emitted == 0 && size <= 40 {
+				t.Fatalf("size=%d step=%d: no emissions", size, step)
+			}
+		}
+	}
+}
+
+func TestSlidingTimeWindowDeltas(t *testing.T) {
+	w := &SlidingTimeWindow{Span: 10 * time.Millisecond, Step: 3 * time.Millisecond}
+	cur := map[rdf.Triple]int{}
+	base := time.Unix(0, 0)
+	emitted := 0
+	for i := 0; i < 60; i++ {
+		it := Item{Triple: rdf.Triple{S: fmt.Sprintf("s%d", i%5), P: "p", O: "o"},
+			At: base.Add(time.Duration(i) * time.Millisecond)}
+		wd := w.AddDelta(it)
+		if wd == nil {
+			continue
+		}
+		emitted++
+		if emitted > 1 && !wd.Incremental {
+			t.Fatalf("emission %d not incremental", emitted)
+		}
+		applyDelta(t, cur, *wd)
+	}
+	if emitted < 3 {
+		t.Fatalf("emissions = %d", emitted)
+	}
+}
+
+// Flush contract: the tail items no emission ever covered — the whole
+// partial buffer when nothing was emitted, nil when the last emission
+// covered everything.
+func TestSlidingCountWindowFlushContract(t *testing.T) {
+	cases := []struct {
+		name       string
+		size, step int
+		items      int
+		wantFlush  int
+	}{
+		{"never-emitted partial", 10, 5, 4, 4},
+		{"exact emission boundary", 4, 2, 8, 0},
+		{"uncovered tail", 4, 2, 9, 1},
+		{"step one", 3, 1, 5, 0},        // emits every item once full
+		{"step one warmup", 3, 1, 2, 2}, // never full
+		{"tumbling step=size", 3, 3, 7, 1},
+		{"size one", 1, 1, 5, 0},
+		{"empty", 4, 2, 0, 0},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			w := &SlidingCountWindow{Size: tc.size, Step: tc.step}
+			feedCount(w, tc.items)
+			got := w.Flush()
+			if len(got) != tc.wantFlush {
+				t.Fatalf("flush = %d items, want %d", len(got), tc.wantFlush)
+			}
+			// Flush resets: the windower is reusable afterwards.
+			if w.seen != 0 || w.prev != nil || len(w.buf) != 0 {
+				t.Fatal("flush must reset the window state")
+			}
+		})
+	}
+}
+
+// The time window honors the same Flush contract: only items no emission
+// ever covered are delivered.
+func TestSlidingTimeWindowFlushContract(t *testing.T) {
+	w := &SlidingTimeWindow{Span: 10 * time.Millisecond, Step: 4 * time.Millisecond}
+	base := time.Unix(0, 0)
+	feed := func(from, to int) (emitted int, lastWin []rdf.Triple) {
+		for i := from; i < to; i++ {
+			it := Item{Triple: rdf.Triple{S: fmt.Sprintf("s%d", i), P: "p", O: "o"},
+				At: base.Add(time.Duration(i) * time.Millisecond)}
+			if wd := w.AddDelta(it); wd != nil {
+				emitted++
+				lastWin = wd.Window
+			}
+		}
+		return emitted, lastWin
+	}
+	// No emission yet: Flush returns the whole partial buffer.
+	if n, _ := feed(0, 5); n != 0 {
+		t.Fatalf("unexpected emission after 5 items")
+	}
+	if rest := w.Flush(); len(rest) != 5 {
+		t.Fatalf("pre-emission flush = %d items, want 5", len(rest))
+	}
+	// After an emission: only the items that arrived after it come back.
+	n, lastWin := feed(0, 15)
+	if n == 0 {
+		t.Fatal("expected at least one emission")
+	}
+	rest := w.Flush()
+	for _, tr := range rest {
+		for _, covered := range lastWin {
+			if tr == covered {
+				t.Fatalf("flush re-delivered %v, already covered by the last window", tr)
+			}
+		}
+	}
+}
+
 // Property: sliding count windows always contain the most recent Size items
 // in arrival order.
 func TestQuickSlidingCountRecency(t *testing.T) {

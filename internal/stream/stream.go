@@ -92,6 +92,30 @@ type Windower interface {
 	Flush() []rdf.Triple
 }
 
+// WindowDelta is a completed window together with its change relative to the
+// previously emitted window. When Incremental is true, the new window equals
+// the previous window minus Retracted plus Added (as multisets of triples);
+// downstream reasoners can then maintain their grounding incrementally
+// instead of reprocessing the full window. The first emission of a stream,
+// and emissions of windowers that cannot relate consecutive windows, carry
+// Incremental == false with Added == Window.
+type WindowDelta struct {
+	Window    []rdf.Triple
+	Added     []rdf.Triple
+	Retracted []rdf.Triple
+	// Incremental reports whether Added/Retracted are valid relative to the
+	// previous emission.
+	Incremental bool
+}
+
+// DeltaWindower is implemented by windowers that report per-emission deltas
+// (the sliding windows). AddDelta is the delta-aware Add: a non-nil return is
+// a completed window with its delta.
+type DeltaWindower interface {
+	Windower
+	AddDelta(Item) *WindowDelta
+}
+
 // CountWindow is the tuple-based window of the paper: every Size items form
 // one window.
 type CountWindow struct {
@@ -152,9 +176,20 @@ func (w *TimeWindow) Flush() []rdf.Triple {
 // completed window (including the final partial window, if non-empty).
 // It propagates the source error and stops early if handle returns an error.
 func Windows(ctx context.Context, src Source, filter Filter, w Windower, handle func([]rdf.Triple) error) error {
+	return WindowsDelta(ctx, src, filter, w, func(wd WindowDelta) error {
+		return handle(wd.Window)
+	})
+}
+
+// WindowsDelta is Windows with delta-aware delivery: when the windower
+// implements DeltaWindower, each completed window carries the added/retracted
+// triples relative to the previous emission; otherwise every window is
+// delivered as a non-incremental delta (Added == Window).
+func WindowsDelta(ctx context.Context, src Source, filter Filter, w Windower, handle func(WindowDelta) error) error {
 	items := make(chan Item, 1024)
 	errc := make(chan error, 1)
 	go func() { errc <- src.Run(ctx, items) }()
+	dw, _ := w.(DeltaWindower)
 	for it := range items {
 		if filter != nil {
 			t, ok := filter(it.Triple)
@@ -163,8 +198,14 @@ func Windows(ctx context.Context, src Source, filter Filter, w Windower, handle 
 			}
 			it.Triple = t
 		}
-		if win := w.Add(it); win != nil {
-			if err := handle(win); err != nil {
+		var wd *WindowDelta
+		if dw != nil {
+			wd = dw.AddDelta(it)
+		} else if win := w.Add(it); win != nil {
+			wd = &WindowDelta{Window: win, Added: win}
+		}
+		if wd != nil {
+			if err := handle(*wd); err != nil {
 				// Drain the source to unblock it.
 				cancelDrain(items)
 				<-errc
@@ -176,7 +217,7 @@ func Windows(ctx context.Context, src Source, filter Filter, w Windower, handle 
 		return err
 	}
 	if rest := w.Flush(); len(rest) > 0 {
-		return handle(rest)
+		return handle(WindowDelta{Window: rest, Added: rest})
 	}
 	return nil
 }

@@ -13,6 +13,15 @@ type Reasoner interface {
 	Reason(window []Triple) (*Output, error)
 }
 
+// DeltaReasoner is implemented by reasoners that can maintain their
+// grounding incrementally across overlapping windows (Engine and
+// ParallelEngine both do). The pipeline feeds windower-reported deltas to a
+// DeltaReasoner automatically.
+type DeltaReasoner interface {
+	Reasoner
+	ReasonDelta(window []Triple, d *Delta) (*Output, error)
+}
+
 // Filter selects (and may rewrite) the triples forwarded to the reasoning
 // layer — the stand-in for the stream query processor of StreamRule.
 type Filter = stream.Filter
@@ -65,11 +74,22 @@ func (p *Pipeline) Run(ctx context.Context, handle func(window []Triple, out *Ou
 		return fmt.Errorf("streamrule: pipeline needs WindowSize or WindowSpan")
 	}
 	src := &stream.SliceSource{Triples: p.Source, Rate: p.Rate}
-	return stream.Windows(ctx, src, p.Filter, w, func(win []Triple) error {
-		out, err := p.Reasoner.Reason(win)
+	dr, _ := p.Reasoner.(DeltaReasoner)
+	return stream.WindowsDelta(ctx, src, p.Filter, w, func(wd stream.WindowDelta) error {
+		var out *Output
+		var err error
+		if dr != nil {
+			var d *Delta
+			if wd.Incremental {
+				d = &Delta{Added: wd.Added, Retracted: wd.Retracted}
+			}
+			out, err = dr.ReasonDelta(wd.Window, d)
+		} else {
+			out, err = p.Reasoner.Reason(wd.Window)
+		}
 		if err != nil {
 			return err
 		}
-		return handle(win, out)
+		return handle(wd.Window, out)
 	})
 }

@@ -41,6 +41,11 @@ type AnswerSet = solve.AnswerSet
 // Total, and the multi-core CriticalPath).
 type Output = reasoner.Output
 
+// Delta is the change of a window relative to the previously processed one,
+// as reported by sliding windowers. Engines that receive deltas maintain
+// their grounding incrementally across overlapping windows.
+type Delta = reasoner.Delta
+
 // Plan is a partitioning plan: the mapping from input predicates to the
 // partitions their items are routed to.
 type Plan = core.Plan
@@ -161,8 +166,18 @@ func NewEngine(p *Program, opts ...Option) (*Engine, error) {
 	return &Engine{r: r}, nil
 }
 
-// Reason processes one window of triples.
+// Reason processes one window of triples, grounding from scratch.
 func (e *Engine) Reason(window []Triple) (*Output, error) { return e.r.Process(window) }
+
+// ReasonDelta processes one window given its delta relative to the previous
+// window (nil when unknown). For programs the incremental grounder supports
+// (stratified, no choice/disjunction/aggregates), consecutive overlapping
+// windows are maintained under the delta instead of re-grounded — the big
+// latency lever for sliding windows; everything else falls back to Reason
+// semantics automatically and produces identical answers either way.
+func (e *Engine) ReasonDelta(window []Triple, d *Delta) (*Output, error) {
+	return e.r.ProcessDelta(window, d)
+}
 
 // ParallelEngine is the partitioned reasoner PR of the extended StreamRule
 // framework. By default it partitions by the dependency plan derived from
@@ -221,3 +236,11 @@ func (e *ParallelEngine) Partitions() int { return e.pr.NumPartitions() }
 // Reason processes one window of triples: partition, reason in parallel,
 // combine.
 func (e *ParallelEngine) Reason(window []Triple) (*Output, error) { return e.pr.Process(window) }
+
+// ReasonDelta is the incremental Reason for overlapping windows: every
+// partition reasoner maintains its grounding across windows (deriving its
+// own partition-level delta), with automatic fallback to from-scratch
+// grounding where incremental maintenance does not apply.
+func (e *ParallelEngine) ReasonDelta(window []Triple, d *Delta) (*Output, error) {
+	return e.pr.ProcessDelta(window, d)
+}

@@ -265,6 +265,59 @@ func TestPipelineSlidingWindows(t *testing.T) {
 	}
 }
 
+// A sliding pipeline routes windower deltas into the engine's incremental
+// path; the answers must match a from-scratch engine on every window.
+func TestPipelineIncrementalMatchesScratch(t *testing.T) {
+	p, err := LoadProgram(testProgramP, testInpre)
+	if err != nil {
+		t.Fatal(err)
+	}
+	inc, err := NewEngine(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	oracle, err := NewEngine(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gen, err := workload.NewGenerator(5, workload.PaperTraffic())
+	if err != nil {
+		t.Fatal(err)
+	}
+	pl := &Pipeline{
+		Source:     gen.Window(3000),
+		WindowSize: 1000,
+		WindowStep: 200,
+		Reasoner:   inc,
+	}
+	incremental := 0
+	err = pl.Run(context.Background(), func(win []Triple, out *Output) error {
+		want, err := oracle.Reason(win)
+		if err != nil {
+			return err
+		}
+		if len(out.Answers) != len(want.Answers) {
+			t.Fatalf("answers = %d, oracle %d", len(out.Answers), len(want.Answers))
+		}
+		for i := range out.Answers {
+			if !out.Answers[i].Equal(want.Answers[i]) {
+				t.Fatalf("window answers diverge:\nincremental: %v\noracle:      %v",
+					out.Answers[i], want.Answers[i])
+			}
+		}
+		if out.Incremental {
+			incremental++
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if incremental == 0 {
+		t.Error("no window was maintained incrementally")
+	}
+}
+
 func TestProgramWithShowAndAggregates(t *testing.T) {
 	// End-to-end: aggregates in the program, #show projecting outputs.
 	src := `
