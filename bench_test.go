@@ -17,6 +17,7 @@ import (
 	"testing"
 
 	"streamrule/internal/asp/ground"
+	"streamrule/internal/asp/intern"
 	"streamrule/internal/asp/parser"
 	"streamrule/internal/asp/solve"
 	"streamrule/internal/bench"
@@ -223,6 +224,91 @@ func BenchmarkFig7Sliding(b *testing.B) {
 				b.ReportMetric(float64(incWindows)/float64(b.N), "inc-share")
 			})
 		}
+	}
+}
+
+// BenchmarkFig7SoakEviction measures what intern-table eviction costs on the
+// workload it exists for: sliding windows over a stream whose location and
+// vehicle constants churn ("timestamped" streams), which grow the table
+// without bound. The "no-evict" variant runs on a frozen private table (the
+// paper's assumption of a bounded vocabulary); "budget20k" rotates the table
+// whenever it exceeds 20k atoms, evicting constants the live window no
+// longer references. Compare cp-ms for the rotation overhead and the
+// "live-atoms" gauge for the memory effect.
+func BenchmarkFig7SoakEviction(b *testing.B) {
+	prog, err := parser.Parse(bench.ProgramP)
+	if err != nil {
+		b.Fatal(err)
+	}
+	const size = 5000
+	step := size / 5
+	stream := bench.FreshTraffic(int64(size), size+step*40)
+	type emission struct {
+		window, added, retracted []Triple
+		incremental              bool
+	}
+	var emissions []emission
+	for at := 0; at+size <= len(stream); at += step {
+		e := emission{window: stream[at : at+size]}
+		if at > 0 {
+			e.incremental = true
+			e.added = stream[at+size-step : at+size]
+			e.retracted = stream[at-step : at]
+		}
+		emissions = append(emissions, e)
+	}
+	for _, variant := range []struct {
+		name   string
+		budget int
+	}{
+		{"no-evict", 0},
+		{"budget20k", 20000},
+	} {
+		b.Run(fmt.Sprintf("R/%s/w%dk", variant.name, size/1000), func(b *testing.B) {
+			b.ReportAllocs()
+			cfg := reasoner.Config{
+				Program: prog, Inpre: bench.Inpre, OutputPreds: bench.Outputs,
+				MemoryBudget: variant.budget,
+			}
+			if variant.budget == 0 {
+				// A private frozen table: the fresh constants must not
+				// pollute the process-wide default table.
+				cfg.GroundOpts.Intern = intern.NewTable()
+			}
+			r, err := reasoner.NewR(cfg)
+			if err != nil {
+				b.Fatal(err)
+			}
+			process := func(e emission) (*reasoner.Output, error) {
+				var d *reasoner.Delta
+				if e.incremental {
+					d = &reasoner.Delta{Added: e.added, Retracted: e.retracted}
+				}
+				return r.ProcessDelta(e.window, d)
+			}
+			for _, e := range emissions[:3] {
+				if _, err := process(e); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ResetTimer()
+			var cpTotal float64
+			for i := 0; i < b.N; i++ {
+				e := emissions[3+i%(len(emissions)-3)]
+				if i%(len(emissions)-3) == 0 && i > 0 {
+					e.incremental = false
+				}
+				out, err := process(e)
+				if err != nil {
+					b.Fatal(err)
+				}
+				cpTotal += float64(out.Latency.CriticalPath.Microseconds()) / 1000
+			}
+			b.ReportMetric(cpTotal/float64(b.N), "cp-ms")
+			st := r.Stats()
+			b.ReportMetric(float64(st.Table.Atoms), "live-atoms")
+			b.ReportMetric(float64(st.Table.Rotations), "rotations")
+		})
 	}
 }
 

@@ -46,6 +46,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 	windows := fs.Int("windows", 4, "number of synthetic windows to stream (with the generator)")
 	seed := fs.Int64("seed", 1, "synthetic workload seed")
 	rate := fs.Int("rate", 0, "stream rate in triples/second (0 = unpaced)")
+	budget := fs.Int("budget", 0, "memory budget in interned atoms (> 0 evicts unreferenced table entries between windows; for streams with unbounded vocabularies)")
 	verbose := fs.Bool("v", false, "print every answer atom (default: summary per window)")
 	if err := fs.Parse(args); err != nil {
 		return 2
@@ -81,6 +82,9 @@ func run(args []string, stdout, stderr io.Writer) int {
 	var opts []streamrule.Option
 	if outs := splitList(*outputs); len(outs) > 0 {
 		opts = append(opts, streamrule.WithOutputPredicates(outs...))
+	}
+	if *budget > 0 {
+		opts = append(opts, streamrule.WithMemoryBudget(*budget))
 	}
 
 	var eng streamrule.Reasoner
@@ -156,6 +160,11 @@ func run(args []string, stdout, stderr io.Writer) int {
 	})
 	if err != nil {
 		return fail(stderr, err)
+	}
+	if st, ok := pl.MemoryStats(); ok && st.Budget > 0 {
+		fmt.Fprintf(stdout, "memory: budget=%d atoms live=%d peak=%d rotations=%d evicted=%d remap=%v\n",
+			st.Budget, st.Table.Atoms, st.Table.PeakAtoms, st.Table.Rotations,
+			st.Table.EvictedAtoms, st.Table.RemapTime)
 	}
 	return 0
 }

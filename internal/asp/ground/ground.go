@@ -426,8 +426,11 @@ type Instantiator struct {
 	constraints []ast.Rule
 	compOf      map[intern.PredID]int
 	// progFacts are the ground facts appearing in the program text
-	// (intervals pre-expanded), re-seeded into every window.
-	progFacts []intern.AtomID
+	// (intervals pre-expanded), re-seeded into every window. progFactAtoms
+	// retains their materialized forms so the IDs can be re-interned after a
+	// table rotation (rotate.go).
+	progFacts     []intern.AtomID
+	progFactAtoms []ast.Atom
 
 	// Scratch reused across windows.
 	stores   []*predStore // indexed by PredID
@@ -487,6 +490,7 @@ func NewInstantiator(p *ast.Program, opts Options) (*Instantiator, error) {
 				}
 				factSeen[id] = true
 				inst.progFacts = append(inst.progFacts, id)
+				inst.progFactAtoms = append(inst.progFactAtoms, hs[0])
 				if opts.MaxAtoms > 0 && len(inst.progFacts) > opts.MaxAtoms {
 					return nil, &ErrAtomLimit{Limit: opts.MaxAtoms}
 				}

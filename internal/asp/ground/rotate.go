@@ -1,0 +1,149 @@
+// Table-rotation support: surviving intern.Table.Rotate with the
+// instantiator's cross-window state intact.
+//
+// The instantiator holds interned IDs across windows in two places: the
+// program-text facts (re-seeded into every window) and, when incremental
+// maintenance is live, the atom stores with their support/EDB counts and the
+// key-sorted certain set. LiveAtomIDs reports those IDs so the rotating
+// caller can pass them to Rotate; Remap then rewrites them to the rotated
+// IDs. Dead tombstones are deliberately not kept alive: a rotation doubles
+// as an unconditional store compaction. When a live ID is missing from the
+// remap (a caller rotated without consulting LiveAtomIDs), Remap falls back
+// to dropping the incremental state entirely — the next window re-seeds from
+// scratch, trading latency for correctness.
+package ground
+
+import "streamrule/internal/asp/intern"
+
+// LiveAtomIDs appends every interned atom ID the instantiator needs to stay
+// valid across a table rotation: the program-text facts and, when
+// incremental state is live, every live atom of the maintained stores
+// (tombstones excluded — Remap drops them).
+func (inst *Instantiator) LiveAtomIDs(dst []intern.AtomID) []intern.AtomID {
+	dst = append(dst, inst.progFacts...)
+	if inst.IncrementalReady() {
+		for _, st := range inst.stores {
+			if st == nil {
+				continue
+			}
+			for i, live := range st.certain {
+				if live {
+					dst = append(dst, st.ids[i])
+				}
+			}
+		}
+	}
+	return dst
+}
+
+// Remap rewrites the instantiator's interned IDs after a table rotation.
+// It reports whether the incremental state had to be dropped (reseeded):
+// the caller must then treat the grounding as cold and re-seed with
+// GroundIncremental before the next Update.
+func (inst *Instantiator) Remap(rm *intern.Remap) (reseeded bool) {
+	// Program facts are re-interned from their retained materialized forms:
+	// correct even for a rotation that dropped them.
+	for i, a := range inst.progFactAtoms {
+		inst.progFacts[i] = inst.tab.InternAtom(a)
+	}
+	if !inst.IncrementalReady() {
+		// No live cross-window state, but the scratch stores' position maps
+		// and indexes hold stale IDs; clear them rather than trust the
+		// per-window reset to run first.
+		inst.resetStores()
+		return false
+	}
+	for _, st := range inst.stores {
+		if st == nil {
+			continue
+		}
+		if !st.remapLive(inst.tab, rm) {
+			inst.dropIncremental()
+			return true
+		}
+	}
+	s := inst.inc
+	for i, id := range s.sortedIDs {
+		nid, ok := rm.Atom(id)
+		if !ok {
+			inst.dropIncremental()
+			return true
+		}
+		s.sortedIDs[i] = nid
+	}
+	clear(s.deltaCache)
+	return false
+}
+
+// resetStores clears every scratch store (keeping capacity) and the
+// seen-rule set.
+func (inst *Instantiator) resetStores() {
+	for _, st := range inst.stores {
+		if st != nil {
+			st.reset()
+		}
+	}
+	clear(inst.seen)
+}
+
+// dropIncremental invalidates the incremental state after a failed remap.
+func (inst *Instantiator) dropIncremental() {
+	inst.resetStores()
+	if inst.inc != nil {
+		inst.inc.ready = false
+	}
+}
+
+// remapLive compacts the store to its live atoms under a table remap:
+// tombstones are dropped, positions and indexes are rebuilt with the rotated
+// IDs and argument codes, and the support/EDB counts follow their atoms. It
+// reports false when a live atom is missing from the remap or an update is
+// in flight (touched marks pending) — the caller then resets wholesale.
+func (st *predStore) remapLive(tab *intern.Table, rm *intern.Remap) bool {
+	if len(st.touched) > 0 || !st.inc {
+		return false
+	}
+	clear(st.pos)
+	for _, m := range st.index {
+		for k, b := range m {
+			st.arena.put(b)
+			delete(m, k)
+		}
+	}
+	w := int32(0)
+	for r := range st.atoms {
+		if !st.certain[r] {
+			continue
+		}
+		nid, ok := rm.Atom(st.ids[r])
+		if !ok {
+			return false
+		}
+		st.ids[w] = nid
+		st.atoms[w] = st.atoms[r]
+		st.certain[w] = true
+		st.support[w] = st.support[r]
+		st.edbRef[w] = st.edbRef[r]
+		st.marks[w] = 0
+		st.pos[nid] = w
+		if st.index != nil {
+			codes := tab.ArgCodes(nid)
+			for p := range st.index {
+				b, ok := st.index[p][codes[p]]
+				if !ok {
+					b = st.arena.get()
+				}
+				st.index[p][codes[p]] = append(b, w)
+			}
+		}
+		w++
+	}
+	st.ids = st.ids[:w]
+	st.atoms = st.atoms[:w]
+	st.certain = st.certain[:w]
+	st.support = st.support[:w]
+	st.edbRef = st.edbRef[:w]
+	st.marks = st.marks[:w]
+	st.liveCnt = int(w)
+	return true
+}

@@ -1,0 +1,131 @@
+package ground
+
+import (
+	"fmt"
+	"slices"
+	"testing"
+
+	"streamrule/internal/asp/ast"
+	"streamrule/internal/asp/intern"
+	"streamrule/internal/asp/parser"
+)
+
+// TestInstantiatorSurvivesRotation interleaves incremental updates with
+// table rotations and checks every window's certain set against a fresh
+// from-scratch oracle: eviction must be invisible to the grounding.
+func TestInstantiatorSurvivesRotation(t *testing.T) {
+	src := `seed(0).
+a(X) :- b(X).
+c(X) :- b(X), not d(X).
+e(X) :- a(X), c(X).`
+	prog, err := parser.Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tab := intern.NewTable()
+	inst, err := NewInstantiator(prog, Options{Intern: tab})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !inst.SupportsIncremental() {
+		t.Fatal("program should be incremental-eligible")
+	}
+
+	// Fresh constants per window: window w holds b(w..w+3) and d(w+1).
+	window := func(w int) (facts []ast.Atom) {
+		for i := w; i < w+4; i++ {
+			facts = append(facts, ast.NewAtom("b", ast.Sym(fmt.Sprintf("u%d", i))))
+		}
+		facts = append(facts, ast.NewAtom("d", ast.Sym(fmt.Sprintf("u%d", w+1))))
+		return facts
+	}
+	intern1 := func(facts []ast.Atom) []intern.AtomID {
+		ids, err := inst.InternFacts(facts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return ids
+	}
+
+	prev := window(0)
+	gp, err := inst.GroundIncremental(intern1(prev))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for w := 1; w <= 12; w++ {
+		cur := window(w)
+		// Fact-level delta: previous window's facts minus current ones.
+		var added, retracted []ast.Atom
+		for _, f := range cur {
+			if !slices.ContainsFunc(prev, f.Equal) {
+				added = append(added, f)
+			}
+		}
+		for _, f := range prev {
+			if !slices.ContainsFunc(cur, f.Equal) {
+				retracted = append(retracted, f)
+			}
+		}
+		gp, err = inst.Update(intern1(added), intern1(retracted))
+		if err != nil {
+			t.Fatalf("window %d: Update: %v", w, err)
+		}
+
+		// Oracle: a fresh instantiator on its own table.
+		oracle, err := Ground(prog, cur, Options{Intern: intern.NewTable()})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got, want := certainKeys(gp), certainKeys(oracle); !slices.Equal(got, want) {
+			t.Fatalf("window %d: certain sets diverge\ngot:  %v\nwant: %v", w, got, want)
+		}
+
+		// Every third window: rotate the table to the grounder's live set
+		// and remap. The next Update must behave as if nothing happened.
+		if w%3 == 0 {
+			tab.AdvanceEpoch()
+			rm, err := tab.Rotate(inst.LiveAtomIDs(nil))
+			if err != nil {
+				t.Fatalf("window %d: Rotate: %v", w, err)
+			}
+			if inst.Remap(rm) {
+				t.Fatalf("window %d: remap reported a reseed despite a complete live set", w)
+			}
+			if !inst.IncrementalReady() {
+				t.Fatalf("window %d: incremental state lost by rotation", w)
+			}
+			if rm.Stats.AtomsAfter >= rm.Stats.AtomsBefore && w > 3 {
+				t.Errorf("window %d: rotation evicted nothing (%d -> %d) on a fresh-constant stream",
+					w, rm.Stats.AtomsBefore, rm.Stats.AtomsAfter)
+			}
+		}
+		prev = cur
+	}
+
+	// A rotation that ignores the live set must degrade safely: the
+	// instantiator drops its state and reports the reseed.
+	tab.AdvanceEpoch()
+	tab.AdvanceEpoch() // nothing touched in the newest epoch
+	rm, err := tab.Rotate(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !inst.Remap(rm) {
+		t.Fatal("remap after a state-dropping rotation must report reseed")
+	}
+	if inst.IncrementalReady() {
+		t.Fatal("incremental state must be invalidated")
+	}
+	// Re-seeding works on the rotated table, program facts included.
+	gp, err = inst.GroundIncremental(intern1(prev))
+	if err != nil {
+		t.Fatal(err)
+	}
+	oracle, err := Ground(prog, prev, Options{Intern: intern.NewTable()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := certainKeys(gp), certainKeys(oracle); !slices.Equal(got, want) {
+		t.Fatalf("post-reseed certain sets diverge\ngot:  %v\nwant: %v", got, want)
+	}
+}

@@ -1,0 +1,166 @@
+package intern
+
+import (
+	"fmt"
+	"testing"
+
+	"streamrule/internal/asp/ast"
+)
+
+// fuzzBuildAtoms decodes the first part of data into a table population:
+// atoms over three predicates (arities 1, 2, 3) with arguments drawn from
+// numbers, symbols, strings, and out-of-inline-range integers (which
+// exercise the structured-term side table). It returns the distinct interned
+// IDs in intern order, their source atoms, and the unconsumed tail.
+func fuzzBuildAtoms(tab *Table, data []byte) (ids []AtomID, atoms map[AtomID]ast.Atom, rest []byte) {
+	atoms = make(map[AtomID]ast.Atom)
+	if len(data) == 0 {
+		return nil, atoms, nil
+	}
+	n := int(data[0])%48 + 1
+	data = data[1:]
+	arg := func(b byte) ast.Term {
+		switch b % 4 {
+		case 0:
+			return ast.Num(int64(b))
+		case 1:
+			return ast.Sym(fmt.Sprintf("s%d", b%8))
+		case 2:
+			return ast.Str(fmt.Sprintf("t%d", b%5))
+		default:
+			return ast.Num(int64(1)<<62 + int64(b%7))
+		}
+	}
+	for i := 0; i < n && len(data) > 0; i++ {
+		arity := int(data[0])%3 + 1
+		pred := fmt.Sprintf("p%d", arity)
+		data = data[1:]
+		if len(data) < arity {
+			break
+		}
+		args := make([]ast.Term, arity)
+		for k := 0; k < arity; k++ {
+			args[k] = arg(data[k])
+		}
+		data = data[arity:]
+		a := ast.Atom{Pred: pred, Args: args}
+		id := tab.InternAtom(a)
+		if _, seen := atoms[id]; !seen {
+			ids = append(ids, id)
+			atoms[id] = a
+		}
+	}
+	return ids, atoms, data
+}
+
+// FuzzRotateRemap drives random table contents and live sets through Rotate
+// and checks the remap contract: the mapping is a bijection from the live
+// IDs onto the compacted dense range, every surviving atom re-renders
+// identically, and re-interning any original atom round-trips (to the
+// remapped ID for survivors, to a fresh ID for evicted atoms).
+func FuzzRotateRemap(f *testing.F) {
+	f.Add([]byte("\x10\x01\x02\x03\x02\x04\x05\x06\x01\x07\x03\x08\x09\x0a\xff\x55"))
+	f.Add([]byte("\x30aaaabbbbccccddddeeeeffffgggghhhh\xaa\xbb\xcc"))
+	f.Add([]byte("\x05\x03\x03\x07\x0b\x03\x0f\x13\x17\x01\x02\x00"))
+	f.Add([]byte{2, 1, 1, 1, 1})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		tab := NewTable()
+		ids, atoms, rest := fuzzBuildAtoms(tab, data)
+		if len(ids) == 0 {
+			return
+		}
+		strs := make(map[AtomID]string, len(ids))
+		keys := make(map[AtomID]string, len(ids))
+		for _, id := range ids {
+			strs[id] = tab.Atom(id).String()
+			keys[id] = tab.KeyOf(id)
+		}
+
+		// The remaining bytes select the live subset; a new epoch makes the
+		// selection exact (nothing is protected as touched-this-epoch).
+		tab.AdvanceEpoch()
+		liveSet := make(map[AtomID]bool)
+		var live []AtomID
+		for i, id := range ids {
+			bit := false
+			if len(rest) > 0 {
+				bit = rest[i/8%len(rest)]&(1<<(i%8)) != 0
+			}
+			if bit {
+				liveSet[id] = true
+				live = append(live, id)
+				if i%3 == 0 {
+					live = append(live, id) // duplicates must be tolerated
+				}
+			}
+		}
+
+		rm, err := tab.Rotate(live)
+		if err != nil {
+			t.Fatalf("Rotate: %v", err)
+		}
+		if got := tab.NumAtoms(); got != len(liveSet) {
+			t.Fatalf("NumAtoms = %d, want %d live", got, len(liveSet))
+		}
+		if rm.NumLiveAtoms() != len(liveSet) {
+			t.Fatalf("NumLiveAtoms = %d, want %d", rm.NumLiveAtoms(), len(liveSet))
+		}
+
+		// Bijection: live IDs map injectively onto [0, numLive).
+		seen := make(map[AtomID]bool, len(liveSet))
+		for old := range liveSet {
+			nid, ok := rm.Atom(old)
+			if !ok {
+				t.Fatalf("live atom %d reported evicted", old)
+			}
+			if int(nid) < 0 || int(nid) >= len(liveSet) {
+				t.Fatalf("new id %d outside dense range [0,%d)", nid, len(liveSet))
+			}
+			if seen[nid] {
+				t.Fatalf("remap maps two live atoms to %d", nid)
+			}
+			seen[nid] = true
+			if got := tab.Atom(nid).String(); got != strs[old] {
+				t.Fatalf("atom %d renders %q after rotation, want %q", old, got, strs[old])
+			}
+			if got := tab.KeyOf(nid); got != keys[old] {
+				t.Fatalf("atom %d key %q after rotation, want %q", old, got, keys[old])
+			}
+		}
+
+		// Evicted IDs report as such; re-interning round-trips identically.
+		for _, id := range ids {
+			if _, ok := rm.Atom(id); ok != liveSet[id] {
+				t.Fatalf("rm.Atom(%d) live = %v, want %v", id, ok, liveSet[id])
+			}
+		}
+		for _, id := range ids {
+			nid := tab.InternAtom(atoms[id])
+			if liveSet[id] {
+				want, _ := rm.Atom(id)
+				if nid != want {
+					t.Fatalf("re-intern of live atom %d = %d, want %d", id, nid, want)
+				}
+			} else if int(nid) < len(liveSet) {
+				t.Fatalf("re-intern of evicted atom %d collided with surviving id %d", id, nid)
+			}
+			if got := tab.Atom(nid).String(); got != strs[id] {
+				t.Fatalf("re-interned atom renders %q, want %q", got, strs[id])
+			}
+		}
+
+		// A second rotation with an empty live set (after advancing the
+		// epoch) must drop every atom while predicates survive.
+		preds := tab.NumPreds()
+		tab.AdvanceEpoch()
+		if _, err := tab.Rotate(nil); err != nil {
+			t.Fatalf("empty rotate: %v", err)
+		}
+		if tab.NumAtoms() != 0 {
+			t.Fatalf("atoms after empty rotate = %d", tab.NumAtoms())
+		}
+		if tab.NumPreds() != preds {
+			t.Fatalf("predicates changed across rotation: %d != %d", tab.NumPreds(), preds)
+		}
+	})
+}

@@ -17,21 +17,25 @@
 // interned data take only a read lock, which is the steady state for sliding
 // windows whose contents overlap heavily from window to window.
 //
-// A table grows monotonically — there is no eviction, so memory is bounded
-// by the number of DISTINCT symbols and atoms ever seen, not by the live
+// During normal operation a table grows monotonically: memory is bounded by
+// the number of DISTINCT symbols and atoms ever seen, not by the live
 // window. That is the right trade for the paper's workloads (a bounded
 // vocabulary of locations/vehicles recurring across windows), but a stream
 // that mints fresh constants every window (timestamps, unique event IDs)
-// grows the table without bound. Until epoch-based eviction lands (see
-// ROADMAP), such streams should normalize unbounded values out of their
-// triples upstream, or use a dedicated Table per epoch via
-// ground.Options.Intern and drop it wholesale.
+// grows the table without bound. For those streams the table supports
+// epoch-based eviction (rotate.go): every entry records the last epoch it
+// was interned, and Rotate compacts the table to the entries a caller still
+// references (plus everything touched in the current epoch), returning a
+// dense old→new ID remapping that the holders of cross-window state apply.
+// The per-epoch ground.Options.Intern escape hatch (a dedicated table
+// dropped wholesale) remains available for callers that keep no state.
 package intern
 
 import (
 	"encoding/binary"
 	"sort"
 	"sync"
+	"sync/atomic"
 
 	"streamrule/internal/asp/ast"
 )
@@ -119,6 +123,23 @@ type Table struct {
 	atoms1 map[key1]AtomID
 	atoms2 map[key2]AtomID
 	atomsN map[string]AtomID
+
+	// Epoch-based eviction state (rotate.go). epoch is read/written
+	// atomically (AdvanceEpoch takes no lock); the per-entry epoch slices
+	// are aligned with symNames/predInfo/termList/atoms and record the last
+	// epoch an entry was interned or re-interned. Under a read lock they are
+	// accessed atomically (concurrent readers touch entries); under the
+	// write lock plain access is safe.
+	epoch      uint32
+	symEpochs  []uint32
+	predEpochs []uint32
+	termEpochs []uint32
+	atomEpochs []uint32
+
+	rotations    int
+	evictedAtoms int64
+	peakAtoms    int
+	remapTime    int64 // nanoseconds spent inside Rotate
 }
 
 // NewTable returns an empty table.
@@ -141,10 +162,47 @@ var defaultTable = NewTable()
 // directly comparable.
 func Default() *Table { return defaultTable }
 
+// curEpoch reads the current epoch. Safe without any lock.
+func (t *Table) curEpoch() uint32 { return atomic.LoadUint32(&t.epoch) }
+
+// The touch helpers record the current epoch on an entry. They require at
+// least a read lock (so the epoch slices cannot be reallocated underneath)
+// and store atomically, since multiple read-lock holders may touch
+// concurrently. Epoch 0 means epoch tracking is off (AdvanceEpoch was never
+// called — the table will not rotate), so the hot paths of non-rotating
+// tables pay a read of a never-written word instead of contended stores.
+func (t *Table) touchSym(id SymID) {
+	if e := t.curEpoch(); e != 0 {
+		atomic.StoreUint32(&t.symEpochs[id], e)
+	}
+}
+
+func (t *Table) touchPred(id PredID) {
+	if e := t.curEpoch(); e != 0 {
+		atomic.StoreUint32(&t.predEpochs[id], e)
+	}
+}
+
+func (t *Table) touchAtom(id AtomID) {
+	if e := t.curEpoch(); e != 0 {
+		atomic.StoreUint32(&t.atomEpochs[id], e)
+	}
+}
+
+// touchTerm is the term-side touch helper, same contract as the others.
+func (t *Table) touchTerm(i uint32) {
+	if e := t.curEpoch(); e != 0 {
+		atomic.StoreUint32(&t.termEpochs[i], e)
+	}
+}
+
 // Sym interns a constant or predicate-name string.
 func (t *Table) Sym(name string) SymID {
 	t.mu.RLock()
 	id, ok := t.syms[name]
+	if ok {
+		t.touchSym(id)
+	}
 	t.mu.RUnlock()
 	if ok {
 		return id
@@ -156,10 +214,12 @@ func (t *Table) Sym(name string) SymID {
 
 func (t *Table) symLocked(name string) SymID {
 	if id, ok := t.syms[name]; ok {
+		t.touchSym(id)
 		return id
 	}
 	id := SymID(len(t.symNames))
 	t.symNames = append(t.symNames, name)
+	t.symEpochs = append(t.symEpochs, t.curEpoch())
 	t.syms[name] = id
 	return id
 }
@@ -184,6 +244,9 @@ func (t *Table) Pred(name string, arity int) PredID {
 	k := predKey{name, arity}
 	t.mu.RLock()
 	id, ok := t.preds[k]
+	if ok {
+		t.touchPred(id)
+	}
 	t.mu.RUnlock()
 	if ok {
 		return id
@@ -195,10 +258,12 @@ func (t *Table) Pred(name string, arity int) PredID {
 
 func (t *Table) predLocked(k predKey) PredID {
 	if id, ok := t.preds[k]; ok {
+		t.touchPred(id)
 		return id
 	}
 	id := PredID(len(t.predInfo))
 	t.predInfo = append(t.predInfo, predInfo{name: k.name, nameSym: t.symLocked(k.name), arity: k.arity})
+	t.predEpochs = append(t.predEpochs, t.curEpoch())
 	t.preds[k] = id
 	return id
 }
@@ -299,6 +364,9 @@ func (t *Table) codeStructured(term ast.Term) (Code, bool) {
 	key := term.String()
 	t.mu.RLock()
 	i, ok := t.terms[key]
+	if ok {
+		t.touchTerm(i)
+	}
 	t.mu.RUnlock()
 	if ok {
 		return tagTerm | Code(i), true
@@ -306,10 +374,12 @@ func (t *Table) codeStructured(term ast.Term) (Code, bool) {
 	t.mu.Lock()
 	defer t.mu.Unlock()
 	if i, ok := t.terms[key]; ok {
+		t.touchTerm(i)
 		return tagTerm | Code(i), true
 	}
 	i = uint32(len(t.termList))
 	t.termList = append(t.termList, term)
+	t.termEpochs = append(t.termEpochs, t.curEpoch())
 	t.terms[key] = i
 	return tagTerm | Code(i), true
 }
@@ -364,6 +434,9 @@ func (t *Table) TermOf(c Code) ast.Term {
 func (t *Table) InternAtom(a ast.Atom) AtomID {
 	t.mu.RLock()
 	id, ok := t.lookupAtomRLocked(a)
+	if ok {
+		t.touchAtom(id)
+	}
 	t.mu.RUnlock()
 	if ok {
 		return id
@@ -489,10 +562,12 @@ func (t *Table) codeOfLocked(term ast.Term) (Code, bool) {
 	}
 	key := term.String()
 	if i, ok := t.terms[key]; ok {
+		t.touchTerm(i)
 		return tagTerm | Code(i), true
 	}
 	i := uint32(len(t.termList))
 	t.termList = append(t.termList, term)
+	t.termEpochs = append(t.termEpochs, t.curEpoch())
 	t.terms[key] = i
 	return tagTerm | Code(i), true
 }
@@ -504,6 +579,7 @@ func (t *Table) internCodesLocked(p PredID, cs []Code, mat ast.Atom) AtomID {
 	switch len(cs) {
 	case 0:
 		if id, ok := t.atoms0[p]; ok {
+			t.touchAtom(id)
 			return id
 		}
 		id := t.addAtomLocked(p, cs, mat)
@@ -512,6 +588,7 @@ func (t *Table) internCodesLocked(p PredID, cs []Code, mat ast.Atom) AtomID {
 	case 1:
 		k := key1{p, cs[0]}
 		if id, ok := t.atoms1[k]; ok {
+			t.touchAtom(id)
 			return id
 		}
 		id := t.addAtomLocked(p, cs, mat)
@@ -520,6 +597,7 @@ func (t *Table) internCodesLocked(p PredID, cs []Code, mat ast.Atom) AtomID {
 	case 2:
 		k := key2{p, cs[0], cs[1]}
 		if id, ok := t.atoms2[k]; ok {
+			t.touchAtom(id)
 			return id
 		}
 		id := t.addAtomLocked(p, cs, mat)
@@ -532,6 +610,7 @@ func (t *Table) internCodesLocked(p PredID, cs []Code, mat ast.Atom) AtomID {
 			key = binary.AppendUvarint(key, uint64(c))
 		}
 		if id, ok := t.atomsN[string(key)]; ok {
+			t.touchAtom(id)
 			return id
 		}
 		id := t.addAtomLocked(p, cs, mat)
@@ -549,6 +628,10 @@ func (t *Table) addAtomLocked(p PredID, cs []Code, mat ast.Atom) AtomID {
 	t.args = append(t.args, cs...)
 	t.atoms = append(t.atoms, atomEntry{pred: p, off: off, n: uint32(len(cs)), atom: mat})
 	t.keys = append(t.keys, "")
+	t.atomEpochs = append(t.atomEpochs, t.curEpoch())
+	if len(t.atoms) > t.peakAtoms {
+		t.peakAtoms = len(t.atoms)
+	}
 	return id
 }
 
@@ -582,6 +665,9 @@ func (t *Table) termOfLocked(c Code) ast.Term {
 func (t *Table) InternAtom0(p PredID) AtomID {
 	t.mu.RLock()
 	id, ok := t.atoms0[p]
+	if ok {
+		t.touchAtom(id)
+	}
 	t.mu.RUnlock()
 	if ok {
 		return id
@@ -595,6 +681,9 @@ func (t *Table) InternAtom0(p PredID) AtomID {
 func (t *Table) InternAtom1(p PredID, c0 Code) AtomID {
 	t.mu.RLock()
 	id, ok := t.atoms1[key1{p, c0}]
+	if ok {
+		t.touchAtom(id)
+	}
 	t.mu.RUnlock()
 	if ok {
 		return id
@@ -608,6 +697,9 @@ func (t *Table) InternAtom1(p PredID, c0 Code) AtomID {
 func (t *Table) InternAtom2(p PredID, c0, c1 Code) AtomID {
 	t.mu.RLock()
 	id, ok := t.atoms2[key2{p, c0, c1}]
+	if ok {
+		t.touchAtom(id)
+	}
 	t.mu.RUnlock()
 	if ok {
 		return id

@@ -1,0 +1,172 @@
+package intern
+
+import (
+	"fmt"
+	"testing"
+
+	"streamrule/internal/asp/ast"
+)
+
+func TestRotateKeepsLiveDropsRest(t *testing.T) {
+	tab := NewTable()
+	var ids []AtomID
+	var atoms []ast.Atom
+	for i := 0; i < 20; i++ {
+		a := ast.NewAtom("p", ast.Sym(fmt.Sprintf("c%d", i)), ast.Num(int64(i)))
+		atoms = append(atoms, a)
+		ids = append(ids, tab.InternAtom(a))
+	}
+	strs := make([]string, len(ids))
+	for i, id := range ids {
+		strs[i] = tab.Atom(id).String()
+	}
+
+	// New epoch so nothing is protected by the touched-this-epoch net.
+	tab.AdvanceEpoch()
+	live := []AtomID{ids[1], ids[4], ids[19]}
+	rm, err := tab.Rotate(live)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := tab.NumAtoms(); got != len(live) {
+		t.Fatalf("NumAtoms after rotate = %d, want %d", got, len(live))
+	}
+	if rm.NumLiveAtoms() != len(live) {
+		t.Fatalf("NumLiveAtoms = %d", rm.NumLiveAtoms())
+	}
+	seen := map[AtomID]bool{}
+	for _, old := range live {
+		nid, ok := rm.Atom(old)
+		if !ok {
+			t.Fatalf("live atom %d reported evicted", old)
+		}
+		if seen[nid] {
+			t.Fatalf("remap not injective: new id %d twice", nid)
+		}
+		seen[nid] = true
+		if got := tab.Atom(nid).String(); got != strs[old] {
+			t.Errorf("atom %d renders %q after rotation, want %q", old, got, strs[old])
+		}
+	}
+	for i, id := range ids {
+		wantLive := id == ids[1] || id == ids[4] || id == ids[19]
+		if _, ok := rm.Atom(id); ok != wantLive {
+			t.Errorf("rm.Atom(%d) live = %v, want %v", id, ok, wantLive)
+		}
+		// Round-trip: re-interning yields the remapped ID for survivors and
+		// a fresh ID (beyond the compacted range) for evicted atoms.
+		nid := tab.InternAtom(atoms[i])
+		if wantLive {
+			if want, _ := rm.Atom(id); nid != want {
+				t.Errorf("re-intern of live atom %d = %d, want %d", id, nid, want)
+			}
+		} else if int(nid) < len(live) {
+			t.Errorf("re-intern of evicted atom %d landed on surviving id %d", id, nid)
+		}
+		if got := tab.Atom(nid).String(); got != strs[i] {
+			t.Errorf("re-interned atom renders %q, want %q", got, strs[i])
+		}
+	}
+}
+
+func TestRotateCurrentEpochSafetyNet(t *testing.T) {
+	tab := NewTable()
+	old := tab.InternAtom(ast.NewAtom("p", ast.Sym("stale")))
+	tab.AdvanceEpoch()
+	cur := tab.InternAtom(ast.NewAtom("p", ast.Sym("current")))
+	rm, err := tab.Rotate(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := rm.Atom(old); ok {
+		t.Error("stale atom survived an empty live set")
+	}
+	if nid, ok := rm.Atom(cur); !ok || tab.Atom(nid).String() != "p(current)" {
+		t.Errorf("atom touched in the current epoch must survive (ok=%v)", ok)
+	}
+}
+
+func TestRotatePinsPredicatesAndNameSymbols(t *testing.T) {
+	tab := NewTable()
+	p2 := tab.Pred("edge", 2)
+	p1 := tab.Pred("node", 1)
+	id := tab.InternAtom(ast.NewAtom("edge", ast.Sym("a"), ast.Sym("b")))
+	tab.AdvanceEpoch()
+	rm, err := tab.Rotate([]AtomID{id})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Predicate IDs are stable and their names resolve via the remapped
+	// name symbols.
+	if got := tab.PredName(p2); got != "edge" {
+		t.Errorf("PredName(p2) = %q", got)
+	}
+	if got := tab.PredName(p1); got != "node" {
+		t.Errorf("PredName(p1) = %q", got)
+	}
+	if got := tab.SymName(tab.PredNameSym(p1)); got != "node" {
+		t.Errorf("name sym of node resolves to %q", got)
+	}
+	nid, _ := rm.Atom(id)
+	if tab.AtomPred(nid) != p2 {
+		t.Errorf("rotated atom changed predicate: %d != %d", tab.AtomPred(nid), p2)
+	}
+}
+
+func TestRotateStructuredTerms(t *testing.T) {
+	tab := NewTable()
+	// An out-of-inline-range integer goes through the structured-term side
+	// table.
+	big := ast.Num(1 << 62)
+	keep := ast.NewAtom("m", big, ast.Sym("x"))
+	drop := ast.NewAtom("m", ast.Num((1<<62)+1), ast.Sym("y"))
+	keepID := tab.InternAtom(keep)
+	tab.InternAtom(drop)
+	tab.AdvanceEpoch()
+	rm, err := tab.Rotate([]AtomID{keepID})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st := tab.Stats(); st.Terms != 1 {
+		t.Errorf("structured terms after rotation = %d, want 1", st.Terms)
+	}
+	nid, _ := rm.Atom(keepID)
+	if got := tab.Atom(nid).String(); got != keep.String() {
+		t.Errorf("structured atom renders %q, want %q", got, keep.String())
+	}
+	if again := tab.InternAtom(keep); again != nid {
+		t.Errorf("re-intern of structured atom = %d, want %d", again, nid)
+	}
+}
+
+func TestRotateRefusesDefaultTable(t *testing.T) {
+	if _, err := Default().Rotate(nil); err == nil {
+		t.Fatal("rotating the process-wide default table must be refused")
+	}
+}
+
+func TestRotateStats(t *testing.T) {
+	tab := NewTable()
+	var live []AtomID
+	for i := 0; i < 10; i++ {
+		id := tab.InternAtom(ast.NewAtom("q", ast.Num(int64(i))))
+		if i < 3 {
+			live = append(live, id)
+		}
+	}
+	tab.AdvanceEpoch()
+	rm, err := tab.Rotate(live)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rm.Stats.AtomsBefore != 10 || rm.Stats.AtomsAfter != 3 {
+		t.Errorf("rotate stats = %+v", rm.Stats)
+	}
+	st := tab.Stats()
+	if st.Rotations != 1 || st.EvictedAtoms != 7 || st.Atoms != 3 || st.PeakAtoms != 10 {
+		t.Errorf("table stats = %+v", st)
+	}
+	if st.Epoch != 1 {
+		t.Errorf("epoch = %d", st.Epoch)
+	}
+}

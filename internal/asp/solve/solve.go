@@ -88,6 +88,25 @@ func FromIDs(tab *intern.Table, ids []intern.AtomID) *AnswerSet {
 // IDs returns the sorted interned atom IDs. The slice must not be modified.
 func (s *AnswerSet) IDs() []intern.AtomID { return s.ids }
 
+// Remap rewrites the set's IDs through a table rotation's remap and
+// re-sorts them. It reports false when an atom was evicted (the set then
+// holds a partially remapped prefix and must be discarded). Remap is the one
+// exception to the set's immutability: only the producing reasoner may call
+// it, after rotating the table the IDs refer to and before any concurrent
+// use of the set. Already materialized atoms and keys stay valid — rotation
+// changes IDs, not renderings.
+func (s *AnswerSet) Remap(rm *intern.Remap) bool {
+	for i, id := range s.ids {
+		nid, ok := rm.Atom(id)
+		if !ok {
+			return false
+		}
+		s.ids[i] = nid
+	}
+	slices.Sort(s.ids)
+	return true
+}
+
 // Table returns the interning table the IDs refer to.
 func (s *AnswerSet) Table() *intern.Table { return s.tab }
 

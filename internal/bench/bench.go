@@ -11,12 +11,14 @@ package bench
 
 import (
 	"fmt"
+	"math/rand"
 	"sort"
 	"strings"
 	"time"
 
 	"streamrule/internal/asp/parser"
 	"streamrule/internal/core"
+	"streamrule/internal/rdf"
 	"streamrule/internal/reasoner"
 	"streamrule/internal/workload"
 )
@@ -46,6 +48,36 @@ var Inpre = []string{
 // Outputs are the event predicates the scenario reports downstream; accuracy
 // is measured on these.
 var Outputs = []string{"traffic_jam", "car_fire", "give_notification"}
+
+// FreshTraffic generates a ProgramP-shaped stream whose location and vehicle
+// constants advance with the stream position (~9 and ~13 triples per
+// constant) and never recur once the stream has moved on — the
+// "timestamped" input shape (unique event IDs, rolling sensor identifiers)
+// that grows an interning table without bound. It backs the eviction soak
+// test and BenchmarkFig7SoakEviction.
+func FreshTraffic(seed int64, n int) []rdf.Triple {
+	rnd := rand.New(rand.NewSource(seed))
+	out := make([]rdf.Triple, 0, n)
+	for i := 0; i < n; i++ {
+		loc := fmt.Sprintf("l%d", i/9)
+		car := fmt.Sprintf("v%d", i/13)
+		switch rnd.Intn(6) {
+		case 0:
+			out = append(out, rdf.Triple{S: loc, P: "average_speed", O: fmt.Sprint(rnd.Intn(60))})
+		case 1:
+			out = append(out, rdf.Triple{S: loc, P: "car_number", O: fmt.Sprint(rnd.Intn(80))})
+		case 2:
+			out = append(out, rdf.Triple{S: loc, P: "traffic_light", O: "true"})
+		case 3:
+			out = append(out, rdf.Triple{S: car, P: "car_in_smoke", O: "high"})
+		case 4:
+			out = append(out, rdf.Triple{S: car, P: "car_speed", O: fmt.Sprint(rnd.Intn(3))})
+		default:
+			out = append(out, rdf.Triple{S: car, P: "car_location", O: loc})
+		}
+	}
+	return out
+}
 
 // Config parameterizes one experiment run.
 type Config struct {

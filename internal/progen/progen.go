@@ -36,6 +36,12 @@ type Config struct {
 	// Ineligible adds a construct (choice rule or unstratified loop) that
 	// forces from-scratch grounding, exercising fallback paths.
 	Ineligible bool
+	// Fresh is the share (0..1] of StreamFresh triples whose subject is a
+	// globally unique, never-repeating constant — the "timestamped" stream
+	// shape that grows an interning table without bound. 0 selects the
+	// default of 0.5 (half fresh, half recurring, so derived predicates
+	// still fire across windows).
+	Fresh float64
 }
 
 func (c *Config) fill() {
@@ -164,11 +170,36 @@ func New(r *rand.Rand, cfg Config) Program {
 // with enough repetition (small constant universe) that sliding windows
 // retract and re-add the same facts.
 func (p Program) Stream(r *rand.Rand, cfg Config, n int) []rdf.Triple {
+	return p.stream(r, cfg, n, nil)
+}
+
+// StreamFresh generates n triples like Stream, but a cfg.Fresh share of
+// subjects are globally unique constants that never recur (timestamps,
+// unique event IDs). seq is the fresh-constant counter, advanced in place so
+// consecutive calls — e.g. one per generated window — keep minting new
+// constants instead of re-using earlier ones. Such streams grow an interning
+// table without bound and are the input shape the eviction machinery
+// (intern-table rotation) exists for.
+func (p Program) StreamFresh(r *rand.Rand, cfg Config, n int, seq *int) []rdf.Triple {
+	return p.stream(r, cfg, n, seq)
+}
+
+func (p Program) stream(r *rand.Rand, cfg Config, n int, seq *int) []rdf.Triple {
 	cfg.fill()
+	fresh := cfg.Fresh
+	if fresh <= 0 {
+		fresh = 0.5
+	}
 	out := make([]rdf.Triple, 0, n)
 	for i := 0; i < n; i++ {
 		pred := p.Inpre[r.Intn(len(p.Inpre))]
-		s := fmt.Sprintf("c%d", r.Intn(cfg.Consts))
+		var s string
+		if seq != nil && r.Float64() < fresh {
+			s = fmt.Sprintf("u%d", *seq)
+			*seq++
+		} else {
+			s = fmt.Sprintf("c%d", r.Intn(cfg.Consts))
+		}
 		o := "true"
 		if p.Arities[pred] == 2 {
 			if p.numeric[pred] {

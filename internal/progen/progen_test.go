@@ -62,3 +62,37 @@ func TestStreamCoversInputs(t *testing.T) {
 		}
 	}
 }
+
+// StreamFresh must mint subjects that never recur across calls (the
+// unbounded-vocabulary property the eviction machinery is tested against)
+// while keeping a recurring share so derivations still fire.
+func TestStreamFreshMintsUniqueConstants(t *testing.T) {
+	rnd := rand.New(rand.NewSource(2))
+	cfg := Config{UnaryInputs: 1, BinaryInputs: 1, Fresh: 0.6}
+	p := New(rnd, cfg)
+	seq := 0
+	seenFresh := map[string]bool{}
+	fresh, recurring := 0, 0
+	for call := 0; call < 10; call++ {
+		for _, tr := range p.StreamFresh(rnd, cfg, 100, &seq) {
+			if len(tr.S) > 0 && tr.S[0] == 'u' {
+				if seenFresh[tr.S] {
+					t.Fatalf("fresh constant %s recurred", tr.S)
+				}
+				seenFresh[tr.S] = true
+				fresh++
+			} else {
+				recurring++
+			}
+		}
+	}
+	if fresh != seq {
+		t.Errorf("minted %d fresh constants but seq advanced to %d", fresh, seq)
+	}
+	if fresh == 0 || recurring == 0 {
+		t.Errorf("stream should mix fresh (%d) and recurring (%d) subjects", fresh, recurring)
+	}
+	if got := float64(fresh) / float64(fresh+recurring); got < 0.4 || got > 0.8 {
+		t.Errorf("fresh share = %.2f, want ≈ 0.6", got)
+	}
+}

@@ -1,0 +1,267 @@
+package reasoner
+
+import (
+	"fmt"
+	"math/rand"
+	"slices"
+	"strings"
+	"testing"
+
+	"streamrule/internal/asp/intern"
+	"streamrule/internal/asp/parser"
+	"streamrule/internal/asp/solve"
+	"streamrule/internal/core"
+	"streamrule/internal/dfp"
+	"streamrule/internal/progen"
+	"streamrule/internal/rdf"
+	"streamrule/internal/stream"
+)
+
+// answerKeySigs renders answer sets as table-independent signatures: the
+// eviction differential compares reasoners on DIFFERENT interning tables (a
+// rotating one and a frozen one), so raw IDs are not comparable and the
+// atoms' canonical keys are used instead.
+func answerKeySigs(answers []*solve.AnswerSet) []string {
+	sigs := make([]string, len(answers))
+	for i, a := range answers {
+		sigs[i] = strings.Join(a.Keys(), ";")
+	}
+	slices.Sort(sigs)
+	return sigs
+}
+
+// rotator is the manual-cadence surface shared by R and PR.
+type rotator interface {
+	Rotate() error
+	Stats() MemoryStats
+}
+
+// runEvictionDifferential feeds the emission sequence to a reasoner with
+// eviction (budget-triggered and/or manual every rotateEvery windows) and an
+// identically constructed reasoner without, asserting key-identical answers
+// on every window.
+func runEvictionDifferential(t *testing.T, label string, evict, plain incrementalProcessor, emissions []stream.WindowDelta, rotateEvery int) {
+	t.Helper()
+	for wi, wd := range emissions {
+		var d *Delta
+		if wd.Incremental {
+			d = &Delta{Added: wd.Added, Retracted: wd.Retracted}
+		}
+		got, err := evict.ProcessDelta(wd.Window, d)
+		if err != nil {
+			t.Fatalf("%s window %d: with eviction: %v", label, wi, err)
+		}
+		want, err := plain.ProcessDelta(wd.Window, d)
+		if err != nil {
+			t.Fatalf("%s window %d: without eviction: %v", label, wi, err)
+		}
+		if got.Skipped != want.Skipped {
+			t.Fatalf("%s window %d: skipped = %d, want %d", label, wi, got.Skipped, want.Skipped)
+		}
+		if got.GroundStats.Atoms != want.GroundStats.Atoms {
+			t.Fatalf("%s window %d: ground atoms = %d, want %d",
+				label, wi, got.GroundStats.Atoms, want.GroundStats.Atoms)
+		}
+		gs, ws := answerKeySigs(got.Answers), answerKeySigs(want.Answers)
+		if !slices.Equal(gs, ws) {
+			t.Fatalf("%s window %d: answers diverge under eviction\nwith:    %v\nwithout: %v",
+				label, wi, gs, ws)
+		}
+		if rotateEvery > 0 && (wi+1)%rotateEvery == 0 {
+			if err := evict.(rotator).Rotate(); err != nil {
+				t.Fatalf("%s window %d: manual rotate: %v", label, wi, err)
+			}
+		}
+	}
+}
+
+// TestDifferentialEvictionVsNoEviction is the eviction analogue of the
+// incremental differential: randomized fresh-constant ("timestamped")
+// programs and streams, across {R, PR} × window shapes × rotation cadences,
+// asserting that eviction never changes an answer while actually evicting.
+func TestDifferentialEvictionVsNoEviction(t *testing.T) {
+	type winCfg struct{ size, step int }
+	windows := []winCfg{
+		{24, 6},  // the paper's sliding shape: high overlap
+		{20, 20}, // tumbling degenerate: every window from scratch
+		{12, 3},  // small, frequent emissions
+	}
+	cadences := []struct {
+		name   string
+		budget int
+		every  int
+	}{
+		{"budget-tight", 96, 0},   // below the live set at times: rotates almost every window
+		{"budget-loose", 1024, 0}, // rotates rarely
+		{"manual-every-3", 0, 3},  // explicit cadence, no budget
+	}
+	programs := []struct {
+		name string
+		cfg  progen.Config
+	}{
+		{"flat-fresh", progen.Config{Derived: 3, Fresh: 0.6}},
+		{"recursive-fresh", progen.Config{Derived: 3, Recursion: true, Consts: 4, Fresh: 0.4}},
+		{"constraints-fresh", progen.Config{Derived: 4, Constraints: true, Fresh: 0.6}},
+		// Four input predicates keep the choice rule's domain (and with it
+		// the model count) small even though subjects are fresh.
+		{"ineligible-fresh", progen.Config{Derived: 3, UnaryInputs: 2, BinaryInputs: 2, Ineligible: true, Fresh: 0.4}},
+	}
+	for pi, pc := range programs {
+		pc := pc
+		t.Run(pc.name, func(t *testing.T) {
+			rnd := rand.New(rand.NewSource(int64(500 + pi)))
+			gp := progen.New(rnd, pc.cfg)
+			prog, err := parser.Parse(gp.Src)
+			if err != nil {
+				t.Fatalf("generated program does not parse: %v\n%s", err, gp.Src)
+			}
+			baseCfg := Config{Program: prog, Inpre: gp.Inpre, Arities: dfp.Arities(gp.Arities)}
+			seq := 0
+			triples := gp.StreamFresh(rnd, pc.cfg, 220, &seq)
+
+			for _, wc := range windows {
+				emissions := emitWindows(triples, wc.size, wc.step)
+				for _, cad := range cadences {
+					// R with eviction vs R without. Both get private tables:
+					// the rotating one must not share, and the frozen one
+					// should not leak the fresh constants into the
+					// process-wide default table.
+					evCfg := baseCfg
+					evCfg.MemoryBudget = cad.budget
+					if cad.budget == 0 {
+						evCfg.GroundOpts.Intern = intern.NewTable()
+					}
+					plainCfg := baseCfg
+					plainCfg.GroundOpts.Intern = intern.NewTable()
+
+					evR, err := NewR(evCfg)
+					if err != nil {
+						t.Fatalf("NewR: %v\n%s", err, gp.Src)
+					}
+					plainR, err := NewR(plainCfg)
+					if err != nil {
+						t.Fatal(err)
+					}
+					label := fmt.Sprintf("R[%s size=%d step=%d]", cad.name, wc.size, wc.step)
+					runEvictionDifferential(t, label, evR, plainR, emissions, cad.every)
+
+					evStats, plainStats := evR.Stats(), plainR.Stats()
+					if cad.budget > 0 && evStats.Table.Rotations == 0 && plainStats.Table.Atoms > cad.budget {
+						t.Errorf("%s: table grew to %d atoms without eviction but the budgeted reasoner never rotated",
+							label, plainStats.Table.Atoms)
+					}
+					if evStats.Table.Rotations > 0 && evStats.Table.Atoms >= plainStats.Table.Atoms && plainStats.Table.Atoms > 0 {
+						t.Errorf("%s: %d rotations left %d live atoms, no fewer than the frozen table's %d",
+							label, evStats.Table.Rotations, evStats.Table.Atoms, plainStats.Table.Atoms)
+					}
+
+					// PR with eviction vs PR without, when the program has a
+					// partitioning plan.
+					analysis, err := core.Analyze(prog, gp.Inpre, 1.0)
+					if err != nil {
+						continue
+					}
+					evCfg = baseCfg
+					evCfg.MemoryBudget = cad.budget
+					if cad.budget == 0 {
+						evCfg.GroundOpts.Intern = intern.NewTable()
+					}
+					plainCfg = baseCfg
+					plainCfg.GroundOpts.Intern = intern.NewTable()
+					evPR, err := NewPR(evCfg, NewPlanPartitioner(analysis.Plan))
+					if err != nil {
+						t.Fatal(err)
+					}
+					plainPR, err := NewPR(plainCfg, NewPlanPartitioner(analysis.Plan))
+					if err != nil {
+						t.Fatal(err)
+					}
+					label = fmt.Sprintf("PR[%s size=%d step=%d]", cad.name, wc.size, wc.step)
+					runEvictionDifferential(t, label, evPR, plainPR, emissions, cad.every)
+				}
+			}
+		})
+	}
+}
+
+// TestEvictionPaperProgram pins eviction to the paper's program P with a
+// traffic stream whose locations and vehicles churn over time, and checks
+// the live-entry bound that makes unbounded streams survivable.
+func TestEvictionPaperProgram(t *testing.T) {
+	src := `
+very_slow_speed(X) :- average_speed(X,Y), Y < 20.
+many_cars(X) :- car_number(X,Y), Y > 40.
+traffic_jam(X) :- very_slow_speed(X), many_cars(X), not traffic_light(X).
+give_notification(X) :- traffic_jam(X).
+`
+	prog, err := parser.Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	inpre := []string{"average_speed", "car_number", "traffic_light"}
+	cfg := Config{Program: prog, Inpre: inpre, OutputPreds: []string{"traffic_jam", "give_notification"}}
+
+	rnd := rand.New(rand.NewSource(23))
+	var triples []rdf.Triple
+	for i := 0; i < 600; i++ {
+		// Locations churn: l<i/12> never recurs once the stream moves on —
+		// the fresh-constants-per-window shape of timestamped event streams.
+		loc := fmt.Sprintf("l%d", i/12)
+		switch rnd.Intn(3) {
+		case 0:
+			triples = append(triples, rdf.Triple{S: loc, P: "average_speed", O: fmt.Sprint(rnd.Intn(40))})
+		case 1:
+			triples = append(triples, rdf.Triple{S: loc, P: "car_number", O: fmt.Sprint(rnd.Intn(80))})
+		default:
+			triples = append(triples, rdf.Triple{S: loc, P: "traffic_light", O: "true"})
+		}
+	}
+	emissions := emitWindows(triples, 60, 15)
+
+	const budget = 250
+	evCfg := cfg
+	evCfg.MemoryBudget = budget
+	plainCfg := cfg
+	plainCfg.GroundOpts.Intern = intern.NewTable()
+	evR, err := NewR(evCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	plainR, err := NewR(plainCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	maxLive := 0
+	for wi, wd := range emissions {
+		var d *Delta
+		if wd.Incremental {
+			d = &Delta{Added: wd.Added, Retracted: wd.Retracted}
+		}
+		got, err := evR.ProcessDelta(wd.Window, d)
+		if err != nil {
+			t.Fatalf("window %d: %v", wi, err)
+		}
+		want, err := plainR.ProcessDelta(wd.Window, d)
+		if err != nil {
+			t.Fatalf("window %d: oracle: %v", wi, err)
+		}
+		if gs, ws := answerKeySigs(got.Answers), answerKeySigs(want.Answers); !slices.Equal(gs, ws) {
+			t.Fatalf("window %d: answers diverge under eviction\nwith:    %v\nwithout: %v", wi, gs, ws)
+		}
+		if live := evR.Stats().Table.Atoms; live > maxLive {
+			maxLive = live
+		}
+	}
+	st := evR.Stats()
+	if st.Table.Rotations == 0 {
+		t.Error("fresh-constant stream never triggered a rotation")
+	}
+	// Between windows the table may exceed the budget by at most one
+	// window's worth of new atoms (rotation runs after each window).
+	if headroom := 200; maxLive > budget+headroom {
+		t.Errorf("live atoms peaked at %d, want <= %d+%d", maxLive, budget, headroom)
+	}
+	if frozen := plainR.Stats().Table.Atoms; frozen <= budget {
+		t.Errorf("control without eviction holds only %d atoms; the budget assertion is vacuous", frozen)
+	}
+}

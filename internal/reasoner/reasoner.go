@@ -43,6 +43,17 @@ type Config struct {
 	// give_notification in the paper's scenario). Empty means all derived
 	// predicates. Takes precedence over IncludeInputFacts.
 	OutputPreds []string
+	// MemoryBudget bounds the interning table for unbounded streams: when
+	// set (> 0), the reasoner owns a private table (unless GroundOpts.Intern
+	// provides one) and rotates it — evicting entries no live state
+	// references — whenever the atom count exceeds the budget after a
+	// window. 0 disables rotation; memory is then bounded by the number of
+	// DISTINCT atoms ever seen, which is fine for bounded vocabularies but
+	// fatal for streams minting fresh constants every window. Budgeted
+	// windows materialize their answer sets eagerly, so retained sets keep
+	// valid atoms/keys across later rotations; their raw IDs are valid only
+	// until the next window. See memory.go.
+	MemoryBudget int
 }
 
 // Latency breaks the processing time of one window into the phases the
@@ -140,6 +151,10 @@ type R struct {
 	retBuf     []intern.AtomID
 	addSet     []intern.AtomID
 	retSet     []intern.AtomID
+
+	// liveBuf is the reusable scratch for collecting live IDs at rotation
+	// time (memory.go).
+	liveBuf []intern.AtomID
 }
 
 // NewR builds a reasoner for the program, inferring input arities when not
@@ -158,6 +173,12 @@ func NewR(cfg Config) (*R, error) {
 		if err != nil {
 			return nil, err
 		}
+	}
+	if cfg.MemoryBudget > 0 && cfg.GroundOpts.Intern == nil {
+		// A budgeted reasoner rotates its table, which invalidates interned
+		// IDs; it must own the table rather than share the process-wide
+		// default with unsuspecting components.
+		cfg.GroundOpts.Intern = intern.NewTable()
 	}
 	inst, err := ground.NewInstantiator(cfg.Program, cfg.GroundOpts)
 	if err != nil {
@@ -187,6 +208,7 @@ func (r *R) SupportsIncremental() bool { return r.inst.SupportsIncremental() }
 // invalidates any incremental state, so it doubles as the independent oracle
 // for the incremental paths below.
 func (r *R) Process(window []rdf.Triple) (*Output, error) {
+	r.beginWindow()
 	r.incLive = false
 	return r.processFull(window)
 }
@@ -199,6 +221,7 @@ func (r *R) Process(window []rdf.Triple) (*Output, error) {
 // and whenever a dynamic invariant fails (atom limit, inconsistent delta,
 // delta nearly as large as the window), it falls back automatically.
 func (r *R) ProcessDelta(window []rdf.Triple, d *Delta) (*Output, error) {
+	r.beginWindow()
 	if r.incOff || !r.inst.SupportsIncremental() {
 		r.incLive = false
 		return r.processFull(window)
@@ -218,6 +241,7 @@ func (r *R) ProcessDelta(window []rdf.Triple, d *Delta) (*Output, error) {
 // PR uses it per partition, where stream-level deltas cannot be routed
 // soundly (partitioners may duplicate or reshuffle items).
 func (r *R) ProcessAuto(window []rdf.Triple) (*Output, error) {
+	r.beginWindow()
 	if r.incOff || !r.inst.SupportsIncremental() {
 		r.incLive = false
 		return r.processFull(window)
@@ -417,6 +441,9 @@ func (r *R) solveAndFilter(out *Output, gp *ground.Program, start time.Time) (*O
 	for i, m := range res.Models {
 		out.Answers[i] = r.filter(m)
 	}
+	// Budget-triggered table rotation is part of the window's cost, so it
+	// lands inside Total/CriticalPath.
+	r.maybeRotate(out)
 	out.Latency.Total = time.Since(start)
 	out.Latency.CriticalPath = out.Latency.Total
 	return out, nil
@@ -461,6 +488,13 @@ type PR struct {
 	// whereas sequential execution yields honest isolated timings from
 	// which Latency.CriticalPath reconstructs the k-core parallel latency.
 	Sequential bool
+
+	// budget is the PR-level MemoryBudget: all partition reasoners share one
+	// interning table, so rotation must be coordinated here, after every
+	// partition has quiesced (memory.go). The per-partition reasoners run
+	// with budget 0.
+	budget  int
+	liveBuf []intern.AtomID
 }
 
 // DefaultMaxCombinations bounds the answer-set cross product.
@@ -478,7 +512,15 @@ func NewPR(cfg Config, part Partitioner) (*PR, error) {
 	if n < 1 {
 		return nil, fmt.Errorf("reasoner: partitioner yields %d partitions", n)
 	}
-	pr := &PR{part: part, Sequential: runtime.GOMAXPROCS(0) < n}
+	pr := &PR{part: part, Sequential: runtime.GOMAXPROCS(0) < n, budget: cfg.MemoryBudget}
+	if cfg.MemoryBudget > 0 {
+		if cfg.GroundOpts.Intern == nil {
+			cfg.GroundOpts.Intern = intern.NewTable()
+		}
+		// Partition reasoners share the table; rotation is coordinated at
+		// the PR level between windows, never by a single partition.
+		cfg.MemoryBudget = 0
+	}
 	for i := 0; i < n; i++ {
 		r, err := NewR(cfg)
 		if err != nil {
@@ -511,6 +553,7 @@ func (pr *PR) ProcessDelta(window []rdf.Triple, d *Delta) (*Output, error) {
 
 func (pr *PR) process(window []rdf.Triple, processPart func(*R, []rdf.Triple) (*Output, error)) (*Output, error) {
 	start := time.Now()
+	pr.beginWindow()
 	out := &Output{}
 
 	t0 := time.Now()
@@ -583,8 +626,15 @@ func (pr *PR) process(window []rdf.Triple, processPart func(*R, []rdf.Triple) (*
 	out.Answers = Combine(perPartition, max)
 	out.Latency.Combine = time.Since(t0)
 
+	// Coordinated table rotation: all partitions have quiesced, so the
+	// shared table can be compacted and every reasoner remapped. Charged to
+	// Combine's side of the critical path (it runs on the combining host).
+	t0 = time.Now()
+	pr.maybeRotate(out)
+	rotate := time.Since(t0)
+
 	out.Latency.Total = time.Since(start)
-	out.Latency.CriticalPath = out.Latency.Partition + maxTotal + out.Latency.Combine
+	out.Latency.CriticalPath = out.Latency.Partition + maxTotal + out.Latency.Combine + rotate
 	return out, nil
 }
 
@@ -605,7 +655,11 @@ func Combine(perPartition [][]*solve.AnswerSet, max int) []*solve.AnswerSet {
 	if len(perPartition) == 0 {
 		return nil
 	}
-	combos := []*solve.AnswerSet{solve.NewAnswerSet(nil)}
+	// Seed the cross product on the partitions' own interning table (they
+	// all share one), so unions run on the ID fast path and the combined
+	// sets stay inside the table the reasoner owns — essential when that
+	// table is budgeted and rotates.
+	combos := []*solve.AnswerSet{solve.FromIDs(perPartition[0][0].Table(), nil)}
 	for _, answers := range perPartition {
 		var next []*solve.AnswerSet
 		for _, c := range combos {

@@ -54,6 +54,22 @@ type Pipeline struct {
 	Reasoner Reasoner
 }
 
+// memoryStatser is satisfied by Engine and ParallelEngine (and any reasoner
+// that surfaces memory metrics).
+type memoryStatser interface {
+	Stats() MemoryStats
+}
+
+// MemoryStats reports the reasoner's memory metrics when it exposes them
+// (engines built with WithMemoryBudget always do). ok is false for
+// reasoners without a Stats hook.
+func (p *Pipeline) MemoryStats() (stats MemoryStats, ok bool) {
+	if m, isStatser := p.Reasoner.(memoryStatser); isStatser {
+		return m.Stats(), true
+	}
+	return MemoryStats{}, false
+}
+
 // Run executes the pipeline until the source is exhausted or the context is
 // cancelled, calling handle with each window's triples and reasoning output.
 func (p *Pipeline) Run(ctx context.Context, handle func(window []Triple, out *Output) error) error {

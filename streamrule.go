@@ -85,14 +85,20 @@ func (p *Program) Analyze(resolution float64) (*core.Analysis, error) {
 	return core.Analyze(p.AST, p.Inpre, resolution)
 }
 
+// MemoryStats surfaces the memory metrics of a budgeted engine: the
+// configured budget and a snapshot of its interning table (live/peak
+// entries, rotations, cumulative remap time).
+type MemoryStats = reasoner.MemoryStats
+
 // options carries the functional options of the engine constructors.
 type options struct {
-	outputs    []string
-	resolution float64
-	randomK    int
-	randomSeed int64
-	maxModels  int
-	atomFanout int
+	outputs      []string
+	resolution   float64
+	randomK      int
+	randomSeed   int64
+	maxModels    int
+	atomFanout   int
+	memoryBudget int
 }
 
 // Option customizes engine construction.
@@ -121,6 +127,24 @@ func WithMaxModels(n int) Option {
 	return func(o *options) { o.maxModels = n }
 }
 
+// WithMemoryBudget bounds the engine's interned-atom table for unbounded
+// streams. When set (> 0) the engine owns a private interning table and
+// rotates it — evicting atoms, symbols, and structured terms that no live
+// state references — whenever the table holds more than maxAtoms atoms
+// after a window. Required for streams that mint fresh constants every
+// window (timestamps, unique event IDs), whose table would otherwise grow
+// without bound; answers are unchanged by eviction. Inspect the effect via
+// Stats().
+//
+// Lifetime of returned answers: budgeted windows materialize their answer
+// sets eagerly, so the atoms, keys, and key-based operations of sets
+// retained across windows stay valid indefinitely. The sets' raw interned
+// IDs (AnswerSet.IDs) are valid only until the next window — a later
+// rotation renumbers the table underneath them.
+func WithMemoryBudget(maxAtoms int) Option {
+	return func(o *options) { o.memoryBudget = maxAtoms }
+}
+
 // WithAtomPartitioning enables the atom-level extension (the paper's §VI
 // future work): communities whose rules join on a single key are further
 // hash-split into m sub-partitions by key value, multiplying parallelism
@@ -147,6 +171,7 @@ func (p *Program) config(o options) reasoner.Config {
 		}
 	}
 	cfg.SolveOpts.MaxModels = o.maxModels
+	cfg.MemoryBudget = o.memoryBudget
 	return cfg
 }
 
@@ -178,6 +203,9 @@ func (e *Engine) Reason(window []Triple) (*Output, error) { return e.r.Process(w
 func (e *Engine) ReasonDelta(window []Triple, d *Delta) (*Output, error) {
 	return e.r.ProcessDelta(window, d)
 }
+
+// Stats returns the engine's memory metrics (see WithMemoryBudget).
+func (e *Engine) Stats() MemoryStats { return e.r.Stats() }
 
 // ParallelEngine is the partitioned reasoner PR of the extended StreamRule
 // framework. By default it partitions by the dependency plan derived from
@@ -244,3 +272,8 @@ func (e *ParallelEngine) Reason(window []Triple) (*Output, error) { return e.pr.
 func (e *ParallelEngine) ReasonDelta(window []Triple, d *Delta) (*Output, error) {
 	return e.pr.ProcessDelta(window, d)
 }
+
+// Stats returns the engine's memory metrics (see WithMemoryBudget). All
+// partition reasoners share one interning table, so one snapshot covers
+// them all.
+func (e *ParallelEngine) Stats() MemoryStats { return e.pr.Stats() }

@@ -2,6 +2,7 @@ package streamrule
 
 import (
 	"context"
+	"fmt"
 	"testing"
 
 	"streamrule/internal/workload"
@@ -317,6 +318,95 @@ func TestPipelineIncrementalMatchesScratch(t *testing.T) {
 		t.Error("no window was maintained incrementally")
 	}
 }
+
+// A budgeted engine on a fresh-constant stream must rotate its private
+// table, keep live entries bounded, produce answers identical to an
+// unbudgeted engine, and surface the metrics through Stats and the pipeline.
+func TestMemoryBudgetEndToEnd(t *testing.T) {
+	p, err := LoadProgram(testProgramP, testInpre)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const budget = 300
+	budgeted, err := NewEngine(p, WithMemoryBudget(budget))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The oracle gets an effectively unbounded budget: a private table that
+	// never rotates, so the stream's fresh constants do not leak into the
+	// process-wide default table shared by the rest of the test binary.
+	plain, err := NewEngine(p, WithMemoryBudget(1<<30))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Fresh locations/vehicles per stream position: the unbounded shape.
+	var source []Triple
+	for i := 0; i < 2400; i++ {
+		loc := Triple{S: "", P: "average_speed", O: "10"}
+		switch i % 4 {
+		case 0:
+			loc = Triple{S: sprintLoc(i), P: "average_speed", O: "10"}
+		case 1:
+			loc = Triple{S: sprintLoc(i), P: "car_number", O: "55"}
+		case 2:
+			loc = Triple{S: sprintLoc(i), P: "traffic_light", O: "true"}
+		default:
+			loc = Triple{S: sprintLoc(i + 1), P: "car_number", O: "70"}
+		}
+		source = append(source, loc)
+	}
+	pl := &Pipeline{
+		Source:     source,
+		WindowSize: 200,
+		WindowStep: 50,
+		Reasoner:   budgeted,
+	}
+	windows := 0
+	err = pl.Run(context.Background(), func(win []Triple, out *Output) error {
+		windows++
+		want, err := plain.Reason(win)
+		if err != nil {
+			return err
+		}
+		if len(out.Answers) != len(want.Answers) {
+			t.Fatalf("answers = %d, oracle %d", len(out.Answers), len(want.Answers))
+		}
+		for i := range out.Answers {
+			if !out.Answers[i].Equal(want.Answers[i]) {
+				t.Fatalf("answers diverge under eviction:\nbudgeted: %v\nplain:    %v",
+					out.Answers[i], want.Answers[i])
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if windows == 0 {
+		t.Fatal("pipeline emitted no windows")
+	}
+	st, ok := pl.MemoryStats()
+	if !ok {
+		t.Fatal("pipeline must surface the engine's memory stats")
+	}
+	if st.Budget != budget {
+		t.Errorf("budget = %d", st.Budget)
+	}
+	if st.Table.Rotations == 0 {
+		t.Error("fresh-constant stream never triggered a rotation")
+	}
+	if st.Table.Atoms > budget+250 {
+		t.Errorf("live atoms = %d, want bounded near budget %d", st.Table.Atoms, budget)
+	}
+	if es := budgeted.Stats(); es.Table.Rotations != st.Table.Rotations {
+		t.Errorf("engine and pipeline stats disagree: %+v vs %+v", es, st)
+	}
+	if ps := plain.Stats(); ps.Table.Rotations != 0 {
+		t.Errorf("oracle with an unbounded budget rotated %d times", ps.Table.Rotations)
+	}
+}
+
+func sprintLoc(i int) string { return fmt.Sprintf("loc%d", i/3) }
 
 func TestProgramWithShowAndAggregates(t *testing.T) {
 	// End-to-end: aggregates in the program, #show projecting outputs.
