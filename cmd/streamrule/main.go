@@ -1,8 +1,9 @@
 // Command streamrule runs the full extended-StreamRule pipeline: a triple
 // stream (from a file or the synthetic paper workload) is filtered, batched
 // into windows, and reasoned over with the whole-window reasoner R, the
-// dependency-partitioned parallel reasoner PR, or the atom-level partitioner
-// (PR with -atom fan-out).
+// dependency-partitioned parallel reasoner PR, the atom-level partitioner
+// (PR with -atom fan-out), or the distributed reasoner DPR (partitions on
+// remote workers). The same binary also serves as a worker.
 //
 // Usage:
 //
@@ -11,14 +12,18 @@
 //	streamrule -paper P -mode PR -atom 4                   # atom-level split
 //	streamrule -program rules.lp -inpre a,b -stream s.nt   # user program
 //	streamrule -paper P -outputs traffic_jam,car_fire
+//	streamrule -worker :7070                               # serve as a worker
+//	streamrule -paper P -workers h1:7070,h2:7070           # coordinate DPR
 package main
 
 import (
 	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"io"
 	"os"
+	"os/signal"
 	"strings"
 
 	"streamrule"
@@ -39,7 +44,10 @@ func run(args []string, stdout, stderr io.Writer) int {
 	outputs := fs.String("outputs", "", "comma-separated output predicates (default: all derived, or the program's #show)")
 	paper := fs.String("paper", "", "use a built-in paper program: P or Pprime")
 	streamFile := fs.String("stream", "", "triple file 's p o .' per line (default: synthetic paper workload)")
-	mode := fs.String("mode", "PR", "reasoner: R (whole window) or PR (dependency-partitioned)")
+	mode := fs.String("mode", "PR", "reasoner: R (whole window), PR (dependency-partitioned), or DPR (distributed; implied by -workers)")
+	worker := fs.String("worker", "", "serve as a reasoning worker on this address (host:port) instead of running a pipeline")
+	workers := fs.String("workers", "", "comma-separated worker addresses; selects the distributed reasoner DPR")
+	straggler := fs.Duration("straggler", 0, "with -workers: per-window worker timeout before local fallback (default 10s)")
 	atom := fs.Int("atom", 0, "with -mode PR: atom-level fan-out per splittable community (0 = predicate level)")
 	window := fs.Int("window", 5000, "tuple-based window size")
 	step := fs.Int("step", 0, "sliding step (< window makes the count window sliding; the engine then grounds incrementally)")
@@ -50,6 +58,18 @@ func run(args []string, stdout, stderr io.Writer) int {
 	verbose := fs.Bool("v", false, "print every answer atom (default: summary per window)")
 	if err := fs.Parse(args); err != nil {
 		return 2
+	}
+
+	if *worker != "" {
+		// Worker mode: no program of its own — every coordinator session
+		// ships one in its handshake. Runs until interrupted.
+		ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+		defer stop()
+		fmt.Fprintf(stdout, "worker: serving on %s\n", *worker)
+		if err := streamrule.ServeWorker(ctx, *worker); err != nil && !errors.Is(err, context.Canceled) {
+			return fail(stderr, err)
+		}
+		return 0
 	}
 
 	var src string
@@ -87,10 +107,35 @@ func run(args []string, stdout, stderr io.Writer) int {
 		opts = append(opts, streamrule.WithMemoryBudget(*budget))
 	}
 
+	reasonerMode := strings.ToUpper(*mode)
+	if *workers != "" {
+		reasonerMode = "DPR"
+	}
 	var eng streamrule.Reasoner
-	switch strings.ToUpper(*mode) {
+	switch reasonerMode {
 	case "R":
 		eng, err = streamrule.NewEngine(prog, opts...)
+	case "DPR":
+		addrs := splitList(*workers)
+		if len(addrs) == 0 {
+			return fail(stderr, fmt.Errorf("-mode DPR requires -workers host1:port,host2:port"))
+		}
+		if *atom > 0 {
+			opts = append(opts, streamrule.WithAtomPartitioning(*atom))
+		}
+		if *straggler > 0 {
+			opts = append(opts, streamrule.WithStragglerTimeout(*straggler))
+		}
+		var de *streamrule.DistributedEngine
+		de, err = streamrule.NewDistributedEngine(prog, addrs, opts...)
+		if err == nil {
+			defer de.Close()
+			fmt.Fprintf(stdout, "partitions: %d over %d worker(s)\n", de.Partitions(), len(addrs))
+			if de.Plan() != nil {
+				fmt.Fprintf(stdout, "partitioning plan:\n%s", de.Plan())
+			}
+		}
+		eng = de
 	case "PR":
 		if *atom > 0 {
 			opts = append(opts, streamrule.WithAtomPartitioning(*atom))
@@ -165,6 +210,11 @@ func run(args []string, stdout, stderr io.Writer) int {
 		fmt.Fprintf(stdout, "memory: budget=%d atoms live=%d peak=%d rotations=%d evicted=%d remap=%v\n",
 			st.Budget, st.Table.Atoms, st.Table.PeakAtoms, st.Table.Rotations,
 			st.Table.EvictedAtoms, st.Table.RemapTime)
+	}
+	if ts, ok := pl.TransportStats(); ok {
+		fmt.Fprintf(stdout, "transport: remote=%d fallback=%d redials=%d sent=%dB recv=%dB dict-hit=%.1f%% worker-rotations=%d\n",
+			ts.RemoteWindows, ts.LocalFallbacks, ts.Redials, ts.BytesSent, ts.BytesReceived,
+			100*ts.DictHitRate(), ts.WorkerRotations)
 	}
 	return 0
 }

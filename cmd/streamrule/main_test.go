@@ -4,8 +4,11 @@ import (
 	"bytes"
 	"os"
 	"path/filepath"
+	"slices"
 	"strings"
 	"testing"
+
+	"streamrule"
 )
 
 func runCLI(t *testing.T, args ...string) (code int, stdout, stderr string) {
@@ -106,4 +109,58 @@ func TestUsageErrors(t *testing.T) {
 	if code, _, _ := runCLI(t, "-program", progFile); code != 1 {
 		t.Errorf("missing inpre: code = %d", code)
 	}
+}
+
+// TestDistributedLoopback is the end-to-end loopback integration: two
+// in-process workers plus the CLI coordinator on localhost, whole pipeline,
+// comparing the distributed run's answers against an in-process PR run on
+// the identical deterministic stream.
+func TestDistributedLoopback(t *testing.T) {
+	w1, err := streamrule.NewWorkerServer("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	go w1.Serve()
+	defer w1.Close()
+	w2, err := streamrule.NewWorkerServer("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	go w2.Serve()
+	defer w2.Close()
+
+	args := []string{"-paper", "P", "-window", "1000", "-windows", "2", "-step", "500", "-seed", "7", "-v"}
+	code, dOut, dErr := runCLI(t, append(args, "-workers", w1.Addr()+","+w2.Addr())...)
+	if code != 0 {
+		t.Fatalf("distributed run: code = %d, stderr = %q", code, dErr)
+	}
+	if !strings.Contains(dOut, "over 2 worker(s)") {
+		t.Errorf("worker count missing: %q", dOut)
+	}
+	if !strings.Contains(dOut, "transport:") || !strings.Contains(dOut, "dict-hit=") {
+		t.Errorf("transport stats missing: %q", dOut)
+	}
+	if strings.Contains(dOut, "remote=0 ") {
+		t.Errorf("no window was served remotely: %q", dOut)
+	}
+
+	code, lOut, lErr := runCLI(t, args...)
+	if code != 0 {
+		t.Fatalf("local run: code = %d, stderr = %q", code, lErr)
+	}
+	if got, want := answerLines(dOut), answerLines(lOut); !slices.Equal(got, want) {
+		t.Errorf("distributed answers diverge from local PR\ndistributed: %v\nlocal:       %v", got, want)
+	}
+}
+
+// answerLines extracts the per-window answer atoms from -v output, the
+// lines that must agree between distributed and local runs.
+func answerLines(out string) []string {
+	var answers []string
+	for _, line := range strings.Split(out, "\n") {
+		if strings.Contains(line, "  answer ") {
+			answers = append(answers, strings.TrimSpace(line))
+		}
+	}
+	return answers
 }

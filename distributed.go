@@ -1,0 +1,152 @@
+package streamrule
+
+import (
+	"context"
+	"errors"
+	"net"
+	"time"
+
+	"streamrule/internal/reasoner"
+	"streamrule/internal/transport"
+)
+
+// TransportStats aggregates the wire metrics of a distributed engine:
+// remote vs fallback windows, redials, bytes shipped, and the per-worker
+// dictionary hit rate (see DistributedEngine).
+type TransportStats = reasoner.TransportStats
+
+// WithStragglerTimeout bounds one remote round of the distributed engine
+// (ship the partition, reason, receive answers). A worker that misses the
+// deadline is treated as down for that window: the partition is processed
+// locally and the session is re-established behind the scenes. Default 10s.
+func WithStragglerTimeout(d time.Duration) Option {
+	return func(o *options) { o.stragglerTimeout = d }
+}
+
+// DistributedEngine is the sharded parallel reasoner DPR: the partitioning
+// and combining handlers of ParallelEngine with the k reasoner copies
+// running on remote workers (one session per partition, assigned
+// round-robin over the worker addresses). Windows ship as plain triples;
+// answer sets come back in a portable wire form, re-interned through a
+// cached per-worker symbol dictionary so steady-state windows ship only
+// symbols the coordinator has never seen.
+//
+// Every partition keeps a local fallback reasoner: a worker that is down,
+// straggling, or desynchronized costs latency for that window, never
+// correctness. With WithMemoryBudget, workers bound their interning tables
+// by rotation (each session owns a private table) and the coordinator
+// applies the same budget to its answer table.
+//
+// A DistributedEngine must not process windows concurrently (same contract
+// as Engine and ParallelEngine). Close it when done to release the worker
+// sessions.
+type DistributedEngine struct {
+	dpr  *reasoner.DPR
+	plan *Plan
+}
+
+// NewDistributedEngine builds a distributed engine for the program against
+// the given worker addresses (host:port, see ServeWorker for the worker
+// side). The dependency analysis runs at construction time, exactly as in
+// NewParallelEngine, and the same partitioning options apply
+// (WithRandomPartitioning, WithAtomPartitioning). Construction fails when
+// no worker is reachable.
+func NewDistributedEngine(p *Program, workers []string, opts ...Option) (*DistributedEngine, error) {
+	o := buildOptions(opts)
+	part, plan, err := buildPartitioner(p, o)
+	if err != nil {
+		return nil, err
+	}
+	dpr, err := reasoner.NewDPR(p.config(o), part, reasoner.DPROptions{
+		Workers:          workers,
+		ProgramSource:    p.Source(),
+		StragglerTimeout: o.stragglerTimeout,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &DistributedEngine{dpr: dpr, plan: plan}, nil
+}
+
+// Plan returns the dependency partitioning plan, or nil when random
+// partitioning is configured.
+func (e *DistributedEngine) Plan() *Plan { return e.plan }
+
+// Partitions returns the number of partitions (= worker sessions).
+func (e *DistributedEngine) Partitions() int { return e.dpr.NumPartitions() }
+
+// Reason processes one window: partition, ship the sub-windows to the
+// workers in parallel, combine the decoded answers.
+func (e *DistributedEngine) Reason(window []Triple) (*Output, error) { return e.dpr.Process(window) }
+
+// ReasonDelta is the incremental Reason for overlapping windows: each
+// worker session maintains its partition's grounding across windows, so a
+// steady-state sliding window costs the workers a delta update instead of
+// a re-grounding — and the coordinator only the changed answers.
+func (e *DistributedEngine) ReasonDelta(window []Triple, d *Delta) (*Output, error) {
+	return e.dpr.ProcessDelta(window, d)
+}
+
+// Stats returns the engine's memory metrics; MemoryStats.Transport
+// additionally carries the wire metrics (bytes shipped, dictionary hit
+// rate, fallbacks).
+func (e *DistributedEngine) Stats() MemoryStats { return e.dpr.Stats() }
+
+// TransportStats returns the engine's wire metrics alone.
+func (e *DistributedEngine) TransportStats() TransportStats { return e.dpr.TransportStats() }
+
+// Close releases every worker session. The engine must not be used
+// afterwards.
+func (e *DistributedEngine) Close() { e.dpr.Close() }
+
+// WorkerServer hosts reasoning sessions for distributed coordinators: each
+// incoming connection carries a program in its handshake and gets a full
+// private reasoner (incremental, and memory-bounded when the coordinator
+// configured a budget). One worker process can serve many coordinators and
+// programs at once.
+type WorkerServer struct {
+	srv *transport.Server
+}
+
+// NewWorkerServer listens on addr (host:port; port 0 picks a free port).
+// Call Serve to start accepting sessions.
+func NewWorkerServer(addr string) (*WorkerServer, error) {
+	srv, err := transport.NewServer(addr, reasoner.NewWorkerHandler(), transport.ServerOptions{})
+	if err != nil {
+		return nil, err
+	}
+	return &WorkerServer{srv: srv}, nil
+}
+
+// Addr returns the bound listen address (useful with port 0).
+func (w *WorkerServer) Addr() string { return w.srv.Addr() }
+
+// Serve accepts coordinator sessions until Close. It always returns a
+// non-nil error; after Close the error is net.ErrClosed.
+func (w *WorkerServer) Serve() error { return w.srv.Serve() }
+
+// Close stops the server and tears down every live session.
+func (w *WorkerServer) Close() error { return w.srv.Close() }
+
+// ServeWorker runs a worker on addr until the context is cancelled — the
+// one-call worker side of the distributed engine (cmd/streamrule -worker
+// wraps exactly this).
+func ServeWorker(ctx context.Context, addr string) error {
+	w, err := NewWorkerServer(addr)
+	if err != nil {
+		return err
+	}
+	done := make(chan error, 1)
+	go func() { done <- w.Serve() }()
+	select {
+	case <-ctx.Done():
+		w.Close()
+		<-done
+		return ctx.Err()
+	case err := <-done:
+		if errors.Is(err, net.ErrClosed) {
+			return nil
+		}
+		return err
+	}
+}

@@ -1,0 +1,37 @@
+// Package streamrule is a Go reproduction — and production-oriented
+// extension — of "Towards Scalable Non-monotonic Stream Reasoning via Input
+// Dependency Analysis" (Pham, Ali, Mileo — ICDE 2017): an ASP-based stream
+// reasoning system in the style of StreamRule, extended with
+// dependency-driven window partitioning.
+//
+// The package is a thin facade over the engine packages in internal/: an
+// ASP grounder and stable-model solver, the input dependency analysis that
+// is the paper's contribution, and the partitioned reasoning layer in its
+// three topologies — the whole-window Engine (the paper's reasoner R), the
+// in-process ParallelEngine (PR: one goroutine per dependency partition),
+// and the DistributedEngine (DPR: one remote worker session per partition).
+//
+// Typical in-process use:
+//
+//	p, err := streamrule.LoadProgram(rules, inpre)
+//	eng, err := streamrule.NewParallelEngine(p)   // analyzes dependencies
+//	out, err := eng.Reason(window)                // []streamrule.Triple
+//	fmt.Println(out.Answers[0])
+//
+// For overlapping sliding windows, feed the windower's delta instead
+// (ReasonDelta) and the engine maintains its grounding incrementally; the
+// Pipeline type wires a source, filter, window operator, and reasoner
+// together and does this automatically.
+//
+// Distributed use splits the same pipeline across processes: start workers
+// with ServeWorker (or cmd/streamrule -worker), then build a
+// DistributedEngine against their addresses. Workers receive the program in
+// the session handshake and return answers in a portable wire form; every
+// partition falls back to in-process reasoning when its worker is
+// unreachable, so answers never depend on the fleet's health.
+//
+// See ARCHITECTURE.md for the design (paper concepts → packages, the
+// interned-ID lifecycle, window lifecycles), docs/OPERATIONS.md for the
+// deployment runbook, examples/ for runnable programs, and cmd/ for the
+// CLIs.
+package streamrule

@@ -1,0 +1,168 @@
+package streamrule
+
+// The docs gate: the markdown doc set must exist, its Go code blocks must
+// be syntactically valid gofmt-able Go, the examples must stay gofmt-clean,
+// and every exported symbol of the facade package must carry a doc comment.
+// CI runs this alongside vet/build (which compile the examples themselves).
+
+import (
+	"go/ast"
+	"go/format"
+	"go/parser"
+	"go/token"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+var docFiles = []string{"README.md", "ARCHITECTURE.md", "docs/OPERATIONS.md"}
+
+// goBlocks extracts the ```go fenced code blocks of a markdown file.
+func goBlocks(t *testing.T, path string) []string {
+	t.Helper()
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("%s: %v", path, err)
+	}
+	var blocks []string
+	lines := strings.Split(string(data), "\n")
+	for i := 0; i < len(lines); i++ {
+		if strings.TrimSpace(lines[i]) != "```go" {
+			continue
+		}
+		var b []string
+		for i++; i < len(lines) && strings.TrimSpace(lines[i]) != "```"; i++ {
+			b = append(b, lines[i])
+		}
+		blocks = append(blocks, strings.Join(b, "\n"))
+	}
+	return blocks
+}
+
+// parseFragment accepts a whole file, a set of declarations, or a statement
+// list — the shapes code blocks in prose take.
+func parseFragment(src string) error {
+	wrappers := []string{
+		"%s",                                 // complete file
+		"package p\n%s",                      // declarations
+		"package p\nfunc _() {\n%s\n}\n",     // statements
+		"package p\nvar _ = func() {\n%s\n}", // expressions in context
+	}
+	var firstErr error
+	for _, w := range wrappers {
+		wrapped := strings.Replace(w, "%s", src, 1)
+		if _, err := parser.ParseFile(token.NewFileSet(), "block.go", wrapped, 0); err == nil {
+			return nil
+		} else if firstErr == nil {
+			firstErr = err
+		}
+	}
+	return firstErr
+}
+
+// TestDocsGoBlocksParse gates the prose: every ```go block in the doc set
+// must be valid Go (so examples in the docs cannot rot silently).
+func TestDocsGoBlocksParse(t *testing.T) {
+	for _, f := range docFiles {
+		blocks := goBlocks(t, f)
+		if f == "README.md" && len(blocks) == 0 {
+			t.Errorf("%s: no Go code blocks found; the quickstart is gone", f)
+		}
+		for i, b := range blocks {
+			if err := parseFragment(b); err != nil {
+				t.Errorf("%s: Go block %d does not parse: %v\n%s", f, i+1, err, b)
+			}
+		}
+	}
+}
+
+// TestDocsExist pins the acceptance criterion: the architecture and
+// operations docs are part of the build.
+func TestDocsExist(t *testing.T) {
+	for _, f := range docFiles {
+		st, err := os.Stat(f)
+		if err != nil {
+			t.Fatalf("%s: %v", f, err)
+		}
+		if st.Size() < 1024 {
+			t.Errorf("%s: suspiciously small (%d bytes)", f, st.Size())
+		}
+	}
+}
+
+// TestExamplesGofmt keeps the runnable examples gofmt-clean (CI formats the
+// whole tree too; this makes the examples' status visible in go test).
+func TestExamplesGofmt(t *testing.T) {
+	err := filepath.WalkDir("examples", func(path string, d os.DirEntry, err error) error {
+		if err != nil || d.IsDir() || !strings.HasSuffix(path, ".go") {
+			return err
+		}
+		src, err := os.ReadFile(path)
+		if err != nil {
+			return err
+		}
+		formatted, err := format.Source(src)
+		if err != nil {
+			t.Errorf("%s: %v", path, err)
+			return nil
+		}
+		if string(formatted) != string(src) {
+			t.Errorf("%s: not gofmt-formatted", path)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestFacadeExportedSymbolsDocumented walks the root package and requires a
+// doc comment on every exported type, function, method, and field-free
+// value declaration — the satellite contract that `go doc streamrule`
+// reads coherently.
+func TestFacadeExportedSymbolsDocumented(t *testing.T) {
+	fset := token.NewFileSet()
+	pkgs, err := parser.ParseDir(fset, ".", func(fi os.FileInfo) bool {
+		return !strings.HasSuffix(fi.Name(), "_test.go")
+	}, parser.ParseComments)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkg, ok := pkgs["streamrule"]
+	if !ok {
+		t.Fatal("package streamrule not found")
+	}
+	report := func(pos token.Pos, kind, name string) {
+		t.Errorf("%s: exported %s %s has no doc comment", fset.Position(pos), kind, name)
+	}
+	for _, file := range pkg.Files {
+		for _, decl := range file.Decls {
+			switch d := decl.(type) {
+			case *ast.FuncDecl:
+				if d.Name.IsExported() && d.Doc == nil {
+					kind := "function"
+					if d.Recv != nil {
+						kind = "method"
+					}
+					report(d.Pos(), kind, d.Name.Name)
+				}
+			case *ast.GenDecl:
+				for _, spec := range d.Specs {
+					switch s := spec.(type) {
+					case *ast.TypeSpec:
+						if s.Name.IsExported() && d.Doc == nil && s.Doc == nil && s.Comment == nil {
+							report(s.Pos(), "type", s.Name.Name)
+						}
+					case *ast.ValueSpec:
+						for _, n := range s.Names {
+							if n.IsExported() && d.Doc == nil && s.Doc == nil && s.Comment == nil {
+								report(s.Pos(), "value", n.Name)
+							}
+						}
+					}
+				}
+			}
+		}
+	}
+}

@@ -1,0 +1,45 @@
+// Package intern provides the shared interning layer of the engine: a symbol
+// table for predicate/constant strings and a ground-atom table mapping
+// pred(args...) tuples to dense AtomIDs.
+//
+// Production grounders (DLV, Clingo — [6], [18] in the paper) run their whole
+// instantiation pipeline over integer atom identifiers and only materialize
+// textual atoms at the API boundary. This package gives the Go engine the
+// same discipline: the data format processor interns incoming triples
+// straight to AtomIDs, the grounder indexes and dedups on IDs, the solver's
+// assignments and answer sets are ID sets, and the parallel combiner unions
+// sorted ID slices. Strings are rendered once per distinct atom (cached in
+// the table) instead of once per use.
+//
+// A Table is safe for concurrent use: the partitioned reasoner runs k
+// grounder/solver copies against one shared table, so answer sets from
+// different partitions combine by ID without re-keying. Lookups of already
+// interned data take only a read lock, which is the steady state for sliding
+// windows whose contents overlap heavily from window to window.
+//
+// # Eviction
+//
+// During normal operation a table grows monotonically: memory is bounded by
+// the number of DISTINCT symbols and atoms ever seen, not by the live
+// window. That is the right trade for the paper's workloads (a bounded
+// vocabulary of locations/vehicles recurring across windows), but a stream
+// that mints fresh constants every window (timestamps, unique event IDs)
+// grows the table without bound. For those streams the table supports
+// epoch-based eviction (rotate.go): every entry records the last epoch it
+// was interned, and Rotate compacts the table to the entries a caller still
+// references (plus everything touched in the current epoch), returning a
+// dense old→new ID remapping that the holders of cross-window state apply.
+// The per-epoch ground.Options.Intern escape hatch (a dedicated table
+// dropped wholesale) remains available for callers that keep no state.
+//
+// # Wire form
+//
+// Interned IDs are process-local, so a distributed reasoner cannot ship
+// them between nodes. wire.go defines the portable wire form: WireEncoder
+// re-keys a table's atoms to per-session dictionary indexes, shipping each
+// symbol/predicate/term definition exactly once as a DictDelta, and
+// WireDecoder mirrors the dictionary on the receiving side and re-interns
+// into its own table through cached index→ID fast paths. Neither side's
+// table rotations disturb the session: wire indexes are content-keyed
+// identities, not IDs. See the comment in wire.go for the full design.
+package intern

@@ -12,6 +12,7 @@
 // holders of interned IDs (grounder stores, fact refcounts, answer sets)
 // apply. The *Table pointer is stable across rotations, so identity-keyed
 // consumers (answer-set combination, Equal fast paths) stay valid.
+
 package intern
 
 import (

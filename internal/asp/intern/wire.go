@@ -1,0 +1,615 @@
+// Portable wire form: stable codes + per-session symbol dictionaries.
+//
+// Interned IDs are process-local: two tables intern the same atom under
+// different AtomIDs, and a budgeted table renumbers its IDs on every
+// rotation. When a remote worker ships answer sets to a coordinator it
+// therefore cannot send raw IDs. The wire form solves cross-node identity
+// with a per-session dictionary: the encoder (worker side) assigns every
+// symbol, predicate, and structured term a small stable wire index the first
+// time it is referenced, ships the definition once in that response's
+// DictDelta, and thereafter refers to it by index alone. The decoder
+// (coordinator side) mirrors the dictionary and re-interns through it into
+// its own table, caching wire index → local ID so steady-state windows cost
+// integer lookups, not string interning. On streams whose vocabulary
+// repeats, deltas are empty after the first windows — only new symbols ever
+// cross the wire.
+//
+// Wire codes reuse the Code tag layout (2 tag bits + 62-bit payload):
+// inline numbers travel unchanged, while symbol/string/term payloads hold
+// dictionary indexes instead of table-local IDs. Wire indexes are assigned
+// densely per session and are independent of both tables' IDs, so a worker
+// rotating its table under a memory budget (the encoder's caches are
+// invalidated, the dictionary itself is keyed by content) and a coordinator
+// rotating its own (InvalidateLocal drops the decoder's ID caches, the
+// mirrored definitions persist) both keep the session consistent.
+//
+// The dictionary is the wire-level analogue of the interning table, and it
+// gets the analogue of table rotation: when the encoder outgrows
+// MaxEntries — only possible on fresh-constant streams — it resets the
+// session dictionary wholesale and bumps its generation, exactly as a
+// rotation opens a fresh epoch; the decoder observes the new generation,
+// resets its mirror, and the next delta re-ships the (small) live
+// vocabulary. Every delta also carries the dictionary sizes it was built
+// against, so a desynchronized session (a worker restarted behind a kept
+// connection, a dropped response) is detected instead of silently decoding
+// garbage.
+
+package intern
+
+import (
+	"fmt"
+
+	"streamrule/internal/asp/ast"
+)
+
+// WireSet is one answer set in wire form: a flat stream of uint64 words,
+// [pred, nargs, arg...] per atom, where pred is a dictionary index and each
+// arg is a wire code (the Code tag layout with dictionary payloads).
+type WireSet []uint64
+
+// DictDelta carries the dictionary entries a response references that the
+// session has not shipped before. Entries append in order: the index of
+// Syms[i] is BaseSyms+i, and likewise for predicates and terms. A term
+// definition may reference symbols and terms of the same delta, as long as
+// they precede it.
+type DictDelta struct {
+	// Gen is the encoder's dictionary generation. A bumped generation tells
+	// the decoder the whole dictionary was reset (see WireEncoder.MaxEntries)
+	// and the indexes restart from zero.
+	Gen uint32
+	// BaseSyms/BasePreds/BaseTerms are the dictionary sizes the encoder held
+	// before appending this delta's entries — a desync check for the decoder.
+	BaseSyms, BasePreds, BaseTerms uint32
+	// Syms lists new symbol strings (shared by constants, quoted strings,
+	// predicate names, and functors).
+	Syms []string
+	// Preds lists new predicate definitions.
+	Preds []WirePredDef
+	// Terms lists new structured-term definitions.
+	Terms []WireTermDef
+}
+
+// Empty reports whether the delta ships no new entries (the steady state).
+func (d *DictDelta) Empty() bool {
+	return len(d.Syms) == 0 && len(d.Preds) == 0 && len(d.Terms) == 0
+}
+
+// Entries returns the number of dictionary entries the delta ships.
+func (d *DictDelta) Entries() int { return len(d.Syms) + len(d.Preds) + len(d.Terms) }
+
+// WirePredDef defines a predicate: a dictionary symbol index for the name
+// plus the arity.
+type WirePredDef struct {
+	Sym   uint32
+	Arity int32
+}
+
+// WireTermDef defines a structured term that does not fit an inline wire
+// code: a function term f(args...) or an integer outside the inline range.
+type WireTermDef struct {
+	// Func is the dictionary symbol index of the functor. It is meaningful
+	// only when IsNum is false.
+	Func uint32
+	// Args are the argument wire codes of a function term; they may
+	// reference only dictionary entries defined before this one.
+	Args []uint64
+	// Num carries the value of an out-of-inline-range integer when IsNum is
+	// set.
+	Num   int64
+	IsNum bool
+}
+
+// DefaultMaxDictEntries bounds a session dictionary before the encoder
+// resets it (symbol + predicate + term entries). Only streams that mint
+// fresh constants without bound ever reach it.
+const DefaultMaxDictEntries = 1 << 20
+
+// WireEncoder translates interned atoms of a local table into the portable
+// wire form, maintaining the session dictionary and the pending delta. An
+// encoder belongs to one session (one remote peer) and is not safe for
+// concurrent use.
+type WireEncoder struct {
+	gen    uint32
+	syms   map[string]uint32
+	nSyms  uint32
+	preds  map[predKey]uint32
+	nPreds uint32
+	terms  map[string]uint32 // canonical rendering → index
+	nTerms uint32
+
+	pendSyms  []string
+	pendPreds []WirePredDef
+	pendTerms []WireTermDef
+
+	// Table-local fast paths: local ID → wire index. Valid only for the
+	// table and rotation count they were built against; Begin invalidates
+	// them, falling back to the content-keyed dictionary above.
+	cacheTab  *Table
+	cacheRot  int
+	symCache  map[SymID]uint32
+	predCache map[PredID]uint32
+	termCache map[uint32]uint32
+
+	// MaxEntries bounds the dictionary; exceeding it at Begin resets the
+	// session (generation bump). 0 means DefaultMaxDictEntries.
+	MaxEntries int
+}
+
+// NewWireEncoder returns an empty encoder at generation 1.
+func NewWireEncoder() *WireEncoder {
+	e := &WireEncoder{gen: 1}
+	e.reset()
+	return e
+}
+
+// Gen returns the current dictionary generation.
+func (e *WireEncoder) Gen() uint32 { return e.gen }
+
+// Entries returns the current dictionary size.
+func (e *WireEncoder) Entries() int { return int(e.nSyms + e.nPreds + e.nTerms) }
+
+func (e *WireEncoder) reset() {
+	e.syms = make(map[string]uint32)
+	e.preds = make(map[predKey]uint32)
+	e.terms = make(map[string]uint32)
+	e.nSyms, e.nPreds, e.nTerms = 0, 0, 0
+	e.pendSyms, e.pendPreds, e.pendTerms = nil, nil, nil
+	e.cacheTab = nil
+}
+
+// Begin prepares the encoder for one response against the given table. It
+// resets the dictionary (bumping the generation) when MaxEntries is
+// exceeded, and invalidates the ID fast paths when the table rotated since
+// the last response (the content-keyed dictionary survives rotations — wire
+// indexes are stable identities, local IDs are not).
+func (e *WireEncoder) Begin(tab *Table) {
+	max := e.MaxEntries
+	if max <= 0 {
+		max = DefaultMaxDictEntries
+	}
+	if e.Entries() > max {
+		e.gen++
+		e.reset()
+	}
+	rot := tab.Stats().Rotations
+	if e.cacheTab != tab || e.cacheRot != rot {
+		e.cacheTab = tab
+		e.cacheRot = rot
+		e.symCache = make(map[SymID]uint32)
+		e.predCache = make(map[PredID]uint32)
+		e.termCache = make(map[uint32]uint32)
+	}
+}
+
+// wireSym interns a symbol string into the session dictionary.
+func (e *WireEncoder) wireSym(name string) uint32 {
+	if w, ok := e.syms[name]; ok {
+		return w
+	}
+	w := e.nSyms
+	e.nSyms++
+	e.syms[name] = w
+	e.pendSyms = append(e.pendSyms, name)
+	return w
+}
+
+func (e *WireEncoder) wirePred(tab *Table, p PredID) uint32 {
+	if w, ok := e.predCache[p]; ok {
+		return w
+	}
+	k := predKey{name: tab.PredName(p), arity: tab.PredArity(p)}
+	w, ok := e.preds[k]
+	if !ok {
+		sym := e.wireSym(k.name)
+		w = e.nPreds
+		e.nPreds++
+		e.preds[k] = w
+		e.pendPreds = append(e.pendPreds, WirePredDef{Sym: sym, Arity: int32(k.arity)})
+	}
+	e.predCache[p] = w
+	return w
+}
+
+// wireCode translates one local argument code. Inline numbers pass through
+// unchanged; symbol/string/term payloads are re-keyed to dictionary indexes.
+func (e *WireEncoder) wireCode(tab *Table, c Code) uint64 {
+	payload := c & payloadMask
+	switch c & codeTagMask {
+	case tagNum:
+		return uint64(c)
+	case tagSym, tagStr:
+		sid := SymID(payload)
+		w, ok := e.symCache[sid]
+		if !ok {
+			w = e.wireSym(tab.SymName(sid))
+			e.symCache[sid] = w
+		}
+		return uint64(c&codeTagMask) | uint64(w)
+	default: // tagTerm
+		ti := uint32(payload)
+		w, ok := e.termCache[ti]
+		if !ok {
+			w = e.wireTerm(tab, tab.TermOf(c))
+			e.termCache[ti] = w
+		}
+		return uint64(tagTerm) | uint64(w)
+	}
+}
+
+// wireTerm interns a structured term definition, recursing through function
+// arguments so every definition references only earlier entries.
+func (e *WireEncoder) wireTerm(tab *Table, term ast.Term) uint32 {
+	key := term.String()
+	if w, ok := e.terms[key]; ok {
+		return w
+	}
+	var def WireTermDef
+	switch term.Kind {
+	case ast.NumberTerm:
+		def = WireTermDef{Num: term.Num, IsNum: true}
+	default:
+		// Function term: encode the functor and each ground argument. Other
+		// kinds cannot appear in an interned ground atom's side table.
+		args := make([]uint64, len(term.FArgs))
+		for i, a := range term.FArgs {
+			args[i] = e.wireArgTerm(tab, a)
+		}
+		def = WireTermDef{Func: e.wireSym(term.Sym), Args: args}
+	}
+	// Intern after the recursion: children first, then the parent, so the
+	// decoder can resolve definitions in delta order.
+	w := e.nTerms
+	e.nTerms++
+	e.terms[key] = w
+	e.pendTerms = append(e.pendTerms, def)
+	return w
+}
+
+// wireArgTerm encodes one function-term argument as a wire code.
+func (e *WireEncoder) wireArgTerm(tab *Table, term ast.Term) uint64 {
+	switch term.Kind {
+	case ast.NumberTerm:
+		if c, ok := CodeNum(term.Num); ok {
+			return uint64(c)
+		}
+		return uint64(tagTerm) | uint64(e.wireTerm(tab, term))
+	case ast.SymbolTerm:
+		return uint64(tagSym) | uint64(e.wireSym(term.Sym))
+	case ast.StringTerm:
+		return uint64(tagStr) | uint64(e.wireSym(term.Sym))
+	default:
+		return uint64(tagTerm) | uint64(e.wireTerm(tab, term))
+	}
+}
+
+// AppendAtom appends one interned atom in wire form. Call Begin once per
+// response before the first atom.
+func (e *WireEncoder) AppendAtom(tab *Table, id AtomID, dst WireSet) WireSet {
+	args := tab.ArgCodes(id)
+	dst = append(dst, uint64(e.wirePred(tab, tab.AtomPred(id))), uint64(len(args)))
+	for _, c := range args {
+		dst = append(dst, e.wireCode(tab, c))
+	}
+	return dst
+}
+
+// AppendSet appends a whole answer set (a sorted ID slice) in wire form.
+func (e *WireEncoder) AppendSet(tab *Table, ids []AtomID, dst WireSet) WireSet {
+	for _, id := range ids {
+		dst = e.AppendAtom(tab, id, dst)
+	}
+	return dst
+}
+
+// Flush returns the delta of dictionary entries added since the previous
+// Flush and marks them shipped. The delta must reach the decoder before (or
+// with) the wire sets encoded against it — in the transport each response
+// carries its own delta.
+func (e *WireEncoder) Flush() DictDelta {
+	d := DictDelta{
+		Gen:       e.gen,
+		BaseSyms:  e.nSyms - uint32(len(e.pendSyms)),
+		BasePreds: e.nPreds - uint32(len(e.pendPreds)),
+		BaseTerms: e.nTerms - uint32(len(e.pendTerms)),
+		Syms:      e.pendSyms,
+		Preds:     e.pendPreds,
+		Terms:     e.pendTerms,
+	}
+	e.pendSyms, e.pendPreds, e.pendTerms = nil, nil, nil
+	return d
+}
+
+// decSym is one mirrored symbol entry: the authoritative string plus a
+// cached local SymID (valid until InvalidateLocal).
+type decSym struct {
+	name string
+	id   SymID
+	idOK bool
+}
+
+type decPred struct {
+	sym   uint32
+	arity int32
+	pid   PredID
+	pidOK bool
+}
+
+type decTerm struct {
+	def    WireTermDef
+	code   Code
+	codeOK bool
+}
+
+// WireDecoder mirrors one session's dictionary on the coordinator side and
+// re-interns wire-form answer sets into a local table. A decoder belongs to
+// one session and is not safe for concurrent use.
+type WireDecoder struct {
+	tab   *Table
+	gen   uint32
+	syms  []decSym
+	preds []decPred
+	terms []decTerm
+
+	refs    int64
+	shipped int64
+}
+
+// NewWireDecoder returns an empty decoder interning into tab.
+func NewWireDecoder(tab *Table) *WireDecoder {
+	return &WireDecoder{tab: tab}
+}
+
+// Refs returns the number of dictionary references resolved so far (symbol,
+// predicate, and term lookups while decoding; inline numbers excluded).
+func (d *WireDecoder) Refs() int64 { return d.refs }
+
+// Shipped returns the number of dictionary entries received in deltas — the
+// references that could not be served from the mirrored dictionary. The
+// session's dictionary hit rate is 1 - Shipped/Refs.
+func (d *WireDecoder) Shipped() int64 { return d.shipped }
+
+// Entries returns the mirrored dictionary size.
+func (d *WireDecoder) Entries() int { return len(d.syms) + len(d.preds) + len(d.terms) }
+
+// InvalidateLocal drops the cached local IDs (after the local table rotated
+// and renumbered them) while keeping the mirrored dictionary: the next
+// decode re-interns from the authoritative strings and refills the caches.
+// Nothing is re-shipped over the wire.
+func (d *WireDecoder) InvalidateLocal() {
+	for i := range d.syms {
+		d.syms[i].idOK = false
+	}
+	for i := range d.preds {
+		d.preds[i].pidOK = false
+	}
+	for i := range d.terms {
+		d.terms[i].codeOK = false
+	}
+}
+
+// Apply appends a delta's entries to the mirrored dictionary. A generation
+// bump resets the mirror first (the encoder rotated its dictionary). A
+// mismatch between the delta's base sizes and the mirror indicates a
+// desynchronized session; the caller must tear the session down.
+func (d *WireDecoder) Apply(delta *DictDelta) error {
+	if delta.Gen != d.gen {
+		if d.gen != 0 && delta.Gen < d.gen {
+			return fmt.Errorf("intern: wire dictionary generation went backwards (%d after %d)", delta.Gen, d.gen)
+		}
+		d.gen = delta.Gen
+		d.syms, d.preds, d.terms = nil, nil, nil
+	}
+	if int(delta.BaseSyms) != len(d.syms) || int(delta.BasePreds) != len(d.preds) || int(delta.BaseTerms) != len(d.terms) {
+		return fmt.Errorf("intern: wire dictionary desync: delta base %d/%d/%d, mirror %d/%d/%d",
+			delta.BaseSyms, delta.BasePreds, delta.BaseTerms, len(d.syms), len(d.preds), len(d.terms))
+	}
+	for _, s := range delta.Syms {
+		d.syms = append(d.syms, decSym{name: s})
+	}
+	for _, p := range delta.Preds {
+		if int(p.Sym) >= len(d.syms) {
+			return fmt.Errorf("intern: wire predicate references unknown symbol %d", p.Sym)
+		}
+		d.preds = append(d.preds, decPred{sym: p.Sym, arity: p.Arity})
+	}
+	for _, t := range delta.Terms {
+		if !t.IsNum {
+			if int(t.Func) >= len(d.syms) {
+				return fmt.Errorf("intern: wire term references unknown functor symbol %d", t.Func)
+			}
+			// A definition may reference only entries that precede it —
+			// the order honest encoders emit. Rejecting self- and
+			// forward-references here is what lets termOf recurse without
+			// a depth guard.
+			for _, a := range t.Args {
+				if err := d.checkArgRef(a); err != nil {
+					return err
+				}
+			}
+		}
+		d.terms = append(d.terms, decTerm{def: t})
+	}
+	d.shipped += int64(delta.Entries())
+	return nil
+}
+
+// checkArgRef validates one term-definition argument code against the
+// dictionary built so far (full 62-bit payload, no truncation).
+func (d *WireDecoder) checkArgRef(a uint64) error {
+	payload := uint64(Code(a) & payloadMask)
+	switch Code(a) & codeTagMask {
+	case tagNum:
+		return nil
+	case tagSym, tagStr:
+		if payload >= uint64(len(d.syms)) {
+			return fmt.Errorf("intern: wire term argument references unknown symbol %d", payload)
+		}
+	default:
+		if payload >= uint64(len(d.terms)) {
+			return fmt.Errorf("intern: wire term argument references term %d before its definition", payload)
+		}
+	}
+	return nil
+}
+
+func (d *WireDecoder) localSym(w uint64) (SymID, error) {
+	if w >= uint64(len(d.syms)) {
+		return 0, fmt.Errorf("intern: wire symbol %d out of range [0,%d)", w, len(d.syms))
+	}
+	e := &d.syms[w]
+	if !e.idOK {
+		e.id = d.tab.Sym(e.name)
+		e.idOK = true
+	}
+	d.refs++
+	return e.id, nil
+}
+
+func (d *WireDecoder) localPred(w uint64) (PredID, error) {
+	if w >= uint64(len(d.preds)) {
+		return 0, fmt.Errorf("intern: wire predicate %d out of range [0,%d)", w, len(d.preds))
+	}
+	e := &d.preds[w]
+	if !e.pidOK {
+		e.pid = d.tab.Pred(d.syms[e.sym].name, int(e.arity))
+		e.pidOK = true
+	}
+	d.refs++
+	return e.pid, nil
+}
+
+// localTerm resolves a wire term index to a local structured-term code,
+// rebuilding the ast.Term from its definition on a cache miss.
+func (d *WireDecoder) localTerm(w uint64) (Code, error) {
+	if w >= uint64(len(d.terms)) {
+		return 0, fmt.Errorf("intern: wire term %d out of range [0,%d)", w, len(d.terms))
+	}
+	e := &d.terms[w]
+	if !e.codeOK {
+		term, err := d.termOf(uint32(w))
+		if err != nil {
+			return 0, err
+		}
+		c, ok := d.tab.CodeOf(term)
+		if !ok {
+			return 0, fmt.Errorf("intern: wire term %d does not intern", w)
+		}
+		e.code = c
+		e.codeOK = true
+	}
+	d.refs++
+	return e.code, nil
+}
+
+// termOf rebuilds the ast.Term of a dictionary term entry. Definitions
+// reference only earlier entries, so the recursion terminates.
+func (d *WireDecoder) termOf(w uint32) (ast.Term, error) {
+	def := d.terms[w].def
+	if def.IsNum {
+		return ast.Num(def.Num), nil
+	}
+	if int(def.Func) >= len(d.syms) {
+		return ast.Term{}, fmt.Errorf("intern: wire term functor %d out of range", def.Func)
+	}
+	args := make([]ast.Term, len(def.Args))
+	for i, c := range def.Args {
+		t, err := d.argTermOf(c)
+		if err != nil {
+			return ast.Term{}, err
+		}
+		args[i] = t
+	}
+	return ast.Term{Kind: ast.FuncTerm, Sym: d.syms[def.Func].name, FArgs: args}, nil
+}
+
+func (d *WireDecoder) argTermOf(c uint64) (ast.Term, error) {
+	payload := Code(c) & payloadMask
+	switch Code(c) & codeTagMask {
+	case tagNum:
+		return ast.Num(int64(uint64(payload)<<2) >> 2), nil
+	case tagSym:
+		if int(payload) >= len(d.syms) {
+			return ast.Term{}, fmt.Errorf("intern: wire symbol %d out of range", payload)
+		}
+		return ast.Sym(d.syms[payload].name), nil
+	case tagStr:
+		if int(payload) >= len(d.syms) {
+			return ast.Term{}, fmt.Errorf("intern: wire symbol %d out of range", payload)
+		}
+		return ast.Str(d.syms[payload].name), nil
+	default:
+		if int(payload) >= len(d.terms) {
+			return ast.Term{}, fmt.Errorf("intern: wire term %d out of range", payload)
+		}
+		return d.termOf(uint32(payload))
+	}
+}
+
+// localCode resolves one wire argument code to a local table code. Indexes
+// are bounds-checked at full payload width — a corrupt high-bit index must
+// error, never alias onto a valid entry.
+func (d *WireDecoder) localCode(c uint64) (Code, error) {
+	payload := uint64(Code(c) & payloadMask)
+	switch Code(c) & codeTagMask {
+	case tagNum:
+		return Code(c), nil
+	case tagSym:
+		sid, err := d.localSym(payload)
+		if err != nil {
+			return 0, err
+		}
+		return tagSym | Code(sid), nil
+	case tagStr:
+		sid, err := d.localSym(payload)
+		if err != nil {
+			return 0, err
+		}
+		return tagStr | Code(sid), nil
+	default:
+		return d.localTerm(payload)
+	}
+}
+
+// DecodeSet re-interns one wire-form answer set into the decoder's table,
+// appending the local atom IDs to dst.
+func (d *WireDecoder) DecodeSet(ws WireSet, dst []AtomID) ([]AtomID, error) {
+	var codes [8]Code
+	i := 0
+	for i < len(ws) {
+		if i+2 > len(ws) {
+			return nil, fmt.Errorf("intern: truncated wire set")
+		}
+		pid, err := d.localPred(ws[i])
+		if err != nil {
+			return nil, err
+		}
+		n := int(ws[i+1])
+		i += 2
+		if n < 0 || i+n > len(ws) {
+			return nil, fmt.Errorf("intern: wire atom arity %d overruns the set", n)
+		}
+		if want := d.tab.PredArity(pid); n != want {
+			return nil, fmt.Errorf("intern: wire atom has %d args, predicate expects %d", n, want)
+		}
+		cs := codes[:0]
+		for _, w := range ws[i : i+n] {
+			c, err := d.localCode(w)
+			if err != nil {
+				return nil, err
+			}
+			cs = append(cs, c)
+		}
+		i += n
+		dst = append(dst, d.tab.internAtomCodes(pid, cs))
+	}
+	return dst, nil
+}
+
+// internAtomCodes interns an atom given its predicate and already-local
+// argument codes (the decoder's entry point; the materialized form is built
+// from the codes on first intern).
+func (t *Table) internAtomCodes(p PredID, cs []Code) AtomID {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.internCodesLocked(p, cs, ast.Atom{})
+}

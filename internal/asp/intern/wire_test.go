@@ -1,0 +1,289 @@
+package intern
+
+import (
+	"testing"
+
+	"streamrule/internal/asp/ast"
+)
+
+// roundTrip encodes the given atoms of src through one response and decodes
+// them into dst, returning the decoded IDs.
+func roundTrip(t *testing.T, enc *WireEncoder, dec *WireDecoder, src *Table, ids []AtomID) []AtomID {
+	t.Helper()
+	enc.Begin(src)
+	ws := enc.AppendSet(src, ids, nil)
+	delta := enc.Flush()
+	if err := dec.Apply(&delta); err != nil {
+		t.Fatalf("Apply: %v", err)
+	}
+	got, err := dec.DecodeSet(ws, nil)
+	if err != nil {
+		t.Fatalf("DecodeSet: %v", err)
+	}
+	return got
+}
+
+func internAll(tab *Table, atoms []ast.Atom) []AtomID {
+	ids := make([]AtomID, len(atoms))
+	for i, a := range atoms {
+		ids[i] = tab.InternAtom(a)
+	}
+	return ids
+}
+
+func testAtoms() []ast.Atom {
+	return []ast.Atom{
+		{Pred: "alarm"},
+		{Pred: "speed", Args: []ast.Term{ast.Sym("l1"), ast.Num(42)}},
+		{Pred: "speed", Args: []ast.Term{ast.Sym("l2"), ast.Num(-7)}},
+		{Pred: "label", Args: []ast.Term{ast.Str("hello world")}},
+		{Pred: "big", Args: []ast.Term{ast.Num(1 << 62)}},
+		{Pred: "route", Args: []ast.Term{
+			{Kind: ast.FuncTerm, Sym: "leg", FArgs: []ast.Term{ast.Sym("a"), ast.Num(3)}},
+			{Kind: ast.FuncTerm, Sym: "pair", FArgs: []ast.Term{
+				{Kind: ast.FuncTerm, Sym: "leg", FArgs: []ast.Term{ast.Sym("b"), ast.Num(9)}},
+				ast.Str("tag"),
+			}},
+		}},
+		{Pred: "wide", Args: []ast.Term{ast.Sym("a"), ast.Sym("b"), ast.Sym("c"), ast.Sym("d"), ast.Num(5)}},
+	}
+}
+
+// TestWireRoundTrip ships atoms of every term shape between two independent
+// tables and checks the decoded atoms render identically.
+func TestWireRoundTrip(t *testing.T) {
+	src, dst := NewTable(), NewTable()
+	atoms := testAtoms()
+	ids := internAll(src, atoms)
+
+	enc, dec := NewWireEncoder(), NewWireDecoder(dst)
+	got := roundTrip(t, enc, dec, src, ids)
+	if len(got) != len(ids) {
+		t.Fatalf("decoded %d atoms, want %d", len(got), len(ids))
+	}
+	for i, id := range got {
+		if want, have := src.KeyOf(ids[i]), dst.KeyOf(id); want != have {
+			t.Errorf("atom %d: decoded %q, want %q", i, have, want)
+		}
+	}
+
+	// Second response with the same atoms: the delta must be empty (every
+	// reference is a dictionary hit) and decoding must be stable.
+	enc.Begin(src)
+	ws := enc.AppendSet(src, ids, nil)
+	delta := enc.Flush()
+	if !delta.Empty() {
+		t.Fatalf("second response shipped %d dictionary entries, want 0", delta.Entries())
+	}
+	if err := dec.Apply(&delta); err != nil {
+		t.Fatal(err)
+	}
+	again, err := dec.DecodeSet(ws, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range got {
+		if got[i] != again[i] {
+			t.Fatalf("unstable decode: atom %d %d != %d", i, got[i], again[i])
+		}
+	}
+	if dec.Shipped() >= dec.Refs() {
+		t.Errorf("shipped %d >= refs %d: dictionary never hit", dec.Shipped(), dec.Refs())
+	}
+}
+
+// TestWireSurvivesEncoderTableRotation rotates the worker-side table (which
+// renumbers its IDs) between responses; the wire form must stay consistent
+// because the dictionary is keyed by content, not by local IDs.
+func TestWireSurvivesEncoderTableRotation(t *testing.T) {
+	src, dst := NewTable(), NewTable()
+	atoms := testAtoms()
+	ids := internAll(src, atoms)
+
+	enc, dec := NewWireEncoder(), NewWireDecoder(dst)
+	first := roundTrip(t, enc, dec, src, ids)
+
+	// Evict everything except two atoms, then re-intern the full set: most
+	// atoms get fresh local IDs.
+	src.AdvanceEpoch()
+	rm, err := src.Rotate([]AtomID{ids[1], ids[5]})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rm.NumLiveAtoms() >= len(ids) {
+		t.Fatalf("rotation evicted nothing (live %d)", rm.NumLiveAtoms())
+	}
+	ids2 := internAll(src, atoms)
+
+	enc.Begin(src)
+	ws := enc.AppendSet(src, ids2, nil)
+	delta := enc.Flush()
+	if !delta.Empty() {
+		t.Errorf("post-rotation response re-shipped %d entries; dictionary should be ID-independent", delta.Entries())
+	}
+	if err := dec.Apply(&delta); err != nil {
+		t.Fatal(err)
+	}
+	got, err := dec.DecodeSet(ws, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range first {
+		if first[i] != got[i] {
+			t.Fatalf("atom %d decoded to %d before rotation, %d after", i, first[i], got[i])
+		}
+	}
+}
+
+// TestWireDecoderSurvivesLocalRotation rotates the coordinator-side table;
+// InvalidateLocal must let the decoder re-intern from its mirrored strings
+// without anything being re-shipped.
+func TestWireDecoderSurvivesLocalRotation(t *testing.T) {
+	src, dst := NewTable(), NewTable()
+	atoms := testAtoms()
+	ids := internAll(src, atoms)
+
+	enc, dec := NewWireEncoder(), NewWireDecoder(dst)
+	roundTrip(t, enc, dec, src, ids)
+
+	dst.AdvanceEpoch()
+	if _, err := dst.Rotate(nil); err != nil {
+		t.Fatal(err)
+	}
+	dec.InvalidateLocal()
+
+	enc.Begin(src)
+	ws := enc.AppendSet(src, ids, nil)
+	delta := enc.Flush()
+	if err := dec.Apply(&delta); err != nil {
+		t.Fatal(err)
+	}
+	got, err := dec.DecodeSet(ws, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, id := range got {
+		if want, have := src.KeyOf(ids[i]), dst.KeyOf(id); want != have {
+			t.Errorf("atom %d: decoded %q, want %q", i, have, want)
+		}
+	}
+}
+
+// TestWireGenerationReset drives the encoder past MaxEntries; the decoder
+// must follow the generation bump and keep decoding correctly.
+func TestWireGenerationReset(t *testing.T) {
+	src, dst := NewTable(), NewTable()
+	enc, dec := NewWireEncoder(), NewWireDecoder(dst)
+	enc.MaxEntries = 8
+
+	for round := 0; round < 12; round++ {
+		a := ast.Atom{Pred: "ev", Args: []ast.Term{ast.Sym("c" + string(rune('a'+round))), ast.Num(int64(round))}}
+		id := src.InternAtom(a)
+		got := roundTrip(t, enc, dec, src, []AtomID{id})
+		if want, have := src.KeyOf(id), dst.KeyOf(got[0]); want != have {
+			t.Fatalf("round %d: decoded %q, want %q", round, have, want)
+		}
+	}
+	if enc.Gen() == 1 {
+		t.Fatalf("encoder never reset its dictionary (entries %d, max %d)", enc.Entries(), enc.MaxEntries)
+	}
+}
+
+// TestWireDesyncDetected feeds a decoder a delta whose base sizes do not
+// match its mirror — the replay-after-restart failure mode — and expects a
+// hard error rather than silent garbage.
+func TestWireDesyncDetected(t *testing.T) {
+	src, dst := NewTable(), NewTable()
+	id := src.InternAtom(ast.Atom{Pred: "p", Args: []ast.Term{ast.Sym("x")}})
+
+	enc := NewWireEncoder()
+	enc.Begin(src)
+	enc.AppendAtom(src, id, nil)
+	enc.Flush() // shipped to nobody: the response was lost
+
+	enc.Begin(src)
+	id2 := src.InternAtom(ast.Atom{Pred: "p", Args: []ast.Term{ast.Sym("y")}})
+	enc.AppendAtom(src, id2, nil)
+	delta := enc.Flush()
+
+	dec := NewWireDecoder(dst)
+	if err := dec.Apply(&delta); err == nil {
+		t.Fatal("Apply accepted a delta built against entries the decoder never received")
+	}
+}
+
+// TestWireDecodeRejectsCorruptSets exercises the bounds checks on malformed
+// wire sets (the transport's last line of defense behind frame limits).
+func TestWireDecodeRejectsCorruptSets(t *testing.T) {
+	src, dst := NewTable(), NewTable()
+	id := src.InternAtom(ast.Atom{Pred: "p", Args: []ast.Term{ast.Sym("x"), ast.Num(1)}})
+	enc, dec := NewWireEncoder(), NewWireDecoder(dst)
+	ws := func() WireSet {
+		enc.Begin(src)
+		out := enc.AppendAtom(src, id, nil)
+		delta := enc.Flush()
+		if err := dec.Apply(&delta); err != nil {
+			t.Fatal(err)
+		}
+		return out
+	}()
+
+	bad := []struct {
+		name string
+		ws   WireSet
+	}{
+		{"truncated header", ws[:1]},
+		{"truncated args", ws[:len(ws)-1]},
+		{"unknown pred", append(WireSet{99, 0}, ws...)},
+		{"arity overrun", WireSet{ws[0], 99}},
+		// Indexes that alias onto valid entries after uint32 truncation
+		// must still be rejected (full-payload bounds checks).
+		{"aliasing pred index", WireSet{ws[0] + (1 << 32), ws[1], ws[2], ws[3]}},
+		{"aliasing sym code", WireSet{ws[0], ws[1], ws[2] + (1 << 32), ws[3]}},
+	}
+	for _, tc := range bad {
+		if _, err := dec.DecodeSet(tc.ws, nil); err == nil {
+			t.Errorf("%s: decoded without error", tc.name)
+		}
+	}
+}
+
+// TestWireRejectsMaliciousTermDefs pins the Apply-side validation: term
+// definitions may reference only entries defined before them, so a
+// self-referential (or forward-referencing) definition is rejected up
+// front instead of recursing the decoder into a stack overflow.
+func TestWireRejectsMaliciousTermDefs(t *testing.T) {
+	deltas := []struct {
+		name  string
+		delta DictDelta
+	}{
+		{"self-referential term", DictDelta{
+			Gen:  1,
+			Syms: []string{"f"},
+			Terms: []WireTermDef{
+				{Func: 0, Args: []uint64{uint64(tagTerm) | 0}},
+			},
+		}},
+		{"forward-referencing term", DictDelta{
+			Gen:  1,
+			Syms: []string{"f"},
+			Terms: []WireTermDef{
+				{Func: 0, Args: []uint64{uint64(tagTerm) | 1}},
+				{Num: 1, IsNum: true},
+			},
+		}},
+		{"unknown symbol in term args", DictDelta{
+			Gen:  1,
+			Syms: []string{"f"},
+			Terms: []WireTermDef{
+				{Func: 0, Args: []uint64{uint64(tagSym) | 7}},
+			},
+		}},
+	}
+	for _, tc := range deltas {
+		dec := NewWireDecoder(NewTable())
+		if err := dec.Apply(&tc.delta); err == nil {
+			t.Errorf("%s: Apply accepted the definition", tc.name)
+		}
+	}
+}

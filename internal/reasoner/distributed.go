@@ -1,0 +1,490 @@
+// Coordinator side of the distributed reasoner: DPR ships each window's
+// partitions to remote workers over internal/transport and re-interns the
+// wire-form answers through cached per-worker dictionaries.
+
+package reasoner
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"streamrule/internal/asp/intern"
+	"streamrule/internal/asp/solve"
+	"streamrule/internal/rdf"
+	"streamrule/internal/transport"
+)
+
+// DPROptions configures the distributed parallel reasoner.
+type DPROptions struct {
+	// Workers lists worker addresses (host:port). Partitions are assigned
+	// round-robin: partition i opens its session against
+	// Workers[i mod len(Workers)], so one worker process may host several
+	// partition sessions.
+	Workers []string
+	// ProgramSource is the ASP program text shipped to workers in the
+	// session handshake (workers are program-agnostic; reasoner.Config
+	// holds only the parsed form).
+	ProgramSource string
+	// StragglerTimeout bounds one remote round (ship window, reason,
+	// receive answers). A partition that misses it is processed locally
+	// and its session is redialed for the next window. 0 = 10s.
+	StragglerTimeout time.Duration
+	// DialTimeout bounds session establishment (0 = transport default).
+	DialTimeout time.Duration
+	// MaxFrame bounds a protocol frame (0 = transport.DefaultMaxFrame).
+	MaxFrame int
+}
+
+// TransportStats aggregates the distributed reasoner's wire metrics across
+// all partition sessions since construction.
+type TransportStats struct {
+	// RemoteWindows counts partition windows answered by a worker;
+	// LocalFallbacks counts partition windows processed locally because the
+	// session was down, timed out, or desynchronized.
+	RemoteWindows, LocalFallbacks int64
+	// Redials counts session re-establishments after a transport failure
+	// (the initial dials are not counted).
+	Redials int64
+	// BytesSent/BytesReceived are cumulative wire bytes across sessions,
+	// redials included.
+	BytesSent, BytesReceived int64
+	// DictRefs counts symbol/predicate/term references resolved through the
+	// per-worker dictionaries while decoding answers; DictShipped counts
+	// the dictionary entries that had to be shipped in deltas. Their ratio
+	// is the dictionary hit rate — on a repeating vocabulary it approaches
+	// 1 because every symbol crosses the wire exactly once.
+	DictRefs, DictShipped int64
+	// WorkerRotations sums the table rotations last reported by each live
+	// worker session, and WorkerLiveAtoms their live interned atoms — the
+	// remote counterpart of MemoryStats.Table for budget sizing.
+	WorkerRotations, WorkerLiveAtoms int64
+}
+
+// DictHitRate returns the fraction of dictionary references served without
+// shipping a new entry (0 when nothing was decoded yet).
+func (s TransportStats) DictHitRate() float64 {
+	if s.DictRefs == 0 {
+		return 0
+	}
+	return 1 - float64(s.DictShipped)/float64(s.DictRefs)
+}
+
+// partitionSession is one partition's remote leg: a transport client plus
+// the session's dictionary decoder. Counters of dead clients/decoders are
+// folded into the accumulators on replacement so session totals survive
+// redials.
+type partitionSession struct {
+	addr   string
+	client *transport.Client
+	dec    *intern.WireDecoder
+
+	accSent, accRecv       int64
+	accRefs, accShipped    int64
+	redials, remote, local int64
+	// Last worker-side table snapshot seen in a response.
+	workerRotations, workerLiveAtoms int64
+	// Dial backoff: after a failed dial the session is skipped (immediate
+	// local fallback) until retryAt, with the delay doubling per
+	// consecutive failure — an unreachable worker must cost the pipeline
+	// local-processing latency, not a dial timeout per window.
+	dialFails int
+	retryAt   time.Time
+}
+
+// retire folds the live client/decoder counters into the accumulators and
+// drops the connection.
+func (ps *partitionSession) retire() {
+	if ps.client != nil {
+		ps.accSent += ps.client.BytesSent()
+		ps.accRecv += ps.client.BytesReceived()
+		ps.client.Close()
+		ps.client = nil
+	}
+	if ps.dec != nil {
+		ps.accRefs += ps.dec.Refs()
+		ps.accShipped += ps.dec.Shipped()
+		ps.dec = nil
+	}
+}
+
+// DPR is the distributed parallel reasoner: the partitioning and combining
+// handlers of PR with the k reasoner copies running on remote workers. Each
+// partition holds one session against a worker; windows are shipped as
+// plain triples and answers come back in portable wire form, re-interned
+// into the coordinator's table through a cached per-worker dictionary so a
+// steady-state window ships only symbols never seen before.
+//
+// Every partition also keeps a local fallback reasoner: when a session is
+// down, times out (straggler), or desynchronizes, the partition is
+// processed in-process for that window — answers are identical either way,
+// only latency differs — and the session is redialed behind the scenes.
+// Workers run with the configured MemoryBudget (each session owns a
+// private, rotating table); the coordinator applies the same budget to its
+// own answer table.
+type DPR struct {
+	part Partitioner
+	opts DPROptions
+
+	tab      *intern.Table
+	locals   []*R
+	sessions []*partitionSession
+
+	// MaxCombinations caps the answer-set cross product (see PR).
+	MaxCombinations int
+
+	budget  int
+	liveBuf []intern.AtomID
+	hello   transport.Hello
+}
+
+// NewDPR builds a distributed reasoner: one partition session per partition
+// of the plan, assigned round-robin over the worker addresses. Construction
+// fails when no worker is reachable (a partially reachable fleet degrades
+// to local fallback per partition instead).
+func NewDPR(cfg Config, part Partitioner, opts DPROptions) (*DPR, error) {
+	if part == nil {
+		return nil, fmt.Errorf("reasoner: nil partitioner")
+	}
+	if len(opts.Workers) == 0 {
+		return nil, fmt.Errorf("reasoner: no worker addresses")
+	}
+	if opts.ProgramSource == "" {
+		return nil, fmt.Errorf("reasoner: DPR needs the program source to ship to workers")
+	}
+	if opts.StragglerTimeout <= 0 {
+		opts.StragglerTimeout = 10 * time.Second
+	}
+	n := part.NumPartitions()
+	if n < 1 {
+		return nil, fmt.Errorf("reasoner: partitioner yields %d partitions", n)
+	}
+
+	dpr := &DPR{part: part, opts: opts, budget: cfg.MemoryBudget}
+	// The coordinator owns a private table for decoded answers and local
+	// fallbacks; budget rotation is coordinated here (workers rotate their
+	// own tables independently).
+	if cfg.GroundOpts.Intern == nil {
+		cfg.GroundOpts.Intern = intern.NewTable()
+	}
+	dpr.tab = cfg.GroundOpts.Intern
+	cfg.MemoryBudget = 0
+	for i := 0; i < n; i++ {
+		r, err := NewR(cfg)
+		if err != nil {
+			return nil, err
+		}
+		dpr.locals = append(dpr.locals, r)
+	}
+	dpr.hello = transport.Hello{
+		Program:           opts.ProgramSource,
+		Inpre:             cfg.Inpre,
+		Arities:           map[string]int(cfg.Arities),
+		OutputPreds:       cfg.OutputPreds,
+		IncludeInputFacts: cfg.IncludeInputFacts,
+		MaxModels:         cfg.SolveOpts.MaxModels,
+		MaxAtoms:          cfg.GroundOpts.MaxAtoms,
+		MemoryBudget:      dpr.budget,
+	}
+
+	reachable := false
+	for i := 0; i < n; i++ {
+		ps := &partitionSession{addr: opts.Workers[i%len(opts.Workers)]}
+		if err := dpr.dial(ps); err == nil {
+			reachable = true
+		}
+		dpr.sessions = append(dpr.sessions, ps)
+	}
+	if !reachable {
+		dpr.Close()
+		return nil, fmt.Errorf("reasoner: none of the %d workers are reachable (first: %s)",
+			len(opts.Workers), opts.Workers[0])
+	}
+	return dpr, nil
+}
+
+// dial (re-)establishes one partition session with a fresh dictionary.
+func (dpr *DPR) dial(ps *partitionSession) error {
+	ps.retire()
+	hello := dpr.hello
+	c, err := transport.Dial(ps.addr, &hello, transport.ClientOptions{
+		DialTimeout: dpr.opts.DialTimeout,
+		MaxFrame:    dpr.opts.MaxFrame,
+	})
+	if err != nil {
+		return err
+	}
+	ps.client = c
+	ps.dec = intern.NewWireDecoder(dpr.tab)
+	return nil
+}
+
+// NumPartitions returns the number of partitions (= sessions).
+func (dpr *DPR) NumPartitions() int { return len(dpr.locals) }
+
+// Close tears down every partition session. The DPR must not be used
+// afterwards.
+func (dpr *DPR) Close() {
+	for _, ps := range dpr.sessions {
+		ps.retire()
+	}
+}
+
+// Process partitions the window, reasons over the partitions on the
+// workers (grounding from scratch), and combines the answers.
+func (dpr *DPR) Process(window []rdf.Triple) (*Output, error) {
+	return dpr.process(window, true)
+}
+
+// ProcessDelta is the incremental Process for overlapping windows: each
+// worker session maintains its partition's grounding across windows,
+// deriving its own partition-level delta (stream deltas cannot be routed
+// through duplicating partitioners — same reasoning as PR.ProcessDelta).
+// A nil delta degrades to the from-scratch Process.
+func (dpr *DPR) ProcessDelta(window []rdf.Triple, d *Delta) (*Output, error) {
+	if d == nil {
+		return dpr.Process(window)
+	}
+	return dpr.process(window, false)
+}
+
+func (dpr *DPR) process(window []rdf.Triple, scratch bool) (*Output, error) {
+	start := time.Now()
+	if dpr.budget > 0 {
+		dpr.tab.AdvanceEpoch()
+	}
+	out := &Output{}
+
+	t0 := time.Now()
+	parts, skipped := dpr.part.Partition(window)
+	out.Skipped = skipped
+	out.Latency.Partition = time.Since(t0)
+	for _, p := range parts {
+		out.PartitionSizes = append(out.PartitionSizes, len(p))
+		out.RoutedItems += len(p)
+	}
+
+	results := make([]*Output, len(parts))
+	errs := make([]error, len(parts))
+	var wg sync.WaitGroup
+	for i := range parts {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			results[i], errs[i] = dpr.processPartition(i, parts[i], scratch)
+		}(i)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+
+	out.Incremental = len(results) > 0
+	var maxTotal time.Duration
+	for _, res := range results {
+		if !res.Incremental {
+			out.Incremental = false
+		}
+		if res.Latency.Total > maxTotal {
+			maxTotal = res.Latency.Total
+		}
+		if res.Latency.Convert > out.Latency.Convert {
+			out.Latency.Convert = res.Latency.Convert
+		}
+		if res.Latency.Ground > out.Latency.Ground {
+			out.Latency.Ground = res.Latency.Ground
+		}
+		if res.Latency.Solve > out.Latency.Solve {
+			out.Latency.Solve = res.Latency.Solve
+		}
+		out.GroundStats.Atoms += res.GroundStats.Atoms
+		out.GroundStats.Rules += res.GroundStats.Rules
+		out.GroundStats.CertainFacts += res.GroundStats.CertainFacts
+		out.GroundStats.Iterations += res.GroundStats.Iterations
+		out.SolveStats.Choices += res.SolveStats.Choices
+		out.SolveStats.Propagations += res.SolveStats.Propagations
+		out.SolveStats.StabilityChecks += res.SolveStats.StabilityChecks
+	}
+
+	t0 = time.Now()
+	max := dpr.MaxCombinations
+	if max <= 0 {
+		max = DefaultMaxCombinations
+	}
+	perPartition := make([][]*solve.AnswerSet, len(results))
+	for i, res := range results {
+		perPartition[i] = res.Answers
+	}
+	out.Answers = Combine(perPartition, max)
+	out.Latency.Combine = time.Since(t0)
+
+	// Coordinated rotation of the coordinator's answer table, mirroring PR.
+	t0 = time.Now()
+	dpr.maybeRotate(out)
+	rotate := time.Since(t0)
+
+	out.Latency.Total = time.Since(start)
+	out.Latency.CriticalPath = out.Latency.Partition + maxTotal + out.Latency.Combine + rotate
+	return out, nil
+}
+
+// processPartition reasons over one partition: remote round first, local
+// fallback when the session cannot serve the window.
+func (dpr *DPR) processPartition(i int, part []rdf.Triple, scratch bool) (*Output, error) {
+	ps := dpr.sessions[i]
+	out, err, usable := dpr.tryRemote(ps, part, scratch)
+	if usable {
+		ps.remote++
+		return out, err
+	}
+	ps.local++
+	if scratch {
+		return dpr.locals[i].Process(part)
+	}
+	return dpr.locals[i].ProcessAuto(part)
+}
+
+// tryRemote runs one remote round. usable=false means the partition must
+// fall back locally (session down or transport failure); usable=true with a
+// non-nil error reports a worker-side processing error, which is terminal
+// for the window exactly like a local partition error would be.
+func (dpr *DPR) tryRemote(ps *partitionSession, part []rdf.Triple, scratch bool) (*Output, error, bool) {
+	if ps.client == nil || ps.client.Broken() {
+		if !ps.retryAt.IsZero() && time.Now().Before(ps.retryAt) {
+			return nil, nil, false
+		}
+		if err := dpr.dial(ps); err != nil {
+			ps.dialFails++
+			backoff := min(time.Second<<min(ps.dialFails-1, 5), 30*time.Second)
+			ps.retryAt = time.Now().Add(backoff)
+			return nil, nil, false
+		}
+		ps.dialFails = 0
+		ps.retryAt = time.Time{}
+		ps.redials++
+	}
+	start := time.Now()
+	resp, err := ps.client.Round(&transport.WindowReq{Scratch: scratch, Window: part}, dpr.opts.StragglerTimeout)
+	if err != nil {
+		if re, ok := err.(*transport.RemoteError); ok {
+			// The worker reasoner failed on this window (e.g. the grounder's
+			// atom limit): surface it — the local engine would fail the same
+			// way, and masking it behind a fallback would hide program bugs.
+			return nil, fmt.Errorf("reasoner: worker %s: %s", ps.addr, re.Msg), true
+		}
+		ps.retire()
+		return nil, nil, false
+	}
+
+	if err := ps.dec.Apply(&resp.Dict); err != nil {
+		// Dictionary desync: the session cannot be trusted any more. Drop it
+		// and serve this window locally; the redial replays the dictionary.
+		ps.retire()
+		return nil, nil, false
+	}
+	answers := make([]*solve.AnswerSet, len(resp.Answers))
+	for j, ws := range resp.Answers {
+		ids, err := ps.dec.DecodeSet(ws, nil)
+		if err != nil {
+			ps.retire()
+			return nil, nil, false
+		}
+		answers[j] = solve.FromIDs(dpr.tab, ids)
+	}
+
+	ps.workerRotations = int64(resp.Rotations)
+	ps.workerLiveAtoms = int64(resp.LiveAtoms)
+	out := &Output{
+		Answers:     answers,
+		Skipped:     resp.Skipped,
+		Incremental: resp.Incremental,
+		GroundStats: resp.GroundStats,
+		SolveStats:  resp.SolveStats,
+	}
+	out.Latency.Convert = time.Duration(resp.ConvertNS)
+	out.Latency.Ground = time.Duration(resp.GroundNS)
+	out.Latency.Solve = time.Duration(resp.SolveNS)
+	// The partition's contribution to the critical path is the full round
+	// trip as observed here: worker compute plus serialization and wire.
+	out.Latency.Total = time.Since(start)
+	return out, nil, true
+}
+
+// maybeRotate applies the coordinator-side budget to the answer table after
+// a window, mirroring PR.maybeRotate. Live state: the local fallback
+// reasoners' grounder state plus the window's answers; the per-session
+// decoder caches are invalidated (their mirrored dictionaries re-intern on
+// demand, nothing is re-shipped).
+func (dpr *DPR) maybeRotate(out *Output) {
+	if dpr.budget <= 0 {
+		return
+	}
+	if dpr.tab.NumAtoms() > dpr.budget {
+		_ = dpr.rotateWith(out.Answers)
+	}
+	materializeAnswers(out.Answers)
+}
+
+// Rotate compacts the coordinator's answer table immediately, regardless of
+// budget — the manual hook, symmetric with R.Rotate/PR.Rotate. Call it
+// between windows only.
+func (dpr *DPR) Rotate() error {
+	dpr.tab.AdvanceEpoch()
+	return dpr.rotateWith(nil)
+}
+
+func (dpr *DPR) rotateWith(answers []*solve.AnswerSet) error {
+	live := dpr.liveBuf[:0]
+	for _, r := range dpr.locals {
+		live = r.appendLive(live)
+	}
+	live = appendAnswerIDs(live, answers, dpr.tab)
+	rm, err := dpr.tab.Rotate(live)
+	dpr.liveBuf = live[:0]
+	if err != nil {
+		return err
+	}
+	for _, r := range dpr.locals {
+		r.applyRemap(rm)
+	}
+	for _, ps := range dpr.sessions {
+		if ps.dec != nil {
+			ps.dec.InvalidateLocal()
+		}
+	}
+	return remapAnswers(answers, rm, dpr.tab)
+}
+
+// Stats returns the coordinator's memory metrics with the transport metrics
+// attached (MemoryStats.Transport is non-nil only for distributed engines).
+func (dpr *DPR) Stats() MemoryStats {
+	ts := dpr.TransportStats()
+	return MemoryStats{Budget: dpr.budget, Table: dpr.tab.Stats(), Transport: &ts}
+}
+
+// TransportStats aggregates the wire metrics across all partition sessions.
+func (dpr *DPR) TransportStats() TransportStats {
+	var ts TransportStats
+	for _, ps := range dpr.sessions {
+		ts.RemoteWindows += ps.remote
+		ts.LocalFallbacks += ps.local
+		ts.Redials += ps.redials
+		ts.BytesSent += ps.accSent
+		ts.BytesReceived += ps.accRecv
+		ts.DictRefs += ps.accRefs
+		ts.DictShipped += ps.accShipped
+		if ps.client != nil {
+			ts.BytesSent += ps.client.BytesSent()
+			ts.BytesReceived += ps.client.BytesReceived()
+		}
+		if ps.dec != nil {
+			ts.DictRefs += ps.dec.Refs()
+			ts.DictShipped += ps.dec.Shipped()
+		}
+		ts.WorkerRotations += ps.workerRotations
+		ts.WorkerLiveAtoms += ps.workerLiveAtoms
+	}
+	return ts
+}

@@ -11,6 +11,7 @@
 // answer sets of the output about to be returned (so callers keep valid
 // IDs). PR coordinates a single rotation for its k partition reasoners —
 // they share one table, so rotation may only run after all have quiesced.
+
 package reasoner
 
 import (
@@ -26,8 +27,14 @@ import (
 type MemoryStats struct {
 	// Budget is the configured MemoryBudget (0 = unbounded).
 	Budget int
-	// Table is the snapshot of the reasoner's interning table.
+	// Table is the snapshot of the reasoner's interning table. For the
+	// distributed reasoner it describes the coordinator's answer table;
+	// worker tables are remote (see WindowResp.LiveAtoms for their
+	// per-window snapshots).
 	Table intern.TableStats
+	// Transport carries the wire metrics of a distributed reasoner (bytes
+	// shipped, dictionary hit rate, fallbacks); nil for in-process engines.
+	Transport *TransportStats
 }
 
 // Stats returns the reasoner's memory metrics.

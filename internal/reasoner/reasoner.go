@@ -1,8 +1,3 @@
-// Package reasoner implements the reasoning layer of the extended StreamRule
-// framework (Figure 6): the baseline reasoner R (data format processor +
-// grounder + solver over the whole window), the parallel reasoner PR
-// (partitioning handler, k reasoner copies, combining handler), and the
-// accuracy metric of §III.
 package reasoner
 
 import (

@@ -1,0 +1,108 @@
+// Worker side of the distributed reasoner: a transport.Handler that builds
+// one full reasoner R per session and answers windows in wire form.
+
+package reasoner
+
+import (
+	"fmt"
+
+	"streamrule/internal/asp/ground"
+	"streamrule/internal/asp/intern"
+	"streamrule/internal/asp/parser"
+	"streamrule/internal/asp/solve"
+	"streamrule/internal/dfp"
+	"streamrule/internal/transport"
+)
+
+// WorkerHandler builds reasoning sessions for transport.Server: each
+// coordinator connection carries the program in its Hello and gets a
+// private reasoner R (incremental and, when a budget is set, memory-
+// bounded) plus a wire encoder. Workers are therefore program-agnostic
+// processes — one worker can serve partitions of any number of programs
+// and coordinators at once, one session each.
+type WorkerHandler struct{}
+
+// NewWorkerHandler returns the production session factory.
+func NewWorkerHandler() *WorkerHandler { return &WorkerHandler{} }
+
+// NewSession implements transport.Handler.
+func (h *WorkerHandler) NewSession(hello *transport.Hello) (transport.Session, error) {
+	prog, err := parser.Parse(hello.Program)
+	if err != nil {
+		return nil, fmt.Errorf("parse program: %w", err)
+	}
+	cfg := Config{
+		Program:           prog,
+		Inpre:             hello.Inpre,
+		OutputPreds:       hello.OutputPreds,
+		IncludeInputFacts: hello.IncludeInputFacts,
+		MemoryBudget:      hello.MemoryBudget,
+	}
+	if len(hello.Arities) > 0 {
+		cfg.Arities = dfp.Arities(hello.Arities)
+	}
+	cfg.SolveOpts = solve.Options{MaxModels: hello.MaxModels}
+	cfg.GroundOpts = ground.Options{MaxAtoms: hello.MaxAtoms}
+	if cfg.MemoryBudget <= 0 {
+		// Even without a budget the session owns a private table: sessions
+		// come and go with their coordinators, and their vocabulary must
+		// not accrete in the process-wide default table.
+		cfg.GroundOpts.Intern = intern.NewTable()
+	}
+	r, err := NewR(cfg)
+	if err != nil {
+		return nil, err
+	}
+	return &workerSession{r: r, enc: intern.NewWireEncoder()}, nil
+}
+
+// workerSession is one live session: a reasoner plus the session's wire
+// dictionary encoder. The transport serves sessions sequentially, so no
+// locking is needed.
+type workerSession struct {
+	r   *R
+	enc *intern.WireEncoder
+}
+
+// Window implements transport.Session: process the sub-window with the full
+// engine (incremental unless the coordinator forces from-scratch) and
+// re-key the answers into portable wire form.
+func (s *workerSession) Window(req *transport.WindowReq) *transport.WindowResp {
+	var out *Output
+	var err error
+	if req.Scratch {
+		out, err = s.r.Process(req.Window)
+	} else {
+		out, err = s.r.ProcessAuto(req.Window)
+	}
+	resp := &transport.WindowResp{Seq: req.Seq}
+	if err != nil {
+		resp.Err = err.Error()
+		return resp
+	}
+
+	tab := s.r.tab
+	s.enc.Begin(tab)
+	answers := make([]intern.WireSet, 0, len(out.Answers))
+	for _, a := range out.Answers {
+		answers = append(answers, s.enc.AppendSet(tab, a.IDs(), nil))
+	}
+	resp.Answers = answers
+	resp.Dict = s.enc.Flush()
+
+	resp.Skipped = out.Skipped
+	resp.Incremental = out.Incremental
+	resp.ConvertNS = out.Latency.Convert.Nanoseconds()
+	resp.GroundNS = out.Latency.Ground.Nanoseconds()
+	resp.SolveNS = out.Latency.Solve.Nanoseconds()
+	resp.TotalNS = out.Latency.Total.Nanoseconds()
+	resp.GroundStats = out.GroundStats
+	resp.SolveStats = out.SolveStats
+	ts := tab.Stats()
+	resp.LiveAtoms = ts.Atoms
+	resp.Rotations = ts.Rotations
+	return resp
+}
+
+// Close implements transport.Session.
+func (s *workerSession) Close() {}

@@ -1,0 +1,134 @@
+package transport
+
+import (
+	"encoding/gob"
+	"fmt"
+	"net"
+	"sync/atomic"
+	"time"
+)
+
+// ClientOptions configures a coordinator-side session client.
+type ClientOptions struct {
+	// DialTimeout bounds connection establishment plus the handshake
+	// round trip (0 = 5s).
+	DialTimeout time.Duration
+	// MaxFrame bounds a single protocol frame (0 = DefaultMaxFrame).
+	MaxFrame int
+}
+
+// RemoteError is a worker-side processing error relayed in a response. The
+// session remains usable after one; transport failures do not produce
+// RemoteErrors.
+type RemoteError struct{ Msg string }
+
+// Error implements error.
+func (e *RemoteError) Error() string { return "transport: remote: " + e.Msg }
+
+// Client drives one session against a worker: a handshake at dial time,
+// then strictly sequential Round calls (one outstanding window — the
+// protocol's backpressure). A Client is not safe for concurrent use; the
+// coordinator owns one per partition. After any transport error the client
+// is broken for good and the caller redials.
+type Client struct {
+	conn net.Conn
+	enc  *gob.Encoder
+	dec  *gob.Decoder
+	fw   *frameWriter
+
+	seq        uint64
+	broken     bool
+	sent, recv atomic.Int64
+}
+
+// Dial connects to a worker, performs the handshake, and returns a live
+// session client. A HelloAck carrying an error fails the dial.
+func Dial(addr string, hello *Hello, opts ClientOptions) (*Client, error) {
+	dt := opts.DialTimeout
+	if dt <= 0 {
+		dt = 5 * time.Second
+	}
+	conn, err := net.DialTimeout("tcp", addr, dt)
+	if err != nil {
+		return nil, fmt.Errorf("transport: dial %s: %w", addr, err)
+	}
+	if tc, ok := conn.(*net.TCPConn); ok {
+		tc.SetNoDelay(true)
+	}
+	c := &Client{conn: conn}
+	c.fw = newFrameWriter(conn, opts.MaxFrame, &c.sent)
+	c.enc = gob.NewEncoder(c.fw)
+	c.dec = gob.NewDecoder(newFrameReader(conn, opts.MaxFrame, &c.recv))
+
+	h := *hello
+	h.Version = ProtocolVersion
+	conn.SetDeadline(time.Now().Add(dt))
+	if err := c.send(&h); err != nil {
+		conn.Close()
+		return nil, fmt.Errorf("transport: handshake %s: %w", addr, err)
+	}
+	var ack HelloAck
+	if err := c.dec.Decode(&ack); err != nil {
+		conn.Close()
+		return nil, fmt.Errorf("transport: handshake %s: %w", addr, err)
+	}
+	conn.SetDeadline(time.Time{})
+	if ack.Err != "" {
+		conn.Close()
+		return nil, fmt.Errorf("transport: %s rejected session: %s", addr, ack.Err)
+	}
+	return c, nil
+}
+
+func (c *Client) send(msg any) error {
+	if err := c.enc.Encode(msg); err != nil {
+		return err
+	}
+	return c.fw.Flush()
+}
+
+// Round ships one window and blocks for its response, for at most timeout
+// (0 = no deadline). Any transport failure — timeout included — breaks the
+// client permanently: a late response would desynchronize every following
+// round, so the caller must Close and redial instead.
+func (c *Client) Round(req *WindowReq, timeout time.Duration) (*WindowResp, error) {
+	if c.broken {
+		return nil, fmt.Errorf("transport: session is broken; redial")
+	}
+	c.seq++
+	req.Seq = c.seq
+	if timeout > 0 {
+		c.conn.SetDeadline(time.Now().Add(timeout))
+		defer c.conn.SetDeadline(time.Time{})
+	}
+	if err := c.send(req); err != nil {
+		c.broken = true
+		return nil, fmt.Errorf("transport: send window %d: %w", req.Seq, err)
+	}
+	var resp WindowResp
+	if err := c.dec.Decode(&resp); err != nil {
+		c.broken = true
+		return nil, fmt.Errorf("transport: receive window %d: %w", req.Seq, err)
+	}
+	if resp.Seq != req.Seq {
+		c.broken = true
+		return nil, fmt.Errorf("transport: response for window %d while awaiting %d", resp.Seq, req.Seq)
+	}
+	if resp.Err != "" {
+		return nil, &RemoteError{Msg: resp.Err}
+	}
+	return &resp, nil
+}
+
+// Broken reports whether the session died on a transport error.
+func (c *Client) Broken() bool { return c.broken }
+
+// BytesSent returns the cumulative bytes written to the wire (frames and
+// headers) by this client.
+func (c *Client) BytesSent() int64 { return c.sent.Load() }
+
+// BytesReceived returns the cumulative bytes read from the wire.
+func (c *Client) BytesReceived() int64 { return c.recv.Load() }
+
+// Close tears the session down.
+func (c *Client) Close() error { return c.conn.Close() }

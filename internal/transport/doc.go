@@ -1,0 +1,41 @@
+// Package transport is the worker wire protocol of the distributed reasoner:
+// length-prefixed gob frames over plain TCP, a Server that hosts reasoning
+// sessions behind a Handler interface, and a Client that drives one session
+// with strictly sequential request/response rounds.
+//
+// # Protocol
+//
+// A session begins with a handshake: the coordinator sends Hello (protocol
+// version, the ASP program source, input/output predicates, solver and
+// memory options) and the worker answers HelloAck. The worker builds a full
+// reasoner for the session from the Hello — workers are program-agnostic
+// processes; the program always travels with the session. After the
+// handshake the coordinator sends one WindowReq per window (the sub-window
+// routed to this partition) and the worker answers one WindowResp carrying
+// the answer sets in portable wire form (intern.WireSet) together with the
+// session's dictionary delta (intern.DictDelta) and the worker-side latency
+// and engine statistics. Sequence numbers echo back so a desynchronized
+// stream is detected instead of mis-attributed.
+//
+// # Framing
+//
+// Every message is one gob value encoded into one length-prefixed frame
+// (4-byte big-endian length, then the payload). Frames larger than the
+// configured maximum are rejected before any allocation on the read side
+// and before any write on the send side, so a corrupt peer or a runaway
+// window cannot balloon either process. The gob streams (one encoder and
+// one decoder per direction, persistent across the connection) see a plain
+// byte stream; frame boundaries are invisible to them.
+//
+// # Backpressure and failure
+//
+// A client allows exactly one outstanding round per session: Round blocks
+// until the response arrives or the deadline passes. The coordinator
+// therefore never queues windows behind a slow worker — a straggler makes
+// the coordinator fall back to local processing for that partition (see
+// internal/reasoner's DPR), and any transport error marks the session
+// broken. Broken sessions are redialed with a fresh handshake; the worker
+// then rebuilds its reasoner state from scratch (the first window re-seeds)
+// and re-ships its dictionary, which is exactly the replay the wire form is
+// designed for.
+package transport

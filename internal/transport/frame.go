@@ -1,0 +1,99 @@
+package transport
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+	"sync/atomic"
+)
+
+// DefaultMaxFrame bounds a single protocol frame (one gob-encoded message).
+// A window of triples or a response of answer sets comfortably fits; a
+// frame beyond the limit indicates a runaway window or a corrupt peer.
+const DefaultMaxFrame = 64 << 20
+
+// ErrFrameTooLarge is returned (wrapped) when a frame exceeds the limit on
+// either side of the connection.
+var ErrFrameTooLarge = fmt.Errorf("transport: frame exceeds maximum size")
+
+// frameWriter buffers the writes of one gob.Encode call and flushes them as
+// a single length-prefixed frame.
+type frameWriter struct {
+	w    io.Writer
+	buf  []byte
+	max  int
+	sent *atomic.Int64
+}
+
+func newFrameWriter(w io.Writer, max int, sent *atomic.Int64) *frameWriter {
+	if max <= 0 {
+		max = DefaultMaxFrame
+	}
+	return &frameWriter{w: w, max: max, sent: sent}
+}
+
+// Write implements io.Writer by buffering until Flush.
+func (fw *frameWriter) Write(p []byte) (int, error) {
+	if len(fw.buf)+len(p) > fw.max {
+		return 0, fmt.Errorf("%w (%d buffered + %d)", ErrFrameTooLarge, len(fw.buf), len(p))
+	}
+	fw.buf = append(fw.buf, p...)
+	return len(p), nil
+}
+
+// Flush writes the buffered message as one frame.
+func (fw *frameWriter) Flush() error {
+	var hdr [4]byte
+	binary.BigEndian.PutUint32(hdr[:], uint32(len(fw.buf)))
+	if _, err := fw.w.Write(hdr[:]); err != nil {
+		return err
+	}
+	if _, err := fw.w.Write(fw.buf); err != nil {
+		return err
+	}
+	if fw.sent != nil {
+		fw.sent.Add(int64(4 + len(fw.buf)))
+	}
+	fw.buf = fw.buf[:0]
+	return nil
+}
+
+// frameReader serves a byte stream reassembled from length-prefixed frames,
+// enforcing the frame size limit before reading a frame's payload.
+type frameReader struct {
+	r         io.Reader
+	remaining int
+	max       int
+	recv      *atomic.Int64
+}
+
+func newFrameReader(r io.Reader, max int, recv *atomic.Int64) *frameReader {
+	if max <= 0 {
+		max = DefaultMaxFrame
+	}
+	return &frameReader{r: r, max: max, recv: recv}
+}
+
+// Read implements io.Reader across frame boundaries.
+func (fr *frameReader) Read(p []byte) (int, error) {
+	for fr.remaining == 0 {
+		var hdr [4]byte
+		if _, err := io.ReadFull(fr.r, hdr[:]); err != nil {
+			return 0, err
+		}
+		n := int(binary.BigEndian.Uint32(hdr[:]))
+		if n > fr.max {
+			return 0, fmt.Errorf("%w (%d > %d)", ErrFrameTooLarge, n, fr.max)
+		}
+		if fr.recv != nil {
+			fr.recv.Add(int64(4 + n))
+		}
+		fr.remaining = n // a zero-length frame just loops to the next header
+	}
+	if len(p) > fr.remaining {
+		p = p[:fr.remaining]
+	}
+	n, err := fr.r.Read(p)
+	fr.remaining -= n
+	return n, err
+}

@@ -1,0 +1,89 @@
+package transport
+
+import (
+	"streamrule/internal/asp/ground"
+	"streamrule/internal/asp/intern"
+	"streamrule/internal/asp/solve"
+	"streamrule/internal/rdf"
+)
+
+// ProtocolVersion is bumped on any incompatible change to the message types
+// below; a worker refuses a Hello with a version it does not speak.
+const ProtocolVersion = 1
+
+// Hello opens a session: it carries everything the worker needs to build a
+// full reasoner for one partition. Workers are program-agnostic processes —
+// the program always travels with the session.
+type Hello struct {
+	// Version is the coordinator's ProtocolVersion.
+	Version int
+	// Program is the ASP program source text.
+	Program string
+	// Inpre lists the input predicate names.
+	Inpre []string
+	// Arities optionally overrides input-arity inference.
+	Arities map[string]int
+	// OutputPreds restricts answers to the given predicates (empty: all
+	// derived predicates).
+	OutputPreds []string
+	// IncludeInputFacts keeps input atoms in answers (see reasoner.Config).
+	IncludeInputFacts bool
+	// MaxModels caps the answer sets computed per window (0 = all).
+	MaxModels int
+	// MaxAtoms aborts grounding beyond this many atoms (0 = no limit).
+	MaxAtoms int
+	// MemoryBudget bounds the worker's interning table: the worker reasoner
+	// rotates its (private) table between windows when the budget is
+	// exceeded, exactly like a local budgeted engine.
+	MemoryBudget int
+}
+
+// HelloAck answers a Hello. An empty Err accepts the session.
+type HelloAck struct {
+	Err string
+}
+
+// WindowReq ships one window (the coordinator-routed sub-window of this
+// session's partition) to the worker.
+type WindowReq struct {
+	// Seq numbers requests per session, starting at 1; the response echoes
+	// it. A mismatch means the stream desynchronized.
+	Seq uint64
+	// Scratch forces from-scratch processing (the coordinator's Process
+	// path). When false the worker maintains its grounding incrementally
+	// across windows, deriving the partition-level delta itself.
+	Scratch bool
+	// Window holds the partition's triples.
+	Window []rdf.Triple
+}
+
+// WindowResp returns one window's result. Answer sets travel in portable
+// wire form: Dict carries the session-dictionary delta (new symbols only),
+// and each element of Answers re-keys through it.
+type WindowResp struct {
+	// Seq echoes the request.
+	Seq uint64
+	// Err is a worker-side processing error (grounding/solving); the
+	// session remains usable.
+	Err string
+	// Dict is the dictionary delta this response's wire sets decode against.
+	Dict intern.DictDelta
+	// Answers holds one wire set per answer set.
+	Answers []intern.WireSet
+	// Skipped counts window items outside the input predicates.
+	Skipped int
+	// Incremental reports that the worker maintained the window under the
+	// previous window's grounding instead of re-grounding.
+	Incremental bool
+	// ConvertNS/GroundNS/SolveNS/TotalNS are the worker-side phase
+	// latencies in nanoseconds (the coordinator measures the round trip
+	// itself; these isolate compute from wire time).
+	ConvertNS, GroundNS, SolveNS, TotalNS int64
+	// GroundStats/SolveStats are the worker engine statistics.
+	GroundStats ground.Stats
+	SolveStats  solve.Stats
+	// LiveAtoms/Rotations snapshot the worker's interning table after the
+	// window (observability for budget sizing).
+	LiveAtoms int
+	Rotations int
+}

@@ -1,0 +1,179 @@
+package transport
+
+import (
+	"encoding/gob"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+	"time"
+)
+
+// Session is one live reasoning session on a worker: the per-connection
+// state built from a Hello (a full reasoner plus a wire encoder).
+type Session interface {
+	// Window processes one request and returns the response. Errors that
+	// leave the session usable travel in WindowResp.Err.
+	Window(req *WindowReq) *WindowResp
+	// Close releases the session's resources.
+	Close()
+}
+
+// Handler builds sessions for incoming connections — the seam between the
+// transport and the reasoning layer (internal/reasoner provides the
+// production implementation).
+type Handler interface {
+	NewSession(h *Hello) (Session, error)
+}
+
+// ServerOptions configures a worker server.
+type ServerOptions struct {
+	// MaxFrame bounds a single protocol frame (0 = DefaultMaxFrame).
+	MaxFrame int
+	// HandshakeTimeout bounds the wait for the Hello on a new connection
+	// (0 = 10s). Connections that never speak are shed.
+	HandshakeTimeout time.Duration
+}
+
+// Server accepts coordinator connections and hosts one Session per
+// connection. Each session is served by its own goroutine; requests within
+// a session are strictly sequential (that is the protocol's backpressure).
+type Server struct {
+	ln   net.Listener
+	h    Handler
+	opts ServerOptions
+
+	mu     sync.Mutex
+	conns  map[net.Conn]bool
+	closed bool
+	wg     sync.WaitGroup
+}
+
+// NewServer listens on addr (host:port; an empty host or port 0 work as
+// with net.Listen) and returns a server ready to Serve.
+func NewServer(addr string, h Handler, opts ServerOptions) (*Server, error) {
+	if h == nil {
+		return nil, fmt.Errorf("transport: nil handler")
+	}
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("transport: listen %s: %w", addr, err)
+	}
+	return &Server{ln: ln, h: h, opts: opts, conns: make(map[net.Conn]bool)}, nil
+}
+
+// Addr returns the bound listen address (useful with port 0).
+func (s *Server) Addr() string { return s.ln.Addr().String() }
+
+// Serve accepts connections until Close. It always returns a non-nil error;
+// after Close the error is net.ErrClosed.
+func (s *Server) Serve() error {
+	for {
+		conn, err := s.ln.Accept()
+		if err != nil {
+			s.wg.Wait()
+			return err
+		}
+		s.mu.Lock()
+		if s.closed {
+			s.mu.Unlock()
+			conn.Close()
+			s.wg.Wait()
+			return net.ErrClosed
+		}
+		s.conns[conn] = true
+		s.wg.Add(1)
+		s.mu.Unlock()
+		go func() {
+			defer s.wg.Done()
+			s.serveConn(conn)
+			s.mu.Lock()
+			delete(s.conns, conn)
+			s.mu.Unlock()
+		}()
+	}
+}
+
+// Close stops accepting and tears down every live connection (sessions see
+// a read error and close). Safe to call more than once.
+func (s *Server) Close() error {
+	s.mu.Lock()
+	s.closed = true
+	conns := make([]net.Conn, 0, len(s.conns))
+	for c := range s.conns {
+		conns = append(conns, c)
+	}
+	s.mu.Unlock()
+	err := s.ln.Close()
+	for _, c := range conns {
+		c.Close()
+	}
+	return err
+}
+
+// serveConn runs one session: handshake, then the request loop.
+func (s *Server) serveConn(conn net.Conn) {
+	defer conn.Close()
+	if tc, ok := conn.(*net.TCPConn); ok {
+		tc.SetNoDelay(true)
+	}
+	fw := newFrameWriter(conn, s.opts.MaxFrame, nil)
+	fr := newFrameReader(conn, s.opts.MaxFrame, nil)
+	enc := gob.NewEncoder(fw)
+	dec := gob.NewDecoder(fr)
+
+	hst := s.opts.HandshakeTimeout
+	if hst <= 0 {
+		hst = 10 * time.Second
+	}
+	conn.SetReadDeadline(time.Now().Add(hst))
+	var hello Hello
+	if err := dec.Decode(&hello); err != nil {
+		return
+	}
+	conn.SetReadDeadline(time.Time{})
+
+	ack := HelloAck{}
+	var sess Session
+	if hello.Version != ProtocolVersion {
+		ack.Err = fmt.Sprintf("protocol version %d not supported (worker speaks %d)", hello.Version, ProtocolVersion)
+	} else {
+		var err error
+		sess, err = s.h.NewSession(&hello)
+		if err != nil {
+			ack.Err = err.Error()
+		}
+	}
+	ackErr := enc.Encode(&ack)
+	if ackErr == nil {
+		ackErr = fw.Flush()
+	}
+	if ackErr != nil || ack.Err != "" || sess == nil {
+		if sess != nil {
+			sess.Close()
+		}
+		return
+	}
+	defer sess.Close()
+
+	for {
+		var req WindowReq
+		if err := dec.Decode(&req); err != nil {
+			if !errors.Is(err, io.EOF) && !errors.Is(err, net.ErrClosed) {
+				// Oversized frames and decode corruption also land here; the
+				// connection is torn down either way.
+				_ = err
+			}
+			return
+		}
+		resp := sess.Window(&req)
+		resp.Seq = req.Seq
+		if err := enc.Encode(resp); err != nil {
+			return
+		}
+		if err := fw.Flush(); err != nil {
+			return
+		}
+	}
+}

@@ -1,0 +1,220 @@
+package transport
+
+import (
+	"bytes"
+	"encoding/binary"
+	"encoding/gob"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"streamrule/internal/rdf"
+)
+
+// echoSession answers every request with one empty answer set and echoes
+// the window size in Skipped (a visible round-trip marker).
+type echoSession struct{ closed *atomic.Bool }
+
+func (s echoSession) Window(req *WindowReq) *WindowResp {
+	return &WindowResp{Skipped: len(req.Window)}
+}
+func (s echoSession) Close() {
+	if s.closed != nil {
+		s.closed.Store(true)
+	}
+}
+
+type echoHandler struct {
+	reject bool
+	closed atomic.Bool
+}
+
+func (h *echoHandler) NewSession(hello *Hello) (Session, error) {
+	if h.reject {
+		return nil, fmt.Errorf("no sessions today")
+	}
+	return echoSession{closed: &h.closed}, nil
+}
+
+func startServer(t *testing.T, h Handler, opts ServerOptions) *Server {
+	t.Helper()
+	srv, err := NewServer("127.0.0.1:0", h, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	go srv.Serve()
+	t.Cleanup(func() { srv.Close() })
+	return srv
+}
+
+func TestFrameRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	fw := newFrameWriter(&buf, 0, nil)
+	for _, msg := range []string{"hello", "", "world, again"} {
+		if _, err := io.WriteString(fw, msg); err != nil {
+			t.Fatal(err)
+		}
+		if err := fw.Flush(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	fr := newFrameReader(&buf, 0, nil)
+	got, err := io.ReadAll(fr)
+	if err != nil && err != io.EOF {
+		if !errors.Is(err, io.ErrUnexpectedEOF) {
+			t.Fatal(err)
+		}
+	}
+	if string(got) != "helloworld, again" {
+		t.Fatalf("reassembled %q", got)
+	}
+}
+
+func TestFrameReaderRejectsOversized(t *testing.T) {
+	var buf bytes.Buffer
+	var hdr [4]byte
+	binary.BigEndian.PutUint32(hdr[:], 1<<30)
+	buf.Write(hdr[:])
+	fr := newFrameReader(&buf, 1024, nil)
+	if _, err := fr.Read(make([]byte, 16)); !errors.Is(err, ErrFrameTooLarge) {
+		t.Fatalf("got %v, want ErrFrameTooLarge", err)
+	}
+}
+
+func TestFrameWriterRejectsOversized(t *testing.T) {
+	fw := newFrameWriter(io.Discard, 8, nil)
+	if _, err := fw.Write(make([]byte, 9)); !errors.Is(err, ErrFrameTooLarge) {
+		t.Fatalf("got %v, want ErrFrameTooLarge", err)
+	}
+}
+
+func TestClientServerRounds(t *testing.T) {
+	h := &echoHandler{}
+	srv := startServer(t, h, ServerOptions{})
+
+	c, err := Dial(srv.Addr(), &Hello{Program: "p."}, ClientOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	for i := 1; i <= 3; i++ {
+		resp, err := c.Round(&WindowReq{Window: make([]rdf.Triple, i)}, time.Second)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if resp.Seq != uint64(i) || resp.Skipped != i {
+			t.Fatalf("round %d: seq %d skipped %d", i, resp.Seq, resp.Skipped)
+		}
+	}
+	if c.BytesSent() == 0 || c.BytesReceived() == 0 {
+		t.Fatal("byte counters never moved")
+	}
+}
+
+func TestServerRejectsSession(t *testing.T) {
+	srv := startServer(t, &echoHandler{reject: true}, ServerOptions{})
+	if _, err := Dial(srv.Addr(), &Hello{}, ClientOptions{}); err == nil ||
+		!strings.Contains(err.Error(), "no sessions today") {
+		t.Fatalf("got %v, want session rejection", err)
+	}
+}
+
+func TestServerRejectsWrongVersion(t *testing.T) {
+	srv := startServer(t, &echoHandler{}, ServerOptions{})
+	// Dial overrides Version, so speak the protocol by hand.
+	conn, err := net.Dial("tcp", srv.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	fw := newFrameWriter(conn, 0, nil)
+	c := &Client{conn: conn, fw: fw}
+	c.enc = gob.NewEncoder(fw)
+	c.dec = gob.NewDecoder(newFrameReader(conn, 0, nil))
+	if err := c.send(&Hello{Version: ProtocolVersion + 1}); err != nil {
+		t.Fatal(err)
+	}
+	var ack HelloAck
+	if err := c.dec.Decode(&ack); err != nil {
+		t.Fatal(err)
+	}
+	if ack.Err == "" {
+		t.Fatal("worker accepted an unknown protocol version")
+	}
+}
+
+// TestServerDropsOversizedFrame sends a frame header beyond the server's
+// limit; the server must drop the connection rather than allocate.
+func TestServerDropsOversizedFrame(t *testing.T) {
+	h := &echoHandler{}
+	srv := startServer(t, h, ServerOptions{MaxFrame: 4096})
+
+	c, err := Dial(srv.Addr(), &Hello{}, ClientOptions{MaxFrame: 1 << 30})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	// A huge window encodes past the server's 4 KiB frame cap.
+	big := make([]rdf.Triple, 4096)
+	for i := range big {
+		big[i] = rdf.Triple{S: "subject", P: "predicate", O: "object"}
+	}
+	if _, err := c.Round(&WindowReq{Window: big}, 2*time.Second); err == nil {
+		t.Fatal("oversized frame was accepted")
+	}
+	if !c.Broken() {
+		t.Fatal("client not marked broken after the connection died")
+	}
+}
+
+// TestClientBreaksOnServerDeath kills the server mid-session: the round
+// must fail promptly and the client must refuse further rounds.
+func TestClientBreaksOnServerDeath(t *testing.T) {
+	h := &echoHandler{}
+	srv := startServer(t, h, ServerOptions{})
+	c, err := Dial(srv.Addr(), &Hello{}, ClientOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if _, err := c.Round(&WindowReq{}, time.Second); err != nil {
+		t.Fatal(err)
+	}
+	srv.Close()
+	if _, err := c.Round(&WindowReq{}, time.Second); err == nil {
+		t.Fatal("round succeeded against a dead server")
+	}
+	if !c.Broken() {
+		t.Fatal("client not marked broken")
+	}
+	if _, err := c.Round(&WindowReq{}, time.Second); err == nil {
+		t.Fatal("broken client accepted another round")
+	}
+}
+
+// TestSessionCloseOnDisconnect verifies the worker releases the session
+// when the coordinator goes away.
+func TestSessionCloseOnDisconnect(t *testing.T) {
+	h := &echoHandler{}
+	srv := startServer(t, h, ServerOptions{})
+	c, err := Dial(srv.Addr(), &Hello{}, ClientOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Round(&WindowReq{}, time.Second); err != nil {
+		t.Fatal(err)
+	}
+	c.Close()
+	deadline := time.Now().Add(2 * time.Second)
+	for !h.closed.Load() {
+		if time.Now().After(deadline) {
+			t.Fatal("session never closed after disconnect")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}

@@ -62,12 +62,28 @@ type memoryStatser interface {
 
 // MemoryStats reports the reasoner's memory metrics when it exposes them
 // (engines built with WithMemoryBudget always do). ok is false for
-// reasoners without a Stats hook.
+// reasoners without a Stats hook. For a DistributedEngine the snapshot's
+// Transport field additionally carries the wire metrics.
 func (p *Pipeline) MemoryStats() (stats MemoryStats, ok bool) {
 	if m, isStatser := p.Reasoner.(memoryStatser); isStatser {
 		return m.Stats(), true
 	}
 	return MemoryStats{}, false
+}
+
+// transportStatser is satisfied by DistributedEngine (and any reasoner that
+// surfaces wire metrics).
+type transportStatser interface {
+	TransportStats() TransportStats
+}
+
+// TransportStats reports the reasoner's wire metrics when it is a
+// distributed engine. ok is false for in-process reasoners.
+func (p *Pipeline) TransportStats() (stats TransportStats, ok bool) {
+	if m, isStatser := p.Reasoner.(transportStatser); isStatser {
+		return m.TransportStats(), true
+	}
+	return TransportStats{}, false
 }
 
 // Run executes the pipeline until the source is exhausted or the context is

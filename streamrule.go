@@ -1,24 +1,8 @@
-// Package streamrule is a Go reproduction of "Towards Scalable Non-monotonic
-// Stream Reasoning via Input Dependency Analysis" (Pham, Mileo, Ali — ICDE
-// 2017): an ASP-based stream reasoning system in the style of StreamRule,
-// extended with dependency-driven window partitioning.
-//
-// The package is a thin facade over the engine packages in internal/: an ASP
-// grounder and stable-model solver, the input dependency analysis that is
-// the paper's contribution, and the partitioned parallel reasoning layer.
-//
-// Typical use:
-//
-//	p, err := streamrule.LoadProgram(rules, inpre)
-//	eng, err := streamrule.NewParallelEngine(p)   // analyzes dependencies
-//	out, err := eng.Reason(window)                // []streamrule.Triple
-//	fmt.Println(out.Answers[0])
-//
-// See examples/ for runnable programs and cmd/ for the CLIs.
 package streamrule
 
 import (
 	"fmt"
+	"time"
 
 	"streamrule/internal/asp/ast"
 	"streamrule/internal/asp/parser"
@@ -92,13 +76,14 @@ type MemoryStats = reasoner.MemoryStats
 
 // options carries the functional options of the engine constructors.
 type options struct {
-	outputs      []string
-	resolution   float64
-	randomK      int
-	randomSeed   int64
-	maxModels    int
-	atomFanout   int
-	memoryBudget int
+	outputs          []string
+	resolution       float64
+	randomK          int
+	randomSeed       int64
+	maxModels        int
+	atomFanout       int
+	memoryBudget     int
+	stragglerTimeout time.Duration
 }
 
 // Option customizes engine construction.
@@ -215,37 +200,40 @@ type ParallelEngine struct {
 	plan *Plan
 }
 
+// buildPartitioner constructs the partitioner the options select — random,
+// atom-level, or (default) the dependency plan — running the design-time
+// analysis where needed. Shared by the parallel and distributed engines.
+func buildPartitioner(p *Program, o options) (reasoner.Partitioner, *Plan, error) {
+	if o.randomK > 0 {
+		return reasoner.NewRandomPartitioner(o.randomK, o.randomSeed), nil, nil
+	}
+	a, err := p.Analyze(o.resolution)
+	if err != nil {
+		return nil, nil, err
+	}
+	plan := a.Plan
+	if o.atomFanout > 0 {
+		arities, err := dfp.InferArities(p.AST, p.Inpre)
+		if err != nil {
+			return nil, nil, err
+		}
+		keys := atomdep.Analyze(p.AST, plan)
+		part, err := reasoner.NewAtomPartitioner(plan, keys, arities, o.atomFanout)
+		if err != nil {
+			return nil, nil, err
+		}
+		return part, plan, nil
+	}
+	return reasoner.NewPlanPartitioner(plan), plan, nil
+}
+
 // NewParallelEngine builds a parallel engine, running the dependency
 // analysis at construction (design) time.
 func NewParallelEngine(p *Program, opts ...Option) (*ParallelEngine, error) {
 	o := buildOptions(opts)
-	var part reasoner.Partitioner
-	var plan *Plan
-	switch {
-	case o.randomK > 0:
-		part = reasoner.NewRandomPartitioner(o.randomK, o.randomSeed)
-	case o.atomFanout > 0:
-		a, err := p.Analyze(o.resolution)
-		if err != nil {
-			return nil, err
-		}
-		plan = a.Plan
-		arities, err := dfp.InferArities(p.AST, p.Inpre)
-		if err != nil {
-			return nil, err
-		}
-		keys := atomdep.Analyze(p.AST, plan)
-		part, err = reasoner.NewAtomPartitioner(plan, keys, arities, o.atomFanout)
-		if err != nil {
-			return nil, err
-		}
-	default:
-		a, err := p.Analyze(o.resolution)
-		if err != nil {
-			return nil, err
-		}
-		plan = a.Plan
-		part = reasoner.NewPlanPartitioner(plan)
+	part, plan, err := buildPartitioner(p, o)
+	if err != nil {
+		return nil, err
 	}
 	pr, err := reasoner.NewPR(p.config(o), part)
 	if err != nil {
