@@ -142,6 +142,66 @@ func BenchmarkFig9(b *testing.B) { benchLatencyFigure(b, bench.ProgramPPrime) }
 // BenchmarkFig10 reproduces Figure 10: answer accuracy on program P'.
 func BenchmarkFig10(b *testing.B) { benchAccuracyFigure(b, bench.ProgramPPrime) }
 
+// BenchmarkFig7Residual is the residual-workload figure this repository
+// adds on top of the paper: bench.ProgramResidual (P plus an
+// incident-response layer of even loops, a bounded dispatch choice, and
+// three free sensor-health loops) over workload.ResidualTraffic, so every
+// window leaves the solver a large residual program explored through a real
+// search tree (8 answer sets). The "worklist" variant is the counter-based
+// event-driven propagation engine; "naive" is the legacy rescan-to-fixpoint
+// propagator it replaced. Compare "solve-ms" (the solver's share of the
+// critical path) and "rule-visits" (propagation work per window).
+func BenchmarkFig7Residual(b *testing.B) {
+	p := benchProgram(b, bench.ProgramResidual)
+	for _, variant := range []struct {
+		name string
+		opts []Option
+	}{
+		{"worklist", nil},
+		{"naive", []Option{WithNaivePropagation()}},
+	} {
+		for _, sys := range []string{"R", "PR_Dep"} {
+			for _, size := range []int{5000, 10000} {
+				b.Run(fmt.Sprintf("%s/%s/w%dk", sys, variant.name, size/1000), func(b *testing.B) {
+					b.ReportAllocs()
+					var eng Reasoner
+					var err error
+					if sys == "R" {
+						eng, err = NewEngine(p, variant.opts...)
+					} else {
+						eng, err = NewParallelEngine(p, variant.opts...)
+					}
+					if err != nil {
+						b.Fatal(err)
+					}
+					gen, err := workload.NewGenerator(int64(size), workload.ResidualTraffic())
+					if err != nil {
+						b.Fatal(err)
+					}
+					window := gen.Window(size)
+					b.ResetTimer()
+					var cpTotal, solveTotal, visits float64
+					for i := 0; i < b.N; i++ {
+						out, err := eng.Reason(window)
+						if err != nil {
+							b.Fatal(err)
+						}
+						if out.SolveStats.FastPath {
+							b.Fatal("residual workload took the fast path")
+						}
+						cpTotal += float64(out.Latency.CriticalPath.Microseconds()) / 1000
+						solveTotal += float64(out.Latency.Solve.Microseconds()) / 1000
+						visits += float64(out.SolveStats.RuleVisits)
+					}
+					b.ReportMetric(cpTotal/float64(b.N), "cp-ms")
+					b.ReportMetric(solveTotal/float64(b.N), "solve-ms")
+					b.ReportMetric(visits/float64(b.N), "rule-visits")
+				})
+			}
+		}
+	}
+}
+
 // BenchmarkFig7Sliding measures the latency lever this repository adds on
 // top of the paper: with sliding windows at Step = Size/5, consecutive
 // windows share 80% of their items, and the incremental grounding path

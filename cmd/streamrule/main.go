@@ -42,7 +42,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 	programFile := fs.String("program", "", "ASP program file")
 	inpre := fs.String("inpre", "", "comma-separated input predicates (required with -program)")
 	outputs := fs.String("outputs", "", "comma-separated output predicates (default: all derived, or the program's #show)")
-	paper := fs.String("paper", "", "use a built-in paper program: P or Pprime")
+	paper := fs.String("paper", "", "use a built-in paper program: P, Pprime, or Presidual (P + residual incident-response rules)")
 	streamFile := fs.String("stream", "", "triple file 's p o .' per line (default: synthetic paper workload)")
 	mode := fs.String("mode", "PR", "reasoner: R (whole window), PR (dependency-partitioned), or DPR (distributed; implied by -workers)")
 	worker := fs.String("worker", "", "serve as a reasoning worker on this address (host:port) instead of running a pipeline")
@@ -55,6 +55,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 	seed := fs.Int64("seed", 1, "synthetic workload seed")
 	rate := fs.Int("rate", 0, "stream rate in triples/second (0 = unpaced)")
 	budget := fs.Int("budget", 0, "memory budget in interned atoms (> 0 evicts unreferenced table entries between windows; for streams with unbounded vocabularies)")
+	naive := fs.Bool("naive-solver", false, "use the legacy rescan propagator instead of the counter/worklist engine (ablation; full enumerations identical)")
 	verbose := fs.Bool("v", false, "print every answer atom (default: summary per window)")
 	if err := fs.Parse(args); err != nil {
 		return 2
@@ -79,6 +80,8 @@ func run(args []string, stdout, stderr io.Writer) int {
 		src, preds = bench.ProgramP, bench.Inpre
 	case *paper == "Pprime":
 		src, preds = bench.ProgramPPrime, bench.Inpre
+	case *paper == "Presidual":
+		src, preds = bench.ProgramResidual, bench.Inpre
 	case *programFile != "":
 		data, err := os.ReadFile(*programFile)
 		if err != nil {
@@ -105,6 +108,9 @@ func run(args []string, stdout, stderr io.Writer) int {
 	}
 	if *budget > 0 {
 		opts = append(opts, streamrule.WithMemoryBudget(*budget))
+	}
+	if *naive {
+		opts = append(opts, streamrule.WithNaivePropagation())
 	}
 
 	reasonerMode := strings.ToUpper(*mode)
@@ -168,7 +174,13 @@ func run(args []string, stdout, stderr io.Writer) int {
 			return fail(stderr, err)
 		}
 	} else {
-		gen, err := workload.NewGenerator(*seed, workload.PaperTraffic())
+		specs := workload.PaperTraffic()
+		if *paper == "Presidual" {
+			// The residual program pairs with its skewed workload: hostile
+			// rates keep the solver off the fast path every window.
+			specs = workload.ResidualTraffic()
+		}
+		gen, err := workload.NewGenerator(*seed, specs)
 		if err != nil {
 			return fail(stderr, err)
 		}
@@ -184,8 +196,14 @@ func run(args []string, stdout, stderr io.Writer) int {
 		Reasoner:   eng,
 	}
 	n := 0
+	var solveTotals streamrule.SolveStats
+	residualWindows := 0
 	err = pl.Run(context.Background(), func(win []streamrule.Triple, out *streamrule.Output) error {
 		n++
+		solveTotals.Add(out.SolveStats)
+		if !out.SolveStats.FastPath {
+			residualWindows++
+		}
 		ground := "scratch"
 		if out.Incremental {
 			ground = "incremental"
@@ -205,6 +223,14 @@ func run(args []string, stdout, stderr io.Writer) int {
 	})
 	if err != nil {
 		return fail(stderr, err)
+	}
+	if residualWindows > 0 {
+		// Solver work profile: only residual windows (programs the grounder
+		// could not fully evaluate) engage the search; stratified windows
+		// ride the fast path and contribute nothing here.
+		fmt.Fprintf(stdout, "solver: residual-windows=%d/%d rule-visits=%d queue-pushes=%d source-repairs=%d choices=%d propagations=%d stability-checks=%d\n",
+			residualWindows, n, solveTotals.RuleVisits, solveTotals.QueuePushes, solveTotals.SourceRepairs,
+			solveTotals.Choices, solveTotals.Propagations, solveTotals.StabilityChecks)
 	}
 	if st, ok := pl.MemoryStats(); ok && st.Budget > 0 {
 		fmt.Fprintf(stdout, "memory: budget=%d atoms live=%d peak=%d rotations=%d evicted=%d remap=%v\n",

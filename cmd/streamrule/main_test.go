@@ -44,6 +44,65 @@ func TestModeR(t *testing.T) {
 	}
 }
 
+// The residual paper program must engage the solver search on every window
+// (no fast path), print the solver work profile, and produce identical
+// answers under the -naive-solver ablation.
+func TestResidualProgramSolverStats(t *testing.T) {
+	code, out, errOut := runCLI(t, "-paper", "Presidual", "-mode", "R", "-window", "1000", "-windows", "2")
+	if code != 0 {
+		t.Fatalf("code = %d, stderr = %q", code, errOut)
+	}
+	if !strings.Contains(out, "solver: residual-windows=2/2") {
+		t.Errorf("solver stats line missing or wrong: %q", out)
+	}
+	if !strings.Contains(out, "rule-visits=") || !strings.Contains(out, "source-repairs=") {
+		t.Errorf("solver work profile missing: %q", out)
+	}
+	// Stratified windows ride the fast path — even through PR's aggregated
+	// stats — and must not be reported as residual.
+	code, stratOut, _ := runCLI(t, "-paper", "P", "-window", "1000", "-windows", "2")
+	if code != 0 {
+		t.Fatalf("stratified: code = %d", code)
+	}
+	if strings.Contains(stratOut, "solver: residual-windows=") {
+		t.Errorf("stratified program reported residual windows: %q", stratOut)
+	}
+	code, naiveOut, _ := runCLI(t, "-paper", "Presidual", "-mode", "R", "-window", "1000", "-windows", "2", "-naive-solver")
+	if code != 0 {
+		t.Fatalf("naive: code = %d", code)
+	}
+	if !strings.Contains(naiveOut, "queue-pushes=0 source-repairs=0") {
+		t.Errorf("naive ablation still used the counter engine: %q", naiveOut)
+	}
+	// Same stream, same windows: the answer-set sizes must match as sorted
+	// multisets (the engines may enumerate the same answers in a different
+	// order, so the "answer N:" indices are stripped before comparing).
+	filter := func(s string) []string {
+		var kept []string
+		for _, line := range strings.Split(s, "\n") {
+			line = strings.TrimSpace(line)
+			if strings.HasPrefix(line, "answer ") {
+				_, size, ok := strings.Cut(line, ": ")
+				if !ok {
+					t.Fatalf("malformed answer line %q", line)
+				}
+				kept = append(kept, size)
+			}
+		}
+		slices.Sort(kept)
+		return kept
+	}
+	a, b := filter(out), filter(naiveOut)
+	if len(a) == 0 || len(a) != len(b) {
+		t.Fatalf("answer summaries differ in count: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Errorf("answer summary %d: %q vs %q", i, a[i], b[i])
+		}
+	}
+}
+
 func TestAtomFanout(t *testing.T) {
 	code, out, _ := runCLI(t, "-paper", "P", "-atom", "3", "-window", "800", "-windows", "1")
 	if code != 0 {

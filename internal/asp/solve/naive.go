@@ -1,0 +1,200 @@
+// The legacy rescan-to-fixpoint propagator, kept compiled in behind
+// Options.NaivePropagation as the differential-test oracle and the
+// benchmark baseline the counter/worklist engine (propagate.go) is measured
+// against. It recomputes every rule's full state on every pass and
+// re-derives support by scanning every atom × head occurrence — O(rules ×
+// body) per pass — which is exactly the cost profile the event-driven
+// engine eliminates.
+package solve
+
+// posState / negState report the truth of a positive / negated body
+// literal over atom a under the current assignment.
+func (s *solver) posState(a int) int8 { return s.assign[a] }
+func (s *solver) negState(a int) int8 {
+	switch s.assign[a] {
+	case tru:
+		return fls
+	case fls:
+		return tru
+	default:
+		return undef
+	}
+}
+
+// ruleState summarizes a rule body: satisfied (all literals true),
+// falsified (some literal false), or the single undecided literal.
+type ruleState struct {
+	bodySat    bool
+	bodyFalse  bool
+	undecided  int // count of undecided body literals
+	lastPos    int // local index of an undecided positive literal (if any)
+	lastNeg    int // local index of an undecided negative literal (if any)
+	lastIsPos  bool
+	headTrue   int // count of true head atoms
+	headFalse  int // count of false head atoms
+	headUndef  int
+	lastHeadUn int // local index of an undecided head atom (if any)
+}
+
+func (s *solver) state(r irule) ruleState {
+	s.out.Stats.RuleVisits++
+	st := ruleState{bodySat: true}
+	for _, a := range r.pos {
+		switch s.posState(a) {
+		case fls:
+			st.bodyFalse = true
+			st.bodySat = false
+		case undef:
+			st.bodySat = false
+			st.undecided++
+			st.lastPos = a
+			st.lastIsPos = true
+		}
+	}
+	for _, a := range r.neg {
+		switch s.negState(a) {
+		case fls:
+			st.bodyFalse = true
+			st.bodySat = false
+		case undef:
+			st.bodySat = false
+			st.undecided++
+			st.lastNeg = a
+			st.lastIsPos = false
+		}
+	}
+	for _, h := range r.head {
+		switch s.assign[h] {
+		case tru:
+			st.headTrue++
+		case fls:
+			st.headFalse++
+		default:
+			st.headUndef++
+			st.lastHeadUn = h
+		}
+	}
+	return st
+}
+
+// propagateNaive applies the propagation rules to a fixpoint by rescanning
+// every rule and every atom until nothing changes. It returns false on
+// conflict.
+func (s *solver) propagateNaive() bool {
+	for changed := true; changed; {
+		changed = false
+		for _, r := range s.rules {
+			st := s.state(r)
+			if r.choice {
+				// Choice rules never force heads on their own; the
+				// cardinality bounds conflict — or pin the undecided heads —
+				// once the body holds.
+				if st.bodySat {
+					if r.hi >= 0 && st.headTrue > r.hi {
+						return false
+					}
+					if r.lo > 0 && st.headTrue+st.headUndef < r.lo {
+						return false
+					}
+					if r.hi >= 0 && st.headTrue == r.hi && st.headUndef > 0 {
+						// Upper bound reached: remaining heads are false.
+						for _, h := range r.head {
+							if s.assign[h] == undef {
+								if !s.set(h, fls) {
+									return false
+								}
+								s.out.Stats.Propagations++
+								changed = true
+							}
+						}
+					} else if r.lo > 0 && st.headTrue+st.headUndef == r.lo && st.headUndef > 0 {
+						// Lower bound tight: remaining heads are true.
+						for _, h := range r.head {
+							if s.assign[h] == undef {
+								if !s.set(h, tru) {
+									return false
+								}
+								s.out.Stats.Propagations++
+								changed = true
+							}
+						}
+					}
+				}
+				continue
+			}
+			switch {
+			case st.bodySat && st.headTrue == 0:
+				// Body holds: some head atom must hold.
+				if st.headUndef == 0 {
+					return false // constraint violated or all heads false
+				}
+				if st.headUndef == 1 {
+					if !s.set(st.lastHeadUn, tru) {
+						return false
+					}
+					s.out.Stats.Propagations++
+					changed = true
+				}
+			case st.headTrue == 0 && st.headUndef == 0 && !st.bodyFalse && st.undecided == 1:
+				// All heads false and the body is one literal away from
+				// firing: falsify that literal (contraposition).
+				var ok bool
+				if st.lastIsPos {
+					ok = s.set(st.lastPos, fls)
+				} else {
+					// Falsifying the literal "not a" means making a true.
+					ok = s.set(st.lastNeg, tru)
+				}
+				if !ok {
+					return false
+				}
+				s.out.Stats.Propagations++
+				changed = true
+			}
+		}
+		// Support propagation: an undecided or true atom with no rule able
+		// to support it must be false (true -> conflict).
+		for a := range s.ids {
+			if s.assign[a] == fls {
+				continue
+			}
+			supported := false
+			for _, ri := range s.occHead.of(a) {
+				r := s.rules[ri]
+				st := s.state(r)
+				if st.bodyFalse {
+					continue
+				}
+				if r.choice {
+					// A choice rule supports any of its heads.
+					supported = true
+					break
+				}
+				// A disjunctive rule supports a only if no other head atom
+				// is true.
+				otherTrue := false
+				for _, h := range r.head {
+					if h != a && s.assign[h] == tru {
+						otherTrue = true
+						break
+					}
+				}
+				if !otherTrue {
+					supported = true
+					break
+				}
+			}
+			if !supported {
+				if s.assign[a] == tru {
+					return false
+				}
+				if !s.set(a, fls) {
+					return false
+				}
+				s.out.Stats.Propagations++
+				changed = true
+			}
+		}
+	}
+	return true
+}

@@ -1,0 +1,597 @@
+// Event-driven propagation: the solver core.
+//
+// The naive propagator (naive.go) recomputes every rule's full state on
+// every fixpoint pass — O(rules × body) per pass, re-deriving facts it
+// already knew. The engine here inverts that: each rule carries counters
+// (undecided body literals, false body literals, true/undecided head atoms)
+// that solver.set updates incrementally through per-atom occurrence lists,
+// and only rules whose counters crossed an inference threshold are pushed
+// onto a worklist and re-examined. Support propagation keeps a source
+// pointer per atom — one rule whose body is not false and (for non-choice
+// rules) no other head of which is true; only atoms whose source dies are
+// re-examined, instead of rescanning every atom × occurrence each pass.
+//
+// Backtracking reverses the counter deltas from the trail (undoTo is
+// O(trail), like the assignment undo). Source pointers need no undo at all:
+// validity is monotone under retraction — removing assignments can only
+// un-falsify body literals and un-true heads — so any pointer recorded
+// after the mark is also valid at the restored state, and the restored
+// state was itself a propagation fixpoint.
+package solve
+
+import (
+	"slices"
+
+	"streamrule/internal/asp/intern"
+)
+
+// truth values of the search assignment.
+const (
+	undef int8 = 0
+	tru   int8 = 1
+	fls   int8 = -1
+)
+
+// irule is a ground rule over dense local atom indices.
+type irule struct {
+	head []int
+	pos  []int
+	neg  []int
+	// choice marks a choice rule with cardinality bounds lo..hi
+	// (ast.UnboundedChoice disables a bound).
+	choice bool
+	lo, hi int
+}
+
+// occList is a CSR-packed occurrence index: the rule indices touching atom a
+// are data[off[a]:off[a+1]].
+type occList struct {
+	off  []int32
+	data []int32
+}
+
+func (o *occList) of(a int) []int32 { return o.data[o.off[a]:o.off[a+1]] }
+
+// buildOcc packs one occurrence list (head, positive-body, or negative-body,
+// selected by sel) for n atoms.
+func buildOcc(n int, rules []irule, sel func(*irule) []int) occList {
+	off := make([]int32, n+1)
+	for i := range rules {
+		for _, a := range sel(&rules[i]) {
+			off[a+1]++
+		}
+	}
+	for a := 0; a < n; a++ {
+		off[a+1] += off[a]
+	}
+	data := make([]int32, off[n])
+	next := make([]int32, n)
+	copy(next, off[:n])
+	for i := range rules {
+		for _, a := range sel(&rules[i]) {
+			data[next[a]] = int32(i)
+			next[a]++
+		}
+	}
+	return occList{off: off, data: data}
+}
+
+type solver struct {
+	opts  Options
+	naive bool
+	// ids maps dense local indices back to interned atom IDs.
+	ids   []intern.AtomID
+	rules []irule
+	// occurrence lists: rule indices per local atom index
+	occHead occList
+	occPos  occList
+	occNeg  occList
+
+	assign []int8
+	trail  []int32
+
+	// Per-rule counters (counter engine only): undecided body literals,
+	// false body literals, true head atoms, undecided head atoms. Duplicated
+	// literals count per occurrence, exactly as the naive state scan does.
+	und []int32
+	bf  []int32
+	ht  []int32
+	hu  []int32
+	// ruleQ is the propagation worklist; inRuleQ dedups membership.
+	ruleQ   []int32
+	inRuleQ []bool
+	// source[a] is the rule currently supporting atom a (-1 = none yet).
+	// srcQ holds atoms whose source died and must be repaired.
+	source []int32
+	srcQ   []int32
+	inSrcQ []bool
+
+	// order is the branching order: atoms sorted by descending activity
+	// (occurrence count) for the counter engine, local index order for the
+	// naive baseline. search resumes its scan cursor down the recursion.
+	order []int32
+
+	tab     *intern.Table
+	certain []intern.AtomID
+	// certainSorted and byID are built lazily on the first emitted model:
+	// the certain set sorted by ID, and the local atom indices sorted by
+	// their interned ID. Walking byID yields each model's true atoms
+	// already ID-sorted, so emitting is two linear merges with no per-model
+	// sort at all.
+	certainSorted []intern.AtomID
+	byID          []int32
+	out           *Result
+
+	// stable() scratch, reused across candidates (see stable.go).
+	st stableScratch
+}
+
+// init sizes the assignment, occurrence lists, and — for the counter
+// engine — the counters, queues, source pointers, and branch order, seeding
+// the worklists so the first propagate call establishes the initial fixpoint
+// (rules that fire with an empty body, atoms with no possible support).
+func (s *solver) init(n int) {
+	s.assign = make([]int8, n)
+	s.occHead = buildOcc(n, s.rules, func(r *irule) []int { return r.head })
+	s.occPos = buildOcc(n, s.rules, func(r *irule) []int { return r.pos })
+	s.occNeg = buildOcc(n, s.rules, func(r *irule) []int { return r.neg })
+	s.order = make([]int32, n)
+	for a := range s.order {
+		s.order[a] = int32(a)
+	}
+	if s.naive {
+		return
+	}
+	m := len(s.rules)
+	s.und = make([]int32, m)
+	s.bf = make([]int32, m)
+	s.ht = make([]int32, m)
+	s.hu = make([]int32, m)
+	s.inRuleQ = make([]bool, m)
+	for i := range s.rules {
+		r := &s.rules[i]
+		s.und[i] = int32(len(r.pos) + len(r.neg))
+		s.hu[i] = int32(len(r.head))
+	}
+	s.source = make([]int32, n)
+	s.inSrcQ = make([]bool, n)
+	s.srcQ = make([]int32, 0, n)
+	for a := n - 1; a >= 0; a-- {
+		s.source[a] = -1
+		s.inSrcQ[a] = true
+		s.srcQ = append(s.srcQ, int32(a))
+	}
+	for i := range s.rules {
+		s.bumpRule(int32(i))
+	}
+	// Activity order: atoms occurring in more rules first, ties by index.
+	// Higher-occurrence atoms prune more of the search per decision, and a
+	// fixed order keeps enumeration deterministic.
+	act := make([]int32, n)
+	for a := 0; a < n; a++ {
+		act[a] = int32(len(s.occHead.of(a)) + len(s.occPos.of(a)) + len(s.occNeg.of(a)))
+	}
+	slices.SortStableFunc(s.order, func(x, y int32) int {
+		if act[x] != act[y] {
+			return int(act[y] - act[x])
+		}
+		return int(x - y)
+	})
+}
+
+// set assigns a truth value, returns false on conflict with an existing
+// assignment. In counter mode it also applies the counter deltas to every
+// rule the atom occurs in and enqueues the rules and source repairs those
+// deltas triggered.
+func (s *solver) set(atom int, v int8) bool {
+	cur := s.assign[atom]
+	if cur != undef {
+		return cur == v
+	}
+	s.assign[atom] = v
+	s.trail = append(s.trail, int32(atom))
+	if !s.naive {
+		s.applyDeltas(atom, v)
+	}
+	return true
+}
+
+// undoTo unwinds the trail to the given mark, reversing counter deltas.
+// Source pointers are left alone (see the file comment: validity is
+// monotone under retraction), and no queue entries are generated — the
+// restored state was a propagation fixpoint already.
+func (s *solver) undoTo(mark int) {
+	for len(s.trail) > mark {
+		a := int(s.trail[len(s.trail)-1])
+		s.trail = s.trail[:len(s.trail)-1]
+		v := s.assign[a]
+		s.assign[a] = undef
+		if !s.naive {
+			s.revertDeltas(a, v)
+		}
+	}
+}
+
+// applyDeltas updates the counters of every rule atom a occurs in after a
+// was assigned v, enqueueing rules that crossed an inference threshold and
+// atoms whose support source died.
+func (s *solver) applyDeltas(a int, v int8) {
+	if v == tru {
+		for _, ri := range s.occPos.of(a) {
+			s.und[ri]--
+			s.bumpRule(ri)
+		}
+		for _, ri := range s.occNeg.of(a) {
+			s.und[ri]--
+			if s.bf[ri]++; s.bf[ri] == 1 {
+				s.sourceDiedBody(ri)
+			}
+		}
+		for _, ri := range s.occHead.of(a) {
+			s.hu[ri]--
+			s.ht[ri]++
+			s.bumpRule(ri)
+			if !s.rules[ri].choice {
+				s.sourceDiedHead(ri, a)
+			}
+		}
+	} else {
+		for _, ri := range s.occPos.of(a) {
+			s.und[ri]--
+			if s.bf[ri]++; s.bf[ri] == 1 {
+				s.sourceDiedBody(ri)
+			}
+		}
+		for _, ri := range s.occNeg.of(a) {
+			s.und[ri]--
+			s.bumpRule(ri)
+		}
+		for _, ri := range s.occHead.of(a) {
+			s.hu[ri]--
+			s.bumpRule(ri)
+		}
+	}
+}
+
+// revertDeltas is the exact inverse of applyDeltas, without any queueing.
+func (s *solver) revertDeltas(a int, v int8) {
+	if v == tru {
+		for _, ri := range s.occPos.of(a) {
+			s.und[ri]++
+		}
+		for _, ri := range s.occNeg.of(a) {
+			s.und[ri]++
+			s.bf[ri]--
+		}
+		for _, ri := range s.occHead.of(a) {
+			s.hu[ri]++
+			s.ht[ri]--
+		}
+	} else {
+		for _, ri := range s.occPos.of(a) {
+			s.und[ri]++
+			s.bf[ri]--
+		}
+		for _, ri := range s.occNeg.of(a) {
+			s.und[ri]++
+		}
+		for _, ri := range s.occHead.of(a) {
+			s.hu[ri]++
+		}
+	}
+}
+
+// triggered reports whether the rule's counters cross an inference
+// threshold: for a choice rule a satisfied body (cardinality bounds become
+// checkable), for a normal rule a satisfied body with at most one head
+// undecided (forward firing or conflict) or a single undecided body literal
+// with every head false (contraposition). Rules with a false body literal or
+// (non-choice) a true head can infer nothing and are never enqueued.
+func (s *solver) triggered(ri int32) bool {
+	if s.bf[ri] > 0 {
+		return false
+	}
+	r := &s.rules[ri]
+	if r.choice {
+		return s.und[ri] == 0
+	}
+	if s.ht[ri] > 0 {
+		return false
+	}
+	return (s.und[ri] == 0 && s.hu[ri] <= 1) || (s.und[ri] == 1 && s.hu[ri] == 0)
+}
+
+// bumpRule enqueues a rule for examination when its counters trigger.
+func (s *solver) bumpRule(ri int32) {
+	if s.inRuleQ[ri] || !s.triggered(ri) {
+		return
+	}
+	s.inRuleQ[ri] = true
+	s.ruleQ = append(s.ruleQ, ri)
+	s.out.Stats.QueuePushes++
+}
+
+// sourceDiedBody queues repairs for every head atom using ri as its support
+// source, after ri's body acquired its first false literal.
+func (s *solver) sourceDiedBody(ri int32) {
+	for _, h := range s.rules[ri].head {
+		if s.source[h] == ri {
+			s.pushSrc(h)
+		}
+	}
+}
+
+// sourceDiedHead queues repairs for the other head atoms using ri as their
+// source, after head atom newTrue became true (a non-choice rule supports an
+// atom only while no other head atom is true).
+func (s *solver) sourceDiedHead(ri int32, newTrue int) {
+	for _, h := range s.rules[ri].head {
+		if h != newTrue && s.source[h] == ri {
+			s.pushSrc(h)
+		}
+	}
+}
+
+func (s *solver) pushSrc(a int) {
+	if s.inSrcQ[a] {
+		return
+	}
+	s.inSrcQ[a] = true
+	s.srcQ = append(s.srcQ, int32(a))
+}
+
+// clearQueues empties both worklists (resetting membership flags) after a
+// conflict: the caller is about to undo the trail back to a state that was
+// already a fixpoint, so no pending work survives.
+func (s *solver) clearQueues() {
+	for _, ri := range s.ruleQ {
+		s.inRuleQ[ri] = false
+	}
+	s.ruleQ = s.ruleQ[:0]
+	for _, a := range s.srcQ {
+		s.inSrcQ[a] = false
+	}
+	s.srcQ = s.srcQ[:0]
+}
+
+// propagate applies the propagation rules to a fixpoint. It returns false
+// on conflict.
+func (s *solver) propagate() bool {
+	if s.naive {
+		return s.propagateNaive()
+	}
+	for len(s.ruleQ) > 0 || len(s.srcQ) > 0 {
+		// Rule inferences first: they are cheaper per pop and may spare a
+		// repair scan by falsifying the atom outright.
+		for len(s.ruleQ) > 0 {
+			ri := s.ruleQ[len(s.ruleQ)-1]
+			s.ruleQ = s.ruleQ[:len(s.ruleQ)-1]
+			s.inRuleQ[ri] = false
+			if !s.examine(ri) {
+				s.clearQueues()
+				return false
+			}
+		}
+		for len(s.srcQ) > 0 && len(s.ruleQ) == 0 {
+			a := int(s.srcQ[len(s.srcQ)-1])
+			s.srcQ = s.srcQ[:len(s.srcQ)-1]
+			s.inSrcQ[a] = false
+			if !s.repairSource(a) {
+				s.clearQueues()
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// examine applies the inference a rule's counters license. It returns false
+// on conflict.
+func (s *solver) examine(ri int32) bool {
+	s.out.Stats.RuleVisits++
+	if s.bf[ri] > 0 {
+		return true // body already false: nothing to infer
+	}
+	r := &s.rules[ri]
+	if r.choice {
+		if s.und[ri] > 0 {
+			return true
+		}
+		// Body holds: the cardinality bounds conflict — or pin the
+		// undecided heads — exactly as in the naive propagator.
+		ht, hu := int(s.ht[ri]), int(s.hu[ri])
+		if r.hi >= 0 && ht > r.hi {
+			return false
+		}
+		if r.lo > 0 && ht+hu < r.lo {
+			return false
+		}
+		switch {
+		case r.hi >= 0 && ht == r.hi && hu > 0:
+			// Upper bound reached: remaining heads are false.
+			for _, h := range r.head {
+				if s.assign[h] == undef {
+					if !s.set(h, fls) {
+						return false
+					}
+					s.out.Stats.Propagations++
+				}
+			}
+		case r.lo > 0 && ht+hu == r.lo && hu > 0:
+			// Lower bound tight: remaining heads are true.
+			for _, h := range r.head {
+				if s.assign[h] == undef {
+					if !s.set(h, tru) {
+						return false
+					}
+					s.out.Stats.Propagations++
+				}
+			}
+		}
+		return true
+	}
+	if s.ht[ri] > 0 {
+		return true // satisfied
+	}
+	switch {
+	case s.und[ri] == 0 && s.hu[ri] == 0:
+		return false // constraint violated or all heads false
+	case s.und[ri] == 0 && s.hu[ri] == 1:
+		// Body holds and one head is left undecided: it must hold.
+		for _, h := range r.head {
+			if s.assign[h] == undef {
+				if !s.set(h, tru) {
+					return false
+				}
+				s.out.Stats.Propagations++
+				break
+			}
+		}
+	case s.und[ri] == 1 && s.hu[ri] == 0:
+		// All heads false and the body is one literal away from firing:
+		// falsify that literal (contraposition).
+		for _, a := range r.pos {
+			if s.assign[a] == undef {
+				if !s.set(a, fls) {
+					return false
+				}
+				s.out.Stats.Propagations++
+				return true
+			}
+		}
+		for _, a := range r.neg {
+			if s.assign[a] == undef {
+				// Falsifying the literal "not a" means making a true.
+				if !s.set(a, tru) {
+					return false
+				}
+				s.out.Stats.Propagations++
+				return true
+			}
+		}
+	}
+	return true
+}
+
+// sourceValid reports whether rule ri can still support atom a: its body
+// has no false literal and — unless it is a choice rule — no head atom
+// other than a is true.
+func (s *solver) sourceValid(a int, ri int32) bool {
+	if ri < 0 || s.bf[ri] > 0 {
+		return false
+	}
+	if s.rules[ri].choice {
+		return true
+	}
+	ht := s.ht[ri]
+	if s.assign[a] == tru {
+		ht-- // a's own truth does not block its support
+	}
+	return ht == 0
+}
+
+// repairSource re-derives the support source of an atom whose source died.
+// An atom with no candidate left must be false (true -> conflict).
+func (s *solver) repairSource(a int) bool {
+	if s.assign[a] == fls {
+		return true
+	}
+	if s.sourceValid(a, s.source[a]) {
+		return true
+	}
+	s.out.Stats.SourceRepairs++
+	for _, ri := range s.occHead.of(a) {
+		s.out.Stats.RuleVisits++
+		if s.sourceValid(a, ri) {
+			s.source[a] = ri
+			return true
+		}
+	}
+	if s.assign[a] == tru {
+		return false
+	}
+	if !s.set(a, fls) {
+		return false
+	}
+	s.out.Stats.Propagations++
+	return true
+}
+
+// search enumerates the answer sets. cursor is the resumable position in the
+// branch order: every atom at an earlier position was already assigned when
+// this level was entered and stays assigned throughout it, so each level
+// resumes the scan where its parent stopped instead of restarting at 0.
+func (s *solver) search(cursor int) {
+	if s.opts.MaxModels > 0 && len(s.out.Models) >= s.opts.MaxModels {
+		return
+	}
+	if !s.propagate() {
+		return
+	}
+	branch := -1
+	for cursor < len(s.order) {
+		if s.assign[s.order[cursor]] == undef {
+			branch = int(s.order[cursor])
+			break
+		}
+		cursor++
+	}
+	if branch == -1 {
+		s.out.Stats.StabilityChecks++
+		if s.stable() {
+			s.emitModel()
+		}
+		return
+	}
+	s.out.Stats.Choices++
+	for _, v := range [2]int8{tru, fls} {
+		if s.opts.MaxModels > 0 && len(s.out.Models) >= s.opts.MaxModels {
+			return
+		}
+		mark := len(s.trail)
+		if s.set(branch, v) {
+			s.search(cursor + 1)
+		}
+		s.undoTo(mark)
+	}
+}
+
+// emitModel materializes the current total assignment as an answer set:
+// the certain atoms plus the residual atoms assigned true. The certain set
+// is sorted once per solving run, and walking the ID-sorted local index
+// (byID) yields the true residual atoms already sorted, so each of the
+// enumerated models costs two linear merges — no per-model sort.
+func (s *solver) emitModel() {
+	if s.certainSorted == nil {
+		s.certainSorted = make([]intern.AtomID, len(s.certain))
+		copy(s.certainSorted, s.certain)
+		slices.Sort(s.certainSorted)
+		s.certainSorted = slices.Compact(s.certainSorted)
+		s.byID = make([]int32, len(s.ids))
+		for a := range s.byID {
+			s.byID[a] = int32(a)
+		}
+		slices.SortFunc(s.byID, func(x, y int32) int {
+			return int(s.ids[x]) - int(s.ids[y])
+		})
+	}
+	cs := s.certainSorted
+	ids := make([]intern.AtomID, 0, len(cs)+len(s.trail))
+	i := 0
+	for _, a := range s.byID {
+		if s.assign[a] != tru {
+			continue
+		}
+		id := s.ids[a]
+		for i < len(cs) && cs[i] < id {
+			ids = append(ids, cs[i])
+			i++
+		}
+		if i < len(cs) && cs[i] == id {
+			i++ // an atom both certain and residual-true appears once
+		}
+		ids = append(ids, id)
+	}
+	ids = append(ids, cs[i:]...)
+	s.out.Models = append(s.out.Models, &AnswerSet{tab: s.tab, ids: ids})
+}

@@ -4,11 +4,19 @@
 // Because the grounder fully evaluates stratified programs, the common case
 // is a ground program with no residual rules, whose unique answer set is the
 // set of certain atoms (fast path). Residual rules — produced by negation
-// cycles or disjunctive heads — are handled by a DPLL-style search:
-// propagation interleaves forward rule firing, contraposition, and
-// support-based falsification; every total assignment is verified stable by
-// the reduct test (least-model comparison for normal programs, a minimal
-// model search for disjunctive ones).
+// cycles, choice rules, or disjunctive heads — are handled by a DPLL-style
+// search whose propagation is event-driven: every rule carries incrementally
+// maintained counters (undecided body literals, false body literals,
+// true/undecided head atoms) that assignments update through per-atom
+// occurrence lists, and a worklist re-examines only the rules whose counters
+// crossed an inference threshold. Support is tracked by source pointers —
+// each non-false atom remembers one rule that can still support it, and only
+// atoms whose source dies are re-examined — instead of rescanning every
+// atom. The legacy rescan-to-fixpoint propagator is retained behind
+// Options.NaivePropagation as the differential/benchmark baseline. Every
+// total assignment is verified stable by the reduct test (least-model
+// comparison for normal programs, a minimal model search for disjunctive
+// ones), so both propagators produce identical answer sets.
 //
 // The solver runs entirely on interned atom IDs: the ground program's ID
 // rules are mapped onto a dense local index space for the search, and answer
@@ -30,12 +38,23 @@ import (
 type Options struct {
 	// MaxModels limits the number of answer sets returned (0 = all).
 	MaxModels int
+	// NaivePropagation selects the legacy propagator, which rescans every
+	// rule to a fixpoint on each propagation pass and re-derives support by
+	// scanning all atoms, instead of the counter/worklist engine. It exists
+	// as the differential-test oracle and benchmark baseline; the full
+	// answer-set enumeration is identical either way, only the work profile
+	// differs. Under a MaxModels cap the engines may return different
+	// subsets of that enumeration: they branch in different orders (local
+	// index vs activity), so the cap can bite on different prefixes.
+	NaivePropagation bool
 }
 
 // Stats reports work done by a solving run.
 type Stats struct {
-	// FastPath is true when the ground program had no residual rules and
-	// the answer set was read off the certain atoms directly.
+	// FastPath is true when the run never engaged the search: the ground
+	// program had no residual rules and the answer set was read off the
+	// certain atoms directly, or the grounder had already proven the
+	// program inconsistent.
 	FastPath bool
 	// Choices counts branching decisions.
 	Choices int
@@ -43,6 +62,31 @@ type Stats struct {
 	Propagations int
 	// StabilityChecks counts candidate models submitted to the reduct test.
 	StabilityChecks int
+	// RuleVisits counts rule examinations by the propagator: per-rule state
+	// recomputations for the naive propagator, worklist pops plus
+	// source-candidate checks for the counter engine. The ratio between the
+	// two modes is the headline win of event-driven propagation.
+	RuleVisits int
+	// QueuePushes counts rules enqueued on the propagation worklist
+	// (counter engine only; 0 under NaivePropagation).
+	QueuePushes int
+	// SourceRepairs counts atoms whose support source pointer died and had
+	// to be re-derived by scanning the atom's head occurrences (counter
+	// engine only; 0 under NaivePropagation).
+	SourceRepairs int
+}
+
+// Add accumulates another run's counters into s (every numeric field).
+// FastPath is deliberately left alone — it is a property of one run, and
+// aggregators (a partitioned reasoner, a CLI total) combine it with
+// whatever rule fits their semantics.
+func (s *Stats) Add(o Stats) {
+	s.Choices += o.Choices
+	s.Propagations += o.Propagations
+	s.StabilityChecks += o.StabilityChecks
+	s.RuleVisits += o.RuleVisits
+	s.QueuePushes += o.QueuePushes
+	s.SourceRepairs += o.SourceRepairs
 }
 
 // Result is the outcome of a solving run.
@@ -241,46 +285,13 @@ func (s *AnswerSet) String() string {
 	return b.String()
 }
 
-// truth values of the search assignment.
-const (
-	undef int8 = 0
-	tru   int8 = 1
-	fls   int8 = -1
-)
-
-// irule is a ground rule over dense local atom indices.
-type irule struct {
-	head []int
-	pos  []int
-	neg  []int
-	// choice marks a choice rule with cardinality bounds lo..hi
-	// (ast.UnboundedChoice disables a bound).
-	choice bool
-	lo, hi int
-}
-
-type solver struct {
-	opts Options
-	// ids maps dense local indices back to interned atom IDs.
-	ids   []intern.AtomID
-	rules []irule
-	// occurrence lists: rule indices per local atom index
-	occHead [][]int
-	occPos  [][]int
-	occNeg  [][]int
-
-	assign []int8
-	trail  []int
-
-	tab     *intern.Table
-	certain []intern.AtomID
-	out     *Result
-}
-
 // Solve computes the answer sets of the ground program.
 func Solve(gp *ground.Program, opts Options) (*Result, error) {
 	res := &Result{}
 	if gp.Inconsistent {
+		// The grounder proved the certain atoms violate a constraint: no
+		// answer sets, and no search was engaged.
+		res.Stats.FastPath = true
 		return res, nil
 	}
 	tab, certainIDs, ruleIDs := idForm(gp)
@@ -292,47 +303,60 @@ func Solve(gp *ground.Program, opts Options) (*Result, error) {
 		return res, nil
 	}
 
-	s := &solver{opts: opts, tab: tab, certain: certainIDs, out: res}
-	local := make(map[intern.AtomID]int)
+	s := &solver{opts: opts, naive: opts.NaivePropagation, tab: tab, certain: certainIDs, out: res}
+	// Atom IDs are dense table indices, so the ID -> local-index mapping is
+	// a plain slice lookup rather than a map.
+	local := make([]int32, tab.NumAtoms())
+	for i := range local {
+		local[i] = -1
+	}
 	idx := func(id intern.AtomID) int {
-		if i, ok := local[id]; ok {
-			return i
+		if i := local[id]; i >= 0 {
+			return int(i)
 		}
 		i := len(s.ids)
-		local[id] = i
+		local[id] = int32(i)
 		s.ids = append(s.ids, id)
 		return i
 	}
+	// All rule literal lists share one backing arena (sized by a counting
+	// pass) instead of three allocations per rule.
+	lits := 0
+	for _, r := range ruleIDs {
+		lits += len(r.Head) + len(r.Pos) + len(r.Neg)
+	}
+	arena := make([]int, 0, lits)
+	grab := func(ids []intern.AtomID) []int {
+		start := len(arena)
+		for _, id := range ids {
+			arena = append(arena, idx(id))
+		}
+		return arena[start:len(arena):len(arena)]
+	}
+	// Duplicate occurrences of an atom within one list are collapsed: a
+	// duplicated body literal or disjunctive head is semantically redundant
+	// (a ∨ a = a, b ∧ b = b) but would skew the per-occurrence counters the
+	// propagation engine maintains (e.g. "no other head atom is true" on
+	// a | a). Choice-rule heads are left untouched — their cardinality
+	// bounds count occurrences, exactly as the stability check does.
+	dedup := func(l []int) []int {
+		slices.Sort(l)
+		return slices.Compact(l)
+	}
+	s.rules = make([]irule, 0, len(ruleIDs))
 	for _, r := range ruleIDs {
 		ir := irule{choice: r.Choice, lo: r.Lower, hi: r.Upper}
-		for _, h := range r.Head {
-			ir.head = append(ir.head, idx(h))
+		ir.head = grab(r.Head)
+		ir.pos = grab(r.Pos)
+		ir.neg = grab(r.Neg)
+		if !ir.choice {
+			ir.head = dedup(ir.head)
 		}
-		for _, a := range r.Pos {
-			ir.pos = append(ir.pos, idx(a))
-		}
-		for _, a := range r.Neg {
-			ir.neg = append(ir.neg, idx(a))
-		}
+		ir.pos, ir.neg = dedup(ir.pos), dedup(ir.neg)
 		s.rules = append(s.rules, ir)
 	}
-	n := len(s.ids)
-	s.occHead = make([][]int, n)
-	s.occPos = make([][]int, n)
-	s.occNeg = make([][]int, n)
-	for ri, r := range s.rules {
-		for _, a := range r.head {
-			s.occHead[a] = append(s.occHead[a], ri)
-		}
-		for _, a := range r.pos {
-			s.occPos[a] = append(s.occPos[a], ri)
-		}
-		for _, a := range r.neg {
-			s.occNeg[a] = append(s.occNeg[a], ri)
-		}
-	}
-	s.assign = make([]int8, n)
-	s.search()
+	s.init(len(s.ids))
+	s.search(0)
 	return res, nil
 }
 
@@ -367,459 +391,4 @@ func idForm(gp *ground.Program) (*intern.Table, []intern.AtomID, []ground.IRule)
 		rules[i] = ir
 	}
 	return tab, certain, rules
-}
-
-// set assigns a truth value, returns false on conflict with an existing
-// assignment.
-func (s *solver) set(atom int, v int8) bool {
-	cur := s.assign[atom]
-	if cur != undef {
-		return cur == v
-	}
-	s.assign[atom] = v
-	s.trail = append(s.trail, atom)
-	return true
-}
-
-// undoTo unwinds the trail to the given mark.
-func (s *solver) undoTo(mark int) {
-	for len(s.trail) > mark {
-		a := s.trail[len(s.trail)-1]
-		s.trail = s.trail[:len(s.trail)-1]
-		s.assign[a] = undef
-	}
-}
-
-// litTrue / litFalse report the state of body literals.
-func (s *solver) posState(a int) int8 { return s.assign[a] }
-func (s *solver) negState(a int) int8 {
-	switch s.assign[a] {
-	case tru:
-		return fls
-	case fls:
-		return tru
-	default:
-		return undef
-	}
-}
-
-// ruleState summarizes a rule body: satisfied (all literals true),
-// falsified (some literal false), or the single undecided literal.
-type ruleState struct {
-	bodySat    bool
-	bodyFalse  bool
-	undecided  int // count of undecided body literals
-	lastPos    int // local index of an undecided positive literal (if any)
-	lastNeg    int // local index of an undecided negative literal (if any)
-	lastIsPos  bool
-	headTrue   int // count of true head atoms
-	headFalse  int // count of false head atoms
-	headUndef  int
-	lastHeadUn int // local index of an undecided head atom (if any)
-}
-
-func (s *solver) state(r irule) ruleState {
-	st := ruleState{bodySat: true}
-	for _, a := range r.pos {
-		switch s.posState(a) {
-		case fls:
-			st.bodyFalse = true
-			st.bodySat = false
-		case undef:
-			st.bodySat = false
-			st.undecided++
-			st.lastPos = a
-			st.lastIsPos = true
-		}
-	}
-	for _, a := range r.neg {
-		switch s.negState(a) {
-		case fls:
-			st.bodyFalse = true
-			st.bodySat = false
-		case undef:
-			st.bodySat = false
-			st.undecided++
-			st.lastNeg = a
-			st.lastIsPos = false
-		}
-	}
-	for _, h := range r.head {
-		switch s.assign[h] {
-		case tru:
-			st.headTrue++
-		case fls:
-			st.headFalse++
-		default:
-			st.headUndef++
-			st.lastHeadUn = h
-		}
-	}
-	return st
-}
-
-// propagate applies the propagation rules to a fixpoint. It returns false on
-// conflict.
-func (s *solver) propagate() bool {
-	for changed := true; changed; {
-		changed = false
-		for _, r := range s.rules {
-			st := s.state(r)
-			if r.choice {
-				// Choice rules never force heads on their own; the
-				// cardinality bounds conflict — or pin the undecided heads —
-				// once the body holds.
-				if st.bodySat {
-					if r.hi >= 0 && st.headTrue > r.hi {
-						return false
-					}
-					if r.lo > 0 && st.headTrue+st.headUndef < r.lo {
-						return false
-					}
-					if r.hi >= 0 && st.headTrue == r.hi && st.headUndef > 0 {
-						// Upper bound reached: remaining heads are false.
-						for _, h := range r.head {
-							if s.assign[h] == undef {
-								if !s.set(h, fls) {
-									return false
-								}
-								s.out.Stats.Propagations++
-								changed = true
-							}
-						}
-					} else if r.lo > 0 && st.headTrue+st.headUndef == r.lo && st.headUndef > 0 {
-						// Lower bound tight: remaining heads are true.
-						for _, h := range r.head {
-							if s.assign[h] == undef {
-								if !s.set(h, tru) {
-									return false
-								}
-								s.out.Stats.Propagations++
-								changed = true
-							}
-						}
-					}
-				}
-				continue
-			}
-			switch {
-			case st.bodySat && st.headTrue == 0:
-				// Body holds: some head atom must hold.
-				if st.headUndef == 0 {
-					return false // constraint violated or all heads false
-				}
-				if st.headUndef == 1 {
-					if !s.set(st.lastHeadUn, tru) {
-						return false
-					}
-					s.out.Stats.Propagations++
-					changed = true
-				}
-			case st.headTrue == 0 && st.headUndef == 0 && !st.bodyFalse && st.undecided == 1:
-				// All heads false and the body is one literal away from
-				// firing: falsify that literal (contraposition).
-				var ok bool
-				if st.lastIsPos {
-					ok = s.set(st.lastPos, fls)
-				} else {
-					// Falsifying the literal "not a" means making a true.
-					ok = s.set(st.lastNeg, tru)
-				}
-				if !ok {
-					return false
-				}
-				s.out.Stats.Propagations++
-				changed = true
-			}
-		}
-		// Support propagation: an undecided or true atom with no rule able
-		// to support it must be false (true -> conflict).
-		for a := range s.ids {
-			if s.assign[a] == fls {
-				continue
-			}
-			supported := false
-			for _, ri := range s.occHead[a] {
-				r := s.rules[ri]
-				st := s.state(r)
-				if st.bodyFalse {
-					continue
-				}
-				if r.choice {
-					// A choice rule supports any of its heads.
-					supported = true
-					break
-				}
-				// A disjunctive rule supports a only if no other head atom
-				// is true.
-				otherTrue := false
-				for _, h := range r.head {
-					if h != a && s.assign[h] == tru {
-						otherTrue = true
-						break
-					}
-				}
-				if !otherTrue {
-					supported = true
-					break
-				}
-			}
-			if !supported {
-				if s.assign[a] == tru {
-					return false
-				}
-				if !s.set(a, fls) {
-					return false
-				}
-				s.out.Stats.Propagations++
-				changed = true
-			}
-		}
-	}
-	return true
-}
-
-func (s *solver) search() {
-	if !s.propagate() {
-		return
-	}
-	// Find an unassigned atom to branch on.
-	branch := -1
-	for a := range s.assign {
-		if s.assign[a] == undef {
-			branch = a
-			break
-		}
-	}
-	if branch == -1 {
-		s.out.Stats.StabilityChecks++
-		if s.stable() {
-			s.emitModel()
-		}
-		return
-	}
-	s.out.Stats.Choices++
-	for _, v := range []int8{tru, fls} {
-		if s.opts.MaxModels > 0 && len(s.out.Models) >= s.opts.MaxModels {
-			return
-		}
-		mark := len(s.trail)
-		if s.set(branch, v) {
-			s.search()
-		}
-		s.undoTo(mark)
-	}
-}
-
-func (s *solver) emitModel() {
-	ids := make([]intern.AtomID, 0, len(s.certain)+len(s.trail))
-	ids = append(ids, s.certain...)
-	for a := range s.ids {
-		if s.assign[a] == tru {
-			ids = append(ids, s.ids[a])
-		}
-	}
-	s.out.Models = append(s.out.Models, FromIDs(s.tab, ids))
-}
-
-// stable verifies the candidate total assignment against the reduct: the
-// true atoms must form a minimal model of the reduct of the residual rules.
-func (s *solver) stable() bool {
-	// Collect the candidate model over residual atoms.
-	model := make([]bool, len(s.ids))
-	for a := range s.ids {
-		if s.assign[a] == tru {
-			model[a] = true
-		}
-	}
-	// Build the reduct: drop rules with a true negative atom; drop negative
-	// literals otherwise. A choice rule {H} :- B contributes, for every head
-	// atom in the candidate, the definite rule a :- B+ (the "not not a" part
-	// of its definition is satisfied when a is in the candidate); its
-	// cardinality bounds are checked directly against the candidate.
-	type prule struct {
-		head []int
-		pos  []int
-	}
-	var reduct []prule
-	disjunctive := false
-	for _, r := range s.rules {
-		blocked := false
-		for _, a := range r.neg {
-			if model[a] {
-				blocked = true
-				break
-			}
-		}
-		if blocked {
-			continue
-		}
-		if r.choice {
-			bodySat := true
-			for _, a := range r.pos {
-				if !model[a] {
-					bodySat = false
-					break
-				}
-			}
-			if bodySat {
-				inM := 0
-				for _, h := range r.head {
-					if model[h] {
-						inM++
-					}
-				}
-				if r.lo >= 0 && inM < r.lo {
-					return false
-				}
-				if r.hi >= 0 && inM > r.hi {
-					return false
-				}
-			}
-			for _, h := range r.head {
-				if model[h] {
-					reduct = append(reduct, prule{head: []int{h}, pos: r.pos})
-				}
-			}
-			continue
-		}
-		reduct = append(reduct, prule{head: r.head, pos: r.pos})
-		if len(r.head) > 1 {
-			disjunctive = true
-		}
-	}
-
-	// Every candidate must at least be a model of the reduct.
-	for _, r := range reduct {
-		bodySat := true
-		for _, a := range r.pos {
-			if !model[a] {
-				bodySat = false
-				break
-			}
-		}
-		if !bodySat {
-			continue
-		}
-		headSat := false
-		for _, h := range r.head {
-			if model[h] {
-				headSat = true
-				break
-			}
-		}
-		if !headSat {
-			return false
-		}
-	}
-
-	if !disjunctive {
-		// Normal program: compare against the least model of the reduct.
-		least := make([]bool, len(s.ids))
-		for changed := true; changed; {
-			changed = false
-			for _, r := range reduct {
-				if len(r.head) != 1 || least[r.head[0]] {
-					continue
-				}
-				fire := true
-				for _, a := range r.pos {
-					if !least[a] {
-						fire = false
-						break
-					}
-				}
-				if fire {
-					least[r.head[0]] = true
-					changed = true
-				}
-			}
-		}
-		for a := range model {
-			if model[a] != least[a] {
-				return false
-			}
-		}
-		return true
-	}
-
-	// Disjunctive program: search for a model of the reduct that is a
-	// proper subset of the candidate. If none exists the candidate is a
-	// minimal model of the reduct, hence an answer set.
-	var inM []int
-	for a := range model {
-		if model[a] {
-			inM = append(inM, a)
-		}
-	}
-	val := make(map[int]int8, len(inM))
-	var smaller func(i int) bool
-	consistent := func() (ok, complete, proper bool) {
-		complete, proper = true, false
-		for _, a := range inM {
-			switch val[a] {
-			case undef:
-				complete = false
-			case fls:
-				proper = true
-			}
-		}
-		for _, r := range reduct {
-			bodyTrue, bodyUndecided := true, false
-			for _, a := range r.pos {
-				if !model[a] {
-					bodyTrue = false
-					break // atom outside M is false in any submodel
-				}
-				switch val[a] {
-				case fls:
-					bodyTrue = false
-				case undef:
-					bodyUndecided = true
-				}
-				if !bodyTrue {
-					break
-				}
-			}
-			if !bodyTrue {
-				continue
-			}
-			headOK, headUndecided := false, false
-			for _, h := range r.head {
-				if !model[h] {
-					continue
-				}
-				switch val[h] {
-				case tru:
-					headOK = true
-				case undef:
-					headUndecided = true
-				}
-			}
-			if !headOK && !bodyUndecided && !headUndecided {
-				return false, complete, proper
-			}
-		}
-		return true, complete, proper
-	}
-	smaller = func(i int) bool {
-		ok, complete, proper := consistent()
-		if !ok {
-			return false
-		}
-		if i == len(inM) {
-			return complete && proper
-		}
-		a := inM[i]
-		for _, v := range []int8{fls, tru} {
-			val[a] = v
-			if smaller(i + 1) {
-				val[a] = undef
-				return true
-			}
-		}
-		val[a] = undef
-		return false
-	}
-	return !smaller(0)
 }

@@ -207,13 +207,100 @@ na :- not a.
 b :- not nb.
 nb :- not b.
 `)
-	res, err := Solve(gp, Options{MaxModels: 2})
+	for _, naive := range []bool{false, true} {
+		res, err := Solve(gp, Options{MaxModels: 2, NaivePropagation: naive})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(res.Models) != 2 {
+			t.Errorf("naive=%v: expected 2 models, got %d", naive, len(res.Models))
+		}
+	}
+}
+
+// TestMaxModelsRootPropagation is the regression test for the hoisted
+// MaxModels cutoff: the cap must be honored on the root-level
+// propagate/emit path too — a program whose first (and only) model falls
+// out of pure propagation, with no branching at all, must still respect
+// MaxModels=1 and must not search beyond it.
+func TestMaxModelsRootPropagation(t *testing.T) {
+	gp := groundSrc(t, `
+a :- not b.
+b :- not a.
+:- b.
+`)
+	for _, naive := range []bool{false, true} {
+		res, err := Solve(gp, Options{MaxModels: 1, NaivePropagation: naive})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(res.Models) != 1 {
+			t.Fatalf("naive=%v: expected exactly 1 model, got %d", naive, len(res.Models))
+		}
+		if !res.Models[0].Contains("a") || res.Models[0].Contains("b") {
+			t.Errorf("naive=%v: model = %v", naive, res.Models[0])
+		}
+		if res.Stats.Choices != 0 {
+			t.Errorf("naive=%v: propagation-complete program branched %d times", naive, res.Stats.Choices)
+		}
+		if res.Stats.StabilityChecks != 1 {
+			t.Errorf("naive=%v: %d stability checks, want 1", naive, res.Stats.StabilityChecks)
+		}
+	}
+}
+
+// The two propagation engines must reach identical fixpoints: same models
+// and — because every propagation-consistent total assignment is submitted
+// to the same reduct test — the same number of stability checks.
+func TestEnginesAgreeOnWorkProfile(t *testing.T) {
+	gp := groundSrc(t, `
+p(1). p(2). p(3).
+q(X) :- p(X), not r(X).
+r(X) :- p(X), not q(X).
+:- r(2).
+go :- not halt.
+halt :- not go.
+s(X) :- q(X), go.
+`)
+	ev, err := Solve(gp, Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(res.Models) != 2 {
-		t.Errorf("expected 2 models, got %d", len(res.Models))
+	nv, err := Solve(gp, Options{NaivePropagation: true})
+	if err != nil {
+		t.Fatal(err)
 	}
+	evKeys, nvKeys := modelKeys(ev), modelKeys(nv)
+	if len(evKeys) != len(nvKeys) {
+		t.Fatalf("models: event %v, naive %v", evKeys, nvKeys)
+	}
+	for i := range evKeys {
+		if !slicesEqual(evKeys[i], nvKeys[i]) {
+			t.Fatalf("model %d: event %v, naive %v", i, evKeys[i], nvKeys[i])
+		}
+	}
+	if ev.Stats.StabilityChecks != nv.Stats.StabilityChecks {
+		t.Errorf("stability checks: event %d, naive %d", ev.Stats.StabilityChecks, nv.Stats.StabilityChecks)
+	}
+	if nv.Stats.QueuePushes != 0 || nv.Stats.SourceRepairs != 0 {
+		t.Errorf("naive mode used counter-engine queues: pushes=%d repairs=%d",
+			nv.Stats.QueuePushes, nv.Stats.SourceRepairs)
+	}
+	if ev.Stats.QueuePushes == 0 {
+		t.Error("event mode reported no queue pushes")
+	}
+}
+
+func slicesEqual(a, b []string) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
 }
 
 func TestCertainAtomsIncludedInModels(t *testing.T) {
@@ -404,22 +491,24 @@ func TestQuickSolverMatchesBruteForce(t *testing.T) {
 			}
 			gp.Rules = append(gp.Rules, r)
 		}
-		res, err := Solve(gp, Options{})
-		if err != nil {
-			return false
-		}
-		got := modelKeys(res)
 		want := bruteForce(gp)
-		if len(got) != len(want) {
-			return false
-		}
-		for i := range want {
-			if len(got[i]) != len(want[i]) {
+		for _, naive := range []bool{false, true} {
+			res, err := Solve(gp, Options{NaivePropagation: naive})
+			if err != nil {
 				return false
 			}
-			for j := range want[i] {
-				if got[i][j] != want[i][j] {
+			got := modelKeys(res)
+			if len(got) != len(want) {
+				return false
+			}
+			for i := range want {
+				if len(got[i]) != len(want[i]) {
 					return false
+				}
+				for j := range want[i] {
+					if got[i][j] != want[i][j] {
+						return false
+					}
 				}
 			}
 		}
@@ -475,5 +564,21 @@ give_notification(X) :- car_fire(X).
 	}
 	if m.Contains("traffic_jam(newcastle)") {
 		t.Error("spurious traffic jam")
+	}
+}
+
+// An inconsistent ground program engages no search: it must report the fast
+// path (so work-profile consumers don't count it as a residual window).
+func TestInconsistentProgramIsFastPath(t *testing.T) {
+	gp := groundSrc(t, `
+p.
+:- p.
+`)
+	res, err := Solve(gp, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Models) != 0 || !res.Stats.FastPath {
+		t.Errorf("models=%d fastpath=%v, want 0/true", len(res.Models), res.Stats.FastPath)
 	}
 }

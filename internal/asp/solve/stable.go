@@ -1,0 +1,316 @@
+// The reduct test: every total assignment the search reaches is verified
+// stable before it is emitted as an answer set. Both propagators (counter
+// engine and naive baseline) funnel their candidates through this one
+// check, which is why their answer sets are identical by construction.
+//
+// The check runs once per candidate, so its scratch (candidate bitmap,
+// reduct buffer, least-model counters and occurrence index) lives on the
+// solver and is reused across candidates, and the least model of a normal
+// reduct is computed by the same counter/worklist technique as the
+// propagator — one pass to build rule counters, then each derived atom
+// decrements the rules it feeds — instead of rescanning the reduct to a
+// fixpoint.
+package solve
+
+// prule is a reduct rule: a (possibly disjunctive) head and the positive
+// body that survived the reduct.
+type prule struct {
+	head []int
+	pos  []int
+}
+
+// stableScratch is the per-solver scratch reused by every stable() call.
+type stableScratch struct {
+	model     []bool
+	least     []bool
+	reduct    []prule
+	headArena []int // backing store for choice-derived singleton heads
+	cnt       []int32
+	occOff    []int32
+	occDat    []int32
+	queue     []int32
+}
+
+// stable verifies the candidate total assignment against the reduct: the
+// true atoms must form a minimal model of the reduct of the residual rules.
+func (s *solver) stable() bool {
+	n := len(s.ids)
+	st := &s.st
+	if st.model == nil {
+		st.model = make([]bool, n)
+		st.least = make([]bool, n)
+		arena := 0
+		for _, r := range s.rules {
+			if r.choice {
+				arena += len(r.head)
+			}
+		}
+		st.headArena = make([]int, 0, arena)
+	}
+	model := st.model
+	for a := 0; a < n; a++ {
+		model[a] = s.assign[a] == tru
+	}
+	// Build the reduct: drop rules with a true negative atom; drop negative
+	// literals otherwise. A choice rule {H} :- B contributes, for every head
+	// atom in the candidate, the definite rule a :- B+ (the "not not a" part
+	// of its definition is satisfied when a is in the candidate); its
+	// cardinality bounds are checked directly against the candidate. The
+	// head slices alias the solver's rules (or the preallocated arena for
+	// choice-derived singletons) — nothing is copied.
+	st.reduct = st.reduct[:0]
+	st.headArena = st.headArena[:0]
+	disjunctive := false
+	for i := range s.rules {
+		r := &s.rules[i]
+		blocked := false
+		for _, a := range r.neg {
+			if model[a] {
+				blocked = true
+				break
+			}
+		}
+		if blocked {
+			continue
+		}
+		if r.choice {
+			bodySat := true
+			for _, a := range r.pos {
+				if !model[a] {
+					bodySat = false
+					break
+				}
+			}
+			if bodySat {
+				inM := 0
+				for _, h := range r.head {
+					if model[h] {
+						inM++
+					}
+				}
+				if r.lo >= 0 && inM < r.lo {
+					return false
+				}
+				if r.hi >= 0 && inM > r.hi {
+					return false
+				}
+			}
+			for _, h := range r.head {
+				if model[h] {
+					st.headArena = append(st.headArena, h)
+					hd := st.headArena[len(st.headArena)-1:]
+					st.reduct = append(st.reduct, prule{head: hd[:1:1], pos: r.pos})
+				}
+			}
+			continue
+		}
+		st.reduct = append(st.reduct, prule{head: r.head, pos: r.pos})
+		if len(r.head) > 1 {
+			disjunctive = true
+		}
+	}
+	reduct := st.reduct
+
+	// Every candidate must at least be a model of the reduct.
+	for _, r := range reduct {
+		bodySat := true
+		for _, a := range r.pos {
+			if !model[a] {
+				bodySat = false
+				break
+			}
+		}
+		if !bodySat {
+			continue
+		}
+		headSat := false
+		for _, h := range r.head {
+			if model[h] {
+				headSat = true
+				break
+			}
+		}
+		if !headSat {
+			return false
+		}
+	}
+
+	if !disjunctive {
+		return s.leastModelMatches(model)
+	}
+	return s.minimalAmongSubsets(model)
+}
+
+// leastModelMatches computes the least model of the (normal) reduct with a
+// counter worklist — cnt[i] counts the positive body atoms of reduct rule i
+// not yet derived; a rule fires when it hits 0 — and compares it to the
+// candidate.
+func (s *solver) leastModelMatches(model []bool) bool {
+	n := len(s.ids)
+	st := &s.st
+	reduct := st.reduct
+	m := len(reduct)
+	if cap(st.cnt) < m {
+		st.cnt = make([]int32, m)
+	}
+	cnt := st.cnt[:m]
+	if cap(st.occOff) < n+1 {
+		st.occOff = make([]int32, n+1)
+	}
+	occOff := st.occOff[:n+1]
+	for a := range occOff {
+		occOff[a] = 0
+	}
+	least := st.least
+	for a := 0; a < n; a++ {
+		least[a] = false
+	}
+	// Only single-head rules drive the least model (constraints were already
+	// checked above); CSR-index their positive bodies by atom.
+	total := int32(0)
+	for i := range reduct {
+		if len(reduct[i].head) != 1 {
+			continue
+		}
+		for _, a := range reduct[i].pos {
+			occOff[a+1]++
+			total++
+		}
+	}
+	for a := 0; a < n; a++ {
+		occOff[a+1] += occOff[a]
+	}
+	if cap(st.occDat) < int(total) {
+		st.occDat = make([]int32, total)
+	}
+	occDat := st.occDat[:total]
+	fill := st.queue[:0]
+	if cap(fill) < n {
+		fill = make([]int32, 0, max(n, m))
+	}
+	next := fill[:n]
+	copy(next, occOff[:n])
+	for i := range reduct {
+		if len(reduct[i].head) != 1 {
+			continue
+		}
+		for _, a := range reduct[i].pos {
+			occDat[next[a]] = int32(i)
+			next[a]++
+		}
+	}
+	queue := next[:0]
+	for i := range reduct {
+		if len(reduct[i].head) != 1 {
+			continue
+		}
+		cnt[i] = int32(len(reduct[i].pos))
+		if cnt[i] == 0 {
+			queue = append(queue, int32(i))
+		}
+	}
+	for len(queue) > 0 {
+		ri := queue[len(queue)-1]
+		queue = queue[:len(queue)-1]
+		h := reduct[ri].head[0]
+		if least[h] {
+			continue
+		}
+		least[h] = true
+		for _, fed := range occDat[occOff[h]:occOff[h+1]] {
+			if cnt[fed]--; cnt[fed] == 0 {
+				queue = append(queue, fed)
+			}
+		}
+	}
+	st.queue = queue[:0]
+	for a := 0; a < n; a++ {
+		if model[a] != least[a] {
+			return false
+		}
+	}
+	return true
+}
+
+// minimalAmongSubsets handles the disjunctive case: search for a model of
+// the reduct that is a proper subset of the candidate. If none exists the
+// candidate is a minimal model of the reduct, hence an answer set.
+func (s *solver) minimalAmongSubsets(model []bool) bool {
+	reduct := s.st.reduct
+	var inM []int
+	for a := range model {
+		if model[a] {
+			inM = append(inM, a)
+		}
+	}
+	val := make(map[int]int8, len(inM))
+	var smaller func(i int) bool
+	consistent := func() (ok, complete, proper bool) {
+		complete, proper = true, false
+		for _, a := range inM {
+			switch val[a] {
+			case undef:
+				complete = false
+			case fls:
+				proper = true
+			}
+		}
+		for _, r := range reduct {
+			bodyTrue, bodyUndecided := true, false
+			for _, a := range r.pos {
+				if !model[a] {
+					bodyTrue = false
+					break // atom outside M is false in any submodel
+				}
+				switch val[a] {
+				case fls:
+					bodyTrue = false
+				case undef:
+					bodyUndecided = true
+				}
+				if !bodyTrue {
+					break
+				}
+			}
+			if !bodyTrue {
+				continue
+			}
+			headOK, headUndecided := false, false
+			for _, h := range r.head {
+				if !model[h] {
+					continue
+				}
+				switch val[h] {
+				case tru:
+					headOK = true
+				case undef:
+					headUndecided = true
+				}
+			}
+			if !headOK && !bodyUndecided && !headUndecided {
+				return false, complete, proper
+			}
+		}
+		return true, complete, proper
+	}
+	smaller = func(i int) bool {
+		ok, complete, proper := consistent()
+		if !ok {
+			return false
+		}
+		if i == len(inM) {
+			return complete && proper
+		}
+		a := inM[i]
+		for _, v := range []int8{fls, tru} {
+			val[a] = v
+			if smaller(i + 1) {
+				val[a] = undef
+				return true
+			}
+		}
+		val[a] = undef
+		return false
+	}
+	return !smaller(0)
+}

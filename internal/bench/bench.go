@@ -39,6 +39,35 @@ const ProgramPPrime = ProgramP + `
 traffic_jam(X) :- car_fire(X), many_cars(X).
 `
 
+// ProgramResidual is P extended with an incident-response layer that the
+// grounder cannot evaluate away: an even negation loop per traffic jam
+// (investigate/dismiss, pinned deterministic by the constraint), a tight
+// 1{..}1 dispatch choice per car fire, and three genuinely free even loops
+// over the health of the sensor, radar, and camera feeds, each gating its
+// own response rules. Every jam and fire atom in a window therefore
+// contributes residual rules the solver must propagate through, and the
+// free loops give each window exactly eight answer sets reached through a
+// real search tree (15 propagate calls per window) — the shape that
+// separates event-driven propagation from the rescan baseline, which
+// re-walks the whole program on every branch. Pair it with
+// workload.ResidualTraffic.
+const ProgramResidual = ProgramP + `
+investigate(X) :- traffic_jam(X), not dismiss(X).
+dismiss(X) :- traffic_jam(X), not investigate(X).
+:- dismiss(X).
+1 { dispatch(X) } 1 :- car_fire(X).
+escalate(X) :- dispatch(X), many_cars(X).
+sensors_degraded :- not sensors_ok.
+sensors_ok :- not sensors_degraded.
+recheck(X) :- investigate(X), sensors_degraded.
+radar_degraded :- not radar_ok.
+radar_ok :- not radar_degraded.
+manual_count(X) :- escalate(X), radar_degraded.
+camera_degraded :- not camera_ok.
+camera_ok :- not camera_degraded.
+patrol(X) :- dispatch(X), camera_degraded.
+`
+
 // Inpre is inpre(P) = inpre(P').
 var Inpre = []string{
 	"average_speed", "car_number", "traffic_light",

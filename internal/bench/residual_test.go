@@ -1,0 +1,197 @@
+package bench
+
+import (
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+	"testing"
+
+	"streamrule/internal/asp/ground"
+	"streamrule/internal/asp/parser"
+	"streamrule/internal/asp/solve"
+	"streamrule/internal/dfp"
+	"streamrule/internal/reasoner"
+	"streamrule/internal/workload"
+)
+
+// residualGround grounds ProgramResidual over a ResidualTraffic window and
+// returns the ground program the solver benchmarks re-solve.
+func residualGround(tb testing.TB, size int) *ground.Program {
+	tb.Helper()
+	prog, err := parser.Parse(ProgramResidual)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	inst, err := ground.NewInstantiator(prog, ground.Options{})
+	if err != nil {
+		tb.Fatal(err)
+	}
+	ar, err := dfp.InferArities(prog, Inpre)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	gen, err := workload.NewGenerator(int64(size), workload.ResidualTraffic())
+	if err != nil {
+		tb.Fatal(err)
+	}
+	ids, _ := dfp.InternFacts(inst.Table(), gen.Window(size), ar, nil)
+	gp, err := inst.Ground(ids)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	if len(gp.RuleIDs) == 0 {
+		tb.Fatal("residual workload grounded away — nothing for the solver to do")
+	}
+	return gp
+}
+
+// TestResidualWorkloadShape pins the premises of the residual benchmarks:
+// the workload leaves the solver a real residual program (hundreds of rules
+// at w2k), the solver leaves the fast path, both propagation engines return
+// the program's eight answer sets, and the counter engine visits at least 10x
+// fewer rules than the rescan baseline while agreeing on every model.
+func TestResidualWorkloadShape(t *testing.T) {
+	gp := residualGround(t, 2000)
+	if len(gp.RuleIDs) < 200 {
+		t.Errorf("residual rules = %d, want a substantial program (>= 200)", len(gp.RuleIDs))
+	}
+	worklist, err := solve.Solve(gp, solve.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	naive, err := solve.Solve(gp, solve.Options{NaivePropagation: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if worklist.Stats.FastPath || naive.Stats.FastPath {
+		t.Fatal("residual program took the fast path")
+	}
+	if len(worklist.Models) != 8 || len(naive.Models) != 8 {
+		t.Fatalf("models: worklist %d, naive %d, want 8 each", len(worklist.Models), len(naive.Models))
+	}
+	for i, m := range worklist.Models {
+		found := false
+		for _, n := range naive.Models {
+			if m.Equal(n) {
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Errorf("worklist model %d not among naive models", i)
+		}
+	}
+	if naive.Stats.RuleVisits < 10*worklist.Stats.RuleVisits {
+		t.Errorf("rule visits: naive %d vs worklist %d — event-driven propagation should visit >= 10x fewer rules",
+			naive.Stats.RuleVisits, worklist.Stats.RuleVisits)
+	}
+	if worklist.Stats.QueuePushes == 0 || worklist.Stats.SourceRepairs == 0 {
+		t.Errorf("counter engine idle: pushes=%d repairs=%d", worklist.Stats.QueuePushes, worklist.Stats.SourceRepairs)
+	}
+}
+
+// BenchmarkSolverResidual isolates the solver on the residual workload's
+// ground programs: the same program is re-solved per iteration, comparing
+// the counter/worklist engine against the NaivePropagation rescan baseline.
+// "rule-visits" is the per-op propagation work; the ratio between the two
+// variants is the headline of the event-driven rewrite.
+func BenchmarkSolverResidual(b *testing.B) {
+	for _, size := range []int{2000, 5000} {
+		gp := residualGround(b, size)
+		for _, variant := range []struct {
+			name string
+			opts solve.Options
+		}{
+			{"worklist", solve.Options{}},
+			{"naive", solve.Options{NaivePropagation: true}},
+		} {
+			b.Run(fmt.Sprintf("%s/w%dk", variant.name, size/1000), func(b *testing.B) {
+				b.ReportAllocs()
+				var visits, pushes, repairs float64
+				for i := 0; i < b.N; i++ {
+					res, err := solve.Solve(gp, variant.opts)
+					if err != nil {
+						b.Fatal(err)
+					}
+					if len(res.Models) != 8 {
+						b.Fatalf("models = %d", len(res.Models))
+					}
+					visits += float64(res.Stats.RuleVisits)
+					pushes += float64(res.Stats.QueuePushes)
+					repairs += float64(res.Stats.SourceRepairs)
+				}
+				b.ReportMetric(visits/float64(b.N), "rule-visits")
+				b.ReportMetric(pushes/float64(b.N), "queue-pushes")
+				b.ReportMetric(repairs/float64(b.N), "source-repairs")
+			})
+		}
+	}
+}
+
+// fig7ResidualBaselinePath holds the committed allocs/op snapshot of the
+// Fig7Residual R path (reasoner.R over ProgramResidual x ResidualTraffic at
+// w2k), the regression gate CI enforces.
+const fig7ResidualBaselinePath = "testdata/fig7residual_allocs.txt"
+
+// TestFig7ResidualAllocBudget fails when the Fig7Residual R path allocates
+// more than 10% above the committed baseline snapshot — the alloc-regression
+// gate for the residual solver. Regenerate the snapshot (after an intended
+// change) by running the test with UPDATE_RESIDUAL_BASELINE=1.
+func TestFig7ResidualAllocBudget(t *testing.T) {
+	if testing.Short() {
+		t.Skip("allocation benchmark: skipped in -short")
+	}
+	prog, err := parser.Parse(ProgramResidual)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := reasoner.Config{Program: prog, Inpre: Inpre}
+	r, err := reasoner.NewR(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gen, err := workload.NewGenerator(2000, workload.ResidualTraffic())
+	if err != nil {
+		t.Fatal(err)
+	}
+	window := gen.Window(2000)
+	// Warm the interning table and grounding scratch so the measurement is
+	// the steady-state per-window cost, as in the Fig7Residual benchmark.
+	for i := 0; i < 2; i++ {
+		if _, err := r.Process(window); err != nil {
+			t.Fatal(err)
+		}
+	}
+	res := testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := r.Process(window); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	got := res.AllocsPerOp()
+
+	if os.Getenv("UPDATE_RESIDUAL_BASELINE") != "" {
+		if err := os.WriteFile(fig7ResidualBaselinePath, []byte(fmt.Sprintf("%d\n", got)), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("baseline updated: %d allocs/op", got)
+		return
+	}
+	raw, err := os.ReadFile(fig7ResidualBaselinePath)
+	if err != nil {
+		t.Fatalf("missing baseline snapshot (run with UPDATE_RESIDUAL_BASELINE=1): %v", err)
+	}
+	baseline, err := strconv.ParseInt(strings.TrimSpace(string(raw)), 10, 64)
+	if err != nil {
+		t.Fatalf("corrupt baseline snapshot %q: %v", raw, err)
+	}
+	limit := baseline + baseline/10
+	if got > limit {
+		t.Errorf("Fig7Residual R/w2k allocates %d allocs/op, > committed baseline %d +10%% (%d)",
+			got, baseline, limit)
+	}
+	t.Logf("allocs/op: %d (baseline %d, limit %d)", got, baseline, limit)
+}

@@ -36,6 +36,23 @@ type Config struct {
 	// Ineligible adds a construct (choice rule or unstratified loop) that
 	// forces from-scratch grounding, exercising fallback paths.
 	Ineligible bool
+	// Residual appends a residual component that survives grounding and
+	// exercises the solver's search machinery end to end: per-predicate
+	// even negation loops pinned deterministic by integrity constraints, a
+	// tight 1{..}1 choice the bounds propagation must resolve, and one free
+	// propositional even loop. Unlike Ineligible (one random construct,
+	// fallback-focused), the residual component scales with the base
+	// program while keeping the answer-set count at exactly 2, so
+	// differential harnesses can compare full enumerations cheaply — even
+	// through a partitioned reasoner's combination cap.
+	Residual bool
+	// Disjunctive appends a genuinely disjunctive rule (unpinned head
+	// disjunction over a unary input), whose answer sets require the
+	// solver's minimal-model search. The answer-set count grows as 2^k with
+	// the distinct matching subjects, so pair it with a small constant
+	// universe and compare full enumerations only on unpartitioned
+	// reasoners.
+	Disjunctive bool
 	// Fresh is the share (0..1] of StreamFresh triples whose subject is a
 	// globally unique, never-repeating constant — the "timestamped" stream
 	// shape that grows an interning table without bound. 0 selects the
@@ -161,6 +178,30 @@ func New(r *rand.Rand, cfg Config) Program {
 			fmt.Fprintf(&b, "flip(X) :- %s(X), not flop(X).\n", uin[0])
 			fmt.Fprintf(&b, "flop(X) :- %s(X), not flip(X).\n", uin[0])
 		}
+	}
+	if cfg.Residual {
+		bases := []string{uin[r.Intn(len(uin))]}
+		if len(derived) > 0 {
+			bases = append(bases, derived[r.Intn(len(derived))])
+		}
+		for k, base := range bases {
+			// Even negation loop over base, pinned deterministic by the
+			// constraint: propagation alone must conclude keep and refute
+			// drop for every base atom.
+			fmt.Fprintf(&b, "keep%d(X) :- %s(X), not drop%d(X).\n", k, base, k)
+			fmt.Fprintf(&b, "drop%d(X) :- %s(X), not keep%d(X).\n", k, base, k)
+			fmt.Fprintf(&b, ":- drop%d(X).\n", k)
+		}
+		// A tight choice: lower == upper == 1 on a single head, so bounds
+		// propagation must pin it rather than search.
+		fmt.Fprintf(&b, "1 { act(X) } 1 :- keep0(X).\n")
+		// One genuinely free even loop doubles the answer sets (to exactly
+		// 2) and gives the search a real branch to take.
+		fmt.Fprintf(&b, "night :- not day.\nday :- not night.\n")
+		fmt.Fprintf(&b, "audit(X) :- act(X), night.\n")
+	}
+	if cfg.Disjunctive {
+		fmt.Fprintf(&b, "odd(X) | even(X) :- %s(X).\n", uin[r.Intn(len(uin))])
 	}
 	p.Src = b.String()
 	return p

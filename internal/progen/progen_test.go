@@ -7,6 +7,8 @@ import (
 	"streamrule/internal/asp/ground"
 	"streamrule/internal/asp/intern"
 	"streamrule/internal/asp/parser"
+	"streamrule/internal/asp/solve"
+	"streamrule/internal/dfp"
 )
 
 // Every generated program must parse, be safe, and respect the requested
@@ -21,6 +23,9 @@ func TestGeneratedProgramsParseAndClassify(t *testing.T) {
 		{"recursive", Config{Recursion: true}, true},
 		{"constraints", Config{Derived: 4, Constraints: true}, true},
 		{"ineligible", Config{Ineligible: true}, false},
+		{"residual", Config{Residual: true}, false},
+		{"residual-constraints", Config{Residual: true, Constraints: true}, false},
+		{"disjunctive", Config{Disjunctive: true}, false},
 	}
 	for _, tc := range cfgs {
 		for seed := int64(0); seed < 20; seed++ {
@@ -37,6 +42,47 @@ func TestGeneratedProgramsParseAndClassify(t *testing.T) {
 			if got := inst.SupportsIncremental(); got != tc.eligible {
 				t.Errorf("%s seed %d: SupportsIncremental = %v, want %v\n%s", tc.name, seed, got, tc.eligible, p.Src)
 			}
+		}
+	}
+}
+
+// Residual programs must leave rules for the solver (no fast path) and
+// have exactly two answer sets — the free even loop's two branches — no
+// matter what the stream contains. That bound is what lets differential
+// harnesses compare full enumerations, even through a partitioned
+// reasoner's combination cap.
+func TestResidualProgramsHaveTwoAnswerSets(t *testing.T) {
+	cfg := Config{Residual: true}
+	for seed := int64(0); seed < 10; seed++ {
+		rnd := rand.New(rand.NewSource(seed))
+		p := New(rnd, cfg)
+		prog, err := parser.Parse(p.Src)
+		if err != nil {
+			t.Fatalf("seed %d: parse: %v\n%s", seed, err, p.Src)
+		}
+		tab := intern.NewTable()
+		inst, err := ground.NewInstantiator(prog, ground.Options{Intern: tab})
+		if err != nil {
+			t.Fatalf("seed %d: instantiator: %v", seed, err)
+		}
+		window := p.Stream(rnd, cfg, 80)
+		ids, _ := dfp.InternFacts(tab, window, dfp.Arities(p.Arities), nil)
+		gp, err := inst.Ground(ids)
+		if err != nil {
+			t.Fatalf("seed %d: ground: %v", seed, err)
+		}
+		if len(gp.RuleIDs) == 0 {
+			t.Fatalf("seed %d: residual program grounded away (no residual rules)\n%s", seed, p.Src)
+		}
+		res, err := solve.Solve(gp, solve.Options{})
+		if err != nil {
+			t.Fatalf("seed %d: solve: %v", seed, err)
+		}
+		if res.Stats.FastPath {
+			t.Errorf("seed %d: residual program took the fast path", seed)
+		}
+		if len(res.Models) != 2 {
+			t.Errorf("seed %d: %d answer sets, want exactly 2\n%s", seed, len(res.Models), p.Src)
 		}
 	}
 }

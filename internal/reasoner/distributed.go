@@ -183,6 +183,7 @@ func NewDPR(cfg Config, part Partitioner, opts DPROptions) (*DPR, error) {
 		OutputPreds:       cfg.OutputPreds,
 		IncludeInputFacts: cfg.IncludeInputFacts,
 		MaxModels:         cfg.SolveOpts.MaxModels,
+		NaivePropagation:  cfg.SolveOpts.NaivePropagation,
 		MaxAtoms:          cfg.GroundOpts.MaxAtoms,
 		MemoryBudget:      dpr.budget,
 	}
@@ -282,10 +283,15 @@ func (dpr *DPR) process(window []rdf.Triple, scratch bool) (*Output, error) {
 	}
 
 	out.Incremental = len(results) > 0
+	// The aggregate is on the fast path only when every partition was.
+	out.SolveStats.FastPath = len(results) > 0
 	var maxTotal time.Duration
 	for _, res := range results {
 		if !res.Incremental {
 			out.Incremental = false
+		}
+		if !res.SolveStats.FastPath {
+			out.SolveStats.FastPath = false
 		}
 		if res.Latency.Total > maxTotal {
 			maxTotal = res.Latency.Total
@@ -303,9 +309,7 @@ func (dpr *DPR) process(window []rdf.Triple, scratch bool) (*Output, error) {
 		out.GroundStats.Rules += res.GroundStats.Rules
 		out.GroundStats.CertainFacts += res.GroundStats.CertainFacts
 		out.GroundStats.Iterations += res.GroundStats.Iterations
-		out.SolveStats.Choices += res.SolveStats.Choices
-		out.SolveStats.Propagations += res.SolveStats.Propagations
-		out.SolveStats.StabilityChecks += res.SolveStats.StabilityChecks
+		out.SolveStats.Add(res.SolveStats)
 	}
 
 	t0 = time.Now()

@@ -583,10 +583,15 @@ func (pr *PR) process(window []rdf.Triple, processPart func(*R, []rdf.Triple) (*
 		}
 	}
 	out.Incremental = len(results) > 0
+	// The aggregate is on the fast path only when every partition was.
+	out.SolveStats.FastPath = len(results) > 0
 	var maxTotal time.Duration
 	for _, res := range results {
 		if !res.Incremental {
 			out.Incremental = false
+		}
+		if !res.SolveStats.FastPath {
+			out.SolveStats.FastPath = false
 		}
 		if res.Latency.Total > maxTotal {
 			maxTotal = res.Latency.Total
@@ -604,9 +609,7 @@ func (pr *PR) process(window []rdf.Triple, processPart func(*R, []rdf.Triple) (*
 		out.GroundStats.Rules += res.GroundStats.Rules
 		out.GroundStats.CertainFacts += res.GroundStats.CertainFacts
 		out.GroundStats.Iterations += res.GroundStats.Iterations
-		out.SolveStats.Choices += res.SolveStats.Choices
-		out.SolveStats.Propagations += res.SolveStats.Propagations
-		out.SolveStats.StabilityChecks += res.SolveStats.StabilityChecks
+		out.SolveStats.Add(res.SolveStats)
 	}
 
 	t0 = time.Now()

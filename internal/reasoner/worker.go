@@ -41,7 +41,7 @@ func (h *WorkerHandler) NewSession(hello *transport.Hello) (transport.Session, e
 	if len(hello.Arities) > 0 {
 		cfg.Arities = dfp.Arities(hello.Arities)
 	}
-	cfg.SolveOpts = solve.Options{MaxModels: hello.MaxModels}
+	cfg.SolveOpts = solve.Options{MaxModels: hello.MaxModels, NaivePropagation: hello.NaivePropagation}
 	cfg.GroundOpts = ground.Options{MaxAtoms: hello.MaxAtoms}
 	if cfg.MemoryBudget <= 0 {
 		// Even without a budget the session owns a private table: sessions

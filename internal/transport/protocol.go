@@ -30,6 +30,10 @@ type Hello struct {
 	IncludeInputFacts bool
 	// MaxModels caps the answer sets computed per window (0 = all).
 	MaxModels int
+	// NaivePropagation selects the worker solver's legacy rescan propagator
+	// (see solve.Options.NaivePropagation), so the ablation covers remote
+	// partitions exactly like local ones.
+	NaivePropagation bool
 	// MaxAtoms aborts grounding beyond this many atoms (0 = no limit).
 	MaxAtoms int
 	// MemoryBudget bounds the worker's interning table: the worker reasoner

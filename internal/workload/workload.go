@@ -132,3 +132,33 @@ func PaperTraffic() []TripleSpec {
 		{Pred: "car_location", S: car, O: city},
 	}
 }
+
+// ResidualTraffic is the residual-solver workload: the paper's six input
+// predicates, retuned so that the incident-response rules of
+// bench.ProgramResidual leave a large residual program for the solver on
+// every window, with an adversarial partition skew the paper's uniform mix
+// never exhibits.
+//
+// Two levers differ from PaperTraffic. First, the rates are hostile to the
+// stratified fast path: cities are slower and more crowded (more
+// traffic_jam atoms), smoke is "high" half the time and cars crawl at 0-2
+// (more car_fire atoms), and every jam/fire atom drags its even-loop and
+// choice rules into the residual program. Second, the car-cluster
+// predicates carry 4x the weight of the city-cluster ones, so a
+// dependency-partitioned PR sees one partition receive ~80% of the window —
+// the skew stresses the critical-path accounting and the per-partition
+// solver exactly where random partitioning would hide it.
+func ResidualTraffic() []TripleSpec {
+	city := Entity("city", EntityDivisor)
+	// A denser car pool (half the entity spread) multiplies the
+	// smoke×speed×location joins that feed car_fire.
+	car := Entity("car", 2*EntityDivisor)
+	return []TripleSpec{
+		{Pred: "average_speed", S: city, O: NumRange(0, 40)},
+		{Pred: "car_number", S: city, O: NumRange(20, 80)},
+		{Pred: "traffic_light", S: city},
+		{Pred: "car_in_smoke", S: car, O: Choice("high", "high", "low", "none"), Weight: 4},
+		{Pred: "car_speed", S: car, O: NumRange(0, 3), Weight: 4},
+		{Pred: "car_location", S: car, O: city, Weight: 4},
+	}
+}

@@ -173,3 +173,28 @@ func TestQuickWindowWellFormed(t *testing.T) {
 		t.Error(err)
 	}
 }
+
+// ResidualTraffic must skew the window adversarially toward the car-cluster
+// predicates (~80% of items) while still producing triples of every input
+// predicate — the partition-imbalance shape the residual benchmarks stress.
+func TestResidualTrafficSkew(t *testing.T) {
+	g, err := NewGenerator(3, ResidualTraffic())
+	if err != nil {
+		t.Fatal(err)
+	}
+	const n = 30000
+	counts := map[string]int{}
+	for _, tr := range g.Window(n) {
+		counts[tr.P]++
+	}
+	carCluster := counts["car_in_smoke"] + counts["car_speed"] + counts["car_location"]
+	if share := float64(carCluster) / n; share < 0.75 || share > 0.85 {
+		t.Errorf("car-cluster share = %.3f, want ~0.8 (weights 4:1)", share)
+	}
+	for _, pred := range []string{"average_speed", "car_number", "traffic_light",
+		"car_in_smoke", "car_speed", "car_location"} {
+		if counts[pred] == 0 {
+			t.Errorf("predicate %s never generated", pred)
+		}
+	}
+}

@@ -74,6 +74,14 @@ func (p *Program) Analyze(resolution float64) (*core.Analysis, error) {
 // entries, rotations, cumulative remap time).
 type MemoryStats = reasoner.MemoryStats
 
+// SolveStats is the solver's per-window work profile (Output.SolveStats):
+// whether the window rode the stratified fast path, and — for residual
+// windows — branching decisions, propagated assignments, stability checks,
+// rules visited by propagation, worklist pushes, and support-source
+// repairs. The rule-visit count is the headline metric of the solver's
+// event-driven propagation engine; compare it against WithNaivePropagation.
+type SolveStats = solve.Stats
+
 // options carries the functional options of the engine constructors.
 type options struct {
 	outputs          []string
@@ -83,6 +91,7 @@ type options struct {
 	maxModels        int
 	atomFanout       int
 	memoryBudget     int
+	naivePropagation bool
 	stragglerTimeout time.Duration
 }
 
@@ -130,6 +139,17 @@ func WithMemoryBudget(maxAtoms int) Option {
 	return func(o *options) { o.memoryBudget = maxAtoms }
 }
 
+// WithNaivePropagation selects the solver's legacy rescan-to-fixpoint
+// propagator instead of the counter/worklist engine — the ablation baseline
+// the residual benchmarks compare against. The full answer-set enumeration
+// is identical either way; only the work profile (Output.SolveStats)
+// differs. Under WithMaxModels the engines may return different subsets of
+// that enumeration, because they branch in different orders. There is no
+// reason to set this outside benchmarks and differential tests.
+func WithNaivePropagation() Option {
+	return func(o *options) { o.naivePropagation = true }
+}
+
 // WithAtomPartitioning enables the atom-level extension (the paper's §VI
 // future work): communities whose rules join on a single key are further
 // hash-split into m sub-partitions by key value, multiplying parallelism
@@ -156,6 +176,7 @@ func (p *Program) config(o options) reasoner.Config {
 		}
 	}
 	cfg.SolveOpts.MaxModels = o.maxModels
+	cfg.SolveOpts.NaivePropagation = o.naivePropagation
 	cfg.MemoryBudget = o.memoryBudget
 	return cfg
 }
