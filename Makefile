@@ -1,0 +1,16 @@
+# Convenience targets — everything here also runs through plain go commands.
+
+.PHONY: test race bench6
+
+test:
+	go build ./... && go test ./...
+
+race:
+	go test -race ./internal/transport ./internal/reasoner
+
+# bench6 snapshots the wire-path perf trajectory (critical-path ms, request/
+# response bytes per window, rounds, pipeline depth) for Fig7 and Fig7Residual
+# across R, PR_Dep, serial DPR, and pipelined DPR into BENCH_6.json.
+BENCH6_OUT ?= $(CURDIR)/BENCH_6.json
+bench6:
+	BENCH6_OUT=$(BENCH6_OUT) go test ./internal/bench -run TestWireBenchArtifact -count=1 -v

@@ -48,6 +48,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 	worker := fs.String("worker", "", "serve as a reasoning worker on this address (host:port) instead of running a pipeline")
 	workers := fs.String("workers", "", "comma-separated worker addresses; selects the distributed reasoner DPR")
 	straggler := fs.Duration("straggler", 0, "with -workers: per-window worker timeout before local fallback (default 10s)")
+	inflight := fs.Int("inflight", 1, "with -workers: pipeline depth — windows in flight per worker session (1 = lockstep)")
 	atom := fs.Int("atom", 0, "with -mode PR: atom-level fan-out per splittable community (0 = predicate level)")
 	window := fs.Int("window", 5000, "tuple-based window size")
 	step := fs.Int("step", 0, "sliding step (< window makes the count window sliding; the engine then grounds incrementally)")
@@ -131,6 +132,9 @@ func run(args []string, stdout, stderr io.Writer) int {
 		}
 		if *straggler > 0 {
 			opts = append(opts, streamrule.WithStragglerTimeout(*straggler))
+		}
+		if *inflight > 1 {
+			opts = append(opts, streamrule.WithMaxInFlight(*inflight))
 		}
 		var de *streamrule.DistributedEngine
 		de, err = streamrule.NewDistributedEngine(prog, addrs, opts...)
@@ -241,6 +245,12 @@ func run(args []string, stdout, stderr io.Writer) int {
 		fmt.Fprintf(stdout, "transport: remote=%d fallback=%d redials=%d sent=%dB recv=%dB dict-hit=%.1f%% worker-rotations=%d\n",
 			ts.RemoteWindows, ts.LocalFallbacks, ts.Redials, ts.BytesSent, ts.BytesReceived,
 			100*ts.DictHitRate(), ts.WorkerRotations)
+		if ts.Windows > 0 {
+			fmt.Fprintf(stdout, "wire: rounds=%d req-bytes/win=%d resp-bytes/win=%d req-dict-hit=%.1f%% resp-dict-hit=%.1f%% mean-inflight=%.2f full=%d delta=%d\n",
+				ts.Rounds, ts.BytesSent/ts.Windows, ts.BytesReceived/ts.Windows,
+				100*ts.ReqDictHitRate(), 100*ts.DictHitRate(), ts.MeanInFlight(),
+				ts.FullPartWindows, ts.DeltaPartWindows)
+		}
 	}
 	return 0
 }

@@ -23,6 +23,20 @@ func WithStragglerTimeout(d time.Duration) Option {
 	return func(o *options) { o.stragglerTimeout = d }
 }
 
+// WithMaxInFlight sets the distributed engine's pipeline depth: up to n
+// windows may be submitted-but-unanswered per worker session, overlapping
+// the shipping and partitioning of window n+1 with the remote grounding and
+// solving of window n. Depth 1 (the default) is the classic request/
+// response lockstep. Results always surface in window order, answers are
+// identical at every depth; only latency differs. The Pipeline drives a
+// deeper engine through Submit/Collect automatically. Sizing: 2 hides the
+// coordinator's partition+ship time behind remote compute, which is all
+// there is to win on a single stream; deeper only pays when wire latency
+// exceeds per-window compute.
+func WithMaxInFlight(n int) Option {
+	return func(o *options) { o.maxInFlight = n }
+}
+
 // DistributedEngine is the sharded parallel reasoner DPR: the partitioning
 // and combining handlers of ParallelEngine with the k reasoner copies
 // running on remote workers (one session per partition, assigned
@@ -61,6 +75,7 @@ func NewDistributedEngine(p *Program, workers []string, opts ...Option) (*Distri
 		Workers:          workers,
 		ProgramSource:    p.Source(),
 		StragglerTimeout: o.stragglerTimeout,
+		MaxInFlight:      o.maxInFlight,
 	})
 	if err != nil {
 		return nil, err
@@ -86,6 +101,23 @@ func (e *DistributedEngine) Reason(window []Triple) (*Output, error) { return e.
 func (e *DistributedEngine) ReasonDelta(window []Triple, d *Delta) (*Output, error) {
 	return e.dpr.ProcessDelta(window, d)
 }
+
+// Submit ships one window into the engine's pipeline without waiting for
+// its result; Collect returns results strictly in submission order. A nil
+// delta forces from-scratch processing (mirroring ReasonDelta). Submit
+// fails when PipelineDepth windows are already in flight.
+func (e *DistributedEngine) Submit(window []Triple, d *Delta) error {
+	return e.dpr.Submit(window, d)
+}
+
+// Collect blocks for the oldest in-flight window's result.
+func (e *DistributedEngine) Collect() (*Output, error) { return e.dpr.Collect() }
+
+// InFlight returns the number of submitted windows not yet collected.
+func (e *DistributedEngine) InFlight() int { return e.dpr.InFlight() }
+
+// PipelineDepth returns the configured WithMaxInFlight depth (≥ 1).
+func (e *DistributedEngine) PipelineDepth() int { return e.dpr.MaxInFlight() }
 
 // Stats returns the engine's memory metrics; MemoryStats.Transport
 // additionally carries the wire metrics (bytes shipped, dictionary hit

@@ -133,6 +133,13 @@ type WireEncoder struct {
 	// MaxEntries bounds the dictionary; exceeding it at Begin resets the
 	// session (generation bump). 0 means DefaultMaxDictEntries.
 	MaxEntries int
+
+	// refs/shipped mirror the decoder-side counters for encoders used on the
+	// request path (RawSym), where the hit rate is naturally measured at the
+	// encoding end: refs counts symbol references encoded, shipped counts the
+	// dictionary entries that had to travel in deltas.
+	refs    int64
+	shipped int64
 }
 
 // NewWireEncoder returns an empty encoder at generation 1.
@@ -180,6 +187,37 @@ func (e *WireEncoder) Begin(tab *Table) {
 		e.termCache = make(map[uint32]uint32)
 	}
 }
+
+// BeginRaw prepares the encoder for one raw-symbol message (the request
+// path: triples travel as dictionary symbol indexes, no interning table is
+// involved). Like Begin it resets the dictionary — bumping the generation —
+// when MaxEntries is exceeded; unlike Begin it binds no table, so only
+// RawSym may be used until the next Flush.
+func (e *WireEncoder) BeginRaw() {
+	max := e.MaxEntries
+	if max <= 0 {
+		max = DefaultMaxDictEntries
+	}
+	if e.Entries() > max {
+		e.gen++
+		e.reset()
+	}
+}
+
+// RawSym interns a bare string into the session dictionary and returns its
+// wire index — the request-path encoding primitive (each triple is three
+// RawSym indexes). New strings are queued for the next Flush's delta.
+func (e *WireEncoder) RawSym(name string) uint32 {
+	e.refs++
+	return e.wireSym(name)
+}
+
+// Refs returns the number of symbol references encoded through RawSym.
+func (e *WireEncoder) Refs() int64 { return e.refs }
+
+// Shipped returns the number of dictionary entries flushed into deltas. The
+// request-side dictionary hit rate is 1 - Shipped/Refs.
+func (e *WireEncoder) Shipped() int64 { return e.shipped }
 
 // wireSym interns a symbol string into the session dictionary.
 func (e *WireEncoder) wireSym(name string) uint32 {
@@ -316,6 +354,7 @@ func (e *WireEncoder) Flush() DictDelta {
 		Terms:     e.pendTerms,
 	}
 	e.pendSyms, e.pendPreds, e.pendTerms = nil, nil, nil
+	e.shipped += int64(d.Entries())
 	return d
 }
 
@@ -450,6 +489,18 @@ func (d *WireDecoder) checkArgRef(a uint64) error {
 		}
 	}
 	return nil
+}
+
+// SymName resolves a wire symbol index to its authoritative string — the
+// request-path decoding primitive, usable on a decoder without a local table
+// (NewWireDecoder(nil)): raw triples decode to strings, never to interned
+// IDs.
+func (d *WireDecoder) SymName(w uint64) (string, error) {
+	if w >= uint64(len(d.syms)) {
+		return "", fmt.Errorf("intern: wire symbol %d out of range [0,%d)", w, len(d.syms))
+	}
+	d.refs++
+	return d.syms[w].name, nil
 }
 
 func (d *WireDecoder) localSym(w uint64) (SymID, error) {

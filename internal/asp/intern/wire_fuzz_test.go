@@ -1,0 +1,89 @@
+package intern
+
+import (
+	"fmt"
+	"testing"
+)
+
+// FuzzWireDeltaRoundTrip drives the request-path wire dictionary (BeginRaw/
+// RawSym/Flush on the encoder, Apply/SymName on the decoder) through
+// arbitrary window sequences and checks the session contract: every encoded
+// symbol decodes back to the exact string, the mirrored dictionary tracks
+// the encoder's size and generation — including across forced generation
+// resets under a tiny MaxEntries — and replaying a non-empty delta is
+// detected as a desync instead of decoding garbage.
+func FuzzWireDeltaRoundTrip(f *testing.F) {
+	f.Add([]byte("\x00\x05\x01\x02\x03\x04\x05\x03\x01\x02\x06"))
+	f.Add([]byte("\x07aaaabbbbccccdddd\x04eeee\x04ffff"))
+	f.Add([]byte{3, 2, 200, 201, 2, 200, 202, 2, 203, 204, 1, 205})
+	f.Add([]byte("\x01\x0c repeating vocabulary repeating"))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if len(data) == 0 {
+			return
+		}
+		enc := NewWireEncoder()
+		// Byte 0 selects the dictionary bound: 0 keeps the default, anything
+		// else forces a tiny bound so generation resets actually happen.
+		if sel := data[0]; sel != 0 {
+			enc.MaxEntries = int(sel)%24 + 2
+		}
+		data = data[1:]
+		dec := NewWireDecoder(nil)
+
+		lastGen := uint32(0)
+		var lastDelta DictDelta
+		for len(data) > 0 {
+			n := int(data[0])%12 + 1
+			data = data[1:]
+			if n > len(data) {
+				n = len(data)
+			}
+			names := make([]string, n)
+			for i := 0; i < n; i++ {
+				names[i] = fmt.Sprintf("s%d", data[i])
+			}
+			data = data[n:]
+
+			enc.BeginRaw()
+			words := make([]uint64, n)
+			for i, name := range names {
+				words[i] = uint64(enc.RawSym(name))
+			}
+			delta := enc.Flush()
+			if delta.Gen < lastGen {
+				t.Fatalf("generation went backwards: %d after %d", delta.Gen, lastGen)
+			}
+			lastGen = delta.Gen
+			if err := dec.Apply(&delta); err != nil {
+				t.Fatalf("honest delta rejected: %v", err)
+			}
+			if dec.Entries() != enc.Entries() {
+				t.Fatalf("mirror holds %d entries, encoder %d", dec.Entries(), enc.Entries())
+			}
+			for i, w := range words {
+				got, err := dec.SymName(w)
+				if err != nil {
+					t.Fatalf("SymName(%d): %v", w, err)
+				}
+				if got != names[i] {
+					t.Fatalf("word %d decoded to %q, want %q", w, got, names[i])
+				}
+			}
+			// Out-of-range indexes must error, never alias.
+			if _, err := dec.SymName(uint64(dec.Entries())); err == nil {
+				t.Fatal("SymName accepted an index past the mirror")
+			}
+			lastDelta = delta
+		}
+		if enc.Shipped() > enc.Refs() {
+			t.Fatalf("shipped %d entries on %d references", enc.Shipped(), enc.Refs())
+		}
+		// A duplicated (replayed) non-empty delta no longer matches the
+		// mirror's base sizes: the decoder must flag the desync.
+		if !lastDelta.Empty() {
+			if err := dec.Apply(&lastDelta); err == nil {
+				t.Fatal("replayed delta was accepted; desync undetected")
+			}
+		}
+	})
+}

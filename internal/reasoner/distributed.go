@@ -1,6 +1,11 @@
 // Coordinator side of the distributed reasoner: DPR ships each window's
 // partitions to remote workers over internal/transport and re-interns the
-// wire-form answers through cached per-worker dictionaries.
+// wire-form answers through cached per-worker dictionaries. The wire path
+// is symmetric and pipelined: requests travel as dictionary-coded deltas
+// against the previously shipped window (a coordinator→worker WireEncoder
+// mirrors the worker→coordinator answer dictionaries), and up to
+// MaxInFlight windows may be outstanding per session (Submit/Collect),
+// overlapping shipping with remote grounding and solving.
 
 package reasoner
 
@@ -18,26 +23,33 @@ import (
 // DPROptions configures the distributed parallel reasoner.
 type DPROptions struct {
 	// Workers lists worker addresses (host:port). Partitions are assigned
-	// round-robin: partition i opens its session against
-	// Workers[i mod len(Workers)], so one worker process may host several
-	// partition sessions.
+	// round-robin: partition i belongs to Workers[i mod len(Workers)], and
+	// each distinct worker gets ONE session hosting all of its partitions
+	// (the worker reasons over them in parallel and combines their answers
+	// before responding).
 	Workers []string
 	// ProgramSource is the ASP program text shipped to workers in the
 	// session handshake (workers are program-agnostic; reasoner.Config
 	// holds only the parsed form).
 	ProgramSource string
 	// StragglerTimeout bounds one remote round (ship window, reason,
-	// receive answers). A partition that misses it is processed locally
-	// and its session is redialed for the next window. 0 = 10s.
+	// receive answers). A session that misses it is processed locally
+	// and redialed for the next window. 0 = 10s.
 	StragglerTimeout time.Duration
 	// DialTimeout bounds session establishment (0 = transport default).
 	DialTimeout time.Duration
 	// MaxFrame bounds a protocol frame (0 = transport.DefaultMaxFrame).
 	MaxFrame int
+	// MaxInFlight bounds the number of submitted-but-uncollected windows
+	// per session (0 or 1 = strict lockstep, the pre-pipelining behavior).
+	// Depth d overlaps the shipping and partitioning of window n+1 with
+	// the remote compute of windows n-d+2..n; Collect still yields windows
+	// strictly in submission order.
+	MaxInFlight int
 }
 
 // TransportStats aggregates the distributed reasoner's wire metrics across
-// all partition sessions since construction.
+// all worker sessions since construction.
 type TransportStats struct {
 	// RemoteWindows counts partition windows answered by a worker;
 	// LocalFallbacks counts partition windows processed locally because the
@@ -50,19 +62,36 @@ type TransportStats struct {
 	// redials included.
 	BytesSent, BytesReceived int64
 	// DictRefs counts symbol/predicate/term references resolved through the
-	// per-worker dictionaries while decoding answers; DictShipped counts
-	// the dictionary entries that had to be shipped in deltas. Their ratio
-	// is the dictionary hit rate — on a repeating vocabulary it approaches
-	// 1 because every symbol crosses the wire exactly once.
+	// per-worker response dictionaries while decoding answers; DictShipped
+	// counts the dictionary entries that had to be shipped in deltas. Their
+	// ratio is the response-side dictionary hit rate — on a repeating
+	// vocabulary it approaches 1 because every symbol crosses the wire
+	// exactly once.
 	DictRefs, DictShipped int64
+	// ReqDictRefs/ReqDictShipped are the request-side counterparts: symbol
+	// references encoded into requests vs dictionary entries shipped in
+	// request deltas (the coordinator→worker dictionary).
+	ReqDictRefs, ReqDictShipped int64
+	// Rounds counts worker requests shipped; Windows counts windows
+	// processed (Collect completions). Bytes-per-window headline numbers
+	// are BytesSent/Windows and BytesReceived/Windows.
+	Rounds, Windows int64
+	// FullPartWindows/DeltaPartWindows split the shipped partition windows
+	// by payload form: complete sub-windows vs deltas against the previous
+	// one.
+	FullPartWindows, DeltaPartWindows int64
+	// InFlightSum accumulates, over all rounds, the session's in-flight
+	// depth right after the submit — InFlightSum/Rounds is the mean
+	// pipeline occupancy (1.0 = lockstep).
+	InFlightSum int64
 	// WorkerRotations sums the table rotations last reported by each live
 	// worker session, and WorkerLiveAtoms their live interned atoms — the
 	// remote counterpart of MemoryStats.Table for budget sizing.
 	WorkerRotations, WorkerLiveAtoms int64
 }
 
-// DictHitRate returns the fraction of dictionary references served without
-// shipping a new entry (0 when nothing was decoded yet).
+// DictHitRate returns the fraction of response-side dictionary references
+// served without shipping a new entry (0 when nothing was decoded yet).
 func (s TransportStats) DictHitRate() float64 {
 	if s.DictRefs == 0 {
 		return 0
@@ -70,18 +99,50 @@ func (s TransportStats) DictHitRate() float64 {
 	return 1 - float64(s.DictShipped)/float64(s.DictRefs)
 }
 
-// partitionSession is one partition's remote leg: a transport client plus
-// the session's dictionary decoder. Counters of dead clients/decoders are
-// folded into the accumulators on replacement so session totals survive
-// redials.
-type partitionSession struct {
-	addr   string
+// ReqDictHitRate returns the request-side dictionary hit rate: the fraction
+// of encoded symbol references that did not require shipping a dictionary
+// entry (0 when nothing was encoded yet).
+func (s TransportStats) ReqDictHitRate() float64 {
+	if s.ReqDictRefs == 0 {
+		return 0
+	}
+	return 1 - float64(s.ReqDictShipped)/float64(s.ReqDictRefs)
+}
+
+// MeanInFlight returns the mean pipeline depth observed at submit time
+// (1.0 under lockstep; approaches MaxInFlight when the pipeline stays
+// full).
+func (s TransportStats) MeanInFlight() float64 {
+	if s.Rounds == 0 {
+		return 0
+	}
+	return float64(s.InFlightSum) / float64(s.Rounds)
+}
+
+// dprSession is one worker's leg of the reasoner: a transport client, the
+// response-dictionary decoder, the request-dictionary encoder, and the
+// delta bases of the partitions it hosts. Counters of dead clients and
+// dictionaries are folded into the accumulators on replacement so session
+// totals survive redials.
+type dprSession struct {
+	addr  string
+	parts []int // global partition indexes hosted by this session
+
 	client *transport.Client
 	dec    *intern.WireDecoder
+	reqEnc *intern.WireEncoder
 
-	accSent, accRecv       int64
-	accRefs, accShipped    int64
-	redials, remote, local int64
+	// base holds the last successfully submitted sub-window per hosted
+	// partition (parallel to parts); baseValid marks the delta chain
+	// intact. Any failure — submit, await, desync — invalidates it, and
+	// the next request ships full windows over a fresh session.
+	base      [][]rdf.Triple
+	baseValid bool
+
+	accSent, accRecv          int64
+	accRefs, accShipped       int64
+	accReqRefs, accReqShipped int64
+	redials, remote, local    int64
 	// Last worker-side table snapshot seen in a response.
 	workerRotations, workerLiveAtoms int64
 	// Dial backoff: after a failed dial the session is skipped (immediate
@@ -92,9 +153,9 @@ type partitionSession struct {
 	retryAt   time.Time
 }
 
-// retire folds the live client/decoder counters into the accumulators and
-// drops the connection.
-func (ps *partitionSession) retire() {
+// retire folds the live client/dictionary counters into the accumulators,
+// drops the connection, and invalidates the delta bases.
+func (ps *dprSession) retire() {
 	if ps.client != nil {
 		ps.accSent += ps.client.BytesSent()
 		ps.accRecv += ps.client.BytesReceived()
@@ -106,42 +167,82 @@ func (ps *partitionSession) retire() {
 		ps.accShipped += ps.dec.Shipped()
 		ps.dec = nil
 	}
+	if ps.reqEnc != nil {
+		ps.accReqRefs += ps.reqEnc.Refs()
+		ps.accReqShipped += ps.reqEnc.Shipped()
+		ps.reqEnc = nil
+	}
+	ps.baseValid = false
+}
+
+// pendingWindow is one submitted-but-uncollected window: everything Collect
+// needs to finish it — the partitioned triples (for local fallback), the
+// submit-time latencies, and which sessions a request actually reached.
+type pendingWindow struct {
+	start        time.Time
+	scratch      bool
+	parts        [][]rdf.Triple
+	partitionLat time.Duration
+	skipped      int
+	legs         []pendingLeg
+}
+
+// pendingLeg records one session's submit outcome. client pins the exact
+// client the request went out on: if the session redialed in the meantime,
+// the response belongs to a dead stream and the leg falls back locally.
+type pendingLeg struct {
+	submitted bool
+	client    *transport.Client
 }
 
 // DPR is the distributed parallel reasoner: the partitioning and combining
 // handlers of PR with the k reasoner copies running on remote workers. Each
-// partition holds one session against a worker; windows are shipped as
-// plain triples and answers come back in portable wire form, re-interned
-// into the coordinator's table through a cached per-worker dictionary so a
-// steady-state window ships only symbols never seen before.
+// worker holds one session hosting all of its partitions; windows ship as
+// dictionary-coded deltas (a steady-state sliding window costs a few
+// hundred bytes, not a re-serialization of the window) and answers come
+// back worker-combined in portable wire form, re-interned into the
+// coordinator's table through a cached per-worker dictionary.
 //
 // Every partition also keeps a local fallback reasoner: when a session is
-// down, times out (straggler), or desynchronizes, the partition is
+// down, times out (straggler), or desynchronizes, its partitions are
 // processed in-process for that window — answers are identical either way,
 // only latency differs — and the session is redialed behind the scenes.
 // Workers run with the configured MemoryBudget (each session owns a
 // private, rotating table); the coordinator applies the same budget to its
 // own answer table.
+//
+// Beyond the classic Process/ProcessDelta lockstep, DPR exposes the
+// pipelined pair Submit/Collect: up to MaxInFlight windows may be in
+// flight, and Collect yields their outputs strictly in submission order.
+// DPR is not safe for concurrent use.
 type DPR struct {
 	part Partitioner
 	opts DPROptions
 
 	tab      *intern.Table
 	locals   []*R
-	sessions []*partitionSession
+	sessions []*dprSession
+	pending  []*pendingWindow
 
-	// MaxCombinations caps the answer-set cross product (see PR).
+	// MaxCombinations caps the answer-set cross product (see PR). It is
+	// also shipped to workers (at dial time) for the worker-side combine.
 	MaxCombinations int
 
 	budget  int
 	liveBuf []intern.AtomID
 	hello   transport.Hello
+	diffBuf map[rdf.Triple]int
+
+	rounds, windows       int64
+	fullParts, deltaParts int64
+	inFlightSum           int64
 }
 
-// NewDPR builds a distributed reasoner: one partition session per partition
-// of the plan, assigned round-robin over the worker addresses. Construction
-// fails when no worker is reachable (a partially reachable fleet degrades
-// to local fallback per partition instead).
+// NewDPR builds a distributed reasoner: partitions are assigned round-robin
+// over the worker addresses and each distinct worker gets one session
+// hosting its partitions. Construction fails when no worker is reachable (a
+// partially reachable fleet degrades to local fallback per session
+// instead).
 func NewDPR(cfg Config, part Partitioner, opts DPROptions) (*DPR, error) {
 	if part == nil {
 		return nil, fmt.Errorf("reasoner: nil partitioner")
@@ -188,13 +289,21 @@ func NewDPR(cfg Config, part Partitioner, opts DPROptions) (*DPR, error) {
 		MemoryBudget:      dpr.budget,
 	}
 
+	// Group partitions by worker: partition i → worker i mod W, one
+	// session per worker actually used.
+	w := len(opts.Workers)
+	for wi := 0; wi < w && wi < n; wi++ {
+		ps := &dprSession{addr: opts.Workers[wi]}
+		for p := wi; p < n; p += w {
+			ps.parts = append(ps.parts, p)
+		}
+		dpr.sessions = append(dpr.sessions, ps)
+	}
 	reachable := false
-	for i := 0; i < n; i++ {
-		ps := &partitionSession{addr: opts.Workers[i%len(opts.Workers)]}
+	for _, ps := range dpr.sessions {
 		if err := dpr.dial(ps); err == nil {
 			reachable = true
 		}
-		dpr.sessions = append(dpr.sessions, ps)
 	}
 	if !reachable {
 		dpr.Close()
@@ -204,76 +313,254 @@ func NewDPR(cfg Config, part Partitioner, opts DPROptions) (*DPR, error) {
 	return dpr, nil
 }
 
-// dial (re-)establishes one partition session with a fresh dictionary.
-func (dpr *DPR) dial(ps *partitionSession) error {
+// dial (re-)establishes one worker session with fresh dictionaries on both
+// directions (the worker's session state is new, so the request dictionary
+// replays from scratch and the first request ships full windows).
+func (dpr *DPR) dial(ps *dprSession) error {
 	ps.retire()
 	hello := dpr.hello
+	hello.Partitions = len(ps.parts)
+	hello.MaxCombinations = dpr.MaxCombinations
 	c, err := transport.Dial(ps.addr, &hello, transport.ClientOptions{
 		DialTimeout: dpr.opts.DialTimeout,
 		MaxFrame:    dpr.opts.MaxFrame,
+		MaxInFlight: dpr.opts.MaxInFlight,
 	})
 	if err != nil {
 		return err
 	}
 	ps.client = c
 	ps.dec = intern.NewWireDecoder(dpr.tab)
+	ps.reqEnc = intern.NewWireEncoder()
+	ps.base = make([][]rdf.Triple, len(ps.parts))
+	ps.baseValid = false
 	return nil
 }
 
-// NumPartitions returns the number of partitions (= sessions).
+// NumPartitions returns the number of partitions.
 func (dpr *DPR) NumPartitions() int { return len(dpr.locals) }
 
-// Close tears down every partition session. The DPR must not be used
+// MaxInFlight returns the configured pipeline depth (≥ 1).
+func (dpr *DPR) MaxInFlight() int {
+	if dpr.opts.MaxInFlight < 1 {
+		return 1
+	}
+	return dpr.opts.MaxInFlight
+}
+
+// InFlight returns the number of submitted windows not yet collected.
+func (dpr *DPR) InFlight() int { return len(dpr.pending) }
+
+// Close tears down every worker session. The DPR must not be used
 // afterwards.
 func (dpr *DPR) Close() {
 	for _, ps := range dpr.sessions {
 		ps.retire()
 	}
+	dpr.pending = nil
 }
 
 // Process partitions the window, reasons over the partitions on the
 // workers (grounding from scratch), and combines the answers.
 func (dpr *DPR) Process(window []rdf.Triple) (*Output, error) {
-	return dpr.process(window, true)
+	return dpr.roundTrip(window, true)
 }
 
 // ProcessDelta is the incremental Process for overlapping windows: each
-// worker session maintains its partition's grounding across windows,
-// deriving its own partition-level delta (stream deltas cannot be routed
-// through duplicating partitioners — same reasoning as PR.ProcessDelta).
-// A nil delta degrades to the from-scratch Process.
+// worker session maintains its partitions' groundings across windows, fed
+// by the per-partition deltas the coordinator derives against the
+// previously shipped window (stream deltas cannot be routed through
+// duplicating partitioners — same reasoning as PR.ProcessDelta). A nil
+// delta degrades to the from-scratch Process.
 func (dpr *DPR) ProcessDelta(window []rdf.Triple, d *Delta) (*Output, error) {
 	if d == nil {
 		return dpr.Process(window)
 	}
-	return dpr.process(window, false)
+	return dpr.roundTrip(window, false)
 }
 
-func (dpr *DPR) process(window []rdf.Triple, scratch bool) (*Output, error) {
-	start := time.Now()
-	if dpr.budget > 0 {
-		dpr.tab.AdvanceEpoch()
+func (dpr *DPR) roundTrip(window []rdf.Triple, scratch bool) (*Output, error) {
+	if len(dpr.pending) > 0 {
+		return nil, fmt.Errorf("reasoner: %d window(s) in flight; Collect them before Process", len(dpr.pending))
 	}
-	out := &Output{}
+	dpr.submit(window, scratch)
+	return dpr.Collect()
+}
 
+// Submit ships one window into the pipeline without waiting for its result
+// (d nil forces from-scratch processing, mirroring ProcessDelta). It fails
+// when MaxInFlight windows are already outstanding — Collect first.
+func (dpr *DPR) Submit(window []rdf.Triple, d *Delta) error {
+	if len(dpr.pending) >= dpr.MaxInFlight() {
+		return fmt.Errorf("reasoner: pipeline full (%d windows in flight); Collect first", len(dpr.pending))
+	}
+	dpr.submit(window, d == nil)
+	return nil
+}
+
+// submit partitions the window and ships one request per reachable worker
+// session. Submission never fails the window: a session that cannot take
+// the request simply leaves its leg unsubmitted, and Collect processes
+// those partitions locally.
+func (dpr *DPR) submit(window []rdf.Triple, scratch bool) {
+	pw := &pendingWindow{start: time.Now(), scratch: scratch}
 	t0 := time.Now()
 	parts, skipped := dpr.part.Partition(window)
-	out.Skipped = skipped
-	out.Latency.Partition = time.Since(t0)
-	for _, p := range parts {
+	pw.partitionLat = time.Since(t0)
+	pw.parts = parts
+	pw.skipped = skipped
+	pw.legs = make([]pendingLeg, len(dpr.sessions))
+
+	for si, ps := range dpr.sessions {
+		if !dpr.ensureConnected(ps) {
+			continue
+		}
+		req := dpr.buildReq(ps, parts, scratch)
+		if err := ps.client.Submit(req, dpr.opts.StragglerTimeout); err != nil {
+			ps.retire()
+			continue
+		}
+		// The shipped sub-windows become the delta bases of the next
+		// request on this session (the partitioner returns fresh slices,
+		// safe to retain).
+		for j, gi := range ps.parts {
+			ps.base[j] = parts[gi]
+		}
+		ps.baseValid = true
+		pw.legs[si] = pendingLeg{submitted: true, client: ps.client}
+		dpr.rounds++
+		dpr.inFlightSum += int64(ps.client.InFlight())
+	}
+	dpr.pending = append(dpr.pending, pw)
+}
+
+// ensureConnected returns true when the session holds a usable client,
+// dialing under backoff when it does not.
+func (dpr *DPR) ensureConnected(ps *dprSession) bool {
+	if ps.client != nil && !ps.client.Broken() {
+		return true
+	}
+	if !ps.retryAt.IsZero() && time.Now().Before(ps.retryAt) {
+		return false
+	}
+	if err := dpr.dial(ps); err != nil {
+		ps.dialFails++
+		backoff := min(time.Second<<min(ps.dialFails-1, 5), 30*time.Second)
+		ps.retryAt = time.Now().Add(backoff)
+		return false
+	}
+	ps.dialFails = 0
+	ps.retryAt = time.Time{}
+	ps.redials++
+	return true
+}
+
+// buildReq encodes one session's request: per hosted partition either the
+// delta against the previously shipped sub-window or — on the scratch
+// path, a fresh session, or when the delta would not be smaller — the full
+// sub-window, all triples dictionary-coded through the session's request
+// encoder.
+func (dpr *DPR) buildReq(ps *dprSession, parts [][]rdf.Triple, scratch bool) *transport.WindowReq {
+	ps.reqEnc.BeginRaw()
+	req := &transport.WindowReq{Scratch: scratch, Parts: make([]transport.PartReq, len(ps.parts))}
+	for j, gi := range ps.parts {
+		cur := parts[gi]
+		pr := &req.Parts[j]
+		pr.WindowLen = len(cur)
+		if scratch || !ps.baseValid {
+			pr.Full = true
+			pr.Added = encodeTriples(ps.reqEnc, cur)
+			dpr.fullParts++
+			continue
+		}
+		added, retracted := diffWindows(ps.base[j], cur, &dpr.diffBuf)
+		if len(added)+len(retracted) >= len(cur) {
+			pr.Full = true
+			pr.Added = encodeTriples(ps.reqEnc, cur)
+			dpr.fullParts++
+			continue
+		}
+		pr.Added = encodeTriples(ps.reqEnc, added)
+		pr.Retracted = encodeTriples(ps.reqEnc, retracted)
+		dpr.deltaParts++
+	}
+	req.Dict = ps.reqEnc.Flush()
+	return req
+}
+
+// encodeTriples wire-codes triples as three dictionary symbol indexes each.
+func encodeTriples(enc *intern.WireEncoder, ts []rdf.Triple) []uint64 {
+	if len(ts) == 0 {
+		return nil
+	}
+	out := make([]uint64, 0, 3*len(ts))
+	for _, t := range ts {
+		out = append(out, uint64(enc.RawSym(t.S)), uint64(enc.RawSym(t.P)), uint64(enc.RawSym(t.O)))
+	}
+	return out
+}
+
+// diffWindows computes the multiset difference between the previously
+// shipped sub-window and the current one: added = cur − base,
+// retracted = base − cur. The scratch map is reused across calls.
+func diffWindows(base, cur []rdf.Triple, scratch *map[rdf.Triple]int) (added, retracted []rdf.Triple) {
+	counts := *scratch
+	if counts == nil {
+		counts = make(map[rdf.Triple]int)
+		*scratch = counts
+	}
+	clear(counts)
+	for _, t := range base {
+		counts[t]++
+	}
+	for _, t := range cur {
+		if counts[t] > 0 {
+			counts[t]--
+		} else {
+			added = append(added, t)
+		}
+	}
+	// What remains of base was not matched by cur: retract each leftover
+	// occurrence (order is irrelevant — the worker applies a multiset).
+	for t, c := range counts {
+		for ; c > 0; c-- {
+			retracted = append(retracted, t)
+		}
+	}
+	return added, retracted
+}
+
+// Collect finishes the oldest in-flight window: await the worker responses
+// (falling back locally for sessions that died mid-flight), combine across
+// workers, rotate under the budget. Outputs surface strictly in submission
+// order.
+func (dpr *DPR) Collect() (*Output, error) {
+	if len(dpr.pending) == 0 {
+		return nil, fmt.Errorf("reasoner: no window in flight")
+	}
+	pw := dpr.pending[0]
+	dpr.pending = dpr.pending[1:]
+	if dpr.budget > 0 {
+		// Decoding and local fallback intern into the coordinator table
+		// at collect time, so the epoch opens here.
+		dpr.tab.AdvanceEpoch()
+	}
+	out := &Output{Skipped: pw.skipped}
+	out.Latency.Partition = pw.partitionLat
+	for _, p := range pw.parts {
 		out.PartitionSizes = append(out.PartitionSizes, len(p))
 		out.RoutedItems += len(p)
 	}
 
-	results := make([]*Output, len(parts))
-	errs := make([]error, len(parts))
+	results := make([]*Output, len(dpr.sessions))
+	errs := make([]error, len(dpr.sessions))
 	var wg sync.WaitGroup
-	for i := range parts {
+	for si := range dpr.sessions {
 		wg.Add(1)
-		go func(i int) {
+		go func(si int) {
 			defer wg.Done()
-			results[i], errs[i] = dpr.processPartition(i, parts[i], scratch)
-		}(i)
+			results[si], errs[si] = dpr.collectLeg(dpr.sessions[si], &pw.legs[si], pw)
+		}(si)
 	}
 	wg.Wait()
 	for _, err := range errs {
@@ -281,11 +568,12 @@ func (dpr *DPR) process(window []rdf.Triple, scratch bool) (*Output, error) {
 			return nil, err
 		}
 	}
+	dpr.windows++
 
 	out.Incremental = len(results) > 0
-	// The aggregate is on the fast path only when every partition was.
+	// The aggregate is on the fast path only when every leg was.
 	out.SolveStats.FastPath = len(results) > 0
-	var maxTotal time.Duration
+	var maxTotal, maxLegCombine time.Duration
 	for _, res := range results {
 		if !res.Incremental {
 			out.Incremental = false
@@ -295,6 +583,9 @@ func (dpr *DPR) process(window []rdf.Triple, scratch bool) (*Output, error) {
 		}
 		if res.Latency.Total > maxTotal {
 			maxTotal = res.Latency.Total
+		}
+		if res.Latency.Combine > maxLegCombine {
+			maxLegCombine = res.Latency.Combine
 		}
 		if res.Latency.Convert > out.Latency.Convert {
 			out.Latency.Convert = res.Latency.Convert
@@ -312,76 +603,88 @@ func (dpr *DPR) process(window []rdf.Triple, scratch bool) (*Output, error) {
 		out.SolveStats.Add(res.SolveStats)
 	}
 
-	t0 = time.Now()
-	max := dpr.MaxCombinations
-	if max <= 0 {
-		max = DefaultMaxCombinations
-	}
-	perPartition := make([][]*solve.AnswerSet, len(results))
+	// Combine across workers (each leg is already combined over its own
+	// partitions — unions are associative, so the nesting is equivalent to
+	// PR's flat combine).
+	t0 := time.Now()
+	perLeg := make([][]*solve.AnswerSet, len(results))
 	for i, res := range results {
-		perPartition[i] = res.Answers
+		perLeg[i] = res.Answers
 	}
-	out.Answers = Combine(perPartition, max)
-	out.Latency.Combine = time.Since(t0)
+	out.Answers = Combine(perLeg, dpr.maxComb())
+	out.Latency.Combine = maxLegCombine + time.Since(t0)
 
 	// Coordinated rotation of the coordinator's answer table, mirroring PR.
 	t0 = time.Now()
 	dpr.maybeRotate(out)
 	rotate := time.Since(t0)
 
-	out.Latency.Total = time.Since(start)
+	out.Latency.Total = time.Since(pw.start)
 	out.Latency.CriticalPath = out.Latency.Partition + maxTotal + out.Latency.Combine + rotate
 	return out, nil
 }
 
-// processPartition reasons over one partition: remote round first, local
-// fallback when the session cannot serve the window.
-func (dpr *DPR) processPartition(i int, part []rdf.Triple, scratch bool) (*Output, error) {
-	ps := dpr.sessions[i]
-	out, err, usable := dpr.tryRemote(ps, part, scratch)
-	if usable {
-		ps.remote++
-		return out, err
+func (dpr *DPR) maxComb() int {
+	if dpr.MaxCombinations > 0 {
+		return dpr.MaxCombinations
 	}
-	ps.local++
-	if scratch {
-		return dpr.locals[i].Process(part)
-	}
-	return dpr.locals[i].ProcessAuto(part)
+	return DefaultMaxCombinations
 }
 
-// tryRemote runs one remote round. usable=false means the partition must
-// fall back locally (session down or transport failure); usable=true with a
-// non-nil error reports a worker-side processing error, which is terminal
-// for the window exactly like a local partition error would be.
-func (dpr *DPR) tryRemote(ps *partitionSession, part []rdf.Triple, scratch bool) (*Output, error, bool) {
-	if ps.client == nil || ps.client.Broken() {
-		if !ps.retryAt.IsZero() && time.Now().Before(ps.retryAt) {
-			return nil, nil, false
+// collectLeg finishes one session's leg of a window: await and decode the
+// remote response when the request went out on the still-live client, or
+// reason over the leg's partitions locally.
+func (dpr *DPR) collectLeg(ps *dprSession, leg *pendingLeg, pw *pendingWindow) (*Output, error) {
+	if leg.submitted && ps.client != nil && ps.client == leg.client && !ps.client.Broken() {
+		out, err, usable := dpr.awaitRemote(ps)
+		if usable {
+			return out, err
 		}
-		if err := dpr.dial(ps); err != nil {
-			ps.dialFails++
-			backoff := min(time.Second<<min(ps.dialFails-1, 5), 30*time.Second)
-			ps.retryAt = time.Now().Add(backoff)
-			return nil, nil, false
-		}
-		ps.dialFails = 0
-		ps.retryAt = time.Time{}
-		ps.redials++
 	}
+	// Local fallback, partitions in parallel like the worker would run
+	// them; answers are identical either way.
+	ps.local += int64(len(ps.parts))
+	outs := make([]*Output, len(ps.parts))
+	errs := make([]error, len(ps.parts))
+	var wg sync.WaitGroup
+	for j, gi := range ps.parts {
+		wg.Add(1)
+		go func(j, gi int) {
+			defer wg.Done()
+			if pw.scratch {
+				outs[j], errs[j] = dpr.locals[gi].Process(pw.parts[gi])
+			} else {
+				outs[j], errs[j] = dpr.locals[gi].ProcessAuto(pw.parts[gi])
+			}
+		}(j, gi)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return dpr.combineLeg(outs), nil
+}
+
+// awaitRemote receives and decodes one session response. usable=false means
+// the leg must fall back locally (transport failure, timeout, desync);
+// usable=true with a non-nil error reports a worker-side processing error,
+// terminal for the window exactly like a local partition error would be.
+func (dpr *DPR) awaitRemote(ps *dprSession) (*Output, error, bool) {
 	start := time.Now()
-	resp, err := ps.client.Round(&transport.WindowReq{Scratch: scratch, Window: part}, dpr.opts.StragglerTimeout)
+	resp, err := ps.client.Await(dpr.opts.StragglerTimeout)
 	if err != nil {
-		if re, ok := err.(*transport.RemoteError); ok {
+		if re, ok := err.(*transport.RemoteError); ok && !re.Desync {
 			// The worker reasoner failed on this window (e.g. the grounder's
 			// atom limit): surface it — the local engine would fail the same
 			// way, and masking it behind a fallback would hide program bugs.
+			ps.remote += int64(len(ps.parts))
 			return nil, fmt.Errorf("reasoner: worker %s: %s", ps.addr, re.Msg), true
 		}
 		ps.retire()
 		return nil, nil, false
 	}
-
 	if err := ps.dec.Apply(&resp.Dict); err != nil {
 		// Dictionary desync: the session cannot be trusted any more. Drop it
 		// and serve this window locally; the redial replays the dictionary.
@@ -398,6 +701,7 @@ func (dpr *DPR) tryRemote(ps *partitionSession, part []rdf.Triple, scratch bool)
 		answers[j] = solve.FromIDs(dpr.tab, ids)
 	}
 
+	ps.remote += int64(len(ps.parts))
 	ps.workerRotations = int64(resp.Rotations)
 	ps.workerLiveAtoms = int64(resp.LiveAtoms)
 	out := &Output{
@@ -410,10 +714,56 @@ func (dpr *DPR) tryRemote(ps *partitionSession, part []rdf.Triple, scratch bool)
 	out.Latency.Convert = time.Duration(resp.ConvertNS)
 	out.Latency.Ground = time.Duration(resp.GroundNS)
 	out.Latency.Solve = time.Duration(resp.SolveNS)
-	// The partition's contribution to the critical path is the full round
-	// trip as observed here: worker compute plus serialization and wire.
-	out.Latency.Total = time.Since(start)
+	out.Latency.Combine = time.Duration(resp.CombineNS)
+	// The leg's contribution to the critical path: the remote compute or
+	// the wait for the (pipelined) response, whichever dominated — under
+	// lockstep the wait is the full round trip, preserving the pre-
+	// pipelining semantics.
+	out.Latency.Total = max(time.Since(start), time.Duration(resp.TotalNS))
 	return out, nil, true
+}
+
+// combineLeg aggregates a fallback leg's per-partition outputs the way a
+// worker session would: latency maxima, work sums, fast-path ANDs, and one
+// combined answer list.
+func (dpr *DPR) combineLeg(outs []*Output) *Output {
+	leg := &Output{Incremental: true}
+	leg.SolveStats.FastPath = true
+	for _, out := range outs {
+		if !out.Incremental {
+			leg.Incremental = false
+		}
+		if !out.SolveStats.FastPath {
+			leg.SolveStats.FastPath = false
+		}
+		if out.Latency.Convert > leg.Latency.Convert {
+			leg.Latency.Convert = out.Latency.Convert
+		}
+		if out.Latency.Ground > leg.Latency.Ground {
+			leg.Latency.Ground = out.Latency.Ground
+		}
+		if out.Latency.Solve > leg.Latency.Solve {
+			leg.Latency.Solve = out.Latency.Solve
+		}
+		if out.Latency.Total > leg.Latency.Total {
+			leg.Latency.Total = out.Latency.Total
+		}
+		leg.GroundStats.Atoms += out.GroundStats.Atoms
+		leg.GroundStats.Rules += out.GroundStats.Rules
+		leg.GroundStats.CertainFacts += out.GroundStats.CertainFacts
+		leg.GroundStats.Iterations += out.GroundStats.Iterations
+		leg.SolveStats.Add(out.SolveStats)
+		leg.Skipped += out.Skipped
+	}
+	t0 := time.Now()
+	perPartition := make([][]*solve.AnswerSet, len(outs))
+	for i, out := range outs {
+		perPartition[i] = out.Answers
+	}
+	leg.Answers = Combine(perPartition, dpr.maxComb())
+	leg.Latency.Combine = time.Since(t0)
+	leg.Latency.Total += leg.Latency.Combine
+	return leg
 }
 
 // maybeRotate applies the coordinator-side budget to the answer table after
@@ -433,7 +783,7 @@ func (dpr *DPR) maybeRotate(out *Output) {
 
 // Rotate compacts the coordinator's answer table immediately, regardless of
 // budget — the manual hook, symmetric with R.Rotate/PR.Rotate. Call it
-// between windows only.
+// between windows only (no windows in flight).
 func (dpr *DPR) Rotate() error {
 	dpr.tab.AdvanceEpoch()
 	return dpr.rotateWith(nil)
@@ -468,9 +818,15 @@ func (dpr *DPR) Stats() MemoryStats {
 	return MemoryStats{Budget: dpr.budget, Table: dpr.tab.Stats(), Transport: &ts}
 }
 
-// TransportStats aggregates the wire metrics across all partition sessions.
+// TransportStats aggregates the wire metrics across all worker sessions.
 func (dpr *DPR) TransportStats() TransportStats {
-	var ts TransportStats
+	ts := TransportStats{
+		Rounds:           dpr.rounds,
+		Windows:          dpr.windows,
+		FullPartWindows:  dpr.fullParts,
+		DeltaPartWindows: dpr.deltaParts,
+		InFlightSum:      dpr.inFlightSum,
+	}
 	for _, ps := range dpr.sessions {
 		ts.RemoteWindows += ps.remote
 		ts.LocalFallbacks += ps.local
@@ -479,6 +835,8 @@ func (dpr *DPR) TransportStats() TransportStats {
 		ts.BytesReceived += ps.accRecv
 		ts.DictRefs += ps.accRefs
 		ts.DictShipped += ps.accShipped
+		ts.ReqDictRefs += ps.accReqRefs
+		ts.ReqDictShipped += ps.accReqShipped
 		if ps.client != nil {
 			ts.BytesSent += ps.client.BytesSent()
 			ts.BytesReceived += ps.client.BytesReceived()
@@ -486,6 +844,10 @@ func (dpr *DPR) TransportStats() TransportStats {
 		if ps.dec != nil {
 			ts.DictRefs += ps.dec.Refs()
 			ts.DictShipped += ps.dec.Shipped()
+		}
+		if ps.reqEnc != nil {
+			ts.ReqDictRefs += ps.reqEnc.Refs()
+			ts.ReqDictShipped += ps.reqEnc.Shipped()
 		}
 		ts.WorkerRotations += ps.workerRotations
 		ts.WorkerLiveAtoms += ps.workerLiveAtoms

@@ -4,6 +4,7 @@ import (
 	"encoding/gob"
 	"fmt"
 	"net"
+	"sync"
 	"sync/atomic"
 	"time"
 )
@@ -15,29 +16,60 @@ type ClientOptions struct {
 	DialTimeout time.Duration
 	// MaxFrame bounds a single protocol frame (0 = DefaultMaxFrame).
 	MaxFrame int
+	// MaxInFlight bounds the number of submitted-but-unanswered windows
+	// (0 or 1 = strict request/response lockstep, today's behavior). With
+	// depth d the coordinator ships window n+1 while windows n-d+2..n
+	// compute remotely; responses are matched to requests by sequence
+	// number and surface strictly in submission order.
+	MaxInFlight int
 }
 
-// RemoteError is a worker-side processing error relayed in a response. The
-// session remains usable after one; transport failures do not produce
-// RemoteErrors.
-type RemoteError struct{ Msg string }
+// RemoteError is a worker-side processing error relayed in a response.
+// Unless Desync is set the session remains usable after one; transport
+// failures do not produce RemoteErrors.
+type RemoteError struct {
+	Msg string
+	// Desync marks a request-consistency failure (dictionary desync,
+	// delta mismatch): the session must be torn down and redialed.
+	Desync bool
+}
 
 // Error implements error.
 func (e *RemoteError) Error() string { return "transport: remote: " + e.Msg }
 
+// clientResp is one reader-goroutine delivery: a decoded response or the
+// terminal read error.
+type clientResp struct {
+	resp *WindowResp
+	err  error
+}
+
 // Client drives one session against a worker: a handshake at dial time,
-// then strictly sequential Round calls (one outstanding window — the
-// protocol's backpressure). A Client is not safe for concurrent use; the
-// coordinator owns one per partition. After any transport error the client
-// is broken for good and the caller redials.
+// then Submit/Await rounds through a bounded-depth pipeline (Round couples
+// them for the classic lockstep). A Client is not safe for concurrent use
+// by multiple submitters, but Submit and Await may run from different
+// goroutines (single producer, single consumer). After any transport error
+// the client is broken for good and the caller redials.
 type Client struct {
 	conn net.Conn
 	enc  *gob.Encoder
 	dec  *gob.Decoder
 	fw   *frameWriter
 
-	seq        uint64
-	broken     bool
+	seq      uint64 // last submitted sequence number
+	inflight atomic.Int64
+
+	// sem holds one token per in-flight window; Submit acquires, Await
+	// releases. readerDone unblocks a Submit waiting on a full pipeline
+	// whose reader has died.
+	sem        chan struct{}
+	resps      chan clientResp
+	readerDone chan struct{}
+
+	mu        sync.Mutex
+	broken    bool
+	brokenErr error
+
 	sent, recv atomic.Int64
 }
 
@@ -77,7 +109,49 @@ func Dial(addr string, hello *Hello, opts ClientOptions) (*Client, error) {
 		conn.Close()
 		return nil, fmt.Errorf("transport: %s rejected session: %s", addr, ack.Err)
 	}
+
+	depth := opts.MaxInFlight
+	if depth < 1 {
+		depth = 1
+	}
+	c.sem = make(chan struct{}, depth)
+	c.resps = make(chan clientResp, depth)
+	c.readerDone = make(chan struct{})
+	go c.readLoop()
 	return c, nil
+}
+
+// readLoop is the response reader: it decodes responses as they arrive,
+// enforces sequence contiguity, and delivers them in order. It exits — and
+// closes resps — on the first read error, which Await surfaces.
+func (c *Client) readLoop() {
+	defer close(c.readerDone)
+	defer close(c.resps)
+	var expect uint64
+	for {
+		var resp WindowResp
+		if err := c.dec.Decode(&resp); err != nil {
+			c.fail(fmt.Errorf("transport: receive window %d: %w", expect+1, err))
+			return
+		}
+		expect++
+		if resp.Seq != expect {
+			c.fail(fmt.Errorf("transport: response for window %d while awaiting %d", resp.Seq, expect))
+			return
+		}
+		c.resps <- clientResp{resp: &resp}
+	}
+}
+
+// fail marks the client permanently broken with the given cause (the first
+// failure wins).
+func (c *Client) fail(err error) {
+	c.mu.Lock()
+	if !c.broken {
+		c.broken = true
+		c.brokenErr = err
+	}
+	c.mu.Unlock()
 }
 
 func (c *Client) send(msg any) error {
@@ -87,41 +161,105 @@ func (c *Client) send(msg any) error {
 	return c.fw.Flush()
 }
 
-// Round ships one window and blocks for its response, for at most timeout
-// (0 = no deadline). Any transport failure — timeout included — breaks the
-// client permanently: a late response would desynchronize every following
-// round, so the caller must Close and redial instead.
-func (c *Client) Round(req *WindowReq, timeout time.Duration) (*WindowResp, error) {
-	if c.broken {
-		return nil, fmt.Errorf("transport: session is broken; redial")
+// Submit ships one window request without waiting for its response,
+// blocking only when MaxInFlight windows are already outstanding (then
+// until the oldest is Awaited). timeout bounds the write (0 = none). Any
+// transport failure breaks the client permanently.
+func (c *Client) Submit(req *WindowReq, timeout time.Duration) error {
+	if err := c.err(); err != nil {
+		return err
+	}
+	select {
+	case c.sem <- struct{}{}:
+	case <-c.readerDone:
+		return c.err()
 	}
 	c.seq++
 	req.Seq = c.seq
 	if timeout > 0 {
-		c.conn.SetDeadline(time.Now().Add(timeout))
-		defer c.conn.SetDeadline(time.Time{})
+		c.conn.SetWriteDeadline(time.Now().Add(timeout))
+		defer c.conn.SetWriteDeadline(time.Time{})
 	}
 	if err := c.send(req); err != nil {
-		c.broken = true
-		return nil, fmt.Errorf("transport: send window %d: %w", req.Seq, err)
+		err = fmt.Errorf("transport: send window %d: %w", req.Seq, err)
+		c.fail(err)
+		c.conn.Close() // unblock the reader; Await surfaces the break
+		return err
 	}
-	var resp WindowResp
-	if err := c.dec.Decode(&resp); err != nil {
-		c.broken = true
-		return nil, fmt.Errorf("transport: receive window %d: %w", req.Seq, err)
+	c.inflight.Add(1)
+	return nil
+}
+
+// Await blocks for the response to the oldest in-flight window, for at most
+// timeout (0 = no deadline). A timeout breaks the client permanently — a
+// late response would desynchronize every following round — and the caller
+// must Close and redial. A non-nil *RemoteError reports a worker-side
+// processing error; the session stays usable unless the error is a Desync.
+func (c *Client) Await(timeout time.Duration) (*WindowResp, error) {
+	var timer <-chan time.Time
+	if timeout > 0 {
+		t := time.NewTimer(timeout)
+		defer t.Stop()
+		timer = t.C
 	}
-	if resp.Seq != req.Seq {
-		c.broken = true
-		return nil, fmt.Errorf("transport: response for window %d while awaiting %d", resp.Seq, req.Seq)
+	select {
+	case cr, ok := <-c.resps:
+		if !ok {
+			return nil, c.err()
+		}
+		c.inflight.Add(-1)
+		<-c.sem
+		if cr.resp.Err != "" {
+			if cr.resp.Desync {
+				err := fmt.Errorf("transport: session desynchronized: %s", cr.resp.Err)
+				c.fail(err)
+				c.conn.Close()
+				return nil, &RemoteError{Msg: cr.resp.Err, Desync: true}
+			}
+			return nil, &RemoteError{Msg: cr.resp.Err}
+		}
+		return cr.resp, nil
+	case <-timer:
+		err := fmt.Errorf("transport: window response timed out after %v", timeout)
+		c.fail(err)
+		c.conn.Close() // the reader exits; the session is gone
+		return nil, err
 	}
-	if resp.Err != "" {
-		return nil, &RemoteError{Msg: resp.Err}
+}
+
+// Round ships one window and blocks for its response — Submit followed by
+// Await, the strict lockstep every pre-pipelining caller uses. It must not
+// be mixed with in-flight Submits.
+func (c *Client) Round(req *WindowReq, timeout time.Duration) (*WindowResp, error) {
+	if err := c.Submit(req, timeout); err != nil {
+		return nil, err
 	}
-	return &resp, nil
+	return c.Await(timeout)
+}
+
+// InFlight returns the number of submitted windows still awaiting their
+// response.
+func (c *Client) InFlight() int { return int(c.inflight.Load()) }
+
+// err returns the terminal failure if the client is broken, nil otherwise.
+func (c *Client) err() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if !c.broken {
+		return nil
+	}
+	if c.brokenErr != nil {
+		return c.brokenErr
+	}
+	return fmt.Errorf("transport: session is broken; redial")
 }
 
 // Broken reports whether the session died on a transport error.
-func (c *Client) Broken() bool { return c.broken }
+func (c *Client) Broken() bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.broken
+}
 
 // BytesSent returns the cumulative bytes written to the wire (frames and
 // headers) by this client.

@@ -4,12 +4,14 @@ import (
 	"streamrule/internal/asp/ground"
 	"streamrule/internal/asp/intern"
 	"streamrule/internal/asp/solve"
-	"streamrule/internal/rdf"
 )
 
 // ProtocolVersion is bumped on any incompatible change to the message types
 // below; a worker refuses a Hello with a version it does not speak.
-const ProtocolVersion = 1
+// Version 2: dictionary-coded request deltas (WindowReq.Dict/Parts replace
+// the raw triple window), multi-partition sessions with worker-side combine
+// (Hello.Partitions/MaxCombinations), and the Desync response flag.
+const ProtocolVersion = 2
 
 // Hello opens a session: it carries everything the worker needs to build a
 // full reasoner for one partition. Workers are program-agnostic processes —
@@ -36,10 +38,18 @@ type Hello struct {
 	NaivePropagation bool
 	// MaxAtoms aborts grounding beyond this many atoms (0 = no limit).
 	MaxAtoms int
-	// MemoryBudget bounds the worker's interning table: the worker reasoner
+	// MemoryBudget bounds the worker's interning table: the worker session
 	// rotates its (private) table between windows when the budget is
 	// exceeded, exactly like a local budgeted engine.
 	MemoryBudget int
+	// Partitions is the number of partition reasoners this session hosts
+	// (≥ 1; 0 is treated as 1). Every WindowReq ships one PartReq per
+	// partition, and the worker combines the partitions' answers before
+	// responding — one combined wire set stream per window.
+	Partitions int
+	// MaxCombinations caps the worker-side answer-set cross product (0 =
+	// the reasoner default), matching the coordinator's combine cap.
+	MaxCombinations int
 }
 
 // HelloAck answers a Hello. An empty Err accepts the session.
@@ -47,43 +57,78 @@ type HelloAck struct {
 	Err string
 }
 
-// WindowReq ships one window (the coordinator-routed sub-window of this
-// session's partition) to the worker.
+// WindowReq ships one window (the coordinator-routed sub-windows of this
+// session's partitions) to the worker. Triples travel in wire form: the
+// coordinator→worker session dictionary assigns every subject/predicate/
+// object string a small index the first time it is referenced (Dict carries
+// the new entries), and each triple is three such indexes — on repeating
+// vocabularies a steady-state request ships indexes only.
 type WindowReq struct {
 	// Seq numbers requests per session, starting at 1; the response echoes
 	// it. A mismatch means the stream desynchronized.
 	Seq uint64
 	// Scratch forces from-scratch processing (the coordinator's Process
 	// path). When false the worker maintains its grounding incrementally
-	// across windows, deriving the partition-level delta itself.
+	// across windows.
 	Scratch bool
-	// Window holds the partition's triples.
-	Window []rdf.Triple
+	// Dict is the request-dictionary delta this request's triples decode
+	// against (the coordinator→worker mirror of WindowResp.Dict).
+	Dict intern.DictDelta
+	// Parts holds one entry per session partition, in Hello.Partitions
+	// order.
+	Parts []PartReq
+}
+
+// PartReq is one partition's window payload: either the full sub-window or
+// the delta against the previously shipped one.
+type PartReq struct {
+	// Full marks Added as the complete sub-window (Retracted empty) — the
+	// first window of a session, the scratch path, and the fallback when a
+	// delta would not be smaller.
+	Full bool
+	// Added/Retracted are wire-coded triples, three dictionary symbol
+	// indexes (subject, predicate, object) per triple.
+	Added, Retracted []uint64
+	// WindowLen is the expected sub-window size after applying the delta —
+	// the consistency check that turns a lost update into a detected desync
+	// instead of silently wrong answers.
+	WindowLen int
 }
 
 // WindowResp returns one window's result. Answer sets travel in portable
 // wire form: Dict carries the session-dictionary delta (new symbols only),
-// and each element of Answers re-keys through it.
+// and each element of Answers re-keys through it. For multi-partition
+// sessions the answers are the worker-side combination across the session's
+// partitions, and the statistics aggregate over them (latency maxima, work
+// sums).
 type WindowResp struct {
 	// Seq echoes the request.
 	Seq uint64
 	// Err is a worker-side processing error (grounding/solving); the
-	// session remains usable.
+	// session remains usable unless Desync is also set.
 	Err string
+	// Desync reports that the request could not be applied consistently
+	// (dictionary desync, delta/window-length mismatch): the worker's
+	// session state is no longer trustworthy and the coordinator must
+	// redial, replaying dictionaries and full windows.
+	Desync bool
 	// Dict is the dictionary delta this response's wire sets decode against.
 	Dict intern.DictDelta
-	// Answers holds one wire set per answer set.
+	// Answers holds one wire set per (combined) answer set.
 	Answers []intern.WireSet
 	// Skipped counts window items outside the input predicates.
 	Skipped int
-	// Incremental reports that the worker maintained the window under the
-	// previous window's grounding instead of re-grounding.
+	// Incremental reports that every session partition maintained the
+	// window under the previous window's grounding instead of re-grounding.
 	Incremental bool
 	// ConvertNS/GroundNS/SolveNS/TotalNS are the worker-side phase
-	// latencies in nanoseconds (the coordinator measures the round trip
-	// itself; these isolate compute from wire time).
-	ConvertNS, GroundNS, SolveNS, TotalNS int64
-	// GroundStats/SolveStats are the worker engine statistics.
+	// latencies in nanoseconds — maxima across the session's partitions,
+	// which ground and solve in parallel (the coordinator measures the
+	// round trip itself; these isolate compute from wire time). CombineNS
+	// is the worker-side combine of the partitions' answers.
+	ConvertNS, GroundNS, SolveNS, CombineNS, TotalNS int64
+	// GroundStats/SolveStats are the worker engine statistics, summed over
+	// the session's partitions.
 	GroundStats ground.Stats
 	SolveStats  solve.Stats
 	// LiveAtoms/Rotations snapshot the worker's interning table after the

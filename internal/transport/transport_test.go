@@ -12,16 +12,36 @@ import (
 	"sync/atomic"
 	"testing"
 	"time"
-
-	"streamrule/internal/rdf"
 )
 
-// echoSession answers every request with one empty answer set and echoes
-// the window size in Skipped (a visible round-trip marker).
-type echoSession struct{ closed *atomic.Bool }
+// reqWindow builds a request carrying n wire triples in one full partition
+// (the payload content is irrelevant to the transport; distinct words keep
+// gob from compressing it away).
+func reqWindow(n int) *WindowReq {
+	words := make([]uint64, 3*n)
+	for i := range words {
+		words[i] = uint64(i) + 1000
+	}
+	return &WindowReq{Parts: []PartReq{{Full: true, Added: words, WindowLen: n}}}
+}
+
+// echoSession answers every request with an empty response echoing the
+// shipped triple count in Skipped (a visible round-trip marker), after an
+// optional per-window delay (a stand-in for remote compute).
+type echoSession struct {
+	closed *atomic.Bool
+	delay  time.Duration
+}
 
 func (s echoSession) Window(req *WindowReq) *WindowResp {
-	return &WindowResp{Skipped: len(req.Window)}
+	if s.delay > 0 {
+		time.Sleep(s.delay)
+	}
+	n := 0
+	for _, p := range req.Parts {
+		n += len(p.Added) / 3
+	}
+	return &WindowResp{Skipped: n}
 }
 func (s echoSession) Close() {
 	if s.closed != nil {
@@ -31,6 +51,7 @@ func (s echoSession) Close() {
 
 type echoHandler struct {
 	reject bool
+	delay  time.Duration
 	closed atomic.Bool
 }
 
@@ -38,7 +59,7 @@ func (h *echoHandler) NewSession(hello *Hello) (Session, error) {
 	if h.reject {
 		return nil, fmt.Errorf("no sessions today")
 	}
-	return echoSession{closed: &h.closed}, nil
+	return echoSession{closed: &h.closed, delay: h.delay}, nil
 }
 
 func startServer(t *testing.T, h Handler, opts ServerOptions) *Server {
@@ -103,7 +124,7 @@ func TestClientServerRounds(t *testing.T) {
 	}
 	defer c.Close()
 	for i := 1; i <= 3; i++ {
-		resp, err := c.Round(&WindowReq{Window: make([]rdf.Triple, i)}, time.Second)
+		resp, err := c.Round(reqWindow(i), time.Second)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -113,6 +134,118 @@ func TestClientServerRounds(t *testing.T) {
 	}
 	if c.BytesSent() == 0 || c.BytesReceived() == 0 {
 		t.Fatal("byte counters never moved")
+	}
+}
+
+// TestClientPipelinedRounds fills a depth-4 pipeline, then drains it: the
+// responses must surface strictly in submission order with matching
+// payloads, and the in-flight gauge must track the outstanding windows.
+func TestClientPipelinedRounds(t *testing.T) {
+	h := &echoHandler{delay: 20 * time.Millisecond}
+	srv := startServer(t, h, ServerOptions{})
+
+	c, err := Dial(srv.Addr(), &Hello{Program: "p."}, ClientOptions{MaxInFlight: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	for i := 1; i <= 4; i++ {
+		if err := c.Submit(reqWindow(i), time.Second); err != nil {
+			t.Fatalf("submit %d: %v", i, err)
+		}
+	}
+	if got := c.InFlight(); got != 4 {
+		t.Fatalf("in-flight = %d after 4 submits", got)
+	}
+	for i := 1; i <= 4; i++ {
+		resp, err := c.Await(5 * time.Second)
+		if err != nil {
+			t.Fatalf("await %d: %v", i, err)
+		}
+		if resp.Seq != uint64(i) || resp.Skipped != i {
+			t.Fatalf("await %d: seq %d skipped %d — responses out of order", i, resp.Seq, resp.Skipped)
+		}
+	}
+	if got := c.InFlight(); got != 0 {
+		t.Fatalf("in-flight = %d after drain", got)
+	}
+}
+
+// TestClientPipelineOverlap shows the point of the pipeline: with compute
+// delay d per window, a depth-2 pipeline finishes n windows in ~n*d, not
+// n*d plus n round trips — and strictly faster than lockstep on the same
+// server. The margin is generous to stay robust on loaded CI machines.
+func TestClientPipelineOverlap(t *testing.T) {
+	const d = 30 * time.Millisecond
+	const n = 6
+	h := &echoHandler{delay: d}
+	srv := startServer(t, h, ServerOptions{})
+
+	run := func(depth int) time.Duration {
+		c, err := Dial(srv.Addr(), &Hello{}, ClientOptions{MaxInFlight: depth})
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer c.Close()
+		start := time.Now()
+		if depth == 1 {
+			for i := 0; i < n; i++ {
+				if _, err := c.Round(reqWindow(8), 5*time.Second); err != nil {
+					t.Fatal(err)
+				}
+			}
+			return time.Since(start)
+		}
+		inFlight := 0
+		for i := 0; i < n; i++ {
+			if err := c.Submit(reqWindow(8), 5*time.Second); err != nil {
+				t.Fatal(err)
+			}
+			inFlight++
+			if inFlight == depth {
+				if _, err := c.Await(5 * time.Second); err != nil {
+					t.Fatal(err)
+				}
+				inFlight--
+			}
+		}
+		for ; inFlight > 0; inFlight-- {
+			if _, err := c.Await(5 * time.Second); err != nil {
+				t.Fatal(err)
+			}
+		}
+		return time.Since(start)
+	}
+	pipelined := run(2)
+	// The floor is n windows of compute; anything close to it means the
+	// ship/compute overlap worked.
+	if limit := time.Duration(n)*d + n*d/2; pipelined > limit {
+		t.Fatalf("pipelined run took %v, want < %v", pipelined, limit)
+	}
+}
+
+// TestClientAwaitTimeout breaks the session when a response misses its
+// deadline: Await must fail promptly and the client must refuse further
+// rounds.
+func TestClientAwaitTimeout(t *testing.T) {
+	h := &echoHandler{delay: 5 * time.Second}
+	srv := startServer(t, h, ServerOptions{})
+	c, err := Dial(srv.Addr(), &Hello{}, ClientOptions{MaxInFlight: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if err := c.Submit(reqWindow(1), time.Second); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Await(50 * time.Millisecond); err == nil {
+		t.Fatal("await returned despite the stalled worker")
+	}
+	if !c.Broken() {
+		t.Fatal("client not marked broken after await timeout")
+	}
+	if err := c.Submit(reqWindow(1), time.Second); err == nil {
+		t.Fatal("broken client accepted another submit")
 	}
 }
 
@@ -160,11 +293,7 @@ func TestServerDropsOversizedFrame(t *testing.T) {
 	}
 	defer c.Close()
 	// A huge window encodes past the server's 4 KiB frame cap.
-	big := make([]rdf.Triple, 4096)
-	for i := range big {
-		big[i] = rdf.Triple{S: "subject", P: "predicate", O: "object"}
-	}
-	if _, err := c.Round(&WindowReq{Window: big}, 2*time.Second); err == nil {
+	if _, err := c.Round(reqWindow(4096), 2*time.Second); err == nil {
 		t.Fatal("oversized frame was accepted")
 	}
 	if !c.Broken() {

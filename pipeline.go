@@ -22,6 +22,20 @@ type DeltaReasoner interface {
 	ReasonDelta(window []Triple, d *Delta) (*Output, error)
 }
 
+// PipelinedReasoner is implemented by reasoners that can hold several
+// windows in flight (DistributedEngine with WithMaxInFlight > 1): Submit
+// enqueues a window, Collect yields results strictly in submission order,
+// and InFlight reports the queue depth. The pipeline drives such a reasoner
+// in submit-ahead mode automatically, overlapping window n+1's shipping
+// with window n's remote compute.
+type PipelinedReasoner interface {
+	DeltaReasoner
+	Submit(window []Triple, d *Delta) error
+	Collect() (*Output, error)
+	InFlight() int
+	PipelineDepth() int
+}
+
 // Filter selects (and may rewrite) the triples forwarded to the reasoning
 // layer — the stand-in for the stream query processor of StreamRule.
 type Filter = stream.Filter
@@ -106,6 +120,9 @@ func (p *Pipeline) Run(ctx context.Context, handle func(window []Triple, out *Ou
 		return fmt.Errorf("streamrule: pipeline needs WindowSize or WindowSpan")
 	}
 	src := &stream.SliceSource{Triples: p.Source, Rate: p.Rate}
+	if pr, ok := p.Reasoner.(PipelinedReasoner); ok && pr.PipelineDepth() > 1 {
+		return p.runPipelined(ctx, src, w, pr, handle)
+	}
 	dr, _ := p.Reasoner.(DeltaReasoner)
 	return stream.WindowsDelta(ctx, src, p.Filter, w, func(wd stream.WindowDelta) error {
 		var out *Output
@@ -124,4 +141,47 @@ func (p *Pipeline) Run(ctx context.Context, handle func(window []Triple, out *Ou
 		}
 		return handle(wd.Window, out)
 	})
+}
+
+// runPipelined drives a PipelinedReasoner in submit-ahead mode: each
+// emitted window is submitted immediately, and a result is collected (and
+// handled) only once the pipeline is full — so up to PipelineDepth windows
+// overlap. Windowers emit fresh window copies, so queuing them is safe. The
+// tail of the stream is drained at the end; handle still observes every
+// window in order.
+func (p *Pipeline) runPipelined(ctx context.Context, src stream.Source, w stream.Windower, pr PipelinedReasoner, handle func(window []Triple, out *Output) error) error {
+	depth := pr.PipelineDepth()
+	var queued [][]Triple
+	collect := func() error {
+		out, err := pr.Collect()
+		if err != nil {
+			return err
+		}
+		win := queued[0]
+		queued = queued[1:]
+		return handle(win, out)
+	}
+	err := stream.WindowsDelta(ctx, src, p.Filter, w, func(wd stream.WindowDelta) error {
+		var d *Delta
+		if wd.Incremental {
+			d = &Delta{Added: wd.Added, Retracted: wd.Retracted}
+		}
+		if err := pr.Submit(wd.Window, d); err != nil {
+			return err
+		}
+		queued = append(queued, wd.Window)
+		if len(queued) >= depth {
+			return collect()
+		}
+		return nil
+	})
+	if err != nil {
+		return err
+	}
+	for len(queued) > 0 {
+		if err := collect(); err != nil {
+			return err
+		}
+	}
+	return nil
 }

@@ -93,6 +93,7 @@ type options struct {
 	memoryBudget     int
 	naivePropagation bool
 	stragglerTimeout time.Duration
+	maxInFlight      int
 }
 
 // Option customizes engine construction.
