@@ -1,6 +1,6 @@
 # Convenience targets — everything here also runs through plain go commands.
 
-.PHONY: test race bench6
+.PHONY: test race bench6 bench7
 
 test:
 	go build ./... && go test ./...
@@ -14,3 +14,10 @@ race:
 BENCH6_OUT ?= $(CURDIR)/BENCH_6.json
 bench6:
 	BENCH6_OUT=$(BENCH6_OUT) go test ./internal/bench -run TestWireBenchArtifact -count=1 -v
+
+# bench7 snapshots the static-vs-adaptive partitioning curve under the
+# skewed+bursty workload (modeled critical-path ms, rebalancer decision
+# counters, elastic join/leave) across fleet sizes into BENCH_7.json.
+BENCH7_OUT ?= $(CURDIR)/BENCH_7.json
+bench7:
+	BENCH7_OUT=$(BENCH7_OUT) go test ./internal/bench -run TestSkewBenchArtifact -count=1 -v

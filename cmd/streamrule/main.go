@@ -56,6 +56,8 @@ func run(args []string, stdout, stderr io.Writer) int {
 	seed := fs.Int64("seed", 1, "synthetic workload seed")
 	rate := fs.Int("rate", 0, "stream rate in triples/second (0 = unpaced)")
 	budget := fs.Int("budget", 0, "memory budget in interned atoms (> 0 evicts unreferenced table entries between windows; for streams with unbounded vocabularies)")
+	budgetBytes := fs.Int64("budget-bytes", 0, "memory budget in approximate retained bytes (the byte-based successor of -budget; both may be combined)")
+	adaptive := fs.Bool("adaptive", false, "with -workers: rebalance partitions across workers at runtime (migrate hot partitions, split overloaded communities under the duplication cost model)")
 	naive := fs.Bool("naive-solver", false, "use the legacy rescan propagator instead of the counter/worklist engine (ablation; full enumerations identical)")
 	verbose := fs.Bool("v", false, "print every answer atom (default: summary per window)")
 	if err := fs.Parse(args); err != nil {
@@ -110,6 +112,9 @@ func run(args []string, stdout, stderr io.Writer) int {
 	if *budget > 0 {
 		opts = append(opts, streamrule.WithMemoryBudget(*budget))
 	}
+	if *budgetBytes > 0 {
+		opts = append(opts, streamrule.WithMemoryBudgetBytes(*budgetBytes))
+	}
 	if *naive {
 		opts = append(opts, streamrule.WithNaivePropagation())
 	}
@@ -119,6 +124,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 		reasonerMode = "DPR"
 	}
 	var eng streamrule.Reasoner
+	var distEng *streamrule.DistributedEngine
 	switch reasonerMode {
 	case "R":
 		eng, err = streamrule.NewEngine(prog, opts...)
@@ -127,7 +133,9 @@ func run(args []string, stdout, stderr io.Writer) int {
 		if len(addrs) == 0 {
 			return fail(stderr, fmt.Errorf("-mode DPR requires -workers host1:port,host2:port"))
 		}
-		if *atom > 0 {
+		if *adaptive {
+			opts = append(opts, streamrule.WithAdaptiveRebalancing(streamrule.RebalanceOptions{}))
+		} else if *atom > 0 {
 			opts = append(opts, streamrule.WithAtomPartitioning(*atom))
 		}
 		if *straggler > 0 {
@@ -140,6 +148,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 		de, err = streamrule.NewDistributedEngine(prog, addrs, opts...)
 		if err == nil {
 			defer de.Close()
+			distEng = de
 			fmt.Fprintf(stdout, "partitions: %d over %d worker(s)\n", de.Partitions(), len(addrs))
 			if de.Plan() != nil {
 				fmt.Fprintf(stdout, "partitioning plan:\n%s", de.Plan())
@@ -236,10 +245,10 @@ func run(args []string, stdout, stderr io.Writer) int {
 			residualWindows, n, solveTotals.RuleVisits, solveTotals.QueuePushes, solveTotals.SourceRepairs,
 			solveTotals.Choices, solveTotals.Propagations, solveTotals.StabilityChecks)
 	}
-	if st, ok := pl.MemoryStats(); ok && st.Budget > 0 {
-		fmt.Fprintf(stdout, "memory: budget=%d atoms live=%d peak=%d rotations=%d evicted=%d remap=%v\n",
-			st.Budget, st.Table.Atoms, st.Table.PeakAtoms, st.Table.Rotations,
-			st.Table.EvictedAtoms, st.Table.RemapTime)
+	if st, ok := pl.MemoryStats(); ok && (st.Budget > 0 || st.BudgetBytes > 0) {
+		fmt.Fprintf(stdout, "memory: budget=%d atoms budget-bytes=%d live=%d bytes=%d peak=%d rotations=%d shrinks=%d evicted=%d remap=%v\n",
+			st.Budget, st.BudgetBytes, st.Table.Atoms, st.Table.Bytes, st.Table.PeakAtoms,
+			st.Table.Rotations, st.Table.Shrinks, st.Table.EvictedAtoms, st.Table.RemapTime)
 	}
 	if ts, ok := pl.TransportStats(); ok {
 		fmt.Fprintf(stdout, "transport: remote=%d fallback=%d redials=%d sent=%dB recv=%dB dict-hit=%.1f%% worker-rotations=%d\n",
@@ -251,6 +260,12 @@ func run(args []string, stdout, stderr io.Writer) int {
 				100*ts.ReqDictHitRate(), 100*ts.DictHitRate(), ts.MeanInFlight(),
 				ts.FullPartWindows, ts.DeltaPartWindows)
 		}
+	}
+	if distEng != nil && *adaptive {
+		rs := distEng.RebalanceStats()
+		fmt.Fprintf(stdout, "rebalance: observed=%d moves=%d splits=%d refines=%d refused=%d joins=%d leaves=%d partitions=%d last=%q\n",
+			rs.Observations, rs.Moves, rs.Splits, rs.PlanRefines, rs.RefusedSplits,
+			rs.Joins, rs.Leaves, distEng.Partitions(), rs.LastAction)
 	}
 	return 0
 }

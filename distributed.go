@@ -15,6 +15,37 @@ import (
 // dictionary hit rate (see DistributedEngine).
 type TransportStats = reasoner.TransportStats
 
+// RebalanceOptions tunes the adaptive rebalancer enabled by
+// WithAdaptiveRebalancing: skew threshold, sustain/cooldown windows, the
+// per-community fan-out cap, and the Louvain resolution ladder for plan
+// refines. The zero value uses the documented defaults.
+type RebalanceOptions = reasoner.RebalanceOptions
+
+// RebalanceStats counts the adaptive rebalancer's decisions: windows
+// observed, partition moves, accepted community splits and plan refines,
+// splits refused by the duplication cost model, and elastic worker joins
+// and leaves.
+type RebalanceStats = reasoner.RebalanceStats
+
+// PartitionLoad is one partition's observed load in the most recently
+// processed window: routed items, compute critical path, the worker
+// serving it, and whether it was answered remotely.
+type PartitionLoad = reasoner.PartitionLoad
+
+// WithAdaptiveRebalancing makes partitioning a runtime concern for the
+// distributed engine: the coordinator observes every window's per-partition
+// load, and — between windows — migrates partitions from hot to cold
+// workers and hash-splits overloaded communities along the proven atom-level
+// key. A split whose replicated traffic would exceed the projected speedup
+// is refused (the paper's duplication-share analysis, applied online).
+// Migrations ride the session machinery: affected workers get a fresh
+// session whose next window ships in full — answers are never dropped, at
+// the cost of one full-window reship per migration. Incompatible with
+// WithRandomPartitioning; supersedes WithAtomPartitioning.
+func WithAdaptiveRebalancing(ro RebalanceOptions) Option {
+	return func(o *options) { o.adaptive = &ro }
+}
+
 // WithStragglerTimeout bounds one remote round of the distributed engine
 // (ship the partition, reason, receive answers). A worker that misses the
 // deadline is treated as down for that window: the partition is processed
@@ -76,6 +107,7 @@ func NewDistributedEngine(p *Program, workers []string, opts ...Option) (*Distri
 		ProgramSource:    p.Source(),
 		StragglerTimeout: o.stragglerTimeout,
 		MaxInFlight:      o.maxInFlight,
+		Rebalance:        o.adaptive,
 	})
 	if err != nil {
 		return nil, err
@@ -126,6 +158,29 @@ func (e *DistributedEngine) Stats() MemoryStats { return e.dpr.Stats() }
 
 // TransportStats returns the engine's wire metrics alone.
 func (e *DistributedEngine) TransportStats() TransportStats { return e.dpr.TransportStats() }
+
+// RebalanceStats returns the adaptive rebalancer's decision counters (the
+// join/leave counters tick even without WithAdaptiveRebalancing).
+func (e *DistributedEngine) RebalanceStats() RebalanceStats { return e.dpr.RebalanceStats() }
+
+// PartitionLoads returns the per-partition load rows of the most recently
+// processed window (nil before the first). The slice is reused across
+// windows; copy it to retain.
+func (e *DistributedEngine) PartitionLoads() []PartitionLoad { return e.dpr.PartitionLoads() }
+
+// Workers lists the current worker addresses.
+func (e *DistributedEngine) Workers() []string { return e.dpr.Workers() }
+
+// AddWorker grows the worker fleet between windows (no windows may be in
+// flight): partitions are re-balanced onto the new worker immediately, the
+// affected sessions reship full sub-windows on the next window, and no
+// answers are dropped.
+func (e *DistributedEngine) AddWorker(addr string) error { return e.dpr.AddWorker(addr) }
+
+// RemoveWorker shrinks the worker fleet between windows: the departing
+// worker's partitions move to the remaining workers and its wire counters
+// are folded into TransportStats. The last worker cannot be removed.
+func (e *DistributedEngine) RemoveWorker(addr string) error { return e.dpr.RemoveWorker(addr) }
 
 // Close releases every worker session. The engine must not be used
 // afterwards.

@@ -109,6 +109,19 @@ type Table struct {
 	evictedAtoms int64
 	peakAtoms    int
 	remapTime    int64 // nanoseconds spent inside Rotate
+
+	// approxBytes approximates the heap retained by the table's entries
+	// (strings, argument codes, map/slice overheads). It is maintained
+	// incrementally on every insertion under the write lock and recomputed
+	// from scratch by Rotate, so drift cannot accumulate across rotations.
+	// Byte-based memory budgets trigger on it; see ApproxBytes.
+	approxBytes int64
+	// peakShrink is the peak atom count since the backing maps and slices
+	// were last right-sized. Go maps never shrink, so after a burst a
+	// rotated table keeps peak-sized buckets; Rotate rebuilds the
+	// containers when the live count falls far enough below this peak.
+	peakShrink int
+	shrinks    int
 }
 
 // NewTable returns an empty table.
@@ -122,6 +135,30 @@ func NewTable() *Table {
 		atoms2: make(map[key2]AtomID),
 		atomsN: make(map[string]AtomID),
 	}
+}
+
+// Approximate per-entry retained-byte costs: each constant covers the entry's
+// struct/slice slot, its epoch word, and its share of the lookup-map buckets.
+// The model is deliberately coarse — budgets need proportionality to real
+// heap, not exact accounting — but it scales with string length, which the
+// entry-count budget cannot (N atoms over long URIs retain far more heap
+// than N atoms over short numbers).
+const (
+	symBytes  = 56  // map bucket share + string header + index + epoch slots
+	predBytes = 72  // predKey map share + predInfo entry + epoch slot
+	termBytes = 112 // key string share + ast.Term + epoch slot
+	atomBytes = 96  // atomEntry + lookup-map share + key/epoch slots
+	codeBytes = 8   // one argument Code in the args arena
+)
+
+// ApproxBytes returns the approximate heap bytes retained by the table's
+// entries. Maintained incrementally (insertions only) and recomputed at every
+// rotation; intended for byte-based memory budgets and observability, not for
+// exact heap accounting.
+func (t *Table) ApproxBytes() int64 {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	return t.approxBytes
 }
 
 var defaultTable = NewTable()
@@ -190,6 +227,7 @@ func (t *Table) symLocked(name string) SymID {
 	t.symNames = append(t.symNames, name)
 	t.symEpochs = append(t.symEpochs, t.curEpoch())
 	t.syms[name] = id
+	t.approxBytes += int64(len(name)) + symBytes
 	return id
 }
 
@@ -234,6 +272,7 @@ func (t *Table) predLocked(k predKey) PredID {
 	t.predInfo = append(t.predInfo, predInfo{name: k.name, nameSym: t.symLocked(k.name), arity: k.arity})
 	t.predEpochs = append(t.predEpochs, t.curEpoch())
 	t.preds[k] = id
+	t.approxBytes += int64(len(k.name)) + predBytes
 	return id
 }
 
@@ -350,6 +389,7 @@ func (t *Table) codeStructured(term ast.Term) (Code, bool) {
 	t.termList = append(t.termList, term)
 	t.termEpochs = append(t.termEpochs, t.curEpoch())
 	t.terms[key] = i
+	t.approxBytes += int64(len(key)) + termBytes
 	return tagTerm | Code(i), true
 }
 
@@ -538,6 +578,7 @@ func (t *Table) codeOfLocked(term ast.Term) (Code, bool) {
 	t.termList = append(t.termList, term)
 	t.termEpochs = append(t.termEpochs, t.curEpoch())
 	t.terms[key] = i
+	t.approxBytes += int64(len(key)) + termBytes
 	return tagTerm | Code(i), true
 }
 
@@ -598,8 +639,12 @@ func (t *Table) addAtomLocked(p PredID, cs []Code, mat ast.Atom) AtomID {
 	t.atoms = append(t.atoms, atomEntry{pred: p, off: off, n: uint32(len(cs)), atom: mat})
 	t.keys = append(t.keys, "")
 	t.atomEpochs = append(t.atomEpochs, t.curEpoch())
+	t.approxBytes += atomBytes + codeBytes*int64(len(cs))
 	if len(t.atoms) > t.peakAtoms {
 		t.peakAtoms = len(t.atoms)
+	}
+	if len(t.atoms) > t.peakShrink {
+		t.peakShrink = len(t.atoms)
 	}
 	return id
 }
@@ -723,6 +768,7 @@ func (t *Table) KeyOf(id AtomID) string {
 	t.mu.Lock()
 	if t.keys[id] == "" {
 		t.keys[id] = k
+		t.approxBytes += int64(len(k))
 	} else {
 		k = t.keys[id]
 	}

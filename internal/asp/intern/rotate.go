@@ -20,6 +20,8 @@ import (
 	"fmt"
 	"sync/atomic"
 	"time"
+
+	"streamrule/internal/asp/ast"
 )
 
 // AdvanceEpoch starts a new epoch and returns it. Engines call it once per
@@ -45,6 +47,13 @@ type TableStats struct {
 	EvictedAtoms int64
 	// RemapTime is the cumulative wall-clock time spent inside Rotate.
 	RemapTime time.Duration
+	// Bytes is the approximate heap retained by the table's entries (see
+	// Table.ApproxBytes) — the quantity byte-based memory budgets bound.
+	Bytes int64
+	// Shrinks counts rotations that additionally rebuilt the backing maps
+	// and slices because the live entry count had fallen far below the
+	// peak since the last rebuild (Go maps never shrink on their own).
+	Shrinks int
 }
 
 // Stats returns a snapshot of the table's size and rotation history.
@@ -61,6 +70,8 @@ func (t *Table) Stats() TableStats {
 		Rotations:    t.rotations,
 		EvictedAtoms: t.evictedAtoms,
 		RemapTime:    time.Duration(t.remapTime),
+		Bytes:        t.approxBytes,
+		Shrinks:      t.shrinks,
 	}
 }
 
@@ -294,6 +305,9 @@ func (t *Table) Rotate(live []AtomID) (*Remap, error) {
 	t.atomEpochs = t.atomEpochs[:wAtom]
 	t.args = t.args[:wArg]
 
+	t.maybeShrinkLocked()
+	t.approxBytes = t.recomputeBytesLocked()
+
 	rm.Stats.AtomsAfter = wAtom
 	rm.Stats.SymsAfter = len(t.symNames)
 	rm.Stats.TermsAfter = len(t.termList)
@@ -302,4 +316,85 @@ func (t *Table) Rotate(live []AtomID) (*Remap, error) {
 	t.evictedAtoms += int64(nAtoms - wAtom)
 	t.remapTime += int64(rm.Stats.Took)
 	return rm, nil
+}
+
+// shrinkFloor is the atom-count peak below which rotation never bothers
+// rebuilding the backing containers — at this size the retained buckets are
+// noise.
+const shrinkFloor = 1024
+
+// maybeShrinkLocked right-sizes the table's maps and slices after a
+// compaction that left the live set far below the peak since the last
+// rebuild. Go maps only ever grow their bucket arrays, and the in-place
+// compaction keeps slice capacity, so a table that once absorbed a burst
+// otherwise retains burst-sized backing storage forever — live *entries*
+// were bounded by the budget, heap was not. Rebuilding at < ¼ of peak keeps
+// the amortized cost trivial (a shrink can only follow 4× growth).
+func (t *Table) maybeShrinkLocked() {
+	if t.peakShrink < shrinkFloor || len(t.atoms)*4 >= t.peakShrink {
+		return
+	}
+	syms := make(map[string]SymID, len(t.symNames))
+	for name, id := range t.syms {
+		syms[name] = id
+	}
+	t.syms = syms
+	terms := make(map[string]uint32, len(t.termList))
+	for k, i := range t.terms {
+		terms[k] = i
+	}
+	t.terms = terms
+	atoms0 := make(map[PredID]AtomID, len(t.atoms0))
+	for k, id := range t.atoms0 {
+		atoms0[k] = id
+	}
+	t.atoms0 = atoms0
+	atoms1 := make(map[key1]AtomID, len(t.atoms1))
+	for k, id := range t.atoms1 {
+		atoms1[k] = id
+	}
+	t.atoms1 = atoms1
+	atoms2 := make(map[key2]AtomID, len(t.atoms2))
+	for k, id := range t.atoms2 {
+		atoms2[k] = id
+	}
+	t.atoms2 = atoms2
+	atomsN := make(map[string]AtomID, len(t.atomsN))
+	for k, id := range t.atomsN {
+		atomsN[k] = id
+	}
+	t.atomsN = atomsN
+
+	t.symNames = append(make([]string, 0, len(t.symNames)), t.symNames...)
+	t.symEpochs = append(make([]uint32, 0, len(t.symEpochs)), t.symEpochs...)
+	t.termList = append(make([]ast.Term, 0, len(t.termList)), t.termList...)
+	t.termEpochs = append(make([]uint32, 0, len(t.termEpochs)), t.termEpochs...)
+	t.atoms = append(make([]atomEntry, 0, len(t.atoms)), t.atoms...)
+	t.keys = append(make([]string, 0, len(t.keys)), t.keys...)
+	t.atomEpochs = append(make([]uint32, 0, len(t.atomEpochs)), t.atomEpochs...)
+	t.args = append(make([]Code, 0, len(t.args)), t.args...)
+
+	t.peakShrink = len(t.atoms)
+	t.shrinks++
+}
+
+// recomputeBytesLocked re-derives the approximate retained bytes from the
+// surviving entries, resetting any drift the incremental counter picked up
+// (dropped entries are never decremented outside rotation).
+func (t *Table) recomputeBytesLocked() int64 {
+	var b int64
+	for _, name := range t.symNames {
+		b += int64(len(name)) + symBytes
+	}
+	for _, pi := range t.predInfo {
+		b += int64(len(pi.name)) + predBytes
+	}
+	for key := range t.terms {
+		b += int64(len(key)) + termBytes
+	}
+	b += atomBytes*int64(len(t.atoms)) + codeBytes*int64(len(t.args))
+	for _, k := range t.keys {
+		b += int64(len(k))
+	}
+	return b
 }

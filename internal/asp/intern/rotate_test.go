@@ -170,3 +170,108 @@ func TestRotateStats(t *testing.T) {
 		t.Errorf("epoch = %d", st.Epoch)
 	}
 }
+
+func TestApproxBytesGrowsAndRecomputes(t *testing.T) {
+	tab := NewTable()
+	if got := tab.ApproxBytes(); got != 0 {
+		t.Fatalf("fresh table ApproxBytes = %d, want 0", got)
+	}
+	var ids []AtomID
+	for i := 0; i < 200; i++ {
+		a := ast.NewAtom("pred", ast.Sym(fmt.Sprintf("some-long-constant-%d", i)), ast.Num(int64(i)))
+		ids = append(ids, tab.InternAtom(a))
+	}
+	grown := tab.ApproxBytes()
+	if grown <= 0 {
+		t.Fatalf("ApproxBytes after interning = %d, want > 0", grown)
+	}
+	// Re-interning existing atoms must not inflate the estimate.
+	for i := 0; i < 200; i++ {
+		tab.InternAtom(ast.NewAtom("pred", ast.Sym(fmt.Sprintf("some-long-constant-%d", i)), ast.Num(int64(i))))
+	}
+	if again := tab.ApproxBytes(); again != grown {
+		t.Fatalf("ApproxBytes changed on duplicate interning: %d -> %d", grown, again)
+	}
+	if st := tab.Stats(); st.Bytes != grown {
+		t.Fatalf("Stats().Bytes = %d, want %d", st.Bytes, grown)
+	}
+
+	// Rotation recomputes from live state: keeping a small suffix must
+	// drop the estimate substantially, and the recomputed value should be
+	// consistent with interning the survivors into a fresh table.
+	tab.AdvanceEpoch()
+	live := ids[:10]
+	if _, err := tab.Rotate(live); err != nil {
+		t.Fatal(err)
+	}
+	after := tab.ApproxBytes()
+	if after <= 0 || after >= grown {
+		t.Fatalf("ApproxBytes after rotate = %d, want in (0, %d)", after, grown)
+	}
+	fresh := NewTable()
+	for i := 0; i < 10; i++ {
+		fresh.InternAtom(ast.NewAtom("pred", ast.Sym(fmt.Sprintf("some-long-constant-%d", i)), ast.Num(int64(i))))
+	}
+	// The rotated table may retain extra interned terms/symbols beyond the
+	// live atoms' (keys cache etc.), but the same-order estimate should be
+	// within a small factor of a from-scratch build.
+	if after > 4*fresh.ApproxBytes()+4096 {
+		t.Fatalf("rotated ApproxBytes = %d, fresh rebuild = %d: recompute drifting", after, fresh.ApproxBytes())
+	}
+}
+
+func TestRotateShrinksPeakSizedContainers(t *testing.T) {
+	tab := NewTable()
+	const peak = 5000 // comfortably past shrinkFloor
+	var ids []AtomID
+	for i := 0; i < peak; i++ {
+		ids = append(ids, tab.InternAtom(ast.NewAtom("q", ast.Sym(fmt.Sprintf("burst-%d", i)), ast.Num(int64(i)))))
+	}
+	beforeBytes := tab.ApproxBytes()
+
+	// Rotate keeping ~1% of peak: live << peak/4, so the maps and slices
+	// must be rebuilt at live size.
+	tab.AdvanceEpoch()
+	live := ids[:peak/100]
+	rm, err := tab.Rotate(live)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := tab.Stats()
+	if st.Shrinks < 1 {
+		t.Fatalf("Stats().Shrinks = %d after live<<peak rotation, want >= 1", st.Shrinks)
+	}
+	if st.Bytes >= beforeBytes/10 {
+		t.Fatalf("Stats().Bytes = %d after shrink, want < %d", st.Bytes, beforeBytes/10)
+	}
+	// Survivors still resolve and render correctly through the remap.
+	for i, old := range live {
+		nid, ok := rm.Atom(old)
+		if !ok {
+			t.Fatalf("live atom %d evicted by shrinking rotation", old)
+		}
+		want := fmt.Sprintf("q(burst-%d,%d)", i, i)
+		if got := tab.Atom(nid).String(); got != want {
+			t.Fatalf("atom %d renders %q after shrink, want %q", old, got, want)
+		}
+	}
+	// And the table keeps working: fresh interning after a shrink.
+	id2 := tab.InternAtom(ast.NewAtom("q", ast.Sym("post-shrink"), ast.Num(1)))
+	if got := tab.Atom(id2).String(); got != "q(post-shrink,1)" {
+		t.Fatalf("post-shrink intern renders %q", got)
+	}
+
+	// A rotation that keeps most of the peak must NOT shrink.
+	tab2 := NewTable()
+	ids = ids[:0]
+	for i := 0; i < peak; i++ {
+		ids = append(ids, tab2.InternAtom(ast.NewAtom("q", ast.Sym(fmt.Sprintf("warm-%d", i)), ast.Num(int64(i)))))
+	}
+	tab2.AdvanceEpoch()
+	if _, err := tab2.Rotate(ids[:peak/2]); err != nil {
+		t.Fatal(err)
+	}
+	if got := tab2.Stats().Shrinks; got != 0 {
+		t.Fatalf("Shrinks = %d after keeping half of peak, want 0", got)
+	}
+}

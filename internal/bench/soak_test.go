@@ -96,6 +96,39 @@ func TestSoakBoundedMemoryEviction(t *testing.T) {
 		t.Errorf("heap grew %d bytes between window %d and window %d", heapEnd-heapMid, windows/2, windows)
 	}
 
+	// Burst and recovery: a few giant windows blow the table far past its
+	// steady state, then normal-sized windows resume. Rotation must not only
+	// evict the burst's entries but rebuild the peak-sized containers — the
+	// Shrinks counter ticks and the heap actually falls back down. (Go maps
+	// never release their buckets, so without the rebuild the burst's
+	// footprint would be permanent no matter how much rotation evicts.)
+	burst := FreshTraffic(11, 18000)
+	for i := 0; i+6000 <= len(burst); i += 6000 {
+		if _, err := r.Process(burst[i : i+6000]); err != nil {
+			t.Fatalf("burst window at %d: %v", i, err)
+		}
+	}
+	heapBurst := readHeap()
+	recovery := FreshTraffic(13, 2400)
+	for i := 0; i+size <= len(recovery); i += size {
+		if _, err := r.Process(recovery[i : i+size]); err != nil {
+			t.Fatalf("recovery window at %d: %v", i, err)
+		}
+	}
+	heapRecovered := readHeap()
+	st = r.Stats()
+	if st.Table.Shrinks < 1 {
+		t.Errorf("rotation never shrank the peak-sized containers after the burst (live %d, rotations %d)",
+			st.Table.Atoms, st.Table.Rotations)
+	}
+	if heapRecovered+1<<20 > heapBurst {
+		t.Errorf("heap did not fall after the burst: %d bytes at burst peak, %d after recovery",
+			heapBurst, heapRecovered)
+	}
+	if maxLive := st.Table.Atoms; maxLive > budget+headroom {
+		t.Errorf("live entries settled at %d after the burst, want <= %d", maxLive, budget+headroom)
+	}
+
 	// Control: the identical reasoner without a budget (private table, so
 	// the default table is not polluted) exceeds the bound on the same
 	// stream — the assertions above are not vacuous.

@@ -11,6 +11,8 @@ package reasoner
 
 import (
 	"fmt"
+	"slices"
+	"sort"
 	"sync"
 	"time"
 
@@ -46,6 +48,12 @@ type DPROptions struct {
 	// the remote compute of windows n-d+2..n; Collect still yields windows
 	// strictly in submission order.
 	MaxInFlight int
+	// Rebalance enables the adaptive rebalancer (rebalance.go): the
+	// coordinator observes per-partition load every window and, between
+	// windows, migrates partitions across workers and — when the
+	// partitioner is an *AdaptivePartitioner — splits overloaded
+	// communities. nil keeps the static round-robin assignment.
+	Rebalance *RebalanceOptions
 }
 
 // TransportStats aggregates the distributed reasoner's wire metrics across
@@ -119,6 +127,33 @@ func (s TransportStats) MeanInFlight() float64 {
 	return float64(s.InFlightSum) / float64(s.Rounds)
 }
 
+// PartitionLoad is one partition's observed load in the most recently
+// collected window: the rebalancer's per-partition signal, also exposed for
+// operators via DPR.PartitionLoads.
+type PartitionLoad struct {
+	// Partition is the global partition index.
+	Partition int
+	// Worker is the address of the session the partition is assigned to.
+	Worker string
+	// Items is the number of window items routed into the partition.
+	Items int
+	// CP is the partition's end-to-end compute time for the window
+	// (worker-reported for remote legs, measured for local fallbacks).
+	CP time.Duration
+	// Remote reports whether the partition was answered by its worker
+	// (false: local fallback served it).
+	Remote bool
+}
+
+// sessionTotals accumulates the wire counters of sessions removed from the
+// fleet (RemoveWorker), so TransportStats survive membership changes.
+type sessionTotals struct {
+	remote, local, redials int64
+	sent, recv             int64
+	refs, shipped          int64
+	reqRefs, reqShipped    int64
+}
+
 // dprSession is one worker's leg of the reasoner: a transport client, the
 // response-dictionary decoder, the request-dictionary encoder, and the
 // delta bases of the partitions it hosts. Counters of dead clients and
@@ -181,6 +216,7 @@ func (ps *dprSession) retire() {
 type pendingWindow struct {
 	start        time.Time
 	scratch      bool
+	window       []rdf.Triple
 	parts        [][]rdf.Triple
 	partitionLat time.Duration
 	skipped      int
@@ -218,6 +254,11 @@ type pendingLeg struct {
 type DPR struct {
 	part Partitioner
 	opts DPROptions
+	// cfg is the (post-construction) local-reasoner config: the rebalancer
+	// rebuilds dpr.locals from it when the partition count changes. Its
+	// GroundOpts.Intern is dpr.tab and its budgets are zeroed (rotation is
+	// coordinated at DPR level).
+	cfg Config
 
 	tab      *intern.Table
 	locals   []*R
@@ -228,14 +269,26 @@ type DPR struct {
 	// also shipped to workers (at dial time) for the worker-side combine.
 	MaxCombinations int
 
-	budget  int
-	liveBuf []intern.AtomID
-	hello   transport.Hello
-	diffBuf map[rdf.Triple]int
+	budget      int
+	budgetBytes int64
+	liveBuf     []intern.AtomID
+	hello       transport.Hello
+	diffBuf     map[rdf.Triple]int
 
 	rounds, windows       int64
 	fullParts, deltaParts int64
 	inFlightSum           int64
+
+	// removed holds the folded counters of sessions dropped by
+	// RemoveWorker; lastLoads is the per-partition load observed by the
+	// most recent Collect; rebal is the optional adaptive rebalancer;
+	// staticRebal carries the join/leave counters that tick even without
+	// a rebalancer.
+	removed     sessionTotals
+	lastLoads   []PartitionLoad
+	lastWindow  []rdf.Triple
+	rebal       *rebalancer
+	staticRebal RebalanceStats
 }
 
 // NewDPR builds a distributed reasoner: partitions are assigned round-robin
@@ -261,7 +314,7 @@ func NewDPR(cfg Config, part Partitioner, opts DPROptions) (*DPR, error) {
 		return nil, fmt.Errorf("reasoner: partitioner yields %d partitions", n)
 	}
 
-	dpr := &DPR{part: part, opts: opts, budget: cfg.MemoryBudget}
+	dpr := &DPR{part: part, opts: opts, budget: cfg.MemoryBudget, budgetBytes: cfg.MemoryBudgetBytes}
 	// The coordinator owns a private table for decoded answers and local
 	// fallbacks; budget rotation is coordinated here (workers rotate their
 	// own tables independently).
@@ -270,6 +323,8 @@ func NewDPR(cfg Config, part Partitioner, opts DPROptions) (*DPR, error) {
 	}
 	dpr.tab = cfg.GroundOpts.Intern
 	cfg.MemoryBudget = 0
+	cfg.MemoryBudgetBytes = 0
+	dpr.cfg = cfg
 	for i := 0; i < n; i++ {
 		r, err := NewR(cfg)
 		if err != nil {
@@ -287,20 +342,28 @@ func NewDPR(cfg Config, part Partitioner, opts DPROptions) (*DPR, error) {
 		NaivePropagation:  cfg.SolveOpts.NaivePropagation,
 		MaxAtoms:          cfg.GroundOpts.MaxAtoms,
 		MemoryBudget:      dpr.budget,
+		MemoryBudgetBytes: dpr.budgetBytes,
 	}
 
-	// Group partitions by worker: partition i → worker i mod W, one
-	// session per worker actually used.
+	// One session per worker; partitions are assigned round-robin
+	// (partition i → worker i mod W). A worker beyond the partition count
+	// starts empty and idles until the rebalancer hands it work.
 	w := len(opts.Workers)
-	for wi := 0; wi < w && wi < n; wi++ {
+	for wi := 0; wi < w; wi++ {
 		ps := &dprSession{addr: opts.Workers[wi]}
 		for p := wi; p < n; p += w {
 			ps.parts = append(ps.parts, p)
 		}
 		dpr.sessions = append(dpr.sessions, ps)
 	}
+	if opts.Rebalance != nil {
+		dpr.rebal = newRebalancer(*opts.Rebalance)
+	}
 	reachable := false
 	for _, ps := range dpr.sessions {
+		if len(ps.parts) == 0 {
+			continue
+		}
 		if err := dpr.dial(ps); err == nil {
 			reachable = true
 		}
@@ -334,6 +397,9 @@ func (dpr *DPR) dial(ps *dprSession) error {
 	ps.reqEnc = intern.NewWireEncoder()
 	ps.base = make([][]rdf.Triple, len(ps.parts))
 	ps.baseValid = false
+	// A redialed session talks to a FRESH worker session with an empty
+	// table: the previous table snapshot no longer describes anything.
+	ps.workerRotations, ps.workerLiveAtoms = 0, 0
 	return nil
 }
 
@@ -403,7 +469,7 @@ func (dpr *DPR) Submit(window []rdf.Triple, d *Delta) error {
 // the request simply leaves its leg unsubmitted, and Collect processes
 // those partitions locally.
 func (dpr *DPR) submit(window []rdf.Triple, scratch bool) {
-	pw := &pendingWindow{start: time.Now(), scratch: scratch}
+	pw := &pendingWindow{start: time.Now(), scratch: scratch, window: window}
 	t0 := time.Now()
 	parts, skipped := dpr.part.Partition(window)
 	pw.partitionLat = time.Since(t0)
@@ -412,6 +478,9 @@ func (dpr *DPR) submit(window []rdf.Triple, scratch bool) {
 	pw.legs = make([]pendingLeg, len(dpr.sessions))
 
 	for si, ps := range dpr.sessions {
+		if len(ps.parts) == 0 {
+			continue
+		}
 		if !dpr.ensureConnected(ps) {
 			continue
 		}
@@ -552,14 +621,20 @@ func (dpr *DPR) Collect() (*Output, error) {
 		out.RoutedItems += len(p)
 	}
 
+	// Per-partition load rows for this window: every leg fills the rows of
+	// its own (disjoint) partitions, so the slice needs no locking.
+	loads := make([]PartitionLoad, len(dpr.locals))
 	results := make([]*Output, len(dpr.sessions))
 	errs := make([]error, len(dpr.sessions))
 	var wg sync.WaitGroup
 	for si := range dpr.sessions {
+		if len(dpr.sessions[si].parts) == 0 {
+			continue
+		}
 		wg.Add(1)
 		go func(si int) {
 			defer wg.Done()
-			results[si], errs[si] = dpr.collectLeg(dpr.sessions[si], &pw.legs[si], pw)
+			results[si], errs[si] = dpr.collectLeg(dpr.sessions[si], &pw.legs[si], pw, loads)
 		}(si)
 	}
 	wg.Wait()
@@ -569,11 +644,23 @@ func (dpr *DPR) Collect() (*Output, error) {
 		}
 	}
 	dpr.windows++
+	dpr.lastLoads = loads
+	dpr.lastWindow = pw.window
+
+	// Drop the legs of partition-less sessions (idle workers contribute
+	// nothing to the window).
+	legs := results[:0]
+	for _, res := range results {
+		if res != nil {
+			legs = append(legs, res)
+		}
+	}
+	results = legs
 
 	out.Incremental = len(results) > 0
 	// The aggregate is on the fast path only when every leg was.
 	out.SolveStats.FastPath = len(results) > 0
-	var maxTotal, maxLegCombine time.Duration
+	var maxTotal time.Duration
 	for _, res := range results {
 		if !res.Incremental {
 			out.Incremental = false
@@ -583,9 +670,6 @@ func (dpr *DPR) Collect() (*Output, error) {
 		}
 		if res.Latency.Total > maxTotal {
 			maxTotal = res.Latency.Total
-		}
-		if res.Latency.Combine > maxLegCombine {
-			maxLegCombine = res.Latency.Combine
 		}
 		if res.Latency.Convert > out.Latency.Convert {
 			out.Latency.Convert = res.Latency.Convert
@@ -612,7 +696,11 @@ func (dpr *DPR) Collect() (*Output, error) {
 		perLeg[i] = res.Answers
 	}
 	out.Answers = Combine(perLeg, dpr.maxComb())
-	out.Latency.Combine = maxLegCombine + time.Since(t0)
+	// Cross-worker combine only: each leg's own combine already lives in
+	// its Latency.Total (the worker folds CombineNS into TotalNS, and the
+	// fallback leg adds its combine to Total) — adding the max leg combine
+	// here again would double-count it on the critical path.
+	out.Latency.Combine = time.Since(t0)
 
 	// Coordinated rotation of the coordinator's answer table, mirroring PR.
 	t0 = time.Now()
@@ -621,6 +709,13 @@ func (dpr *DPR) Collect() (*Output, error) {
 
 	out.Latency.Total = time.Since(pw.start)
 	out.Latency.CriticalPath = out.Latency.Partition + maxTotal + out.Latency.Combine + rotate
+
+	// With the pipeline drained this is a between-windows point: let the
+	// rebalancer observe the window's loads and, if skew sustained, adapt
+	// the layout. Rebalancing never fails a window.
+	if dpr.rebal != nil && len(dpr.pending) == 0 {
+		dpr.rebal.step(dpr)
+	}
 	return out, nil
 }
 
@@ -633,10 +728,12 @@ func (dpr *DPR) maxComb() int {
 
 // collectLeg finishes one session's leg of a window: await and decode the
 // remote response when the request went out on the still-live client, or
-// reason over the leg's partitions locally.
-func (dpr *DPR) collectLeg(ps *dprSession, leg *pendingLeg, pw *pendingWindow) (*Output, error) {
+// reason over the leg's partitions locally. Either way it fills the leg's
+// rows of the per-partition load slice — a partition's items and cp-ms are
+// attributed exactly once per window, to whichever side actually served it.
+func (dpr *DPR) collectLeg(ps *dprSession, leg *pendingLeg, pw *pendingWindow, loads []PartitionLoad) (*Output, error) {
 	if leg.submitted && ps.client != nil && ps.client == leg.client && !ps.client.Broken() {
-		out, err, usable := dpr.awaitRemote(ps)
+		out, err, usable := dpr.awaitRemote(ps, pw, loads)
 		if usable {
 			return out, err
 		}
@@ -664,6 +761,14 @@ func (dpr *DPR) collectLeg(ps *dprSession, leg *pendingLeg, pw *pendingWindow) (
 			return nil, err
 		}
 	}
+	for j, gi := range ps.parts {
+		loads[gi] = PartitionLoad{
+			Partition: gi,
+			Worker:    ps.addr,
+			Items:     len(pw.parts[gi]),
+			CP:        outs[j].Latency.Total,
+		}
+	}
 	return dpr.combineLeg(outs), nil
 }
 
@@ -671,7 +776,7 @@ func (dpr *DPR) collectLeg(ps *dprSession, leg *pendingLeg, pw *pendingWindow) (
 // the leg must fall back locally (transport failure, timeout, desync);
 // usable=true with a non-nil error reports a worker-side processing error,
 // terminal for the window exactly like a local partition error would be.
-func (dpr *DPR) awaitRemote(ps *dprSession) (*Output, error, bool) {
+func (dpr *DPR) awaitRemote(ps *dprSession, pw *pendingWindow, loads []PartitionLoad) (*Output, error, bool) {
 	start := time.Now()
 	resp, err := ps.client.Await(dpr.opts.StragglerTimeout)
 	if err != nil {
@@ -704,6 +809,21 @@ func (dpr *DPR) awaitRemote(ps *dprSession) (*Output, error, bool) {
 	ps.remote += int64(len(ps.parts))
 	ps.workerRotations = int64(resp.Rotations)
 	ps.workerLiveAtoms = int64(resp.LiveAtoms)
+	for j, gi := range ps.parts {
+		pl := PartitionLoad{
+			Partition: gi,
+			Worker:    ps.addr,
+			Items:     len(pw.parts[gi]),
+			Remote:    true,
+		}
+		if j < len(resp.PartTotalNS) {
+			pl.CP = time.Duration(resp.PartTotalNS[j])
+		}
+		if j < len(resp.PartItems) {
+			pl.Items = resp.PartItems[j]
+		}
+		loads[gi] = pl
+	}
 	out := &Output{
 		Answers:     answers,
 		Skipped:     resp.Skipped,
@@ -818,7 +938,8 @@ func (dpr *DPR) Stats() MemoryStats {
 	return MemoryStats{Budget: dpr.budget, Table: dpr.tab.Stats(), Transport: &ts}
 }
 
-// TransportStats aggregates the wire metrics across all worker sessions.
+// TransportStats aggregates the wire metrics across all worker sessions,
+// sessions removed from the fleet included.
 func (dpr *DPR) TransportStats() TransportStats {
 	ts := TransportStats{
 		Rounds:           dpr.rounds,
@@ -826,6 +947,15 @@ func (dpr *DPR) TransportStats() TransportStats {
 		FullPartWindows:  dpr.fullParts,
 		DeltaPartWindows: dpr.deltaParts,
 		InFlightSum:      dpr.inFlightSum,
+		RemoteWindows:    dpr.removed.remote,
+		LocalFallbacks:   dpr.removed.local,
+		Redials:          dpr.removed.redials,
+		BytesSent:        dpr.removed.sent,
+		BytesReceived:    dpr.removed.recv,
+		DictRefs:         dpr.removed.refs,
+		DictShipped:      dpr.removed.shipped,
+		ReqDictRefs:      dpr.removed.reqRefs,
+		ReqDictShipped:   dpr.removed.reqShipped,
 	}
 	for _, ps := range dpr.sessions {
 		ts.RemoteWindows += ps.remote
@@ -853,4 +983,175 @@ func (dpr *DPR) TransportStats() TransportStats {
 		ts.WorkerLiveAtoms += ps.workerLiveAtoms
 	}
 	return ts
+}
+
+// PartitionLoads returns the per-partition load rows of the most recently
+// collected window (nil before the first Collect). The slice is reused
+// across windows; copy it to retain.
+func (dpr *DPR) PartitionLoads() []PartitionLoad { return dpr.lastLoads }
+
+// RebalanceStats returns the adaptive rebalancer's counters (zero value
+// when DPROptions.Rebalance was nil — joins and leaves still count).
+func (dpr *DPR) RebalanceStats() RebalanceStats {
+	if dpr.rebal == nil {
+		return dpr.staticRebal
+	}
+	st := dpr.rebal.stats
+	st.Joins += dpr.staticRebal.Joins
+	st.Leaves += dpr.staticRebal.Leaves
+	return st
+}
+
+// Workers lists the current worker addresses in session order.
+func (dpr *DPR) Workers() []string {
+	out := make([]string, len(dpr.sessions))
+	for i, ps := range dpr.sessions {
+		out[i] = ps.addr
+	}
+	return out
+}
+
+// AddWorker grows the fleet with one worker between windows (no windows may
+// be in flight): the new session joins the assignment immediately via a
+// balanced re-layout, and the sessions whose partitions move are retired so
+// their next window redials, reships full sub-windows, and replays
+// dictionaries — answers are never dropped, the join costs one full-window
+// ship on the affected sessions.
+func (dpr *DPR) AddWorker(addr string) error {
+	if len(dpr.pending) > 0 {
+		return fmt.Errorf("reasoner: %d window(s) in flight; Collect before AddWorker", len(dpr.pending))
+	}
+	for _, ps := range dpr.sessions {
+		if ps.addr == addr {
+			return fmt.Errorf("reasoner: worker %s already in the fleet", addr)
+		}
+	}
+	dpr.sessions = append(dpr.sessions, &dprSession{addr: addr})
+	dpr.staticRebal.Joins++
+	return dpr.applyLayout(dpr.balancedAssign())
+}
+
+// RemoveWorker shrinks the fleet between windows: the worker's partitions
+// are reassigned to the remaining sessions (full-window reship on the next
+// window), its wire counters are folded into the DPR totals so
+// TransportStats survive the departure, and its session is closed. The last
+// worker cannot be removed.
+func (dpr *DPR) RemoveWorker(addr string) error {
+	if len(dpr.pending) > 0 {
+		return fmt.Errorf("reasoner: %d window(s) in flight; Collect before RemoveWorker", len(dpr.pending))
+	}
+	if len(dpr.sessions) == 1 {
+		return fmt.Errorf("reasoner: cannot remove the last worker")
+	}
+	idx := -1
+	for i, ps := range dpr.sessions {
+		if ps.addr == addr {
+			idx = i
+			break
+		}
+	}
+	if idx < 0 {
+		return fmt.Errorf("reasoner: worker %s not in the fleet", addr)
+	}
+	ps := dpr.sessions[idx]
+	ps.retire()
+	dpr.removed.remote += ps.remote
+	dpr.removed.local += ps.local
+	dpr.removed.redials += ps.redials
+	dpr.removed.sent += ps.accSent
+	dpr.removed.recv += ps.accRecv
+	dpr.removed.refs += ps.accRefs
+	dpr.removed.shipped += ps.accShipped
+	dpr.removed.reqRefs += ps.accReqRefs
+	dpr.removed.reqShipped += ps.accReqShipped
+	dpr.sessions = append(dpr.sessions[:idx], dpr.sessions[idx+1:]...)
+	dpr.staticRebal.Leaves++
+	return dpr.applyLayout(dpr.balancedAssign())
+}
+
+// balancedAssign computes a partition→session assignment by longest-
+// processing-time greedy packing: partitions sorted by observed load
+// (EWMA-smoothed when the rebalancer runs, last-window items otherwise,
+// uniform before the first window), heaviest first, each onto the least
+// loaded session. Deterministic: ties break on lower index.
+func (dpr *DPR) balancedAssign() []int {
+	n := dpr.part.NumPartitions()
+	weights := make([]float64, n)
+	for p := range weights {
+		weights[p] = 1
+	}
+	if dpr.rebal != nil && len(dpr.rebal.loadEwma) == n {
+		copy(weights, dpr.rebal.loadEwma)
+	} else if len(dpr.lastLoads) == n {
+		for p, pl := range dpr.lastLoads {
+			weights[p] = float64(pl.Items) + 1
+		}
+	}
+	return assignLPT(weights, len(dpr.sessions))
+}
+
+// assignLPT packs n weighted partitions onto k bins, heaviest first onto
+// the least loaded bin.
+func assignLPT(weights []float64, k int) []int {
+	order := make([]int, len(weights))
+	for i := range order {
+		order[i] = i
+	}
+	sort.SliceStable(order, func(a, b int) bool { return weights[order[a]] > weights[order[b]] })
+	load := make([]float64, k)
+	assign := make([]int, len(weights))
+	for _, p := range order {
+		best := 0
+		for s := 1; s < k; s++ {
+			if load[s] < load[best] {
+				best = s
+			}
+		}
+		assign[p] = best
+		load[best] += weights[p]
+	}
+	return assign
+}
+
+// applyLayout installs a partition→session assignment between windows. When
+// the partitioner's partition count changed (a split), the local fallback
+// reasoners are rebuilt against the shared coordinator table first. Sessions
+// whose hosted-partition list changes are retired: the next window redials
+// them with the new partition count, ships full sub-windows, and replays the
+// request dictionary — the PR 4/6 session machinery, no new wire protocol.
+func (dpr *DPR) applyLayout(assign []int) error {
+	if len(dpr.pending) > 0 {
+		return fmt.Errorf("reasoner: %d window(s) in flight; layout changes happen between windows", len(dpr.pending))
+	}
+	n := dpr.part.NumPartitions()
+	if len(assign) != n {
+		return fmt.Errorf("reasoner: layout of %d partitions for a %d-partition partitioner", len(assign), n)
+	}
+	newParts := make([][]int, len(dpr.sessions))
+	for p, si := range assign {
+		if si < 0 || si >= len(dpr.sessions) {
+			return fmt.Errorf("reasoner: partition %d assigned to session %d of %d", p, si, len(dpr.sessions))
+		}
+		newParts[si] = append(newParts[si], p)
+	}
+	if n != len(dpr.locals) {
+		locals := make([]*R, 0, n)
+		for i := 0; i < n; i++ {
+			r, err := NewR(dpr.cfg)
+			if err != nil {
+				return err
+			}
+			locals = append(locals, r)
+		}
+		dpr.locals = locals
+	}
+	for si, ps := range dpr.sessions {
+		if slices.Equal(ps.parts, newParts[si]) {
+			continue
+		}
+		ps.retire()
+		ps.parts = newParts[si]
+		ps.base = nil
+	}
+	return nil
 }

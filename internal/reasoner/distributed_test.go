@@ -423,7 +423,7 @@ func TestDistributedTinyFrameFallsBack(t *testing.T) {
 	defer srv.Close()
 
 	opts := testDPROptions(f.src, []string{srv.Addr()})
-	opts.MaxFrame = 512 // the handshake fits; no window does
+	opts.MaxFrame = 640 // the handshake fits; no window does
 	opts.StragglerTimeout = 2 * time.Second
 	dpr, err := NewDPR(f.cfg, NewPlanPartitioner(f.plan.Plan), opts)
 	if err != nil {

@@ -233,6 +233,14 @@ func TestDistributedWorkerDeathMidPipeline(t *testing.T) {
 	if ts.LocalFallbacks == 0 {
 		t.Error("worker death mid-pipeline never forced a local fallback")
 	}
+	// The books must balance: every partition window of every processed
+	// window is accounted exactly once, remote or fallback — even when legs
+	// flipped from remote to fallback mid-pipeline. A double count (or a
+	// lost leg) here is what poisoned the rebalancer's load signal.
+	if got, want := ts.RemoteWindows+ts.LocalFallbacks, int64(len(f.emissions)*dpr.NumPartitions()); got != want {
+		t.Errorf("books don't balance after mid-pipeline death: remote %d + fallback %d = %d, want windows x partitions = %d",
+			ts.RemoteWindows, ts.LocalFallbacks, got, want)
+	}
 }
 
 // TestDistributedTinyFramePipelined caps frames below any real window with
@@ -248,7 +256,7 @@ func TestDistributedTinyFramePipelined(t *testing.T) {
 	defer srv.Close()
 
 	opts := testDPROptions(f.src, []string{srv.Addr()})
-	opts.MaxFrame = 512 // the handshake fits; no window does
+	opts.MaxFrame = 640 // the handshake fits; no window does
 	opts.StragglerTimeout = 2 * time.Second
 	opts.MaxInFlight = 2
 	dpr, err := NewDPR(f.cfg, NewPlanPartitioner(f.plan.Plan), opts)

@@ -48,8 +48,22 @@ type Config struct {
 	// windows materialize their answer sets eagerly, so retained sets keep
 	// valid atoms/keys across later rotations; their raw IDs are valid only
 	// until the next window. See memory.go.
+	//
+	// Deprecated: MemoryBudget counts table ENTRIES, so N atoms over long
+	// symbols can blow the real heap budget while N short ones rotate
+	// needlessly. Prefer MemoryBudgetBytes; the entry-count knob remains as
+	// an alias and both may be combined (rotation triggers when either is
+	// exceeded).
 	MemoryBudget int
+	// MemoryBudgetBytes bounds the interning table by approximate retained
+	// bytes (intern.Table.ApproxBytes) instead of entry count — the
+	// byte-based successor of MemoryBudget, with identical rotation
+	// semantics. 0 disables the byte bound.
+	MemoryBudgetBytes int64
 }
+
+// budgeted reports whether any memory bound is configured.
+func (c *Config) budgeted() bool { return c.MemoryBudget > 0 || c.MemoryBudgetBytes > 0 }
 
 // Latency breaks the processing time of one window into the phases the
 // paper discusses. For PR, Convert/Ground/Solve are the maxima across the
@@ -169,7 +183,7 @@ func NewR(cfg Config) (*R, error) {
 			return nil, err
 		}
 	}
-	if cfg.MemoryBudget > 0 && cfg.GroundOpts.Intern == nil {
+	if cfg.budgeted() && cfg.GroundOpts.Intern == nil {
 		// A budgeted reasoner rotates its table, which invalidates interned
 		// IDs; it must own the table rather than share the process-wide
 		// default with unsuspecting components.
@@ -487,9 +501,11 @@ type PR struct {
 	// budget is the PR-level MemoryBudget: all partition reasoners share one
 	// interning table, so rotation must be coordinated here, after every
 	// partition has quiesced (memory.go). The per-partition reasoners run
-	// with budget 0.
-	budget  int
-	liveBuf []intern.AtomID
+	// with budget 0. budgetBytes is the byte-based counterpart
+	// (Config.MemoryBudgetBytes).
+	budget      int
+	budgetBytes int64
+	liveBuf     []intern.AtomID
 }
 
 // DefaultMaxCombinations bounds the answer-set cross product.
@@ -507,14 +523,15 @@ func NewPR(cfg Config, part Partitioner) (*PR, error) {
 	if n < 1 {
 		return nil, fmt.Errorf("reasoner: partitioner yields %d partitions", n)
 	}
-	pr := &PR{part: part, Sequential: runtime.GOMAXPROCS(0) < n, budget: cfg.MemoryBudget}
-	if cfg.MemoryBudget > 0 {
+	pr := &PR{part: part, Sequential: runtime.GOMAXPROCS(0) < n, budget: cfg.MemoryBudget, budgetBytes: cfg.MemoryBudgetBytes}
+	if cfg.budgeted() {
 		if cfg.GroundOpts.Intern == nil {
 			cfg.GroundOpts.Intern = intern.NewTable()
 		}
 		// Partition reasoners share the table; rotation is coordinated at
 		// the PR level between windows, never by a single partition.
 		cfg.MemoryBudget = 0
+		cfg.MemoryBudgetBytes = 0
 	}
 	for i := 0; i < n; i++ {
 		r, err := NewR(cfg)

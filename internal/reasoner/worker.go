@@ -63,12 +63,13 @@ func (h *WorkerHandler) NewSession(hello *transport.Hello) (transport.Session, e
 		n = 1
 	}
 	s := &workerSession{
-		tab:     cfg.GroundOpts.Intern,
-		enc:     intern.NewWireEncoder(),
-		reqDec:  intern.NewWireDecoder(nil),
-		budget:  hello.MemoryBudget,
-		maxComb: hello.MaxCombinations,
-		wins:    make([]partWindow, n),
+		tab:         cfg.GroundOpts.Intern,
+		enc:         intern.NewWireEncoder(),
+		reqDec:      intern.NewWireDecoder(nil),
+		budget:      hello.MemoryBudget,
+		budgetBytes: hello.MemoryBudgetBytes,
+		maxComb:     hello.MaxCombinations,
+		wins:        make([]partWindow, n),
 	}
 	for i := 0; i < n; i++ {
 		r, err := NewR(cfg)
@@ -92,14 +93,15 @@ type partWindow struct {
 // decoder, and the maintained sub-windows the request deltas apply to. The
 // transport serves sessions sequentially, so no locking is needed.
 type workerSession struct {
-	rs      []*R
-	tab     *intern.Table
-	enc     *intern.WireEncoder
-	reqDec  *intern.WireDecoder
-	budget  int
-	maxComb int
-	wins    []partWindow
-	liveBuf []intern.AtomID
+	rs          []*R
+	tab         *intern.Table
+	enc         *intern.WireEncoder
+	reqDec      *intern.WireDecoder
+	budget      int
+	budgetBytes int64
+	maxComb     int
+	wins        []partWindow
+	liveBuf     []intern.AtomID
 }
 
 // desyncResp builds the teardown response for a request the session cannot
@@ -205,7 +207,7 @@ func (s *workerSession) decodeTriples(words []uint64) ([]rdf.Triple, error) {
 // coordinator forces from-scratch), combine the partitions' answers, and
 // re-key them into portable wire form.
 func (s *workerSession) Window(req *transport.WindowReq) *transport.WindowResp {
-	if s.budget > 0 {
+	if s.budget > 0 || s.budgetBytes > 0 {
 		s.tab.AdvanceEpoch()
 	}
 	if err := s.reqDec.Apply(&req.Dict); err != nil {
@@ -255,6 +257,12 @@ func (s *workerSession) Window(req *transport.WindowReq) *transport.WindowResp {
 	// parallel), work sums, fast-path/incremental ANDs.
 	resp.Incremental = true
 	resp.SolveStats.FastPath = true
+	resp.PartTotalNS = make([]int64, len(outs))
+	resp.PartItems = make([]int, len(outs))
+	for i, out := range outs {
+		resp.PartTotalNS[i] = out.Latency.Total.Nanoseconds()
+		resp.PartItems[i] = len(s.wins[i].cur)
+	}
 	for _, out := range outs {
 		if !out.Incremental {
 			resp.Incremental = false
@@ -311,7 +319,8 @@ func (s *workerSession) Window(req *transport.WindowReq) *transport.WindowResp {
 	// partitions' grounder state, drop everything else. The encoder's ID
 	// caches invalidate themselves on the next Begin (the content-keyed
 	// dictionary survives, nothing is re-shipped).
-	if s.budget > 0 && s.tab.NumAtoms() > s.budget {
+	if (s.budget > 0 && s.tab.NumAtoms() > s.budget) ||
+		(s.budgetBytes > 0 && s.tab.ApproxBytes() > s.budgetBytes) {
 		live := s.liveBuf[:0]
 		for _, r := range s.rs {
 			live = r.appendLive(live)

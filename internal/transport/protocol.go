@@ -11,7 +11,10 @@ import (
 // Version 2: dictionary-coded request deltas (WindowReq.Dict/Parts replace
 // the raw triple window), multi-partition sessions with worker-side combine
 // (Hello.Partitions/MaxCombinations), and the Desync response flag.
-const ProtocolVersion = 2
+// Version 3: per-partition stat rows in WindowResp (PartTotalNS/PartItems —
+// the rebalancer's load signal) and byte-based memory budgets
+// (Hello.MemoryBudgetBytes).
+const ProtocolVersion = 3
 
 // Hello opens a session: it carries everything the worker needs to build a
 // full reasoner for one partition. Workers are program-agnostic processes —
@@ -42,6 +45,10 @@ type Hello struct {
 	// rotates its (private) table between windows when the budget is
 	// exceeded, exactly like a local budgeted engine.
 	MemoryBudget int
+	// MemoryBudgetBytes bounds the worker's interning table by approximate
+	// retained bytes instead of entry count (0 = no byte budget). When both
+	// budgets are set the session rotates when either is exceeded.
+	MemoryBudgetBytes int64
 	// Partitions is the number of partition reasoners this session hosts
 	// (≥ 1; 0 is treated as 1). Every WindowReq ships one PartReq per
 	// partition, and the worker combines the partitions' answers before
@@ -135,4 +142,10 @@ type WindowResp struct {
 	// window (observability for budget sizing).
 	LiveAtoms int
 	Rotations int
+	// PartTotalNS/PartItems break the window down per session partition, in
+	// Hello.Partitions order: each partition's end-to-end compute time in
+	// nanoseconds and its routed input-item count. These rows are the
+	// coordinator-side rebalancer's only per-partition load signal.
+	PartTotalNS []int64
+	PartItems   []int
 }

@@ -91,9 +91,11 @@ type options struct {
 	maxModels        int
 	atomFanout       int
 	memoryBudget     int
+	memoryBudgetB    int64
 	naivePropagation bool
 	stragglerTimeout time.Duration
 	maxInFlight      int
+	adaptive         *reasoner.RebalanceOptions
 }
 
 // Option customizes engine construction.
@@ -140,6 +142,17 @@ func WithMemoryBudget(maxAtoms int) Option {
 	return func(o *options) { o.memoryBudget = maxAtoms }
 }
 
+// WithMemoryBudgetBytes bounds the engine's interning table by approximate
+// retained BYTES instead of entry count — the successor of WithMemoryBudget,
+// with identical rotation semantics and answer guarantees. Entry counts are
+// a poor proxy for heap: N atoms over long symbols blow a real memory budget
+// that N short ones never approach. Both knobs may be combined; the table
+// rotates when either is exceeded. Inspect the effect via Stats() (the table
+// snapshot reports its approximate bytes).
+func WithMemoryBudgetBytes(maxBytes int64) Option {
+	return func(o *options) { o.memoryBudgetB = maxBytes }
+}
+
 // WithNaivePropagation selects the solver's legacy rescan-to-fixpoint
 // propagator instead of the counter/worklist engine — the ablation baseline
 // the residual benchmarks compare against. The full answer-set enumeration
@@ -179,6 +192,7 @@ func (p *Program) config(o options) reasoner.Config {
 	cfg.SolveOpts.MaxModels = o.maxModels
 	cfg.SolveOpts.NaivePropagation = o.naivePropagation
 	cfg.MemoryBudget = o.memoryBudget
+	cfg.MemoryBudgetBytes = o.memoryBudgetB
 	return cfg
 }
 
@@ -227,6 +241,9 @@ type ParallelEngine struct {
 // analysis where needed. Shared by the parallel and distributed engines.
 func buildPartitioner(p *Program, o options) (reasoner.Partitioner, *Plan, error) {
 	if o.randomK > 0 {
+		if o.adaptive != nil {
+			return nil, nil, fmt.Errorf("streamrule: adaptive rebalancing needs the dependency partitioner, not random partitioning")
+		}
 		return reasoner.NewRandomPartitioner(o.randomK, o.randomSeed), nil, nil
 	}
 	a, err := p.Analyze(o.resolution)
@@ -234,6 +251,14 @@ func buildPartitioner(p *Program, o options) (reasoner.Partitioner, *Plan, error
 		return nil, nil, err
 	}
 	plan := a.Plan
+	if o.adaptive != nil {
+		arities, err := dfp.InferArities(p.AST, p.Inpre)
+		if err != nil {
+			return nil, nil, err
+		}
+		keys := atomdep.Analyze(p.AST, plan)
+		return reasoner.NewAdaptivePartitioner(plan, keys, arities), plan, nil
+	}
 	if o.atomFanout > 0 {
 		arities, err := dfp.InferArities(p.AST, p.Inpre)
 		if err != nil {
