@@ -25,6 +25,8 @@ import (
 	"os"
 	"os/signal"
 	"strings"
+	"sync"
+	"time"
 
 	"streamrule"
 	"streamrule/internal/bench"
@@ -46,6 +48,8 @@ func run(args []string, stdout, stderr io.Writer) int {
 	streamFile := fs.String("stream", "", "triple file 's p o .' per line (default: synthetic paper workload)")
 	mode := fs.String("mode", "PR", "reasoner: R (whole window), PR (dependency-partitioned), or DPR (distributed; implied by -workers)")
 	worker := fs.String("worker", "", "serve as a reasoning worker on this address (host:port) instead of running a pipeline")
+	serveN := fs.Int("serve", 0, "multi-tenant serving demo: run this many concurrent tenant pipelines of the selected program over one shared fleet and print per-tenant stats")
+	fleet := fs.Int("fleet", 4, "with -serve: shared executor workers in the fleet")
 	workers := fs.String("workers", "", "comma-separated worker addresses; selects the distributed reasoner DPR")
 	straggler := fs.Duration("straggler", 0, "with -workers: per-window worker timeout before local fallback (default 10s)")
 	inflight := fs.Int("inflight", 1, "with -workers: pipeline depth — windows in flight per worker session (1 = lockstep)")
@@ -99,6 +103,14 @@ func run(args []string, stdout, stderr io.Writer) int {
 		fmt.Fprintln(stderr, "usage: streamrule (-paper P|Pprime | -program rules.lp -inpre ...) [flags]")
 		fs.Usage()
 		return 2
+	}
+
+	if *serveN > 0 {
+		return serveTenants(stdout, stderr, src, preds, serveOpts{
+			tenants: *serveN, fleet: *fleet,
+			window: *window, step: *step, windows: *windows,
+			seed: *seed, budget: *budget, budgetBytes: *budgetBytes,
+		})
 	}
 
 	prog, err := streamrule.LoadProgram(src, preds)
@@ -266,6 +278,93 @@ func run(args []string, stdout, stderr io.Writer) int {
 		fmt.Fprintf(stdout, "rebalance: observed=%d moves=%d splits=%d refines=%d refused=%d joins=%d leaves=%d partitions=%d last=%q\n",
 			rs.Observations, rs.Moves, rs.Splits, rs.PlanRefines, rs.RefusedSplits,
 			rs.Joins, rs.Leaves, distEng.Partitions(), rs.LastAction)
+	}
+	return 0
+}
+
+type serveOpts struct {
+	tenants, fleet        int
+	window, step, windows int
+	budget                int
+	budgetBytes, seed     int64
+}
+
+// serveTenants is the -serve mode: N concurrent tenant pipelines of the same
+// program — each over its own tenant-prefixed synthetic stream and private
+// intern table — multiplexed onto one shared fleet, then the ServerStats
+// table.
+func serveTenants(stdout, stderr io.Writer, src string, preds []string, o serveOpts) int {
+	srv := streamrule.NewServer(streamrule.ServerConfig{Workers: o.fleet})
+	defer srv.Close()
+
+	items := o.window * o.windows
+	step := o.step
+	if step <= 0 {
+		step = o.window
+	}
+	ids := make([]string, o.tenants)
+	streams := make([][]streamrule.Triple, o.tenants)
+	for i := range ids {
+		ids[i] = fmt.Sprintf("t%d", i)
+		gen, err := workload.NewGenerator(o.seed+int64(i), workload.TenantTraffic(ids[i]))
+		if err != nil {
+			return fail(stderr, err)
+		}
+		streams[i] = gen.Window(items)
+		err = srv.AddTenant(ids[i], streamrule.TenantConfig{
+			Program: src, Inpre: preds,
+			WindowSize: o.window, WindowStep: o.step,
+			MemoryBudget: o.budget, MemoryBudgetBytes: o.budgetBytes,
+			QueueDepth: items/step + 2,
+		})
+		if err != nil {
+			return fail(stderr, err)
+		}
+	}
+
+	start := time.Now()
+	var wg sync.WaitGroup
+	pushErr := make(chan error, o.tenants)
+	for i := range ids {
+		wg.Add(1)
+		go func(id string, triples []streamrule.Triple) {
+			defer wg.Done()
+			for _, tr := range triples {
+				if err := srv.Push(id, tr); err != nil {
+					pushErr <- fmt.Errorf("%s: %w", id, err)
+					return
+				}
+			}
+		}(ids[i], streams[i])
+	}
+	wg.Wait()
+	select {
+	case err := <-pushErr:
+		return fail(stderr, err)
+	default:
+	}
+	if err := srv.DrainAll(); err != nil {
+		return fail(stderr, err)
+	}
+	elapsed := time.Since(start)
+
+	st := srv.Stats()
+	fmt.Fprintf(stdout, "serve: %d tenants on %d shared workers: %d windows in %v (%.0f windows/sec)\n",
+		st.Tenants, st.Workers, st.TotalWindows, elapsed.Round(time.Millisecond),
+		float64(st.TotalWindows)/elapsed.Seconds())
+	fmt.Fprintf(stdout, "fleet: p50=%v p99=%v shed=%d errors=%d fallbacks=%d live-atoms=%d\n",
+		st.P50, st.P99, st.TotalShed, st.TotalErrors, st.TotalFallbacks, st.LiveAtoms)
+	const maxRows = 8
+	fmt.Fprintf(stdout, "%-10s %8s %8s %10s %10s %6s %6s %10s\n",
+		"tenant", "windows", "queue", "p50", "p99", "shed", "errs", "live-atoms")
+	for i, row := range st.PerTenant {
+		if i == maxRows {
+			fmt.Fprintf(stdout, "... %d more tenants elided\n", len(st.PerTenant)-maxRows)
+			break
+		}
+		fmt.Fprintf(stdout, "%-10s %8d %8d %10v %10v %6d %6d %10d\n",
+			row.ID, row.Windows, row.QueueLen, row.P50.Round(time.Microsecond),
+			row.P99.Round(time.Microsecond), row.Shed, row.Errors, row.LiveAtoms)
 	}
 	return 0
 }

@@ -223,3 +223,29 @@ func answerLines(out string) []string {
 	}
 	return answers
 }
+
+// TestServeMode drives the multi-tenant serving demo: tenants on a shared
+// fleet, the ServerStats summary, and the per-tenant table.
+func TestServeMode(t *testing.T) {
+	code, out, errOut := runCLI(t, "-paper", "P", "-serve", "12", "-fleet", "2",
+		"-window", "120", "-step", "40", "-windows", "2", "-budget", "256")
+	if code != 0 {
+		t.Fatalf("code = %d, stderr = %q", code, errOut)
+	}
+	if !strings.Contains(out, "serve: 12 tenants on 2 shared workers") {
+		t.Errorf("serve summary missing: %q", out)
+	}
+	// 240 items, size 120 step 40: emissions at 120,160,200,240 = 4 per tenant.
+	if !strings.Contains(out, "48 windows") {
+		t.Errorf("window total missing: %q", out)
+	}
+	if !strings.Contains(out, "shed=0 errors=0") {
+		t.Errorf("unhealthy fleet line: %q", out)
+	}
+	if !strings.Contains(out, "p99") || !strings.Contains(out, "live-atoms") {
+		t.Errorf("stats table missing columns: %q", out)
+	}
+	if !strings.Contains(out, "more tenants elided") {
+		t.Errorf("per-tenant table not elided at 12 tenants: %q", out)
+	}
+}

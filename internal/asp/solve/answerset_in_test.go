@@ -1,0 +1,37 @@
+package solve
+
+import (
+	"fmt"
+	"testing"
+
+	"streamrule/internal/asp/ast"
+	"streamrule/internal/asp/intern"
+)
+
+// TestNewAnswerSetInThreadsTable pins the table-threading constructor.
+func TestNewAnswerSetInThreadsTable(t *testing.T) {
+	tab := intern.NewTable()
+	s := NewAnswerSetIn(tab, []ast.Atom{atom("r", "x"), atom("r", "x")})
+	if s.Table() != tab {
+		t.Fatal("NewAnswerSetIn ignored the caller's table")
+	}
+	if s.Len() != 1 {
+		t.Fatalf("got %d atoms, want 1 (dedup)", s.Len())
+	}
+	if got := fmt.Sprint(s); got != "{r(x)}" {
+		t.Fatalf("got %s", got)
+	}
+}
+
+// TestNewAnswerSetDelegatesToDefault pins the compatibility wrapper: the
+// atom-slice constructor still lands on the default table for one-shot
+// CLI/test use.
+func TestNewAnswerSetDelegatesToDefault(t *testing.T) {
+	s := NewAnswerSet([]ast.Atom{atom("compat_pred", "compat_const")})
+	if s.Table() != intern.Default() {
+		t.Fatal("NewAnswerSet no longer uses the default table")
+	}
+	if s.Len() != 1 {
+		t.Fatalf("got %d atoms, want 1", s.Len())
+	}
+}

@@ -1,0 +1,109 @@
+package solve
+
+import (
+	"testing"
+
+	"streamrule/internal/asp/ast"
+	"streamrule/internal/asp/intern"
+)
+
+// defaultSizes snapshots the entry counts of the process-wide default table.
+func defaultSizes() (syms, preds, terms, atoms int) {
+	st := intern.Default().Stats()
+	return st.Syms, st.Preds, st.Terms, st.Atoms
+}
+
+func atom(pred string, args ...string) ast.Atom {
+	a := ast.Atom{Pred: pred}
+	for _, s := range args {
+		a.Args = append(a.Args, ast.Term{Kind: ast.SymbolTerm, Sym: s})
+	}
+	return a
+}
+
+// TestCrossTableUnionAvoidsDefaultTable is the regression test for the
+// NewAnswerSet leak: unioning answer sets that live on two different private
+// tables (the multi-tenant aggregation shape) must materialize into the
+// receiver's table, never into the shared, rotation-refusing default table.
+func TestCrossTableUnionAvoidsDefaultTable(t *testing.T) {
+	tabA, tabB := intern.NewTable(), intern.NewTable()
+	a := FromIDs(tabA, []intern.AtomID{tabA.InternAtom(atom("tenant_a_pred", "tenant_a_const_1"))})
+	b := FromIDs(tabB, []intern.AtomID{tabB.InternAtom(atom("tenant_b_pred", "tenant_b_const_1"))})
+
+	s0, p0, t0, a0 := defaultSizes()
+	u := a.Union(b)
+	s1, p1, t1, a1 := defaultSizes()
+
+	if s1 != s0 || p1 != p0 || t1 != t0 || a1 != a0 {
+		t.Fatalf("cross-table Union grew the default table: syms %d->%d preds %d->%d terms %d->%d atoms %d->%d",
+			s0, s1, p0, p1, t0, t1, a0, a1)
+	}
+	if u.Table() != tabA {
+		t.Fatalf("cross-table Union landed on table %p, want the receiver's %p", u.Table(), tabA)
+	}
+	if u.Len() != 2 {
+		t.Fatalf("union has %d atoms, want 2", u.Len())
+	}
+	for _, k := range []string{"tenant_a_pred(tenant_a_const_1)", "tenant_b_pred(tenant_b_const_1)"} {
+		if !u.Contains(k) {
+			t.Fatalf("union %v missing %s", u.Keys(), k)
+		}
+	}
+}
+
+// TestIdFormPrefersProgramTable is the regression test for the idForm leak:
+// solving a ground program whose ID form is incomplete but which carries its
+// own table must intern the missing IDs into THAT table, not the default.
+func TestIdFormPrefersProgramTable(t *testing.T) {
+	tab := intern.NewTable()
+	gp := groundSrc(t, "p :- not q.\nq :- not p.")
+	// Strip the ID form but keep a private table: idForm must rebuild the
+	// IDs into gp.Table.
+	gp.RuleIDs = nil
+	gp.CertainIDs = nil
+	gp.Table = tab
+
+	s0, p0, t0, a0 := defaultSizes()
+	res, err := Solve(gp, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s1, p1, t1, a1 := defaultSizes()
+	if s1 != s0 || p1 != p0 || t1 != t0 || a1 != a0 {
+		t.Fatalf("idForm interned into the default table: syms %d->%d preds %d->%d terms %d->%d atoms %d->%d",
+			s0, s1, p0, p1, t0, t1, a0, a1)
+	}
+	if len(res.Models) != 2 {
+		t.Fatalf("got %d models, want 2", len(res.Models))
+	}
+	for _, m := range res.Models {
+		if m.Table() != tab {
+			t.Fatalf("model landed on table %p, want the program's %p", m.Table(), tab)
+		}
+	}
+	if tab.NumAtoms() == 0 {
+		t.Fatal("program table gained no atoms; idForm interned elsewhere")
+	}
+}
+
+// TestIdFormDefaultOnlyForTablelessPrograms pins the remaining (intentional)
+// default-table path: a hand-constructed program without any table still
+// solves, interning into the default.
+func TestIdFormDefaultOnlyForTablelessPrograms(t *testing.T) {
+	gp := groundSrc(t, "p :- not q.\nq :- not p.")
+	gp.RuleIDs = nil
+	gp.CertainIDs = nil
+	gp.Table = nil
+	res, err := Solve(gp, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Models) != 2 {
+		t.Fatalf("got %d models, want 2", len(res.Models))
+	}
+	for _, m := range res.Models {
+		if m.Table() != intern.Default() {
+			t.Fatal("table-less program did not solve on the default table")
+		}
+	}
+}

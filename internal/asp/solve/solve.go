@@ -111,9 +111,18 @@ type AnswerSet struct {
 }
 
 // NewAnswerSet builds an answer set from atoms (deduplicated). The atoms are
-// interned into the process-wide default table.
+// interned into the process-wide default table — acceptable for one-shot
+// CLI/test use only. Engines with private (budgeted, rotatable) tables must
+// use NewAnswerSetIn instead: the default table refuses rotation, so every
+// atom leaked into it stays resident for the life of the process.
 func NewAnswerSet(atoms []ast.Atom) *AnswerSet {
-	tab := intern.Default()
+	return NewAnswerSetIn(intern.Default(), atoms)
+}
+
+// NewAnswerSetIn builds an answer set from atoms (deduplicated), interning
+// them into the caller's table — the table-threading constructor that keeps
+// multi-tenant and budgeted engines out of the shared default table.
+func NewAnswerSetIn(tab *intern.Table, atoms []ast.Atom) *AnswerSet {
 	ids := make([]intern.AtomID, len(atoms))
 	for i, a := range atoms {
 		ids[i] = tab.InternAtom(a)
@@ -214,13 +223,16 @@ func (s *AnswerSet) Equal(o *AnswerSet) bool {
 	return true
 }
 
-// Union returns a new answer set with the atoms of both sets.
+// Union returns a new answer set with the atoms of both sets. Sets on the
+// same table merge on the ID fast path; a cross-table union materializes
+// into the RECEIVER's table (never the process-wide default), so unions of
+// per-tenant answer sets stay inside tables their owners can rotate.
 func (s *AnswerSet) Union(o *AnswerSet) *AnswerSet {
 	if s.tab != o.tab {
 		merged := make([]ast.Atom, 0, s.Len()+o.Len())
 		merged = append(merged, s.Atoms()...)
 		merged = append(merged, o.Atoms()...)
-		return NewAnswerSet(merged)
+		return NewAnswerSetIn(s.tab, merged)
 	}
 	merged := make([]intern.AtomID, 0, s.Len()+o.Len())
 	i, j := 0, 0
@@ -361,12 +373,19 @@ func Solve(gp *ground.Program, opts Options) (*Result, error) {
 }
 
 // idForm returns the ground program's interned form, interning it on the fly
-// for programs built without a table (hand-constructed in tests).
+// when the ID form is absent or incomplete. The fallback interns into the
+// program's OWN table whenever it has one — falling back to the process-wide
+// default only for table-less programs (hand-constructed in tests) — so a
+// budgeted or per-tenant engine never leaks atoms into the shared,
+// rotation-refusing default table.
 func idForm(gp *ground.Program) (*intern.Table, []intern.AtomID, []ground.IRule) {
 	if gp.Table != nil && len(gp.RuleIDs) == len(gp.Rules) && len(gp.CertainIDs) == len(gp.Certain) {
 		return gp.Table, gp.CertainIDs, gp.RuleIDs
 	}
-	tab := intern.Default()
+	tab := gp.Table
+	if tab == nil {
+		tab = intern.Default()
+	}
 	certain := make([]intern.AtomID, len(gp.Certain))
 	for i, a := range gp.Certain {
 		certain[i] = tab.InternAtom(a)

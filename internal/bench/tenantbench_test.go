@@ -1,0 +1,57 @@
+package bench
+
+import (
+	"testing"
+)
+
+// TestManyTenants is the multi-tenant serving gate: at least 500 concurrent
+// small pipelines on one shared 4-worker fleet, every tenant's answers equal
+// to its solo run, zero shed, zero errors, zero growth of the process-wide
+// default intern table, and a reported per-tenant p99 window latency.
+func TestManyTenants(t *testing.T) {
+	cfg := TenantBenchConfig{Tenants: 500, FleetWorkers: 4, Seed: 7, Oracle: true}
+	if testing.Short() {
+		cfg.Tenants = 60
+	}
+	res, err := RunManyTenants(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Log(res)
+	wantWindows := uint64(cfg.Tenants) * 7 // 90 items, size 30 step 10: emissions at 30,40,...,90
+	if res.Windows != wantWindows {
+		t.Errorf("windows = %d, want %d", res.Windows, wantWindows)
+	}
+	if res.Mismatches != 0 {
+		t.Errorf("%d tenant windows differ from their solo run", res.Mismatches)
+	}
+	if res.Shed != 0 || res.Errors != 0 {
+		t.Errorf("shed = %d, errors = %d, want 0/0", res.Shed, res.Errors)
+	}
+	if res.DefaultTableDelta != 0 {
+		t.Errorf("default intern table grew by %d entries across tenants", res.DefaultTableDelta)
+	}
+	if res.P99 <= 0 || res.P50 <= 0 || res.P99 < res.P50 {
+		t.Errorf("implausible latency percentiles: p50 %v p99 %v", res.P50, res.P99)
+	}
+}
+
+// BenchmarkManyTenants pins the many-tenant serving numbers: ~1k concurrent
+// pipelines over a shared 4-worker fleet, reporting total windows/sec and
+// per-tenant p50/p99 window latency.
+func BenchmarkManyTenants(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := RunManyTenants(TenantBenchConfig{
+			Tenants: 1000, FleetWorkers: 4, Seed: int64(100 + i),
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if res.Shed != 0 || res.Errors != 0 || res.DefaultTableDelta != 0 {
+			b.Fatalf("unhealthy round: %s", res)
+		}
+		b.ReportMetric(res.WindowsPerSec, "windows/sec")
+		b.ReportMetric(float64(res.P50.Nanoseconds()), "p50-ns")
+		b.ReportMetric(float64(res.P99.Nanoseconds()), "p99-ns")
+	}
+}

@@ -1,0 +1,85 @@
+package reasoner
+
+import (
+	"math/rand"
+	"testing"
+
+	"streamrule/internal/asp/intern"
+	"streamrule/internal/asp/parser"
+	"streamrule/internal/dfp"
+	"streamrule/internal/progen"
+	"streamrule/internal/stream"
+)
+
+// TestBudgetedRunLeavesDefaultTableFlat is the end-to-end regression test for
+// the solve.NewAnswerSet / idForm default-table leak: a budgeted reasoner owns
+// a private rotating table, so a multi-window run over a fresh-constant stream
+// must not grow the process-wide default table by a single entry. Before the
+// fix, answer-set construction and the grounder's ID-form fallback interned
+// every model atom into intern.Default(), which refuses rotation — unbounded
+// cross-tenant growth under multi-tenant serving.
+func TestBudgetedRunLeavesDefaultTableFlat(t *testing.T) {
+	programs := []struct {
+		name string
+		cfg  progen.Config
+	}{
+		{"flat-fresh", progen.Config{Derived: 3, Fresh: 0.6}},
+		{"recursive-fresh", progen.Config{Derived: 3, Recursion: true, Consts: 4, Fresh: 0.4}},
+		{"constraints-fresh", progen.Config{Derived: 4, Constraints: true, Fresh: 0.6}},
+	}
+	for pi, pc := range programs {
+		pc := pc
+		t.Run(pc.name, func(t *testing.T) {
+			rnd := rand.New(rand.NewSource(int64(8100 + pi)))
+			gp := progen.New(rnd, pc.cfg)
+			prog, err := parser.Parse(gp.Src)
+			if err != nil {
+				t.Fatalf("generated program does not parse: %v\n%s", err, gp.Src)
+			}
+			cfg := Config{
+				Program:      prog,
+				Inpre:        gp.Inpre,
+				Arities:      dfp.Arities(gp.Arities),
+				MemoryBudget: 96,
+			}
+			r, err := NewR(cfg)
+			if err != nil {
+				t.Fatalf("NewR: %v\n%s", err, gp.Src)
+			}
+
+			seq := 0
+			triples := gp.StreamFresh(rnd, pc.cfg, 220, &seq)
+			emissions := emitWindows(triples, 40, 8)
+
+			// Warm one window first so any one-time interning (e.g. shared
+			// vocabulary touched lazily at startup) is out of the way, then
+			// demand exact flatness across the rest of the run.
+			if _, err := r.ProcessDelta(emissions[0].Window, toDelta(emissions[0])); err != nil {
+				t.Fatal(err)
+			}
+			before := intern.Default().Stats()
+			for _, em := range emissions[1:] {
+				if _, err := r.ProcessDelta(em.Window, toDelta(em)); err != nil {
+					t.Fatal(err)
+				}
+			}
+			after := intern.Default().Stats()
+			if after.Syms != before.Syms || after.Preds != before.Preds ||
+				after.Terms != before.Terms || after.Atoms != before.Atoms {
+				t.Fatalf("budgeted run grew the default table: syms %d->%d preds %d->%d terms %d->%d atoms %d->%d\nprogram:\n%s",
+					before.Syms, after.Syms, before.Preds, after.Preds,
+					before.Terms, after.Terms, before.Atoms, after.Atoms, gp.Src)
+			}
+			if st := r.Stats().Table; st.Atoms == 0 {
+				t.Fatal("private table gained no atoms; run did not exercise interning")
+			}
+		})
+	}
+}
+
+func toDelta(em stream.WindowDelta) *Delta {
+	if !em.Incremental {
+		return nil
+	}
+	return &Delta{Added: em.Added, Retracted: em.Retracted}
+}

@@ -1,0 +1,26 @@
+// Package serve multiplexes many independent stream-reasoning pipelines —
+// tenants — over one shared fleet of executor workers. It is the
+// multi-tenant serving layer of the reproduction: "millions of users" is not
+// one big window but many programs × many streams in one process.
+//
+// Each tenant owns a full pipeline: its own ASP program, its own window
+// operator, its own reasoner with a PRIVATE intern table (budgeted tenants
+// rotate it; unbudgeted tenants still get their own, so no tenant ever
+// interns into the process-wide default table), and a bounded ingress queue.
+// The fleet is a fixed set of goroutines — resizable at runtime — that pull
+// ready windows off tenant queues under a deficit round-robin scheduler, so
+// one hot tenant cannot starve the rest: every backlogged tenant earns
+// Quantum items of credit per scheduling pass and dispatches when its credit
+// covers its head window.
+//
+// Backpressure is per tenant. When a stream outruns its budget the ingress
+// queue fills, and Push either sheds the oldest queued window (counted, and
+// the successor window is re-seeded from scratch because its delta was
+// relative to the shed one) or blocks the producer until the fleet catches
+// up.
+//
+// Tenants backed by remote workers (TenantConfig.Workers) run their windows
+// through a distributed DPR engine instead of a local one; several tenants
+// can name the same worker addresses — the transport layer hosts one session
+// per tenant partition on a shared worker process.
+package serve

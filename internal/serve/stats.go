@@ -1,0 +1,141 @@
+package serve
+
+import (
+	"sort"
+	"time"
+)
+
+// latencySamples bounds the per-tenant latency ring: enough for stable p99
+// estimates at modest memory (1k tenants × 256 samples × 8 B = 2 MB).
+const latencySamples = 256
+
+// latencyRing keeps the last latencySamples window latencies of one tenant.
+type latencyRing struct {
+	buf [latencySamples]time.Duration
+	n   uint64 // total samples ever added
+}
+
+func (r *latencyRing) add(d time.Duration) {
+	r.buf[r.n%latencySamples] = d
+	r.n++
+}
+
+// samples returns the valid samples, unordered.
+func (r *latencyRing) samples() []time.Duration {
+	n := r.n
+	if n > latencySamples {
+		n = latencySamples
+	}
+	out := make([]time.Duration, n)
+	copy(out, r.buf[:n])
+	return out
+}
+
+// percentile returns the p-th percentile (0 < p <= 100) of sorted samples.
+func percentile(sorted []time.Duration, p float64) time.Duration {
+	if len(sorted) == 0 {
+		return 0
+	}
+	idx := int(float64(len(sorted))*p/100+0.5) - 1
+	if idx < 0 {
+		idx = 0
+	}
+	if idx >= len(sorted) {
+		idx = len(sorted) - 1
+	}
+	return sorted[idx]
+}
+
+// TenantStats is one tenant's serving metrics. Latencies are measured
+// enqueue-to-delivered, so they include queueing under contention.
+type TenantStats struct {
+	// ID is the tenant identifier.
+	ID string
+	// Windows counts processed windows (including errored ones).
+	Windows uint64
+	// Errors counts windows whose reasoning failed.
+	Errors uint64
+	// Fallbacks counts windows that had a delta but were re-grounded from
+	// scratch by the engine.
+	Fallbacks uint64
+	// Shed counts windows dropped by the ShedOldest overflow policy plus
+	// windows discarded by RemoveTenant.
+	Shed uint64
+	// Blocked counts Push calls that had to wait for queue room.
+	Blocked uint64
+	// QueueLen is the current ingress queue length in windows.
+	QueueLen int
+	// LiveAtoms is the tenant's private intern-table population after its
+	// most recent window.
+	LiveAtoms int
+	// P50 and P99 are window-latency percentiles over the recent sample
+	// ring (up to latencySamples windows).
+	P50, P99 time.Duration
+}
+
+// ServerStats aggregates the fleet: per-tenant rows plus totals.
+type ServerStats struct {
+	// Workers is the fleet size (executor goroutines).
+	Workers int
+	// Tenants is the number of registered tenants.
+	Tenants int
+	// TotalWindows, TotalShed, TotalErrors, TotalFallbacks sum the
+	// corresponding per-tenant counters.
+	TotalWindows   uint64
+	TotalShed      uint64
+	TotalErrors    uint64
+	TotalFallbacks uint64
+	// LiveAtoms sums the tenants' private intern-table populations — the
+	// fleet's aggregate reasoning footprint.
+	LiveAtoms int
+	// P50 and P99 are window-latency percentiles across every tenant's
+	// recent samples.
+	P50, P99 time.Duration
+	// PerTenant holds one row per tenant, ordered by ID.
+	PerTenant []TenantStats
+}
+
+// Stats snapshots the server's serving metrics.
+func (s *Server) Stats() ServerStats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	st := ServerStats{Workers: s.target, Tenants: len(s.tenants)}
+	var all []time.Duration
+	for _, t := range s.ring {
+		row := t.stats
+		row.QueueLen = len(t.queue)
+		samples := t.latencies.samples()
+		sort.Slice(samples, func(i, j int) bool { return samples[i] < samples[j] })
+		row.P50 = percentile(samples, 50)
+		row.P99 = percentile(samples, 99)
+		all = append(all, samples...)
+		st.TotalWindows += row.Windows
+		st.TotalShed += row.Shed
+		st.TotalErrors += row.Errors
+		st.TotalFallbacks += row.Fallbacks
+		st.LiveAtoms += row.LiveAtoms
+		st.PerTenant = append(st.PerTenant, row)
+	}
+	sort.Slice(st.PerTenant, func(i, j int) bool { return st.PerTenant[i].ID < st.PerTenant[j].ID })
+	sort.Slice(all, func(i, j int) bool { return all[i] < all[j] })
+	st.P50 = percentile(all, 50)
+	st.P99 = percentile(all, 99)
+	return st
+}
+
+// TenantStats returns one tenant's row (ok=false for unknown tenants).
+func (s *Server) TenantStats(id string) (TenantStats, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	t, ok := s.tenants[id]
+	if !ok {
+		return TenantStats{}, false
+	}
+	row := t.stats
+	row.QueueLen = len(t.queue)
+	samples := t.latencies.samples()
+	sort.Slice(samples, func(i, j int) bool { return samples[i] < samples[j] })
+	row.P50 = percentile(samples, 50)
+	row.P99 = percentile(samples, 99)
+	return row, true
+}

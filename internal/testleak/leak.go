@@ -1,0 +1,100 @@
+// Package testleak asserts that a test leaves no goroutines behind. It
+// snapshots the live goroutines before the code under test runs and, after,
+// reports any goroutine started since that has not exited — with a short
+// grace period so orderly shutdowns (connection readers, drain loops) get to
+// finish. Use it on anything that owns goroutines: servers, worker fleets,
+// pipelined engines.
+//
+//	defer testleak.Check(t)()
+package testleak
+
+import (
+	"runtime"
+	"strings"
+	"time"
+)
+
+// TB is the subset of testing.TB used here, so the checker works from tests,
+// benchmarks, and helpers alike.
+type TB interface {
+	Helper()
+	Errorf(format string, args ...any)
+}
+
+// Check snapshots the currently live goroutines and returns a function that
+// asserts every goroutine created since has exited. The returned function
+// retries for up to two seconds before reporting, then fails the test with
+// the full stack of each leaked goroutine.
+func Check(t TB) func() {
+	t.Helper()
+	before := map[string]bool{}
+	for _, g := range stacks() {
+		before[goid(g)] = true
+	}
+	return func() {
+		t.Helper()
+		deadline := time.Now().Add(2 * time.Second)
+		var leaked []string
+		for {
+			leaked = leaked[:0]
+			for _, g := range stacks() {
+				if !before[goid(g)] && interesting(g) {
+					leaked = append(leaked, g)
+				}
+			}
+			if len(leaked) == 0 || time.Now().After(deadline) {
+				break
+			}
+			time.Sleep(10 * time.Millisecond)
+		}
+		for _, g := range leaked {
+			t.Errorf("leaked goroutine:\n%s", g)
+		}
+	}
+}
+
+// stacks returns one stack dump per live goroutine.
+func stacks() []string {
+	buf := make([]byte, 1<<20)
+	for {
+		n := runtime.Stack(buf, true)
+		if n < len(buf) {
+			buf = buf[:n]
+			break
+		}
+		buf = make([]byte, len(buf)*2)
+	}
+	return strings.Split(strings.TrimSpace(string(buf)), "\n\n")
+}
+
+// goid extracts the "goroutine N" prefix that identifies a dump.
+func goid(g string) string {
+	if i := strings.IndexByte(g, '['); i > 0 {
+		return strings.TrimSpace(g[:i])
+	}
+	return g
+}
+
+// interesting filters out goroutines the runtime and the testing package own:
+// they come and go on their own schedule and are not leaks.
+func interesting(g string) bool {
+	for _, ignore := range []string{
+		"testing.Main(",
+		"testing.tRunner(",
+		"testing.(*B).run",
+		"testing.(*T).Run",
+		"runtime.gc",
+		"runtime.bgsweep",
+		"runtime.bgscavenge",
+		"runtime.forcegchelper",
+		"runtime.MutexProfile",
+		"runtime/trace",
+		"os/signal.signal_recv",
+		"testleak.Check",
+	} {
+		if strings.Contains(g, ignore) {
+			return false
+		}
+	}
+	return true
+}

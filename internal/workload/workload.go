@@ -181,6 +181,25 @@ func CityHeavyTraffic() []TripleSpec {
 	}
 }
 
+// TenantTraffic returns the paper workload with tenant-prefixed entity
+// vocabularies: tenant "t42" observes cities "t42city3" and cars "t42car7",
+// so no two tenants share a single entity symbol. Across N tenants the
+// aggregate vocabulary grows with N — the adversarial case for any shared
+// interning state, which per-tenant tables must absorb without leaking a
+// symbol into the process-wide default table.
+func TenantTraffic(tenant string) []TripleSpec {
+	city := Entity(tenant+"city", EntityDivisor)
+	car := Entity(tenant+"car", EntityDivisor)
+	return []TripleSpec{
+		{Pred: "average_speed", S: city, O: NumRange(0, 60)},
+		{Pred: "car_number", S: city, O: NumRange(0, 80)},
+		{Pred: "traffic_light", S: city},
+		{Pred: "car_in_smoke", S: car, O: Choice("high", "low", "none")},
+		{Pred: "car_speed", S: car, O: NumRange(0, 6)},
+		{Pred: "car_location", S: car, O: city},
+	}
+}
+
 // Phase is one segment of a phased stream: a spec set and how many triples
 // to draw from it.
 type Phase struct {

@@ -148,7 +148,9 @@ func (p *Pipeline) Run(ctx context.Context, handle func(window []Triple, out *Ou
 // handled) only once the pipeline is full — so up to PipelineDepth windows
 // overlap. Windowers emit fresh window copies, so queuing them is safe. The
 // tail of the stream is drained at the end; handle still observes every
-// window in order.
+// window in order. On any error the remaining in-flight legs are drained
+// (their outputs discarded) before returning, so the reasoner is left with
+// an empty pipeline and can be reused.
 func (p *Pipeline) runPipelined(ctx context.Context, src stream.Source, w stream.Windower, pr PipelinedReasoner, handle func(window []Triple, out *Output) error) error {
 	depth := pr.PipelineDepth()
 	var queued [][]Triple
@@ -175,13 +177,23 @@ func (p *Pipeline) runPipelined(ctx context.Context, src stream.Source, w stream
 		}
 		return nil
 	})
-	if err != nil {
-		return err
-	}
-	for len(queued) > 0 {
-		if err := collect(); err != nil {
-			return err
+	if err == nil {
+		for len(queued) > 0 {
+			if err = collect(); err != nil {
+				break
+			}
 		}
+	}
+	if err != nil {
+		// A windower, Submit, Collect, or handle error abandons the windows
+		// already in flight; leaving them undelivered desyncs the reasoner's
+		// sessions on its next Submit. Retire each abandoned leg — Collect
+		// always retires exactly one, even when it reports an error, so the
+		// loop is bounded by the current in-flight count.
+		for n := pr.InFlight(); n > 0; n-- {
+			_, _ = pr.Collect()
+		}
+		return err
 	}
 	return nil
 }

@@ -1,0 +1,168 @@
+package streamrule
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sort"
+	"testing"
+
+	"streamrule/internal/testleak"
+	"streamrule/internal/workload"
+)
+
+// startTestWorkers launches n loopback worker servers and returns their
+// addresses plus a function closing all of them. The caller defers the close
+// AFTER registering any goroutine-leak check so the accept loops are gone by
+// the time the check runs.
+func startTestWorkers(t *testing.T, n int) ([]string, func()) {
+	t.Helper()
+	addrs := make([]string, n)
+	servers := make([]*WorkerServer, n)
+	for i := range addrs {
+		ws, err := NewWorkerServer("127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		go ws.Serve()
+		servers[i] = ws
+		addrs[i] = ws.Addr()
+	}
+	return addrs, func() {
+		for _, ws := range servers {
+			ws.Close()
+		}
+	}
+}
+
+// windowSig renders a window's answers in a canonical comparable form.
+func windowSig(out *Output) string {
+	sigs := make([]string, len(out.Answers))
+	for i, a := range out.Answers {
+		keys := a.Keys()
+		sort.Strings(keys)
+		sigs[i] = fmt.Sprint(keys)
+	}
+	sort.Strings(sigs)
+	return fmt.Sprint(sigs)
+}
+
+// TestPipelinedErrorDrainsInFlight is the regression test for the orphaned
+// in-flight legs bug: a handler error mid-pipeline (depth 3) used to return
+// with windows still submitted-but-uncollected, so the next Run on the same
+// DistributedEngine collected stale results and desynced. The pipeline must
+// drain every in-flight leg on the error path, leaving the engine reusable.
+func TestPipelinedErrorDrainsInFlight(t *testing.T) {
+	defer testleak.Check(t)()
+	addrs, closeWorkers := startTestWorkers(t, 2)
+	defer closeWorkers()
+
+	p, err := LoadProgram(testProgramP, testInpre)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng, err := NewDistributedEngine(p, addrs, WithMaxInFlight(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer eng.Close()
+
+	gen, err := workload.NewGenerator(11, workload.PaperTraffic())
+	if err != nil {
+		t.Fatal(err)
+	}
+	source := gen.Window(3000) // 6 windows of 500
+
+	boom := errors.New("handler failure at window 3")
+	seen := 0
+	pl := &Pipeline{Source: source, WindowSize: 500, Reasoner: eng}
+	err = pl.Run(context.Background(), func(win []Triple, out *Output) error {
+		seen++
+		if seen == 3 {
+			return boom
+		}
+		return nil
+	})
+	if !errors.Is(err, boom) {
+		t.Fatalf("pipeline error = %v, want the handler's", err)
+	}
+	if n := eng.InFlight(); n != 0 {
+		t.Fatalf("after a handler error %d legs are still in flight; the pipeline must drain them", n)
+	}
+
+	// Reuse the engine on a fresh stream: its windows must agree with a
+	// fresh engine run over the same stream.
+	oracle, err := NewDistributedEngine(p, addrs, WithMaxInFlight(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer oracle.Close()
+
+	gen2, err := workload.NewGenerator(12, workload.PaperTraffic())
+	if err != nil {
+		t.Fatal(err)
+	}
+	source2 := gen2.Window(2000)
+	runSigs := func(r Reasoner) []string {
+		var sigs []string
+		pl := &Pipeline{Source: source2, WindowSize: 400, WindowStep: 100, Reasoner: r}
+		if err := pl.Run(context.Background(), func(win []Triple, out *Output) error {
+			sigs = append(sigs, windowSig(out))
+			return nil
+		}); err != nil {
+			t.Fatal(err)
+		}
+		return sigs
+	}
+	got, want := runSigs(eng), runSigs(oracle)
+	if len(got) != len(want) {
+		t.Fatalf("reused engine produced %d windows, fresh engine %d", len(got), len(want))
+	}
+	for i := range got {
+		if got[i] != want[i] {
+			t.Fatalf("window %d: reused engine diverged from fresh engine\nreused: %s\nfresh:  %s", i, got[i], want[i])
+		}
+	}
+}
+
+// TestPipelinedTailErrorDrains covers the end-of-stream error path: once the
+// source is exhausted, the pipeline drains the remaining queued windows — a
+// handler error during THAT loop must also retire the legs still in flight.
+func TestPipelinedTailErrorDrains(t *testing.T) {
+	defer testleak.Check(t)()
+	addrs, closeWorkers := startTestWorkers(t, 1)
+	defer closeWorkers()
+
+	p, err := LoadProgram(testProgramP, testInpre)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng, err := NewDistributedEngine(p, addrs, WithMaxInFlight(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer eng.Close()
+
+	gen, err := workload.NewGenerator(13, workload.PaperTraffic())
+	if err != nil {
+		t.Fatal(err)
+	}
+	boom := errors.New("handler failure in the tail drain")
+	seen := 0
+	// 6 windows at depth 3: windows 1-3 are handled while streaming, 4-6 in
+	// the tail drain. Failing at window 5 leaves window 6 in flight.
+	pl := &Pipeline{Source: gen.Window(3000), WindowSize: 500, Reasoner: eng}
+	err = pl.Run(context.Background(), func(win []Triple, out *Output) error {
+		seen++
+		if seen == 5 {
+			return boom
+		}
+		return nil
+	})
+	if !errors.Is(err, boom) {
+		t.Fatalf("pipeline error = %v, want the handler's", err)
+	}
+	if n := eng.InFlight(); n != 0 {
+		t.Fatalf("after a tail-drain error %d legs are still in flight", n)
+	}
+}

@@ -1,0 +1,91 @@
+package streamrule
+
+import (
+	"sync"
+	"testing"
+
+	"streamrule/internal/testleak"
+	"streamrule/internal/workload"
+)
+
+// TestServerFacadeQuickstart drives the multi-tenant facade end to end: two
+// tenants (one budgeted) over a shared two-worker fleet, stats, and clean
+// shutdown.
+func TestServerFacadeQuickstart(t *testing.T) {
+	defer testleak.Check(t)()
+	srv := NewServer(ServerConfig{Workers: 2})
+	defer srv.Close()
+
+	var mu sync.Mutex
+	windows := map[string]int{}
+	handleFor := func(id string) func([]Triple, *Output) {
+		return func(_ []Triple, out *Output) {
+			mu.Lock()
+			windows[id]++
+			mu.Unlock()
+		}
+	}
+	for _, id := range []string{"city-a", "city-b"} {
+		tc := TenantConfig{
+			Program: testProgramP, Inpre: testInpre,
+			WindowSize: 500, WindowStep: 100,
+			QueueDepth: 32, // all 11 emissions may queue before the fleet catches up
+			Handle:     handleFor(id),
+		}
+		if id == "city-b" {
+			tc.MemoryBudget = 4096
+			tc.Overflow = BlockIngress
+		}
+		if err := srv.AddTenant(id, tc); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := srv.AddTenant("city-a", TenantConfig{Program: testProgramP, Inpre: testInpre, WindowSize: 10}); err != ErrDuplicateTenant {
+		t.Fatalf("duplicate add: err = %v", err)
+	}
+
+	gen, err := workload.NewGenerator(21, workload.PaperTraffic())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, tr := range gen.Window(1500) {
+		if err := srv.Push("city-a", tr); err != nil {
+			t.Fatal(err)
+		}
+		if err := srv.Push("city-b", tr); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := srv.DrainAll(); err != nil {
+		t.Fatal(err)
+	}
+
+	// 1500 items, size 500 step 100: emissions at 500,600,...,1500 = 11.
+	mu.Lock()
+	defer mu.Unlock()
+	for id, n := range windows {
+		if n != 11 {
+			t.Errorf("%s handled %d windows, want 11", id, n)
+		}
+	}
+	st := srv.Stats()
+	if st.Tenants != 2 || st.TotalWindows != 22 || st.TotalErrors != 0 {
+		t.Fatalf("stats = %+v", st)
+	}
+	if st.P99 <= 0 || st.LiveAtoms <= 0 {
+		t.Fatalf("missing latency/footprint metrics: %+v", st)
+	}
+	row, ok := srv.TenantStats("city-b")
+	if !ok || row.Windows != 11 {
+		t.Fatalf("tenant row = %+v", row)
+	}
+	if err := srv.RemoveTenant("city-a"); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := srv.TenantStats("city-a"); ok {
+		t.Fatal("removed tenant still has stats")
+	}
+	if err := srv.Push("city-a", Triple{S: "x", P: "average_speed", O: "1"}); err != ErrUnknownTenant {
+		t.Fatalf("push to removed tenant: err = %v", err)
+	}
+}
