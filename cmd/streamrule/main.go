@@ -63,6 +63,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 	budgetBytes := fs.Int64("budget-bytes", 0, "memory budget in approximate retained bytes (the byte-based successor of -budget; both may be combined)")
 	adaptive := fs.Bool("adaptive", false, "with -workers: rebalance partitions across workers at runtime (migrate hot partitions, split overloaded communities under the duplication cost model)")
 	naive := fs.Bool("naive-solver", false, "use the legacy rescan propagator instead of the counter/worklist engine (ablation; full enumerations identical)")
+	cdnl := fs.Bool("cdnl", false, "use the conflict-driven solver with cross-window clause reuse (answers identical; work profile differs)")
 	verbose := fs.Bool("v", false, "print every answer atom (default: summary per window)")
 	if err := fs.Parse(args); err != nil {
 		return 2
@@ -129,6 +130,9 @@ func run(args []string, stdout, stderr io.Writer) int {
 	}
 	if *naive {
 		opts = append(opts, streamrule.WithNaivePropagation())
+	}
+	if *cdnl {
+		opts = append(opts, streamrule.WithCDNL())
 	}
 
 	reasonerMode := strings.ToUpper(*mode)
@@ -256,6 +260,11 @@ func run(args []string, stdout, stderr io.Writer) int {
 		fmt.Fprintf(stdout, "solver: residual-windows=%d/%d rule-visits=%d queue-pushes=%d source-repairs=%d choices=%d propagations=%d stability-checks=%d\n",
 			residualWindows, n, solveTotals.RuleVisits, solveTotals.QueuePushes, solveTotals.SourceRepairs,
 			solveTotals.Choices, solveTotals.Propagations, solveTotals.StabilityChecks)
+		if *cdnl {
+			fmt.Fprintf(stdout, "cdnl: conflicts=%d learned=%d backjumps=%d loop-nogoods=%d reused-clauses=%d\n",
+				solveTotals.Conflicts, solveTotals.Learned, solveTotals.Backjumps,
+				solveTotals.LoopNogoods, solveTotals.ReusedClauses)
+		}
 	}
 	if st, ok := pl.MemoryStats(); ok && (st.Budget > 0 || st.BudgetBytes > 0) {
 		fmt.Fprintf(stdout, "memory: budget=%d atoms budget-bytes=%d live=%d bytes=%d peak=%d rotations=%d shrinks=%d evicted=%d remap=%v\n",

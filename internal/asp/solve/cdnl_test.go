@@ -1,0 +1,333 @@
+package solve
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"streamrule/internal/asp/ast"
+	"streamrule/internal/asp/ground"
+	"streamrule/internal/asp/intern"
+)
+
+// cdnlKeys solves with the CDNL engine and returns sorted model key sets.
+func cdnlKeys(t *testing.T, gp *ground.Program, carry *CarryState) ([][]string, *Result) {
+	t.Helper()
+	res, err := SolveCarry(gp, Options{CDNL: true}, carry)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return modelKeys(res), res
+}
+
+func sameModels(a, b [][]string) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if !slicesEqual(a[i], b[i]) {
+			return false
+		}
+	}
+	return true
+}
+
+// TestCDNLMatchesWorklist pins the CDNL engine to the default engine on the
+// deterministic programs the rest of the suite exercises.
+func TestCDNLMatchesWorklist(t *testing.T) {
+	srcs := map[string]string{
+		"even loop":      "a :- not b.\nb :- not a.",
+		"odd loop":       "p :- not p.",
+		"constraint":     "a :- not b.\nb :- not a.\n:- a.",
+		"disjunction":    "a | b.",
+		"disj cycle":     "a | b.\na :- b.\nb :- a.",
+		"choice":         "{a; b} :- not c.\nc :- not d.\nd :- not c.",
+		"positive loop":  "a :- not b.\nb :- not a.\np :- q, a.\nq :- p, a.\np :- not a.",
+		"three loops":    "a :- not b.\nb :- not a.\nc :- not d.\nd :- not c.\ne :- not f.\nf :- not e.\n:- a, c, e.",
+		"supportedness":  "a :- not b.\nb :- not a.\nx :- a.\nx :- b.\n:- not x.",
+		"deep negation":  "a :- not b.\nb :- not c.\nc :- not d.\nd :- not a.",
+		"guarded choice": "g :- not h.\nh :- not g.\n1 {a; b; c} 2 :- g.\n:- a, c.",
+	}
+	for name, src := range srcs {
+		t.Run(name, func(t *testing.T) {
+			gp := groundSrc(t, src)
+			want, err := Solve(gp, Options{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			got, _ := cdnlKeys(t, gp, nil)
+			if !sameModels(got, modelKeys(want)) {
+				t.Fatalf("CDNL models %v, worklist %v", got, modelKeys(want))
+			}
+		})
+	}
+}
+
+func TestCDNLMaxModels(t *testing.T) {
+	gp := groundSrc(t, "a :- not b.\nb :- not a.\nc :- not d.\nd :- not c.")
+	res, err := Solve(gp, Options{CDNL: true, MaxModels: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Models) != 2 {
+		t.Fatalf("MaxModels=2 returned %d models", len(res.Models))
+	}
+}
+
+// randChoiceProgram mirrors the TestQuickChoiceMatchesBruteForce generator but
+// over a slightly wider universe, mixing normal, disjunctive, constraint, and
+// bounded choice rules.
+func randChoiceProgram(rng *rand.Rand, names []string, maxRules int) *ground.Program {
+	gp := &ground.Program{}
+	nRules := 1 + rng.Intn(maxRules)
+	for i := 0; i < nRules; i++ {
+		gp.Rules = append(gp.Rules, randChoiceRule(rng, names))
+	}
+	return gp
+}
+
+func randChoiceRule(rng *rand.Rand, names []string) ast.Rule {
+	var r ast.Rule
+	kind := rng.Intn(3) // 0 constraint-ish, 1 normal/disjunctive, 2 choice
+	switch kind {
+	case 2:
+		r.Choice = true
+		nHead := 1 + rng.Intn(2)
+		for j := 0; j < nHead; j++ {
+			r.Head = append(r.Head, ast.NewAtom(names[rng.Intn(len(names))]))
+		}
+		r.Lower, r.Upper = ast.UnboundedChoice, ast.UnboundedChoice
+		if rng.Intn(2) == 0 {
+			r.Lower = rng.Intn(2)
+		}
+		if rng.Intn(2) == 0 {
+			r.Upper = r.Lower
+			if r.Upper < 0 {
+				r.Upper = rng.Intn(2)
+			}
+			r.Upper += rng.Intn(2)
+		}
+	default:
+		nHead := rng.Intn(2 + kind)
+		for j := 0; j < nHead; j++ {
+			r.Head = append(r.Head, ast.NewAtom(names[rng.Intn(len(names))]))
+		}
+	}
+	nBody := rng.Intn(3)
+	if len(r.Head) == 0 && nBody == 0 {
+		nBody = 1
+	}
+	for j := 0; j < nBody; j++ {
+		a := ast.NewAtom(names[rng.Intn(len(names))])
+		if rng.Intn(2) == 0 {
+			r.Body = append(r.Body, ast.Pos(a))
+		} else {
+			r.Body = append(r.Body, ast.Not(a))
+		}
+	}
+	return r
+}
+
+// Property: the CDNL engine agrees with brute force (and hence with the other
+// two engines, which have their own brute-force gates) on random programs.
+func TestQuickCDNLMatchesBruteForce(t *testing.T) {
+	names := []string{"a", "b", "c", "d", "e"}
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		gp := randChoiceProgram(rng, names, 6)
+		res, err := Solve(gp, Options{CDNL: true})
+		if err != nil {
+			return false
+		}
+		return sameModels(modelKeys(res), bruteForceChoice(gp))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 400}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: carrying learned state across solves — of the same program and of
+// a mutated one — never changes the answer sets. The repeat solve is the
+// maximal-reuse case (every premise still holds); the mutated solve exercises
+// premise invalidation (head sets and rule sets change under the carry).
+func TestQuickCDNLCarrySound(t *testing.T) {
+	names := []string{"a", "b", "c", "d", "e"}
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		gp := randChoiceProgram(rng, names, 5)
+		carry := &CarryState{}
+		for step := 0; step < 3; step++ {
+			res, err := SolveCarry(gp, Options{CDNL: true}, carry)
+			if err != nil {
+				return false
+			}
+			if !sameModels(modelKeys(res), bruteForceChoice(gp)) {
+				return false
+			}
+			if step == 1 {
+				// Mutate both ways: adding a rule can flip root implications
+				// (nonmonotonicity), removing one invalidates premises.
+				mut := &ground.Program{Rules: append([]ast.Rule(nil), gp.Rules...)}
+				if rng.Intn(2) == 0 && len(mut.Rules) > 1 {
+					i := rng.Intn(len(mut.Rules))
+					mut.Rules = append(mut.Rules[:i], mut.Rules[i+1:]...)
+				} else {
+					mut.Rules = append(mut.Rules, randChoiceRule(rng, names))
+				}
+				gp = mut
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestCDNLUnfoundedSkipsStabilityChecks pins the tentpole perf property on a
+// positive-loop program: the worklist engine completes candidates with
+// loop-supported atoms and pays a reduct test to reject them, while CDNL
+// falsifies the loop during propagation and never runs a stability check.
+func TestCDNLUnfoundedSkipsStabilityChecks(t *testing.T) {
+	src := `
+a :- not b.
+b :- not a.
+p :- q, a.
+q :- p, a.
+p :- not a.
+`
+	gp := groundSrc(t, src)
+	wl, err := Solve(gp, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, res := cdnlKeys(t, gp, nil)
+	if !sameModels(got, modelKeys(wl)) {
+		t.Fatalf("CDNL models %v, worklist %v", got, modelKeys(wl))
+	}
+	if res.Stats.StabilityChecks != 0 {
+		t.Errorf("CDNL ran %d stability checks on a non-disjunctive program, want 0", res.Stats.StabilityChecks)
+	}
+	if wl.Stats.StabilityChecks == 0 {
+		t.Fatal("worklist oracle ran no stability checks; program no longer exercises the loop")
+	}
+	if res.Stats.StabilityChecks >= wl.Stats.StabilityChecks {
+		t.Errorf("StabilityChecks: CDNL %d, worklist %d; want a strict drop",
+			res.Stats.StabilityChecks, wl.Stats.StabilityChecks)
+	}
+	if res.Stats.LoopNogoods == 0 {
+		t.Error("expected loop nogoods to be learned on a positive-loop program")
+	}
+}
+
+// TestCDNLBackjumps crafts a conflict whose asserting clause only involves the
+// first and third decisions, so resolution must jump over the second decision
+// level — the non-chronological move the worklist engine cannot make. The
+// decision order u1, u2, u3 is pinned through carried activity.
+func TestCDNLBackjumps(t *testing.T) {
+	src := `
+u1 :- not v1.
+v1 :- not u1.
+u2 :- not v2.
+v2 :- not u2.
+u3 :- not v3.
+v3 :- not u3.
+p :- u1, u3.
+:- u3, p.
+`
+	gp := groundSrc(t, src)
+	want, err := Solve(gp, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tab, _, _ := idForm(gp)
+	carry := &CarryState{act: map[intern.AtomID]float64{
+		tab.InternAtom(ast.NewAtom("u1")): 3,
+		tab.InternAtom(ast.NewAtom("u2")): 2,
+		tab.InternAtom(ast.NewAtom("u3")): 1,
+	}}
+	res, err := SolveCarry(gp, Options{CDNL: true}, carry)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := modelKeys(res)
+	if !sameModels(got, modelKeys(want)) {
+		t.Fatalf("CDNL models %v, worklist %v", got, modelKeys(want))
+	}
+	if res.Stats.Conflicts == 0 || res.Stats.Learned == 0 {
+		t.Fatalf("expected conflicts and learned clauses, got %+v", res.Stats)
+	}
+	if res.Stats.Backjumps == 0 {
+		t.Errorf("expected a non-chronological backjump, got %+v", res.Stats)
+	}
+}
+
+// TestCDNLClauseCarryReuse pins the cross-window contract at the solver level:
+// a repeat solve under the same carry replays learned clauses (ReusedClauses
+// rises, conflicts vanish), and Reset drops them again.
+func TestCDNLClauseCarryReuse(t *testing.T) {
+	src := `
+a :- not b.
+b :- not a.
+c :- a.
+d :- a.
+:- a, c.
+`
+	gp := groundSrc(t, src)
+	carry := &CarryState{}
+	got1, res1 := cdnlKeys(t, gp, carry)
+	if res1.Stats.Conflicts == 0 {
+		t.Fatalf("first solve should conflict on the a-branch, got %+v", res1.Stats)
+	}
+	if carry.Clauses() == 0 {
+		t.Fatal("first solve carried no clauses")
+	}
+	got2, res2 := cdnlKeys(t, gp, carry)
+	if !sameModels(got1, got2) {
+		t.Fatalf("answers changed under carry: %v vs %v", got1, got2)
+	}
+	if res2.Stats.ReusedClauses == 0 {
+		t.Errorf("repeat solve reused no clauses: %+v", res2.Stats)
+	}
+	if res2.Stats.Conflicts != 0 {
+		t.Errorf("carried unit clause should preempt the conflict, got %d conflicts", res2.Stats.Conflicts)
+	}
+	carry.Reset()
+	got3, res3 := cdnlKeys(t, gp, carry)
+	if !sameModels(got1, got3) {
+		t.Fatalf("answers changed after reset: %v vs %v", got1, got3)
+	}
+	if res3.Stats.ReusedClauses != 0 {
+		t.Errorf("reset carry still reused %d clauses", res3.Stats.ReusedClauses)
+	}
+}
+
+// TestCDNLCarryRootDropSound pins the subtlest premise-tracking obligation:
+// conflict analysis elides root-level literals from learned clauses, so the
+// clause's validity additionally depends on whatever forced those literals at
+// the root. Here c has no rules in the first program — it is falsified at the
+// root and dropped from the a-branch conflict clause — and the second program
+// gives c a choice rule while keeping every resolved rule intact. A carry
+// that fails to record the dropped literal's derivation replays a clause that
+// wrongly prunes the a-models.
+func TestCDNLCarryRootDropSound(t *testing.T) {
+	rules1 := []ast.Rule{
+		{Head: []ast.Atom{ast.NewAtom("a")}, Body: []ast.Literal{ast.Not(ast.NewAtom("b"))}},
+		{Head: []ast.Atom{ast.NewAtom("b")}, Body: []ast.Literal{ast.Not(ast.NewAtom("a"))}},
+		{Head: []ast.Atom{ast.NewAtom("x")}, Body: []ast.Literal{ast.Pos(ast.NewAtom("a")), ast.Not(ast.NewAtom("c"))}},
+		{Body: []ast.Literal{ast.Pos(ast.NewAtom("x")), ast.Pos(ast.NewAtom("a"))}},
+	}
+	gp1 := &ground.Program{Rules: rules1}
+	carry := &CarryState{}
+	got1, _ := cdnlKeys(t, gp1, carry)
+	if want := bruteForceChoice(gp1); !sameModels(got1, want) {
+		t.Fatalf("first solve diverges from brute force: %v vs %v", got1, want)
+	}
+	choice := ast.Rule{Head: []ast.Atom{ast.NewAtom("c")}, Choice: true,
+		Lower: ast.UnboundedChoice, Upper: ast.UnboundedChoice}
+	gp2 := &ground.Program{Rules: append(append([]ast.Rule(nil), rules1...), choice)}
+	got2, _ := cdnlKeys(t, gp2, carry)
+	if want := bruteForceChoice(gp2); !sameModels(got2, want) {
+		t.Fatalf("carried clause over a dropped root literal changed the answers: %v vs %v", got2, want)
+	}
+}

@@ -124,6 +124,10 @@ type solver struct {
 
 	// stable() scratch, reused across candidates (see stable.go).
 	st stableScratch
+
+	// cd is the conflict-driven engine state (cdnl.go); nil for the
+	// worklist and naive engines, whose hot paths pay only a nil check.
+	cd *cdnl
 }
 
 // init sizes the assignment, occurrence lists, and — for the counter
@@ -186,10 +190,19 @@ func (s *solver) init(n int) {
 func (s *solver) set(atom int, v int8) bool {
 	cur := s.assign[atom]
 	if cur != undef {
-		return cur == v
+		if cur == v {
+			return true
+		}
+		if s.cd != nil {
+			s.cd.noteClashConflict(atom, v)
+		}
+		return false
 	}
 	s.assign[atom] = v
 	s.trail = append(s.trail, int32(atom))
+	if s.cd != nil {
+		s.cd.onAssign(atom)
+	}
 	if !s.naive {
 		s.applyDeltas(atom, v)
 	}
@@ -206,9 +219,15 @@ func (s *solver) undoTo(mark int) {
 		s.trail = s.trail[:len(s.trail)-1]
 		v := s.assign[a]
 		s.assign[a] = undef
+		if s.cd != nil {
+			s.cd.onUnassign(a, v)
+		}
 		if !s.naive {
 			s.revertDeltas(a, v)
 		}
+	}
+	if s.cd != nil {
+		s.cd.onUndone()
 	}
 }
 
@@ -314,6 +333,9 @@ func (s *solver) bumpRule(ri int32) {
 // sourceDiedBody queues repairs for every head atom using ri as its support
 // source, after ri's body acquired its first false literal.
 func (s *solver) sourceDiedBody(ri int32) {
+	if s.cd != nil {
+		s.cd.markRuleDirty(ri)
+	}
 	for _, h := range s.rules[ri].head {
 		if s.source[h] == ri {
 			s.pushSrc(h)
@@ -401,14 +423,23 @@ func (s *solver) examine(ri int32) bool {
 		// undecided heads — exactly as in the naive propagator.
 		ht, hu := int(s.ht[ri]), int(s.hu[ri])
 		if r.hi >= 0 && ht > r.hi {
+			if s.cd != nil {
+				s.cd.noteChoiceConflict(ri, true)
+			}
 			return false
 		}
 		if r.lo > 0 && ht+hu < r.lo {
+			if s.cd != nil {
+				s.cd.noteChoiceConflict(ri, false)
+			}
 			return false
 		}
 		switch {
 		case r.hi >= 0 && ht == r.hi && hu > 0:
 			// Upper bound reached: remaining heads are false.
+			if s.cd != nil {
+				s.cd.pend(rkChoice, ri)
+			}
 			for _, h := range r.head {
 				if s.assign[h] == undef {
 					if !s.set(h, fls) {
@@ -419,6 +450,9 @@ func (s *solver) examine(ri int32) bool {
 			}
 		case r.lo > 0 && ht+hu == r.lo && hu > 0:
 			// Lower bound tight: remaining heads are true.
+			if s.cd != nil {
+				s.cd.pend(rkChoice, ri)
+			}
 			for _, h := range r.head {
 				if s.assign[h] == undef {
 					if !s.set(h, tru) {
@@ -435,9 +469,16 @@ func (s *solver) examine(ri int32) bool {
 	}
 	switch {
 	case s.und[ri] == 0 && s.hu[ri] == 0:
-		return false // constraint violated or all heads false
+		// Constraint violated or all heads false.
+		if s.cd != nil {
+			s.cd.noteRuleConflict(ri)
+		}
+		return false
 	case s.und[ri] == 0 && s.hu[ri] == 1:
 		// Body holds and one head is left undecided: it must hold.
+		if s.cd != nil {
+			s.cd.pend(rkRule, ri)
+		}
 		for _, h := range r.head {
 			if s.assign[h] == undef {
 				if !s.set(h, tru) {
@@ -450,6 +491,9 @@ func (s *solver) examine(ri int32) bool {
 	case s.und[ri] == 1 && s.hu[ri] == 0:
 		// All heads false and the body is one literal away from firing:
 		// falsify that literal (contraposition).
+		if s.cd != nil {
+			s.cd.pend(rkRule, ri)
+		}
 		for _, a := range r.pos {
 			if s.assign[a] == undef {
 				if !s.set(a, fls) {
@@ -508,7 +552,13 @@ func (s *solver) repairSource(a int) bool {
 		}
 	}
 	if s.assign[a] == tru {
+		if s.cd != nil {
+			s.cd.noteSupportConflict(a)
+		}
 		return false
+	}
+	if s.cd != nil {
+		s.cd.pend(rkSupport, int32(a))
 	}
 	if !s.set(a, fls) {
 		return false

@@ -47,6 +47,18 @@ type Options struct {
 	// subsets of that enumeration: they branch in different orders (local
 	// index vs activity), so the cap can bite on different prefixes.
 	NaivePropagation bool
+	// CDNL selects the conflict-driven nogood-learning engine: 1UIP clause
+	// learning with non-chronological backjumping, VSIDS-style decision
+	// activity with decay, and source-pointer unfounded-set detection that
+	// turns positive loops into loop nogoods during propagation instead of
+	// discovering them at the stability check. Answer-set enumeration is
+	// identical to the other engines (enforced by the differential and fuzz
+	// oracles); only the work profile differs, and under a MaxModels cap
+	// the enumerated prefix may differ because decisions follow dynamic
+	// activity. Ignored when NaivePropagation is set — the naive engine is
+	// the oracle and stays untouched. Pair with SolveCarry to reuse learned
+	// clauses and activity across overlapping windows.
+	CDNL bool
 }
 
 // Stats reports work done by a solving run.
@@ -74,6 +86,23 @@ type Stats struct {
 	// to be re-derived by scanning the atom's head occurrences (counter
 	// engine only; 0 under NaivePropagation).
 	SourceRepairs int
+	// Conflicts counts propagation conflicts analyzed by the CDNL engine
+	// (0 for the other engines, which count failed branches nowhere).
+	Conflicts int
+	// Learned counts clauses learned by 1UIP conflict analysis (CDNL only).
+	Learned int
+	// Backjumps counts non-chronological backjumps: conflict analyses whose
+	// asserting clause jumped past at least one decision level instead of
+	// undoing just the deepest one (CDNL only).
+	Backjumps int
+	// LoopNogoods counts loop nogoods materialized by unfounded-set
+	// detection — positive loops refuted during propagation rather than at
+	// the stability check (CDNL only).
+	LoopNogoods int
+	// ReusedClauses counts clauses replayed from a previous window's
+	// CarryState whose premises were still intact (CDNL only; 0 on the
+	// first window and after a carry reset).
+	ReusedClauses int
 }
 
 // Add accumulates another run's counters into s (every numeric field).
@@ -87,6 +116,11 @@ func (s *Stats) Add(o Stats) {
 	s.RuleVisits += o.RuleVisits
 	s.QueuePushes += o.QueuePushes
 	s.SourceRepairs += o.SourceRepairs
+	s.Conflicts += o.Conflicts
+	s.Learned += o.Learned
+	s.Backjumps += o.Backjumps
+	s.LoopNogoods += o.LoopNogoods
+	s.ReusedClauses += o.ReusedClauses
 }
 
 // Result is the outcome of a solving run.
@@ -299,6 +333,18 @@ func (s *AnswerSet) String() string {
 
 // Solve computes the answer sets of the ground program.
 func Solve(gp *ground.Program, opts Options) (*Result, error) {
+	return SolveCarry(gp, opts, nil)
+}
+
+// SolveCarry computes the answer sets of the ground program, reusing and
+// refreshing cross-window solver state. With Options.CDNL set and a non-nil
+// carry, learned clauses from earlier windows whose premises (the exact
+// ground rules their derivations relied on) still hold in gp are replayed
+// before the search starts, and the clauses and branching activity learned
+// on gp are written back for the next window. A nil carry (or a non-CDNL
+// engine) makes SolveCarry identical to Solve. The carry is owned by one
+// solving sequence: it must not be shared across concurrent solves.
+func SolveCarry(gp *ground.Program, opts Options, carry *CarryState) (*Result, error) {
 	res := &Result{}
 	if gp.Inconsistent {
 		// The grounder proved the certain atoms violate a constraint: no
@@ -368,6 +414,15 @@ func Solve(gp *ground.Program, opts Options) (*Result, error) {
 		s.rules = append(s.rules, ir)
 	}
 	s.init(len(s.ids))
+	if opts.CDNL && !opts.NaivePropagation {
+		s.cd = newCDNL(s)
+		s.cd.prepare(carry, ruleIDs, local)
+		s.searchCDNL()
+		if carry != nil {
+			s.cd.carryOut(carry)
+		}
+		return res, nil
+	}
 	s.search(0)
 	return res, nil
 }

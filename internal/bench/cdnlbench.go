@@ -1,0 +1,157 @@
+// Solver-engine benchmark: the recorded-replay trajectory for the solver
+// rewrite. RunCDNLBench drives the same sliding stream through reasoner.R
+// three times — naive rescan, counter/worklist, and conflict-driven (CDNL)
+// with cross-window clause carry — and reports the per-window solve cost
+// next to the conflict-driven counters (conflicts, learned, reused clauses,
+// stability checks). Answer sets are cross-checked window by window inside
+// the run: a row is only emitted when every engine agreed on every window.
+// `make bench8` snapshots the rows into BENCH_8.json.
+
+package bench
+
+import (
+	"fmt"
+	"slices"
+	"strings"
+	"time"
+
+	"streamrule/internal/asp/parser"
+	"streamrule/internal/asp/solve"
+	"streamrule/internal/reasoner"
+	"streamrule/internal/workload"
+)
+
+// CDNLRow is one measured cell of the solver-engine benchmark.
+type CDNLRow struct {
+	// Figure names the workload: "Fig7" (program P, paper traffic; rides the
+	// stratified fast path, so all engines should tie) or "Fig7Residual"
+	// (residual program, hostile traffic; the search-bound case).
+	Figure string `json:"figure"`
+	// Engine is naive, worklist, or cdnl.
+	Engine string `json:"engine"`
+	// SolveMs is the mean per-window solver latency in milliseconds.
+	SolveMs float64 `json:"solve_ms"`
+	// CPMs is the mean per-window critical-path latency in milliseconds.
+	CPMs float64 `json:"cp_ms"`
+	// StabilityChecks / Conflicts / Learned / Backjumps / ReusedClauses are
+	// the cumulative solver counters over all windows. Only the CDNL engine
+	// populates the conflict-driven ones.
+	StabilityChecks int64 `json:"stability_checks"`
+	Conflicts       int64 `json:"conflicts"`
+	Learned         int64 `json:"learned"`
+	Backjumps       int64 `json:"backjumps"`
+	ReusedClauses   int64 `json:"reused_clauses"`
+	// Windows is the number of window emissions processed.
+	Windows int `json:"windows"`
+}
+
+// CDNLBenchConfig parameterizes one solver-engine benchmark run.
+type CDNLBenchConfig struct {
+	// Seed drives workload generation (default 1).
+	Seed int64
+	// WindowSize / WindowStep shape the sliding window (defaults 5000/1000 —
+	// the w5k shape of the acceptance comparison).
+	WindowSize, WindowStep int
+	// Windows is the number of emissions per engine (default 12).
+	Windows int
+}
+
+func (c *CDNLBenchConfig) fill() {
+	if c.Seed == 0 {
+		c.Seed = 1
+	}
+	if c.WindowSize == 0 {
+		c.WindowSize = 5000
+	}
+	if c.WindowStep == 0 {
+		c.WindowStep = 1000
+	}
+	if c.Windows == 0 {
+		c.Windows = 12
+	}
+}
+
+// cdnlEngines enumerates the three solver engines in oracle order.
+var cdnlEngines = []struct {
+	Name string
+	Opts solve.Options
+}{
+	{"naive", solve.Options{NaivePropagation: true}},
+	{"worklist", solve.Options{}},
+	{"cdnl", solve.Options{CDNL: true}},
+}
+
+// RunCDNLBench executes the solver-engine benchmark: Fig7 and Fig7Residual,
+// each through R under all three engines over the same sliding emissions,
+// cross-checking the answers of every window across engines.
+func RunCDNLBench(cfg CDNLBenchConfig) ([]CDNLRow, error) {
+	cfg.fill()
+	figures := []struct {
+		name    string
+		src     string
+		traffic []workload.TripleSpec
+	}{
+		{"Fig7", ProgramP, workload.PaperTraffic()},
+		{"Fig7Residual", ProgramResidual, workload.ResidualTraffic()},
+	}
+	var rows []CDNLRow
+	for _, fig := range figures {
+		prog, err := parser.Parse(fig.src)
+		if err != nil {
+			return nil, err
+		}
+		gen, err := workload.NewGenerator(cfg.Seed, fig.traffic)
+		if err != nil {
+			return nil, err
+		}
+		total := cfg.WindowSize + cfg.WindowStep*(cfg.Windows-1)
+		emissions := slidingEmissions(gen.Window(total), cfg.WindowSize, cfg.WindowStep)
+		if len(emissions) == 0 {
+			return nil, fmt.Errorf("bench: no emissions for window %d step %d", cfg.WindowSize, cfg.WindowStep)
+		}
+		// sigs[engine][window] — table-independent answer signatures for the
+		// cross-engine check.
+		sigs := make([][][]string, len(cdnlEngines))
+		for ei, eng := range cdnlEngines {
+			rcfg := reasoner.Config{Program: prog, Inpre: Inpre, OutputPreds: Outputs}
+			rcfg.SolveOpts = eng.Opts
+			r, err := reasoner.NewR(rcfg)
+			if err != nil {
+				return nil, err
+			}
+			row := CDNLRow{Figure: fig.name, Engine: eng.Name, Windows: len(emissions)}
+			var solveT, cpT time.Duration
+			for wi, wd := range emissions {
+				var d *reasoner.Delta
+				if wd.Incremental {
+					d = &reasoner.Delta{Added: wd.Added, Retracted: wd.Retracted}
+				}
+				out, err := r.ProcessDelta(wd.Window, d)
+				if err != nil {
+					return nil, fmt.Errorf("%s/%s window %d: %w", fig.name, eng.Name, wi, err)
+				}
+				solveT += out.Latency.Solve
+				cpT += out.Latency.CriticalPath
+				row.StabilityChecks += int64(out.SolveStats.StabilityChecks)
+				row.Conflicts += int64(out.SolveStats.Conflicts)
+				row.Learned += int64(out.SolveStats.Learned)
+				row.Backjumps += int64(out.SolveStats.Backjumps)
+				row.ReusedClauses += int64(out.SolveStats.ReusedClauses)
+				ws := make([]string, len(out.Answers))
+				for i, a := range out.Answers {
+					ws[i] = strings.Join(a.Keys(), ";")
+				}
+				slices.Sort(ws)
+				sigs[ei] = append(sigs[ei], ws)
+				if ei > 0 && !slices.EqualFunc(sigs[0][wi], ws, func(a, b string) bool { return a == b }) {
+					return nil, fmt.Errorf("%s window %d: %s diverges from %s", fig.name, wi, eng.Name, cdnlEngines[0].Name)
+				}
+			}
+			n := float64(len(emissions))
+			row.SolveMs = float64(solveT.Microseconds()) / 1000 / n
+			row.CPMs = float64(cpT.Microseconds()) / 1000 / n
+			rows = append(rows, row)
+		}
+	}
+	return rows, nil
+}

@@ -1,0 +1,255 @@
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+	"testing"
+	"time"
+
+	"streamrule/internal/asp/parser"
+	"streamrule/internal/asp/solve"
+	"streamrule/internal/reasoner"
+	"streamrule/internal/workload"
+)
+
+// BenchmarkSolverCDNL extends the residual solver comparison to the
+// conflict-driven engine: the same ground program re-solved per iteration
+// under rescan, counter/worklist, and CDNL. The cdnl variant keeps one
+// CarryState across iterations, so its steady-state cost includes clause
+// replay — the shape a reasoner sees on overlapping windows. The headline is
+// "stability-checks": CDNL's unfounded-set detection replaces the candidate
+// reduct tests the propagation engines pay for.
+func BenchmarkSolverCDNL(b *testing.B) {
+	for _, size := range []int{2000, 5000} {
+		gp := residualGround(b, size)
+		for _, variant := range []struct {
+			name string
+			opts solve.Options
+		}{
+			{"naive", solve.Options{NaivePropagation: true}},
+			{"worklist", solve.Options{}},
+			{"cdnl", solve.Options{CDNL: true}},
+		} {
+			b.Run(fmt.Sprintf("%s/w%dk", variant.name, size/1000), func(b *testing.B) {
+				b.ReportAllocs()
+				carry := &solve.CarryState{}
+				var conflicts, learned, reused, checks float64
+				for i := 0; i < b.N; i++ {
+					res, err := solve.SolveCarry(gp, variant.opts, carry)
+					if err != nil {
+						b.Fatal(err)
+					}
+					if len(res.Models) != 8 {
+						b.Fatalf("models = %d", len(res.Models))
+					}
+					conflicts += float64(res.Stats.Conflicts)
+					learned += float64(res.Stats.Learned)
+					reused += float64(res.Stats.ReusedClauses)
+					checks += float64(res.Stats.StabilityChecks)
+				}
+				b.ReportMetric(conflicts/float64(b.N), "conflicts")
+				b.ReportMetric(learned/float64(b.N), "learned")
+				b.ReportMetric(reused/float64(b.N), "reused-clauses")
+				b.ReportMetric(checks/float64(b.N), "stability-checks")
+			})
+		}
+	}
+}
+
+// TestCDNLSolverAcceptance pins the headline claim of the solver rewrite on
+// the acceptance workload (residual ground program at w5k): CDNL returns
+// exactly the models of the naive oracle while solving faster than the
+// worklist engine, with strictly fewer stability checks. Timing is best-of-5
+// per engine to shrug off scheduler noise.
+func TestCDNLSolverAcceptance(t *testing.T) {
+	if testing.Short() {
+		t.Skip("timing comparison: skipped in -short")
+	}
+	gp := residualGround(t, 5000)
+	naive, err := solve.Solve(gp, solve.Options{NaivePropagation: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	best := func(opts solve.Options) (time.Duration, *solve.Result) {
+		var bestD time.Duration
+		var res *solve.Result
+		for i := 0; i < 5; i++ {
+			start := time.Now()
+			r, err := solve.Solve(gp, opts)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if d := time.Since(start); res == nil || d < bestD {
+				bestD, res = d, r
+			}
+		}
+		return bestD, res
+	}
+	wlD, wl := best(solve.Options{})
+	cdnlD, cdnl := best(solve.Options{CDNL: true})
+
+	if len(cdnl.Models) != len(naive.Models) {
+		t.Fatalf("models: cdnl %d, naive %d", len(cdnl.Models), len(naive.Models))
+	}
+	for i, m := range cdnl.Models {
+		found := false
+		for _, n := range naive.Models {
+			if m.Equal(n) {
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Errorf("cdnl model %d not among naive models", i)
+		}
+	}
+	if cdnl.Stats.StabilityChecks >= wl.Stats.StabilityChecks {
+		t.Errorf("stability checks: cdnl %d, worklist %d — unfounded-set detection should eliminate reduct tests",
+			cdnl.Stats.StabilityChecks, wl.Stats.StabilityChecks)
+	}
+	if cdnlD >= wlD {
+		t.Errorf("solve time: cdnl %v, worklist %v — CDNL should win on the residual workload", cdnlD, wlD)
+	}
+	t.Logf("w5k solve: cdnl %v (checks %d) vs worklist %v (checks %d), %d models",
+		cdnlD, cdnl.Stats.StabilityChecks, wlD, wl.Stats.StabilityChecks, len(cdnl.Models))
+}
+
+// TestCDNLBenchSmoke runs the solver-engine benchmark at a toy scale and
+// checks the shape of the rows: every figure × engine cell present (which
+// also certifies the internal per-window answer cross-check passed), the
+// stratified figure staying conflict-free on every engine, and the residual
+// figure showing CDNL's stability-check elimination against the oracles.
+func TestCDNLBenchSmoke(t *testing.T) {
+	rows, err := RunCDNLBench(CDNLBenchConfig{WindowSize: 600, WindowStep: 200, Windows: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	byCell := make(map[string]CDNLRow)
+	for _, r := range rows {
+		byCell[r.Figure+"/"+r.Engine] = r
+	}
+	for _, fig := range []string{"Fig7", "Fig7Residual"} {
+		for _, eng := range []string{"naive", "worklist", "cdnl"} {
+			r, ok := byCell[fig+"/"+eng]
+			if !ok {
+				t.Fatalf("missing row %s/%s", fig, eng)
+			}
+			if r.CPMs <= 0 || r.Windows == 0 {
+				t.Errorf("%s/%s: degenerate row %+v", fig, eng, r)
+			}
+			if eng != "cdnl" && (r.Conflicts != 0 || r.Learned != 0 || r.ReusedClauses != 0) {
+				t.Errorf("%s/%s: oracle engine reports CDNL counters: %+v", fig, eng, r)
+			}
+		}
+		if r := byCell[fig+"/cdnl"]; r.Conflicts != 0 {
+			// Both figures' programs are conflict-free under propagation;
+			// conflicts here would mean the engine is searching blind.
+			t.Errorf("%s/cdnl: unexpected conflicts: %+v", fig, r)
+		}
+	}
+	cdnl, wl := byCell["Fig7Residual/cdnl"], byCell["Fig7Residual/worklist"]
+	if cdnl.StabilityChecks >= wl.StabilityChecks {
+		t.Errorf("Fig7Residual stability checks: cdnl %d, worklist %d — want strictly fewer",
+			cdnl.StabilityChecks, wl.StabilityChecks)
+	}
+}
+
+// TestCDNLBenchArtifact emits BENCH_8.json (the recorded-replay perf
+// trajectory for the solver engines) when BENCH8_OUT names the destination;
+// `make bench8` wraps exactly this.
+func TestCDNLBenchArtifact(t *testing.T) {
+	out := os.Getenv("BENCH8_OUT")
+	if out == "" {
+		t.Skip("set BENCH8_OUT=/path/BENCH_8.json (or run `make bench8`) to emit the artifact")
+	}
+	cfg := CDNLBenchConfig{}
+	rows, err := RunCDNLBench(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.fill()
+	artifact := struct {
+		Name   string          `json:"name"`
+		Config CDNLBenchConfig `json:"config"`
+		Rows   []CDNLRow       `json:"rows"`
+	}{Name: "BENCH_8 solver-engine trajectory", Config: cfg, Rows: rows}
+	data, err := json.MarshalIndent(artifact, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(out, append(data, '\n'), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("wrote %s (%d rows)", out, len(rows))
+}
+
+// cdnlResidualBaselinePath holds the committed allocs/op snapshot of the
+// Fig7Residual R path solved by the CDNL engine (with cross-window carry) at
+// w2k — the alloc-regression gate for the conflict-driven solver.
+const cdnlResidualBaselinePath = "testdata/cdnlresidual_allocs.txt"
+
+// TestCDNLResidualAllocBudget fails when the CDNL-solved Fig7Residual R path
+// allocates more than 10% above the committed baseline — premise recording
+// and clause replay must stay amortized, not regrow per window. Regenerate
+// the snapshot after an intended change with UPDATE_CDNL_BASELINE=1.
+func TestCDNLResidualAllocBudget(t *testing.T) {
+	if testing.Short() {
+		t.Skip("allocation benchmark: skipped in -short")
+	}
+	prog, err := parser.Parse(ProgramResidual)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := reasoner.Config{Program: prog, Inpre: Inpre}
+	cfg.SolveOpts.CDNL = true
+	r, err := reasoner.NewR(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gen, err := workload.NewGenerator(2000, workload.ResidualTraffic())
+	if err != nil {
+		t.Fatal(err)
+	}
+	window := gen.Window(2000)
+	// Warm the interning table, grounding scratch, and the clause carry so
+	// the measurement is the steady-state per-window cost including replay.
+	for i := 0; i < 2; i++ {
+		if _, err := r.Process(window); err != nil {
+			t.Fatal(err)
+		}
+	}
+	res := testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := r.Process(window); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	got := res.AllocsPerOp()
+
+	if os.Getenv("UPDATE_CDNL_BASELINE") != "" {
+		if err := os.WriteFile(cdnlResidualBaselinePath, []byte(fmt.Sprintf("%d\n", got)), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("baseline updated: %d allocs/op", got)
+		return
+	}
+	raw, err := os.ReadFile(cdnlResidualBaselinePath)
+	if err != nil {
+		t.Fatalf("missing baseline snapshot (run with UPDATE_CDNL_BASELINE=1): %v", err)
+	}
+	baseline, err := strconv.ParseInt(strings.TrimSpace(string(raw)), 10, 64)
+	if err != nil {
+		t.Fatalf("corrupt baseline snapshot %q: %v", raw, err)
+	}
+	limit := baseline + baseline/10
+	if got > limit {
+		t.Errorf("CDNL Fig7Residual R/w2k allocates %d allocs/op, > committed baseline %d +10%% (%d)",
+			got, baseline, limit)
+	}
+	t.Logf("allocs/op: %d (baseline %d, limit %d)", got, baseline, limit)
+}

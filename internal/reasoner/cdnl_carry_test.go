@@ -1,0 +1,124 @@
+package reasoner
+
+import (
+	"fmt"
+	"math/rand"
+	"slices"
+	"testing"
+
+	"streamrule/internal/asp/parser"
+	"streamrule/internal/dfp"
+	"streamrule/internal/rdf"
+)
+
+// carryTestConfig builds the crafted conflict-heavy program of the CDNL
+// differential: every window holding an e fact conflicts on the a-branch, so
+// the first residual window learns clauses and overlapping windows can
+// replay them.
+func carryTestConfig(t *testing.T, cdnl bool) Config {
+	t.Helper()
+	src := `
+a :- not b.
+b :- not a.
+x(X) :- e(X,Y), a.
+:- x(X), a.
+`
+	prog, err := parser.Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := Config{Program: prog, Inpre: []string{"e"}, Arities: dfp.Arities{"e": 2}}
+	cfg.SolveOpts.CDNL = cdnl
+	return cfg
+}
+
+// TestReasonerClauseCarry pins the cross-window contract at the reasoner
+// level: learned clauses ride the R's CarryState across overlapping windows
+// (ReusedClauses > 0 from the second window on, without changing answers),
+// and the paths that abandon window continuity — re-seed and the internal
+// incremental fallbacks, exercised here via processSeed — drop the state, so
+// the next window replays nothing and has to re-learn.
+func TestReasonerClauseCarry(t *testing.T) {
+	rnd := rand.New(rand.NewSource(3))
+	var triples []rdf.Triple
+	for i := 0; i < 160; i++ {
+		triples = append(triples, rdf.Triple{
+			S: fmt.Sprintf("s%d", rnd.Intn(6)), P: "e", O: fmt.Sprint(rnd.Intn(4)),
+		})
+	}
+	emissions := emitWindows(triples, 60, 20)
+	if len(emissions) < 4 {
+		t.Fatalf("need at least 4 windows, got %d", len(emissions))
+	}
+
+	r, err := NewR(carryTestConfig(t, true))
+	if err != nil {
+		t.Fatal(err)
+	}
+	oracle, err := NewR(carryTestConfig(t, false))
+	if err != nil {
+		t.Fatal(err)
+	}
+	step := func(wi int) *Output {
+		got, err := r.Process(emissions[wi].Window)
+		if err != nil {
+			t.Fatalf("window %d: %v", wi, err)
+		}
+		want, err := oracle.Process(emissions[wi].Window)
+		if err != nil {
+			t.Fatalf("window %d: oracle: %v", wi, err)
+		}
+		if gs, ws := answerKeySigs(got.Answers), answerKeySigs(want.Answers); !slices.Equal(gs, ws) {
+			t.Fatalf("window %d: answers diverge\nCDNL:     %v\nworklist: %v", wi, gs, ws)
+		}
+		return got
+	}
+
+	out0 := step(0)
+	if out0.SolveStats.ReusedClauses != 0 {
+		t.Fatalf("first window reused %d clauses out of thin air", out0.SolveStats.ReusedClauses)
+	}
+	if out0.SolveStats.Learned == 0 {
+		t.Fatalf("first window learned nothing; the program no longer conflicts: %+v", out0.SolveStats)
+	}
+	if r.carry == nil || r.carry.Clauses() == 0 {
+		t.Fatal("first window left no carried clauses")
+	}
+	out1 := step(1)
+	if out1.SolveStats.ReusedClauses == 0 {
+		t.Errorf("overlapping window reused no clauses: %+v", out1.SolveStats)
+	}
+
+	// A re-seed abandons continuity: the carry must be dropped before the
+	// window is solved, and the window after it starts from scratch again.
+	// (Residual programs are not incrementally eligible, so processSeed also
+	// covers the incremental-fallback resets — it funnels into the same
+	// from-scratch path after resetting.)
+	outSeed, err := r.processSeed(emissions[2].Window)
+	if err != nil {
+		t.Fatalf("processSeed: %v", err)
+	}
+	if outSeed.SolveStats.ReusedClauses != 0 {
+		t.Errorf("re-seeded window reused %d clauses; continuity reset must drop the carry",
+			outSeed.SolveStats.ReusedClauses)
+	}
+	if _, err := oracle.Process(emissions[2].Window); err != nil {
+		t.Fatal(err)
+	}
+	out3 := step(3)
+	if out3.SolveStats.ReusedClauses == 0 {
+		t.Errorf("carry did not resume after the re-seeded window re-learned: %+v", out3.SolveStats)
+	}
+}
+
+// TestReasonerCarryDisabledWithoutCDNL pins that the default engines pay
+// nothing for the carry plumbing: no CarryState is even allocated.
+func TestReasonerCarryDisabledWithoutCDNL(t *testing.T) {
+	r, err := NewR(carryTestConfig(t, false))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.carry != nil {
+		t.Fatal("worklist reasoner allocated a CarryState")
+	}
+}

@@ -340,6 +340,7 @@ func NewDPR(cfg Config, part Partitioner, opts DPROptions) (*DPR, error) {
 		IncludeInputFacts: cfg.IncludeInputFacts,
 		MaxModels:         cfg.SolveOpts.MaxModels,
 		NaivePropagation:  cfg.SolveOpts.NaivePropagation,
+		CDNL:              cfg.SolveOpts.CDNL,
 		MaxAtoms:          cfg.GroundOpts.MaxAtoms,
 		MemoryBudget:      dpr.budget,
 		MemoryBudgetBytes: dpr.budgetBytes,

@@ -49,7 +49,7 @@ func (h *WorkerHandler) NewSession(hello *transport.Hello) (transport.Session, e
 	if len(hello.Arities) > 0 {
 		cfg.Arities = dfp.Arities(hello.Arities)
 	}
-	cfg.SolveOpts = solve.Options{MaxModels: hello.MaxModels, NaivePropagation: hello.NaivePropagation}
+	cfg.SolveOpts = solve.Options{MaxModels: hello.MaxModels, NaivePropagation: hello.NaivePropagation, CDNL: hello.CDNL}
 	cfg.GroundOpts = ground.Options{MaxAtoms: hello.MaxAtoms}
 	// The session owns a private table shared by its partition reasoners:
 	// sessions come and go with their coordinators, and their vocabulary

@@ -14,7 +14,10 @@ import (
 // Version 3: per-partition stat rows in WindowResp (PartTotalNS/PartItems —
 // the rebalancer's load signal) and byte-based memory budgets
 // (Hello.MemoryBudgetBytes).
-const ProtocolVersion = 3
+// Version 4: conflict-driven solving on workers (Hello.CDNL) — a v3 worker
+// would silently solve with the wrong engine, skewing any ablation, so the
+// field rides a version bump.
+const ProtocolVersion = 4
 
 // Hello opens a session: it carries everything the worker needs to build a
 // full reasoner for one partition. Workers are program-agnostic processes —
@@ -39,6 +42,10 @@ type Hello struct {
 	// (see solve.Options.NaivePropagation), so the ablation covers remote
 	// partitions exactly like local ones.
 	NaivePropagation bool
+	// CDNL selects the worker solver's conflict-driven engine with
+	// cross-window clause reuse (see solve.Options.CDNL); each worker
+	// partition keeps its own carried state across its windows.
+	CDNL bool
 	// MaxAtoms aborts grounding beyond this many atoms (0 = no limit).
 	MaxAtoms int
 	// MemoryBudget bounds the worker's interning table: the worker session

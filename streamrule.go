@@ -80,6 +80,10 @@ type MemoryStats = reasoner.MemoryStats
 // rules visited by propagation, worklist pushes, and support-source
 // repairs. The rule-visit count is the headline metric of the solver's
 // event-driven propagation engine; compare it against WithNaivePropagation.
+// Under WithCDNL the conflict-driven counters are live too: conflicts hit,
+// clauses learned, non-chronological backjumps, loop nogoods derived by
+// unfounded-set detection, and learned clauses reused from earlier windows
+// of the same stream (cross-window carry).
 type SolveStats = solve.Stats
 
 // options carries the functional options of the engine constructors.
@@ -93,6 +97,7 @@ type options struct {
 	memoryBudget     int
 	memoryBudgetB    int64
 	naivePropagation bool
+	cdnl             bool
 	stragglerTimeout time.Duration
 	maxInFlight      int
 	adaptive         *reasoner.RebalanceOptions
@@ -164,6 +169,22 @@ func WithNaivePropagation() Option {
 	return func(o *options) { o.naivePropagation = true }
 }
 
+// WithCDNL selects the solver's conflict-driven engine: 1UIP conflict
+// analysis with non-chronological backjumping, activity-driven branching,
+// unfounded-set detection that turns positive loops into loop nogoods
+// during propagation (so non-disjunctive candidates skip the reduct-based
+// stability check entirely), and a learned-clause database that survives
+// across overlapping windows — clauses are tagged with the ground rules
+// they were derived from and replayed in later windows whose programs
+// still contain those rules, remapped or dropped when memory-budget
+// rotation renumbers atoms. The answer sets are identical to the default
+// engine's; only the work profile (Output.SolveStats: Conflicts, Learned,
+// Backjumps, LoopNogoods, ReusedClauses) and its scaling differ. Mutually
+// exclusive with WithNaivePropagation, which wins if both are set.
+func WithCDNL() Option {
+	return func(o *options) { o.cdnl = true }
+}
+
 // WithAtomPartitioning enables the atom-level extension (the paper's §VI
 // future work): communities whose rules join on a single key are further
 // hash-split into m sub-partitions by key value, multiplying parallelism
@@ -191,6 +212,7 @@ func (p *Program) config(o options) reasoner.Config {
 	}
 	cfg.SolveOpts.MaxModels = o.maxModels
 	cfg.SolveOpts.NaivePropagation = o.naivePropagation
+	cfg.SolveOpts.CDNL = o.cdnl && !o.naivePropagation
 	cfg.MemoryBudget = o.memoryBudget
 	cfg.MemoryBudgetBytes = o.memoryBudgetB
 	return cfg
