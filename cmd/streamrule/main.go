@@ -18,6 +18,8 @@ package main
 
 import (
 	"context"
+	"crypto/tls"
+	"crypto/x509"
 	"errors"
 	"flag"
 	"fmt"
@@ -30,6 +32,7 @@ import (
 
 	"streamrule"
 	"streamrule/internal/bench"
+	"streamrule/internal/chaos"
 	"streamrule/internal/rdf"
 	"streamrule/internal/workload"
 )
@@ -64,9 +67,18 @@ func run(args []string, stdout, stderr io.Writer) int {
 	adaptive := fs.Bool("adaptive", false, "with -workers: rebalance partitions across workers at runtime (migrate hot partitions, split overloaded communities under the duplication cost model)")
 	naive := fs.Bool("naive-solver", false, "use the legacy rescan propagator instead of the counter/worklist engine (ablation; full enumerations identical)")
 	cdnl := fs.Bool("cdnl", false, "use the conflict-driven solver with cross-window clause reuse (answers identical; work profile differs)")
+	tlsCert := fs.String("tls-cert", "", "PEM certificate: the worker's serving cert with -worker, the coordinator's client cert with -workers (enables TLS)")
+	tlsKey := fs.String("tls-key", "", "PEM private key for -tls-cert")
+	tlsCA := fs.String("tls-ca", "", "PEM CA bundle: verifies coordinator client certs with -worker (mutual TLS), verifies workers with -workers")
+	chaosSeed := fs.Int64("chaos", 0, "with -workers: wrap worker connections in the seeded fault injector at development rates (dial refusals, resets, corruption, duplicates, delays); same seed = same fault schedule")
 	verbose := fs.Bool("v", false, "print every answer atom (default: summary per window)")
 	if err := fs.Parse(args); err != nil {
 		return 2
+	}
+
+	tlsConf, err := loadTLS(*tlsCert, *tlsKey, *tlsCA, *worker != "")
+	if err != nil {
+		return fail(stderr, err)
 	}
 
 	if *worker != "" {
@@ -75,7 +87,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 		ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
 		defer stop()
 		fmt.Fprintf(stdout, "worker: serving on %s\n", *worker)
-		if err := streamrule.ServeWorker(ctx, *worker); err != nil && !errors.Is(err, context.Canceled) {
+		if err := streamrule.ServeWorkerTLS(ctx, *worker, tlsConf); err != nil && !errors.Is(err, context.Canceled) {
 			return fail(stderr, err)
 		}
 		return 0
@@ -141,6 +153,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 	}
 	var eng streamrule.Reasoner
 	var distEng *streamrule.DistributedEngine
+	var chaosInj *chaos.Injector
 	switch reasonerMode {
 	case "R":
 		eng, err = streamrule.NewEngine(prog, opts...)
@@ -159,6 +172,25 @@ func run(args []string, stdout, stderr io.Writer) int {
 		}
 		if *inflight > 1 {
 			opts = append(opts, streamrule.WithMaxInFlight(*inflight))
+		}
+		if tlsConf != nil {
+			opts = append(opts, streamrule.WithTransportTLS(tlsConf))
+		}
+		if *chaosSeed != 0 {
+			// Development fault rates: frequent enough to exercise every
+			// recovery path over a short run, rare enough that most windows
+			// still complete remotely.
+			chaosInj = chaos.New(chaos.Config{
+				Seed:       *chaosSeed,
+				DialRefuse: 0.05,
+				Reset:      0.02,
+				Corrupt:    0.02,
+				Duplicate:  0.01,
+				Delay:      0.2,
+				DelayFor:   2 * time.Millisecond,
+			})
+			opts = append(opts, streamrule.WithDialer(chaosInj.Dial))
+			fmt.Fprintf(stdout, "chaos: injecting faults on the worker wire (seed %d)\n", *chaosSeed)
 		}
 		var de *streamrule.DistributedEngine
 		de, err = streamrule.NewDistributedEngine(prog, addrs, opts...)
@@ -272,8 +304,9 @@ func run(args []string, stdout, stderr io.Writer) int {
 			st.Table.Rotations, st.Table.Shrinks, st.Table.EvictedAtoms, st.Table.RemapTime)
 	}
 	if ts, ok := pl.TransportStats(); ok {
-		fmt.Fprintf(stdout, "transport: remote=%d fallback=%d redials=%d sent=%dB recv=%dB dict-hit=%.1f%% worker-rotations=%d\n",
-			ts.RemoteWindows, ts.LocalFallbacks, ts.Redials, ts.BytesSent, ts.BytesReceived,
+		fmt.Fprintf(stdout, "transport: remote=%d fallback=%d redials=%d heartbeats=%d circuit-opens=%d crc-fail=%d sent=%dB recv=%dB dict-hit=%.1f%% worker-rotations=%d\n",
+			ts.RemoteWindows, ts.LocalFallbacks, ts.Redials, ts.Heartbeats, ts.CircuitOpens,
+			ts.ChecksumFailures, ts.BytesSent, ts.BytesReceived,
 			100*ts.DictHitRate(), ts.WorkerRotations)
 		if ts.Windows > 0 {
 			fmt.Fprintf(stdout, "wire: rounds=%d req-bytes/win=%d resp-bytes/win=%d req-dict-hit=%.1f%% resp-dict-hit=%.1f%% mean-inflight=%.2f full=%d delta=%d\n",
@@ -288,7 +321,58 @@ func run(args []string, stdout, stderr io.Writer) int {
 			rs.Observations, rs.Moves, rs.Splits, rs.PlanRefines, rs.RefusedSplits,
 			rs.Joins, rs.Leaves, distEng.Partitions(), rs.LastAction)
 	}
+	if chaosInj != nil {
+		cs := chaosInj.Stats()
+		fmt.Fprintf(stdout, "chaos: refused-dials=%d resets=%d corrupted=%d duplicated=%d delayed=%d stalls=%d crashes=%d\n",
+			cs.RefusedDials, cs.Resets, cs.CorruptedFrames, cs.DuplicatedFrames,
+			cs.DelayedFrames, cs.Stalls, cs.Crashes)
+	}
 	return 0
+}
+
+// loadTLS builds the TLS configuration from the -tls-* flags; all empty =
+// nil (plaintext). A worker serves with cert+key and — when a CA is given —
+// demands client certificates signed by it (mutual TLS). A coordinator
+// verifies workers against the CA and presents cert+key as its client
+// identity when provided.
+func loadTLS(certFile, keyFile, caFile string, isWorker bool) (*tls.Config, error) {
+	if certFile == "" && keyFile == "" && caFile == "" {
+		return nil, nil
+	}
+	cfg := &tls.Config{}
+	if (certFile == "") != (keyFile == "") {
+		return nil, fmt.Errorf("-tls-cert and -tls-key must be given together")
+	}
+	if certFile != "" {
+		cert, err := tls.LoadX509KeyPair(certFile, keyFile)
+		if err != nil {
+			return nil, fmt.Errorf("loading TLS keypair: %w", err)
+		}
+		cfg.Certificates = []tls.Certificate{cert}
+	}
+	var pool *x509.CertPool
+	if caFile != "" {
+		pem, err := os.ReadFile(caFile)
+		if err != nil {
+			return nil, fmt.Errorf("loading TLS CA: %w", err)
+		}
+		pool = x509.NewCertPool()
+		if !pool.AppendCertsFromPEM(pem) {
+			return nil, fmt.Errorf("no certificates in %s", caFile)
+		}
+	}
+	if isWorker {
+		if certFile == "" {
+			return nil, fmt.Errorf("-worker with TLS requires -tls-cert and -tls-key")
+		}
+		if pool != nil {
+			cfg.ClientCAs = pool
+			cfg.ClientAuth = tls.RequireAndVerifyClientCert
+		}
+	} else if pool != nil {
+		cfg.RootCAs = pool
+	}
+	return cfg, nil
 }
 
 type serveOpts struct {

@@ -2,6 +2,7 @@ package streamrule
 
 import (
 	"context"
+	"crypto/tls"
 	"errors"
 	"net"
 	"time"
@@ -31,6 +32,18 @@ type RebalanceStats = reasoner.RebalanceStats
 // processed window: routed items, compute critical path, the worker
 // serving it, and whether it was answered remotely.
 type PartitionLoad = reasoner.PartitionLoad
+
+// CircuitBreakerOptions tunes the per-worker-session circuit breaker of the
+// distributed engine (see WithCircuitBreaker): consecutive-failure
+// threshold, base/max quarantine delays, and the jitter fraction. The zero
+// value uses the documented defaults (3 failures, 250ms base, 15s cap,
+// ±20% jitter).
+type CircuitBreakerOptions = reasoner.BreakerOptions
+
+// DialFunc dials one worker connection (see WithDialer). It receives the
+// worker address and the configured dial timeout and returns a connected
+// net.Conn.
+type DialFunc = transport.DialFunc
 
 // WithAdaptiveRebalancing makes partitioning a runtime concern for the
 // distributed engine: the coordinator observes every window's per-partition
@@ -68,6 +81,44 @@ func WithMaxInFlight(n int) Option {
 	return func(o *options) { o.maxInFlight = n }
 }
 
+// WithCircuitBreaker tunes the distributed engine's per-worker-session
+// circuit breaker. After Threshold consecutive failures (dial errors,
+// transport breaks, desyncs, stragglers, failed heartbeats) the session is
+// quarantined: windows fall back locally without paying a dial or timeout,
+// and redials resume after a capped, jittered exponential backoff probes
+// the worker successfully. The zero value is the default behavior — the
+// breaker is always on; this option only re-tunes it.
+func WithCircuitBreaker(cb CircuitBreakerOptions) Option {
+	return func(o *options) { o.breaker = cb }
+}
+
+// WithHeartbeat sets the distributed engine's idle-session health probing.
+// A session idle for interval (no successful round, ping, or dial) is
+// probed with a protocol-level ping before the next window ships; a probe
+// that misses timeout retires the session immediately, so the window takes
+// the fast redial-or-fallback path instead of burning a straggler timeout
+// on a dead worker. interval 0 keeps the default (2s), negative disables
+// probing; timeout 0 defaults to a quarter of the straggler timeout.
+func WithHeartbeat(interval, timeout time.Duration) Option {
+	return func(o *options) { o.heartbeat, o.heartbeatTimeout = interval, timeout }
+}
+
+// WithDialer overrides how the distributed engine reaches its workers (the
+// default is plain TCP). This is the hook for custom networks and for
+// fault-injection harnesses that wrap real connections.
+func WithDialer(d DialFunc) Option {
+	return func(o *options) { o.dialer = d }
+}
+
+// WithTransportTLS wraps every worker connection of the distributed engine
+// in TLS with the given configuration (nil leaves the wire in plaintext).
+// ServerName is derived from the worker address when unset. Pair it with a
+// TLS-enabled worker (NewWorkerServerTLS / ServeWorkerTLS); mutual TLS
+// works the usual way via Certificates and RootCAs.
+func WithTransportTLS(cfg *tls.Config) Option {
+	return func(o *options) { o.tlsConf = cfg }
+}
+
 // DistributedEngine is the sharded parallel reasoner DPR: the partitioning
 // and combining handlers of ParallelEngine with the k reasoner copies
 // running on remote workers (one session per partition, assigned
@@ -103,11 +154,16 @@ func NewDistributedEngine(p *Program, workers []string, opts ...Option) (*Distri
 		return nil, err
 	}
 	dpr, err := reasoner.NewDPR(p.config(o), part, reasoner.DPROptions{
-		Workers:          workers,
-		ProgramSource:    p.Source(),
-		StragglerTimeout: o.stragglerTimeout,
-		MaxInFlight:      o.maxInFlight,
-		Rebalance:        o.adaptive,
+		Workers:           workers,
+		ProgramSource:     p.Source(),
+		StragglerTimeout:  o.stragglerTimeout,
+		MaxInFlight:       o.maxInFlight,
+		Rebalance:         o.adaptive,
+		Dialer:            o.dialer,
+		TLS:               o.tlsConf,
+		HeartbeatInterval: o.heartbeat,
+		HeartbeatTimeout:  o.heartbeatTimeout,
+		Breaker:           o.breaker,
 	})
 	if err != nil {
 		return nil, err
@@ -198,7 +254,14 @@ type WorkerServer struct {
 // NewWorkerServer listens on addr (host:port; port 0 picks a free port).
 // Call Serve to start accepting sessions.
 func NewWorkerServer(addr string) (*WorkerServer, error) {
-	srv, err := transport.NewServer(addr, reasoner.NewWorkerHandler(), transport.ServerOptions{})
+	return NewWorkerServerTLS(addr, nil)
+}
+
+// NewWorkerServerTLS is NewWorkerServer with every session wrapped in TLS
+// using the given configuration (nil = plaintext, identical to
+// NewWorkerServer). Set ClientCAs and ClientAuth for mutual TLS.
+func NewWorkerServerTLS(addr string, cfg *tls.Config) (*WorkerServer, error) {
+	srv, err := transport.NewServer(addr, reasoner.NewWorkerHandler(), transport.ServerOptions{TLS: cfg})
 	if err != nil {
 		return nil, err
 	}
@@ -215,11 +278,25 @@ func (w *WorkerServer) Serve() error { return w.srv.Serve() }
 // Close stops the server and tears down every live session.
 func (w *WorkerServer) Close() error { return w.srv.Close() }
 
+// Shutdown stops accepting sessions and drains the live ones: a session in
+// the middle of a window finishes and delivers that window's response, idle
+// sessions close immediately. Sessions still busy when the grace period
+// expires are force-closed. It returns nil when every session drained in
+// time.
+func (w *WorkerServer) Shutdown(grace time.Duration) error { return w.srv.Shutdown(grace) }
+
 // ServeWorker runs a worker on addr until the context is cancelled — the
 // one-call worker side of the distributed engine (cmd/streamrule -worker
 // wraps exactly this).
 func ServeWorker(ctx context.Context, addr string) error {
-	w, err := NewWorkerServer(addr)
+	return ServeWorkerTLS(ctx, addr, nil)
+}
+
+// ServeWorkerTLS is ServeWorker with the sessions wrapped in TLS (nil cfg =
+// plaintext). On context cancellation the worker drains in-flight windows
+// for up to five seconds before force-closing.
+func ServeWorkerTLS(ctx context.Context, addr string, cfg *tls.Config) error {
+	w, err := NewWorkerServerTLS(addr, cfg)
 	if err != nil {
 		return err
 	}
@@ -227,7 +304,7 @@ func ServeWorker(ctx context.Context, addr string) error {
 	go func() { done <- w.Serve() }()
 	select {
 	case <-ctx.Done():
-		w.Close()
+		w.Shutdown(5 * time.Second)
 		<-done
 		return ctx.Err()
 	case err := <-done:

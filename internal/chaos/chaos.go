@@ -1,0 +1,473 @@
+// Package chaos is a deterministic, seeded fault-injection layer for the
+// worker transport. An Injector wraps connection establishment (it is a
+// transport.DialFunc) and interposes a frame-aware shim on every
+// connection: per a reproducible schedule derived from the seed and the
+// configured rates, it refuses dials, resets connections, corrupts frame
+// payloads, duplicates frames, delays frames, and stalls responses past the
+// straggler deadline — plus scripted worker crash/restart via Crash. The
+// chaos differential harness drives distributed runs through an Injector
+// and asserts answers stay identical to the local oracle on every window.
+//
+// Determinism: each connection direction gets its own RNG seeded from
+// (Seed, address, per-address dial index, direction), and exactly one draw
+// decides each frame's fate. The fault schedule is therefore a pure
+// function of the frame index on that connection — independent of
+// goroutine interleaving, timing, and the unordered test scheduling around
+// it. What the system *observes* can still vary slightly run to run (a
+// straggler timeout may cut a connection before its later faults fire),
+// which is exactly the nondeterminism the differential oracle must absorb.
+package chaos
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/fnv"
+	"io"
+	"math/rand"
+	"net"
+	"sync"
+	"time"
+)
+
+// defaultMaxFrame mirrors transport.DefaultMaxFrame without importing the
+// package (chaos sits below the transport and must not depend on it).
+const defaultMaxFrame = 64 << 20
+
+// frameHeaderSize mirrors the transport's [len | crc32c] header.
+const frameHeaderSize = 8
+
+// Config sets the fault schedule. All probabilities are per-frame (or
+// per-dial for DialRefuse) in [0, 1]; at most one fault fires per frame,
+// tried in the order reset, stall, corrupt, duplicate, delay.
+type Config struct {
+	// Seed roots every RNG in the injector; the same seed and rates
+	// reproduce the same schedule.
+	Seed int64
+	// DialRefuse is the probability a Dial is refused outright.
+	DialRefuse float64
+	// Reset closes the underlying connection instead of passing the frame.
+	Reset float64
+	// Stall sleeps StallFor before serving an inbound frame — the
+	// straggler simulation. Stalls apply only to the read direction (a
+	// write-side stall would block the submitter, not the awaiter); a
+	// stall drawn on the write path downgrades to a delay.
+	Stall float64
+	// Corrupt flips one payload bit, which the transport's CRC rejects.
+	Corrupt float64
+	// Duplicate serves the frame twice (the gob/seq layers must reject the
+	// replay).
+	Duplicate float64
+	// Delay sleeps DelayFor before passing the frame — jitter, not
+	// failure.
+	Delay float64
+	// StallFor is the stall duration (0 = 2s); set it beyond the
+	// straggler deadline to force fallbacks.
+	StallFor time.Duration
+	// DelayFor is the delay duration (0 = 2ms).
+	DelayFor time.Duration
+	// MaxFrame guards the injector's frame parser (0 = the transport
+	// default). A stream that does not carry sane frame headers — TLS, or
+	// a foreign protocol — flips the connection to transparent
+	// pass-through instead of buffering unbounded garbage.
+	MaxFrame int
+}
+
+// Stats counts injected faults; all counters are cumulative since New.
+type Stats struct {
+	// Dials counts Dial attempts (refused or not); RefusedDials those
+	// rejected by schedule or by a Crash window.
+	Dials, RefusedDials int64
+	// Frames counts frames that passed through the shim in either
+	// direction.
+	Frames int64
+	// Resets..DelayedFrames count fired faults by class.
+	Resets, Stalls, CorruptedFrames, DuplicatedFrames, DelayedFrames int64
+	// Crashes counts Crash calls.
+	Crashes int64
+}
+
+// Fired returns the total number of injected faults across all classes —
+// the harness's non-vacuity check.
+func (s Stats) Fired() int64 {
+	return s.RefusedDials + s.Resets + s.Stalls + s.CorruptedFrames +
+		s.DuplicatedFrames + s.DelayedFrames + s.Crashes
+}
+
+// Injector owns one fault schedule. Use Dial as the transport's DialFunc;
+// Heal ends the experiment (recovery phase); Crash scripts a worker
+// crash/restart. Safe for concurrent use.
+type Injector struct {
+	cfg Config
+
+	mu     sync.Mutex
+	healed bool
+	heal   chan struct{} // closed on Heal; wakes sleeping delays/stalls
+	dials  map[string]int
+	crash  map[string]time.Time // dial-refusal windows from Crash
+	conns  map[*faultConn]struct{}
+	stats  Stats
+}
+
+// New builds an injector for the given schedule.
+func New(cfg Config) *Injector {
+	if cfg.StallFor <= 0 {
+		cfg.StallFor = 2 * time.Second
+	}
+	if cfg.DelayFor <= 0 {
+		cfg.DelayFor = 2 * time.Millisecond
+	}
+	if cfg.MaxFrame <= 0 {
+		cfg.MaxFrame = defaultMaxFrame
+	}
+	return &Injector{
+		cfg:   cfg,
+		heal:  make(chan struct{}),
+		dials: make(map[string]int),
+		crash: make(map[string]time.Time),
+		conns: make(map[*faultConn]struct{}),
+	}
+}
+
+// Dial implements transport.DialFunc: per schedule it refuses outright or
+// returns a fault-injecting connection to addr.
+func (in *Injector) Dial(addr string, timeout time.Duration) (net.Conn, error) {
+	in.mu.Lock()
+	idx := in.dials[addr]
+	in.dials[addr]++
+	in.stats.Dials++
+	healed := in.healed
+	crashedUntil := in.crash[addr]
+	in.mu.Unlock()
+
+	if !healed {
+		if !crashedUntil.IsZero() && time.Now().Before(crashedUntil) {
+			in.bump(&in.stats.RefusedDials)
+			return nil, fmt.Errorf("chaos: dial %s refused: worker crashed", addr)
+		}
+		rng := rand.New(rand.NewSource(subSeed(in.cfg.Seed, addr, idx, laneDial)))
+		if rng.Float64() < in.cfg.DialRefuse {
+			in.bump(&in.stats.RefusedDials)
+			return nil, fmt.Errorf("chaos: dial %s refused by schedule (dial %d)", addr, idx)
+		}
+	}
+
+	conn, err := net.DialTimeout("tcp", addr, timeout)
+	if err != nil {
+		return nil, err
+	}
+	if tc, ok := conn.(*net.TCPConn); ok {
+		tc.SetNoDelay(true)
+	}
+	fc := &faultConn{Conn: conn, in: in, addr: addr, done: make(chan struct{})}
+	fc.wl.rng = rand.New(rand.NewSource(subSeed(in.cfg.Seed, addr, idx, laneWrite)))
+	fc.rl.rng = rand.New(rand.NewSource(subSeed(in.cfg.Seed, addr, idx, laneRead)))
+	in.mu.Lock()
+	in.conns[fc] = struct{}{}
+	in.mu.Unlock()
+	return fc, nil
+}
+
+// Heal ends the experiment: no further faults fire, Crash windows lift,
+// and in-flight delays/stalls wake immediately. Live connections are left
+// alone — the system's own recovery machinery (redial, circuit breaker,
+// dictionary replay) must bring every session back, and the harness
+// asserts it does.
+func (in *Injector) Heal() {
+	in.mu.Lock()
+	if !in.healed {
+		in.healed = true
+		close(in.heal)
+		in.crash = make(map[string]time.Time)
+	}
+	in.mu.Unlock()
+}
+
+// Crash scripts a worker crash/restart: every injected connection to addr
+// is severed now, and dials to it are refused for the next down interval.
+// In-flight legs see a reset, the next windows see refused dials, and once
+// the window passes redials succeed against the still-running server — a
+// restart, from the coordinator's point of view.
+func (in *Injector) Crash(addr string, down time.Duration) {
+	in.mu.Lock()
+	in.stats.Crashes++
+	in.crash[addr] = time.Now().Add(down)
+	victims := make([]*faultConn, 0, len(in.conns))
+	for fc := range in.conns {
+		if fc.addr == addr {
+			victims = append(victims, fc)
+		}
+	}
+	in.mu.Unlock()
+	for _, fc := range victims {
+		fc.Close()
+	}
+}
+
+// Stats returns a snapshot of the fault counters.
+func (in *Injector) Stats() Stats {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	return in.stats
+}
+
+func (in *Injector) bump(counter *int64) {
+	in.mu.Lock()
+	*counter++
+	in.mu.Unlock()
+}
+
+func (in *Injector) isHealed() bool {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	return in.healed
+}
+
+// sleep waits for d, or until the injector heals or the connection closes
+// (whichever comes first), so sleeping fault goroutines never outlive the
+// experiment.
+func (in *Injector) sleep(d time.Duration, done <-chan struct{}) {
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-t.C:
+	case <-in.heal:
+	case <-done:
+	}
+}
+
+// Lane tags for sub-seeding: write/read frame lanes plus the dial-refusal
+// draw.
+const (
+	laneWrite = 0
+	laneRead  = 1
+	laneDial  = 2
+)
+
+// subSeed derives a deterministic per-(addr, dial, lane) seed.
+func subSeed(seed int64, addr string, dialIdx, lane int) int64 {
+	h := fnv.New64a()
+	h.Write([]byte(addr))
+	var b [8]byte
+	binary.LittleEndian.PutUint64(b[:], uint64(dialIdx)*4+uint64(lane))
+	h.Write(b[:])
+	return seed ^ int64(h.Sum64())
+}
+
+// fate is one frame's scheduled outcome.
+type fate int
+
+const (
+	fateDeliver fate = iota
+	fateReset
+	fateStall
+	fateCorrupt
+	fateDuplicate
+	fateDelay
+)
+
+// lane is one direction's frame parser + schedule state.
+type lane struct {
+	rng         *rand.Rand
+	buf         []byte // write lane: bytes of a not-yet-complete frame
+	out         []byte // read lane: verified bytes ready to serve
+	transparent bool
+}
+
+// draw consumes exactly one random number and maps it to this frame's
+// fate via cumulative thresholds, so fate depends only on the frame index.
+func (l *lane) draw(cfg *Config) fate {
+	u := l.rng.Float64()
+	for _, c := range [...]struct {
+		p float64
+		f fate
+	}{
+		{cfg.Reset, fateReset},
+		{cfg.Stall, fateStall},
+		{cfg.Corrupt, fateCorrupt},
+		{cfg.Duplicate, fateDuplicate},
+		{cfg.Delay, fateDelay},
+	} {
+		if u < c.p {
+			return c.f
+		}
+		u -= c.p
+	}
+	return fateDeliver
+}
+
+// faultConn interposes the fault schedule on one connection. Both
+// directions parse the transport's frame structure so faults land on whole
+// frames; a stream that stops looking like frames flips to transparent
+// pass-through.
+type faultConn struct {
+	net.Conn
+	in   *Injector
+	addr string
+
+	wmu sync.Mutex
+	wl  lane
+
+	rmu sync.Mutex
+	rl  lane
+
+	closeOnce sync.Once
+	done      chan struct{}
+}
+
+// Write buffers until whole frames are available, then forwards each frame
+// through its scheduled fate.
+func (fc *faultConn) Write(p []byte) (int, error) {
+	fc.wmu.Lock()
+	defer fc.wmu.Unlock()
+	if fc.wl.transparent {
+		return fc.Conn.Write(p)
+	}
+	fc.wl.buf = append(fc.wl.buf, p...)
+	for {
+		if len(fc.wl.buf) < frameHeaderSize {
+			return len(p), nil
+		}
+		n := int(binary.BigEndian.Uint32(fc.wl.buf[:4]))
+		if n > fc.in.cfg.MaxFrame {
+			// Not a frame stream (TLS records, foreign protocol): stop
+			// interpreting, flush what we buffered, and pass through.
+			fc.wl.transparent = true
+			buffered := fc.wl.buf
+			fc.wl.buf = nil
+			if _, err := fc.Conn.Write(buffered); err != nil {
+				return 0, err
+			}
+			return len(p), nil
+		}
+		total := frameHeaderSize + n
+		if len(fc.wl.buf) < total {
+			return len(p), nil
+		}
+		frame := fc.wl.buf[:total]
+		err := fc.writeFrame(frame)
+		fc.wl.buf = append(fc.wl.buf[:0], fc.wl.buf[total:]...)
+		if err != nil {
+			return 0, err
+		}
+	}
+}
+
+// writeFrame applies one outbound frame's fate and forwards it.
+func (fc *faultConn) writeFrame(frame []byte) error {
+	f := fateDeliver
+	if !fc.in.isHealed() {
+		f = fc.wl.draw(&fc.in.cfg)
+	}
+	fc.in.bump(&fc.in.stats.Frames)
+	switch f {
+	case fateReset:
+		fc.in.bump(&fc.in.stats.Resets)
+		fc.Conn.Close()
+		return fmt.Errorf("chaos: connection to %s reset by schedule (write)", fc.addr)
+	case fateStall, fateDelay:
+		// A write-side stall would block the submitter rather than
+		// simulate a straggler, so both land as a short delay here.
+		fc.in.bump(&fc.in.stats.DelayedFrames)
+		fc.in.sleep(fc.in.cfg.DelayFor, fc.done)
+	case fateCorrupt:
+		fc.in.bump(&fc.in.stats.CorruptedFrames)
+		corrupt(frame, fc.wl.rng)
+	case fateDuplicate:
+		fc.in.bump(&fc.in.stats.DuplicatedFrames)
+		if _, err := fc.Conn.Write(frame); err != nil {
+			return err
+		}
+	}
+	_, err := fc.Conn.Write(frame)
+	return err
+}
+
+// Read pulls whole inbound frames, applies each frame's fate, and serves
+// the resulting bytes.
+func (fc *faultConn) Read(p []byte) (int, error) {
+	fc.rmu.Lock()
+	defer fc.rmu.Unlock()
+	for len(fc.rl.out) == 0 {
+		if fc.rl.transparent {
+			return fc.Conn.Read(p)
+		}
+		if err := fc.fillRead(); err != nil {
+			return 0, err
+		}
+	}
+	n := copy(p, fc.rl.out)
+	fc.rl.out = fc.rl.out[n:]
+	return n, nil
+}
+
+// fillRead reads one frame from the underlying connection and stages its
+// post-fate bytes in rl.out.
+func (fc *faultConn) fillRead() error {
+	var hdr [frameHeaderSize]byte
+	if _, err := io.ReadFull(fc.Conn, hdr[:]); err != nil {
+		return err
+	}
+	n := int(binary.BigEndian.Uint32(hdr[:4]))
+	if n > fc.in.cfg.MaxFrame {
+		// Doesn't look like a frame stream: serve the header bytes and
+		// pass the rest through untouched.
+		fc.rl.transparent = true
+		fc.rl.out = append(fc.rl.out[:0], hdr[:]...)
+		return nil
+	}
+	frame := make([]byte, frameHeaderSize+n)
+	copy(frame, hdr[:])
+	if _, err := io.ReadFull(fc.Conn, frame[frameHeaderSize:]); err != nil {
+		return err
+	}
+
+	f := fateDeliver
+	if !fc.in.isHealed() {
+		f = fc.rl.draw(&fc.in.cfg)
+	}
+	fc.in.bump(&fc.in.stats.Frames)
+	switch f {
+	case fateReset:
+		fc.in.bump(&fc.in.stats.Resets)
+		fc.Conn.Close()
+		return fmt.Errorf("chaos: connection to %s reset by schedule (read)", fc.addr)
+	case fateStall:
+		fc.in.bump(&fc.in.stats.Stalls)
+		fc.in.sleep(fc.in.cfg.StallFor, fc.done)
+	case fateDelay:
+		fc.in.bump(&fc.in.stats.DelayedFrames)
+		fc.in.sleep(fc.in.cfg.DelayFor, fc.done)
+	case fateCorrupt:
+		fc.in.bump(&fc.in.stats.CorruptedFrames)
+		corrupt(frame, fc.rl.rng)
+	case fateDuplicate:
+		fc.in.bump(&fc.in.stats.DuplicatedFrames)
+		fc.rl.out = append(fc.rl.out[:0], frame...)
+		fc.rl.out = append(fc.rl.out, frame...)
+		return nil
+	}
+	fc.rl.out = append(fc.rl.out[:0], frame...)
+	return nil
+}
+
+// Close severs the connection and unhooks it from the injector.
+func (fc *faultConn) Close() error {
+	fc.closeOnce.Do(func() {
+		close(fc.done)
+		fc.in.mu.Lock()
+		delete(fc.in.conns, fc)
+		fc.in.mu.Unlock()
+	})
+	return fc.Conn.Close()
+}
+
+// corrupt flips one bit: in the payload when there is one, in the CRC
+// field otherwise. Either way the transport's checksum must reject the
+// frame.
+func corrupt(frame []byte, rng *rand.Rand) {
+	if n := len(frame) - frameHeaderSize; n > 0 {
+		frame[frameHeaderSize+rng.Intn(n)] ^= 1 << uint(rng.Intn(8))
+	} else {
+		frame[4+rng.Intn(4)] ^= 1 << uint(rng.Intn(8))
+	}
+}

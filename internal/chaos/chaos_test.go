@@ -1,0 +1,302 @@
+package chaos
+
+import (
+	"bytes"
+	"encoding/binary"
+	"hash/crc32"
+	"io"
+	"math/rand"
+	"net"
+	"sync"
+	"testing"
+	"time"
+)
+
+// frame builds one wire frame ([len | crc32c | payload]) as the transport
+// writes it.
+func frame(payload []byte) []byte {
+	out := make([]byte, frameHeaderSize+len(payload))
+	binary.BigEndian.PutUint32(out[:4], uint32(len(payload)))
+	binary.BigEndian.PutUint32(out[4:8], crc32.Checksum(payload, crc32.MakeTable(crc32.Castagnoli)))
+	copy(out[frameHeaderSize:], payload)
+	return out
+}
+
+// echoServer accepts connections and echoes every byte back.
+func echoServer(t *testing.T) string {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	t.Cleanup(wg.Wait) // LIFO: runs after the listener closes
+	t.Cleanup(func() { ln.Close() })
+	wg.Add(1) // the accept loop holds the group open, so per-conn Adds are safe
+	go func() {
+		defer wg.Done()
+		for {
+			c, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				defer c.Close()
+				io.Copy(c, c)
+			}()
+		}
+	}()
+	return ln.Addr().String()
+}
+
+// drive pushes count frames through one injected connection (echo server
+// round trips) and returns each frame's round-trip payload, "" marking a
+// transport-level failure from that point on.
+func drive(t *testing.T, in *Injector, addr string, count int) []string {
+	t.Helper()
+	conn, err := in.Dial(addr, time.Second)
+	if err != nil {
+		t.Fatalf("dial: %v", err)
+	}
+	defer conn.Close()
+	results := make([]string, 0, count)
+	rng := rand.New(rand.NewSource(7))
+	for i := 0; i < count; i++ {
+		payload := make([]byte, 16+rng.Intn(64))
+		rng.Read(payload)
+		f := frame(payload)
+		if _, err := conn.Write(f); err != nil {
+			for len(results) < count {
+				results = append(results, "")
+			}
+			return results
+		}
+		got := make([]byte, len(f))
+		conn.SetReadDeadline(time.Now().Add(2 * time.Second))
+		if _, err := io.ReadFull(conn, got); err != nil {
+			for len(results) < count {
+				results = append(results, "")
+			}
+			return results
+		}
+		results = append(results, string(got))
+	}
+	return results
+}
+
+// TestDeterministicSchedule: the same seed and rates over the same frame
+// sequence must produce the same per-frame outcomes and the same counters.
+func TestDeterministicSchedule(t *testing.T) {
+	addr := echoServer(t)
+	cfg := Config{Seed: 42, Corrupt: 0.2, Delay: 0.3, DelayFor: time.Millisecond}
+	runA := drive(t, New(cfg), addr, 40)
+	statsA := func() Stats { in := New(cfg); drive(t, in, addr, 40); return in.Stats() }()
+	runB := drive(t, New(cfg), addr, 40)
+	for i := range runA {
+		if runA[i] != runB[i] {
+			t.Fatalf("frame %d differs across identical seeds", i)
+		}
+	}
+	in2 := New(cfg)
+	drive(t, in2, addr, 40)
+	statsB := in2.Stats()
+	if statsA != statsB {
+		t.Fatalf("counters differ across identical seeds: %+v vs %+v", statsA, statsB)
+	}
+	if statsB.CorruptedFrames == 0 || statsB.DelayedFrames == 0 {
+		t.Fatalf("schedule fired nothing: %+v", statsB)
+	}
+}
+
+// TestSeedChangesSchedule: a different seed must (at these rates) produce a
+// different outcome sequence.
+func TestSeedChangesSchedule(t *testing.T) {
+	addr := echoServer(t)
+	a := drive(t, New(Config{Seed: 1, Corrupt: 0.5}), addr, 30)
+	b := drive(t, New(Config{Seed: 2, Corrupt: 0.5}), addr, 30)
+	same := true
+	for i := range a {
+		if a[i] != b[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("seeds 1 and 2 produced identical 30-frame schedules at 50% corruption")
+	}
+}
+
+// TestEveryFaultClassFires: each knob, in isolation, must inject its fault
+// class at least once over a modest frame budget.
+func TestEveryFaultClassFires(t *testing.T) {
+	addr := echoServer(t)
+	cases := []struct {
+		name string
+		cfg  Config
+		get  func(Stats) int64
+	}{
+		{"reset", Config{Seed: 9, Reset: 0.1}, func(s Stats) int64 { return s.Resets }},
+		{"corrupt", Config{Seed: 9, Corrupt: 0.1}, func(s Stats) int64 { return s.CorruptedFrames }},
+		{"duplicate", Config{Seed: 9, Duplicate: 0.1}, func(s Stats) int64 { return s.DuplicatedFrames }},
+		{"delay", Config{Seed: 9, Delay: 0.1, DelayFor: time.Microsecond}, func(s Stats) int64 { return s.DelayedFrames }},
+		{"stall", Config{Seed: 9, Stall: 0.1, StallFor: time.Microsecond}, func(s Stats) int64 { return s.Stalls }},
+		{"dial-refuse", Config{Seed: 9, DialRefuse: 0.5}, func(s Stats) int64 { return s.RefusedDials }},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			in := New(tc.cfg)
+			if tc.name == "dial-refuse" {
+				for i := 0; i < 20; i++ {
+					if c, err := in.Dial(addr, time.Second); err == nil {
+						c.Close()
+					}
+				}
+			} else {
+				drive(t, in, addr, 60)
+			}
+			if tc.get(in.Stats()) == 0 {
+				t.Fatalf("%s never fired: %+v", tc.name, in.Stats())
+			}
+		})
+	}
+}
+
+// TestCorruptionFlipsExactlyOneBit: a corrupted frame must still be the
+// same length with exactly one bit changed — the shape the CRC layer is
+// specified against.
+func TestCorruptionFlipsExactlyOneBit(t *testing.T) {
+	addr := echoServer(t)
+	in := New(Config{Seed: 3, Corrupt: 1.0})
+	conn, err := in.Dial(addr, time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	payload := bytes.Repeat([]byte{0xAA}, 32)
+	sent := frame(payload)
+	if _, err := conn.Write(sent); err != nil {
+		t.Fatal(err)
+	}
+	got := make([]byte, len(sent))
+	conn.SetReadDeadline(time.Now().Add(2 * time.Second))
+	if _, err := io.ReadFull(conn, got); err != nil {
+		t.Fatal(err)
+	}
+	// The echo round trip corrupts twice (once per direction), so compare
+	// against the original and demand exactly two flipped bits in total.
+	diff := 0
+	for i := range got {
+		b := got[i] ^ sent[i]
+		for ; b != 0; b &= b - 1 {
+			diff++
+		}
+	}
+	if diff != 2 {
+		t.Fatalf("round trip flipped %d bits, want exactly 2 (one per direction)", diff)
+	}
+}
+
+// TestDuplicateServesFrameTwice: a duplicated inbound frame arrives twice,
+// byte for byte.
+func TestDuplicateServesFrameTwice(t *testing.T) {
+	addr := echoServer(t)
+	// Duplicate only on the read lane draw: rate 1 duplicates write too,
+	// so expect 1 write copy -> server echoes 2 copies -> read lane
+	// duplicates each -> 4 copies back. Use write-transparent config
+	// instead: probability chosen so both directions duplicating is the
+	// documented outcome.
+	in := New(Config{Seed: 5, Duplicate: 1.0})
+	conn, err := in.Dial(addr, time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	f := frame([]byte("dup me"))
+	if _, err := conn.Write(f); err != nil {
+		t.Fatal(err)
+	}
+	// Write duplicates once (2 copies out), echo returns 2, read lane
+	// duplicates each (4 copies in).
+	got := make([]byte, 4*len(f))
+	conn.SetReadDeadline(time.Now().Add(2 * time.Second))
+	if _, err := io.ReadFull(conn, got); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 4; i++ {
+		if !bytes.Equal(got[i*len(f):(i+1)*len(f)], f) {
+			t.Fatalf("copy %d corrupted", i)
+		}
+	}
+}
+
+// TestTransparentFallback: a stream that is not framed (a parsed length
+// beyond MaxFrame) must pass through unharmed even at 100% fault rates.
+func TestTransparentFallback(t *testing.T) {
+	addr := echoServer(t)
+	in := New(Config{Seed: 11, Corrupt: 1.0, MaxFrame: 1024})
+	conn, err := in.Dial(addr, time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	msg := []byte("\xff\xff\xff\xff not a frame, definitely longer than a header")
+	if _, err := conn.Write(msg); err != nil {
+		t.Fatal(err)
+	}
+	got := make([]byte, len(msg))
+	conn.SetReadDeadline(time.Now().Add(2 * time.Second))
+	if _, err := io.ReadFull(conn, got); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, msg) {
+		t.Fatalf("transparent mode altered bytes: %q", got)
+	}
+}
+
+// TestHealStopsFaults: after Heal, frames pass untouched and refused dials
+// succeed.
+func TestHealStopsFaults(t *testing.T) {
+	addr := echoServer(t)
+	in := New(Config{Seed: 13, Corrupt: 1.0, DialRefuse: 1.0})
+	if _, err := in.Dial(addr, time.Second); err == nil {
+		t.Fatal("dial succeeded at 100% refusal")
+	}
+	in.Heal()
+	res := drive(t, in, addr, 10)
+	for i, r := range res {
+		if r == "" {
+			t.Fatalf("frame %d failed after heal", i)
+		}
+	}
+}
+
+// TestCrashSeversAndRefusesThenRecovers: Crash must cut live connections,
+// refuse dials during the down window, and allow them after it passes.
+func TestCrashSeversAndRefusesThenRecovers(t *testing.T) {
+	addr := echoServer(t)
+	in := New(Config{Seed: 17})
+	conn, err := in.Dial(addr, time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	in.Crash(addr, 150*time.Millisecond)
+	conn.SetReadDeadline(time.Now().Add(time.Second))
+	if _, err := conn.Read(make([]byte, 1)); err == nil {
+		t.Fatal("read succeeded on a crashed connection")
+	}
+	if _, err := in.Dial(addr, time.Second); err == nil {
+		t.Fatal("dial succeeded during the crash window")
+	}
+	time.Sleep(200 * time.Millisecond)
+	c2, err := in.Dial(addr, time.Second)
+	if err != nil {
+		t.Fatalf("dial after the crash window: %v", err)
+	}
+	c2.Close()
+	if in.Stats().Crashes != 1 {
+		t.Fatalf("crash counter = %d", in.Stats().Crashes)
+	}
+}

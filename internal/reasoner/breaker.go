@@ -1,0 +1,119 @@
+package reasoner
+
+import (
+	"math/rand"
+	"time"
+)
+
+// BreakerOptions tunes the per-worker-session circuit breaker. The breaker
+// replaces the old bare doubling redial delay: consecutive failures open
+// the circuit, quarantining the session behind capped, jittered exponential
+// backoff, and a half-open probe decides between closing it again and a
+// longer quarantine. Jitter keeps a fleet's sessions from resynchronizing
+// their retry storms after a shared outage.
+type BreakerOptions struct {
+	// Threshold is the number of consecutive failures (dial errors,
+	// transport breaks, desyncs, stragglers, failed heartbeats) that open
+	// the circuit (0 = 3).
+	Threshold int
+	// BaseDelay is the first quarantine interval (0 = 250ms).
+	BaseDelay time.Duration
+	// MaxDelay caps the exponential growth of quarantine intervals
+	// (0 = 15s).
+	MaxDelay time.Duration
+	// Jitter is the ± fraction applied to every quarantine interval
+	// (0 = 0.2; valid range (0, 1]).
+	Jitter float64
+}
+
+// withDefaults fills the zero values.
+func (o BreakerOptions) withDefaults() BreakerOptions {
+	if o.Threshold <= 0 {
+		o.Threshold = 3
+	}
+	if o.BaseDelay <= 0 {
+		o.BaseDelay = 250 * time.Millisecond
+	}
+	if o.MaxDelay <= 0 {
+		o.MaxDelay = 15 * time.Second
+	}
+	if o.Jitter <= 0 || o.Jitter > 1 {
+		o.Jitter = 0.2
+	}
+	return o
+}
+
+// breaker is the per-session state machine: closed (normal) → open
+// (quarantined until a deadline) → half-open (one probe allowed) → closed
+// on probe success, or open again with a doubled delay on probe failure.
+// Not safe for concurrent use; the DPR serializes access per session.
+type breaker struct {
+	opts BreakerOptions
+	now  func() time.Time // injectable clock for deterministic tests
+	rnd  func() float64   // injectable jitter source
+
+	fails    int       // consecutive failures since the last success
+	level    int       // backoff exponent: opens since the last success
+	until    time.Time // quarantine deadline while open
+	halfOpen bool      // quarantine elapsed; exactly one probe in progress
+	opens    int64     // total opens (stat)
+}
+
+func newBreaker(opts BreakerOptions, now func() time.Time, rnd func() float64) *breaker {
+	if now == nil {
+		now = time.Now
+	}
+	if rnd == nil {
+		rnd = rand.Float64
+	}
+	return &breaker{opts: opts.withDefaults(), now: now, rnd: rnd}
+}
+
+// allow reports whether an attempt may be made now. While open it returns
+// false until the quarantine elapses, then admits the half-open probe.
+func (b *breaker) allow() bool {
+	if b.until.IsZero() {
+		return true
+	}
+	if b.now().Before(b.until) {
+		return false
+	}
+	b.halfOpen = true
+	return true
+}
+
+// success closes the circuit and resets the backoff.
+func (b *breaker) success() {
+	b.fails = 0
+	b.level = 0
+	b.until = time.Time{}
+	b.halfOpen = false
+}
+
+// failure records one failed attempt. At Threshold consecutive failures —
+// or immediately, when the failure is the half-open probe — the circuit
+// opens with the next quarantine interval.
+func (b *breaker) failure() {
+	b.fails++
+	if b.halfOpen || b.fails >= b.opts.Threshold {
+		b.open()
+	}
+}
+
+// open starts a quarantine of BaseDelay·2^level, capped at MaxDelay, with
+// ±Jitter applied.
+func (b *breaker) open() {
+	d := b.opts.BaseDelay
+	for i := 0; i < b.level && d < b.opts.MaxDelay; i++ {
+		d *= 2
+	}
+	if d > b.opts.MaxDelay {
+		d = b.opts.MaxDelay
+	}
+	jittered := time.Duration(float64(d) * (1 + b.opts.Jitter*(2*b.rnd()-1)))
+	b.until = b.now().Add(jittered)
+	b.level++
+	b.opens++
+	b.fails = 0
+	b.halfOpen = false
+}

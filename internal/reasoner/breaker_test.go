@@ -1,0 +1,129 @@
+package reasoner
+
+import (
+	"testing"
+	"time"
+)
+
+// fakeClock is a manually advanced clock for deterministic breaker tests.
+type fakeClock struct{ t time.Time }
+
+func (c *fakeClock) now() time.Time          { return c.t }
+func (c *fakeClock) advance(d time.Duration) { c.t = c.t.Add(d) }
+func noJitter() float64                      { return 0.5 } // 2*0.5-1 = 0: exact midpoint
+func testBreaker(clk *fakeClock, o BreakerOptions) *breaker {
+	return newBreaker(o, clk.now, noJitter)
+}
+
+// TestBreakerRetrySchedule pins the quarantine schedule: threshold
+// consecutive failures open the circuit at BaseDelay, each failed half-open
+// probe doubles the delay, and the doubling caps at MaxDelay.
+func TestBreakerRetrySchedule(t *testing.T) {
+	clk := &fakeClock{t: time.Unix(1000, 0)}
+	b := testBreaker(clk, BreakerOptions{Threshold: 3, BaseDelay: 100 * time.Millisecond, MaxDelay: 400 * time.Millisecond})
+
+	// Below the threshold the circuit stays closed: attempts keep flowing.
+	for i := 0; i < 2; i++ {
+		if !b.allow() {
+			t.Fatalf("attempt %d blocked below threshold", i)
+		}
+		b.failure()
+	}
+	if !b.allow() {
+		t.Fatal("third attempt blocked before its failure")
+	}
+	b.failure() // third consecutive failure: open at BaseDelay
+
+	wantDelays := []time.Duration{
+		100 * time.Millisecond, // first open
+		200 * time.Millisecond, // probe failed: doubled
+		400 * time.Millisecond, // doubled again
+		400 * time.Millisecond, // capped at MaxDelay
+		400 * time.Millisecond, // stays capped
+	}
+	for i, want := range wantDelays {
+		if b.allow() {
+			t.Fatalf("open %d: attempt allowed immediately after opening", i)
+		}
+		clk.advance(want - time.Millisecond)
+		if b.allow() {
+			t.Fatalf("open %d: attempt allowed %v early", i, time.Millisecond)
+		}
+		clk.advance(time.Millisecond)
+		if !b.allow() {
+			t.Fatalf("open %d: half-open probe blocked after %v", i, want)
+		}
+		// A failed half-open probe re-opens immediately (no threshold
+		// accumulation) with the next delay in the schedule.
+		b.failure()
+	}
+
+	// A successful probe closes the circuit and resets the schedule.
+	clk.advance(time.Hour)
+	if !b.allow() {
+		t.Fatal("probe blocked after the final quarantine")
+	}
+	b.success()
+	if !b.allow() {
+		t.Fatal("closed breaker blocked an attempt")
+	}
+	b.failure()
+	b.failure()
+	b.failure()
+	if b.allow() {
+		t.Fatal("breaker did not re-open at threshold after a reset")
+	}
+	clk.advance(100*time.Millisecond + time.Millisecond)
+	if !b.allow() {
+		t.Fatal("post-reset quarantine did not restart at BaseDelay")
+	}
+	// 1 threshold open + 5 probe-failure re-opens + 1 post-reset open.
+	if b.opens != 7 {
+		t.Fatalf("opens = %d, want 7", b.opens)
+	}
+}
+
+// TestBreakerJitterBounds: quarantine deadlines must stay inside
+// [d·(1-j), d·(1+j)] for extreme jitter draws.
+func TestBreakerJitterBounds(t *testing.T) {
+	for _, draw := range []float64{0, 1} {
+		clk := &fakeClock{t: time.Unix(2000, 0)}
+		b := newBreaker(BreakerOptions{Threshold: 1, BaseDelay: time.Second, Jitter: 0.2}, clk.now, func() float64 { return draw })
+		b.failure()
+		want := time.Duration(float64(time.Second) * (1 + 0.2*(2*draw-1)))
+		clk.advance(want - time.Millisecond)
+		if b.allow() {
+			t.Fatalf("draw %v: allowed before the jittered deadline", draw)
+		}
+		clk.advance(2 * time.Millisecond)
+		if !b.allow() {
+			t.Fatalf("draw %v: blocked after the jittered deadline", draw)
+		}
+	}
+}
+
+// TestBreakerSuccessResetsConsecutiveCount: interleaved successes keep the
+// circuit closed no matter how many total failures accumulate.
+func TestBreakerSuccessResetsConsecutiveCount(t *testing.T) {
+	clk := &fakeClock{t: time.Unix(3000, 0)}
+	b := testBreaker(clk, BreakerOptions{Threshold: 3, BaseDelay: time.Second})
+	for i := 0; i < 50; i++ {
+		b.failure()
+		b.failure()
+		b.success()
+	}
+	if !b.allow() {
+		t.Fatal("circuit opened despite never reaching threshold consecutively")
+	}
+	if b.opens != 0 {
+		t.Fatalf("opens = %d, want 0", b.opens)
+	}
+}
+
+// TestBreakerDefaults: the zero options resolve to the documented defaults.
+func TestBreakerDefaults(t *testing.T) {
+	o := BreakerOptions{}.withDefaults()
+	if o.Threshold != 3 || o.BaseDelay != 250*time.Millisecond || o.MaxDelay != 15*time.Second || o.Jitter != 0.2 {
+		t.Fatalf("unexpected defaults: %+v", o)
+	}
+}

@@ -1,0 +1,386 @@
+package reasoner
+
+// The chaos differential harness: the DPR — serial and pipelined — runs
+// against real loopback workers with a deterministic seeded fault injector
+// (internal/chaos) between coordinator and fleet, and every window's
+// answers must still equal the monolithic R oracle's. Each schedule heals
+// mid-stream and the harness then demands full recovery: zero new local
+// fallbacks and fresh remote windows. Fault schedules are seeded, so a
+// failure reproduces by re-running the test.
+
+import (
+	"fmt"
+	"math/rand"
+	"os"
+	"slices"
+	"strconv"
+	"testing"
+	"time"
+
+	"streamrule/internal/asp/parser"
+	"streamrule/internal/chaos"
+	"streamrule/internal/core"
+	"streamrule/internal/dfp"
+	"streamrule/internal/progen"
+	"streamrule/internal/rdf"
+	"streamrule/internal/stream"
+	"streamrule/internal/testleak"
+)
+
+// chaosSchedule is one reproducible fault scenario plus its non-vacuity
+// probe: fired must report > 0 somewhere across the schedule's matrix
+// cells, proving the schedule actually exercised its fault class. (The
+// injector's per-conn RNGs key on the worker's ephemeral port, so any one
+// cell's draws vary run to run; the aggregate is what must never be
+// vacuous.)
+type chaosSchedule struct {
+	name      string
+	cfg       chaos.Config
+	crashAt   int           // window index at which worker 0 crashes (0 = never)
+	crashDown time.Duration // how long the crashed worker refuses dials
+	fired     func(chaos.Stats) int64
+}
+
+func chaosSchedules() []chaosSchedule {
+	return []chaosSchedule{
+		{name: "resets", cfg: chaos.Config{Seed: 101, Reset: 0.1},
+			fired: func(s chaos.Stats) int64 { return s.Resets }},
+		{name: "dial-refusals", cfg: chaos.Config{Seed: 102, DialRefuse: 0.5, Reset: 0.08},
+			fired: func(s chaos.Stats) int64 { return s.RefusedDials }},
+		{name: "corruption", cfg: chaos.Config{Seed: 103, Corrupt: 0.12},
+			fired: func(s chaos.Stats) int64 { return s.CorruptedFrames }},
+		{name: "duplicates", cfg: chaos.Config{Seed: 104, Duplicate: 0.1},
+			fired: func(s chaos.Stats) int64 { return s.DuplicatedFrames }},
+		{name: "delays", cfg: chaos.Config{Seed: 105, Delay: 0.6, DelayFor: 2 * time.Millisecond},
+			fired: func(s chaos.Stats) int64 { return s.DelayedFrames }},
+		{name: "stalls", cfg: chaos.Config{Seed: 106, Stall: 0.12, StallFor: 400 * time.Millisecond},
+			fired: func(s chaos.Stats) int64 { return s.Stalls }},
+		{name: "crash-restart", cfg: chaos.Config{Seed: 107},
+			crashAt: 4, crashDown: 150 * time.Millisecond,
+			fired: func(s chaos.Stats) int64 { return s.Crashes }},
+		{name: "everything", cfg: chaos.Config{Seed: 108, Reset: 0.02, DialRefuse: 0.1,
+			Corrupt: 0.04, Duplicate: 0.03, Delay: 0.2, DelayFor: time.Millisecond,
+			Stall: 0.02, StallFor: 400 * time.Millisecond},
+			fired: func(s chaos.Stats) int64 { return s.Fired() }},
+	}
+}
+
+// chaosPrograms are the progen classes the matrix runs over. The seeds are
+// the same curated ones TestDifferentialDistributedVsLocal proves
+// DPR ≡ PR ≡ R on fault-free (900+index): the chaos matrix varies the
+// fault schedule, not the program, so divergence can only mean the fault
+// handling corrupted an answer.
+func chaosPrograms() []struct {
+	name string
+	cfg  progen.Config
+	seed int64
+} {
+	return []struct {
+		name string
+		cfg  progen.Config
+		seed int64
+	}{
+		{"flat", progen.Config{Derived: 3}, 900},
+		{"recursive", progen.Config{Derived: 3, Recursion: true, Consts: 4}, 902},
+		{"constraints", progen.Config{Derived: 4, Constraints: true}, 903},
+	}
+}
+
+// chaosDPROptions are deliberately aggressive timings so one short stream
+// exercises stragglers, heartbeats, quarantines, and redials: the breaker
+// opens after 2 failures and caps at 150ms, so a 250ms post-heal settle
+// outlives every quarantine.
+func chaosDPROptions(src string, workers []string, inj *chaos.Injector, depth int) DPROptions {
+	return DPROptions{
+		Workers:           workers,
+		ProgramSource:     src,
+		StragglerTimeout:  250 * time.Millisecond,
+		DialTimeout:       time.Second,
+		MaxInFlight:       depth,
+		Dialer:            inj.Dial,
+		HeartbeatInterval: time.Millisecond,
+		HeartbeatTimeout:  150 * time.Millisecond,
+		Breaker: BreakerOptions{
+			Threshold: 2,
+			BaseDelay: 30 * time.Millisecond,
+			MaxDelay:  150 * time.Millisecond,
+		},
+	}
+}
+
+// newChaosDPR constructs a DPR through the injector, retrying construction
+// a bounded number of times: hostile schedules (50% dial refusal) can leave
+// every worker unreachable on a given attempt, and each retry advances the
+// deterministic dial schedule.
+func newChaosDPR(t *testing.T, cfg Config, plan *core.Plan, opts DPROptions) *DPR {
+	t.Helper()
+	var lastErr error
+	for attempt := 0; attempt < 25; attempt++ {
+		dpr, err := NewDPR(cfg, NewPlanPartitioner(plan), opts)
+		if err == nil {
+			return dpr
+		}
+		lastErr = err
+	}
+	t.Fatalf("NewDPR failed 25 consecutive attempts: %v", lastErr)
+	return nil
+}
+
+// runChaosDifferential drives the DPR submit-ahead over the emissions with
+// the fault schedule live, asserting R-identical answers on every window.
+// At two thirds of the stream the injector heals; after a bounded settle
+// the run must be fully recovered: zero further local fallbacks, and new
+// remote windows. Returns the final transport stats for matrix aggregation.
+func runChaosDifferential(t *testing.T, label string, dpr *DPR, rOracle *R, emissions []stream.WindowDelta, inj *chaos.Injector, sched chaosSchedule, workers []string) TransportStats {
+	t.Helper()
+	depth := dpr.MaxInFlight()
+	type pend struct {
+		wi     int
+		window []rdf.Triple
+	}
+	var queue []pend
+	collect := func() {
+		out, err := dpr.Collect()
+		if err != nil {
+			t.Fatalf("%s window %d: Collect: %v", label, queue[0].wi, err)
+		}
+		head := queue[0]
+		queue = queue[1:]
+		wantR, err := rOracle.Process(head.window)
+		if err != nil {
+			t.Fatalf("%s window %d: R oracle: %v", label, head.wi, err)
+		}
+		gs, rs := answerKeySigs(out.Answers), answerKeySigs(wantR.Answers)
+		if !slices.Equal(gs, rs) {
+			t.Fatalf("%s window %d: DPR under chaos diverges from R\nDPR: %v\nR:   %v", label, head.wi, gs, rs)
+		}
+	}
+
+	healAt := 2 * len(emissions) / 3
+	settleEnd := healAt + 2
+	var postSettle TransportStats
+	for wi, wd := range emissions {
+		if wi == healAt {
+			for len(queue) > 0 {
+				collect()
+			}
+			inj.Heal()
+			// Outlive the longest possible quarantine (MaxDelay 150ms
+			// +20% jitter) so every session is allowed to redial.
+			time.Sleep(250 * time.Millisecond)
+		}
+		if wi == settleEnd {
+			for len(queue) > 0 {
+				collect()
+			}
+			postSettle = dpr.TransportStats()
+		}
+		if sched.crashAt > 0 && wi == sched.crashAt {
+			inj.Crash(workers[0], sched.crashDown)
+		}
+		var d *Delta
+		if wd.Incremental {
+			d = &Delta{Added: wd.Added, Retracted: wd.Retracted}
+		}
+		if err := dpr.Submit(wd.Window, d); err != nil {
+			t.Fatalf("%s window %d: Submit: %v", label, wi, err)
+		}
+		queue = append(queue, pend{wi, wd.Window})
+		if len(queue) >= depth {
+			collect()
+		}
+	}
+	for len(queue) > 0 {
+		collect()
+	}
+
+	final := dpr.TransportStats()
+	if n := final.LocalFallbacks - postSettle.LocalFallbacks; n != 0 {
+		t.Errorf("%s: %d local fallback(s) after heal+settle; recovery incomplete", label, n)
+	}
+	if final.RemoteWindows <= postSettle.RemoteWindows {
+		t.Errorf("%s: no remote windows after heal (remote %d -> %d)", label, postSettle.RemoteWindows, final.RemoteWindows)
+	}
+	return final
+}
+
+// chaosRun is one cell of the matrix: fresh injector, fresh DPR at the
+// given depth, fresh R oracle, leak-checked end to end. Alongside the
+// transport stats it reports how often the schedule's fault class fired
+// (Heal gates further faults, so the count is the pre-heal tally).
+func chaosRun(t *testing.T, sched chaosSchedule, pcfg progen.Config, seed int64, depth, triples int, workers []string) (TransportStats, int64) {
+	t.Helper()
+	t.Cleanup(testleak.Check(t))
+	rnd := rand.New(rand.NewSource(seed))
+	gp := progen.New(rnd, pcfg)
+	prog, err := parser.Parse(gp.Src)
+	if err != nil {
+		t.Fatalf("generated program does not parse: %v\n%s", err, gp.Src)
+	}
+	cfg := Config{Program: prog, Inpre: gp.Inpre, Arities: dfp.Arities(gp.Arities)}
+	analysis, err := core.Analyze(prog, gp.Inpre, 1.0)
+	if err != nil {
+		t.Skipf("program has no partitioning plan: %v", err)
+	}
+	stream20 := gp.Stream(rnd, pcfg, triples)
+	emissions := emitWindows(stream20, 20, 5)
+
+	inj := chaos.New(sched.cfg)
+	dpr := newChaosDPR(t, cfg, analysis.Plan, chaosDPROptions(gp.Src, workers, inj, depth))
+	defer dpr.Close()
+	rOracle, err := NewR(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	label := fmt.Sprintf("%s/depth=%d", sched.name, depth)
+	ts := runChaosDifferential(t, label, dpr, rOracle, emissions, inj, sched, workers)
+	return ts, sched.fired(inj.Stats())
+}
+
+// TestChaosDifferential is the acceptance matrix: every seeded fault
+// schedule × every progen class × serial and pipelined depth, each run
+// asserting R-identical answers on all windows, schedule non-vacuity,
+// post-heal recovery, and no leaked goroutines. Across the whole matrix the
+// fallback, redial, circuit-open, and checksum-failure recovery paths must
+// each have been taken at least once.
+func TestChaosDifferential(t *testing.T) {
+	workers := startWorkers(t, 2)
+	var agg TransportStats
+	cells := 0
+	for _, sched := range chaosSchedules() {
+		sched := sched
+		t.Run(sched.name, func(t *testing.T) {
+			var schedFired int64
+			ran := 0
+			for _, pc := range chaosPrograms() {
+				pc := pc
+				t.Run(pc.name, func(t *testing.T) {
+					for _, depth := range []int{1, 3} {
+						ts, fired := chaosRun(t, sched, pc.cfg, pc.seed, depth, 140, workers)
+						schedFired += fired
+						ran++
+						agg.LocalFallbacks += ts.LocalFallbacks
+						agg.Redials += ts.Redials
+						agg.CircuitOpens += ts.CircuitOpens
+						agg.ChecksumFailures += ts.ChecksumFailures
+					}
+				})
+			}
+			cells += ran
+			if !t.Failed() && ran > 0 && schedFired == 0 {
+				t.Errorf("schedule %q fired no fault of its class in any of its matrix cells", sched.name)
+			}
+		})
+	}
+	if t.Failed() || cells < len(chaosSchedules())*len(chaosPrograms())*2 {
+		return // the aggregate is meaningless on a partial or filtered matrix
+	}
+	if agg.LocalFallbacks == 0 {
+		t.Error("no schedule forced a local fallback; the matrix is vacuous")
+	}
+	if agg.Redials == 0 {
+		t.Error("no schedule forced a redial; the matrix is vacuous")
+	}
+	if agg.CircuitOpens == 0 {
+		t.Error("no schedule opened a circuit; the matrix is vacuous")
+	}
+	if agg.ChecksumFailures == 0 {
+		t.Error("no schedule produced a CRC failure; the matrix is vacuous")
+	}
+}
+
+// TestChaosRandomizedSchedule is the smoke tier: a fresh random seed per
+// run (pin it with CHAOS_SEED; the failing seed is always logged), mixed
+// fault rates, repeated until the CHAOS_SMOKE_TIME budget (default: one
+// iteration) runs out.
+func TestChaosRandomizedSchedule(t *testing.T) {
+	workers := startWorkers(t, 2)
+	budget := time.Duration(0)
+	if v := os.Getenv("CHAOS_SMOKE_TIME"); v != "" {
+		d, err := time.ParseDuration(v)
+		if err != nil {
+			t.Fatalf("CHAOS_SMOKE_TIME: %v", err)
+		}
+		budget = d
+	}
+	seed := time.Now().UnixNano()
+	if v := os.Getenv("CHAOS_SEED"); v != "" {
+		s, err := strconv.ParseInt(v, 10, 64)
+		if err != nil {
+			t.Fatalf("CHAOS_SEED: %v", err)
+		}
+		seed = s
+	}
+	deadline := time.Now().Add(budget)
+	for iter := 0; ; iter++ {
+		t.Logf("iteration %d: seed %d (re-run with CHAOS_SEED=%d)", iter, seed, seed)
+		sched := chaosSchedule{
+			name: "randomized",
+			cfg: chaos.Config{Seed: seed, Reset: 0.02, DialRefuse: 0.1, Corrupt: 0.04,
+				Duplicate: 0.03, Delay: 0.2, DelayFor: time.Millisecond},
+			fired: func(s chaos.Stats) int64 { return s.Fired() },
+		}
+		t.Run(fmt.Sprintf("iter%d", iter), func(t *testing.T) {
+			// The program stays on the curated flat seed (proven R-equal
+			// fault-free); only the fault schedule is randomized.
+			_, fired := chaosRun(t, sched, progen.Config{Derived: 3}, 900, 3, 140, workers)
+			t.Logf("iteration %d fired %d faults", iter, fired)
+		})
+		if t.Failed() || !time.Now().Before(deadline) {
+			return
+		}
+		seed++
+	}
+}
+
+// TestChaosSoak is the long tier (skipped under -short): the everything
+// schedule over a longer stream with two mid-stream worker crashes, serial
+// and pipelined.
+func TestChaosSoak(t *testing.T) {
+	if testing.Short() {
+		t.Skip("chaos soak skipped in -short mode")
+	}
+	workers := startWorkers(t, 2)
+	base := chaosSchedules()[len(chaosSchedules())-1] // "everything"
+	for _, depth := range []int{1, 3} {
+		depth := depth
+		t.Run(fmt.Sprintf("depth%d", depth), func(t *testing.T) {
+			t.Cleanup(testleak.Check(t))
+			// The recursive class on its curated seed (proven R-equal
+			// fault-free), over a longer stream than the matrix runs.
+			rnd := rand.New(rand.NewSource(902))
+			pcfg := progen.Config{Derived: 3, Recursion: true, Consts: 4}
+			gp := progen.New(rnd, pcfg)
+			prog, err := parser.Parse(gp.Src)
+			if err != nil {
+				t.Fatalf("generated program does not parse: %v\n%s", err, gp.Src)
+			}
+			cfg := Config{Program: prog, Inpre: gp.Inpre, Arities: dfp.Arities(gp.Arities)}
+			analysis, err := core.Analyze(prog, gp.Inpre, 1.0)
+			if err != nil {
+				t.Skipf("program has no partitioning plan: %v", err)
+			}
+			emissions := emitWindows(gp.Stream(rnd, pcfg, 300), 20, 5)
+
+			sched := base
+			sched.name = "soak"
+			inj := chaos.New(sched.cfg)
+			dpr := newChaosDPR(t, cfg, analysis.Plan, chaosDPROptions(gp.Src, workers, inj, depth))
+			defer dpr.Close()
+			rOracle, err := NewR(cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			// Two crash points, both before the heal: one worker goes down
+			// immediately, the other a third of the way in.
+			inj.Crash(workers[1], 120*time.Millisecond)
+			sched.crashAt = len(emissions) / 3
+			sched.crashDown = 120 * time.Millisecond
+			runChaosDifferential(t, fmt.Sprintf("soak/depth=%d", depth), dpr, rOracle, emissions, inj, sched, workers)
+			// Both crash points are scripted, so the soak is never vacuous.
+			if got := inj.Stats().Crashes; got < 2 {
+				t.Errorf("soak expected 2 scripted crashes, injector saw %d", got)
+			}
+		})
+	}
+}

@@ -10,6 +10,7 @@
 package reasoner
 
 import (
+	"crypto/tls"
 	"fmt"
 	"slices"
 	"sort"
@@ -54,6 +55,26 @@ type DPROptions struct {
 	// partitioner is an *AdaptivePartitioner — splits overloaded
 	// communities. nil keeps the static round-robin assignment.
 	Rebalance *RebalanceOptions
+	// Dialer overrides how worker connections are established (nil = plain
+	// TCP). This is the seam the chaos harness (internal/chaos) injects
+	// faults through; production deployments use it for custom networking.
+	Dialer transport.DialFunc
+	// TLS wraps every worker connection in TLS (mutual when the config
+	// carries a client certificate); workers must serve TLS to match.
+	TLS *tls.Config
+	// HeartbeatInterval is how long a session may sit idle (no successful
+	// round) before the next submit probes it with a protocol-level ping,
+	// detecting a dead worker at ping cost instead of a full straggler
+	// deadline. 0 = 2s; negative disables probing. Probes are only sent
+	// when the session has zero windows in flight — a ping would otherwise
+	// consume an in-flight window's response.
+	HeartbeatInterval time.Duration
+	// HeartbeatTimeout bounds one probe round trip (0 = StragglerTimeout/4).
+	HeartbeatTimeout time.Duration
+	// Breaker tunes the per-session circuit breaker that quarantines
+	// failing workers between redial attempts (the zero value uses the
+	// BreakerOptions defaults).
+	Breaker BreakerOptions
 }
 
 // TransportStats aggregates the distributed reasoner's wire metrics across
@@ -96,6 +117,19 @@ type TransportStats struct {
 	// worker session, and WorkerLiveAtoms their live interned atoms — the
 	// remote counterpart of MemoryStats.Table for budget sizing.
 	WorkerRotations, WorkerLiveAtoms int64
+	// Heartbeats counts protocol-level health probes sent to idle sessions
+	// (see DPROptions.HeartbeatInterval). A probe that fails retires the
+	// session before a window is risked on it.
+	Heartbeats int64
+	// CircuitOpens counts circuit-breaker opens across sessions: each one
+	// is a worker quarantined after consecutive failures (or a failed
+	// half-open probe). A steadily climbing count is a flapping worker.
+	CircuitOpens int64
+	// ChecksumFailures counts inbound frames rejected on a CRC mismatch.
+	// Each one retired a session cleanly instead of feeding corrupt bytes
+	// to the decoder; any nonzero value on a supposedly clean network is a
+	// hardware or path problem worth chasing.
+	ChecksumFailures int64
 }
 
 // DictHitRate returns the fraction of response-side dictionary references
@@ -152,6 +186,7 @@ type sessionTotals struct {
 	sent, recv             int64
 	refs, shipped          int64
 	reqRefs, reqShipped    int64
+	crcFails, opens        int64
 }
 
 // dprSession is one worker's leg of the reasoner: a transport client, the
@@ -177,15 +212,19 @@ type dprSession struct {
 	accSent, accRecv          int64
 	accRefs, accShipped       int64
 	accReqRefs, accReqShipped int64
+	accCrcFails               int64
 	redials, remote, local    int64
 	// Last worker-side table snapshot seen in a response.
 	workerRotations, workerLiveAtoms int64
-	// Dial backoff: after a failed dial the session is skipped (immediate
-	// local fallback) until retryAt, with the delay doubling per
-	// consecutive failure — an unreachable worker must cost the pipeline
-	// local-processing latency, not a dial timeout per window.
-	dialFails int
-	retryAt   time.Time
+	// brk quarantines the session after consecutive failures — any failed
+	// dial, round, heartbeat, or desync feeds it. While the circuit is
+	// open the session is skipped (immediate local fallback): an
+	// unreachable worker must cost the pipeline local-processing latency,
+	// not a dial timeout per window.
+	brk *breaker
+	// lastOK is the last time this session completed a successful dial,
+	// round, or heartbeat; the idle-probe clock.
+	lastOK time.Time
 }
 
 // retire folds the live client/dictionary counters into the accumulators,
@@ -194,6 +233,7 @@ func (ps *dprSession) retire() {
 	if ps.client != nil {
 		ps.accSent += ps.client.BytesSent()
 		ps.accRecv += ps.client.BytesReceived()
+		ps.accCrcFails += ps.client.ChecksumFailures()
 		ps.client.Close()
 		ps.client = nil
 	}
@@ -278,6 +318,7 @@ type DPR struct {
 	rounds, windows       int64
 	fullParts, deltaParts int64
 	inFlightSum           int64
+	heartbeats            int64
 
 	// removed holds the folded counters of sessions dropped by
 	// RemoveWorker; lastLoads is the per-partition load observed by the
@@ -351,7 +392,7 @@ func NewDPR(cfg Config, part Partitioner, opts DPROptions) (*DPR, error) {
 	// starts empty and idles until the rebalancer hands it work.
 	w := len(opts.Workers)
 	for wi := 0; wi < w; wi++ {
-		ps := &dprSession{addr: opts.Workers[wi]}
+		ps := dpr.newSession(opts.Workers[wi])
 		for p := wi; p < n; p += w {
 			ps.parts = append(ps.parts, p)
 		}
@@ -377,6 +418,11 @@ func NewDPR(cfg Config, part Partitioner, opts DPROptions) (*DPR, error) {
 	return dpr, nil
 }
 
+// newSession builds the bookkeeping for one worker address (no dial).
+func (dpr *DPR) newSession(addr string) *dprSession {
+	return &dprSession{addr: addr, brk: newBreaker(dpr.opts.Breaker, nil, nil)}
+}
+
 // dial (re-)establishes one worker session with fresh dictionaries on both
 // directions (the worker's session state is new, so the request dictionary
 // replays from scratch and the first request ships full windows).
@@ -389,6 +435,8 @@ func (dpr *DPR) dial(ps *dprSession) error {
 		DialTimeout: dpr.opts.DialTimeout,
 		MaxFrame:    dpr.opts.MaxFrame,
 		MaxInFlight: dpr.opts.MaxInFlight,
+		Dialer:      dpr.opts.Dialer,
+		TLS:         dpr.opts.TLS,
 	})
 	if err != nil {
 		return err
@@ -398,6 +446,7 @@ func (dpr *DPR) dial(ps *dprSession) error {
 	ps.reqEnc = intern.NewWireEncoder()
 	ps.base = make([][]rdf.Triple, len(ps.parts))
 	ps.baseValid = false
+	ps.lastOK = time.Now()
 	// A redialed session talks to a FRESH worker session with an empty
 	// table: the previous table snapshot no longer describes anything.
 	ps.workerRotations, ps.workerLiveAtoms = 0, 0
@@ -418,9 +467,20 @@ func (dpr *DPR) MaxInFlight() int {
 // InFlight returns the number of submitted windows not yet collected.
 func (dpr *DPR) InFlight() int { return len(dpr.pending) }
 
-// Close tears down every worker session. The DPR must not be used
-// afterwards.
+// Close drains the pipeline, then tears down every worker session. Every
+// submitted window is collected first, so in-flight remote legs finish
+// deterministically (a dead session's legs fall back locally, bounded by
+// the straggler timeout) instead of being abandoned mid-flight. The DPR
+// must not be used afterwards.
 func (dpr *DPR) Close() {
+	for len(dpr.pending) > 0 {
+		// Collect pops the window before reporting errors, so the drain
+		// always terminates; a worker-side processing error has nowhere to
+		// go from Close and the remaining windows still drain.
+		if _, err := dpr.Collect(); err != nil {
+			continue
+		}
+	}
 	for _, ps := range dpr.sessions {
 		ps.retire()
 	}
@@ -488,6 +548,7 @@ func (dpr *DPR) submit(window []rdf.Triple, scratch bool) {
 		req := dpr.buildReq(ps, parts, scratch)
 		if err := ps.client.Submit(req, dpr.opts.StragglerTimeout); err != nil {
 			ps.retire()
+			ps.brk.failure()
 			continue
 		}
 		// The shipped sub-windows become the delta bases of the next
@@ -504,25 +565,60 @@ func (dpr *DPR) submit(window []rdf.Triple, scratch bool) {
 	dpr.pending = append(dpr.pending, pw)
 }
 
-// ensureConnected returns true when the session holds a usable client,
-// dialing under backoff when it does not.
+// ensureConnected returns true when the session holds a usable client:
+// live clients are heartbeat-probed when they have sat idle past the
+// interval, and dead ones are redialed under the session's circuit breaker
+// (while the circuit is open the session is skipped — immediate local
+// fallback instead of a dial timeout per window).
 func (dpr *DPR) ensureConnected(ps *dprSession) bool {
 	if ps.client != nil && !ps.client.Broken() {
-		return true
+		if !dpr.heartbeatDue(ps) {
+			return true
+		}
+		dpr.heartbeats++
+		if err := ps.client.Ping(dpr.heartbeatTimeout()); err == nil {
+			ps.lastOK = time.Now()
+			ps.brk.success()
+			return true
+		}
+		// The probe found the worker dead between windows — retire now and
+		// try one redial below, under the breaker like any other failure.
+		ps.retire()
+		ps.brk.failure()
 	}
-	if !ps.retryAt.IsZero() && time.Now().Before(ps.retryAt) {
+	if !ps.brk.allow() {
 		return false
 	}
 	if err := dpr.dial(ps); err != nil {
-		ps.dialFails++
-		backoff := min(time.Second<<min(ps.dialFails-1, 5), 30*time.Second)
-		ps.retryAt = time.Now().Add(backoff)
+		ps.brk.failure()
 		return false
 	}
-	ps.dialFails = 0
-	ps.retryAt = time.Time{}
+	ps.brk.success()
 	ps.redials++
 	return true
+}
+
+// heartbeatDue reports whether a live session should be probed before the
+// next window is risked on it: only when idle-probing is enabled, the
+// session has no windows in flight (a ping would consume an in-flight
+// response), and it has been idle past the interval.
+func (dpr *DPR) heartbeatDue(ps *dprSession) bool {
+	hi := dpr.opts.HeartbeatInterval
+	if hi < 0 {
+		return false
+	}
+	if hi == 0 {
+		hi = 2 * time.Second
+	}
+	return ps.client.InFlight() == 0 && time.Since(ps.lastOK) >= hi
+}
+
+// heartbeatTimeout bounds one probe round trip.
+func (dpr *DPR) heartbeatTimeout() time.Duration {
+	if dpr.opts.HeartbeatTimeout > 0 {
+		return dpr.opts.HeartbeatTimeout
+	}
+	return dpr.opts.StragglerTimeout / 4
 }
 
 // buildReq encodes one session's request: per hosted partition either the
@@ -785,16 +881,22 @@ func (dpr *DPR) awaitRemote(ps *dprSession, pw *pendingWindow, loads []Partition
 			// The worker reasoner failed on this window (e.g. the grounder's
 			// atom limit): surface it — the local engine would fail the same
 			// way, and masking it behind a fallback would hide program bugs.
+			// The transport itself answered in time, so the session stays
+			// healthy for the breaker.
 			ps.remote += int64(len(ps.parts))
+			ps.lastOK = time.Now()
+			ps.brk.success()
 			return nil, fmt.Errorf("reasoner: worker %s: %s", ps.addr, re.Msg), true
 		}
 		ps.retire()
+		ps.brk.failure()
 		return nil, nil, false
 	}
 	if err := ps.dec.Apply(&resp.Dict); err != nil {
 		// Dictionary desync: the session cannot be trusted any more. Drop it
 		// and serve this window locally; the redial replays the dictionary.
 		ps.retire()
+		ps.brk.failure()
 		return nil, nil, false
 	}
 	answers := make([]*solve.AnswerSet, len(resp.Answers))
@@ -802,12 +904,15 @@ func (dpr *DPR) awaitRemote(ps *dprSession, pw *pendingWindow, loads []Partition
 		ids, err := ps.dec.DecodeSet(ws, nil)
 		if err != nil {
 			ps.retire()
+			ps.brk.failure()
 			return nil, nil, false
 		}
 		answers[j] = solve.FromIDs(dpr.tab, ids)
 	}
 
 	ps.remote += int64(len(ps.parts))
+	ps.lastOK = time.Now()
+	ps.brk.success()
 	ps.workerRotations = int64(resp.Rotations)
 	ps.workerLiveAtoms = int64(resp.LiveAtoms)
 	for j, gi := range ps.parts {
@@ -957,6 +1062,9 @@ func (dpr *DPR) TransportStats() TransportStats {
 		DictShipped:      dpr.removed.shipped,
 		ReqDictRefs:      dpr.removed.reqRefs,
 		ReqDictShipped:   dpr.removed.reqShipped,
+		Heartbeats:       dpr.heartbeats,
+		CircuitOpens:     dpr.removed.opens,
+		ChecksumFailures: dpr.removed.crcFails,
 	}
 	for _, ps := range dpr.sessions {
 		ts.RemoteWindows += ps.remote
@@ -968,9 +1076,12 @@ func (dpr *DPR) TransportStats() TransportStats {
 		ts.DictShipped += ps.accShipped
 		ts.ReqDictRefs += ps.accReqRefs
 		ts.ReqDictShipped += ps.accReqShipped
+		ts.CircuitOpens += ps.brk.opens
+		ts.ChecksumFailures += ps.accCrcFails
 		if ps.client != nil {
 			ts.BytesSent += ps.client.BytesSent()
 			ts.BytesReceived += ps.client.BytesReceived()
+			ts.ChecksumFailures += ps.client.ChecksumFailures()
 		}
 		if ps.dec != nil {
 			ts.DictRefs += ps.dec.Refs()
@@ -1027,7 +1138,7 @@ func (dpr *DPR) AddWorker(addr string) error {
 			return fmt.Errorf("reasoner: worker %s already in the fleet", addr)
 		}
 	}
-	dpr.sessions = append(dpr.sessions, &dprSession{addr: addr})
+	dpr.sessions = append(dpr.sessions, dpr.newSession(addr))
 	dpr.staticRebal.Joins++
 	return dpr.applyLayout(dpr.balancedAssign())
 }
@@ -1065,6 +1176,8 @@ func (dpr *DPR) RemoveWorker(addr string) error {
 	dpr.removed.shipped += ps.accShipped
 	dpr.removed.reqRefs += ps.accReqRefs
 	dpr.removed.reqShipped += ps.accReqShipped
+	dpr.removed.crcFails += ps.accCrcFails
+	dpr.removed.opens += ps.brk.opens
 	dpr.sessions = append(dpr.sessions[:idx], dpr.sessions[idx+1:]...)
 	dpr.staticRebal.Leaves++
 	return dpr.applyLayout(dpr.balancedAssign())

@@ -13,6 +13,7 @@ import (
 	"streamrule/internal/progen"
 	"streamrule/internal/rdf"
 	"streamrule/internal/stream"
+	"streamrule/internal/testleak"
 	"streamrule/internal/transport"
 )
 
@@ -315,6 +316,7 @@ func (f *distributedFixture) assertWindow(t *testing.T, wi int, dpr *DPR, oracle
 // coordinator must keep producing correct answers through the local
 // fallback, without erroring a single window.
 func TestDistributedWorkerDeathFallsBack(t *testing.T) {
+	t.Cleanup(testleak.Check(t))
 	f := newDistributedFixture(t)
 	srv, err := transport.NewServer("127.0.0.1:0", NewWorkerHandler(), transport.ServerOptions{})
 	if err != nil {
@@ -357,6 +359,7 @@ func TestDistributedWorkerDeathFallsBack(t *testing.T) {
 // re-ship its dictionary from scratch (the delta replay), and answers must
 // stay correct throughout.
 func TestDistributedWorkerRestartReplaysDictionary(t *testing.T) {
+	t.Cleanup(testleak.Check(t))
 	f := newDistributedFixture(t)
 	srv, err := transport.NewServer("127.0.0.1:0", NewWorkerHandler(), transport.ServerOptions{})
 	if err != nil {
@@ -414,6 +417,7 @@ func TestDistributedWorkerRestartReplaysDictionary(t *testing.T) {
 // round must fail cleanly and the coordinator must still produce correct
 // answers locally.
 func TestDistributedTinyFrameFallsBack(t *testing.T) {
+	t.Cleanup(testleak.Check(t))
 	f := newDistributedFixture(t)
 	srv, err := transport.NewServer("127.0.0.1:0", NewWorkerHandler(), transport.ServerOptions{})
 	if err != nil {

@@ -15,6 +15,7 @@ import (
 	"streamrule/internal/progen"
 	"streamrule/internal/rdf"
 	"streamrule/internal/stream"
+	"streamrule/internal/testleak"
 	"streamrule/internal/transport"
 )
 
@@ -161,6 +162,7 @@ func TestDifferentialPipelinedVsSerial(t *testing.T) {
 // later window loses its session, yet the coordinator must keep producing
 // oracle-identical answers through the local fallback.
 func TestDistributedWorkerDeathMidPipeline(t *testing.T) {
+	t.Cleanup(testleak.Check(t))
 	f := newDistributedFixture(t)
 	srv, err := transport.NewServer("127.0.0.1:0", NewWorkerHandler(), transport.ServerOptions{})
 	if err != nil {

@@ -1,0 +1,135 @@
+package serve
+
+// Chaos differential for the serving layer: a remote-backed tenant on a
+// shared fleet, with the deterministic fault injector between its DPR and
+// the worker, must deliver exactly the solo local oracle's answers on every
+// window — and after the injector heals, recover to fallback-free remote
+// serving.
+
+import (
+	"math/rand"
+	"testing"
+	"time"
+
+	"streamrule/internal/chaos"
+	"streamrule/internal/progen"
+	"streamrule/internal/reasoner"
+	"streamrule/internal/testleak"
+	"streamrule/internal/transport"
+)
+
+func TestRemoteTenantUnderChaos(t *testing.T) {
+	defer testleak.Check(t)()
+	ws, err := transport.NewServer("127.0.0.1:0", reasoner.NewWorkerHandler(), transport.ServerOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	go ws.Serve()
+	defer ws.Close()
+
+	inj := chaos.New(chaos.Config{
+		Seed:      606,
+		Reset:     0.03,
+		Corrupt:   0.05,
+		Duplicate: 0.02,
+		Delay:     0.2,
+		DelayFor:  time.Millisecond,
+	})
+
+	rnd := rand.New(rand.NewSource(7700))
+	pcfg := progen.Config{Derived: 3, UnaryInputs: 2, BinaryInputs: 2}
+	gp := progen.New(rnd, pcfg)
+	triples := gp.Stream(rnd, pcfg, 150)
+
+	col := &collector{}
+	tc := TenantConfig{
+		Program: gp.Src, Inpre: gp.Inpre, Arities: gp.Arities,
+		WindowSize: 20, WindowStep: 5,
+		Workers:           []string{ws.Addr()},
+		Dialer:            inj.Dial,
+		StragglerTimeout:  250 * time.Millisecond,
+		HeartbeatInterval: time.Millisecond,
+		Breaker: reasoner.BreakerOptions{
+			Threshold: 2,
+			BaseDelay: 30 * time.Millisecond,
+			MaxDelay:  150 * time.Millisecond,
+		},
+		Handle: col.handle,
+	}
+	srv := NewServer(Config{Workers: 2, QueueDepth: 64})
+	defer srv.Close()
+	// The injector may reset the very handshake that admits the tenant;
+	// retry, exactly as an operator redeploying against a flaky link would.
+	added := false
+	for attempt := 0; attempt < 25 && !added; attempt++ {
+		switch err := srv.AddTenant("stormy", tc); {
+		case err == nil:
+			added = true
+		case attempt == 24:
+			t.Fatalf("AddTenant: %v\n%s", err, gp.Src)
+		}
+	}
+
+	// Phase 1: two thirds of the stream under live faults.
+	cut := 2 * len(triples) / 3
+	for _, tr := range triples[:cut] {
+		if err := srv.Push("stormy", tr); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := srv.Sync("stormy"); err != nil {
+		t.Fatal(err)
+	}
+	if inj.Stats().Fired() == 0 {
+		t.Fatalf("fault schedule never fired: %+v", inj.Stats())
+	}
+
+	// Phase 2: heal, let every quarantine (MaxDelay 150ms + jitter) expire,
+	// settle over two windows, then demand fallback-free remote serving.
+	inj.Heal()
+	time.Sleep(250 * time.Millisecond)
+	settle := cut + 2*tc.WindowStep
+	for _, tr := range triples[cut:settle] {
+		if err := srv.Push("stormy", tr); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := srv.Sync("stormy"); err != nil {
+		t.Fatal(err)
+	}
+	mid, ok := srv.TenantTransportStats("stormy")
+	if !ok {
+		t.Fatal("no transport stats for a remote-backed tenant")
+	}
+	for _, tr := range triples[settle:] {
+		if err := srv.Push("stormy", tr); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := srv.Drain("stormy"); err != nil {
+		t.Fatal(err)
+	}
+	final, _ := srv.TenantTransportStats("stormy")
+	if n := final.LocalFallbacks - mid.LocalFallbacks; n != 0 {
+		t.Errorf("%d local fallback(s) after heal+settle; recovery incomplete", n)
+	}
+	if final.RemoteWindows <= mid.RemoteWindows {
+		t.Errorf("no remote windows after heal (remote %d -> %d)", mid.RemoteWindows, final.RemoteWindows)
+	}
+
+	// Every window — faulted, settling, healed — must equal the solo local
+	// oracle.
+	solo := tc
+	solo.Workers = nil
+	want := soloRun(t, solo, triples)
+	got := col.snapshot()
+	if len(got) != len(want) {
+		row, _ := srv.TenantStats("stormy")
+		t.Fatalf("served %d windows, solo %d (stats %+v)", len(got), len(want), row)
+	}
+	for i := range got {
+		if got[i] != want[i] {
+			t.Fatalf("window %d: chaos-served answers diverge from solo run", i)
+		}
+	}
+}

@@ -13,6 +13,7 @@ import (
 	"streamrule/internal/rdf"
 	"streamrule/internal/reasoner"
 	"streamrule/internal/stream"
+	"streamrule/internal/transport"
 )
 
 // Overflow selects what Push does when a tenant's ingress queue is full.
@@ -80,6 +81,20 @@ type TenantConfig struct {
 	// worker addresses (a DPR engine) instead of a local engine. Multiple
 	// tenants may share the same addresses.
 	Workers []string
+	// StragglerTimeout bounds each remote window leg before the tenant
+	// falls back locally (0 = the DPR default). Distributed tenants only.
+	StragglerTimeout time.Duration
+	// HeartbeatInterval sets the idle-probe cadence on the tenant's worker
+	// sessions (0 = the DPR default, negative disables). Distributed
+	// tenants only.
+	HeartbeatInterval time.Duration
+	// Dialer overrides how the tenant's DPR reaches its workers (nil =
+	// plain TCP). Chaos injectors and custom networks hook in here.
+	// Distributed tenants only.
+	Dialer transport.DialFunc
+	// Breaker tunes the per-worker-session circuit breaker (zero value =
+	// the DPR defaults). Distributed tenants only.
+	Breaker reasoner.BreakerOptions
 	// Handle receives every completed window in order, called from a fleet
 	// goroutine (never concurrently for one tenant). Optional.
 	Handle func(window []rdf.Triple, out *reasoner.Output)
@@ -245,8 +260,12 @@ func buildEngine(tc TenantConfig) (engine, error) {
 		return nil, err
 	}
 	return reasoner.NewDPR(cfg, reasoner.NewPlanPartitioner(analysis.Plan), reasoner.DPROptions{
-		Workers:       tc.Workers,
-		ProgramSource: tc.Program,
+		Workers:           tc.Workers,
+		ProgramSource:     tc.Program,
+		StragglerTimeout:  tc.StragglerTimeout,
+		HeartbeatInterval: tc.HeartbeatInterval,
+		Dialer:            tc.Dialer,
+		Breaker:           tc.Breaker,
 	})
 }
 
@@ -357,6 +376,29 @@ func (s *Server) Drain(id string) error {
 	return nil
 }
 
+// Sync blocks until the tenant's queue is empty and no window is in flight,
+// without flushing the windower tail. Unlike Drain, a Push after Sync
+// continues the sliding window exactly where it left off, so mid-stream
+// checkpoints (stats snapshots, phased tests) do not perturb windowing.
+func (s *Server) Sync(id string) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	t, err := s.tenantLocked(id)
+	if err != nil {
+		return err
+	}
+	for (len(t.queue) > 0 || t.busy) && !t.removed && !s.closed {
+		s.cond.Wait()
+	}
+	if t.removed {
+		return ErrRemoved
+	}
+	if s.closed {
+		return ErrClosed
+	}
+	return nil
+}
+
 // DrainAll drains every registered tenant.
 func (s *Server) DrainAll() error {
 	s.mu.Lock()
@@ -439,6 +481,39 @@ func (s *Server) AddWorker(addr string) error {
 // reports an error; the sweep continues and the first error is returned.
 func (s *Server) RemoveWorker(addr string) error {
 	return s.eachDPR(func(d *reasoner.DPR) error { return d.RemoveWorker(addr) })
+}
+
+// TenantTransportStats returns the wire metrics of a remote-backed
+// tenant's engine (ok=false for unknown or locally-backed tenants). The
+// tenant is quiesced exactly like AddWorker — no window of it is in flight
+// while the counters are read — so the snapshot is consistent.
+func (s *Server) TenantTransportStats(id string) (reasoner.TransportStats, bool) {
+	s.mu.Lock()
+	t, ok := s.tenants[id]
+	if !ok {
+		s.mu.Unlock()
+		return reasoner.TransportStats{}, false
+	}
+	d, ok := t.eng.(*reasoner.DPR)
+	if !ok {
+		s.mu.Unlock()
+		return reasoner.TransportStats{}, false
+	}
+	for t.busy && !t.removed && !s.closed {
+		s.cond.Wait()
+	}
+	if t.removed {
+		s.mu.Unlock()
+		return reasoner.TransportStats{}, false
+	}
+	t.busy = true // keep the scheduler off this tenant during the read
+	s.mu.Unlock()
+	ts := d.TransportStats()
+	s.mu.Lock()
+	t.busy = false
+	s.cond.Broadcast()
+	s.mu.Unlock()
+	return ts, true
 }
 
 func (s *Server) eachDPR(op func(*reasoner.DPR) error) error {

@@ -1,6 +1,7 @@
 package transport
 
 import (
+	"crypto/tls"
 	"encoding/gob"
 	"fmt"
 	"net"
@@ -8,6 +9,11 @@ import (
 	"sync/atomic"
 	"time"
 )
+
+// DialFunc establishes the raw connection for a session, with the semantics
+// of net.DialTimeout("tcp", addr, timeout). It is the seam fault-injection
+// harnesses (internal/chaos) and custom networking hook into.
+type DialFunc func(addr string, timeout time.Duration) (net.Conn, error)
 
 // ClientOptions configures a coordinator-side session client.
 type ClientOptions struct {
@@ -22,6 +28,13 @@ type ClientOptions struct {
 	// compute remotely; responses are matched to requests by sequence
 	// number and surface strictly in submission order.
 	MaxInFlight int
+	// Dialer overrides how the raw connection is established (nil = plain
+	// TCP with TCP_NODELAY).
+	Dialer DialFunc
+	// TLS, when non-nil, wraps the dialed connection in a TLS client
+	// session before the handshake. ServerName defaults to the host part
+	// of the dialed address when unset.
+	TLS *tls.Config
 }
 
 // RemoteError is a worker-side processing error relayed in a response.
@@ -70,7 +83,7 @@ type Client struct {
 	broken    bool
 	brokenErr error
 
-	sent, recv atomic.Int64
+	sent, recv, crcFails atomic.Int64
 }
 
 // Dial connects to a worker, performs the handshake, and returns a live
@@ -80,17 +93,33 @@ func Dial(addr string, hello *Hello, opts ClientOptions) (*Client, error) {
 	if dt <= 0 {
 		dt = 5 * time.Second
 	}
-	conn, err := net.DialTimeout("tcp", addr, dt)
+	dial := opts.Dialer
+	if dial == nil {
+		dial = func(addr string, timeout time.Duration) (net.Conn, error) {
+			return net.DialTimeout("tcp", addr, timeout)
+		}
+	}
+	conn, err := dial(addr, dt)
 	if err != nil {
 		return nil, fmt.Errorf("transport: dial %s: %w", addr, err)
 	}
 	if tc, ok := conn.(*net.TCPConn); ok {
 		tc.SetNoDelay(true)
 	}
+	if opts.TLS != nil {
+		cfg := opts.TLS
+		if cfg.ServerName == "" && !cfg.InsecureSkipVerify {
+			cfg = cfg.Clone()
+			if host, _, err := net.SplitHostPort(addr); err == nil {
+				cfg.ServerName = host
+			}
+		}
+		conn = tls.Client(conn, cfg)
+	}
 	c := &Client{conn: conn}
 	c.fw = newFrameWriter(conn, opts.MaxFrame, &c.sent)
 	c.enc = gob.NewEncoder(c.fw)
-	c.dec = gob.NewDecoder(newFrameReader(conn, opts.MaxFrame, &c.recv))
+	c.dec = gob.NewDecoder(newFrameReader(conn, opts.MaxFrame, &c.recv, &c.crcFails))
 
 	h := *hello
 	h.Version = ProtocolVersion
@@ -237,6 +266,19 @@ func (c *Client) Round(req *WindowReq, timeout time.Duration) (*WindowResp, erro
 	return c.Await(timeout)
 }
 
+// Ping performs one protocol-level heartbeat round trip: the worker echoes
+// an empty response without touching the session. It must only be called
+// with zero windows in flight — a ping while windows are outstanding would
+// consume the oldest window's response. A failed or timed-out ping breaks
+// the client like any other round.
+func (c *Client) Ping(timeout time.Duration) error {
+	if err := c.Submit(&WindowReq{Ping: true}, timeout); err != nil {
+		return err
+	}
+	_, err := c.Await(timeout)
+	return err
+}
+
 // InFlight returns the number of submitted windows still awaiting their
 // response.
 func (c *Client) InFlight() int { return int(c.inflight.Load()) }
@@ -267,6 +309,12 @@ func (c *Client) BytesSent() int64 { return c.sent.Load() }
 
 // BytesReceived returns the cumulative bytes read from the wire.
 func (c *Client) BytesReceived() int64 { return c.recv.Load() }
+
+// ChecksumFailures returns how many inbound frames this client rejected on
+// a CRC mismatch. The first failure also breaks the session (the decoder
+// error propagates through readLoop), so values above zero normally come in
+// ones — persistent counts across redials indicate a genuinely dirty link.
+func (c *Client) ChecksumFailures() int64 { return c.crcFails.Load() }
 
 // Close tears the session down.
 func (c *Client) Close() error { return c.conn.Close() }

@@ -17,7 +17,12 @@ import (
 // Version 4: conflict-driven solving on workers (Hello.CDNL) — a v3 worker
 // would silently solve with the wrong engine, skewing any ablation, so the
 // field rides a version bump.
-const ProtocolVersion = 4
+// Version 5: checksummed frames (an 8-byte [len | crc32c] header replaces
+// the bare 4-byte length prefix, so wire corruption is detected before the
+// gob decoder sees a byte) and protocol-level heartbeats (WindowReq.Ping —
+// the coordinator probes idle sessions between windows, detecting dead
+// workers at ping cost instead of a full straggler deadline).
+const ProtocolVersion = 5
 
 // Hello opens a session: it carries everything the worker needs to build a
 // full reasoner for one partition. Workers are program-agnostic processes —
@@ -81,6 +86,10 @@ type WindowReq struct {
 	// Seq numbers requests per session, starting at 1; the response echoes
 	// it. A mismatch means the stream desynchronized.
 	Seq uint64
+	// Ping marks a protocol-level heartbeat: the server echoes an empty
+	// response carrying the sequence number without touching the session.
+	// All other fields are ignored on a ping.
+	Ping bool
 	// Scratch forces from-scratch processing (the coordinator's Process
 	// path). When false the worker maintains its grounding incrementally
 	// across windows.

@@ -1,6 +1,7 @@
 package transport
 
 import (
+	"crypto/tls"
 	"encoding/gob"
 	"errors"
 	"fmt"
@@ -34,6 +35,10 @@ type ServerOptions struct {
 	// HandshakeTimeout bounds the wait for the Hello on a new connection
 	// (0 = 10s). Connections that never speak are shed.
 	HandshakeTimeout time.Duration
+	// TLS, when non-nil, serves TLS on the listener. A config carrying
+	// ClientCAs + RequireAndVerifyClientCert gives mutual TLS; coordinators
+	// must then dial with a matching ClientOptions.TLS.
+	TLS *tls.Config
 }
 
 // Server accepts coordinator connections and hosts one Session per
@@ -59,6 +64,9 @@ func NewServer(addr string, h Handler, opts ServerOptions) (*Server, error) {
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return nil, fmt.Errorf("transport: listen %s: %w", addr, err)
+	}
+	if opts.TLS != nil {
+		ln = tls.NewListener(ln, opts.TLS)
 	}
 	return &Server{ln: ln, h: h, opts: opts, conns: make(map[net.Conn]bool)}, nil
 }
@@ -112,6 +120,45 @@ func (s *Server) Close() error {
 	return err
 }
 
+// Shutdown stops accepting and drains live sessions gracefully: idle
+// connections (those waiting for the next request) close immediately, a
+// session mid-window finishes its current request and ships the response
+// before its connection closes. Sessions still alive after grace are
+// force-closed. Safe to call more than once and alongside Close.
+func (s *Server) Shutdown(grace time.Duration) error {
+	s.mu.Lock()
+	s.closed = true
+	conns := make([]net.Conn, 0, len(s.conns))
+	for c := range s.conns {
+		conns = append(conns, c)
+	}
+	s.mu.Unlock()
+	err := s.ln.Close()
+	// Expiring the read deadline now makes the blocking "next request"
+	// decode fail immediately without cutting off an in-progress response
+	// write — the drain semantics.
+	now := time.Now()
+	for _, c := range conns {
+		c.SetReadDeadline(now)
+	}
+	done := make(chan struct{})
+	go func() {
+		s.wg.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+	case <-time.After(grace):
+		s.mu.Lock()
+		for c := range s.conns {
+			c.Close()
+		}
+		s.mu.Unlock()
+		<-done
+	}
+	return err
+}
+
 // serveConn runs one session: handshake, then the request loop.
 func (s *Server) serveConn(conn net.Conn) {
 	defer conn.Close()
@@ -119,7 +166,7 @@ func (s *Server) serveConn(conn net.Conn) {
 		tc.SetNoDelay(true)
 	}
 	fw := newFrameWriter(conn, s.opts.MaxFrame, nil)
-	fr := newFrameReader(conn, s.opts.MaxFrame, nil)
+	fr := newFrameReader(conn, s.opts.MaxFrame, nil, nil)
 	enc := gob.NewEncoder(fw)
 	dec := gob.NewDecoder(fr)
 
@@ -166,6 +213,19 @@ func (s *Server) serveConn(conn net.Conn) {
 				_ = err
 			}
 			return
+		}
+		if req.Ping {
+			// Protocol-level heartbeat: echo an empty response without
+			// touching the session. Sequence numbers still advance — pings
+			// share the ordered response stream.
+			pong := &WindowResp{Seq: req.Seq}
+			if err := enc.Encode(pong); err != nil {
+				return
+			}
+			if err := fw.Flush(); err != nil {
+				return
+			}
+			continue
 		}
 		resp := sess.Window(&req)
 		resp.Seq = req.Seq

@@ -1,0 +1,69 @@
+package transport
+
+import (
+	"crypto/tls"
+	"strings"
+	"testing"
+	"time"
+
+	"streamrule/internal/transport/tlstest"
+)
+
+// TestTLSMutualRoundTrip runs full window rounds over loopback mTLS: the
+// worker serves TLS requiring a client certificate, the coordinator dials
+// with one, and the framed-gob protocol works unchanged above the TLS
+// layer.
+func TestTLSMutualRoundTrip(t *testing.T) {
+	m, err := tlstest.New()
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := &echoHandler{}
+	srv := startServer(t, h, ServerOptions{TLS: m.ServerTLS})
+
+	c, err := Dial(srv.Addr(), &Hello{Program: "p."}, ClientOptions{TLS: m.ClientTLS})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	for i := 1; i <= 3; i++ {
+		resp, err := c.Round(reqWindow(i), 2*time.Second)
+		if err != nil {
+			t.Fatalf("round %d over mTLS: %v", i, err)
+		}
+		if resp.Seq != uint64(i) || resp.Skipped != i {
+			t.Fatalf("round %d: seq %d skipped %d", i, resp.Seq, resp.Skipped)
+		}
+	}
+}
+
+// TestTLSRejectsPlaintextClient: a client that skips TLS against a TLS
+// worker must fail the handshake cleanly, not hang or garbage-decode.
+func TestTLSRejectsPlaintextClient(t *testing.T) {
+	m, err := tlstest.New()
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := startServer(t, &echoHandler{}, ServerOptions{TLS: m.ServerTLS, HandshakeTimeout: time.Second})
+	if _, err := Dial(srv.Addr(), &Hello{}, ClientOptions{DialTimeout: 2 * time.Second}); err == nil {
+		t.Fatal("plaintext dial succeeded against a TLS server")
+	}
+}
+
+// TestTLSRejectsClientWithoutCert: mutual TLS means a client without a
+// certificate is turned away during or immediately after the handshake.
+func TestTLSRejectsClientWithoutCert(t *testing.T) {
+	m, err := tlstest.New()
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := startServer(t, &echoHandler{}, ServerOptions{TLS: m.ServerTLS, HandshakeTimeout: time.Second})
+	noCert := &tls.Config{MinVersion: tls.VersionTLS12, RootCAs: m.ClientTLS.RootCAs}
+	_, err = Dial(srv.Addr(), &Hello{}, ClientOptions{TLS: noCert, DialTimeout: 2 * time.Second})
+	if err == nil {
+		t.Fatal("certificate-less client was accepted by an mTLS server")
+	}
+	if !strings.Contains(err.Error(), "transport:") {
+		t.Fatalf("unexpected error shape: %v", err)
+	}
+}

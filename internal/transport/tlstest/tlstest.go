@@ -1,0 +1,134 @@
+// Package tlstest generates throwaway mTLS material for loopback tests: a
+// self-signed CA plus server and client leaf certificates, returned both as
+// ready-to-use tls.Configs and as PEM bytes (for exercising file-loading
+// paths such as the CLI's -tls-cert/-tls-key/-tls-ca flags). Nothing here
+// is suitable for production use — keys are fresh P-256 pairs with short
+// lifetimes and no revocation story.
+package tlstest
+
+import (
+	"crypto/ecdsa"
+	"crypto/elliptic"
+	"crypto/rand"
+	"crypto/tls"
+	"crypto/x509"
+	"crypto/x509/pkix"
+	"encoding/pem"
+	"fmt"
+	"math/big"
+	"net"
+	"time"
+)
+
+// Material is one disposable PKI: a CA and two leaves signed by it.
+type Material struct {
+	// CAPEM is the CA certificate, the trust root both sides verify
+	// against.
+	CAPEM []byte
+	// ServerCertPEM/ServerKeyPEM are the worker-side leaf (valid for
+	// 127.0.0.1, ::1, and "localhost").
+	ServerCertPEM, ServerKeyPEM []byte
+	// ClientCertPEM/ClientKeyPEM are the coordinator-side leaf.
+	ClientCertPEM, ClientKeyPEM []byte
+
+	// ServerTLS serves mTLS: it presents the server leaf and requires a
+	// client certificate signed by the CA.
+	ServerTLS *tls.Config
+	// ClientTLS dials mTLS: it presents the client leaf and verifies the
+	// server against the CA.
+	ClientTLS *tls.Config
+}
+
+// New generates a fresh CA and signed server/client leaves.
+func New() (*Material, error) {
+	caKey, err := ecdsa.GenerateKey(elliptic.P256(), rand.Reader)
+	if err != nil {
+		return nil, err
+	}
+	caTmpl := &x509.Certificate{
+		SerialNumber:          big.NewInt(1),
+		Subject:               pkix.Name{CommonName: "streamrule test CA"},
+		NotBefore:             time.Now().Add(-time.Hour),
+		NotAfter:              time.Now().Add(24 * time.Hour),
+		IsCA:                  true,
+		KeyUsage:              x509.KeyUsageCertSign | x509.KeyUsageDigitalSignature,
+		BasicConstraintsValid: true,
+	}
+	caDER, err := x509.CreateCertificate(rand.Reader, caTmpl, caTmpl, &caKey.PublicKey, caKey)
+	if err != nil {
+		return nil, err
+	}
+	caCert, err := x509.ParseCertificate(caDER)
+	if err != nil {
+		return nil, err
+	}
+
+	m := &Material{CAPEM: pem.EncodeToMemory(&pem.Block{Type: "CERTIFICATE", Bytes: caDER})}
+
+	serverCert, serverKey, err := leaf(caCert, caKey, "streamrule test worker", 2)
+	if err != nil {
+		return nil, err
+	}
+	clientCert, clientKey, err := leaf(caCert, caKey, "streamrule test coordinator", 3)
+	if err != nil {
+		return nil, err
+	}
+	m.ServerCertPEM, m.ServerKeyPEM = serverCert, serverKey
+	m.ClientCertPEM, m.ClientKeyPEM = clientCert, clientKey
+
+	pool := x509.NewCertPool()
+	if !pool.AppendCertsFromPEM(m.CAPEM) {
+		return nil, fmt.Errorf("tlstest: CA PEM did not parse")
+	}
+	serverPair, err := tls.X509KeyPair(m.ServerCertPEM, m.ServerKeyPEM)
+	if err != nil {
+		return nil, err
+	}
+	clientPair, err := tls.X509KeyPair(m.ClientCertPEM, m.ClientKeyPEM)
+	if err != nil {
+		return nil, err
+	}
+	m.ServerTLS = &tls.Config{
+		MinVersion:   tls.VersionTLS12,
+		Certificates: []tls.Certificate{serverPair},
+		ClientCAs:    pool,
+		ClientAuth:   tls.RequireAndVerifyClientCert,
+	}
+	m.ClientTLS = &tls.Config{
+		MinVersion:   tls.VersionTLS12,
+		Certificates: []tls.Certificate{clientPair},
+		RootCAs:      pool,
+	}
+	return m, nil
+}
+
+// leaf issues one CA-signed leaf certificate valid for loopback use in
+// either role (the extended key usages cover both, so the same helper
+// serves server and client).
+func leaf(ca *x509.Certificate, caKey *ecdsa.PrivateKey, cn string, serial int64) (certPEM, keyPEM []byte, err error) {
+	key, err := ecdsa.GenerateKey(elliptic.P256(), rand.Reader)
+	if err != nil {
+		return nil, nil, err
+	}
+	tmpl := &x509.Certificate{
+		SerialNumber: big.NewInt(serial),
+		Subject:      pkix.Name{CommonName: cn},
+		NotBefore:    time.Now().Add(-time.Hour),
+		NotAfter:     time.Now().Add(24 * time.Hour),
+		KeyUsage:     x509.KeyUsageDigitalSignature,
+		ExtKeyUsage:  []x509.ExtKeyUsage{x509.ExtKeyUsageServerAuth, x509.ExtKeyUsageClientAuth},
+		DNSNames:     []string{"localhost"},
+		IPAddresses:  []net.IP{net.IPv4(127, 0, 0, 1), net.IPv6loopback},
+	}
+	der, err := x509.CreateCertificate(rand.Reader, tmpl, ca, &key.PublicKey, caKey)
+	if err != nil {
+		return nil, nil, err
+	}
+	keyDER, err := x509.MarshalECPrivateKey(key)
+	if err != nil {
+		return nil, nil, err
+	}
+	certPEM = pem.EncodeToMemory(&pem.Block{Type: "CERTIFICATE", Bytes: der})
+	keyPEM = pem.EncodeToMemory(&pem.Block{Type: "EC PRIVATE KEY", Bytes: keyDER})
+	return certPEM, keyPEM, nil
+}

@@ -12,6 +12,8 @@ import (
 	"sync/atomic"
 	"testing"
 	"time"
+
+	"streamrule/internal/testleak"
 )
 
 // reqWindow builds a request carrying n wire triples in one full partition
@@ -64,6 +66,10 @@ func (h *echoHandler) NewSession(hello *Hello) (Session, error) {
 
 func startServer(t *testing.T, h Handler, opts ServerOptions) *Server {
 	t.Helper()
+	// Registered before the server's own cleanup, so (LIFO) the leak check
+	// runs after the server has shut down: every test through this helper
+	// asserts its transport goroutines drained.
+	t.Cleanup(testleak.Check(t))
 	srv, err := NewServer("127.0.0.1:0", h, opts)
 	if err != nil {
 		t.Fatal(err)
@@ -84,7 +90,7 @@ func TestFrameRoundTrip(t *testing.T) {
 			t.Fatal(err)
 		}
 	}
-	fr := newFrameReader(&buf, 0, nil)
+	fr := newFrameReader(&buf, 0, nil, nil)
 	got, err := io.ReadAll(fr)
 	if err != nil && err != io.EOF {
 		if !errors.Is(err, io.ErrUnexpectedEOF) {
@@ -98,12 +104,46 @@ func TestFrameRoundTrip(t *testing.T) {
 
 func TestFrameReaderRejectsOversized(t *testing.T) {
 	var buf bytes.Buffer
-	var hdr [4]byte
-	binary.BigEndian.PutUint32(hdr[:], 1<<30)
+	var hdr [frameHeaderSize]byte
+	binary.BigEndian.PutUint32(hdr[:4], 1<<30)
 	buf.Write(hdr[:])
-	fr := newFrameReader(&buf, 1024, nil)
+	fr := newFrameReader(&buf, 1024, nil, nil)
 	if _, err := fr.Read(make([]byte, 16)); !errors.Is(err, ErrFrameTooLarge) {
 		t.Fatalf("got %v, want ErrFrameTooLarge", err)
+	}
+}
+
+func TestFrameChecksumCatchesCorruption(t *testing.T) {
+	var buf bytes.Buffer
+	fw := newFrameWriter(&buf, 0, nil)
+	io.WriteString(fw, "payload under test")
+	if err := fw.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	raw := buf.Bytes()
+	raw[frameHeaderSize+3] ^= 0x40 // flip one payload bit
+	var fails atomic.Int64
+	fr := newFrameReader(bytes.NewReader(raw), 0, nil, &fails)
+	if _, err := fr.Read(make([]byte, 32)); !errors.Is(err, ErrChecksum) {
+		t.Fatalf("got %v, want ErrChecksum", err)
+	}
+	if fails.Load() != 1 {
+		t.Fatalf("crc failure counter = %d, want 1", fails.Load())
+	}
+}
+
+func TestFrameChecksumCatchesHeaderCorruption(t *testing.T) {
+	var buf bytes.Buffer
+	fw := newFrameWriter(&buf, 0, nil)
+	io.WriteString(fw, "payload under test")
+	if err := fw.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	raw := buf.Bytes()
+	raw[5] ^= 0x01 // flip a bit in the CRC field itself
+	fr := newFrameReader(bytes.NewReader(raw), 0, nil, nil)
+	if _, err := fr.Read(make([]byte, 32)); !errors.Is(err, ErrChecksum) {
+		t.Fatalf("got %v, want ErrChecksum", err)
 	}
 }
 
@@ -228,7 +268,9 @@ func TestClientPipelineOverlap(t *testing.T) {
 // deadline: Await must fail promptly and the client must refuse further
 // rounds.
 func TestClientAwaitTimeout(t *testing.T) {
-	h := &echoHandler{delay: 5 * time.Second}
+	// The delay must dwarf the await timeout but stay inside the leak
+	// checker's drain grace, so the sleeping session goroutine can exit.
+	h := &echoHandler{delay: time.Second}
 	srv := startServer(t, h, ServerOptions{})
 	c, err := Dial(srv.Addr(), &Hello{}, ClientOptions{MaxInFlight: 2})
 	if err != nil {
@@ -268,7 +310,7 @@ func TestServerRejectsWrongVersion(t *testing.T) {
 	fw := newFrameWriter(conn, 0, nil)
 	c := &Client{conn: conn, fw: fw}
 	c.enc = gob.NewEncoder(fw)
-	c.dec = gob.NewDecoder(newFrameReader(conn, 0, nil))
+	c.dec = gob.NewDecoder(newFrameReader(conn, 0, nil, nil))
 	if err := c.send(&Hello{Version: ProtocolVersion + 1}); err != nil {
 		t.Fatal(err)
 	}
@@ -345,5 +387,117 @@ func TestSessionCloseOnDisconnect(t *testing.T) {
 			t.Fatal("session never closed after disconnect")
 		}
 		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+// TestClientPing exercises the protocol-level heartbeat: pings round-trip
+// without touching the session, and regular windows keep working afterwards
+// (sequence numbers stay contiguous across the mix).
+func TestClientPing(t *testing.T) {
+	h := &echoHandler{}
+	srv := startServer(t, h, ServerOptions{})
+	c, err := Dial(srv.Addr(), &Hello{}, ClientOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	for i := 0; i < 3; i++ {
+		if err := c.Ping(time.Second); err != nil {
+			t.Fatalf("ping %d: %v", i, err)
+		}
+	}
+	resp, err := c.Round(reqWindow(2), time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.Seq != 4 || resp.Skipped != 2 {
+		t.Fatalf("post-ping round: seq %d skipped %d, want 4/2", resp.Seq, resp.Skipped)
+	}
+}
+
+// TestClientPingDetectsDeadServer: a ping against a dead worker fails
+// within its own timeout and breaks the client.
+func TestClientPingDetectsDeadServer(t *testing.T) {
+	h := &echoHandler{}
+	srv := startServer(t, h, ServerOptions{})
+	c, err := Dial(srv.Addr(), &Hello{}, ClientOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	srv.Close()
+	if err := c.Ping(500 * time.Millisecond); err == nil {
+		t.Fatal("ping succeeded against a dead server")
+	}
+	if !c.Broken() {
+		t.Fatal("client not marked broken after failed ping")
+	}
+}
+
+// TestServerShutdownDrains: Shutdown must let a session mid-window finish
+// its request and ship the response, close idle connections immediately,
+// and leave no server goroutines behind.
+func TestServerShutdownDrains(t *testing.T) {
+	h := &echoHandler{delay: 100 * time.Millisecond}
+	srv := startServer(t, h, ServerOptions{})
+	busy, err := Dial(srv.Addr(), &Hello{}, ClientOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer busy.Close()
+	idle, err := Dial(srv.Addr(), &Hello{}, ClientOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer idle.Close()
+
+	type result struct {
+		resp *WindowResp
+		err  error
+	}
+	got := make(chan result, 1)
+	go func() {
+		resp, err := busy.Round(reqWindow(3), 5*time.Second)
+		got <- result{resp, err}
+	}()
+	time.Sleep(30 * time.Millisecond) // let the request reach the session
+	if err := srv.Shutdown(5 * time.Second); err != nil {
+		t.Fatalf("shutdown: %v", err)
+	}
+	r := <-got
+	if r.err != nil {
+		t.Fatalf("in-flight round lost during shutdown: %v", r.err)
+	}
+	if r.resp.Skipped != 3 {
+		t.Fatalf("in-flight round answered %d, want 3", r.resp.Skipped)
+	}
+	// The drained server serves nothing further on either connection.
+	if _, err := busy.Round(reqWindow(1), time.Second); err == nil {
+		t.Fatal("round succeeded after shutdown")
+	}
+	if _, err := idle.Round(reqWindow(1), time.Second); err == nil {
+		t.Fatal("idle connection survived shutdown")
+	}
+	if _, err := Dial(srv.Addr(), &Hello{}, ClientOptions{DialTimeout: 500 * time.Millisecond}); err == nil {
+		t.Fatal("dial succeeded after shutdown")
+	}
+}
+
+// TestServerShutdownForceClosesStragglers: a session stuck in compute past
+// the grace is force-closed; Shutdown still returns.
+func TestServerShutdownForceCloses(t *testing.T) {
+	h := &echoHandler{delay: time.Second}
+	srv := startServer(t, h, ServerOptions{})
+	c, err := Dial(srv.Addr(), &Hello{}, ClientOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	go c.Round(reqWindow(1), 5*time.Second)
+	time.Sleep(30 * time.Millisecond)
+	start := time.Now()
+	srv.Shutdown(50 * time.Millisecond)
+	if elapsed := time.Since(start); elapsed > 2*time.Second {
+		t.Fatalf("shutdown with tiny grace took %v", elapsed)
 	}
 }

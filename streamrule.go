@@ -1,6 +1,7 @@
 package streamrule
 
 import (
+	"crypto/tls"
 	"fmt"
 	"time"
 
@@ -12,6 +13,7 @@ import (
 	"streamrule/internal/dfp"
 	"streamrule/internal/rdf"
 	"streamrule/internal/reasoner"
+	"streamrule/internal/transport"
 )
 
 // Triple is an RDF statement <subject, predicate, object>.
@@ -101,6 +103,11 @@ type options struct {
 	stragglerTimeout time.Duration
 	maxInFlight      int
 	adaptive         *reasoner.RebalanceOptions
+	dialer           transport.DialFunc
+	tlsConf          *tls.Config
+	heartbeat        time.Duration
+	heartbeatTimeout time.Duration
+	breaker          reasoner.BreakerOptions
 }
 
 // Option customizes engine construction.
